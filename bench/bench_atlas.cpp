@@ -1,0 +1,79 @@
+// X-ATLAS: census of ALL standard degree-optimal solutions for small
+// (n, k), up to role-preserving isomorphism — the computational
+// counterpart of the paper's uniqueness claims. Lemmas 3.7/3.9 say the
+// count is exactly 1 for n = 1 and n = 2; the paper is silent for other
+// parameters, so those counts are new data this reproduction adds.
+#include "bench_common.hpp"
+#include "graph/isomorphism.hpp"
+#include "kgd/bounds.hpp"
+#include "verify/synthesis.hpp"
+
+using namespace kgdp;
+
+namespace {
+
+int count_nonisomorphic(int n, int k, std::uint64_t* graphs_seen,
+                        bool* exhausted) {
+  verify::SynthSpec spec{n, k, kgd::achieved_max_degree(n, k)};
+  std::vector<kgd::SolutionGraph> reps;
+  verify::SynthLimits limits;
+  limits.max_solutions = 0;  // find all
+  const auto stats = verify::enumerate_standard_solutions(
+      spec, limits, [&](const kgd::SolutionGraph& sg) {
+        std::vector<int> color;
+        for (auto r : sg.roles()) color.push_back(static_cast<int>(r));
+        for (const auto& rep : reps) {
+          std::vector<int> rep_color;
+          for (auto r : rep.roles()) {
+            rep_color.push_back(static_cast<int>(r));
+          }
+          if (graph::are_isomorphic(sg.graph(), rep.graph(), &color,
+                                    &rep_color)) {
+            return true;  // seen this one
+          }
+        }
+        reps.push_back(sg);
+        return true;
+      });
+  *graphs_seen = stats.graphs_enumerated;
+  *exhausted = stats.search_space_exhausted;
+  return static_cast<int>(reps.size());
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Atlas: non-isomorphic degree-optimal standard solutions per (n,k)");
+  util::Table t({"n", "k", "target max deg", "solutions (up to iso)",
+                 "candidate graphs", "exhausted", "paper claim"});
+  struct Row {
+    int n, k;
+    const char* claim;
+  };
+  const Row rows[] = {
+      {1, 1, "unique (Lemma 3.7)"},  {1, 2, "unique (Lemma 3.7)"},
+      {1, 3, "unique (Lemma 3.7)"},  {2, 1, "unique (Lemma 3.9)"},
+      {2, 2, "unique (Lemma 3.9)"},  {3, 1, "(none)"},
+      {3, 2, "(none)"},              {5, 1, "(none)"},
+      {4, 2, "(none)"},
+  };
+  for (const Row& r : rows) {
+    std::uint64_t graphs = 0;
+    bool exhausted = false;
+    util::Timer timer;
+    const int count = count_nonisomorphic(r.n, r.k, &graphs, &exhausted);
+    t.add_row({util::Table::num(r.n), util::Table::num(r.k),
+               util::Table::num(kgd::achieved_max_degree(r.n, r.k)),
+               util::Table::num(count), util::Table::num(graphs),
+               exhausted ? "yes" : "NO", r.claim});
+    std::fprintf(stderr, "  (n=%d,k=%d in %.1fs)\n", r.n, r.k,
+                 timer.seconds());
+  }
+  t.print();
+  std::printf(
+      "\nReading: counts of 1 in the n=1 and n=2 rows reproduce the\n"
+      "uniqueness halves of Lemmas 3.7 and 3.9 computationally. Counts\n"
+      "for other rows are data the paper does not report.\n");
+  return 0;
+}

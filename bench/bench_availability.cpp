@@ -1,0 +1,51 @@
+// X-AVAIL: long-horizon availability under a continuous fault/repair
+// process — the operational payoff of graceful degradation. Compares the
+// paper's designs across k and against the naive spare path at matched
+// node budgets.
+#include "baseline/naive.hpp"
+#include "bench_common.hpp"
+#include "kgd/factory.hpp"
+#include "sim/campaign.hpp"
+
+using namespace kgdp;
+
+int main() {
+  // Expected concurrent faults = rate * repair = 8/1e6 * 150k = 1.2:
+  // enough pressure to separate fault budgets without drowning them all.
+  sim::CampaignConfig cfg;
+  cfg.faults_per_mcycle = 8.0;
+  cfg.repair_cycles = 150000.0;
+  cfg.horizon_cycles = 100e6;
+  cfg.seed = 7;
+
+  bench::banner("Availability campaign: 100 Mcycles, Poisson faults "
+                "(8/Mcycle machine-wide), 150 kcycle repairs");
+  util::Table t({"design", "availability", "mean utilization", "faults",
+                 "repairs", "outages", "worst outage (kcyc)"});
+  auto row = [&](const std::string& name, const kgd::SolutionGraph& sg) {
+    const auto res = sim::run_availability_campaign(sg, cfg);
+    t.add_row({name, util::Table::num(res.availability, 4),
+               util::Table::num(res.mean_utilization, 4),
+               util::Table::num(res.faults_injected),
+               util::Table::num(res.repairs_completed),
+               util::Table::num(res.outages),
+               util::Table::num(res.worst_outage_cycles / 1000.0, 0)});
+  };
+
+  // Same pipeline demand (n = 12), increasing fault budget.
+  for (int k = 1; k <= 3; ++k) {
+    const auto sg = kgd::build_solution(12, k);
+    row("paper G(12," + std::to_string(k) + ")", *sg);
+  }
+  row("paper G(13,4)", *kgd::build_solution(13, 4));
+  // Matched node budget, no graceful degradation.
+  row("spare path (12,2)", baseline::make_spare_path(12, 2));
+  row("spare path (12,3)", baseline::make_spare_path(12, 3));
+  t.print();
+  std::printf(
+      "\nExpected shape: availability rises with k for the paper's\n"
+      "designs (more simultaneous faults tolerated before an outage);\n"
+      "the spare path loses service on nearly every internal fault, so\n"
+      "its availability tracks the raw fault process instead.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// X-BASE: comparison against prior art and naive designs. Static costs
+// (nodes/edges/degree) and dynamic degradation profiles: the paper's
+// construction tolerates every fault pattern up to k and uses every
+// healthy processor; the alternatives either collapse, strand healthy
+// nodes, or pay quadratic wiring.
+#include "baseline/compare.hpp"
+#include "baseline/diogenes.hpp"
+#include "baseline/hayes.hpp"
+#include "baseline/naive.hpp"
+#include "bench_common.hpp"
+#include "kgd/factory.hpp"
+
+using namespace kgdp;
+
+int main() {
+  // k = 3 (odd) with even n is the regime where the Hayes adaptation
+  // provably fails (its circulant degree k+1 sits below the Lemma 3.1
+  // floor), so the contrast between designs is sharpest here.
+  const int n = 12, k = 3;
+  bench::banner("Static design costs at n=12, k=3");
+  util::Table t({"design", "nodes", "edges", "max deg", "max proc deg",
+                 "node-opt", "k-GD"});
+  auto row = [&](const kgd::SolutionGraph& sg) {
+    const auto m = baseline::metrics_for(sg);
+    const auto res = verify::check_gd_exhaustive(sg, k);
+    t.add_row({m.name, util::Table::num(m.nodes), util::Table::num(m.edges),
+               util::Table::num(m.max_degree),
+               util::Table::num(m.max_processor_degree),
+               m.node_optimal ? "yes" : "NO", res.holds ? "yes" : "NO"});
+  };
+  row(*kgd::build_solution(n, k));
+  row(baseline::make_spare_path(n, k));
+  row(baseline::make_complete_design(n, k));
+  row(baseline::make_hayes_pipeline_adaptation(n, k));
+  row(baseline::make_bypass_chain(n, k));
+  t.print();
+
+  bench::banner("Degradation profile: tolerated fraction by fault count");
+  util::Table p({"design", "f=0", "f=1", "f=2"});
+  auto prow = [&](const std::string& name,
+                  const std::vector<baseline::DegradationRow>& rows) {
+    p.add_row({name, util::Table::num(rows[0].tolerated_fraction, 2),
+               util::Table::num(rows[1].tolerated_fraction, 2),
+               util::Table::num(rows[2].tolerated_fraction, 2)});
+  };
+  const int samples = 300;
+  prow("paper G(12,3)",
+       baseline::degradation_profile(*kgd::build_solution(n, k), k, samples,
+                                     1));
+  prow("spare path",
+       baseline::degradation_profile(baseline::make_spare_path(n, k), k,
+                                     samples, 2));
+  prow("complete K(n+k)",
+       baseline::degradation_profile(baseline::make_complete_design(n, k),
+                                     k, samples, 3));
+  prow("hayes adaptation",
+       baseline::degradation_profile(
+           baseline::make_hayes_pipeline_adaptation(n, k), k, samples, 4));
+  p.print();
+  std::printf("\nRandom sampling understates the Hayes adaptation's flaw; "
+              "the exhaustive\nchecker above already found a concrete "
+              "fault set it cannot tolerate.\n");
+
+  bench::banner("Healthy-processor utilization (Hayes's own criterion)");
+  std::printf(
+      "Hayes k-FT cycles guarantee only an n-node cycle: with f faults,\n"
+      "utilization is capped at n/(n+k-f) unless a spanning path happens\n"
+      "to exist. At k=3 with even n the Hayes circulant has degree k+1 —\n"
+      "below the Lemma 3.1 floor — and strands healthy processors.\n\n");
+  util::Table u({"design", "f", "measured utilization",
+                 "GUARANTEED utilization"});
+  const auto hayes_rows = baseline::hayes_profile(n, k, samples, 5);
+  const auto ours_rows = baseline::degradation_profile(
+      *kgd::build_solution(n, k), k, samples, 6);
+  for (int f = 0; f <= k; ++f) {
+    u.add_row({"paper G(12,3)", util::Table::num(f),
+               util::Table::num(ours_rows[f].mean_utilization, 3),
+               "1.000 (all healthy, proven)"});
+    const double guaranteed =
+        static_cast<double>(n) / static_cast<double>(n + k - f);
+    u.add_row({"hayes cycle", util::Table::num(f),
+               util::Table::num(hayes_rows[f].mean_utilization, 3),
+               util::Table::num(guaranteed, 3) + " (n-cycle only)"});
+  }
+  u.print();
+  std::printf("\nThe shape that matters: the paper's graphs come with a "
+              "certificate that\nevery healthy processor is used for every"
+              " fault pattern; Hayes's design\nonly ever promises the "
+              "original n nodes.\n");
+
+  bench::banner("Edge-cost scaling: paper vs complete design");
+  util::Table e({"n", "k", "paper edges", "complete edges", "ratio"});
+  for (int nn : {10, 20, 40, 80}) {
+    const auto ours = kgd::build_solution(nn, 2);
+    const auto complete = baseline::make_complete_design(nn, 2);
+    const double ratio =
+        static_cast<double>(complete.graph().num_edges()) /
+        static_cast<double>(ours->graph().num_edges());
+    e.add_row({util::Table::num(nn), "2",
+               util::Table::num(ours->graph().num_edges()),
+               util::Table::num(complete.graph().num_edges()),
+               util::Table::num(ratio, 1)});
+  }
+  e.print();
+  std::printf("\nExpected shape: paper's edges grow linearly in n (degree "
+              "k+2);\nthe complete design grows quadratically.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Shared helpers for the table-printing benchmark harnesses.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "fault/enumerator.hpp"
+#include "kgd/labeled_graph.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+#include "verify/checker.hpp"
+
+namespace kgdp::bench {
+
+inline void banner(const std::string& title) {
+  std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+// Exhaustively verify when the fault-set space is below `cap`, otherwise
+// sample; returns a short verdict string for table cells.
+inline std::string verify_cell(const kgd::SolutionGraph& sg, int k,
+                               std::uint64_t cap = 200000,
+                               std::uint64_t samples = 400) {
+  const std::uint64_t space =
+      fault::FaultEnumerator(sg.num_nodes(), k).total();
+  util::Timer t;
+  if (space <= cap) {
+    const auto res = verify::check_gd_exhaustive(sg, k);
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%s (all %llu, %.0fms)",
+                  res.holds ? "OK" : "FAIL",
+                  static_cast<unsigned long long>(res.fault_sets_checked),
+                  t.millis());
+    return buf;
+  }
+  const auto res = verify::check_gd_sampled(sg, k, samples, 42);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s (sampled %llu)",
+                res.holds ? "OK" : "FAIL",
+                static_cast<unsigned long long>(res.fault_sets_checked));
+  return buf;
+}
+
+}  // namespace kgdp::bench

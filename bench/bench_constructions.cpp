@@ -1,0 +1,43 @@
+// F1 (Figure 1): the pipeline object itself — a linear array with an
+// input node at one end and an output node at the other — regenerated
+// from a real construction, plus a census of every base construction the
+// paper defines.
+#include "bench_common.hpp"
+#include "kgd/factory.hpp"
+#include "kgd/small_n.hpp"
+#include "kgd/special.hpp"
+#include "verify/pipeline_solver.hpp"
+
+using namespace kgdp;
+
+int main() {
+  bench::banner("Figure 1: a pipeline with 7 processors");
+  // Build G(7,2) and extract its fault-free pipeline: i = p... = o.
+  const auto sg = kgd::build_solution(5, 2);  // 5 + 2 = 7 processors
+  const auto out =
+      verify::find_pipeline(*sg, kgd::FaultSet::none(sg->num_nodes()));
+  std::printf("pipeline: %s\n", out.pipeline->to_string(*sg).c_str());
+  std::printf("processors on pipeline: %d (all healthy processors)\n",
+              out.pipeline->num_processors());
+
+  bench::banner("Base construction census (Lemmas 3.7, 3.9, §3.2, §3.3)");
+  util::Table t({"graph", "n", "k", "nodes", "edges", "max proc deg",
+                 "standard", "GD verification"});
+  auto row = [&](const kgd::SolutionGraph& g) {
+    t.add_row({g.name(), util::Table::num(g.n()), util::Table::num(g.k()),
+               util::Table::num(g.num_nodes()),
+               util::Table::num(g.graph().num_edges()),
+               util::Table::num(g.max_processor_degree()),
+               g.is_standard() ? "yes" : "NO",
+               bench::verify_cell(g, g.k())});
+  };
+  for (int k = 1; k <= 4; ++k) row(kgd::make_g1k(k));
+  for (int k = 1; k <= 4; ++k) row(kgd::make_g2k(k));
+  for (int k = 1; k <= 4; ++k) row(kgd::make_g3k(k));
+  row(kgd::make_special_g62());
+  row(kgd::make_special_g82());
+  row(kgd::make_special_g73());
+  row(kgd::make_special_g43());
+  t.print();
+  return 0;
+}

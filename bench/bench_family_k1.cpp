@@ -1,0 +1,44 @@
+// F4 (Figure 4) + Theorem 3.13: the complete k=1 family. Regenerates the
+// three graphs of Figure 4 (G(1,1), G(2,1), G(3,1) = ext(G(1,1))) and the
+// full degree table for n = 1..24: degree 3 (= k+2) for odd n, degree 4
+// (= k+3) for even n, both provably optimal.
+#include "bench_common.hpp"
+#include "kgd/bounds.hpp"
+#include "kgd/extension.hpp"
+#include "kgd/small_k.hpp"
+#include "kgd/small_n.hpp"
+
+using namespace kgdp;
+
+int main() {
+  bench::banner("Figure 4: solution graphs for k = 1, n = 1, 2, 3");
+  for (int n = 1; n <= 3; ++n) {
+    const auto sg = kgd::make_family_k1(n);
+    std::printf("n=%d: %s, %d nodes, %zu edges, max processor degree %d\n",
+                n, sg.name().c_str(), sg.num_nodes(),
+                sg.graph().num_edges(), sg.max_processor_degree());
+  }
+  // Figure 4's note: G(3,1) is ext(G(1,1)), an instance of Corollary 3.8.
+  const auto ext = kgd::extend_once(kgd::make_g1k(1));
+  std::printf("check: ext(G(1,1)) has n=%d and degree %d (Corollary 3.8)\n",
+              ext.n(), ext.max_processor_degree());
+
+  bench::banner("Theorem 3.13: k = 1, n = 1..24");
+  util::Table t({"n", "base", "extensions", "max deg", "bound",
+                 "degree-optimal", "GD verification"});
+  for (int n = 1; n <= 24; ++n) {
+    const auto sg = kgd::make_family_k1(n);
+    const auto recipe = kgd::family_recipe(n, 1);
+    const int bound = kgd::max_degree_lower_bound(n, 1);
+    t.add_row({util::Table::num(n), recipe.base,
+               util::Table::num(recipe.extensions),
+               util::Table::num(sg.max_processor_degree()),
+               util::Table::num(bound),
+               sg.max_processor_degree() == bound ? "yes" : "NO",
+               n <= 16 ? bench::verify_cell(sg, 1) : "skipped (large)"});
+  }
+  t.print();
+  std::printf("\nExpected shape (paper): degree k+2=3 for odd n, k+3=4 for"
+              " even n.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// F10/F11 (Figures 10–11) + Theorem 3.15: the k=2 family. Regenerates
+// the special solutions G(6,2) and G(8,2) (degree 4, i.e. k+2) and the
+// full family table: degree k+3 = 5 exactly at n ∈ {2, 3, 5}, degree
+// k+2 = 4 everywhere else.
+#include "bench_common.hpp"
+#include "kgd/bounds.hpp"
+#include "kgd/small_k.hpp"
+#include "kgd/special.hpp"
+
+using namespace kgdp;
+
+int main() {
+  bench::banner("Figures 10-11: the special solutions G(6,2) and G(8,2)");
+  for (const auto& sg : {kgd::make_special_g62(), kgd::make_special_g82()}) {
+    std::printf("%s: %d processors, %zu edges, degrees [%d..%d]\n",
+                sg.name().c_str(), sg.num_processors(),
+                sg.graph().num_edges(), sg.min_processor_degree(),
+                sg.max_processor_degree());
+    std::printf("  exhaustive certification: %s\n",
+                bench::verify_cell(sg, 2).c_str());
+  }
+
+  bench::banner("Theorem 3.15: k = 2, n = 1..24");
+  util::Table t({"n", "base", "extensions", "max deg", "bound",
+                 "degree-optimal", "GD verification"});
+  for (int n = 1; n <= 24; ++n) {
+    const auto sg = kgd::make_family_k2(n);
+    const auto recipe = kgd::family_recipe(n, 2);
+    const int bound = kgd::max_degree_lower_bound(n, 2);
+    t.add_row({util::Table::num(n), recipe.base,
+               util::Table::num(recipe.extensions),
+               util::Table::num(sg.max_processor_degree()),
+               util::Table::num(bound),
+               sg.max_processor_degree() == bound ? "yes" : "NO",
+               n <= 14 ? bench::verify_cell(sg, 2) : "skipped (large)"});
+  }
+  t.print();
+  std::printf("\nExpected shape (paper): degree 5 (= k+3) exactly at "
+              "n = 2, 3, 5; degree 4 (= k+2) for all other n.\n");
+  return 0;
+}

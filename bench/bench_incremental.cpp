@@ -1,0 +1,58 @@
+// X-INCR: incremental repair vs global re-solve. Running machines repair
+// locally (terminal swap / splice / windowed re-route) and fall back to
+// the global solver only when the damage is structural; this bench
+// measures the method mix and the latency advantage.
+#include "bench_common.hpp"
+#include "kgd/factory.hpp"
+#include "util/rng.hpp"
+#include "verify/incremental.hpp"
+#include "verify/pipeline_solver.hpp"
+
+using namespace kgdp;
+
+int main() {
+  bench::banner("Incremental repair: method mix and latency");
+  util::Table t({"graph", "fault events", "untouched", "term-swap",
+                 "splice", "window", "full-solve", "incr avg (us)",
+                 "global avg (us)", "speedup"});
+
+  for (auto [n, k] : std::vector<std::pair<int, int>>{
+           {12, 3}, {30, 4}, {60, 6}, {200, 4}}) {
+    const auto sg = kgd::build_solution(n, k);
+    util::Rng rng(3);
+    verify::IncrementalReconfigurator inc(*sg);
+    verify::PipelineSolver global;
+    double inc_us = 0, global_us = 0;
+    int events = 0;
+    const int storms = 40;
+    for (int storm = 0; storm < storms; ++storm) {
+      inc.reset(kgd::FaultSet::none(sg->num_nodes()));
+      for (int f = 0; f < k; ++f) {
+        const int v = static_cast<int>(rng.next_below(sg->num_nodes()));
+        if (inc.faults().contains(v)) continue;
+        ++events;
+        util::Timer t1;
+        inc.fail_node(v);
+        inc_us += t1.micros();
+        util::Timer t2;
+        global.solve(*sg, inc.faults());
+        global_us += t2.micros();
+      }
+    }
+    const auto& st = inc.stats();
+    t.add_row({sg->name(), util::Table::num(events),
+               util::Table::num(st.untouched),
+               util::Table::num(st.terminal_swaps),
+               util::Table::num(st.splices),
+               util::Table::num(st.window_reroutes),
+               util::Table::num(st.full_solves),
+               util::Table::num(inc_us / events, 1),
+               util::Table::num(global_us / events, 1),
+               util::Table::num(global_us / std::max(inc_us, 1.0), 1)});
+  }
+  t.print();
+  std::printf("\nExpected shape: most faults miss the pipeline or splice "
+              "out locally;\nthe incremental path wins by an order of "
+              "magnitude on large graphs.\n");
+  return 0;
+}

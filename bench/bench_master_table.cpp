@@ -1,0 +1,59 @@
+// T-SUM: the paper's §4 summary as one master table over the whole
+// coverage grid — "degree-optimal and node-optimal standard k-GD graphs
+// for n ∈ {1,2,3} given any k, for k ∈ {1,2,3} given any n, and for
+// large k with sufficiently large n". Also writes bench_master_table.csv
+// for external plotting.
+#include "bench_common.hpp"
+#include "io/csv.hpp"
+#include "kgd/bounds.hpp"
+#include "kgd/factory.hpp"
+
+using namespace kgdp;
+
+int main() {
+  bench::banner("Master summary: the (n, k) coverage grid");
+  util::Table t({"n", "k", "method", "nodes", "edges", "max deg", "bound",
+                 "node-opt", "degree-opt", "verification"});
+  io::CsvWriter csv("bench_master_table.csv",
+                    {"n", "k", "method", "nodes", "edges", "max_degree",
+                     "degree_bound", "node_optimal", "degree_optimal",
+                     "verified"});
+
+  auto emit = [&](int n, int k) {
+    const auto sg = kgd::build_solution(n, k);
+    if (!sg) return;
+    const int bound = kgd::max_degree_lower_bound(n, k);
+    const std::string verdict = bench::verify_cell(*sg, k, 70000, 250);
+    const std::string deg_opt =
+        sg->max_processor_degree() == bound ? "yes" : "NO";
+    const std::string node_opt = sg->is_node_optimal() ? "yes" : "NO";
+    t.add_row({util::Table::num(n), util::Table::num(k),
+               kgd::construction_method(n, k),
+               util::Table::num(sg->num_nodes()),
+               util::Table::num(sg->graph().num_edges()),
+               util::Table::num(sg->max_processor_degree()),
+               util::Table::num(bound), node_opt, deg_opt, verdict});
+    csv.row({std::to_string(n), std::to_string(k),
+             kgd::construction_method(n, k),
+             std::to_string(sg->num_nodes()),
+             std::to_string(sg->graph().num_edges()),
+             std::to_string(sg->max_processor_degree()),
+             std::to_string(bound), node_opt, deg_opt, verdict});
+  };
+
+  // n <= 3, any k (columns of §3.2).
+  for (int k = 1; k <= 6; ++k) {
+    for (int n = 1; n <= 3; ++n) emit(n, k);
+  }
+  // k <= 3, any n (rows of §3.3).
+  for (int k = 1; k <= 3; ++k) {
+    for (int n = 4; n <= 12; ++n) emit(n, k);
+  }
+  // k >= 4 asymptotic.
+  for (int k = 4; k <= 6; ++k) {
+    for (int n = 2 * k + 5; n <= 2 * k + 7; ++n) emit(n, k);
+  }
+  t.print();
+  std::printf("\n(wrote bench_master_table.csv)\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// X-RECONF: reconfiguration latency (time to find a certified pipeline
+// after faults) as a function of n, k and the fault count — the runtime
+// cost a system pays at each failure event. google-benchmark harness.
+#include <benchmark/benchmark.h>
+
+#include "fault/fault_model.hpp"
+#include "kgd/factory.hpp"
+#include "util/rng.hpp"
+#include "verify/pipeline_solver.hpp"
+
+using namespace kgdp;
+
+namespace {
+
+void BM_ReconfigureVsN(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int k = 4;
+  const auto sg = kgd::build_solution(n, k);
+  util::Rng rng(1);
+  verify::PipelineSolver solver;
+  for (auto _ : state) {
+    state.PauseTiming();
+    const kgd::FaultSet fs =
+        fault::draw_faults(*sg, k, fault::FaultPolicy::kUniform, rng);
+    state.ResumeTiming();
+    auto out = solver.solve(*sg, fs);
+    benchmark::DoNotOptimize(out);
+    if (out.status != verify::SolveStatus::kFound) {
+      state.SkipWithError("no pipeline found");
+    }
+  }
+  state.SetLabel("k=4, faults=k");
+}
+// Short min-time: individual solves are ms-scale and heavy-tailed, so a
+// long sampling window mostly re-measures the tail.
+BENCHMARK(BM_ReconfigureVsN)
+    ->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256)
+    ->MinTime(0.1);
+
+void BM_ReconfigureVsK(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const int n = 40;
+  const auto sg = kgd::build_solution(n, k);
+  util::Rng rng(2);
+  verify::PipelineSolver solver;
+  for (auto _ : state) {
+    state.PauseTiming();
+    const kgd::FaultSet fs =
+        fault::draw_faults(*sg, k, fault::FaultPolicy::kUniform, rng);
+    state.ResumeTiming();
+    auto out = solver.solve(*sg, fs);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetLabel("n=40, faults=k");
+}
+BENCHMARK(BM_ReconfigureVsK)->DenseRange(1, 8, 1);
+
+void BM_ReconfigureVsFaults(benchmark::State& state) {
+  const int f = static_cast<int>(state.range(0));
+  const int n = 64, k = 6;
+  const auto sg = kgd::build_solution(n, k);
+  util::Rng rng(3);
+  verify::PipelineSolver solver;
+  for (auto _ : state) {
+    state.PauseTiming();
+    const kgd::FaultSet fs =
+        fault::draw_faults(*sg, f, fault::FaultPolicy::kUniform, rng);
+    state.ResumeTiming();
+    auto out = solver.solve(*sg, fs);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetLabel("n=64, k=6");
+}
+BENCHMARK(BM_ReconfigureVsFaults)->DenseRange(0, 6, 1)->MinTime(0.1);
+
+void BM_ConstructionCost(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto sg = kgd::build_solution(n, 4);
+    benchmark::DoNotOptimize(sg);
+  }
+  state.SetLabel("asymptotic build, k=4");
+}
+BENCHMARK(BM_ConstructionCost)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_AdversarialReconfigure(benchmark::State& state) {
+  // High-degree-targeted faults: the hardest instances for the router.
+  const int n = 64, k = 6;
+  const auto sg = kgd::build_solution(n, k);
+  util::Rng rng(4);
+  verify::PipelineSolver solver;
+  for (auto _ : state) {
+    state.PauseTiming();
+    const kgd::FaultSet fs = fault::draw_faults(
+        *sg, k, fault::FaultPolicy::kHighDegreeFirst, rng);
+    state.ResumeTiming();
+    auto out = solver.solve(*sg, fs);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_AdversarialReconfigure);
+
+}  // namespace

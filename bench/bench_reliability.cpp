@@ -1,0 +1,66 @@
+// X-REL: reliability curves R(p) — survival probability under
+// independent per-node failures — for the paper's design vs every
+// baseline, with the analytic binomial floor the k-GD guarantee implies.
+#include "baseline/diogenes.hpp"
+#include "baseline/naive.hpp"
+#include "bench_common.hpp"
+#include "kgd/factory.hpp"
+#include "verify/reliability.hpp"
+
+using namespace kgdp;
+
+int main() {
+  const int n = 10, k = 2;
+  const std::vector<double> ps = {0.01, 0.02, 0.05, 0.10, 0.15};
+  const int trials = 2000;
+
+  bench::banner("Reliability R(p): survival under i.i.d. node failures "
+                "(n=10, k=2, 2000 trials/point)");
+  util::Table t({"design", "p=0.01", "p=0.02", "p=0.05", "p=0.10",
+                 "p=0.15"});
+  auto row = [&](const std::string& name, const kgd::SolutionGraph& sg,
+                 std::uint64_t seed) {
+    const auto curve = verify::reliability_curve(sg, ps, trials, seed);
+    std::vector<std::string> cells = {name};
+    for (const auto& pt : curve) {
+      cells.push_back(util::Table::num(pt.survival, 3));
+    }
+    t.add_row(cells);
+  };
+  const auto ours = kgd::build_solution(n, k);
+  row("paper G(10,2)", *ours, 1);
+  row("bypass chain", baseline::make_bypass_chain(n, k), 2);
+  row("complete K(n+k)", baseline::make_complete_design(n, k), 3);
+  row("spare path", baseline::make_spare_path(n, k), 4);
+  {
+    std::vector<std::string> cells = {"binomial floor (<=k faults)"};
+    for (double p : ps) {
+      cells.push_back(util::Table::num(
+          verify::binomial_survival_floor(ours->num_nodes(), k, p), 3));
+    }
+    t.add_row(cells);
+  }
+  t.print();
+
+  bench::banner("Mean healthy-processor utilization at the same points");
+  util::Table u({"design", "p=0.01", "p=0.02", "p=0.05", "p=0.10",
+                 "p=0.15"});
+  auto urow = [&](const std::string& name, const kgd::SolutionGraph& sg,
+                  std::uint64_t seed) {
+    const auto curve = verify::reliability_curve(sg, ps, trials, seed);
+    std::vector<std::string> cells = {name};
+    for (const auto& pt : curve) {
+      cells.push_back(util::Table::num(pt.mean_utilization, 3));
+    }
+    u.add_row(cells);
+  };
+  urow("paper G(10,2)", *ours, 1);
+  urow("spare path", baseline::make_spare_path(n, k), 4);
+  u.print();
+  std::printf(
+      "\nExpected shape: the paper's design and the other genuinely k-GD\n"
+      "designs ride at/above the binomial floor; the spare path collapses\n"
+      "almost immediately. Crossovers: none — degree-optimality costs\n"
+      "nothing in reliability.\n");
+  return 0;
+}

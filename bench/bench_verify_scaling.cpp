@@ -1,0 +1,76 @@
+// X-VERIFY: exhaustive-verification throughput (fault sets per second)
+// and thread-pool scaling of the GD checker. On a single-core host the
+// parallel numbers simply match sequential; the shape to look for is
+// fault-sets/sec and its growth with instance size.
+#include <benchmark/benchmark.h>
+
+#include "kgd/factory.hpp"
+#include "util/thread_pool.hpp"
+#include "verify/checker.hpp"
+
+using namespace kgdp;
+
+namespace {
+
+void BM_ExhaustiveCheckSequential(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int k = 2;
+  const auto sg = kgd::build_solution(n, k);
+  std::uint64_t sets = 0;
+  for (auto _ : state) {
+    const auto res = verify::check_gd_exhaustive(*sg, k);
+    benchmark::DoNotOptimize(res);
+    sets += res.fault_sets_checked;
+    if (!res.holds) state.SkipWithError("GD failed");
+  }
+  state.counters["fault_sets/s"] = benchmark::Counter(
+      static_cast<double>(sets), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExhaustiveCheckSequential)->Arg(6)->Arg(9)->Arg(12);
+
+void BM_ExhaustiveCheckParallel(benchmark::State& state) {
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  const auto sg = kgd::build_solution(12, 2);
+  util::ThreadPool pool(threads);
+  verify::CheckOptions opts;
+  opts.pool = &pool;
+  std::uint64_t sets = 0;
+  for (auto _ : state) {
+    const auto res = verify::check_gd_exhaustive(*sg, 2, opts);
+    benchmark::DoNotOptimize(res);
+    sets += res.fault_sets_checked;
+  }
+  state.counters["fault_sets/s"] = benchmark::Counter(
+      static_cast<double>(sets), benchmark::Counter::kIsRate);
+  state.SetLabel("n=12 k=2, threads=" + std::to_string(threads));
+}
+// Wall-clock rate: worker time is off the benchmark thread, so CPU-time
+// rates would be meaningless.
+BENCHMARK(BM_ExhaustiveCheckParallel)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_AsymptoticExhaustive(benchmark::State& state) {
+  // The Figure 14 instance: 66712 fault sets, 26-processor Ham instances.
+  const auto sg = kgd::build_solution(22, 4);
+  for (auto _ : state) {
+    const auto res = verify::check_gd_exhaustive(*sg, 4);
+    benchmark::DoNotOptimize(res);
+    if (!res.holds) state.SkipWithError("GD failed");
+    state.counters["fault_sets"] =
+        static_cast<double>(res.fault_sets_checked);
+  }
+}
+BENCHMARK(BM_AsymptoticExhaustive)->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+void BM_SampledCheck(benchmark::State& state) {
+  const auto sg = kgd::build_solution(40, 4);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    const auto res = verify::check_gd_sampled(*sg, 4, 200, ++seed);
+    benchmark::DoNotOptimize(res);
+  }
+  state.SetLabel("n=40 k=4, 200 samples + adversarial suite");
+}
+BENCHMARK(BM_SampledCheck)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,96 @@
+// Degraded-I/O scenario: combines the merged-terminal model (fault-free
+// I/O devices, §3's second model) with link faults. A deployment where
+// the single camera and single display are trusted but processors and
+// links fail: processors die, links die, and the pipeline keeps using
+// every healthy processor.
+//
+//   $ ./degraded_io [n] [k]
+#include <cstdio>
+#include <cstdlib>
+
+#include "fault/edge_faults.hpp"
+#include "kgd/factory.hpp"
+#include "kgd/merge.hpp"
+#include "util/rng.hpp"
+#include "verify/pipeline_solver.hpp"
+
+using namespace kgdp;
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 10;
+  const int k = argc > 2 ? std::atoi(argv[2]) : 3;
+
+  const auto base = kgd::build_solution(n, k);
+  if (!base) {
+    std::fprintf(stderr, "unsupported (n, k)\n");
+    return 1;
+  }
+  const kgd::SolutionGraph machine = kgd::merge_terminals(*base);
+  std::printf("merged machine: %d processors, single input 'i' (degree "
+              "%d), single output 'o' (degree %d)\n\n",
+              machine.num_processors(),
+              machine.graph().degree(machine.inputs()[0]),
+              machine.graph().degree(machine.outputs()[0]));
+
+  util::Rng rng(7);
+  // Scenario 1: processor failures only (the merged model's contract).
+  {
+    std::vector<int> dead;
+    const auto procs = machine.processors();
+    for (int i = 0; i < k; ++i) {
+      dead.push_back(procs[rng.next_below(procs.size())]);
+    }
+    const kgd::FaultSet fs(machine.num_nodes(), dead);
+    const auto out = verify::find_pipeline(machine, fs);
+    std::printf("scenario 1 — %d processor faults %s: %s\n", fs.size(),
+                fs.to_string().c_str(),
+                out.status == verify::SolveStatus::kFound ? "pipeline OK"
+                                                          : "FAILED");
+    if (out.pipeline) {
+      std::printf("  %s\n\n", out.pipeline->to_string(machine).c_str());
+    }
+  }
+
+  // Scenario 2: a dead link next to the input device. Direct rerouting
+  // avoids the link without sacrificing the neighbor processor.
+  {
+    const auto in_node = machine.inputs()[0];
+    const auto first_neighbor = machine.graph().neighbors(in_node)[0];
+    const fault::EdgeList dead_links = {{std::min(in_node, first_neighbor),
+                                         std::max(in_node, first_neighbor)}};
+    const auto direct = fault::find_pipeline_with_edge_faults(
+        machine, dead_links, kgd::FaultSet::none(machine.num_nodes()));
+    std::printf("scenario 2 — input link (%s-%s) dead:\n",
+                machine.node_names()[in_node].c_str(),
+                machine.node_names()[first_neighbor].c_str());
+    std::printf("  direct reroute: %s (%d processors in service)\n",
+                direct ? "pipeline OK" : "FAILED",
+                direct ? direct->num_processors() : 0);
+    const kgd::FaultSet reduction =
+        fault::cover_edge_faults(machine, dead_links);
+    const auto reduced = verify::find_pipeline(machine, reduction);
+    std::printf("  Hayes reduction (sacrifice %s): %s (%d processors)\n\n",
+                reduction.to_string().c_str(),
+                reduced.status == verify::SolveStatus::kFound ? "pipeline OK"
+                                                              : "FAILED",
+                reduced.pipeline ? reduced.pipeline->num_processors() : 0);
+  }
+
+  // Scenario 3: mixed storm up to the design budget.
+  {
+    const auto procs = machine.processors();
+    std::vector<int> dead = {procs[0]};
+    const auto edges = machine.graph().edges();
+    const fault::EdgeList dead_links = {edges[rng.next_below(edges.size())]};
+    const kgd::FaultSet fs(machine.num_nodes(), dead);
+    const auto out =
+        fault::find_pipeline_with_edge_faults(machine, dead_links, fs);
+    std::printf("scenario 3 — 1 processor + 1 link dead: %s\n",
+                out ? "pipeline OK" : "FAILED");
+    if (out) {
+      std::printf("  %d of %d processors in service\n",
+                  out->num_processors(), machine.num_processors());
+    }
+    return out ? 0 : 1;
+  }
+}

@@ -1,0 +1,71 @@
+// Design-space explorer: sweeps the (n, k) grid the paper covers and
+// prints, for each point, the construction used, node/edge cost, max
+// processor degree vs the provable lower bound, and (for small
+// instances) the exhaustive GD verdict. Optionally dumps a figure's DOT.
+//
+//   $ ./design_explorer [max_n] [max_k]
+//   $ ./design_explorer dot 22 4 > g22_4.dot
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "fault/enumerator.hpp"
+#include "kgd/bounds.hpp"
+#include "kgd/factory.hpp"
+#include "util/table.hpp"
+#include "verify/checker.hpp"
+
+using namespace kgdp;
+
+int main(int argc, char** argv) {
+  if (argc >= 4 && std::strcmp(argv[1], "dot") == 0) {
+    const auto sg = kgd::build_solution(std::atoi(argv[2]),
+                                        std::atoi(argv[3]));
+    if (!sg) {
+      std::fprintf(stderr, "unsupported (n, k)\n");
+      return 1;
+    }
+    std::fputs(sg->to_dot().c_str(), stdout);
+    return 0;
+  }
+
+  const int max_n = argc > 1 ? std::atoi(argv[1]) : 12;
+  const int max_k = argc > 2 ? std::atoi(argv[2]) : 5;
+
+  util::Table table({"n", "k", "construction", "nodes", "edges",
+                     "max deg", "bound", "optimal", "GD check"});
+  for (int k = 1; k <= max_k; ++k) {
+    for (int n = 1; n <= max_n; ++n) {
+      if (!kgd::is_supported(n, k)) {
+        table.add_row({util::Table::num(n), util::Table::num(k),
+                       "(not covered by the paper)", "-", "-", "-", "-",
+                       "-", "-"});
+        continue;
+      }
+      const auto sg = kgd::build_solution(n, k);
+      const int bound = kgd::max_degree_lower_bound(n, k);
+      const int deg = sg->max_processor_degree();
+      // Exhaustive checking is cheap only while the fault-set space is
+      // small; sample beyond that.
+      std::string verdict;
+      const std::uint64_t space =
+          fault::FaultEnumerator(sg->num_nodes(), k).total();
+      if (space <= 300000) {
+        const auto res = verify::check_gd_exhaustive(*sg, k);
+        verdict = res.holds ? "exhaustive: OK" : "exhaustive: FAIL";
+      } else {
+        const auto res = verify::check_gd_sampled(*sg, k, 500, 42);
+        verdict = res.holds ? "sampled: OK" : "sampled: FAIL";
+      }
+      table.add_row({util::Table::num(n), util::Table::num(k),
+                     kgd::construction_method(n, k),
+                     util::Table::num(sg->num_nodes()),
+                     util::Table::num(sg->graph().num_edges()),
+                     util::Table::num(deg), util::Table::num(bound),
+                     deg == bound ? "yes" : "NO", verdict});
+    }
+  }
+  table.print();
+  return 0;
+}

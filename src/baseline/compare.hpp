@@ -1,0 +1,46 @@
+// Comparison harness: static cost metrics and dynamic degradation
+// profiles for the paper's construction vs the baselines.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kgd/labeled_graph.hpp"
+
+namespace kgdp::baseline {
+
+struct DesignMetrics {
+  std::string name;
+  int nodes = 0;
+  std::size_t edges = 0;
+  int max_degree = 0;            // over all nodes
+  int max_processor_degree = 0;  // the paper's optimality metric
+  bool node_optimal = false;
+  bool standard = false;
+};
+
+DesignMetrics metrics_for(const kgd::SolutionGraph& sg);
+
+// For each fault count f = 0..max_faults: draw `samples` random fault
+// sets of exactly f nodes and report the fraction tolerated (a pipeline
+// through ALL healthy processors exists) and the mean processor
+// utilization (healthy processors on the pipeline / healthy processors;
+// 0 when no pipeline exists).
+struct DegradationRow {
+  int faults = 0;
+  double tolerated_fraction = 0.0;
+  double mean_utilization = 0.0;
+};
+
+std::vector<DegradationRow> degradation_profile(const kgd::SolutionGraph& sg,
+                                                int max_faults, int samples,
+                                                std::uint64_t seed);
+
+// Same, but for an unlabeled structure judged by Hayes's own success
+// criterion: after the faults, does an n-node cycle survive? We report
+// its *utilization* ceiling n / healthy instead, since by design it never
+// uses more than n nodes.
+std::vector<DegradationRow> hayes_profile(int n, int k, int samples,
+                                          std::uint64_t seed);
+
+}  // namespace kgdp::baseline

@@ -1,0 +1,38 @@
+#include "baseline/diogenes.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace kgdp::baseline {
+
+using kgd::Role;
+
+kgd::SolutionGraph make_bypass_chain(int n, int k) {
+  assert(n >= 1 && k >= 1);
+  const int P = n + k;
+  kgd::SolutionGraphBuilder b(n, k, "bypass-chain(" + std::to_string(n) +
+                                        "," + std::to_string(k) + ")");
+  std::vector<kgd::Node> p;
+  for (int v = 0; v < P; ++v) p.push_back(b.add(Role::kProcessor));
+  // Chords of every length 1..k+1: a run of up to k faulty processors
+  // can be bypassed in line order.
+  for (int i = 0; i < P; ++i) {
+    for (int len = 1; len <= k + 1 && i + len < P; ++len) {
+      b.connect(p[i], p[i + len]);
+    }
+  }
+  // Terminals: one input on each of the first k+1 processors, one output
+  // on each of the last k+1 (they overlap when P < 2(k+1)).
+  for (int j = 0; j <= k; ++j) {
+    b.connect(b.add(Role::kInput), p[std::min(j, P - 1)]);
+    b.connect(b.add(Role::kOutput), p[std::max(P - 1 - j, 0)]);
+  }
+  return b.build();
+}
+
+int bypass_chain_max_degree(int n, int k) {
+  const kgd::SolutionGraph sg = make_bypass_chain(n, k);
+  return sg.max_processor_degree();
+}
+
+}  // namespace kgdp::baseline

@@ -1,0 +1,26 @@
+// Baseline: a Diogenes-style bypass chain (after Rosenberg's Diogenes
+// approach to fault-tolerant VLSI processor arrays, cited in §2). The
+// Diogenes layout keeps processors on a line and uses bundled bypass
+// wiring so the healthy processors can be stitched together in line
+// order, skipping faulty ones. Graph-theoretically that is a path with
+// chords of every length up to k+1 (any run of <= k consecutive faults
+// can be hopped) and replicated terminals at both ends.
+//
+// The interesting comparison: this design IS gracefully degradable for
+// processor faults by construction — but it pays processor degree up to
+// 2(k+1)+1 where the paper's constructions achieve the optimal k+2, and
+// its wiring grows as Θ(n·k) chords of physical length up to k+1 (the
+// VLSI cost Diogenes hides in its bus bundles).
+#pragma once
+
+#include "kgd/labeled_graph.hpp"
+
+namespace kgdp::baseline {
+
+kgd::SolutionGraph make_bypass_chain(int n, int k);
+
+// The max processor degree the bypass chain pays: interior processors
+// see 2(k+1) chord neighbors plus possibly a terminal.
+int bypass_chain_max_degree(int n, int k);
+
+}  // namespace kgdp::baseline

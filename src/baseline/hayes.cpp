@@ -1,0 +1,43 @@
+#include "baseline/hayes.hpp"
+
+#include <cassert>
+
+#include "graph/circulant.hpp"
+
+namespace kgdp::baseline {
+
+namespace {
+std::vector<int> hayes_offsets(int n, int k) {
+  std::vector<int> offs;
+  for (int s = 1; s <= k / 2 + 1; ++s) offs.push_back(s);
+  const int m = n + k;
+  if (k % 2 == 1 && m % 2 == 0) offs.push_back(m / 2);
+  return offs;
+}
+}  // namespace
+
+graph::Graph make_hayes_cycle(int n, int k) {
+  assert(n >= 3 && k >= 1);
+  return graph::make_circulant(n + k, hayes_offsets(n, k));
+}
+
+int hayes_degree(int n, int k) {
+  return graph::circulant_degree(n + k, hayes_offsets(n, k));
+}
+
+kgd::SolutionGraph make_hayes_pipeline_adaptation(int n, int k) {
+  const graph::Graph core = make_hayes_cycle(n, k);
+  const int P = core.num_nodes();
+  assert(P >= 2 * (k + 1));
+  kgd::SolutionGraphBuilder b(n, k, "hayes-adapted(" + std::to_string(n) +
+                                        "," + std::to_string(k) + ")");
+  for (int v = 0; v < P; ++v) b.add(kgd::Role::kProcessor);
+  for (auto [u, v] : core.edges()) b.connect(u, v);
+  for (int j = 0; j <= k; ++j) {
+    b.connect(b.add(kgd::Role::kInput), j);
+    b.connect(b.add(kgd::Role::kOutput), P - 1 - j);
+  }
+  return b.build();
+}
+
+}  // namespace kgdp::baseline

@@ -1,0 +1,29 @@
+// Baseline: Hayes's k-fault-tolerant cycle architecture (IEEE ToC 1976),
+// the closest prior art the paper compares its processor core against —
+// §3.4 notes the circulant core "is a supergraph of Hayes's construction
+// with the same maximum degree". A Hayes graph guarantees an n-node cycle
+// survives any <= k node faults, but (a) it is unlabeled (no I/O
+// terminals) and (b) it uses only n of the surviving nodes — it degrades
+// to a fixed size instead of gracefully using every healthy processor.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "kgd/labeled_graph.hpp"
+
+namespace kgdp::baseline {
+
+// Hayes's k-FT realisation of the n-cycle: circulant on n+k nodes with
+// offsets {1, ..., ⌊k/2⌋+1}, plus the bisector offset (n+k)/2 when k is
+// odd and n+k is even.
+graph::Graph make_hayes_cycle(int n, int k);
+
+// Degree of every node in make_hayes_cycle(n, k).
+int hayes_degree(int n, int k);
+
+// Adapts the Hayes graph into the labeled pipeline model the fairest way
+// possible: attach k+1 input terminals and k+1 output terminals to 2k+2
+// distinct consecutive nodes. Used as the negative control — it is NOT
+// k-gracefully-degradable and the checker finds counterexamples.
+kgd::SolutionGraph make_hayes_pipeline_adaptation(int n, int k);
+
+}  // namespace kgdp::baseline

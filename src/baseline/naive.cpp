@@ -1,0 +1,42 @@
+#include "baseline/naive.hpp"
+
+#include <cassert>
+
+namespace kgdp::baseline {
+
+using kgd::Role;
+using kgd::SolutionGraphBuilder;
+
+kgd::SolutionGraph make_spare_path(int n, int k) {
+  assert(n >= 1 && k >= 1);
+  const int P = n + k;
+  SolutionGraphBuilder b(n, k, "spare-path(" + std::to_string(n) + "," +
+                                   std::to_string(k) + ")");
+  std::vector<kgd::Node> p;
+  for (int v = 0; v < P; ++v) p.push_back(b.add(Role::kProcessor));
+  for (int v = 0; v + 1 < P; ++v) b.connect(p[v], p[v + 1]);
+  for (int j = 0; j <= k; ++j) {
+    b.connect(b.add(Role::kInput), p[0]);
+    b.connect(b.add(Role::kOutput), p[P - 1]);
+  }
+  return b.build();
+}
+
+kgd::SolutionGraph make_complete_design(int n, int k) {
+  assert(n >= 1 && k >= 1);
+  const int P = n + k;
+  SolutionGraphBuilder b(n, k, "complete(" + std::to_string(n) + "," +
+                                   std::to_string(k) + ")");
+  std::vector<kgd::Node> p;
+  for (int v = 0; v < P; ++v) p.push_back(b.add(Role::kProcessor));
+  for (int i = 0; i < P; ++i) {
+    for (int j = i + 1; j < P; ++j) b.connect(p[i], p[j]);
+  }
+  for (int j = 0; j <= k; ++j) {
+    b.connect(b.add(Role::kInput), p[j % P]);
+    b.connect(b.add(Role::kOutput), p[(P - 1 - j % P + P) % P]);
+  }
+  return b.build();
+}
+
+}  // namespace kgdp::baseline

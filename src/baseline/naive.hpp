@@ -1,0 +1,18 @@
+// Naive baselines bracketing the design space:
+//  * spare path — a bare linear array with k spare processors and
+//    replicated terminals at the ends. Node-optimal, degree-3, and almost
+//    totally fault-intolerant (any interior processor fault kills it).
+//  * complete design — K_{n+k} on the processors with terminals spread
+//    one per processor round-robin. Trivially k-gracefully-degradable but
+//    with Θ((n+k)²) edges and processor degree n+k+1: what you pay when
+//    you ignore degree-optimality.
+#pragma once
+
+#include "kgd/labeled_graph.hpp"
+
+namespace kgdp::baseline {
+
+kgd::SolutionGraph make_spare_path(int n, int k);
+kgd::SolutionGraph make_complete_design(int n, int k);
+
+}  // namespace kgdp::baseline

@@ -1,0 +1,56 @@
+// Link (edge) faults. The paper's related-work section notes that Hayes's
+// graph model accommodates faulty communication links "by viewing an
+// adjacent processor as being faulty" — a reduction that sacrifices a
+// healthy processor per faulty link. This module implements both that
+// reduction and the stronger *direct* semantics (route a pipeline that
+// simply avoids the dead links while still using every healthy
+// processor), so the two can be compared.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "kgd/labeled_graph.hpp"
+#include "kgd/pipeline.hpp"
+
+namespace kgdp::fault {
+
+using EdgeList = std::vector<graph::Edge>;
+
+// Hayes reduction: pick one endpoint per faulty edge (greedy vertex
+// cover, largest-coverage-first, terminals preferred over processors
+// since sacrificing a terminal keeps the processor count intact). The
+// returned node fault set has size <= |edges| and covers every edge.
+kgd::FaultSet cover_edge_faults(const kgd::SolutionGraph& sg,
+                                const EdgeList& edges);
+
+// The solution graph with the given edges deleted (nodes intact).
+kgd::SolutionGraph remove_edges(const kgd::SolutionGraph& sg,
+                                const EdgeList& edges);
+
+// Direct semantics: a pipeline of sg avoiding the faulty edges AND the
+// faulty nodes, through every healthy processor.
+std::optional<kgd::Pipeline> find_pipeline_with_edge_faults(
+    const kgd::SolutionGraph& sg, const EdgeList& bad_edges,
+    const kgd::FaultSet& node_faults);
+
+struct EdgeToleranceReport {
+  std::uint64_t edge_sets_checked = 0;
+  std::uint64_t direct_tolerated = 0;   // pipeline avoiding edges exists
+  std::uint64_t reduced_tolerated = 0;  // Hayes reduction succeeds
+  bool direct_holds() const {
+    return direct_tolerated == edge_sets_checked;
+  }
+  bool reduced_holds() const {
+    return reduced_tolerated == edge_sets_checked;
+  }
+};
+
+// Exhaustively checks every set of up to `max_edge_faults` faulty edges
+// under both semantics. The reduction succeeds whenever the cover has
+// size <= sg.k() and the node-faulted instance still has a pipeline.
+EdgeToleranceReport check_edge_tolerance_exhaustive(
+    const kgd::SolutionGraph& sg, int max_edge_faults);
+
+}  // namespace kgdp::fault

@@ -1,0 +1,36 @@
+#include "fault/enumerator.hpp"
+
+#include <cassert>
+
+#include "util/combinatorics.hpp"
+
+namespace kgdp::fault {
+
+FaultEnumerator::FaultEnumerator(int num_nodes, int max_faults)
+    : num_nodes_(num_nodes), max_faults_(max_faults) {
+  assert(num_nodes >= 0 && max_faults >= 0);
+  size_offset_.resize(max_faults + 2, 0);
+  std::uint64_t acc = 0;
+  for (int sz = 0; sz <= max_faults; ++sz) {
+    size_offset_[sz] = acc;
+    acc += util::binomial(static_cast<unsigned>(num_nodes),
+                          static_cast<unsigned>(sz));
+  }
+  size_offset_[max_faults + 1] = acc;
+  total_ = acc;
+}
+
+std::vector<int> FaultEnumerator::nodes_at(std::uint64_t index) const {
+  assert(index < total_);
+  int sz = 0;
+  while (index >= size_offset_[sz + 1]) ++sz;
+  const std::uint64_t rank = index - size_offset_[sz];
+  return util::unrank_combination(static_cast<unsigned>(num_nodes_),
+                                  static_cast<unsigned>(sz), rank);
+}
+
+kgd::FaultSet FaultEnumerator::at(std::uint64_t index) const {
+  return kgd::FaultSet(num_nodes_, nodes_at(index));
+}
+
+}  // namespace kgdp::fault

@@ -1,0 +1,35 @@
+// Enumeration of fault sets. GD(G,k) quantifies over *every* subset of
+// nodes of size <= k, so the exhaustive checker needs (a) a global index
+// space over all such subsets and (b) unranking so worker threads can
+// claim disjoint chunks without coordination.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kgd/labeled_graph.hpp"
+
+namespace kgdp::fault {
+
+class FaultEnumerator {
+ public:
+  // Fault sets over a universe of `num_nodes` nodes, sizes 0..max_faults.
+  FaultEnumerator(int num_nodes, int max_faults);
+
+  std::uint64_t total() const { return total_; }
+
+  // The `index`-th fault set (0 = empty set, then size 1 lexicographic,
+  // then size 2, ...).
+  kgd::FaultSet at(std::uint64_t index) const;
+
+  // Same but returning the raw node list (cheaper; no bitset build).
+  std::vector<int> nodes_at(std::uint64_t index) const;
+
+ private:
+  int num_nodes_;
+  int max_faults_;
+  std::vector<std::uint64_t> size_offset_;  // cumulative start per size
+  std::uint64_t total_;
+};
+
+}  // namespace kgdp::fault

@@ -1,0 +1,90 @@
+#include "fault/fault_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/combinatorics.hpp"
+
+namespace kgdp::fault {
+
+using kgd::Role;
+using kgd::SolutionGraph;
+
+kgd::FaultSet draw_faults(const SolutionGraph& sg, int count,
+                          FaultPolicy policy, util::Rng& rng) {
+  const int n = sg.num_nodes();
+  assert(count <= n);
+  std::vector<int> pool;
+  switch (policy) {
+    case FaultPolicy::kUniform: {
+      return kgd::FaultSet(n, rng.sample_without_replacement(n, count));
+    }
+    case FaultPolicy::kProcessorsOnly: {
+      for (int v = 0; v < n; ++v) {
+        if (sg.role(v) == Role::kProcessor) pool.push_back(v);
+      }
+      break;
+    }
+    case FaultPolicy::kTerminalsFirst: {
+      for (int v = 0; v < n; ++v) {
+        if (sg.role(v) != Role::kProcessor) pool.push_back(v);
+      }
+      // Pad with processors if the terminal pool is too small.
+      if (static_cast<int>(pool.size()) < count) {
+        for (int v = 0; v < n; ++v) {
+          if (sg.role(v) == Role::kProcessor) pool.push_back(v);
+        }
+      }
+      break;
+    }
+    case FaultPolicy::kHighDegreeFirst: {
+      for (int v = 0; v < n; ++v) {
+        if (sg.role(v) == Role::kProcessor) pool.push_back(v);
+      }
+      std::stable_sort(pool.begin(), pool.end(), [&](int a, int b) {
+        return sg.graph().degree(a) > sg.graph().degree(b);
+      });
+      // Keep only the top 2*count candidates, then sample among them.
+      if (static_cast<int>(pool.size()) > 2 * count) {
+        pool.resize(2 * count);
+      }
+      break;
+    }
+  }
+  assert(static_cast<int>(pool.size()) >= count);
+  const std::vector<int> idx =
+      rng.sample_without_replacement(static_cast<int>(pool.size()), count);
+  std::vector<int> chosen;
+  chosen.reserve(count);
+  for (int i : idx) chosen.push_back(pool[i]);
+  return kgd::FaultSet(n, std::move(chosen));
+}
+
+std::vector<kgd::FaultSet> adversarial_suite(const SolutionGraph& sg,
+                                             int max_faults,
+                                             std::size_t budget) {
+  // Candidate pool: terminals plus the attachment processors (sets I, O):
+  // faults there attack pipeline endpoints, historically the weak spot.
+  std::vector<int> pool;
+  for (int v = 0; v < sg.num_nodes(); ++v) {
+    if (sg.role(v) != Role::kProcessor) pool.push_back(v);
+  }
+  for (int v : sg.input_attached_processors()) pool.push_back(v);
+  for (int v : sg.output_attached_processors()) pool.push_back(v);
+  std::sort(pool.begin(), pool.end());
+  pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+
+  std::vector<kgd::FaultSet> out;
+  util::for_each_subset_up_to(
+      static_cast<unsigned>(pool.size()), static_cast<unsigned>(max_faults),
+      [&](const std::vector<int>& comb) {
+        std::vector<int> nodes;
+        nodes.reserve(comb.size());
+        for (int i : comb) nodes.push_back(pool[i]);
+        out.emplace_back(sg.num_nodes(), std::move(nodes));
+        return out.size() < budget;
+      });
+  return out;
+}
+
+}  // namespace kgdp::fault

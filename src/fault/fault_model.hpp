@@ -1,0 +1,31 @@
+// Random and adversarial fault injection. Used by the sampled checker,
+// the baseline comparison and the machine simulator.
+#pragma once
+
+#include <vector>
+
+#include "kgd/labeled_graph.hpp"
+#include "util/rng.hpp"
+
+namespace kgdp::fault {
+
+enum class FaultPolicy {
+  kUniform,          // any node, uniformly
+  kProcessorsOnly,   // only processor nodes
+  kTerminalsFirst,   // prefer terminal nodes (I/O devices are often the
+                     // least reliable components)
+  kHighDegreeFirst,  // target the highest-degree processors (adversarial)
+};
+
+// Draws a fault set of exactly `count` distinct nodes under `policy`.
+kgd::FaultSet draw_faults(const kgd::SolutionGraph& sg, int count,
+                          FaultPolicy policy, util::Rng& rng);
+
+// Every fault set the adversary considers most damaging: all subsets of
+// the I ∪ O attachment processors and terminals, capped at `budget` sets.
+// These are the sets that most often break weak designs.
+std::vector<kgd::FaultSet> adversarial_suite(const kgd::SolutionGraph& sg,
+                                             int max_faults,
+                                             std::size_t budget = 4096);
+
+}  // namespace kgdp::fault

@@ -1,0 +1,49 @@
+#include "graph/circulant.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <set>
+
+namespace kgdp::graph {
+
+namespace {
+// Normalise offsets to chord classes in [1, m/2].
+std::set<int> chord_classes(int m, const std::vector<int>& offsets) {
+  std::set<int> classes;
+  for (int s : offsets) {
+    int r = ((s % m) + m) % m;
+    if (r == 0) continue;
+    classes.insert(std::min(r, m - r));
+  }
+  return classes;
+}
+}  // namespace
+
+Graph make_circulant(int m, const std::vector<int>& offsets) {
+  assert(m >= 1);
+  Graph g(m);
+  for (int s : chord_classes(m, offsets)) {
+    for (int i = 0; i < m; ++i) {
+      const int j = (i + s) % m;
+      if (!g.has_edge(i, j) && i != j) g.add_edge(i, j);
+    }
+  }
+  return g;
+}
+
+int circulant_degree(int m, const std::vector<int>& offsets) {
+  int d = 0;
+  for (int s : chord_classes(m, offsets)) {
+    d += (2 * s == m) ? 1 : 2;
+  }
+  return d;
+}
+
+bool circulant_connected(int m, const std::vector<int>& offsets) {
+  int g = m;
+  for (int s : chord_classes(m, offsets)) g = std::gcd(g, s);
+  return g == 1;
+}
+
+}  // namespace kgdp::graph

@@ -1,0 +1,25 @@
+// Circulant graphs (Elspas & Turner 1970): node i is adjacent to node j
+// iff j ≡ i ± s (mod m) for some offset s in S. The §3.4 asymptotic
+// construction's processor core C = S ∪ R is a circulant with offsets
+// {1, …, ⌊k/2⌋+1} plus a bisector offset ⌊m/2⌋ when k is odd.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace kgdp::graph {
+
+// Builds the circulant graph with `m` nodes and the given offsets.
+// Offsets are taken modulo m; offset 0 and duplicates (s and m-s denote
+// the same chord class) are collapsed. m >= 1.
+Graph make_circulant(int m, const std::vector<int>& offsets);
+
+// Degree every node of circulant(m, offsets) has: 2 per chord class,
+// except a class with s == m/2 (the bisector) which contributes 1.
+int circulant_degree(int m, const std::vector<int>& offsets);
+
+// True iff circulant(m, offsets) is connected, i.e. gcd(m, offsets) == 1.
+bool circulant_connected(int m, const std::vector<int>& offsets);
+
+}  // namespace kgdp::graph

@@ -1,0 +1,26 @@
+#include "graph/dot.hpp"
+
+#include <sstream>
+
+namespace kgdp::graph {
+
+std::string to_dot(const Graph& g, const std::string& graph_name,
+                   const std::vector<std::string>* names,
+                   const std::vector<std::string>* colors) {
+  std::ostringstream os;
+  os << "graph " << graph_name << " {\n";
+  os << "  node [shape=circle fontsize=10];\n";
+  for (Node v = 0; v < g.num_nodes(); ++v) {
+    os << "  n" << v << " [label=\""
+       << (names ? (*names)[v] : std::to_string(v)) << "\"";
+    if (colors) os << " style=filled fillcolor=\"" << (*colors)[v] << "\"";
+    os << "];\n";
+  }
+  for (auto [u, v] : g.edges()) {
+    os << "  n" << u << " -- n" << v << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace kgdp::graph

@@ -1,0 +1,17 @@
+// Graphviz DOT export for plain and role-coloured graphs so each paper
+// figure can be regenerated visually (`dot -Tpng`).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace kgdp::graph {
+
+// Plain export; node names default to ids, or supply `names`.
+std::string to_dot(const Graph& g, const std::string& graph_name = "G",
+                   const std::vector<std::string>* names = nullptr,
+                   const std::vector<std::string>* colors = nullptr);
+
+}  // namespace kgdp::graph

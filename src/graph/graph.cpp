@@ -1,0 +1,128 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace kgdp::graph {
+
+Node Graph::add_node() {
+  adj_.emplace_back();
+  return static_cast<Node>(adj_.size()) - 1;
+}
+
+void Graph::add_nodes(int count) {
+  assert(count >= 0);
+  adj_.resize(adj_.size() + static_cast<std::size_t>(count));
+}
+
+bool Graph::can_add_edge(Node u, Node v) const {
+  return u != v && u >= 0 && v >= 0 && u < num_nodes() && v < num_nodes() &&
+         !has_edge(u, v);
+}
+
+void Graph::add_edge(Node u, Node v) {
+  assert(can_add_edge(u, v));
+  if (!can_add_edge(u, v)) return;
+  auto insert_sorted = [](std::vector<Node>& list, Node x) {
+    list.insert(std::upper_bound(list.begin(), list.end(), x), x);
+  };
+  insert_sorted(adj_[u], v);
+  insert_sorted(adj_[v], u);
+  ++num_edges_;
+}
+
+void Graph::remove_edge(Node u, Node v) {
+  assert(has_edge(u, v));
+  auto erase_sorted = [](std::vector<Node>& list, Node x) {
+    auto it = std::lower_bound(list.begin(), list.end(), x);
+    if (it != list.end() && *it == x) list.erase(it);
+  };
+  erase_sorted(adj_[u], v);
+  erase_sorted(adj_[v], u);
+  --num_edges_;
+}
+
+bool Graph::has_edge(Node u, Node v) const {
+  if (u < 0 || v < 0 || u >= num_nodes() || v >= num_nodes()) return false;
+  const auto& list = adj_[u];
+  return std::binary_search(list.begin(), list.end(), v);
+}
+
+int Graph::max_degree() const {
+  int d = 0;
+  for (const auto& list : adj_) d = std::max(d, static_cast<int>(list.size()));
+  return d;
+}
+
+int Graph::min_degree() const {
+  if (adj_.empty()) return 0;
+  int d = static_cast<int>(adj_[0].size());
+  for (const auto& list : adj_) d = std::min(d, static_cast<int>(list.size()));
+  return d;
+}
+
+std::vector<int> Graph::degree_sequence() const {
+  std::vector<int> seq;
+  seq.reserve(adj_.size());
+  for (const auto& list : adj_) seq.push_back(static_cast<int>(list.size()));
+  std::sort(seq.rbegin(), seq.rend());
+  return seq;
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(num_edges_);
+  for (Node u = 0; u < num_nodes(); ++u) {
+    for (Node v : adj_[u]) {
+      if (u < v) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+Graph Graph::induced_subgraph(const util::DynamicBitset& keep,
+                              std::vector<Node>* mapping) const {
+  assert(static_cast<int>(keep.size()) == num_nodes());
+  std::vector<Node> map(num_nodes(), -1);
+  int next = 0;
+  for (Node v = 0; v < num_nodes(); ++v) {
+    if (keep.test(v)) map[v] = next++;
+  }
+  Graph sub(next);
+  for (Node u = 0; u < num_nodes(); ++u) {
+    if (map[u] < 0) continue;
+    for (Node v : adj_[u]) {
+      if (u < v && map[v] >= 0) sub.add_edge(map[u], map[v]);
+    }
+  }
+  if (mapping) *mapping = std::move(map);
+  return sub;
+}
+
+Graph from_edges(int num_nodes, const std::vector<Edge>& edges) {
+  Graph g(num_nodes);
+  for (auto [u, v] : edges) g.add_edge(u, v);
+  return g;
+}
+
+Graph make_path(int q) {
+  Graph g(q);
+  for (int i = 0; i + 1 < q; ++i) g.add_edge(i, i + 1);
+  return g;
+}
+
+Graph make_cycle(int q) {
+  Graph g = make_path(q);
+  if (q >= 3) g.add_edge(q - 1, 0);
+  return g;
+}
+
+Graph make_complete(int q) {
+  Graph g(q);
+  for (int i = 0; i < q; ++i) {
+    for (int j = i + 1; j < q; ++j) g.add_edge(i, j);
+  }
+  return g;
+}
+
+}  // namespace kgdp::graph

@@ -1,0 +1,71 @@
+// Undirected simple graph with contiguous integer node ids and sorted
+// adjacency lists. This is the substrate every construction and solver in
+// the library is built on. Node removal is expressed as induced subgraphs
+// (the solution graphs themselves are immutable once built).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/bitset.hpp"
+
+namespace kgdp::graph {
+
+using Node = int;
+using Edge = std::pair<Node, Node>;
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(int num_nodes) : adj_(num_nodes) {}
+
+  int num_nodes() const { return static_cast<int>(adj_.size()); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  // Appends an isolated node, returning its id.
+  Node add_node();
+  void add_nodes(int count);
+
+  // Inserts edge {u, v}. Self-loops and duplicates are rejected with
+  // an assertion in debug builds and ignored in release builds (the
+  // constructions never generate them; the synthesizer checks first).
+  void add_edge(Node u, Node v);
+
+  // True iff the edge can be added (distinct endpoints, not present).
+  bool can_add_edge(Node u, Node v) const;
+  void remove_edge(Node u, Node v);
+
+  bool has_edge(Node u, Node v) const;
+  int degree(Node u) const { return static_cast<int>(adj_[u].size()); }
+  std::span<const Node> neighbors(Node u) const { return adj_[u]; }
+
+  int max_degree() const;
+  int min_degree() const;
+  std::vector<int> degree_sequence() const;  // sorted descending
+
+  std::vector<Edge> edges() const;  // each edge once, u < v
+
+  // Induced subgraph on the nodes where keep[v] is true. If `mapping` is
+  // non-null it receives old-id -> new-id (-1 for dropped nodes).
+  Graph induced_subgraph(const util::DynamicBitset& keep,
+                         std::vector<Node>* mapping = nullptr) const;
+
+  bool operator==(const Graph& o) const { return adj_ == o.adj_; }
+
+ private:
+  std::vector<std::vector<Node>> adj_;  // sorted ascending
+  std::size_t num_edges_ = 0;
+};
+
+// Builds a graph from an explicit edge list over `num_nodes` nodes.
+Graph from_edges(int num_nodes, const std::vector<Edge>& edges);
+
+// Path graph a0-a1-...-a_{q-1} over q nodes; Cycle likewise.
+Graph make_path(int q);
+Graph make_cycle(int q);
+Graph make_complete(int q);
+
+}  // namespace kgdp::graph

@@ -1,0 +1,79 @@
+// Exact Hamiltonian-path solving with endpoint-set constraints.
+//
+// A pipeline in G \ F is exactly a Hamiltonian path of the healthy
+// processor subgraph whose first node lies in A (processors adjacent to a
+// healthy input terminal) and whose last node lies in B (output side), so
+// this solver is the verification workhorse of the library.
+//
+// Strategy: depth-first search with strong pruning — remaining-graph
+// connectivity, forced-terminal detection, isolated-node rejection and a
+// fewest-options-first successor order. With no node budget the search is
+// exhaustive and therefore exact. With a budget it may give up
+// (Result::kUnknown); callers fall back to the O(2^n · n) Held–Karp
+// dynamic program, which is exact for n <= kDpMaxNodes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/bitset.hpp"
+
+namespace kgdp::graph {
+
+struct HamiltonianOptions {
+  // Maximum DFS expansions before giving up; 0 means run to completion
+  // (exact). The exhaustive checker uses a budget plus the DP fallback.
+  std::uint64_t dfs_budget = 0;
+  // Largest node count for which the DP fallback may be used.
+  int dp_max_nodes = 22;
+};
+
+enum class HamResult { kFound, kNone, kUnknown };
+
+struct HamPath {
+  HamResult status = HamResult::kUnknown;
+  std::vector<Node> path;  // nonempty iff status == kFound
+};
+
+// Finds a Hamiltonian path of `g` with first node in `starts` and last
+// node in `ends`. A single-node graph needs its node in both sets.
+// `starts`/`ends` must have size g.num_nodes().
+HamPath hamiltonian_path(const Graph& g, const util::DynamicBitset& starts,
+                         const util::DynamicBitset& ends,
+                         const HamiltonianOptions& opts = {});
+
+// Reusable solver: keeps scratch buffers across calls so that the
+// exhaustive fault sweep does not allocate per fault set.
+class HamiltonianSolver {
+ public:
+  explicit HamiltonianSolver(HamiltonianOptions opts = {}) : opts_(opts) {}
+
+  HamPath solve(const Graph& g, const util::DynamicBitset& starts,
+                const util::DynamicBitset& ends);
+
+  // Total DFS expansions across all calls (for the scaling bench).
+  std::uint64_t expansions() const { return expansions_total_; }
+
+ private:
+  void set_tie_break(int n, std::uint64_t seed);
+  HamResult dfs_small(int v, std::uint64_t rem, std::uint64_t ends,
+                      std::uint64_t budget_left);
+  HamPath solve_small(const Graph& g, std::uint64_t starts,
+                      std::uint64_t ends);
+  HamPath solve_dp(const Graph& g, std::uint64_t starts, std::uint64_t ends);
+  HamPath solve_large(const Graph& g, const util::DynamicBitset& starts,
+                      const util::DynamicBitset& ends);
+
+  HamiltonianOptions opts_;
+  // Small-graph (n <= 64) state.
+  std::vector<std::uint64_t> adj64_;
+  std::vector<std::uint32_t> prio_;  // per-pass tie-break perturbation
+  std::vector<Node> stack_;
+  std::uint64_t expansions_ = 0;
+  std::uint64_t expansions_total_ = 0;
+  bool budget_hit_ = false;
+};
+
+}  // namespace kgdp::graph

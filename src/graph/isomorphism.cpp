@@ -1,0 +1,87 @@
+#include "graph/isomorphism.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace kgdp::graph {
+
+namespace {
+
+// Backtracking matcher in VF2 spirit: extend a partial mapping node by
+// node, maintaining adjacency consistency with already-mapped nodes.
+class Matcher {
+ public:
+  Matcher(const Graph& a, const Graph& b, const std::vector<int>* ca,
+          const std::vector<int>* cb)
+      : a_(a), b_(b), ca_(ca), cb_(cb), map_a_(a.num_nodes(), -1),
+        map_b_(b.num_nodes(), -1) {
+    // Match high-degree nodes first: fail fast.
+    order_.resize(a.num_nodes());
+    for (int i = 0; i < a.num_nodes(); ++i) order_[i] = i;
+    std::sort(order_.begin(), order_.end(), [&](Node x, Node y) {
+      return a.degree(x) > a.degree(y);
+    });
+  }
+
+  std::optional<std::vector<Node>> run() {
+    if (extend(0)) return map_a_;
+    return std::nullopt;
+  }
+
+ private:
+  bool feasible(Node u, Node v) const {
+    if (a_.degree(u) != b_.degree(v)) return false;
+    if (ca_ && (*ca_)[u] != (*cb_)[v]) return false;
+    // Edges to already-mapped nodes must correspond both ways.
+    for (Node w : a_.neighbors(u)) {
+      if (map_a_[w] >= 0 && !b_.has_edge(v, map_a_[w])) return false;
+    }
+    for (Node x : b_.neighbors(v)) {
+      if (map_b_[x] >= 0 && !a_.has_edge(u, map_b_[x])) return false;
+    }
+    return true;
+  }
+
+  bool extend(std::size_t depth) {
+    if (depth == order_.size()) return true;
+    const Node u = order_[depth];
+    for (Node v = 0; v < b_.num_nodes(); ++v) {
+      if (map_b_[v] >= 0 || !feasible(u, v)) continue;
+      map_a_[u] = v;
+      map_b_[v] = u;
+      if (extend(depth + 1)) return true;
+      map_a_[u] = -1;
+      map_b_[v] = -1;
+    }
+    return false;
+  }
+
+  const Graph& a_;
+  const Graph& b_;
+  const std::vector<int>* ca_;
+  const std::vector<int>* cb_;
+  std::vector<Node> map_a_;
+  std::vector<Node> map_b_;
+  std::vector<Node> order_;
+};
+
+}  // namespace
+
+std::optional<std::vector<Node>> find_isomorphism(
+    const Graph& a, const Graph& b, const std::vector<int>* color_a,
+    const std::vector<int>* color_b) {
+  if (a.num_nodes() != b.num_nodes() || a.num_edges() != b.num_edges()) {
+    return std::nullopt;
+  }
+  if (a.degree_sequence() != b.degree_sequence()) return std::nullopt;
+  assert((color_a == nullptr) == (color_b == nullptr));
+  return Matcher(a, b, color_a, color_b).run();
+}
+
+bool are_isomorphic(const Graph& a, const Graph& b,
+                    const std::vector<int>* color_a,
+                    const std::vector<int>* color_b) {
+  return find_isomorphism(a, b, color_a, color_b).has_value();
+}
+
+}  // namespace kgdp::graph

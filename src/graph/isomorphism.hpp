@@ -1,0 +1,26 @@
+// Graph isomorphism for small graphs (<= ~16 nodes), with optional node
+// colouring so that labeled solution graphs are compared role-for-role.
+// Used by the uniqueness tests for Lemmas 3.7 / 3.9 and by the special
+// solution synthesizer's deduplication.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace kgdp::graph {
+
+// Returns a mapping m (m[u_in_a] = v_in_b) witnessing an isomorphism, or
+// nullopt. When `color_a`/`color_b` are provided (size = node count),
+// mapped nodes must have equal colours.
+std::optional<std::vector<Node>> find_isomorphism(
+    const Graph& a, const Graph& b,
+    const std::vector<int>* color_a = nullptr,
+    const std::vector<int>* color_b = nullptr);
+
+bool are_isomorphic(const Graph& a, const Graph& b,
+                    const std::vector<int>* color_a = nullptr,
+                    const std::vector<int>* color_b = nullptr);
+
+}  // namespace kgdp::graph

@@ -1,0 +1,118 @@
+#include "graph/properties.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/bitset.hpp"
+
+namespace kgdp::graph {
+
+bool is_connected(const Graph& g) {
+  return g.num_nodes() <= 1 || connected_components(g) == 1;
+}
+
+int connected_components(const Graph& g, std::vector<int>* comp_out) {
+  const int n = g.num_nodes();
+  std::vector<int> comp(n, -1);
+  int count = 0;
+  std::vector<Node> stack;
+  for (Node s = 0; s < n; ++s) {
+    if (comp[s] >= 0) continue;
+    comp[s] = count;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const Node v = stack.back();
+      stack.pop_back();
+      for (Node w : g.neighbors(v)) {
+        if (comp[w] < 0) {
+          comp[w] = count;
+          stack.push_back(w);
+        }
+      }
+    }
+    ++count;
+  }
+  if (comp_out) *comp_out = std::move(comp);
+  return count;
+}
+
+std::vector<Node> articulation_points(const Graph& g) {
+  const int n = g.num_nodes();
+  std::vector<int> disc(n, -1), low(n, 0);
+  std::vector<bool> is_cut(n, false);
+  int timer = 0;
+
+  // Iterative Tarjan to avoid deep recursion on long paths.
+  struct Frame {
+    Node v;
+    Node parent;
+    std::size_t next_idx;
+    int children;
+  };
+  std::vector<Frame> stack;
+  for (Node root = 0; root < n; ++root) {
+    if (disc[root] >= 0) continue;
+    disc[root] = low[root] = timer++;
+    stack.push_back({root, -1, 0, 0});
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const auto nb = g.neighbors(f.v);
+      if (f.next_idx < nb.size()) {
+        const Node w = nb[f.next_idx++];
+        if (w == f.parent) continue;
+        if (disc[w] >= 0) {
+          low[f.v] = std::min(low[f.v], disc[w]);
+        } else {
+          disc[w] = low[w] = timer++;
+          ++f.children;
+          stack.push_back({w, f.v, 0, 0});
+        }
+      } else {
+        const Frame done = f;
+        stack.pop_back();
+        if (!stack.empty()) {
+          Frame& p = stack.back();
+          low[p.v] = std::min(low[p.v], low[done.v]);
+          if (p.parent != -1 && low[done.v] >= disc[p.v]) is_cut[p.v] = true;
+        }
+        if (done.parent == -1 && done.children >= 2) is_cut[done.v] = true;
+      }
+    }
+  }
+
+  std::vector<Node> cuts;
+  for (Node v = 0; v < n; ++v) {
+    if (is_cut[v]) cuts.push_back(v);
+  }
+  return cuts;
+}
+
+bool is_simple_path(const Graph& g, const std::vector<Node>& path) {
+  if (path.empty()) return false;
+  util::DynamicBitset seen(g.num_nodes());
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    const Node v = path[i];
+    if (v < 0 || v >= g.num_nodes() || seen.test(v)) return false;
+    seen.set(v);
+    if (i > 0 && !g.has_edge(path[i - 1], v)) return false;
+  }
+  return true;
+}
+
+bool is_hamiltonian_path(const Graph& g, const std::vector<Node>& path) {
+  return static_cast<int>(path.size()) == g.num_nodes() &&
+         is_simple_path(g, path);
+}
+
+bool is_simple(const Graph& g) {
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    const auto nb = g.neighbors(u);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      if (nb[i] == u) return false;
+      if (i > 0 && nb[i] == nb[i - 1]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace kgdp::graph

@@ -1,0 +1,30 @@
+// Structural graph predicates used by the lower-bound checks, the
+// synthesizer's pruning and the test suite.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace kgdp::graph {
+
+bool is_connected(const Graph& g);
+
+// Connected components; comp[v] in [0, count).
+int connected_components(const Graph& g, std::vector<int>* comp = nullptr);
+
+// Articulation points (cut vertices) via Tarjan lowlink.
+std::vector<Node> articulation_points(const Graph& g);
+
+// True iff `path` is a simple path of g visiting each of its nodes once
+// and every consecutive pair is an edge.
+bool is_simple_path(const Graph& g, const std::vector<Node>& path);
+
+// True iff `path` is a Hamiltonian path of g.
+bool is_hamiltonian_path(const Graph& g, const std::vector<Node>& path);
+
+// True iff the graph has no self-loops or duplicate edges (by
+// construction Graph maintains this; the check exists for imported data).
+bool is_simple(const Graph& g);
+
+}  // namespace kgdp::graph

@@ -1,0 +1,36 @@
+#include "io/csv.hpp"
+
+#include <stdexcept>
+
+namespace kgdp::io {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), arity_(header.size()) {
+  if (!out_) throw std::runtime_error("cannot open CSV file: " + path);
+  row(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (cells.size() != arity_) {
+    throw std::runtime_error("CSV row arity mismatch");
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << esc(cells[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::esc(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string q = "\"";
+  for (char c : s) {
+    if (c == '"') q += '"';
+    q += c;
+  }
+  q += '"';
+  return q;
+}
+
+}  // namespace kgdp::io

@@ -1,0 +1,26 @@
+// Minimal CSV writer for benchmark output (one file per experiment so
+// plots can be regenerated outside the harness).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace kgdp::io {
+
+class CsvWriter {
+ public:
+  // Opens `path` for writing and emits the header row. Throws
+  // std::runtime_error if the file cannot be created.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void row(const std::vector<std::string>& cells);
+
+  static std::string esc(const std::string& s);
+
+ private:
+  std::ofstream out_;
+  std::size_t arity_;
+};
+
+}  // namespace kgdp::io

@@ -1,0 +1,142 @@
+#include "io/graph_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace kgdp::io {
+
+using kgd::Role;
+
+namespace {
+
+char role_char(Role r) {
+  switch (r) {
+    case Role::kInput: return 'i';
+    case Role::kOutput: return 'o';
+    case Role::kProcessor: return 'p';
+  }
+  return '?';
+}
+
+Role char_role(char c) {
+  switch (c) {
+    case 'i': return Role::kInput;
+    case 'o': return Role::kOutput;
+    case 'p': return Role::kProcessor;
+    default:
+      throw std::runtime_error(std::string("bad role character: ") + c);
+  }
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("kgdp-graph parse error: " + what);
+}
+
+std::string expect_keyword(std::istream& in, const std::string& keyword) {
+  std::string word;
+  if (!(in >> word) || word != keyword) {
+    fail("expected '" + keyword + "', got '" + word + "'");
+  }
+  return word;
+}
+
+}  // namespace
+
+void save_solution(std::ostream& out, const kgd::SolutionGraph& sg) {
+  out << "kgdp-graph 1\n";
+  // Names may contain spaces; escape them out of existence by using the
+  // rest-of-line as the name.
+  out << "name " << sg.name() << '\n';
+  out << "params " << sg.n() << ' ' << sg.k() << '\n';
+  out << "nodes " << sg.num_nodes() << '\n';
+  out << "roles ";
+  for (int v = 0; v < sg.num_nodes(); ++v) out << role_char(sg.role(v));
+  out << '\n';
+  const auto edges = sg.graph().edges();
+  out << "edges " << edges.size() << '\n';
+  for (auto [u, v] : edges) out << u << ' ' << v << '\n';
+}
+
+std::string save_solution_string(const kgd::SolutionGraph& sg) {
+  std::ostringstream os;
+  save_solution(os, sg);
+  return os.str();
+}
+
+kgd::SolutionGraph load_solution(std::istream& in) {
+  std::string word;
+  int version = 0;
+  expect_keyword(in, "kgdp-graph");
+  if (!(in >> version) || version != 1) fail("unsupported version");
+
+  expect_keyword(in, "name");
+  std::string name;
+  std::getline(in >> std::ws, name);
+
+  expect_keyword(in, "params");
+  int n = 0, k = 0;
+  if (!(in >> n >> k) || n < 1 || k < 1) fail("bad params");
+
+  expect_keyword(in, "nodes");
+  int num_nodes = 0;
+  if (!(in >> num_nodes) || num_nodes < 1) fail("bad node count");
+
+  expect_keyword(in, "roles");
+  std::string roles_str;
+  if (!(in >> roles_str) ||
+      static_cast<int>(roles_str.size()) != num_nodes) {
+    fail("role string length mismatch");
+  }
+  std::vector<Role> roles;
+  roles.reserve(num_nodes);
+  for (char c : roles_str) roles.push_back(char_role(c));
+
+  expect_keyword(in, "edges");
+  std::size_t num_edges = 0;
+  if (!(in >> num_edges)) fail("bad edge count");
+
+  graph::Graph g(num_nodes);
+  for (std::size_t e = 0; e < num_edges; ++e) {
+    int u = 0, v = 0;
+    if (!(in >> u >> v)) fail("truncated edge list");
+    if (u < 0 || v < 0 || u >= num_nodes || v >= num_nodes) {
+      fail("edge endpoint out of range");
+    }
+    if (u == v) fail("self-loop");
+    if (g.has_edge(u, v)) fail("duplicate edge");
+    g.add_edge(u, v);
+  }
+  return kgd::SolutionGraph(std::move(g), std::move(roles), n, k, name);
+}
+
+kgd::SolutionGraph load_solution_string(const std::string& text) {
+  std::istringstream is(text);
+  return load_solution(is);
+}
+
+Json solution_to_json(const kgd::SolutionGraph& sg) {
+  JsonObject root;
+  root["format"] = "kgdp-graph";
+  root["name"] = sg.name();
+  root["n"] = sg.n();
+  root["k"] = sg.k();
+  JsonArray nodes;
+  for (int v = 0; v < sg.num_nodes(); ++v) {
+    JsonObject node;
+    node["id"] = v;
+    node["role"] = kgd::role_name(sg.role(v));
+    node["label"] = sg.node_names()[v];
+    nodes.push_back(std::move(node));
+  }
+  root["node_list"] = std::move(nodes);
+  JsonArray edges;
+  for (auto [u, v] : sg.graph().edges()) {
+    edges.push_back(JsonArray{Json(u), Json(v)});
+  }
+  root["edge_list"] = std::move(edges);
+  return Json(std::move(root));
+}
+
+}  // namespace kgdp::io

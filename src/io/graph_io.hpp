@@ -1,0 +1,36 @@
+// Plain-text serialization of solution graphs (a DIMACS-flavoured format)
+// so designs can be saved, exchanged, and re-verified out of process:
+//
+//   kgdp-graph 1
+//   name <string>
+//   params <n> <k>
+//   nodes <N>
+//   roles <N chars: i|o|p>
+//   edges <M>
+//   <u> <v>        (M lines, 0-based ids)
+//
+// plus JSON export (write-only) for external tooling.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "io/json.hpp"
+#include "kgd/labeled_graph.hpp"
+
+namespace kgdp::io {
+
+void save_solution(std::ostream& out, const kgd::SolutionGraph& sg);
+std::string save_solution_string(const kgd::SolutionGraph& sg);
+
+// Throws std::runtime_error with a line-oriented message on malformed
+// input (bad magic, inconsistent counts, out-of-range ids, self-loops,
+// duplicate edges).
+kgd::SolutionGraph load_solution(std::istream& in);
+kgd::SolutionGraph load_solution_string(const std::string& text);
+
+// JSON view of a solution graph (nodes with roles/names, edge list,
+// parameters) for consumption outside this library.
+Json solution_to_json(const kgd::SolutionGraph& sg);
+
+}  // namespace kgdp::io

@@ -1,0 +1,90 @@
+#include "io/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace kgdp::io {
+
+namespace {
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+}  // namespace
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  struct Visitor {
+    std::string& out;
+    int indent;
+    int depth;
+    void operator()(std::nullptr_t) const { out += "null"; }
+    void operator()(bool b) const { out += b ? "true" : "false"; }
+    void operator()(std::int64_t i) const { out += std::to_string(i); }
+    void operator()(double d) const {
+      if (std::isfinite(d)) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.12g", d);
+        out += buf;
+      } else {
+        out += "null";
+      }
+    }
+    void operator()(const std::string& s) const { append_escaped(out, s); }
+    void operator()(const JsonArray& a) const {
+      out += '[';
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (i) out += ',';
+        newline_indent(out, indent, depth + 1);
+        a[i].dump_to(out, indent, depth + 1);
+      }
+      if (!a.empty()) newline_indent(out, indent, depth);
+      out += ']';
+    }
+    void operator()(const JsonObject& o) const {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, value] : o) {
+        if (!first) out += ',';
+        first = false;
+        newline_indent(out, indent, depth + 1);
+        append_escaped(out, key);
+        out += indent > 0 ? ": " : ":";
+        value.dump_to(out, indent, depth + 1);
+      }
+      if (!o.empty()) newline_indent(out, indent, depth);
+      out += '}';
+    }
+  };
+  std::visit(Visitor{out, indent, depth}, v_);
+}
+
+}  // namespace kgdp::io

@@ -1,0 +1,82 @@
+#include "kgd/bounds.hpp"
+
+#include <cassert>
+#include <string>
+
+namespace kgdp::kgd {
+
+int max_degree_lower_bound(int n, int k) {
+  assert(n >= 1 && k >= 1);
+  // Corollary 3.2 baseline.
+  int bound = k + 2;
+  // Lemma 3.5: n even and k odd forces k+3 for standard graphs.
+  if (n % 2 == 0 && k % 2 == 1) bound = k + 3;
+  // G(2,k) carries a node with two terminals: k+3 (Lemma 3.9/Cor 3.10).
+  if (n == 2) bound = k + 3;
+  // Lemma 3.11: n = 3, k > 1.
+  if (n == 3 && k > 1) bound = k + 3;
+  // Lemma 3.14: n = 5, k = 2.
+  if (n == 5 && k == 2) bound = k + 3;
+  return bound;
+}
+
+int achieved_max_degree(int n, int k) {
+  assert(n >= 1 && k >= 1);
+  if (n == 1) return k + 2;                    // Lemma 3.7
+  if (n == 2) return k + 3;                    // Lemma 3.9
+  if (n == 3) return k == 1 ? k + 2 : k + 3;   // §3.2 construction
+  switch (k) {
+    case 1:  // Theorem 3.13
+      return n % 2 == 1 ? k + 2 : k + 3;
+    case 2:  // Theorem 3.15
+      return (n == 5) ? k + 3 : k + 2;
+    case 3:  // Theorem 3.16
+      return n % 2 == 1 ? k + 2 : k + 3;
+    default:  // §3.4, n sufficiently large
+      return (n % 2 == 0 && k % 2 == 1) ? k + 3 : k + 2;
+  }
+}
+
+int processor_neighbor_count(const SolutionGraph& sg, Node v) {
+  int c = 0;
+  for (Node w : sg.graph().neighbors(v)) {
+    if (sg.role(w) == Role::kProcessor) ++c;
+  }
+  return c;
+}
+
+std::vector<std::string> audit_bounds(const SolutionGraph& sg) {
+  std::vector<std::string> issues;
+  const int n = sg.n();
+  const int k = sg.k();
+
+  if (!sg.is_node_optimal()) {
+    issues.push_back("not node-optimal: expected " + std::to_string(k + 1) +
+                     "/" + std::to_string(k + 1) + "/" +
+                     std::to_string(n + k) + " inputs/outputs/processors");
+  }
+  if (!sg.all_terminals_degree_one()) {
+    issues.push_back("a terminal node has degree != 1");
+  }
+  if (sg.min_processor_degree() < min_processor_degree_bound(k)) {
+    issues.push_back("processor degree below k+2 (violates Lemma 3.1)");
+  }
+  for (Node v = 0; v < sg.num_nodes(); ++v) {
+    if (sg.role(v) != Role::kProcessor) continue;
+    if (processor_neighbor_count(sg, v) <
+        min_processor_neighbors_bound(n, k)) {
+      issues.push_back("processor " + std::to_string(v) +
+                       " has fewer than k+1 processor neighbors "
+                       "(violates Lemma 3.4)");
+    }
+  }
+  if (sg.max_processor_degree() > achieved_max_degree(n, k)) {
+    issues.push_back("max processor degree " +
+                     std::to_string(sg.max_processor_degree()) +
+                     " exceeds the theorem target " +
+                     std::to_string(achieved_max_degree(n, k)));
+  }
+  return issues;
+}
+
+}  // namespace kgdp::kgd

@@ -1,0 +1,35 @@
+// The paper's lower bounds (§3.1) as executable predicates, plus the
+// degree-optimality target the theorems establish for each (n, k).
+#pragma once
+
+#include "kgd/labeled_graph.hpp"
+
+namespace kgdp::kgd {
+
+// Lemma 3.1 / Corollary 3.2: every processor node of a k-GD graph has
+// degree >= k+2.
+constexpr int min_processor_degree_bound(int k) { return k + 2; }
+
+// Lemma 3.4: for n > 1, every processor has >= k+1 processor neighbors.
+constexpr int min_processor_neighbors_bound(int n, int k) {
+  return n > 1 ? k + 1 : 0;
+}
+
+// Lemma 3.5 (parity), Lemma 3.11 (n = 3, k > 1), Lemma 3.14 (n = 5,
+// k = 2), plus Corollary 3.2: the provable lower bound on the maximum
+// processor degree of a *standard* solution graph.
+int max_degree_lower_bound(int n, int k);
+
+// The max processor degree the paper's constructions achieve (Theorems
+// 3.13, 3.15, 3.16 for k <= 3; §3.4 for k >= 4 and n large). Matches
+// max_degree_lower_bound everywhere a construction exists, i.e. the
+// constructions are degree-optimal.
+int achieved_max_degree(int n, int k);
+
+// Number of processor-neighbors of processor v.
+int processor_neighbor_count(const SolutionGraph& sg, Node v);
+
+// Audit a graph against every applicable bound; empty return = clean.
+std::vector<std::string> audit_bounds(const SolutionGraph& sg);
+
+}  // namespace kgdp::kgd

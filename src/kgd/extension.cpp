@@ -1,0 +1,51 @@
+#include "kgd/extension.hpp"
+
+#include <cassert>
+#include <string>
+
+namespace kgdp::kgd {
+
+SolutionGraph extend_once(const SolutionGraph& sg) {
+  assert(sg.is_standard());
+  const int k = sg.k();
+  const int new_n = sg.n() + k + 1;
+
+  Graph g = sg.graph();
+  std::vector<Role> roles = sg.roles();
+  std::vector<std::string> names = sg.node_names();
+
+  // Old input terminals become processors and form a clique.
+  const std::vector<Node> old_inputs = sg.inputs();
+  assert(static_cast<int>(old_inputs.size()) == k + 1);
+  for (Node t : old_inputs) {
+    roles[t] = Role::kProcessor;
+    names[t] = "p<" + names[t] + ">";
+  }
+  for (std::size_t i = 0; i < old_inputs.size(); ++i) {
+    for (std::size_t j = i + 1; j < old_inputs.size(); ++j) {
+      g.add_edge(old_inputs[i], old_inputs[j]);
+    }
+  }
+
+  // Fresh input terminals, one per relabeled node (the bijection phi).
+  for (std::size_t j = 0; j < old_inputs.size(); ++j) {
+    const Node t = g.add_node();
+    roles.push_back(Role::kInput);
+    names.push_back("i'" + std::to_string(j));
+    g.add_edge(t, old_inputs[j]);
+  }
+
+  SolutionGraph out(std::move(g), std::move(roles), new_n, k,
+                    "ext(" + sg.name() + ")");
+  out.set_node_names(std::move(names));
+  return out;
+}
+
+SolutionGraph extend(const SolutionGraph& sg, int times) {
+  assert(times >= 0);
+  SolutionGraph cur = sg;
+  for (int i = 0; i < times; ++i) cur = extend_once(cur);
+  return cur;
+}
+
+}  // namespace kgdp::kgd

@@ -1,0 +1,20 @@
+// Lemma 3.6's extension: from a standard k-gracefully-degradable graph G
+// for n processors, build G' for n + k + 1 processors with the same
+// maximum degree. The old input terminals are relabeled as processors and
+// joined into a clique; k+1 fresh input terminals attach one-to-one to
+// them. Iterating the lemma turns each finite base graph into an infinite
+// arithmetic family (step k+1), which is how the k ∈ {1,2,3} theorems
+// cover every n.
+#pragma once
+
+#include "kgd/labeled_graph.hpp"
+
+namespace kgdp::kgd {
+
+// One application of Lemma 3.6. Requires sg.is_standard().
+SolutionGraph extend_once(const SolutionGraph& sg);
+
+// `times` applications.
+SolutionGraph extend(const SolutionGraph& sg, int times);
+
+}  // namespace kgdp::kgd

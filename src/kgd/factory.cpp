@@ -1,0 +1,39 @@
+#include "kgd/factory.hpp"
+
+#include "kgd/asymptotic.hpp"
+#include "kgd/small_k.hpp"
+#include "kgd/small_n.hpp"
+
+namespace kgdp::kgd {
+
+bool is_supported(int n, int k) {
+  if (n < 1 || k < 1) return false;
+  if (n <= 3) return true;
+  if (k <= 3) return true;
+  return n >= asymptotic_min_n(k);
+}
+
+std::string construction_method(int n, int k) {
+  if (n < 1 || k < 1) return "unsupported";
+  if (n == 1) return "G(1,k) clique (Lemma 3.7)";
+  if (n == 2) return "G(2,k) clique (Lemma 3.9)";
+  if (n == 3) return "G(3,k) clique-minus-matching (§3.2)";
+  if (k <= 3) {
+    const FamilyRecipe r = family_recipe(n, k);
+    return "family k=" + std::to_string(k) + ": " + r.base + " + " +
+           std::to_string(r.extensions) + " extension(s)";
+  }
+  if (n >= asymptotic_min_n(k)) return "asymptotic circulant (§3.4)";
+  return "unsupported";
+}
+
+std::optional<SolutionGraph> build_solution(int n, int k) {
+  if (!is_supported(n, k)) return std::nullopt;
+  if (n == 1) return make_g1k(k);
+  if (n == 2) return make_g2k(k);
+  if (n == 3) return make_g3k(k);
+  if (k <= 3) return make_small_k_family(n, k);
+  return make_asymptotic_gnk(n, k);
+}
+
+}  // namespace kgdp::kgd

@@ -1,0 +1,27 @@
+// Unified entry point: build the paper's k-gracefully-degradable solution
+// graph for any covered (n, k). Coverage mirrors the paper exactly:
+//   n ∈ {1,2,3}, any k >= 1     (§3.2)
+//   k ∈ {1,2,3}, any n >= 1     (§3.3)
+//   k >= 4, n >= 2k+5           (§3.4; GD certified for n large enough,
+//                                see EXPERIMENTS.md for the frontier)
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "kgd/labeled_graph.hpp"
+
+namespace kgdp::kgd {
+
+// True iff the library has a construction for (n, k).
+bool is_supported(int n, int k);
+
+// Which construction `build_solution` would use ("small-n", "family-k1",
+// "asymptotic", ...), or "unsupported".
+std::string construction_method(int n, int k);
+
+// Builds the solution graph, or nullopt if (n, k) is not covered by any
+// construction in the paper.
+std::optional<SolutionGraph> build_solution(int n, int k);
+
+}  // namespace kgdp::kgd

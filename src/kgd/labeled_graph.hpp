@@ -1,0 +1,130 @@
+// Node-labeled solution graphs (§3 of the paper). Nodes carry one of
+// three roles — input terminal, output terminal, processor — because a
+// parallel machine's I/O devices are physically different from its
+// processors and only certain nodes connect to them. A *solution graph*
+// for parameters (n, k) aims to contain a pipeline of >= n processors
+// after any <= k node faults.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/bitset.hpp"
+
+namespace kgdp::kgd {
+
+using graph::Graph;
+using graph::Node;
+
+enum class Role : std::uint8_t { kInput, kOutput, kProcessor };
+
+const char* role_name(Role r);
+
+// A set of faulty nodes, stored both as a bitset (fast membership) and a
+// sorted list (iteration / reporting).
+class FaultSet {
+ public:
+  FaultSet() = default;
+  FaultSet(int num_nodes, std::vector<Node> faulty);
+
+  static FaultSet none(int num_nodes) { return FaultSet(num_nodes, {}); }
+
+  bool contains(Node v) const { return mask_.test(v); }
+  int size() const { return static_cast<int>(list_.size()); }
+  const std::vector<Node>& nodes() const { return list_; }
+  const util::DynamicBitset& mask() const { return mask_; }
+  int universe() const { return static_cast<int>(mask_.size()); }
+
+  std::string to_string() const;
+
+ private:
+  util::DynamicBitset mask_;
+  std::vector<Node> list_;
+};
+
+class SolutionGraph {
+ public:
+  SolutionGraph() = default;
+  SolutionGraph(Graph g, std::vector<Role> roles, int n, int k,
+                std::string name = {});
+
+  const Graph& graph() const { return g_; }
+  int num_nodes() const { return g_.num_nodes(); }
+  Role role(Node v) const { return roles_[v]; }
+  const std::vector<Role>& roles() const { return roles_; }
+  const std::string& name() const { return name_; }
+
+  // Design parameters: minimum pipeline length n, fault budget k.
+  int n() const { return n_; }
+  int k() const { return k_; }
+
+  std::vector<Node> inputs() const { return nodes_with(Role::kInput); }
+  std::vector<Node> outputs() const { return nodes_with(Role::kOutput); }
+  std::vector<Node> processors() const {
+    return nodes_with(Role::kProcessor);
+  }
+  int num_inputs() const { return count_role(Role::kInput); }
+  int num_outputs() const { return count_role(Role::kOutput); }
+  int num_processors() const { return count_role(Role::kProcessor); }
+
+  // I (resp. O): processors adjacent to at least one input (output)
+  // terminal — the paper's I and O sets for standard graphs.
+  std::vector<Node> input_attached_processors() const;
+  std::vector<Node> output_attached_processors() const;
+
+  // Max/min degree over processor nodes only (the optimality metric).
+  int max_processor_degree() const;
+  int min_processor_degree() const;
+
+  // Paper definitions:
+  //   node-optimal: exactly k+1 inputs, k+1 outputs, n+k processors.
+  //   standard:     node-optimal and every terminal has degree 1.
+  bool is_node_optimal() const;
+  bool all_terminals_degree_one() const;
+  bool is_standard() const;
+
+  // Human-readable node names ("i3", "o1", "p7", or construction-specific
+  // labels); generated on construction.
+  const std::vector<std::string>& node_names() const { return names_; }
+  void set_node_names(std::vector<std::string> names);
+
+  // DOT export with role-based colouring.
+  std::string to_dot() const;
+
+ private:
+  std::vector<Node> nodes_with(Role r) const;
+  int count_role(Role r) const;
+
+  Graph g_;
+  std::vector<Role> roles_;
+  std::vector<std::string> names_;
+  std::string name_;
+  int n_ = 0;
+  int k_ = 0;
+};
+
+// Incremental builder used by every construction.
+class SolutionGraphBuilder {
+ public:
+  SolutionGraphBuilder(int n, int k, std::string name)
+      : n_(n), k_(k), name_(std::move(name)) {}
+
+  Node add(Role r, std::string node_name = {});
+  void connect(Node u, Node v) { g_.add_edge(u, v); }
+  bool has_edge(Node u, Node v) const { return g_.has_edge(u, v); }
+  int num_nodes() const { return g_.num_nodes(); }
+
+  SolutionGraph build();
+
+ private:
+  Graph g_;
+  std::vector<Role> roles_;
+  std::vector<std::string> names_;
+  int n_;
+  int k_;
+  std::string name_;
+};
+
+}  // namespace kgdp::kgd

@@ -1,0 +1,18 @@
+// The merged-terminal model (§3): when the input and output devices are
+// guaranteed fault-free, merge all input terminals into a single node i
+// and all output terminals into o. Each terminal then has degree k+1 —
+// the minimum possible, since with fewer neighbors a fault set could
+// isolate it.
+#pragma once
+
+#include "kgd/labeled_graph.hpp"
+
+namespace kgdp::kgd {
+
+// Merge Ti into one input node and To into one output node. Requires a
+// standard graph. The result keeps parameters (n, k); a pipeline in the
+// merged model is a path from the unique input to the unique output
+// through all healthy processors, with faults restricted to processors.
+SolutionGraph merge_terminals(const SolutionGraph& sg);
+
+}  // namespace kgdp::kgd

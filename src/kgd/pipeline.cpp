@@ -1,0 +1,79 @@
+#include "kgd/pipeline.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/properties.hpp"
+
+namespace kgdp::kgd {
+
+std::string Pipeline::to_string(const SolutionGraph& sg) const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i) os << " - ";
+    os << sg.node_names()[path[i]];
+  }
+  return os.str();
+}
+
+PipelineCheck check_pipeline(const SolutionGraph& sg, const FaultSet& faults,
+                             const std::vector<Node>& path) {
+  auto fail = [](std::string msg) { return PipelineCheck{false, std::move(msg)}; };
+
+  if (path.size() < 2) return fail("pipeline needs >= 2 nodes (both terminals)");
+  for (Node v : path) {
+    if (v < 0 || v >= sg.num_nodes()) return fail("node id out of range");
+    if (faults.contains(v)) {
+      return fail("pipeline visits faulty node " + std::to_string(v));
+    }
+  }
+
+  // Distinctness and edge validity.
+  util::DynamicBitset seen(sg.num_nodes());
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (seen.test(path[i])) return fail("repeated node on pipeline");
+    seen.set(path[i]);
+    if (i > 0 && !sg.graph().has_edge(path[i - 1], path[i])) {
+      return fail("non-edge between consecutive pipeline nodes");
+    }
+  }
+
+  // Endpoint roles: one input terminal, one output terminal (either order).
+  const Role r0 = sg.role(path.front());
+  const Role rq = sg.role(path.back());
+  const bool fwd = r0 == Role::kInput && rq == Role::kOutput;
+  const bool bwd = r0 == Role::kOutput && rq == Role::kInput;
+  if (!fwd && !bwd) return fail("endpoints must be one input and one output terminal");
+
+  // Interior nodes are processors...
+  for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+    if (sg.role(path[i]) != Role::kProcessor) {
+      return fail("interior pipeline node is a terminal");
+    }
+  }
+
+  // ...and cover *every* healthy processor (graceful degradation).
+  int healthy_processors = 0;
+  for (Node v = 0; v < sg.num_nodes(); ++v) {
+    if (sg.role(v) == Role::kProcessor && !faults.contains(v)) {
+      ++healthy_processors;
+      if (!seen.test(v)) {
+        return fail("healthy processor " + std::to_string(v) +
+                    " missing from pipeline");
+      }
+    }
+  }
+  if (static_cast<int>(path.size()) - 2 != healthy_processors) {
+    return fail("pipeline interior size mismatch");
+  }
+  return {true, {}};
+}
+
+Pipeline normalize_pipeline(const SolutionGraph& sg, std::vector<Node> path) {
+  if (!path.empty() && sg.role(path.front()) == Role::kOutput) {
+    std::reverse(path.begin(), path.end());
+  }
+  return Pipeline{std::move(path)};
+}
+
+}  // namespace kgdp::kgd

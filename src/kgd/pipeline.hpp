@@ -1,0 +1,42 @@
+// The pipeline object (paper Definition, §3): a path a0..aq in G \ F with
+// a0 an input terminal, aq an output terminal (or vice versa) and
+// {a1..a_{q-1}} equal to the set of *all* healthy processors. This header
+// owns the validity predicate every solver result is certified against.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kgd/labeled_graph.hpp"
+
+namespace kgdp::kgd {
+
+struct Pipeline {
+  // Stored input-terminal-first (the validator accepts either direction
+  // and normalises).
+  std::vector<Node> path;
+
+  int num_processors() const {
+    return path.size() >= 2 ? static_cast<int>(path.size()) - 2 : 0;
+  }
+  Node input_terminal() const { return path.front(); }
+  Node output_terminal() const { return path.back(); }
+  std::string to_string(const SolutionGraph& sg) const;
+};
+
+// Detailed validation verdict (used by tests to explain failures).
+struct PipelineCheck {
+  bool ok = false;
+  std::string error;  // empty when ok
+};
+
+// Checks that `path` is a pipeline of sg \ faults per the paper's
+// definition. Accepts the path in either direction.
+PipelineCheck check_pipeline(const SolutionGraph& sg, const FaultSet& faults,
+                             const std::vector<Node>& path);
+
+// Normalises a valid pipeline path to input-terminal-first order.
+Pipeline normalize_pipeline(const SolutionGraph& sg, std::vector<Node> path);
+
+}  // namespace kgdp::kgd

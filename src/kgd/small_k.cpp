@@ -1,0 +1,95 @@
+#include "kgd/small_k.hpp"
+
+#include <cassert>
+
+#include "kgd/extension.hpp"
+#include "kgd/small_n.hpp"
+#include "kgd/special.hpp"
+
+namespace kgdp::kgd {
+
+SolutionGraph make_family_k1(int n) {
+  assert(n >= 1);
+  // Theorem 3.13: odd n extends G(1,1) (degree k+2), even n extends
+  // G(2,1) (degree k+3); step k+1 = 2.
+  if (n % 2 == 1) return extend(make_g1k(1), (n - 1) / 2);
+  return extend(make_g2k(1), (n - 2) / 2);
+}
+
+SolutionGraph make_family_k2(int n) {
+  assert(n >= 1);
+  // Theorem 3.15; step k+1 = 3. Bases: G(1,2), G(2,2), G(3,2) and the
+  // special solutions G(6,2), G(8,2). Residue classes mod 3:
+  //   n ≡ 0: 3 -> G(3,2); 6, 9, 12, ...  -> extensions of special G(6,2)
+  //   n ≡ 1: 1, 4, 7, 10, ...            -> extensions of G(1,2)
+  //   n ≡ 2: 2, 5 -> extensions of G(2,2); 8, 11, ... -> special G(8,2)
+  switch (n % 3) {
+    case 0:
+      if (n == 3) return make_g3k(2);
+      return extend(make_special_g62(), (n - 6) / 3);
+    case 1:
+      return extend(make_g1k(2), (n - 1) / 3);
+    default:  // n % 3 == 2
+      if (n <= 5) return extend(make_g2k(2), (n - 2) / 3);
+      return extend(make_special_g82(), (n - 8) / 3);
+  }
+}
+
+SolutionGraph make_family_k3(int n) {
+  assert(n >= 1);
+  // Theorem 3.16; step k+1 = 4.
+  //   odd n:  n ≡ 1 (mod 4) -> extensions of G(1,3)  (deg k+2)
+  //           n = 3        -> G(3,3)                 (deg k+3)
+  //           n ≡ 3 (mod 4), n >= 7 -> extensions of special G(7,3)
+  //   even n: n ≡ 2 (mod 4) -> extensions of G(2,3)  (deg k+3)
+  //           n ≡ 0 (mod 4) -> extensions of special G(4,3) (deg k+3)
+  if (n % 2 == 1) {
+    if (n % 4 == 1) return extend(make_g1k(3), (n - 1) / 4);
+    if (n == 3) return make_g3k(3);
+    return extend(make_special_g73(), (n - 7) / 4);
+  }
+  if (n % 4 == 2) return extend(make_g2k(3), (n - 2) / 4);
+  return extend(make_special_g43(), (n - 4) / 4);
+}
+
+SolutionGraph make_small_k_family(int n, int k) {
+  assert(k >= 1 && k <= 3);
+  switch (k) {
+    case 1: return make_family_k1(n);
+    case 2: return make_family_k2(n);
+    default: return make_family_k3(n);
+  }
+}
+
+FamilyRecipe family_recipe(int n, int k) {
+  assert(k >= 1 && k <= 3 && n >= 1);
+  auto recipe = [](std::string base, int ext) {
+    return FamilyRecipe{std::move(base), ext};
+  };
+  switch (k) {
+    case 1:
+      return n % 2 == 1 ? recipe("G(1,1)", (n - 1) / 2)
+                        : recipe("G(2,1)", (n - 2) / 2);
+    case 2:
+      switch (n % 3) {
+        case 0:
+          return n == 3 ? recipe("G(3,2)", 0)
+                        : recipe("special G(6,2)", (n - 6) / 3);
+        case 1:
+          return recipe("G(1,2)", (n - 1) / 3);
+        default:
+          return n <= 5 ? recipe("G(2,2)", (n - 2) / 3)
+                        : recipe("special G(8,2)", (n - 8) / 3);
+      }
+    default:
+      if (n % 2 == 1) {
+        if (n % 4 == 1) return recipe("G(1,3)", (n - 1) / 4);
+        if (n == 3) return recipe("G(3,3)", 0);
+        return recipe("special G(7,3)", (n - 7) / 4);
+      }
+      return n % 4 == 2 ? recipe("G(2,3)", (n - 2) / 4)
+                        : recipe("special G(4,3)", (n - 4) / 4);
+  }
+}
+
+}  // namespace kgdp::kgd

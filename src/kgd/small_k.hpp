@@ -1,0 +1,29 @@
+// Complete degree-optimal families for k ∈ {1, 2, 3} and every n >= 1
+// (Theorems 3.13, 3.15, 3.16): each n is reached from a finite base —
+// G(1,k), G(2,k), G(3,k) or one of the §3.3 special solutions — by
+// iterating the Lemma 3.6 extension (which adds k+1 processors per step
+// and preserves the maximum degree).
+#pragma once
+
+#include "kgd/labeled_graph.hpp"
+
+namespace kgdp::kgd {
+
+// Builds the theorem's solution graph for the given n. Requires
+// k ∈ {1,2,3}, n >= 1.
+SolutionGraph make_family_k1(int n);
+SolutionGraph make_family_k2(int n);
+SolutionGraph make_family_k3(int n);
+
+// Dispatch; requires k ∈ {1,2,3}.
+SolutionGraph make_small_k_family(int n, int k);
+
+// The base graph + extension count the theorem uses for (n, k); useful
+// for reporting and tests.
+struct FamilyRecipe {
+  std::string base;  // e.g. "G(2,3)", "special G(7,3)"
+  int extensions = 0;
+};
+FamilyRecipe family_recipe(int n, int k);
+
+}  // namespace kgdp::kgd

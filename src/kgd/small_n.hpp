@@ -1,0 +1,24 @@
+// Constructions for small pipeline lengths and arbitrary fault budget k
+// (paper §3.2):
+//   G(1,k)  — Lemma 3.7: clique on k+1 processors, each with one input
+//             and one output terminal; the unique standard solution.
+//   G(2,k)  — Lemma 3.9: clique on k+2 processors; two distinguished
+//             processors a, b carry only an input (resp. only an output)
+//             terminal; every other processor carries one of each. The
+//             unique standard solution; max degree k+3 (optimal,
+//             Corollary 3.10).
+//   G(3,k)  — general construction with k+3 processors forming a clique
+//             minus the perfect/near-perfect matching {p_{2q}, p_{2q+1}},
+//             and the terminal index pattern of Figures 2–3. Max degree
+//             k+3 for k >= 2 (optimal, Lemma 3.11) and k+2 for k = 1.
+#pragma once
+
+#include "kgd/labeled_graph.hpp"
+
+namespace kgdp::kgd {
+
+SolutionGraph make_g1k(int k);
+SolutionGraph make_g2k(int k);
+SolutionGraph make_g3k(int k);
+
+}  // namespace kgdp::kgd

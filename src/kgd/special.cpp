@@ -1,0 +1,141 @@
+#include "kgd/special.hpp"
+
+#include <cassert>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "kgd/bounds.hpp"
+#include "verify/synthesis.hpp"
+
+namespace kgdp::kgd {
+
+namespace {
+
+struct SpecialData {
+  int n;
+  int k;
+  // Processor subgraph on n+k nodes.
+  std::vector<std::pair<int, int>> proc_edges;
+  // Per-processor terminal attachment counts.
+  std::vector<int> att_in;
+  std::vector<int> att_out;
+};
+
+// Edge lists found by tools/synthesize_special (deterministic seeds) and
+// certified by the exhaustive GD checker. Empty proc_edges means "not yet
+// embedded" and triggers on-demand synthesis.
+const SpecialData* embedded_data(int n, int k);
+
+SolutionGraph build_from_data(const SpecialData& d, const char* name) {
+  SolutionGraphBuilder b(d.n, d.k, name);
+  const int P = d.n + d.k;
+  for (int v = 0; v < P; ++v) b.add(Role::kProcessor);
+  for (auto [u, v] : d.proc_edges) b.connect(u, v);
+  for (int v = 0; v < P; ++v) {
+    for (int j = 0; j < d.att_in[v]; ++j) b.connect(b.add(Role::kInput), v);
+    for (int j = 0; j < d.att_out[v]; ++j) {
+      b.connect(b.add(Role::kOutput), v);
+    }
+  }
+  return b.build();
+}
+
+SolutionGraph synthesize_special(int n, int k, const char* name) {
+  verify::SynthSpec spec{n, k, achieved_max_degree(n, k)};
+  // Deterministic seed per (n, k) so the fallback is reproducible.
+  const std::uint64_t seed =
+      0x5eedULL * 1000003ULL + static_cast<std::uint64_t>(n) * 101 + k;
+  auto found = verify::synthesize_stochastic(spec, seed,
+                                             /*max_restarts=*/256,
+                                             /*iters_per_restart=*/30000);
+  assert(found && "special-solution synthesis failed; paper guarantees "
+                  "existence (Theorems 3.15/3.16)");
+  if (!found) std::abort();
+  SolutionGraph sg = std::move(*found);
+  return SolutionGraph(sg.graph(), sg.roles(), n, k, name);
+}
+
+SolutionGraph make_cached(int n, int k, const char* name) {
+  if (const SpecialData* d = embedded_data(n, k)) {
+    return build_from_data(*d, name);
+  }
+  // Synthesis fallback, cached per (n, k) because it is expensive.
+  static std::mutex mu;
+  static std::vector<std::pair<std::pair<int, int>, SolutionGraph>> cache;
+  std::lock_guard lk(mu);
+  for (const auto& [key, sg] : cache) {
+    if (key == std::make_pair(n, k)) return sg;
+  }
+  SolutionGraph sg = synthesize_special(n, k, name);
+  cache.emplace_back(std::make_pair(n, k), sg);
+  return sg;
+}
+
+}  // namespace
+
+SolutionGraph make_special_g62() { return make_cached(6, 2, "G(6,2)"); }
+SolutionGraph make_special_g82() { return make_cached(8, 2, "G(8,2)"); }
+SolutionGraph make_special_g73() { return make_cached(7, 3, "G(7,3)"); }
+SolutionGraph make_special_g43() { return make_cached(4, 3, "G(4,3)"); }
+
+bool is_special_pair(int n, int k) {
+  return (k == 2 && (n == 6 || n == 8)) || (k == 3 && (n == 7 || n == 4));
+}
+
+SolutionGraph make_special(int n, int k) {
+  assert(is_special_pair(n, k));
+  if (k == 2 && n == 6) return make_special_g62();
+  if (k == 2 && n == 8) return make_special_g82();
+  if (k == 3 && n == 7) return make_special_g73();
+  return make_special_g43();
+}
+
+namespace {
+
+// ---- embedded edge lists (filled in by tools/synthesize_special) ----
+
+const SpecialData* embedded_data(int n, int k) {
+  // Discovered by tools/synthesize_special (stochastic edge-swap search
+  // under the Lemma 3.1/3.4 degree constraints) and certified by the
+  // exhaustive GD checker over every fault set of size <= k; the test
+  // suite re-runs that certification.
+  static const std::vector<SpecialData> kTable = {
+      // G(6,2), Figure 10: 8 processors, uniform total degree 4 (= k+2).
+      {6, 2,
+       {{0, 1}, {0, 4}, {0, 5}, {1, 3}, {1, 7}, {2, 5}, {2, 6}, {2, 7},
+        {3, 5}, {3, 6}, {4, 6}, {4, 7}, {6, 7}},
+       {1, 1, 1, 0, 0, 0, 0, 0},
+       {0, 0, 0, 1, 1, 1, 0, 0}},
+      // G(8,2), Figure 11: 10 processors, uniform total degree 4.
+      {8, 2,
+       {{0, 1}, {0, 6}, {0, 8}, {1, 4}, {1, 6}, {2, 3}, {2, 7}, {2, 8},
+        {3, 4}, {3, 9}, {4, 7}, {5, 7}, {5, 8}, {5, 9}, {6, 8}, {6, 9},
+        {7, 9}},
+       {1, 1, 1, 0, 0, 0, 0, 0, 0, 0},
+       {0, 0, 0, 1, 1, 1, 0, 0, 0, 0}},
+      // G(7,3), Figure 12: 10 processors, uniform total degree 5 (= k+2).
+      {7, 3,
+       {{0, 2}, {0, 3}, {0, 8}, {0, 9}, {1, 4}, {1, 6}, {1, 8}, {1, 9},
+        {2, 4}, {2, 5}, {2, 8}, {3, 4}, {3, 7}, {3, 9}, {4, 7}, {5, 6},
+        {5, 7}, {5, 8}, {6, 8}, {6, 9}, {7, 9}},
+       {1, 1, 1, 1, 0, 0, 0, 0, 0, 0},
+       {0, 0, 0, 0, 1, 1, 1, 1, 0, 0}},
+      // G(4,3), Figure 13: 7 processors, max total degree 6 (= k+3,
+      // forced by Lemma 3.5 since n is even and k odd).
+      {4, 3,
+       {{0, 1}, {0, 2}, {0, 3}, {0, 6}, {1, 2}, {1, 4}, {1, 5}, {1, 6},
+        {2, 3}, {2, 4}, {2, 5}, {3, 4}, {3, 5}, {3, 6}, {4, 5}, {4, 6},
+        {5, 6}},
+       {1, 1, 1, 1, 0, 0, 0},
+       {1, 0, 0, 0, 1, 1, 1}},
+  };
+  for (const SpecialData& d : kTable) {
+    if (d.n == n && d.k == k && !d.proc_edges.empty()) return &d;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+}  // namespace kgdp::kgd

@@ -1,0 +1,313 @@
+#include "reconfig/route.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "verify/pipeline_solver.hpp"
+
+namespace kgdp::reconfig {
+
+using graph::Node;
+using kgd::Role;
+
+namespace {
+
+// Certify-or-reject wrapper shared by all routers.
+std::optional<Pipeline> certified(const SolutionGraph& sg,
+                                  const FaultSet& faults,
+                                  std::vector<Node> path) {
+  const kgd::PipelineCheck chk = kgd::check_pipeline(sg, faults, path);
+  if (!chk.ok) return std::nullopt;
+  return kgd::normalize_pipeline(sg, std::move(path));
+}
+
+// The unique terminal of `kind` adjacent to processor v, healthy only;
+// -1 if none.
+Node healthy_terminal(const SolutionGraph& sg, const FaultSet& faults,
+                      Node v, Role kind) {
+  for (Node w : sg.graph().neighbors(v)) {
+    if (sg.role(w) == kind && !faults.contains(w)) return w;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::optional<Pipeline> route_g1k(const SolutionGraph& sg,
+                                  const FaultSet& faults) {
+  const int k = sg.k();
+  if (faults.size() > k) return std::nullopt;
+
+  // The k+1 parts {p_j, i_j, o_j}; at least one is fully healthy.
+  Node a = -1;
+  for (Node p : sg.processors()) {
+    if (faults.contains(p)) continue;
+    if (healthy_terminal(sg, faults, p, Role::kInput) >= 0 &&
+        healthy_terminal(sg, faults, p, Role::kOutput) >= 0) {
+      a = p;
+      break;
+    }
+  }
+  if (a < 0) return std::nullopt;
+
+  // Case 1: another healthy processor b with a healthy terminal c.
+  for (Node b : sg.processors()) {
+    if (b == a || faults.contains(b)) continue;
+    const Node cin = healthy_terminal(sg, faults, b, Role::kInput);
+    const Node cout = healthy_terminal(sg, faults, b, Role::kOutput);
+    if (cin < 0 && cout < 0) continue;
+
+    // Path: c, b, all remaining healthy processors (clique: any order)
+    // ending at a, then a's terminal of the other kind.
+    std::vector<Node> middle;
+    for (Node p : sg.processors()) {
+      if (p != a && p != b && !faults.contains(p)) middle.push_back(p);
+    }
+    std::vector<Node> path;
+    if (cin >= 0) {
+      path.push_back(cin);
+      path.push_back(b);
+      path.insert(path.end(), middle.begin(), middle.end());
+      path.push_back(a);
+      path.push_back(healthy_terminal(sg, faults, a, Role::kOutput));
+    } else {
+      path.push_back(healthy_terminal(sg, faults, a, Role::kInput));
+      path.push_back(a);
+      path.insert(path.end(), middle.begin(), middle.end());
+      path.push_back(b);
+      path.push_back(cout);
+    }
+    return certified(sg, faults, std::move(path));
+  }
+
+  // Case 2: every other processor is dead (or terminal-less); the
+  // healthy part alone is the pipeline. This is only valid if a truly is
+  // the sole healthy processor — certification rejects otherwise.
+  return certified(sg, faults,
+                   {healthy_terminal(sg, faults, a, Role::kInput), a,
+                    healthy_terminal(sg, faults, a, Role::kOutput)});
+}
+
+std::optional<Pipeline> route_g2k(const SolutionGraph& sg,
+                                  const FaultSet& faults) {
+  const int k = sg.k();
+  if (faults.size() > k) return std::nullopt;
+
+  // Healthy parts: processor healthy and every attached terminal healthy.
+  // Pick c with a healthy input terminal and d != c with a healthy output
+  // terminal (the proof guarantees two fully-healthy parts exist, and the
+  // only single-kind parts are a's and b's, which carry opposite kinds).
+  Node c = -1, d = -1;
+  auto part_healthy = [&](Node p) {
+    if (faults.contains(p)) return false;
+    for (Node w : sg.graph().neighbors(p)) {
+      if (sg.role(w) != Role::kProcessor && faults.contains(w)) return false;
+    }
+    return true;
+  };
+  std::vector<Node> healthy_parts;
+  for (Node p : sg.processors()) {
+    if (part_healthy(p)) healthy_parts.push_back(p);
+  }
+  for (Node p : healthy_parts) {
+    if (c < 0 && healthy_terminal(sg, faults, p, Role::kInput) >= 0) {
+      c = p;
+      continue;
+    }
+    if (d < 0 && healthy_terminal(sg, faults, p, Role::kOutput) >= 0) {
+      d = p;
+    }
+  }
+  // The greedy above can mis-assign when c grabbed the only part with an
+  // output; retry with roles swapped.
+  if (d < 0) {
+    c = d = -1;
+    for (Node p : healthy_parts) {
+      if (d < 0 && healthy_terminal(sg, faults, p, Role::kOutput) >= 0) {
+        d = p;
+        continue;
+      }
+      if (c < 0 && healthy_terminal(sg, faults, p, Role::kInput) >= 0) {
+        c = p;
+      }
+    }
+  }
+  if (c < 0 || d < 0) return std::nullopt;
+
+  // Spanning path of ALL healthy processors (clique): c, middle, d.
+  std::vector<Node> path;
+  path.push_back(healthy_terminal(sg, faults, c, Role::kInput));
+  path.push_back(c);
+  for (Node p : sg.processors()) {
+    if (p != c && p != d && !faults.contains(p)) path.push_back(p);
+  }
+  path.push_back(d);
+  path.push_back(healthy_terminal(sg, faults, d, Role::kOutput));
+  return certified(sg, faults, std::move(path));
+}
+
+namespace {
+
+// One peeled extension layer: the layer's input terminals T (the last
+// k+1 node ids) and the relabeled clique I (their processor neighbors).
+struct Layer {
+  std::vector<Node> terminals;        // T, |T| = k+1
+  std::vector<Node> attach;           // I, attach[j] adjacent to terminals[j]
+};
+
+// Detects whether `sg` has a peelable Lemma 3.6 layer.
+std::optional<Layer> peel_layer(const SolutionGraph& sg) {
+  const int k = sg.k();
+  const int n_nodes = sg.num_nodes();
+  if (sg.n() <= k + 1) return std::nullopt;  // nothing left to peel
+  Layer layer;
+  for (Node t = n_nodes - (k + 1); t < n_nodes; ++t) {
+    if (sg.role(t) != Role::kInput || sg.graph().degree(t) != 1) {
+      return std::nullopt;
+    }
+    layer.terminals.push_back(t);
+    layer.attach.push_back(sg.graph().neighbors(t)[0]);
+  }
+  // I must be k+1 distinct processors forming a clique.
+  std::vector<Node> sorted = layer.attach;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    return std::nullopt;
+  }
+  for (std::size_t i = 0; i < layer.attach.size(); ++i) {
+    if (sg.role(layer.attach[i]) != Role::kProcessor) return std::nullopt;
+    for (std::size_t j = i + 1; j < layer.attach.size(); ++j) {
+      if (!sg.graph().has_edge(layer.attach[i], layer.attach[j])) {
+        return std::nullopt;
+      }
+    }
+  }
+  return layer;
+}
+
+// Builds the base-graph view: drop T, relabel I as input terminals, and
+// remove the I-clique edges the extension added. Node ids 0..N-k-2 are
+// preserved, so base paths lift to the full graph unchanged.
+SolutionGraph base_view(const SolutionGraph& sg, const Layer& layer) {
+  const int k = sg.k();
+  const int base_nodes = sg.num_nodes() - (k + 1);
+  graph::Graph g(base_nodes);
+  util::DynamicBitset is_attach(sg.num_nodes());
+  for (Node v : layer.attach) is_attach.set(v);
+  for (auto [u, v] : sg.graph().edges()) {
+    if (u >= base_nodes || v >= base_nodes) continue;
+    if (is_attach.test(u) && is_attach.test(v)) continue;  // clique edge
+    g.add_edge(u, v);
+  }
+  std::vector<Role> roles(sg.roles().begin(),
+                          sg.roles().begin() + base_nodes);
+  for (Node v : layer.attach) roles[v] = Role::kInput;
+  return SolutionGraph(std::move(g), std::move(roles), sg.n() - (k + 1), k,
+                       "peeled(" + sg.name() + ")");
+}
+
+std::optional<std::vector<Node>> route_family_rec(const SolutionGraph& sg,
+                                                  const FaultSet& faults) {
+  const auto layer = peel_layer(sg);
+  if (!layer) {
+    // Base case: constant-size graph, exact solver.
+    const auto out = verify::find_pipeline(sg, faults);
+    if (out.status != verify::SolveStatus::kFound) return std::nullopt;
+    return out.pipeline->path;
+  }
+
+  const SolutionGraph base = base_view(sg, *layer);
+  const int base_nodes = base.num_nodes();
+
+  // Split faults: inside the base view vs. on this layer's terminals.
+  std::vector<Node> base_faults;
+  std::vector<Node> faulty_terminals;
+  for (Node v : faults.nodes()) {
+    if (v < base_nodes) {
+      base_faults.push_back(v);
+    } else {
+      faulty_terminals.push_back(v);
+    }
+  }
+
+  // Case 2 of the Lemma 3.6 proof: some terminal of this layer is
+  // faulty. Swap one faulty terminal j3 for a healthy attach node i4
+  // whose own terminal j4 is healthy, and recurse with i4 marked faulty.
+  Node i4 = -1, j4 = -1;
+  if (!faulty_terminals.empty()) {
+    for (std::size_t j = 0; j < layer->terminals.size(); ++j) {
+      const Node t = layer->terminals[j];
+      const Node p = layer->attach[j];
+      if (!faults.contains(t) && !faults.contains(p)) {
+        i4 = p;
+        j4 = t;
+        break;
+      }
+    }
+    if (i4 < 0) return std::nullopt;  // > k faults on this layer
+    base_faults.push_back(i4);
+  }
+
+  const FaultSet base_fs(base_nodes, base_faults);
+  auto base_path = route_family_rec(base, base_fs);
+  if (!base_path) return std::nullopt;
+
+  // The base pipeline's input-terminal endpoint is an I node; make it the
+  // front.
+  if (base.role(base_path->front()) != Role::kInput) {
+    std::reverse(base_path->begin(), base_path->end());
+  }
+  const Node i1 = base_path->front();
+
+  // Healthy I nodes that are not on the base pipeline (only i1 is).
+  std::vector<Node> loose;
+  for (Node p : layer->attach) {
+    if (p != i1 && p != i4 && !faults.contains(p)) loose.push_back(p);
+  }
+
+  std::vector<Node> path;
+  if (i4 >= 0) {
+    // Case 2: j4, i4, loose..., i1, rest of base pipeline.
+    path.push_back(j4);
+    path.push_back(i4);
+    path.insert(path.end(), loose.begin(), loose.end());
+    path.insert(path.end(), base_path->begin(), base_path->end());
+  } else {
+    // Case 1: pick the terminal of the last loose node (or of i1).
+    const Node i2 = loose.empty() ? i1 : loose.back();
+    Node j2 = -1;
+    for (std::size_t j = 0; j < layer->attach.size(); ++j) {
+      if (layer->attach[j] == i2) j2 = layer->terminals[j];
+    }
+    if (j2 < 0 || std::find(faulty_terminals.begin(),
+                            faulty_terminals.end(),
+                            j2) != faulty_terminals.end()) {
+      return std::nullopt;
+    }
+    path.push_back(j2);
+    for (auto it = loose.rbegin(); it != loose.rend(); ++it) {
+      path.push_back(*it);
+    }
+    path.insert(path.end(), base_path->begin(), base_path->end());
+  }
+  return path;
+}
+
+}  // namespace
+
+std::optional<Pipeline> route_family(const SolutionGraph& sg,
+                                     const FaultSet& faults) {
+  if (faults.size() > sg.k()) return std::nullopt;
+  if (auto path = route_family_rec(sg, faults)) {
+    if (auto certified_pipeline = certified(sg, faults, std::move(*path))) {
+      return certified_pipeline;
+    }
+  }
+  // Structure didn't match a peelable extension chain (or a peel guess
+  // went wrong): fall back to the exact solver so the router is total.
+  const auto out = verify::find_pipeline(sg, faults);
+  if (out.status != verify::SolveStatus::kFound) return std::nullopt;
+  return out.pipeline;
+}
+
+}  // namespace kgdp::reconfig

@@ -1,0 +1,47 @@
+// Constructive reconfiguration: O(n) routers extracted from the paper's
+// existence proofs, as an alternative to the exact search solver.
+//
+//  * route_g1k / route_g2k follow the Lemma 3.7 / 3.9 proofs verbatim
+//    (partition into k+1 / k+2 parts, pick the healthy part(s), spell the
+//    pipeline out directly).
+//  * route_family handles any graph produced by iterating the Lemma 3.6
+//    extension (i.e. every k <= 3 family graph from the factory): it
+//    peels extension layers — the last k+1 nodes are the layer's input
+//    terminals, their neighborhood I is the relabeled clique — applies
+//    the two cases of the Lemma 3.6 proof, and recurses; the constant-
+//    size base graph at the bottom is routed with the exact solver. Total
+//    work is linear in n plus a constant-size solve, so it reconfigures
+//    million-node family graphs in milliseconds where general search
+//    would wander.
+//
+// Every router certifies its output against kgd::check_pipeline before
+// returning; nullopt means no pipeline exists for this fault set (or the
+// graph is not of the expected shape).
+#pragma once
+
+#include <optional>
+
+#include "kgd/labeled_graph.hpp"
+#include "kgd/pipeline.hpp"
+
+namespace kgdp::reconfig {
+
+using kgd::FaultSet;
+using kgd::Pipeline;
+using kgd::SolutionGraph;
+
+// Lemma 3.7 proof. Requires a graph shaped like make_g1k(k).
+std::optional<Pipeline> route_g1k(const SolutionGraph& sg,
+                                  const FaultSet& faults);
+
+// Lemma 3.9 proof. Requires a graph shaped like make_g2k(k).
+std::optional<Pipeline> route_g2k(const SolutionGraph& sg,
+                                  const FaultSet& faults);
+
+// Lemma 3.6 proof, applied recursively. Works on any solution graph built
+// by extend()/make_small_k_family()/build_solution() with k <= 3 (and on
+// un-extended bases, where it degrades to the exact solver).
+std::optional<Pipeline> route_family(const SolutionGraph& sg,
+                                     const FaultSet& faults);
+
+}  // namespace kgdp::reconfig

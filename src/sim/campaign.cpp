@@ -1,0 +1,131 @@
+#include "sim/campaign.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "verify/pipeline_solver.hpp"
+
+namespace kgdp::sim {
+
+namespace {
+
+struct Event {
+  double time;
+  enum class Kind { kFault, kRepair } kind;
+  int node;  // repair target; unused for fault arrivals
+  bool operator>(const Event& o) const { return time > o.time; }
+};
+
+}  // namespace
+
+CampaignResult run_availability_campaign(const kgd::SolutionGraph& sg,
+                                         const CampaignConfig& config) {
+  util::Rng rng(config.seed);
+  verify::PipelineSolver solver;
+  CampaignResult result;
+
+  const int total_nodes = sg.num_nodes();
+  const int total_procs = sg.num_processors();
+  std::vector<bool> faulty(total_nodes, false);
+  int faulty_count = 0;
+
+  auto current_faults = [&] {
+    std::vector<int> nodes;
+    for (int v = 0; v < total_nodes; ++v) {
+      if (faulty[v]) nodes.push_back(v);
+    }
+    return kgd::FaultSet(total_nodes, std::move(nodes));
+  };
+
+  auto exponential = [&](double rate_per_cycle) {
+    // Inverse-CDF sampling; rng.next_double() < 1 so log() is finite.
+    return -std::log(1.0 - rng.next_double()) / rate_per_cycle;
+  };
+  const double fault_rate = config.faults_per_mcycle / 1e6;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+  events.push({exponential(fault_rate), Event::Kind::kFault, -1});
+
+  double now = 0.0;
+  bool live = true;
+  double live_since = 0.0;
+  double down_since = 0.0;
+  double live_time = 0.0;
+  double util_integral = 0.0;  // ∫ procs-in-service dt
+  int procs_in_service = total_procs;
+
+  auto reconfigure = [&](double at) {
+    const auto out = solver.solve(sg, current_faults());
+    ++result.reconfigurations;
+    const bool now_live = out.status == verify::SolveStatus::kFound;
+    if (live && !now_live) {
+      live_time += at - live_since;
+      down_since = at;
+      ++result.outages;
+    } else if (!live && now_live) {
+      result.worst_outage_cycles =
+          std::max(result.worst_outage_cycles, at - down_since);
+      live_since = at;
+    } else if (live && now_live) {
+      live_time += at - live_since;
+      live_since = at;
+    }
+    live = now_live;
+    procs_in_service = now_live ? out.pipeline->num_processors() : 0;
+  };
+
+  while (!events.empty() && events.top().time < config.horizon_cycles) {
+    const Event ev = events.top();
+    events.pop();
+    const double dt = ev.time - now;
+    if (live) util_integral += procs_in_service * dt;
+    now = ev.time;
+
+    if (ev.kind == Event::Kind::kFault) {
+      // Next arrival first, then apply this one.
+      events.push({now + exponential(fault_rate), Event::Kind::kFault, -1});
+      if (faulty_count < total_nodes) {
+        // Choose a healthy victim uniformly.
+        int idx = static_cast<int>(
+            rng.next_below(total_nodes - faulty_count));
+        int victim = -1;
+        for (int v = 0; v < total_nodes; ++v) {
+          if (!faulty[v] && idx-- == 0) {
+            victim = v;
+            break;
+          }
+        }
+        faulty[victim] = true;
+        ++faulty_count;
+        ++result.faults_injected;
+        events.push({now + config.repair_cycles, Event::Kind::kRepair,
+                     victim});
+        reconfigure(now);
+      }
+    } else {
+      faulty[ev.node] = false;
+      --faulty_count;
+      ++result.repairs_completed;
+      reconfigure(now);
+    }
+  }
+
+  // Close the books at the horizon.
+  const double dt = config.horizon_cycles - now;
+  if (live) {
+    util_integral += procs_in_service * dt;
+    live_time += config.horizon_cycles - live_since;
+  } else {
+    result.worst_outage_cycles = std::max(
+        result.worst_outage_cycles, config.horizon_cycles - down_since);
+  }
+  result.availability = live_time / config.horizon_cycles;
+  result.mean_utilization =
+      util_integral / (config.horizon_cycles * total_procs);
+  return result;
+}
+
+}  // namespace kgdp::sim

@@ -1,0 +1,146 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "verify/pipeline_solver.hpp"
+
+namespace kgdp::sim {
+
+PipelineMachine::PipelineMachine(kgd::SolutionGraph sg, StageList stages,
+                                 MachineConfig cfg)
+    : sg_(std::move(sg)), stages_(std::move(stages)), cfg_(cfg),
+      faults_(sg_.num_nodes(), {}) {
+  assert(!stages_.empty());
+  reconfigure();
+}
+
+bool PipelineMachine::inject_fault(kgd::Node v) {
+  assert(v >= 0 && v < sg_.num_nodes());
+  if (faults_.contains(v)) return false;
+  faulty_nodes_.push_back(v);
+  faults_ = kgd::FaultSet(sg_.num_nodes(), faulty_nodes_);
+  pipeline_.reset();  // stale mapping
+  return true;
+}
+
+bool PipelineMachine::reconfigure() {
+  const auto out = verify::find_pipeline(sg_, faults_);
+  if (out.status != verify::SolveStatus::kFound) {
+    pipeline_.reset();
+    return false;
+  }
+  pipeline_ = out.pipeline;
+  ++stats_.reconfigurations;
+  remap();
+  return true;
+}
+
+namespace {
+
+// Contiguous partition of `costs` into `blocks` parts minimizing the
+// maximum part sum (binary search on the bottleneck + greedy check).
+std::vector<PipelineMachine::StageBlock> balanced_partition(
+    const std::vector<double>& costs, int blocks) {
+  const int s = static_cast<int>(costs.size());
+  assert(blocks >= 1 && blocks <= s);
+  double lo = 0.0, total = 0.0;
+  for (double c : costs) {
+    lo = std::max(lo, c);
+    total += c;
+  }
+  double hi = total;
+  auto blocks_needed = [&](double cap) {
+    int used = 1;
+    double acc = 0.0;
+    for (double c : costs) {
+      if (acc + c > cap) {
+        ++used;
+        acc = 0.0;
+      }
+      acc += c;
+    }
+    return used;
+  };
+  for (int iter = 0; iter < 50; ++iter) {
+    const double mid = (lo + hi) / 2;
+    if (blocks_needed(mid) <= blocks) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  // Materialize the greedy split at capacity hi, then pad trailing empty
+  // blocks if the greedy used fewer.
+  std::vector<PipelineMachine::StageBlock> out;
+  int begin = 0;
+  double acc = 0.0;
+  for (int i = 0; i < s; ++i) {
+    if (acc + costs[i] > hi && i > begin &&
+        static_cast<int>(out.size()) + 1 < blocks) {
+      out.emplace_back(begin, i);
+      begin = i;
+      acc = 0.0;
+    }
+    acc += costs[i];
+  }
+  out.emplace_back(begin, s);
+  return out;
+}
+
+}  // namespace
+
+void PipelineMachine::remap() {
+  // Interior positions 1..q-1 of the pipeline are processors. With
+  // enough of them each stage gets its own (plus passthrough padding);
+  // with fewer, contiguous stages fuse onto shared processors.
+  const int interior = pipeline_->num_processors();
+  const int s_count = static_cast<int>(stages_.size());
+  assignment_.assign(interior, {0, 0});
+  if (interior >= s_count) {
+    for (int s = 0; s < s_count; ++s) assignment_[s] = {s, s + 1};
+  } else {
+    std::vector<double> costs;
+    costs.reserve(s_count);
+    for (const auto& st : stages_) costs.push_back(st->cost_per_sample());
+    const auto blocks = balanced_partition(costs, interior);
+    for (std::size_t pos = 0; pos < blocks.size(); ++pos) {
+      assignment_[pos] = blocks[pos];
+    }
+  }
+
+  // Recompute steady-state metrics for the new mapping.
+  stats_.busiest_stage_cost = cfg_.passthrough_cost;
+  double latency = 0.0;
+  for (int pos = 0; pos < interior; ++pos) {
+    double cost = 0.0;
+    for (int s = assignment_[pos].first; s < assignment_[pos].second; ++s) {
+      cost += stages_[s]->cost_per_sample();
+    }
+    if (cost == 0.0) cost = cfg_.passthrough_cost;
+    stats_.busiest_stage_cost = std::max(stats_.busiest_stage_cost, cost);
+    latency += cost;
+  }
+  latency += (interior + 1) * cfg_.hop_latency_cycles;  // links incl. I/O
+  stats_.pipeline_latency_cycles = latency;
+}
+
+Chunk PipelineMachine::process(const Chunk& input) {
+  assert(operational());
+  stats_.samples_in += input.size();
+  Chunk cur = input;
+  for (int pos = 0; pos < pipeline_->num_processors(); ++pos) {
+    for (int s = assignment_[pos].first; s < assignment_[pos].second; ++s) {
+      cur = stages_[s]->process(cur);
+    }
+  }
+  stats_.samples_out += cur.size();
+  return cur;
+}
+
+void PipelineMachine::reset_stream() {
+  for (auto& s : stages_) s->reset();
+  stats_.samples_in = stats_.samples_out = 0;
+}
+
+}  // namespace kgdp::sim

@@ -1,0 +1,87 @@
+// The pipeline machine: a simulated parallel computer whose interconnect
+// is a k-gracefully-degradable solution graph. Stages are mapped in order
+// onto the current pipeline's processors (identity padding on the rest);
+// node faults trigger reconfiguration, which finds a new pipeline through
+// every remaining healthy processor. Stream output is deterministic, so a
+// faulted-and-remapped run can be compared sample-for-sample against a
+// fault-free reference.
+#pragma once
+
+#include <optional>
+
+#include "kgd/labeled_graph.hpp"
+#include "kgd/pipeline.hpp"
+#include "sim/stage.hpp"
+
+namespace kgdp::sim {
+
+struct MachineConfig {
+  double hop_latency_cycles = 10.0;      // per inter-processor link
+  double passthrough_cost = 0.1;         // cycles/sample on unmapped nodes
+};
+
+class PipelineMachine {
+ public:
+  // Takes ownership of the stage list. When the pipeline has at least as
+  // many processors as stages, each stage gets its own processor (the
+  // rest pass through); when faults leave fewer processors than stages,
+  // contiguous stages are FUSED onto shared processors, balanced by
+  // cost, so the machine stays operational down to a single processor.
+  PipelineMachine(kgd::SolutionGraph sg, StageList stages,
+                  MachineConfig cfg = {});
+
+  const kgd::SolutionGraph& solution_graph() const { return sg_; }
+  const kgd::FaultSet& faults() const { return faults_; }
+  int fault_count() const { return faults_.size(); }
+
+  // Marks a node faulty; returns false if it already was. The machine
+  // becomes non-operational until reconfigure() succeeds.
+  bool inject_fault(kgd::Node v);
+
+  // Finds a pipeline through all healthy processors and remaps stages.
+  // Returns false when no pipeline exists (fault budget exceeded).
+  bool reconfigure();
+
+  bool operational() const { return pipeline_.has_value(); }
+  const kgd::Pipeline& pipeline() const { return *pipeline_; }
+
+  // Per pipeline position: the [first, last) range of stage indices it
+  // runs; an empty range means passthrough.
+  using StageBlock = std::pair<int, int>;
+  const std::vector<StageBlock>& stage_assignment() const {
+    return assignment_;
+  }
+
+  // Processes a chunk through the mapped pipeline, updating simulated-
+  // time statistics. Requires operational().
+  Chunk process(const Chunk& input);
+
+  struct Stats {
+    std::size_t samples_in = 0;
+    std::size_t samples_out = 0;
+    double busiest_stage_cost = 0.0;  // cycles/sample at the bottleneck
+    double pipeline_latency_cycles = 0.0;
+    int reconfigurations = 0;
+    // Steady-state throughput in samples per kilocycle.
+    double throughput() const {
+      return busiest_stage_cost > 0 ? 1000.0 / busiest_stage_cost : 0.0;
+    }
+  };
+  const Stats& stats() const { return stats_; }
+
+  void reset_stream();
+
+ private:
+  void remap();
+
+  kgd::SolutionGraph sg_;
+  StageList stages_;
+  MachineConfig cfg_;
+  std::vector<kgd::Node> faulty_nodes_;
+  kgd::FaultSet faults_;
+  std::optional<kgd::Pipeline> pipeline_;
+  std::vector<StageBlock> assignment_;
+  Stats stats_;
+};
+
+}  // namespace kgdp::sim

@@ -1,0 +1,75 @@
+#include "sim/runner.hpp"
+
+#include <thread>
+
+namespace kgdp::sim {
+
+void ChunkChannel::push(Chunk chunk) {
+  std::unique_lock lk(mu_);
+  cv_push_.wait(lk, [this] { return q_.size() < capacity_ || closed_; });
+  if (closed_) return;  // dropping into a closed channel is a no-op
+  q_.push(std::move(chunk));
+  cv_pop_.notify_one();
+}
+
+std::optional<Chunk> ChunkChannel::pop() {
+  std::unique_lock lk(mu_);
+  cv_pop_.wait(lk, [this] { return !q_.empty() || closed_; });
+  if (q_.empty()) return std::nullopt;
+  Chunk c = std::move(q_.front());
+  q_.pop();
+  cv_push_.notify_one();
+  return c;
+}
+
+void ChunkChannel::close() {
+  std::lock_guard lk(mu_);
+  closed_ = true;
+  cv_pop_.notify_all();
+  cv_push_.notify_all();
+}
+
+ThreadedPipelineRunner::ThreadedPipelineRunner(StageList stages,
+                                               std::size_t queue_capacity)
+    : stages_(std::move(stages)), queue_capacity_(queue_capacity) {}
+
+std::vector<Chunk> ThreadedPipelineRunner::run(
+    const std::vector<Chunk>& inputs) {
+  const std::size_t s_count = stages_.size();
+  if (s_count == 0) return inputs;
+
+  // channels[i] feeds stage i; channels[s_count] carries final output.
+  std::vector<std::unique_ptr<ChunkChannel>> channels;
+  for (std::size_t i = 0; i <= s_count; ++i) {
+    channels.push_back(std::make_unique<ChunkChannel>(queue_capacity_));
+  }
+
+  std::vector<std::thread> workers;
+  workers.reserve(s_count);
+  for (std::size_t i = 0; i < s_count; ++i) {
+    workers.emplace_back([this, i, &channels] {
+      while (auto chunk = channels[i]->pop()) {
+        channels[i + 1]->push(stages_[i]->process(std::move(*chunk)));
+      }
+      channels[i + 1]->close();
+    });
+  }
+
+  // Producer: feed inputs, then close.
+  std::thread producer([this, &channels, &inputs] {
+    for (const Chunk& c : inputs) channels[0]->push(c);
+    channels[0]->close();
+  });
+
+  std::vector<Chunk> outputs;
+  outputs.reserve(inputs.size());
+  while (auto chunk = channels[s_count]->pop()) {
+    outputs.push_back(std::move(*chunk));
+  }
+
+  producer.join();
+  for (auto& w : workers) w.join();
+  return outputs;
+}
+
+}  // namespace kgdp::sim

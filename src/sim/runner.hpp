@@ -1,0 +1,49 @@
+// Threaded pipeline execution: one worker per stage connected by bounded
+// queues — the software analogue of the hardware pipeline the paper
+// targets. Output is identical to sequential execution (stages are
+// deterministic and order-preserving); the test suite asserts this.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <queue>
+
+#include "sim/stage.hpp"
+
+namespace kgdp::sim {
+
+// Single-producer single-consumer bounded channel of chunks; closing the
+// channel releases blocked consumers with nullopt.
+class ChunkChannel {
+ public:
+  explicit ChunkChannel(std::size_t capacity) : capacity_(capacity) {}
+
+  void push(Chunk chunk);
+  std::optional<Chunk> pop();
+  void close();
+
+ private:
+  std::size_t capacity_;
+  std::queue<Chunk> q_;
+  bool closed_ = false;
+  std::mutex mu_;
+  std::condition_variable cv_push_;
+  std::condition_variable cv_pop_;
+};
+
+class ThreadedPipelineRunner {
+ public:
+  explicit ThreadedPipelineRunner(StageList stages,
+                                  std::size_t queue_capacity = 8);
+
+  // Runs all input chunks through the pipeline and returns the outputs in
+  // order. Spawns one thread per stage for the duration of the call.
+  std::vector<Chunk> run(const std::vector<Chunk>& inputs);
+
+ private:
+  StageList stages_;
+  std::size_t queue_capacity_;
+};
+
+}  // namespace kgdp::sim

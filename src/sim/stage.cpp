@@ -1,0 +1,18 @@
+#include "sim/stage.hpp"
+
+namespace kgdp::sim {
+
+StageList clone_stages(const StageList& stages) {
+  StageList out;
+  out.reserve(stages.size());
+  for (const auto& s : stages) out.push_back(s->clone());
+  return out;
+}
+
+Chunk run_sequential(StageList& stages, const Chunk& input) {
+  Chunk cur = input;
+  for (auto& s : stages) cur = s->process(cur);
+  return cur;
+}
+
+}  // namespace kgdp::sim

@@ -1,0 +1,42 @@
+// Processing-stage abstraction for the pipeline machine simulator. The
+// paper motivates gracefully degradable pipelines with streaming DSP
+// workloads (subsampling, rescaling, FIR/IIR filtering, compression);
+// stages model exactly that: chunk-in/chunk-out transforms with a
+// simulated per-sample compute cost.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace kgdp::sim {
+
+using Sample = float;
+using Chunk = std::vector<Sample>;
+
+class Stage {
+ public:
+  virtual ~Stage() = default;
+
+  virtual std::string name() const = 0;
+
+  // Simulated compute cost, in machine cycles per *input* sample.
+  virtual double cost_per_sample() const = 0;
+
+  // Transform one chunk. Stages may keep state across chunks (filters,
+  // decimators); reset() restarts the stream.
+  virtual Chunk process(const Chunk& in) = 0;
+  virtual void reset() {}
+
+  virtual std::unique_ptr<Stage> clone() const = 0;
+};
+
+using StageList = std::vector<std::unique_ptr<Stage>>;
+
+StageList clone_stages(const StageList& stages);
+
+// Applies the stages in order on a single thread (reference semantics for
+// the machine simulator and the threaded runner to be checked against).
+Chunk run_sequential(StageList& stages, const Chunk& input);
+
+}  // namespace kgdp::sim

@@ -1,0 +1,159 @@
+#include "sim/stages_dsp.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace kgdp::sim {
+
+FirFilter::FirFilter(std::vector<double> taps) : taps_(std::move(taps)) {
+  assert(!taps_.empty());
+  history_.assign(taps_.size() - 1, 0.0);
+}
+
+Chunk FirFilter::process(const Chunk& in) {
+  Chunk out;
+  out.reserve(in.size());
+  for (Sample x : in) {
+    double acc = taps_[0] * x;
+    for (std::size_t t = 1; t < taps_.size(); ++t) {
+      acc += taps_[t] * history_[history_.size() - t];
+    }
+    // Shift history (small filters; O(taps) is the simulated cost too).
+    if (!history_.empty()) {
+      history_.erase(history_.begin());
+      history_.push_back(x);
+    }
+    out.push_back(static_cast<Sample>(acc));
+  }
+  return out;
+}
+
+void FirFilter::reset() { history_.assign(taps_.size() - 1, 0.0); }
+
+std::unique_ptr<Stage> FirFilter::clone() const {
+  return std::make_unique<FirFilter>(taps_);
+}
+
+IirBiquad::IirBiquad(double b0, double b1, double b2, double a1, double a2)
+    : b0_(b0), b1_(b1), b2_(b2), a1_(a1), a2_(a2) {}
+
+Chunk IirBiquad::process(const Chunk& in) {
+  Chunk out;
+  out.reserve(in.size());
+  for (Sample x : in) {
+    const double y = b0_ * x + z1_;
+    z1_ = b1_ * x - a1_ * y + z2_;
+    z2_ = b2_ * x - a2_ * y;
+    out.push_back(static_cast<Sample>(y));
+  }
+  return out;
+}
+
+void IirBiquad::reset() { z1_ = z2_ = 0.0; }
+
+std::unique_ptr<Stage> IirBiquad::clone() const {
+  return std::make_unique<IirBiquad>(b0_, b1_, b2_, a1_, a2_);
+}
+
+Subsample::Subsample(int factor) : factor_(factor) { assert(factor >= 1); }
+
+Chunk Subsample::process(const Chunk& in) {
+  Chunk out;
+  out.reserve(in.size() / factor_ + 1);
+  for (Sample x : in) {
+    if (phase_ == 0) out.push_back(x);
+    phase_ = (phase_ + 1) % factor_;
+  }
+  return out;
+}
+
+void Subsample::reset() { phase_ = 0; }
+
+std::unique_ptr<Stage> Subsample::clone() const {
+  return std::make_unique<Subsample>(factor_);
+}
+
+Rescale::Rescale(double gain, double offset) : gain_(gain), offset_(offset) {}
+
+Chunk Rescale::process(const Chunk& in) {
+  Chunk out;
+  out.reserve(in.size());
+  for (Sample x : in) {
+    out.push_back(static_cast<Sample>(gain_ * x + offset_));
+  }
+  return out;
+}
+
+std::unique_ptr<Stage> Rescale::clone() const {
+  return std::make_unique<Rescale>(gain_, offset_);
+}
+
+Quantize::Quantize(int levels, double lo, double hi)
+    : levels_(levels), lo_(lo), hi_(hi) {
+  assert(levels >= 2 && hi > lo);
+}
+
+Chunk Quantize::process(const Chunk& in) {
+  Chunk out;
+  out.reserve(in.size());
+  const double step = (hi_ - lo_) / (levels_ - 1);
+  for (Sample x : in) {
+    double q = std::round((static_cast<double>(x) - lo_) / step);
+    if (q < 0) q = 0;
+    if (q > levels_ - 1) q = levels_ - 1;
+    out.push_back(static_cast<Sample>(lo_ + q * step));
+  }
+  return out;
+}
+
+std::unique_ptr<Stage> Quantize::clone() const {
+  return std::make_unique<Quantize>(levels_, lo_, hi_);
+}
+
+Chunk DeltaEncode::process(const Chunk& in) {
+  Chunk out;
+  out.reserve(in.size());
+  for (Sample x : in) {
+    out.push_back(x - prev_);
+    prev_ = x;
+  }
+  return out;
+}
+
+std::unique_ptr<Stage> DeltaEncode::clone() const {
+  auto c = std::make_unique<DeltaEncode>();
+  c->prev_ = prev_;
+  return c;
+}
+
+StageList make_video_pipeline(int stages_hint) {
+  StageList stages;
+  stages.push_back(std::make_unique<FirFilter>(
+      std::vector<double>{0.25, 0.5, 0.25}));  // low-pass before decimation
+  stages.push_back(std::make_unique<Subsample>(2));
+  stages.push_back(std::make_unique<Rescale>(0.5, 0.1));
+  stages.push_back(std::make_unique<Quantize>(64, -2.0, 2.0));
+  stages.push_back(std::make_unique<DeltaEncode>());
+  while (static_cast<int>(stages.size()) < stages_hint) {
+    stages.push_back(std::make_unique<PassThrough>());
+  }
+  return stages;
+}
+
+Chunk make_test_signal(std::size_t samples, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Chunk out;
+  out.reserve(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double t = static_cast<double>(i);
+    const double clean =
+        std::sin(t * 0.05) + 0.4 * std::sin(t * 0.31 + 1.0);
+    const double noise = (rng.next_double() - 0.5) * 0.2;
+    out.push_back(static_cast<Sample>(clean + noise));
+  }
+  return out;
+}
+
+}  // namespace kgdp::sim

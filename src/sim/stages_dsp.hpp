@@ -1,0 +1,120 @@
+// Concrete DSP stages: the workloads named in the paper's introduction
+// (§1: subsampling, rescaling, FIR and IIR filtering, textual-
+// substitution-style compression). All stages are deterministic and keep
+// explicit state so fault-and-remap runs can be compared bit-for-bit
+// against a fault-free reference.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/stage.hpp"
+
+namespace kgdp::sim {
+
+class PassThrough final : public Stage {
+ public:
+  std::string name() const override { return "passthrough"; }
+  double cost_per_sample() const override { return 0.1; }
+  Chunk process(const Chunk& in) override { return in; }
+  std::unique_ptr<Stage> clone() const override {
+    return std::make_unique<PassThrough>();
+  }
+};
+
+// Finite impulse response filter, direct form, stateful across chunks.
+class FirFilter final : public Stage {
+ public:
+  explicit FirFilter(std::vector<double> taps);
+  std::string name() const override { return "fir"; }
+  double cost_per_sample() const override {
+    return static_cast<double>(taps_.size());
+  }
+  Chunk process(const Chunk& in) override;
+  void reset() override;
+  std::unique_ptr<Stage> clone() const override;
+
+ private:
+  std::vector<double> taps_;
+  std::vector<double> history_;  // last taps_.size()-1 inputs
+};
+
+// Biquad IIR section (direct form II transposed).
+class IirBiquad final : public Stage {
+ public:
+  IirBiquad(double b0, double b1, double b2, double a1, double a2);
+  std::string name() const override { return "iir"; }
+  double cost_per_sample() const override { return 5.0; }
+  Chunk process(const Chunk& in) override;
+  void reset() override;
+  std::unique_ptr<Stage> clone() const override;
+
+ private:
+  double b0_, b1_, b2_, a1_, a2_;
+  double z1_ = 0.0, z2_ = 0.0;
+};
+
+// Keep every `factor`-th sample (phase persists across chunks).
+class Subsample final : public Stage {
+ public:
+  explicit Subsample(int factor);
+  std::string name() const override { return "subsample"; }
+  double cost_per_sample() const override { return 0.5; }
+  Chunk process(const Chunk& in) override;
+  void reset() override;
+  std::unique_ptr<Stage> clone() const override;
+
+ private:
+  int factor_;
+  int phase_ = 0;
+};
+
+// Affine rescale y = gain * x + offset.
+class Rescale final : public Stage {
+ public:
+  Rescale(double gain, double offset);
+  std::string name() const override { return "rescale"; }
+  double cost_per_sample() const override { return 1.0; }
+  Chunk process(const Chunk& in) override;
+  std::unique_ptr<Stage> clone() const override;
+
+ private:
+  double gain_, offset_;
+};
+
+// Uniform quantizer to `levels` levels over [lo, hi].
+class Quantize final : public Stage {
+ public:
+  Quantize(int levels, double lo, double hi);
+  std::string name() const override { return "quantize"; }
+  double cost_per_sample() const override { return 1.5; }
+  Chunk process(const Chunk& in) override;
+  std::unique_ptr<Stage> clone() const override;
+
+ private:
+  int levels_;
+  double lo_, hi_;
+};
+
+// Delta encoder (simple predictive compression front end; stand-in for
+// the textual-substitution compressors of [19, 22]).
+class DeltaEncode final : public Stage {
+ public:
+  std::string name() const override { return "delta"; }
+  double cost_per_sample() const override { return 2.0; }
+  Chunk process(const Chunk& in) override;
+  void reset() override { prev_ = 0.0f; }
+  std::unique_ptr<Stage> clone() const override;
+
+ private:
+  Sample prev_ = 0.0f;
+};
+
+// A ready-made video-style pipeline: FIR low-pass, 2:1 subsample,
+// rescale, quantize, delta encode. `stages_hint` pads with passthrough
+// stages to reach at least that many stages (for mapping experiments).
+StageList make_video_pipeline(int stages_hint = 0);
+
+// Deterministic synthetic source signal.
+Chunk make_test_signal(std::size_t samples, std::uint64_t seed);
+
+}  // namespace kgdp::sim

@@ -1,0 +1,75 @@
+#include "sim/stages_fft.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace kgdp::sim {
+
+void fft_radix2(std::vector<std::complex<double>>& data, bool inverse) {
+  const std::size_t n = data.size();
+  assert(n > 0 && (n & (n - 1)) == 0 && "size must be a power of two");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const std::complex<double> u = data[i + j];
+        const std::complex<double> v = data[i + j + len / 2] * w;
+        data[i + j] = u + v;
+        data[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : data) x /= static_cast<double>(n);
+  }
+}
+
+SpectrumAnalyzer::SpectrumAnalyzer(int window) : window_(window) {
+  assert(window >= 2 && (window & (window - 1)) == 0);
+  buffer_.reserve(window);
+}
+
+double SpectrumAnalyzer::cost_per_sample() const {
+  // FFT is O(W log W) per window of W samples -> O(log W) per sample.
+  return std::log2(static_cast<double>(window_)) + 1.0;
+}
+
+Chunk SpectrumAnalyzer::process(const Chunk& in) {
+  Chunk out;
+  for (Sample s : in) {
+    buffer_.push_back(s);
+    if (static_cast<int>(buffer_.size()) == window_) {
+      std::vector<std::complex<double>> data(buffer_.begin(),
+                                             buffer_.end());
+      fft_radix2(data, /*inverse=*/false);
+      for (int b = 0; b < window_ / 2; ++b) {
+        out.push_back(static_cast<Sample>(std::abs(data[b]) * 2.0 /
+                                          window_));
+      }
+      buffer_.clear();
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<Stage> SpectrumAnalyzer::clone() const {
+  auto c = std::make_unique<SpectrumAnalyzer>(window_);
+  c->buffer_ = buffer_;
+  return c;
+}
+
+}  // namespace kgdp::sim

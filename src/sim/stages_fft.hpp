@@ -1,0 +1,34 @@
+// Spectral stage: windowed radix-2 FFT magnitude analyzer — the kind of
+// frequency-domain stage real-time audio/video pipelines interleave with
+// the FIR/IIR stages the paper's introduction names.
+#pragma once
+
+#include <complex>
+
+#include "sim/stage.hpp"
+
+namespace kgdp::sim {
+
+// In-place iterative radix-2 Cooley–Tukey. `data.size()` must be a power
+// of two. Exposed for testing and reuse.
+void fft_radix2(std::vector<std::complex<double>>& data, bool inverse);
+
+class SpectrumAnalyzer final : public Stage {
+ public:
+  // Buffers `window` samples (power of two); for each full window emits
+  // the one-sided magnitude spectrum (window/2 values, bin b =
+  // |X_b| * 2/window so a unit sine at bin b reads ~1.0).
+  explicit SpectrumAnalyzer(int window);
+
+  std::string name() const override { return "spectrum"; }
+  double cost_per_sample() const override;
+  Chunk process(const Chunk& in) override;
+  void reset() override { buffer_.clear(); }
+  std::unique_ptr<Stage> clone() const override;
+
+ private:
+  int window_;
+  std::vector<Sample> buffer_;
+};
+
+}  // namespace kgdp::sim

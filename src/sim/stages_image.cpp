@@ -1,0 +1,119 @@
+#include "sim/stages_image.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace kgdp::sim {
+
+HoughTransform::HoughTransform(int width, int height, int theta_bins,
+                               int peaks)
+    : width_(width), height_(height), theta_bins_(theta_bins),
+      peaks_(peaks) {
+  assert(width >= 1 && height >= 1 && theta_bins >= 1 && peaks >= 1);
+  const int diag = static_cast<int>(
+      std::ceil(std::hypot(width - 1, height - 1)));
+  rho_offset_ = diag;
+  rho_bins_ = 2 * diag + 1;
+  cos_.resize(theta_bins_);
+  sin_.resize(theta_bins_);
+  for (int t = 0; t < theta_bins_; ++t) {
+    const double theta = std::numbers::pi * t / theta_bins_;
+    cos_[t] = std::cos(theta);
+    sin_[t] = std::sin(theta);
+  }
+  acc_.assign(static_cast<std::size_t>(theta_bins_) * rho_bins_, 0);
+}
+
+void HoughTransform::vote(int x, int y) {
+  for (int t = 0; t < theta_bins_; ++t) {
+    const double rho = x * cos_[t] + y * sin_[t];
+    const int r = static_cast<int>(std::lround(rho)) + rho_offset_;
+    if (r >= 0 && r < rho_bins_) {
+      ++acc_[static_cast<std::size_t>(t) * rho_bins_ + r];
+    }
+  }
+}
+
+void HoughTransform::emit_peaks(Chunk& out) {
+  // Top `peaks_` accumulator cells, by votes then (theta, rho) for
+  // determinism.
+  std::vector<std::size_t> idx(acc_.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  const int take = std::min<std::size_t>(peaks_, idx.size());
+  std::partial_sort(idx.begin(), idx.begin() + take, idx.end(),
+                    [&](std::size_t a, std::size_t b) {
+                      if (acc_[a] != acc_[b]) return acc_[a] > acc_[b];
+                      return a < b;
+                    });
+  for (int p = 0; p < take; ++p) {
+    const std::size_t i = idx[p];
+    out.push_back(static_cast<Sample>(i / rho_bins_));           // theta
+    out.push_back(static_cast<Sample>(i % rho_bins_));           // rho
+    out.push_back(static_cast<Sample>(acc_[i]));                 // votes
+  }
+  std::fill(acc_.begin(), acc_.end(), 0);
+}
+
+Chunk HoughTransform::process(const Chunk& in) {
+  Chunk out;
+  const long image_pixels = static_cast<long>(width_) * height_;
+  for (Sample s : in) {
+    if (s > 0.5f) {
+      const int x = static_cast<int>(cursor_ % width_);
+      const int y = static_cast<int>(cursor_ / width_);
+      vote(x, y);
+    }
+    if (++cursor_ == image_pixels) {
+      emit_peaks(out);
+      cursor_ = 0;
+    }
+  }
+  return out;
+}
+
+void HoughTransform::reset() {
+  cursor_ = 0;
+  std::fill(acc_.begin(), acc_.end(), 0);
+}
+
+std::unique_ptr<Stage> HoughTransform::clone() const {
+  auto c = std::make_unique<HoughTransform>(width_, height_, theta_bins_,
+                                            peaks_);
+  c->acc_ = acc_;
+  c->cursor_ = cursor_;
+  return c;
+}
+
+Chunk make_blank_image(int width, int height) {
+  return Chunk(static_cast<std::size_t>(width) * height, 0.0f);
+}
+
+Chunk make_line_image(int width, int height, int x0, int y0, int x1,
+                      int y1) {
+  Chunk img = make_blank_image(width, height);
+  // Bresenham.
+  int dx = std::abs(x1 - x0), dy = -std::abs(y1 - y0);
+  int sx = x0 < x1 ? 1 : -1, sy = y0 < y1 ? 1 : -1;
+  int err = dx + dy;
+  int x = x0, y = y0;
+  while (true) {
+    if (x >= 0 && x < width && y >= 0 && y < height) {
+      img[static_cast<std::size_t>(y) * width + x] = 1.0f;
+    }
+    if (x == x1 && y == y1) break;
+    const int e2 = 2 * err;
+    if (e2 >= dy) {
+      err += dy;
+      x += sx;
+    }
+    if (e2 <= dx) {
+      err += dx;
+      y += sy;
+    }
+  }
+  return img;
+}
+
+}  // namespace kgdp::sim

@@ -1,0 +1,52 @@
+// Image-domain stage: a streaming Hough transform. The paper's §1 cites
+// pipelined Hough/Radon transform architectures for image and CT
+// processing [1] as a motivating workload; this stage reproduces that
+// shape — a compute-heavy, stateful stage consuming scanline-ordered
+// binary edge images and emitting, per completed image, its strongest
+// line candidates.
+#pragma once
+
+#include "sim/stage.hpp"
+
+namespace kgdp::sim {
+
+class HoughTransform final : public Stage {
+ public:
+  // Images are width x height, streamed in scanline order; any sample
+  // > 0.5 counts as an edge pixel. theta_bins discretize [0, pi); for
+  // each completed image the stage emits `peaks` triples
+  // (theta_index, rho_index, votes) flattened into the output chunk.
+  HoughTransform(int width, int height, int theta_bins, int peaks);
+
+  std::string name() const override { return "hough"; }
+  double cost_per_sample() const override {
+    return static_cast<double>(theta_bins_);
+  }
+  Chunk process(const Chunk& in) override;
+  void reset() override;
+  std::unique_ptr<Stage> clone() const override;
+
+  int rho_bins() const { return rho_bins_; }
+
+ private:
+  void vote(int x, int y);
+  void emit_peaks(Chunk& out);
+
+  int width_;
+  int height_;
+  int theta_bins_;
+  int peaks_;
+  int rho_offset_;  // rho index shift so negative rho maps to >= 0
+  int rho_bins_;
+  std::vector<double> cos_;
+  std::vector<double> sin_;
+  std::vector<std::uint32_t> acc_;  // theta-major accumulator
+  long cursor_ = 0;                 // pixels consumed of current image
+};
+
+// Synthetic test images (scanline order, 1.0 = edge pixel).
+Chunk make_line_image(int width, int height, int x0, int y0, int x1,
+                      int y1);
+Chunk make_blank_image(int width, int height);
+
+}  // namespace kgdp::sim

@@ -1,0 +1,122 @@
+// Dynamic fixed-capacity bitset used for fault masks, visited sets and
+// Hamiltonian-path DP tables. Unlike std::vector<bool> it exposes the raw
+// 64-bit words so the solvers can do word-at-a-time scans, and unlike
+// std::bitset its size is a run-time value.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+#include <cassert>
+#include <bit>
+
+namespace kgdp::util {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(std::size_t nbits, bool value = false)
+      : nbits_(nbits),
+        words_((nbits + 63) / 64, value ? ~std::uint64_t{0} : 0) {
+    trim();
+  }
+
+  std::size_t size() const { return nbits_; }
+  bool empty() const { return nbits_ == 0; }
+
+  void resize(std::size_t nbits, bool value = false) {
+    const std::size_t old_bits = nbits_;
+    nbits_ = nbits;
+    words_.resize((nbits + 63) / 64, value ? ~std::uint64_t{0} : 0);
+    if (value && old_bits < nbits && old_bits % 64 != 0) {
+      // Fill the tail of the previously-partial word.
+      words_[old_bits / 64] |= ~std::uint64_t{0} << (old_bits % 64);
+    }
+    trim();
+  }
+
+  bool test(std::size_t i) const {
+    assert(i < nbits_);
+    return (words_[i / 64] >> (i % 64)) & 1u;
+  }
+  bool operator[](std::size_t i) const { return test(i); }
+
+  void set(std::size_t i) {
+    assert(i < nbits_);
+    words_[i / 64] |= std::uint64_t{1} << (i % 64);
+  }
+  void reset(std::size_t i) {
+    assert(i < nbits_);
+    words_[i / 64] &= ~(std::uint64_t{1} << (i % 64));
+  }
+  void set(std::size_t i, bool v) { v ? set(i) : reset(i); }
+  void flip(std::size_t i) {
+    assert(i < nbits_);
+    words_[i / 64] ^= std::uint64_t{1} << (i % 64);
+  }
+
+  void reset_all() { for (auto& w : words_) w = 0; }
+  void set_all() {
+    for (auto& w : words_) w = ~std::uint64_t{0};
+    trim();
+  }
+
+  std::size_t count() const {
+    std::size_t c = 0;
+    for (auto w : words_) c += static_cast<std::size_t>(std::popcount(w));
+    return c;
+  }
+
+  bool any() const {
+    for (auto w : words_) if (w) return true;
+    return false;
+  }
+  bool none() const { return !any(); }
+
+  // Index of the first set bit at or after `from`, or size() if none.
+  std::size_t find_next(std::size_t from) const {
+    if (from >= nbits_) return nbits_;
+    std::size_t wi = from / 64;
+    std::uint64_t w = words_[wi] & (~std::uint64_t{0} << (from % 64));
+    while (true) {
+      if (w) return wi * 64 + static_cast<std::size_t>(std::countr_zero(w));
+      if (++wi == words_.size()) return nbits_;
+      w = words_[wi];
+    }
+  }
+  std::size_t find_first() const { return find_next(0); }
+
+  DynamicBitset& operator|=(const DynamicBitset& o) {
+    assert(nbits_ == o.nbits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+    return *this;
+  }
+  DynamicBitset& operator&=(const DynamicBitset& o) {
+    assert(nbits_ == o.nbits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+    return *this;
+  }
+  DynamicBitset& operator^=(const DynamicBitset& o) {
+    assert(nbits_ == o.nbits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= o.words_[i];
+    return *this;
+  }
+
+  bool operator==(const DynamicBitset& o) const {
+    return nbits_ == o.nbits_ && words_ == o.words_;
+  }
+
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+ private:
+  void trim() {
+    if (nbits_ % 64 != 0 && !words_.empty()) {
+      words_.back() &= (std::uint64_t{1} << (nbits_ % 64)) - 1;
+    }
+  }
+
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace kgdp::util

@@ -1,0 +1,88 @@
+#include "util/combinatorics.hpp"
+
+#include <cassert>
+#include <limits>
+
+namespace kgdp::util {
+
+std::uint64_t binomial(unsigned n, unsigned k) {
+  if (k > n) return 0;
+  if (k > n - k) k = n - k;
+  std::uint64_t r = 1;
+  for (unsigned i = 1; i <= k; ++i) {
+    // r * (n-k+i) / i is always integral at this point.
+    const std::uint64_t num = n - k + i;
+    if (r > std::numeric_limits<std::uint64_t>::max() / num) {
+      return std::numeric_limits<std::uint64_t>::max();  // saturate
+    }
+    r = r * num / i;
+  }
+  return r;
+}
+
+std::uint64_t subsets_up_to(unsigned n, unsigned k) {
+  std::uint64_t total = 0;
+  for (unsigned j = 0; j <= k; ++j) total += binomial(n, j);
+  return total;
+}
+
+bool next_combination(std::vector<int>& comb, int n) {
+  const int k = static_cast<int>(comb.size());
+  int i = k - 1;
+  while (i >= 0 && comb[i] == n - k + i) --i;
+  if (i < 0) return false;
+  ++comb[i];
+  for (int j = i + 1; j < k; ++j) comb[j] = comb[j - 1] + 1;
+  return true;
+}
+
+std::vector<int> unrank_combination(unsigned n, unsigned k,
+                                    std::uint64_t rank) {
+  std::vector<int> comb;
+  comb.reserve(k);
+  int x = 0;
+  for (unsigned slot = 0; slot < k; ++slot) {
+    // Choose the smallest x such that the number of completions with
+    // first element > x does not skip past `rank`.
+    while (true) {
+      const std::uint64_t block =
+          binomial(n - static_cast<unsigned>(x) - 1, k - slot - 1);
+      if (rank < block) break;
+      rank -= block;
+      ++x;
+    }
+    comb.push_back(x);
+    ++x;
+  }
+  return comb;
+}
+
+std::uint64_t rank_combination(const std::vector<int>& comb, unsigned n) {
+  const unsigned k = static_cast<unsigned>(comb.size());
+  std::uint64_t rank = 0;
+  int prev = -1;
+  for (unsigned slot = 0; slot < k; ++slot) {
+    for (int x = prev + 1; x < comb[slot]; ++x) {
+      rank += binomial(n - static_cast<unsigned>(x) - 1, k - slot - 1);
+    }
+    prev = comb[slot];
+  }
+  return rank;
+}
+
+bool for_each_subset_up_to(
+    unsigned n, unsigned k,
+    const std::function<bool(const std::vector<int>&)>& fn) {
+  std::vector<int> comb;
+  if (!fn(comb)) return false;  // empty set
+  for (unsigned sz = 1; sz <= k && sz <= n; ++sz) {
+    comb.resize(sz);
+    for (unsigned i = 0; i < sz; ++i) comb[i] = static_cast<int>(i);
+    do {
+      if (!fn(comb)) return false;
+    } while (next_combination(comb, static_cast<int>(n)));
+  }
+  return true;
+}
+
+}  // namespace kgdp::util

@@ -1,0 +1,37 @@
+// Combinatorial helpers: binomial coefficients, lexicographic k-subset
+// iteration, and rank/unrank of k-subsets (combinadics). Used by the
+// exhaustive fault-set enumerator to shard work across threads without
+// materialising the subset list.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+#include <functional>
+
+namespace kgdp::util {
+
+// C(n, k) with saturation at uint64 max; exact for every value reachable
+// by the fault enumerator (n <= 64-ish, k <= 8).
+std::uint64_t binomial(unsigned n, unsigned k);
+
+// Number of subsets of an n-set of size <= k: sum_{j=0..k} C(n, j).
+std::uint64_t subsets_up_to(unsigned n, unsigned k);
+
+// Advance `comb` (a strictly increasing k-subset of {0..n-1}) to its
+// lexicographic successor. Returns false when `comb` was the last subset.
+bool next_combination(std::vector<int>& comb, int n);
+
+// Unrank: the `rank`-th (0-based, lexicographic) k-subset of {0..n-1}.
+std::vector<int> unrank_combination(unsigned n, unsigned k,
+                                    std::uint64_t rank);
+
+// Rank of a strictly increasing k-subset in lexicographic order.
+std::uint64_t rank_combination(const std::vector<int>& comb, unsigned n);
+
+// Invoke `fn` on every subset of {0..n-1} with size <= k, in order of
+// increasing size then lexicographic. `fn` returning false stops the
+// enumeration early; for_each_subset_up_to returns false iff stopped.
+bool for_each_subset_up_to(unsigned n, unsigned k,
+                           const std::function<bool(const std::vector<int>&)>& fn);
+
+}  // namespace kgdp::util

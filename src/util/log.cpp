@@ -1,0 +1,48 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace kgdp::util {
+
+namespace {
+std::atomic<int> g_level{-1};  // -1: uninitialised, read env on first use
+std::mutex g_io_mu;
+
+int resolve_level() {
+  int lvl = g_level.load(std::memory_order_relaxed);
+  if (lvl >= 0) return lvl;
+  int from_env = 1;  // default: warnings only
+  if (const char* e = std::getenv("KGDP_LOG_LEVEL")) {
+    from_env = std::atoi(e);
+    if (from_env < 0) from_env = 0;
+    if (from_env > 3) from_env = 3;
+  }
+  g_level.store(from_env, std::memory_order_relaxed);
+  return from_env;
+}
+
+const char* tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kDebug: return "DEBUG";
+    default: return "?";
+  }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() { return static_cast<LogLevel>(resolve_level()); }
+
+void log_line(LogLevel level, const std::string& msg) {
+  std::lock_guard lk(g_io_mu);
+  std::fprintf(stderr, "[kgdp %s] %s\n", tag(level), msg.c_str());
+}
+
+}  // namespace kgdp::util

@@ -1,0 +1,42 @@
+// Minimal leveled logger writing to stderr. Quiet by default so test and
+// bench output stays clean; raise the level via set_level or the
+// KGDP_LOG_LEVEL environment variable (0=off .. 3=debug).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace kgdp::util {
+
+enum class LogLevel { kOff = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (log_level() >= LogLevel::kWarn)
+    log_line(LogLevel::kWarn, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_level() >= LogLevel::kInfo)
+    log_line(LogLevel::kInfo, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_level() >= LogLevel::kDebug)
+    log_line(LogLevel::kDebug, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace kgdp::util

@@ -1,0 +1,86 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace kgdp::util {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+  // All-zero state is invalid for xoshiro; splitmix64 cannot produce four
+  // zero outputs from any seed, but keep the guard explicit.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::next_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(span == 0 ? next_u64()
+                                                  : next_below(span));
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bool(double p_true) { return next_double() < p_true; }
+
+std::vector<int> Rng::sample_without_replacement(int n, int k) {
+  assert(k >= 0 && k <= n);
+  // Floyd's algorithm: O(k) expected, no O(n) scratch.
+  std::vector<int> picked;
+  picked.reserve(k);
+  for (int j = n - k; j < n; ++j) {
+    const int t = static_cast<int>(next_below(static_cast<std::uint64_t>(j) + 1));
+    if (std::find(picked.begin(), picked.end(), t) == picked.end()) {
+      picked.push_back(t);
+    } else {
+      picked.push_back(j);
+    }
+  }
+  std::sort(picked.begin(), picked.end());
+  return picked;
+}
+
+}  // namespace kgdp::util

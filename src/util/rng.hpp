@@ -1,0 +1,45 @@
+// Deterministic pseudo-random generation (xoshiro256**), independent of
+// the standard library's unspecified distributions so that fault-injection
+// experiments reproduce bit-for-bit across platforms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace kgdp::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  std::uint64_t next_u64();
+
+  // Uniform in [0, bound) without modulo bias (Lemire rejection).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi);
+
+  // Uniform in [0, 1).
+  double next_double();
+
+  bool next_bool(double p_true = 0.5);
+
+  // Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  // k distinct values from {0..n-1}, sorted ascending.
+  std::vector<int> sample_without_replacement(int n, int k);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace kgdp::util

@@ -1,0 +1,57 @@
+#include "util/table.hpp"
+
+#include <cassert>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+namespace kgdp::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+std::string Table::num(std::uint64_t v) { return std::to_string(v); }
+std::string Table::num(int v) { return std::to_string(v); }
+
+std::string Table::to_string(bool markdown) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << (markdown ? "| " : "  ");
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c] << std::string(width[c] - row[c].size(), ' ');
+      if (c + 1 < row.size()) os << (markdown ? " | " : "  ");
+    }
+    if (markdown) os << " |";
+    os << '\n';
+  };
+  emit_row(headers_);
+  os << (markdown ? "|" : " ");
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(width[c] + 2, '-') << (markdown ? "|" : " ");
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void Table::print(bool markdown) const {
+  std::fputs(to_string(markdown).c_str(), stdout);
+}
+
+}  // namespace kgdp::util

@@ -1,0 +1,33 @@
+// ASCII table writer used by the benchmark harness to print the
+// paper-style summary rows (aligned columns, optional markdown mode).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace kgdp::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Each cell is stringified by the caller; add_row checks arity.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: format a double with fixed precision.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::uint64_t v);
+  static std::string num(int v);
+
+  // Render with aligned columns; markdown=true emits a GitHub table.
+  std::string to_string(bool markdown = false) const;
+  void print(bool markdown = false) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace kgdp::util

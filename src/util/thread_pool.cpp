@@ -1,0 +1,86 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace kgdp::util {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lk(mu_);
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lk(mu_);
+  cv_idle_.wait(lk, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lk(mu_);
+      cv_task_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::lock_guard lk(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::uint64_t count,
+                  const std::function<void(std::uint64_t)>& fn,
+                  std::atomic<bool>* stop, std::uint64_t grain) {
+  if (count == 0) return;
+  grain = std::max<std::uint64_t>(1, grain);
+  // Shared cursor: each task claims `grain` indices at a time. The
+  // cursor and fn outlive the tasks because we wait_idle() before return.
+  std::atomic<std::uint64_t> cursor{0};
+  const unsigned tasks = pool.thread_count();
+  for (unsigned t = 0; t < tasks; ++t) {
+    pool.submit([&cursor, &fn, stop, count, grain] {
+      while (true) {
+        if (stop && stop->load(std::memory_order_relaxed)) return;
+        const std::uint64_t begin =
+            cursor.fetch_add(grain, std::memory_order_relaxed);
+        if (begin >= count) return;
+        const std::uint64_t end = std::min(begin + grain, count);
+        for (std::uint64_t i = begin; i < end; ++i) {
+          if (stop && stop->load(std::memory_order_relaxed)) return;
+          fn(i);
+        }
+      }
+    });
+  }
+  pool.wait_idle();
+}
+
+}  // namespace kgdp::util

@@ -1,0 +1,56 @@
+// Fixed-size worker pool with a blocking task queue plus a chunked
+// parallel_for built on top of it. Results are deterministic regardless of
+// thread count: workers only write to disjoint output slots and the
+// early-exit flag is monotone.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace kgdp::util {
+
+class ThreadPool {
+ public:
+  // `threads == 0` means hardware_concurrency (at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned thread_count() const { return static_cast<unsigned>(workers_.size()); }
+
+  // Enqueue a task; tasks must not throw (they run under noexcept workers).
+  void submit(std::function<void()> task);
+
+  // Block until every submitted task has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+// Run fn(i) for i in [0, count) across the pool. `fn` must be safe to call
+// concurrently for distinct i. Blocks until complete. The optional `stop`
+// flag allows cooperative early exit: once set, remaining indices are
+// skipped (an index already started still completes).
+void parallel_for(ThreadPool& pool, std::uint64_t count,
+                  const std::function<void(std::uint64_t)>& fn,
+                  std::atomic<bool>* stop = nullptr,
+                  std::uint64_t grain = 64);
+
+}  // namespace kgdp::util

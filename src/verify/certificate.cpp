@@ -1,0 +1,123 @@
+#include "verify/certificate.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "fault/enumerator.hpp"
+#include "io/graph_io.hpp"
+#include "kgd/pipeline.hpp"
+#include "verify/pipeline_solver.hpp"
+
+namespace kgdp::verify {
+
+void write_certificate(std::ostream& out, const kgd::SolutionGraph& sg,
+                       int max_faults) {
+  out << "kgdp-certificate 1\n";
+  io::save_solution(out, sg);
+  out << "max_faults " << max_faults << '\n';
+  const fault::FaultEnumerator en(sg.num_nodes(), max_faults);
+  out << "entries " << en.total() << '\n';
+  PipelineSolver solver;
+  for (std::uint64_t i = 0; i < en.total(); ++i) {
+    const kgd::FaultSet fs = en.at(i);
+    const auto res = solver.solve(sg, fs);
+    if (res.status != SolveStatus::kFound) {
+      throw std::runtime_error(
+          "graph is not gracefully degradable: no pipeline for faults " +
+          fs.to_string());
+    }
+    out << fs.size();
+    for (int v : fs.nodes()) out << ' ' << v;
+    out << " ; " << res.pipeline->path.size();
+    for (auto v : res.pipeline->path) out << ' ' << v;
+    out << '\n';
+  }
+}
+
+std::string write_certificate_string(const kgd::SolutionGraph& sg,
+                                     int max_faults) {
+  std::ostringstream os;
+  write_certificate(os, sg, max_faults);
+  return os.str();
+}
+
+CertificateStats check_certificate(std::istream& in) {
+  CertificateStats stats;
+  auto fail = [&stats](std::string msg) {
+    stats.error = std::move(msg);
+    return stats;
+  };
+
+  std::string word;
+  int version = 0;
+  if (!(in >> word >> version) || word != "kgdp-certificate" ||
+      version != 1) {
+    return fail("bad certificate header");
+  }
+
+  kgd::SolutionGraph sg;
+  try {
+    sg = io::load_solution(in);
+  } catch (const std::exception& e) {
+    return fail(std::string("embedded graph: ") + e.what());
+  }
+
+  int max_faults = 0;
+  std::uint64_t declared_entries = 0;
+  if (!(in >> word >> max_faults) || word != "max_faults") {
+    return fail("missing max_faults");
+  }
+  if (!(in >> word >> declared_entries) || word != "entries") {
+    return fail("missing entries count");
+  }
+
+  // Completeness: the number of fault sets is known in closed form, and
+  // we additionally require them in canonical enumeration order so no
+  // duplicates can hide a gap.
+  const fault::FaultEnumerator en(sg.num_nodes(), max_faults);
+  if (declared_entries != en.total()) {
+    return fail("entry count mismatch: declared " +
+                std::to_string(declared_entries) + ", need " +
+                std::to_string(en.total()));
+  }
+
+  for (std::uint64_t i = 0; i < declared_entries; ++i) {
+    int fcount = 0;
+    if (!(in >> fcount) || fcount < 0) return fail("bad fault count");
+    std::vector<int> fault_nodes(fcount);
+    for (int& v : fault_nodes) {
+      if (!(in >> v)) return fail("truncated fault list");
+    }
+    std::string sep;
+    if (!(in >> sep) || sep != ";") return fail("missing separator");
+    std::size_t plen = 0;
+    if (!(in >> plen) || plen < 2) return fail("bad pipeline length");
+    std::vector<int> path(plen);
+    for (int& v : path) {
+      if (!(in >> v)) return fail("truncated pipeline");
+    }
+
+    if (fault_nodes != en.nodes_at(i)) {
+      return fail("entry " + std::to_string(i) +
+                  " out of canonical order");
+    }
+    const kgd::FaultSet fs(sg.num_nodes(), fault_nodes);
+    const auto chk = kgd::check_pipeline(sg, fs, path);
+    if (!chk.ok) {
+      return fail("entry " + std::to_string(i) + ": " + chk.error);
+    }
+    ++stats.entries;
+  }
+  stats.complete = true;
+  stats.all_valid = true;
+  return stats;
+}
+
+CertificateStats check_certificate_string(const std::string& text) {
+  std::istringstream is(text);
+  return check_certificate(is);
+}
+
+}  // namespace kgdp::verify

@@ -1,0 +1,44 @@
+// GD certificates: a machine-checkable proof object for GD(G, k). The
+// certificate lists, for EVERY fault set of size <= k, a concrete
+// pipeline. Re-checking a certificate needs no solver — just the
+// pipeline validity predicate plus a completeness count — so a consumer
+// can trust a design without trusting (or re-running) the search.
+//
+// Format (text, after a kgdp-graph block):
+//   kgdp-certificate 1
+//   <serialized solution graph>
+//   max_faults <k>
+//   entries <count>
+//   <f> <fault nodes...> ; <p> <pipeline nodes...>   (one line per entry)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "kgd/labeled_graph.hpp"
+
+namespace kgdp::verify {
+
+struct CertificateStats {
+  std::uint64_t entries = 0;
+  bool complete = false;   // one entry per fault set, none missing
+  bool all_valid = false;  // every pipeline passes check_pipeline
+  std::string error;       // first failure, empty if ok
+  bool ok() const { return complete && all_valid; }
+};
+
+// Enumerates every fault set up to max_faults, solves each, and writes
+// the certificate. Throws std::runtime_error if any fault set has no
+// pipeline (the graph is simply not k-GD; certify something else).
+void write_certificate(std::ostream& out, const kgd::SolutionGraph& sg,
+                       int max_faults);
+std::string write_certificate_string(const kgd::SolutionGraph& sg,
+                                     int max_faults);
+
+// Re-validates a certificate: parses the embedded graph, checks entry
+// count against the closed-form subset count, and validates every
+// pipeline against its fault set. No solving involved.
+CertificateStats check_certificate(std::istream& in);
+CertificateStats check_certificate_string(const std::string& text);
+
+}  // namespace kgdp::verify

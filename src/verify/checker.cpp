@@ -1,0 +1,114 @@
+#include "verify/checker.hpp"
+
+#include <atomic>
+#include <mutex>
+
+#include "fault/enumerator.hpp"
+#include "fault/fault_model.hpp"
+#include "util/rng.hpp"
+
+namespace kgdp::verify {
+
+namespace {
+
+// Shared state for a parallel sweep. Workers record the lowest-index
+// counterexample so results are deterministic under any thread count.
+struct SweepState {
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> checked{0};
+  std::atomic<std::uint64_t> unknowns{0};
+  std::mutex mu;
+  std::uint64_t best_counterexample_index = ~std::uint64_t{0};
+
+  void report_failure(std::uint64_t index) {
+    std::lock_guard lk(mu);
+    if (index < best_counterexample_index) best_counterexample_index = index;
+    stop.store(true, std::memory_order_relaxed);
+  }
+};
+
+SolverOptions solver_options(const CheckOptions& opts) {
+  SolverOptions s;
+  s.ham.dfs_budget = opts.dfs_budget;
+  return s;
+}
+
+}  // namespace
+
+CheckResult check_gd_exhaustive(const kgd::SolutionGraph& sg, int max_faults,
+                                const CheckOptions& opts) {
+  const fault::FaultEnumerator enumr(sg.num_nodes(), max_faults);
+  SweepState state;
+
+  auto run_range = [&](std::uint64_t index) {
+    PipelineSolver solver(solver_options(opts));
+    const kgd::FaultSet fs = enumr.at(index);
+    const SolveOutcome out = solver.solve(sg, fs);
+    state.checked.fetch_add(1, std::memory_order_relaxed);
+    if (out.status == SolveStatus::kNone) {
+      state.report_failure(index);
+    } else if (out.status == SolveStatus::kUnknown) {
+      state.unknowns.fetch_add(1, std::memory_order_relaxed);
+      state.report_failure(index);  // conservatively treat as failure
+    }
+  };
+
+  if (opts.pool) {
+    util::parallel_for(*opts.pool, enumr.total(), run_range, &state.stop,
+                       /*grain=*/16);
+  } else {
+    for (std::uint64_t i = 0; i < enumr.total(); ++i) {
+      if (state.stop.load(std::memory_order_relaxed)) break;
+      run_range(i);
+    }
+  }
+
+  CheckResult res;
+  res.fault_sets_checked = state.checked.load();
+  res.solver_unknowns = state.unknowns.load();
+  res.exhaustive = !state.stop.load();
+  res.holds = !state.stop.load();
+  if (state.best_counterexample_index != ~std::uint64_t{0}) {
+    res.counterexample = enumr.at(state.best_counterexample_index);
+  }
+  // When a counterexample exists the sweep may have stopped early, but the
+  // verdict is still exact: GD fails.
+  if (res.counterexample) res.exhaustive = true;
+  return res;
+}
+
+CheckResult check_gd_sampled(const kgd::SolutionGraph& sg, int max_faults,
+                             std::uint64_t samples, std::uint64_t seed,
+                             const CheckOptions& opts) {
+  PipelineSolver solver(solver_options(opts));
+  CheckResult res;
+  res.exhaustive = false;
+
+  auto try_set = [&](const kgd::FaultSet& fs) {
+    ++res.fault_sets_checked;
+    const SolveOutcome out = solver.solve(sg, fs);
+    if (out.status == SolveStatus::kFound) return true;
+    if (out.status == SolveStatus::kUnknown) ++res.solver_unknowns;
+    res.counterexample = fs;
+    return false;
+  };
+
+  // Adversarial suite first: most likely to expose a flaw.
+  for (const kgd::FaultSet& fs :
+       fault::adversarial_suite(sg, max_faults)) {
+    if (!try_set(fs)) return res;
+  }
+
+  util::Rng rng(seed);
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    const int count =
+        static_cast<int>(rng.next_int(0, max_faults));
+    const kgd::FaultSet fs =
+        fault::draw_faults(sg, count, fault::FaultPolicy::kUniform, rng);
+    if (!try_set(fs)) return res;
+  }
+  res.holds = true;
+  return res;
+}
+
+}  // namespace kgdp::verify

@@ -1,0 +1,45 @@
+// Graceful-degradation certification. GD(G,k) holds iff every fault set
+// of size <= k leaves a pipeline; the exhaustive checker decides this by
+// quantifier elimination (enumerate + exact solve), sharded across a
+// thread pool. The sampled checker covers instances whose fault-set space
+// is out of exhaustive reach.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "kgd/labeled_graph.hpp"
+#include "util/thread_pool.hpp"
+#include "verify/pipeline_solver.hpp"
+
+namespace kgdp::verify {
+
+struct CheckResult {
+  // True when every checked fault set tolerated. For the exhaustive
+  // checker this certifies GD(G,k); for the sampled checker it is
+  // evidence only.
+  bool holds = false;
+  bool exhaustive = false;
+  std::uint64_t fault_sets_checked = 0;
+  std::uint64_t solver_unknowns = 0;  // always 0 with exact settings
+  std::optional<kgd::FaultSet> counterexample;
+};
+
+struct CheckOptions {
+  // Give the DFS this much budget before the exact DP fallback.
+  std::uint64_t dfs_budget = 1u << 20;
+  // Optional pool; nullptr = run sequentially on the calling thread.
+  util::ThreadPool* pool = nullptr;
+};
+
+// Decides GD(sg, max_faults) exactly.
+CheckResult check_gd_exhaustive(const kgd::SolutionGraph& sg, int max_faults,
+                                const CheckOptions& opts = {});
+
+// Samples `samples` random fault sets of size <= max_faults (uniform over
+// sizes 0..max_faults weighted by count) plus the adversarial suite.
+CheckResult check_gd_sampled(const kgd::SolutionGraph& sg, int max_faults,
+                             std::uint64_t samples, std::uint64_t seed,
+                             const CheckOptions& opts = {});
+
+}  // namespace kgdp::verify

@@ -1,0 +1,197 @@
+#include "verify/incremental.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "graph/hamiltonian.hpp"
+
+namespace kgdp::verify {
+
+using graph::Node;
+using kgd::Role;
+
+const char* repair_method_name(RepairMethod m) {
+  switch (m) {
+    case RepairMethod::kUntouched: return "untouched";
+    case RepairMethod::kTerminalSwap: return "terminal-swap";
+    case RepairMethod::kSplice: return "splice";
+    case RepairMethod::kWindow: return "window-reroute";
+    case RepairMethod::kFullSolve: return "full-solve";
+    case RepairMethod::kInfeasible: return "infeasible";
+  }
+  return "?";
+}
+
+IncrementalReconfigurator::IncrementalReconfigurator(
+    const kgd::SolutionGraph& sg)
+    : sg_(sg), faults_(kgd::FaultSet::none(sg.num_nodes())) {
+  reset(faults_);
+}
+
+bool IncrementalReconfigurator::reset(const kgd::FaultSet& faults) {
+  faults_ = faults;
+  return full_solve();
+}
+
+bool IncrementalReconfigurator::full_solve() {
+  const auto out = solver_.solve(sg_, faults_);
+  if (out.status == SolveStatus::kFound) {
+    pipeline_ = out.pipeline;
+    return true;
+  }
+  pipeline_.reset();
+  return false;
+}
+
+bool IncrementalReconfigurator::certify() const {
+  return pipeline_ &&
+         kgd::check_pipeline(sg_, faults_, pipeline_->path).ok;
+}
+
+RepairMethod IncrementalReconfigurator::fail_node(kgd::Node v) {
+  assert(v >= 0 && v < sg_.num_nodes());
+  if (faults_.contains(v)) {
+    return operational() ? RepairMethod::kUntouched
+                         : RepairMethod::kInfeasible;
+  }
+  std::vector<Node> nodes = faults_.nodes();
+  nodes.push_back(v);
+  faults_ = kgd::FaultSet(sg_.num_nodes(), std::move(nodes));
+
+  if (!pipeline_) {
+    // Already down; a new fault can only be handled globally (a repair
+    // path does not exist to patch).
+    if (full_solve()) {
+      ++stats_.full_solves;
+      return RepairMethod::kFullSolve;
+    }
+    ++stats_.infeasible;
+    return RepairMethod::kInfeasible;
+  }
+
+  const auto& path = pipeline_->path;
+  const auto it = std::find(path.begin(), path.end(), v);
+  if (it == path.end()) {
+    // Not on the pipeline: still valid (faults only shrink the healthy
+    // set; v was not among the covered processors nor the terminals).
+    assert(certify());
+    ++stats_.untouched;
+    return RepairMethod::kUntouched;
+  }
+  return repair_around(v);
+}
+
+RepairMethod IncrementalReconfigurator::repair_around(kgd::Node v) {
+  const auto& path = pipeline_->path;
+  const std::size_t pos =
+      std::find(path.begin(), path.end(), v) - path.begin();
+
+  if (pos == 0 || pos + 1 == path.size()) {
+    if (try_terminal_swap(pos)) {
+      ++stats_.terminal_swaps;
+      return RepairMethod::kTerminalSwap;
+    }
+  } else {
+    if (try_splice(pos)) {
+      ++stats_.splices;
+      return RepairMethod::kSplice;
+    }
+    if (try_window(pos)) {
+      ++stats_.window_reroutes;
+      return RepairMethod::kWindow;
+    }
+  }
+  if (full_solve()) {
+    ++stats_.full_solves;
+    return RepairMethod::kFullSolve;
+  }
+  ++stats_.infeasible;
+  return RepairMethod::kInfeasible;
+}
+
+bool IncrementalReconfigurator::try_terminal_swap(std::size_t end_index) {
+  std::vector<Node> path = pipeline_->path;
+  const bool front = end_index == 0;
+  const Node anchor = front ? path[1] : path[path.size() - 2];
+  const Role wanted = sg_.role(front ? path.front() : path.back());
+  for (Node w : sg_.graph().neighbors(anchor)) {
+    if (sg_.role(w) == wanted && !faults_.contains(w)) {
+      if (front) {
+        path.front() = w;
+      } else {
+        path.back() = w;
+      }
+      kgd::Pipeline candidate{std::move(path)};
+      if (kgd::check_pipeline(sg_, faults_, candidate.path).ok) {
+        pipeline_ = kgd::normalize_pipeline(sg_, candidate.path);
+        return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+bool IncrementalReconfigurator::try_splice(std::size_t pos) {
+  const auto& path = pipeline_->path;
+  assert(pos > 0 && pos + 1 < path.size());
+  if (!sg_.graph().has_edge(path[pos - 1], path[pos + 1])) return false;
+  std::vector<Node> repaired(path.begin(), path.begin() + pos);
+  repaired.insert(repaired.end(), path.begin() + pos + 1, path.end());
+  if (!kgd::check_pipeline(sg_, faults_, repaired).ok) return false;
+  pipeline_ = kgd::normalize_pipeline(sg_, std::move(repaired));
+  return true;
+}
+
+bool IncrementalReconfigurator::try_window(std::size_t pos) {
+  const auto& path = pipeline_->path;
+  for (std::size_t radius = 3; radius < path.size(); radius *= 2) {
+    const std::size_t lo = pos > radius ? pos - radius : 1;
+    const std::size_t hi =
+        std::min(pos + radius, path.size() - 2);  // keep terminals fixed
+    if (lo >= hi) continue;
+    // Window nodes: the path segment [lo, hi] minus the dead node; the
+    // re-route must cover all of them, anchored at path[lo-1], path[hi+1]
+    // via their window neighbors. We solve on the induced subgraph of
+    // the segment with endpoint sets = neighbors of the anchors.
+    util::DynamicBitset keep(sg_.num_nodes());
+    for (std::size_t i = lo; i <= hi; ++i) {
+      if (path[i] != path[pos]) keep.set(path[i]);
+    }
+    std::vector<Node> map;
+    const graph::Graph sub = sg_.graph().induced_subgraph(keep, &map);
+    util::DynamicBitset starts(sub.num_nodes()), ends(sub.num_nodes());
+    for (Node w : sg_.graph().neighbors(path[lo - 1])) {
+      if (static_cast<std::size_t>(w) < map.size() && map[w] >= 0) {
+        starts.set(map[w]);
+      }
+    }
+    for (Node w : sg_.graph().neighbors(path[hi + 1])) {
+      if (static_cast<std::size_t>(w) < map.size() && map[w] >= 0) {
+        ends.set(map[w]);
+      }
+    }
+    if (!starts.any() || !ends.any()) continue;
+    // Bounded search: the window is a heuristic, so give up quickly and
+    // grow the radius (or fall through to the global solver) instead of
+    // proving absence exactly on every intermediate window size.
+    graph::HamiltonianOptions bounded;
+    bounded.dfs_budget = 20000;
+    const auto res = graph::hamiltonian_path(sub, starts, ends, bounded);
+    if (res.status != graph::HamResult::kFound) continue;
+
+    std::vector<Node> repaired(path.begin(), path.begin() + lo);
+    std::vector<Node> back_map(sub.num_nodes(), -1);
+    for (Node full = 0; full < sg_.num_nodes(); ++full) {
+      if (map[full] >= 0) back_map[map[full]] = full;
+    }
+    for (Node s : res.path) repaired.push_back(back_map[s]);
+    repaired.insert(repaired.end(), path.begin() + hi + 1, path.end());
+    if (!kgd::check_pipeline(sg_, faults_, repaired).ok) continue;
+    pipeline_ = kgd::normalize_pipeline(sg_, std::move(repaired));
+    return true;
+  }
+  return false;
+}
+
+}  // namespace kgdp::verify

@@ -1,0 +1,78 @@
+// Incremental pipeline repair. A running machine that loses a node wants
+// its pipeline back in microseconds, and most single faults admit a
+// purely local fix. Strategies, tried cheapest-first:
+//
+//   kUntouched    — the dead node was not on the pipeline.
+//   kTerminalSwap — a pipeline endpoint terminal died; swap in another
+//                   healthy terminal attached to the same end processor.
+//   kSplice       — an interior processor died and its two pipeline
+//                   neighbors are directly adjacent: cut it out.
+//   kWindow       — re-route a window of the pipeline around the dead
+//                   node with the exact solver (window doubles until the
+//                   re-route succeeds or spans the whole pipeline).
+//   kFullSolve    — global reconfiguration (always correct fallback).
+//   kInfeasible   — no pipeline exists at all for the new fault set.
+//
+// Every repaired pipeline is certified against the paper's definition.
+#pragma once
+
+#include <optional>
+
+#include "kgd/labeled_graph.hpp"
+#include "kgd/pipeline.hpp"
+#include "verify/pipeline_solver.hpp"
+
+namespace kgdp::verify {
+
+enum class RepairMethod {
+  kUntouched,
+  kTerminalSwap,
+  kSplice,
+  kWindow,
+  kFullSolve,
+  kInfeasible,
+};
+
+const char* repair_method_name(RepairMethod m);
+
+class IncrementalReconfigurator {
+ public:
+  explicit IncrementalReconfigurator(const kgd::SolutionGraph& sg);
+
+  // (Re)start from the given fault set with a fresh global solve.
+  // Returns false (and clears the pipeline) if infeasible.
+  bool reset(const kgd::FaultSet& faults);
+
+  bool operational() const { return pipeline_.has_value(); }
+  const kgd::Pipeline& pipeline() const { return *pipeline_; }
+  const kgd::FaultSet& faults() const { return faults_; }
+
+  // Marks `v` faulty and repairs. Counts per-method statistics.
+  RepairMethod fail_node(kgd::Node v);
+
+  struct Stats {
+    std::uint64_t untouched = 0;
+    std::uint64_t terminal_swaps = 0;
+    std::uint64_t splices = 0;
+    std::uint64_t window_reroutes = 0;
+    std::uint64_t full_solves = 0;
+    std::uint64_t infeasible = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  RepairMethod repair_around(kgd::Node v);
+  bool try_terminal_swap(std::size_t end_index);
+  bool try_splice(std::size_t pos);
+  bool try_window(std::size_t pos);
+  bool full_solve();
+  bool certify() const;
+
+  const kgd::SolutionGraph& sg_;
+  PipelineSolver solver_;
+  kgd::FaultSet faults_;
+  std::optional<kgd::Pipeline> pipeline_;
+  Stats stats_;
+};
+
+}  // namespace kgdp::verify

@@ -1,0 +1,28 @@
+#include "verify/optimality.hpp"
+
+#include <sstream>
+
+#include "kgd/bounds.hpp"
+
+namespace kgdp::verify {
+
+std::string OptimalityReport::summary() const {
+  std::ostringstream os;
+  os << (node_optimal ? "node-optimal" : "NOT node-optimal") << ", "
+     << (standard ? "standard" : "NOT standard") << ", max processor degree "
+     << max_processor_degree << " (lower bound " << degree_lower_bound
+     << ") => " << (degree_optimal ? "degree-optimal" : "NOT degree-optimal");
+  return os.str();
+}
+
+OptimalityReport certify_optimality(const kgd::SolutionGraph& sg) {
+  OptimalityReport r;
+  r.node_optimal = sg.is_node_optimal();
+  r.standard = sg.is_standard();
+  r.max_processor_degree = sg.max_processor_degree();
+  r.degree_lower_bound = kgd::max_degree_lower_bound(sg.n(), sg.k());
+  r.degree_optimal = r.max_processor_degree == r.degree_lower_bound;
+  return r;
+}
+
+}  // namespace kgdp::verify

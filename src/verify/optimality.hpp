@@ -1,0 +1,23 @@
+// Certification of the paper's optimality claims for a concrete graph:
+// node-optimality (exact node counts), standardness, and degree-
+// optimality (max processor degree equals the provable lower bound).
+#pragma once
+
+#include <string>
+
+#include "kgd/labeled_graph.hpp"
+
+namespace kgdp::verify {
+
+struct OptimalityReport {
+  bool node_optimal = false;
+  bool standard = false;
+  int max_processor_degree = 0;
+  int degree_lower_bound = 0;   // from kgd::max_degree_lower_bound
+  bool degree_optimal = false;  // max degree == lower bound
+  std::string summary() const;
+};
+
+OptimalityReport certify_optimality(const kgd::SolutionGraph& sg);
+
+}  // namespace kgdp::verify

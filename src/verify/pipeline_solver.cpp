@@ -1,0 +1,104 @@
+#include "verify/pipeline_solver.hpp"
+
+#include <cassert>
+
+namespace kgdp::verify {
+
+using kgd::Role;
+using graph::Node;
+
+PipelineSolver::PipelineSolver(SolverOptions opts)
+    : opts_(opts), ham_(opts.ham) {}
+
+SolveOutcome PipelineSolver::solve(const SolutionGraph& sg,
+                                   const FaultSet& faults) {
+  const int n_all = sg.num_nodes();
+  assert(faults.universe() == n_all);
+
+  // Induced subgraph of healthy processors.
+  util::DynamicBitset keep(n_all);
+  for (Node v = 0; v < n_all; ++v) {
+    if (sg.role(v) == Role::kProcessor && !faults.contains(v)) keep.set(v);
+  }
+  std::vector<Node> to_sub;  // old -> new (-1 outside)
+  const graph::Graph sub = sg.graph().induced_subgraph(keep, &to_sub);
+  const int hp = sub.num_nodes();
+
+  // Reverse mapping.
+  std::vector<Node> to_full(hp, -1);
+  for (Node v = 0; v < n_all; ++v) {
+    if (to_sub[v] >= 0) to_full[to_sub[v]] = v;
+  }
+
+  // Healthy processors with a healthy input (resp. output) terminal
+  // neighbor — the legal endpoints. Also remember one witness terminal.
+  util::DynamicBitset starts(hp), ends(hp);
+  std::vector<Node> start_term(hp, -1), end_term(hp, -1);
+  for (Node v = 0; v < n_all; ++v) {
+    const int s = to_sub[v];
+    if (s < 0) continue;
+    for (Node w : sg.graph().neighbors(v)) {
+      if (faults.contains(w)) continue;
+      if (sg.role(w) == Role::kInput && start_term[s] < 0) {
+        starts.set(s);
+        start_term[s] = w;
+      } else if (sg.role(w) == Role::kOutput && end_term[s] < 0) {
+        ends.set(s);
+        end_term[s] = w;
+      }
+    }
+  }
+
+  if (hp == 0) {
+    // A pipeline has at least one interior node in any graph whose
+    // terminals only attach to processors, so zero healthy processors
+    // means no pipeline (terminal-terminal edges do not occur in our
+    // constructions; if present they could make a 2-node pipeline, which
+    // we check for completeness).
+    for (Node v = 0; v < n_all; ++v) {
+      if (sg.role(v) != Role::kInput || faults.contains(v)) continue;
+      for (Node w : sg.graph().neighbors(v)) {
+        if (sg.role(w) == Role::kOutput && !faults.contains(w)) {
+          Pipeline pl{{v, w}};
+          return {SolveStatus::kFound, pl};
+        }
+      }
+    }
+    return {SolveStatus::kNone, std::nullopt};
+  }
+
+  if (!starts.any() || !ends.any()) return {SolveStatus::kNone, std::nullopt};
+
+  const graph::HamPath hp_res = ham_.solve(sub, starts, ends);
+  switch (hp_res.status) {
+    case graph::HamResult::kUnknown:
+      return {SolveStatus::kUnknown, std::nullopt};
+    case graph::HamResult::kNone:
+      return {SolveStatus::kNone, std::nullopt};
+    case graph::HamResult::kFound:
+      break;
+  }
+
+  // Assemble the full pipeline: input terminal, processors, output
+  // terminal; normalise to input-first order.
+  std::vector<Node> full;
+  full.reserve(hp_res.path.size() + 2);
+  full.push_back(start_term[hp_res.path.front()]);
+  for (Node s : hp_res.path) full.push_back(to_full[s]);
+  full.push_back(end_term[hp_res.path.back()]);
+
+  if (opts_.certify) {
+    const kgd::PipelineCheck chk = kgd::check_pipeline(sg, faults, full);
+    assert(chk.ok && "solver produced an invalid pipeline");
+    if (!chk.ok) return {SolveStatus::kUnknown, std::nullopt};
+  }
+  return {SolveStatus::kFound, kgd::normalize_pipeline(sg, std::move(full))};
+}
+
+SolveOutcome find_pipeline(const SolutionGraph& sg, const FaultSet& faults,
+                           SolverOptions opts) {
+  PipelineSolver solver(opts);
+  return solver.solve(sg, faults);
+}
+
+}  // namespace kgdp::verify

@@ -1,0 +1,56 @@
+// Reconfiguration: given a solution graph and a fault set, produce a
+// pipeline through every healthy processor (or prove none exists). This
+// is the algorithmic counterpart of the paper's existence proofs — the
+// technical-report proofs are constructive but unavailable, so we solve
+// the equivalent Hamiltonian-path-with-endpoint-sets problem exactly and
+// certify each answer against the paper's pipeline definition.
+#pragma once
+
+#include <optional>
+
+#include "graph/hamiltonian.hpp"
+#include "kgd/labeled_graph.hpp"
+#include "kgd/pipeline.hpp"
+
+namespace kgdp::verify {
+
+using kgd::FaultSet;
+using kgd::Pipeline;
+using kgd::SolutionGraph;
+
+enum class SolveStatus {
+  kFound,     // pipeline exists; `pipeline` is set and certified
+  kNone,      // proven: no pipeline in G \ F
+  kUnknown,   // solver budget exhausted (only with a finite budget)
+};
+
+struct SolveOutcome {
+  SolveStatus status = SolveStatus::kUnknown;
+  std::optional<Pipeline> pipeline;
+};
+
+struct SolverOptions {
+  graph::HamiltonianOptions ham;  // defaults: exact (no budget)
+  // Re-check every found pipeline against kgd::check_pipeline; cheap and
+  // keeps the solver honest. On by default.
+  bool certify = true;
+};
+
+class PipelineSolver {
+ public:
+  explicit PipelineSolver(SolverOptions opts = {});
+
+  SolveOutcome solve(const SolutionGraph& sg, const FaultSet& faults);
+
+  std::uint64_t ham_expansions() const { return ham_.expansions(); }
+
+ private:
+  SolverOptions opts_;
+  graph::HamiltonianSolver ham_;
+};
+
+// One-shot convenience.
+SolveOutcome find_pipeline(const SolutionGraph& sg, const FaultSet& faults,
+                           SolverOptions opts = {});
+
+}  // namespace kgdp::verify

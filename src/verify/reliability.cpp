@@ -1,0 +1,66 @@
+#include "verify/reliability.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "verify/pipeline_solver.hpp"
+
+namespace kgdp::verify {
+
+ReliabilityPoint estimate_reliability(const kgd::SolutionGraph& sg,
+                                      double p, int trials,
+                                      std::uint64_t seed) {
+  util::Rng rng(seed);
+  PipelineSolver solver;
+  ReliabilityPoint point;
+  point.p = p;
+  const int total_procs = sg.num_processors();
+
+  long survived = 0;
+  double util_sum = 0.0;
+  long fault_sum = 0;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<int> faulty;
+    for (int v = 0; v < sg.num_nodes(); ++v) {
+      if (rng.next_bool(p)) faulty.push_back(v);
+    }
+    fault_sum += static_cast<long>(faulty.size());
+    const kgd::FaultSet fs(sg.num_nodes(), std::move(faulty));
+    const auto out = solver.solve(sg, fs);
+    if (out.status == SolveStatus::kFound) {
+      ++survived;
+      util_sum += static_cast<double>(out.pipeline->num_processors()) /
+                  total_procs;
+    }
+  }
+  point.survival = static_cast<double>(survived) / trials;
+  point.mean_utilization = util_sum / trials;
+  point.mean_faults = static_cast<double>(fault_sum) / trials;
+  return point;
+}
+
+std::vector<ReliabilityPoint> reliability_curve(
+    const kgd::SolutionGraph& sg, const std::vector<double>& ps,
+    int trials, std::uint64_t seed) {
+  std::vector<ReliabilityPoint> curve;
+  curve.reserve(ps.size());
+  std::uint64_t s = seed;
+  for (double p : ps) {
+    curve.push_back(estimate_reliability(sg, p, trials, ++s));
+  }
+  return curve;
+}
+
+double binomial_survival_floor(int num_nodes, int k, double p) {
+  // P(X <= k) for X ~ Binomial(num_nodes, p), computed stably in the
+  // regimes we care about (num_nodes <= a few hundred).
+  double cdf = 0.0;
+  double term = std::pow(1.0 - p, num_nodes);  // P(X = 0)
+  for (int j = 0; j <= k; ++j) {
+    cdf += term;
+    term *= static_cast<double>(num_nodes - j) / (j + 1) * p / (1.0 - p);
+  }
+  return std::min(cdf, 1.0);
+}
+
+}  // namespace kgdp::verify

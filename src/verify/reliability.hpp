@@ -1,0 +1,37 @@
+// Reliability curves: the fault-tolerance literature's standard metric.
+// Every node fails independently with probability p; R(p) is the
+// probability the machine still hosts a full pipeline. For a certified
+// k-GD graph, R(p) is lower-bounded by P(#faults <= k) (binomial CDF);
+// designs that are not gracefully degradable fall below that bound
+// because specific small patterns already kill them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kgd/labeled_graph.hpp"
+
+namespace kgdp::verify {
+
+struct ReliabilityPoint {
+  double p = 0.0;            // per-node failure probability
+  double survival = 0.0;     // fraction of trials with a pipeline
+  double mean_utilization = 0.0;  // pipeline procs / total procs (0 when
+                                  // down), averaged over trials
+  double mean_faults = 0.0;
+};
+
+// Monte Carlo estimate at one p.
+ReliabilityPoint estimate_reliability(const kgd::SolutionGraph& sg,
+                                      double p, int trials,
+                                      std::uint64_t seed);
+
+// Sweep over several p values (trials each; deterministic given seed).
+std::vector<ReliabilityPoint> reliability_curve(
+    const kgd::SolutionGraph& sg, const std::vector<double>& ps,
+    int trials, std::uint64_t seed);
+
+// The k-GD design's analytic floor: P(Binomial(|V|, p) <= k).
+double binomial_survival_floor(int num_nodes, int k, double p);
+
+}  // namespace kgdp::verify

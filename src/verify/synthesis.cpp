@@ -1,0 +1,399 @@
+#include "verify/synthesis.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <numeric>
+
+#include "fault/enumerator.hpp"
+#include "graph/properties.hpp"
+#include "util/rng.hpp"
+#include "verify/checker.hpp"
+#include "verify/pipeline_solver.hpp"
+
+namespace kgdp::verify {
+
+using graph::Graph;
+using graph::Node;
+using kgd::FaultSet;
+using kgd::Role;
+using kgd::SolutionGraph;
+using kgd::SolutionGraphBuilder;
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Shape enumeration
+// ---------------------------------------------------------------------
+
+struct Triple {
+  int in, out, deg;  // attachments and processor-subgraph degree
+  bool operator>(const Triple& o) const {
+    if (in != o.in) return in > o.in;
+    if (out != o.out) return out > o.out;
+    return deg > o.deg;
+  }
+  bool operator<=(const Triple& o) const { return !(*this > o); }
+};
+
+void shapes_rec(const SynthSpec& spec, int idx, int rem_in, int rem_out,
+                std::vector<Triple>& acc, std::vector<CandidateShape>& out) {
+  const int P = spec.n + spec.k;
+  if (idx == P) {
+    if (rem_in != 0 || rem_out != 0) return;
+    int deg_sum = 0;
+    for (const Triple& t : acc) deg_sum += t.deg;
+    if (deg_sum % 2 != 0) return;
+    CandidateShape s;
+    for (const Triple& t : acc) {
+      s.att_in.push_back(t.in);
+      s.att_out.push_back(t.out);
+      s.proc_degree.push_back(t.deg);
+    }
+    out.push_back(std::move(s));
+    return;
+  }
+  const int min_proc = spec.n > 1 ? spec.k + 1 : 0;
+  for (int in = 0; in <= rem_in; ++in) {
+    for (int o = 0; o <= rem_out; ++o) {
+      const int att = in + o;
+      const int lo = std::max({min_proc, spec.k + 2 - att, 0});
+      const int hi = std::min(spec.max_total_degree - att, P - 1);
+      for (int d = lo; d <= hi; ++d) {
+        const Triple t{in, o, d};
+        // Canonical non-increasing order kills relabel-duplicates.
+        if (!acc.empty() && !(t <= acc.back())) continue;
+        acc.push_back(t);
+        shapes_rec(spec, idx + 1, rem_in - in, rem_out - o, acc, out);
+        acc.pop_back();
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Exact-degree-sequence labeled graph enumeration
+// ---------------------------------------------------------------------
+
+// Completes node `u` (the lowest with unfulfilled degree) by choosing its
+// remaining partners among higher-indexed nodes, recursively. Calls
+// `emit` for each complete labeled graph; emit returning false aborts.
+class DegreeSequenceEnumerator {
+ public:
+  DegreeSequenceEnumerator(std::vector<int> degrees,
+                           std::function<bool(const Graph&)> emit,
+                           std::uint64_t max_graphs)
+      : residual_(std::move(degrees)),
+        g_(static_cast<int>(residual_.size())),
+        emit_(std::move(emit)),
+        max_graphs_(max_graphs) {}
+
+  // Returns true iff the space was fully enumerated (no early abort).
+  bool run() {
+    aborted_ = false;
+    rec();
+    return !aborted_ && !capped_;
+  }
+
+  std::uint64_t emitted() const { return emitted_; }
+
+ private:
+  void rec() {
+    if (aborted_ || capped_) return;
+    int u = -1;
+    for (int v = 0; v < g_.num_nodes(); ++v) {
+      if (residual_[v] > 0) {
+        u = v;
+        break;
+      }
+    }
+    if (u < 0) {
+      ++emitted_;
+      if (max_graphs_ && emitted_ > max_graphs_) {
+        capped_ = true;
+        return;
+      }
+      if (!emit_(g_)) aborted_ = true;
+      return;
+    }
+    // Candidates: strictly higher-indexed nodes with spare degree.
+    std::vector<int> cand;
+    for (int w = u + 1; w < g_.num_nodes(); ++w) {
+      if (residual_[w] > 0) cand.push_back(w);
+    }
+    const int need = residual_[u];
+    if (static_cast<int>(cand.size()) < need) return;
+    choose(u, cand, 0, need);
+  }
+
+  void choose(int u, const std::vector<int>& cand, std::size_t from,
+              int need) {
+    if (aborted_ || capped_) return;
+    if (need == 0) {
+      const int saved = residual_[u];
+      residual_[u] = 0;
+      rec();
+      residual_[u] = saved;
+      return;
+    }
+    if (cand.size() - from < static_cast<std::size_t>(need)) return;
+    // Take cand[from]...
+    {
+      const int w = cand[from];
+      g_.add_edge(u, w);
+      --residual_[w];
+      choose(u, cand, from + 1, need - 1);
+      ++residual_[w];
+      g_.remove_edge(u, w);
+    }
+    // ...or skip it.
+    choose(u, cand, from + 1, need);
+  }
+
+  std::vector<int> residual_;
+  Graph g_;
+  std::function<bool(const Graph&)> emit_;
+  std::uint64_t max_graphs_;
+  std::uint64_t emitted_ = 0;
+  bool aborted_ = false;
+  bool capped_ = false;
+};
+
+// ---------------------------------------------------------------------
+// GD filtering with a fail-first cache
+// ---------------------------------------------------------------------
+
+// Candidate graphs overwhelmingly fail on a handful of fault-set
+// patterns; replaying recent killers first skips the full sweep.
+class GdFilter {
+ public:
+  explicit GdFilter(int k) : k_(k) {}
+
+  bool certify(const SolutionGraph& sg, std::uint64_t* gd_checks) {
+    PipelineSolver solver;
+    for (const auto& nodes : hot_) {
+      if (static_cast<int>(nodes.size()) > sg.num_nodes()) continue;
+      bool in_range = true;
+      for (int v : nodes) in_range &= v < sg.num_nodes();
+      if (!in_range) continue;
+      const FaultSet fs(sg.num_nodes(), nodes);
+      if (solver.solve(sg, fs).status == SolveStatus::kNone) {
+        return false;  // same killer strikes again; no recount needed
+      }
+    }
+    ++*gd_checks;
+    const CheckResult res = check_gd_exhaustive(sg, k_);
+    if (!res.holds && res.counterexample) {
+      remember(res.counterexample->nodes());
+      return false;
+    }
+    return res.holds;
+  }
+
+ private:
+  void remember(std::vector<int> nodes) {
+    hot_.push_front(std::move(nodes));
+    if (hot_.size() > 64) hot_.pop_back();
+  }
+
+  int k_;
+  std::deque<std::vector<int>> hot_;
+};
+
+bool plausible_processor_graph(const Graph& pg, int k) {
+  if (pg.num_nodes() >= 2 && !graph::is_connected(pg)) return false;
+  // A cut processor c fails the single fault set {c} whenever both sides
+  // of the cut contain processors, so for k >= 1 reject articulation
+  // points outright.
+  if (k >= 1 && pg.num_nodes() >= 3 &&
+      !graph::articulation_points(pg).empty()) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<CandidateShape> enumerate_shapes(const SynthSpec& spec) {
+  std::vector<CandidateShape> out;
+  std::vector<Triple> acc;
+  shapes_rec(spec, 0, spec.k + 1, spec.k + 1, acc, out);
+  return out;
+}
+
+SolutionGraph assemble(const SynthSpec& spec, const CandidateShape& shape,
+                       const Graph& proc_graph) {
+  const int P = spec.n + spec.k;
+  assert(proc_graph.num_nodes() == P);
+  SolutionGraphBuilder b(spec.n, spec.k,
+                         "synth(" + std::to_string(spec.n) + "," +
+                             std::to_string(spec.k) + ")");
+  for (int v = 0; v < P; ++v) b.add(Role::kProcessor);
+  for (auto [u, v] : proc_graph.edges()) b.connect(u, v);
+  for (int v = 0; v < P; ++v) {
+    for (int j = 0; j < shape.att_in[v]; ++j) {
+      b.connect(b.add(Role::kInput), v);
+    }
+    for (int j = 0; j < shape.att_out[v]; ++j) {
+      b.connect(b.add(Role::kOutput), v);
+    }
+  }
+  return b.build();
+}
+
+SynthStats enumerate_standard_solutions(
+    const SynthSpec& spec, const SynthLimits& limits,
+    const std::function<bool(const SolutionGraph&)>& on_solution) {
+  SynthStats stats;
+  stats.search_space_exhausted = true;
+  GdFilter filter(spec.k);
+
+  for (const CandidateShape& shape : enumerate_shapes(spec)) {
+    ++stats.shapes;
+    bool stop = false;
+    DegreeSequenceEnumerator en(
+        shape.proc_degree,
+        [&](const Graph& pg) {
+          ++stats.graphs_enumerated;
+          if (!plausible_processor_graph(pg, spec.k)) return true;
+          const SolutionGraph sg = assemble(spec, shape, pg);
+          if (!filter.certify(sg, &stats.gd_checks)) return true;
+          ++stats.solutions;
+          if (!on_solution(sg) ||
+              (limits.max_solutions &&
+               stats.solutions >= limits.max_solutions)) {
+            stop = true;
+            return false;
+          }
+          return true;
+        },
+        limits.max_graphs);
+    const bool exhausted = en.run();
+    if (!exhausted && !stop) stats.search_space_exhausted = false;
+    if (stop) {
+      stats.search_space_exhausted = false;
+      break;
+    }
+  }
+  return stats;
+}
+
+// ---------------------------------------------------------------------
+// Stochastic synthesis
+// ---------------------------------------------------------------------
+
+namespace {
+
+// Havel–Hakimi realisation of a graphical degree sequence, nullopt if the
+// sequence is not graphical.
+std::optional<Graph> havel_hakimi(const std::vector<int>& degrees) {
+  const int n = static_cast<int>(degrees.size());
+  Graph g(n);
+  std::vector<std::pair<int, int>> rem;  // (residual degree, node)
+  for (int v = 0; v < n; ++v) rem.emplace_back(degrees[v], v);
+  while (true) {
+    std::sort(rem.rbegin(), rem.rend());
+    if (rem.empty() || rem.front().first == 0) break;
+    auto [d, v] = rem.front();
+    rem.front().first = 0;
+    if (d >= static_cast<int>(rem.size())) return std::nullopt;
+    for (int i = 1; i <= d; ++i) {
+      if (rem[i].first == 0) return std::nullopt;
+      --rem[i].first;
+      g.add_edge(v, rem[i].second);
+    }
+  }
+  return g;
+}
+
+// Random degree-preserving 2-swap: edges (a,b),(c,d) -> (a,d),(c,b).
+bool try_edge_swap(Graph& g, util::Rng& rng) {
+  const auto edges = g.edges();
+  if (edges.size() < 2) return false;
+  const auto [a, b] = edges[rng.next_below(edges.size())];
+  const auto [c, d] = edges[rng.next_below(edges.size())];
+  Node a2 = a, b2 = b, c2 = c, d2 = d;
+  if (rng.next_bool()) std::swap(c2, d2);
+  if (a2 == c2 || a2 == d2 || b2 == c2 || b2 == d2) return false;
+  if (g.has_edge(a2, d2) || g.has_edge(c2, b2)) return false;
+  g.remove_edge(a2, b2);
+  g.remove_edge(c2, d2);
+  g.add_edge(a2, d2);
+  g.add_edge(c2, b2);
+  return true;
+}
+
+// Count failing fault sets, stopping once `cap` failures are seen.
+int count_failures(const SolutionGraph& sg, int k, int cap,
+                   std::vector<std::vector<int>>* killers) {
+  const fault::FaultEnumerator en(sg.num_nodes(), k);
+  PipelineSolver solver;
+  int failures = 0;
+  for (std::uint64_t i = 0; i < en.total(); ++i) {
+    const FaultSet fs = en.at(i);
+    if (solver.solve(sg, fs).status == SolveStatus::kNone) {
+      if (killers && killers->size() < 8) killers->push_back(fs.nodes());
+      if (++failures >= cap) return failures;
+    }
+  }
+  return failures;
+}
+
+}  // namespace
+
+std::optional<SolutionGraph> synthesize_stochastic(const SynthSpec& spec,
+                                                   std::uint64_t seed,
+                                                   int max_restarts,
+                                                   int iters_per_restart) {
+  std::vector<CandidateShape> shapes = enumerate_shapes(spec);
+  if (shapes.empty()) return std::nullopt;
+  // Prefer shapes whose processor core is densest: empirically those are
+  // the ones that survive adversarial fault sets.
+  std::stable_sort(shapes.begin(), shapes.end(),
+                   [](const CandidateShape& a, const CandidateShape& b) {
+                     return std::accumulate(a.proc_degree.begin(),
+                                            a.proc_degree.end(), 0) >
+                            std::accumulate(b.proc_degree.begin(),
+                                            b.proc_degree.end(), 0);
+                   });
+
+  util::Rng rng(seed);
+  const int fail_cap = 12;
+
+  for (int restart = 0; restart < max_restarts; ++restart) {
+    const CandidateShape& shape = shapes[restart % shapes.size()];
+    auto realized = havel_hakimi(shape.proc_degree);
+    if (!realized) continue;
+    Graph g = std::move(*realized);
+    // Randomise away from the Havel–Hakimi canonical form.
+    for (std::size_t i = 0; i < 4 * g.num_edges(); ++i) try_edge_swap(g, rng);
+
+    int cur = count_failures(assemble(spec, shape, g), spec.k, fail_cap,
+                             nullptr);
+    for (int it = 0; it < iters_per_restart && cur > 0; ++it) {
+      Graph trial = g;
+      // One to three swaps per move: occasional double moves escape
+      // shallow local minima.
+      const int nswaps = 1 + static_cast<int>(rng.next_below(3));
+      bool changed = false;
+      for (int s = 0; s < nswaps; ++s) changed |= try_edge_swap(trial, rng);
+      if (!changed) continue;
+      if (!plausible_processor_graph(trial, spec.k)) continue;
+      const int fails = count_failures(assemble(spec, shape, trial), spec.k,
+                                       fail_cap, nullptr);
+      if (fails < cur || (fails == cur && rng.next_bool(0.25))) {
+        g = std::move(trial);
+        cur = fails;
+      }
+    }
+    if (cur == 0) {
+      // Certify with the full exhaustive checker before returning.
+      SolutionGraph sg = assemble(spec, shape, g);
+      const CheckResult res = check_gd_exhaustive(sg, spec.k);
+      if (res.holds) return sg;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace kgdp::verify

@@ -1,0 +1,76 @@
+// Search-based synthesis of standard solution graphs. The paper's §3.3
+// "special solutions" (Figures 10–13) were "intuitively designed and
+// exhaustively verified by human and/or computer checking"; their edge
+// lists are not recoverable from the scan, so this module reproduces the
+// method: enumerate or locally search candidate standard graphs under the
+// degree constraints forced by Lemmas 3.1/3.4, and certify each candidate
+// with the exhaustive GD checker. It also powers the Lemma 3.14
+// impossibility proof (exhaustive search returning zero solutions) and
+// the uniqueness claims of Lemmas 3.7/3.9.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "kgd/labeled_graph.hpp"
+
+namespace kgdp::verify {
+
+// A candidate shape: per-processor attachment counts (input terminals and
+// output terminals attached) and an exact processor-subgraph degree for
+// each processor. Σ att_in = Σ att_out = k+1; proc_degree[v] + att sums
+// to the node's total degree.
+struct CandidateShape {
+  std::vector<int> att_in;
+  std::vector<int> att_out;
+  std::vector<int> proc_degree;
+};
+
+struct SynthSpec {
+  int n = 0;
+  int k = 0;
+  int max_total_degree = 0;  // degree-optimality target
+};
+
+struct SynthLimits {
+  // Cap on processor-subgraphs generated per shape (0 = unlimited).
+  std::uint64_t max_graphs = 0;
+  // Stop after this many GD-verified solutions (0 = find all).
+  std::uint64_t max_solutions = 1;
+};
+
+struct SynthStats {
+  std::uint64_t shapes = 0;
+  std::uint64_t graphs_enumerated = 0;
+  std::uint64_t gd_checks = 0;
+  std::uint64_t solutions = 0;
+  bool search_space_exhausted = false;
+};
+
+// All shapes compatible with the spec and Lemmas 3.1/3.4, with attachment
+// patterns canonicalised (processors sorted by (att_in, att_out) so
+// relabel-equivalent shapes appear once).
+std::vector<CandidateShape> enumerate_shapes(const SynthSpec& spec);
+
+// Assembles a SolutionGraph from a processor subgraph + shape.
+kgd::SolutionGraph assemble(const SynthSpec& spec, const CandidateShape& shape,
+                            const graph::Graph& proc_graph);
+
+// Exhaustive search. Calls `on_solution` for every GD-certified solution
+// found (return false from it to stop early). Returns statistics;
+// stats.search_space_exhausted == true means "no solution exists for this
+// spec" whenever stats.solutions == 0.
+SynthStats enumerate_standard_solutions(
+    const SynthSpec& spec, const SynthLimits& limits,
+    const std::function<bool(const kgd::SolutionGraph&)>& on_solution);
+
+// Stochastic local search (degree-preserving edge swaps + attachment-role
+// swaps, objective = number of failing fault sets). Returns a certified
+// solution or nullopt after `max_restarts` restarts.
+std::optional<kgd::SolutionGraph> synthesize_stochastic(
+    const SynthSpec& spec, std::uint64_t seed, int max_restarts = 64,
+    int iters_per_restart = 20000);
+
+}  // namespace kgdp::verify

@@ -1,0 +1,156 @@
+#include "kgd/asymptotic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kgd/bounds.hpp"
+#include "verify/checker.hpp"
+
+namespace kgdp::kgd {
+namespace {
+
+TEST(Asymptotic, Figure14NodeCensus) {
+  AsymptoticInfo info;
+  const SolutionGraph sg = make_asymptotic_gnk(22, 4, &info);
+  // n + 3k + 2 nodes total.
+  EXPECT_EQ(sg.num_nodes(), 22 + 3 * 4 + 2);
+  EXPECT_EQ(sg.num_inputs(), 5);
+  EXPECT_EQ(sg.num_outputs(), 5);
+  EXPECT_EQ(sg.num_processors(), 26);
+  EXPECT_TRUE(sg.is_standard());
+  EXPECT_EQ(info.m, 22 - 4 - 2);
+  EXPECT_EQ(info.p, 2);
+  EXPECT_FALSE(info.has_bisector);
+}
+
+TEST(Asymptotic, Figure15HasBisectors) {
+  AsymptoticInfo info;
+  const SolutionGraph sg = make_asymptotic_gnk(26, 5, &info);
+  EXPECT_TRUE(info.has_bisector);
+  EXPECT_EQ(info.m, 26 - 5 - 2);
+  EXPECT_EQ(info.bisector_offset, info.m / 2);
+  EXPECT_TRUE(sg.is_standard());
+}
+
+TEST(Asymptotic, DegreeClaimKEvenUniform) {
+  // "if k is even ... each node in I ∪ O ∪ C has degree k+2".
+  for (int k : {4, 6}) {
+    for (int n : {2 * k + 5, 2 * k + 6, 3 * k + 7}) {
+      AsymptoticInfo info;
+      const SolutionGraph sg = make_asymptotic_gnk(n, k, &info);
+      for (Node v = 0; v < sg.num_nodes(); ++v) {
+        if (sg.role(v) == Role::kProcessor) {
+          EXPECT_EQ(sg.graph().degree(v), k + 2)
+              << "n=" << n << " k=" << k << " node " << v;
+        }
+      }
+    }
+  }
+}
+
+TEST(Asymptotic, DegreeClaimBothOddUniform) {
+  for (int k : {5, 7}) {
+    for (int n : {2 * k + 5, 2 * k + 7}) {
+      if (n % 2 == 0) continue;
+      const SolutionGraph sg = make_asymptotic_gnk(n, k);
+      EXPECT_EQ(sg.min_processor_degree(), k + 2) << "n=" << n << " k=" << k;
+      EXPECT_EQ(sg.max_processor_degree(), k + 2) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(Asymptotic, DegreeClaimNEvenKOddIsKPlus3) {
+  for (int k : {5, 7}) {
+    for (int n : {2 * k + 6, 2 * k + 8}) {
+      const SolutionGraph sg = make_asymptotic_gnk(n, k);
+      EXPECT_EQ(sg.max_processor_degree(), k + 3) << "n=" << n << " k=" << k;
+      EXPECT_EQ(sg.max_processor_degree(), max_degree_lower_bound(n, k));
+    }
+  }
+}
+
+TEST(Asymptotic, ExtendedGraphIsRegularSuperset) {
+  AsymptoticInfo info;
+  const SolutionGraph ext = make_extended_gnk(22, 4, &info);
+  // G'(n,k) has n + 3k + 6 nodes: four more than G(n,k).
+  EXPECT_EQ(ext.num_nodes(), 22 + 3 * 4 + 6);
+  EXPECT_EQ(ext.num_inputs(), 6);
+  EXPECT_EQ(ext.num_outputs(), 6);
+}
+
+TEST(Asymptotic, NodeClassSizes) {
+  AsymptoticInfo info;
+  make_asymptotic_gnk(22, 4, &info);
+  int counts[6] = {0, 0, 0, 0, 0, 0};
+  for (auto cls : info.node_class) ++counts[static_cast<int>(cls)];
+  EXPECT_EQ(counts[static_cast<int>(AsymptoticClass::kTi)], 5);
+  EXPECT_EQ(counts[static_cast<int>(AsymptoticClass::kTo)], 5);
+  EXPECT_EQ(counts[static_cast<int>(AsymptoticClass::kI)], 5);
+  EXPECT_EQ(counts[static_cast<int>(AsymptoticClass::kO)], 5);
+  EXPECT_EQ(counts[static_cast<int>(AsymptoticClass::kS)], 6);   // k+2
+  EXPECT_EQ(counts[static_cast<int>(AsymptoticClass::kR)], 10);  // n-2k-4
+}
+
+TEST(Asymptotic, UnitSEdgesDeleted) {
+  AsymptoticInfo info;
+  const SolutionGraph sg = make_asymptotic_gnk(22, 4, &info);
+  // Consecutive-label S nodes must NOT be adjacent in G(n,k)...
+  std::vector<Node> s_by_label(info.m, -1);
+  for (Node v = 0; v < sg.num_nodes(); ++v) {
+    if (info.node_class[v] == AsymptoticClass::kS) {
+      s_by_label[info.label[v]] = v;
+    }
+  }
+  for (int x = 0; x + 1 <= 5; ++x) {
+    ASSERT_GE(s_by_label[x], 0);
+    if (x + 1 <= 5) {
+      EXPECT_FALSE(sg.graph().has_edge(s_by_label[x], s_by_label[x + 1]));
+    }
+  }
+  // ...but they ARE adjacent in the extended graph.
+  AsymptoticInfo einfo;
+  const SolutionGraph ext = make_extended_gnk(22, 4, &einfo);
+  std::vector<Node> es_by_label(einfo.m, -1);
+  for (Node v = 0; v < ext.num_nodes(); ++v) {
+    if (einfo.node_class[v] == AsymptoticClass::kS) {
+      es_by_label[einfo.label[v]] = v;
+    }
+  }
+  EXPECT_TRUE(ext.graph().has_edge(es_by_label[0], es_by_label[1]));
+}
+
+TEST(Asymptotic, SmallestWellFormedInstancesAreGd) {
+  // Exhaustive certification at the small end of the legal range.
+  for (int k : {4, 5}) {
+    const int n = asymptotic_min_n(k);
+    const SolutionGraph sg = make_asymptotic_gnk(n, k);
+    const auto res = verify::check_gd_exhaustive(sg, k);
+    EXPECT_TRUE(res.holds)
+        << "n=" << n << " k=" << k << " cex "
+        << (res.counterexample ? res.counterexample->to_string() : "");
+  }
+}
+
+TEST(Asymptotic, Figure14InstanceExhaustivelyCertified) {
+  // The paper's flagship example: all 66,712 fault sets of size <= 4.
+  const SolutionGraph sg = make_asymptotic_gnk(22, 4);
+  const auto res = verify::check_gd_exhaustive(sg, 4);
+  EXPECT_TRUE(res.holds);
+  EXPECT_EQ(res.fault_sets_checked, 66712u);
+  EXPECT_EQ(res.solver_unknowns, 0u);
+}
+
+TEST(Asymptotic, MinNFormula) {
+  EXPECT_EQ(asymptotic_min_n(4), 13);
+  EXPECT_EQ(asymptotic_min_n(5), 15);
+  EXPECT_EQ(asymptotic_min_n(10), 25);
+}
+
+TEST(Asymptotic, LargeInstanceStructurallySound) {
+  const SolutionGraph sg = make_asymptotic_gnk(200, 8);
+  EXPECT_TRUE(sg.is_standard());
+  EXPECT_EQ(sg.max_processor_degree(), 10);
+  EXPECT_TRUE(audit_bounds(sg).empty());
+}
+
+}  // namespace
+}  // namespace kgdp::kgd

@@ -1,0 +1,109 @@
+#include "util/bitset.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kgdp::util {
+namespace {
+
+TEST(DynamicBitset, StartsEmpty) {
+  DynamicBitset b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_TRUE(b.none());
+  EXPECT_FALSE(b.any());
+}
+
+TEST(DynamicBitset, SetResetFlip) {
+  DynamicBitset b(70);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(69);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(69));
+  EXPECT_EQ(b.count(), 4u);
+  b.reset(63);
+  EXPECT_FALSE(b.test(63));
+  b.flip(63);
+  EXPECT_TRUE(b.test(63));
+  b.flip(63);
+  EXPECT_FALSE(b.test(63));
+}
+
+TEST(DynamicBitset, ConstructAllSetTrimsTail) {
+  DynamicBitset b(70, true);
+  EXPECT_EQ(b.count(), 70u);
+  // The partial last word must not carry phantom bits.
+  b.reset_all();
+  EXPECT_EQ(b.count(), 0u);
+  b.set_all();
+  EXPECT_EQ(b.count(), 70u);
+}
+
+TEST(DynamicBitset, FindNextScansAcrossWords) {
+  DynamicBitset b(200);
+  b.set(3);
+  b.set(64);
+  b.set(199);
+  EXPECT_EQ(b.find_first(), 3u);
+  EXPECT_EQ(b.find_next(4), 64u);
+  EXPECT_EQ(b.find_next(65), 199u);
+  EXPECT_EQ(b.find_next(200), 200u);
+}
+
+TEST(DynamicBitset, FindNextWhenEmptyReturnsSize) {
+  DynamicBitset b(50);
+  EXPECT_EQ(b.find_first(), 50u);
+}
+
+TEST(DynamicBitset, BitwiseOps) {
+  DynamicBitset a(80), b(80);
+  a.set(1);
+  a.set(70);
+  b.set(70);
+  b.set(2);
+  DynamicBitset o = a;
+  o |= b;
+  EXPECT_TRUE(o.test(1));
+  EXPECT_TRUE(o.test(2));
+  EXPECT_TRUE(o.test(70));
+  DynamicBitset i = a;
+  i &= b;
+  EXPECT_EQ(i.count(), 1u);
+  EXPECT_TRUE(i.test(70));
+  DynamicBitset x = a;
+  x ^= b;
+  EXPECT_TRUE(x.test(1));
+  EXPECT_TRUE(x.test(2));
+  EXPECT_FALSE(x.test(70));
+}
+
+TEST(DynamicBitset, ResizeGrowWithValue) {
+  DynamicBitset b(10, true);
+  b.resize(100, true);
+  EXPECT_EQ(b.count(), 100u);
+  DynamicBitset c(10, true);
+  c.resize(100, false);
+  EXPECT_EQ(c.count(), 10u);
+}
+
+TEST(DynamicBitset, EqualityIncludesSize) {
+  DynamicBitset a(10), b(10), c(11);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  a.set(3);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(DynamicBitset, SetWithBoolArgument) {
+  DynamicBitset b(8);
+  b.set(2, true);
+  EXPECT_TRUE(b.test(2));
+  b.set(2, false);
+  EXPECT_FALSE(b.test(2));
+}
+
+}  // namespace
+}  // namespace kgdp::util

@@ -1,0 +1,92 @@
+#include "kgd/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kgd/factory.hpp"
+#include "kgd/small_n.hpp"
+
+namespace kgdp::kgd {
+namespace {
+
+TEST(Bounds, Lemma31Constant) {
+  EXPECT_EQ(min_processor_degree_bound(1), 3);
+  EXPECT_EQ(min_processor_degree_bound(4), 6);
+}
+
+TEST(Bounds, Lemma34OnlyBindsForNGreaterThan1) {
+  EXPECT_EQ(min_processor_neighbors_bound(1, 5), 0);
+  EXPECT_EQ(min_processor_neighbors_bound(2, 5), 6);
+}
+
+TEST(Bounds, MaxDegreeLowerBoundTable) {
+  // Corollary 3.2 baseline.
+  EXPECT_EQ(max_degree_lower_bound(7, 2), 4);
+  // Lemma 3.5: n even, k odd.
+  EXPECT_EQ(max_degree_lower_bound(6, 3), 6);
+  EXPECT_EQ(max_degree_lower_bound(6, 2), 4);  // k even: no penalty
+  // n = 2 special (Lemma 3.9).
+  EXPECT_EQ(max_degree_lower_bound(2, 2), 5);
+  // Lemma 3.11: n = 3, k > 1.
+  EXPECT_EQ(max_degree_lower_bound(3, 2), 5);
+  EXPECT_EQ(max_degree_lower_bound(3, 1), 3);  // k = 1 exempt
+  // Lemma 3.14: n = 5, k = 2.
+  EXPECT_EQ(max_degree_lower_bound(5, 2), 5);
+  EXPECT_EQ(max_degree_lower_bound(5, 3), 5);  // only k=2 is special at n=5
+}
+
+TEST(Bounds, AchievedAlwaysMatchesLowerBound) {
+  // The theorems' central claim: every construction is degree-optimal,
+  // i.e. the achieved max degree equals the provable lower bound.
+  for (int k = 1; k <= 3; ++k) {
+    for (int n = 1; n <= 30; ++n) {
+      EXPECT_EQ(achieved_max_degree(n, k), max_degree_lower_bound(n, k))
+          << "n=" << n << " k=" << k;
+    }
+  }
+  for (int k = 4; k <= 8; ++k) {
+    for (int n = 2 * k + 5; n <= 2 * k + 12; ++n) {
+      EXPECT_EQ(achieved_max_degree(n, k), max_degree_lower_bound(n, k))
+          << "n=" << n << " k=" << k;
+    }
+  }
+  // n <= 3 columns for a few large k.
+  for (int k = 4; k <= 10; ++k) {
+    for (int n = 1; n <= 3; ++n) {
+      EXPECT_EQ(achieved_max_degree(n, k), max_degree_lower_bound(n, k));
+    }
+  }
+}
+
+TEST(Bounds, ProcessorNeighborCount) {
+  const SolutionGraph sg = make_g1k(2);  // clique of 3, plus terminals
+  for (Node v : sg.processors()) {
+    EXPECT_EQ(processor_neighbor_count(sg, v), 2);
+  }
+}
+
+TEST(Bounds, AuditCleanOnAllConstructions) {
+  for (int k = 1; k <= 3; ++k) {
+    for (int n = 1; n <= 15; ++n) {
+      const auto sg = build_solution(n, k);
+      ASSERT_TRUE(sg.has_value());
+      const auto issues = audit_bounds(*sg);
+      EXPECT_TRUE(issues.empty())
+          << "n=" << n << " k=" << k << ": " << issues.front();
+    }
+  }
+}
+
+TEST(Bounds, AuditFlagsViolations) {
+  // A path of processors with single terminals violates nearly all bounds.
+  SolutionGraphBuilder b(2, 2, "bad");
+  const Node p0 = b.add(Role::kProcessor);
+  const Node p1 = b.add(Role::kProcessor);
+  b.connect(p0, p1);
+  b.connect(b.add(Role::kInput), p0);
+  b.connect(b.add(Role::kOutput), p1);
+  const auto issues = audit_bounds(b.build());
+  EXPECT_FALSE(issues.empty());
+}
+
+}  // namespace
+}  // namespace kgdp::kgd

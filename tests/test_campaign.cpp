@@ -1,0 +1,99 @@
+#include "sim/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/naive.hpp"
+#include "kgd/factory.hpp"
+
+namespace kgdp::sim {
+namespace {
+
+CampaignConfig quick_config() {
+  CampaignConfig c;
+  c.faults_per_mcycle = 50.0;
+  c.repair_cycles = 100000.0;
+  c.horizon_cycles = 5e6;
+  c.seed = 42;
+  return c;
+}
+
+TEST(Campaign, DeterministicForFixedSeed) {
+  const auto sg = kgd::build_solution(8, 2);
+  ASSERT_TRUE(sg);
+  const auto a = run_availability_campaign(*sg, quick_config());
+  const auto b = run_availability_campaign(*sg, quick_config());
+  EXPECT_EQ(a.availability, b.availability);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.reconfigurations, b.reconfigurations);
+}
+
+TEST(Campaign, NoFaultsMeansFullAvailability) {
+  const auto sg = kgd::build_solution(8, 2);
+  ASSERT_TRUE(sg);
+  CampaignConfig c = quick_config();
+  c.faults_per_mcycle = 0.0000001;  // effectively never
+  const auto res = run_availability_campaign(*sg, c);
+  EXPECT_DOUBLE_EQ(res.availability, 1.0);
+  EXPECT_DOUBLE_EQ(res.mean_utilization, 1.0);
+  EXPECT_EQ(res.faults_injected, 0);
+  EXPECT_EQ(res.outages, 0);
+}
+
+TEST(Campaign, FaultsReduceUtilizationButNotBelowZero) {
+  const auto sg = kgd::build_solution(8, 2);
+  ASSERT_TRUE(sg);
+  const auto res = run_availability_campaign(*sg, quick_config());
+  EXPECT_GT(res.faults_injected, 0);
+  EXPECT_GT(res.availability, 0.0);
+  EXPECT_LE(res.availability, 1.0);
+  EXPECT_GT(res.mean_utilization, 0.0);
+  EXPECT_LE(res.mean_utilization, 1.0);
+  EXPECT_EQ(res.reconfigurations,
+            res.faults_injected + res.repairs_completed);
+}
+
+TEST(Campaign, HigherKImprovesAvailabilityUnderHeavyFaults) {
+  // Expected concurrent faults = rate * repair ≈ 2: routinely above
+  // k = 1, rarely above k = 3.
+  CampaignConfig heavy = quick_config();
+  heavy.faults_per_mcycle = 8.0;
+  heavy.repair_cycles = 250000.0;
+  heavy.horizon_cycles = 40e6;
+
+  const auto weak = kgd::build_solution(12, 1);
+  const auto strong = kgd::build_solution(12, 3);
+  ASSERT_TRUE(weak && strong);
+  const auto weak_res = run_availability_campaign(*weak, heavy);
+  const auto strong_res = run_availability_campaign(*strong, heavy);
+  EXPECT_GT(strong_res.availability, weak_res.availability);
+}
+
+TEST(Campaign, SparePathIsFragile) {
+  CampaignConfig c = quick_config();
+  c.faults_per_mcycle = 20.0;
+  c.repair_cycles = 50000.0;
+  c.horizon_cycles = 20e6;
+  const auto good = kgd::build_solution(8, 2);
+  ASSERT_TRUE(good);
+  const auto frail = baseline::make_spare_path(8, 2);
+  const auto good_res = run_availability_campaign(*good, c);
+  const auto frail_res = run_availability_campaign(frail, c);
+  EXPECT_GT(good_res.availability, frail_res.availability);
+}
+
+TEST(Campaign, RepairsRestoreService) {
+  // Expected concurrent faults = 20/1e6 * 10000 = 0.2, well under k = 2:
+  // repairs outpace arrivals and availability stays high.
+  CampaignConfig c = quick_config();
+  c.faults_per_mcycle = 20.0;
+  c.repair_cycles = 10000.0;
+  c.horizon_cycles = 20e6;
+  const auto sg = kgd::build_solution(6, 2);
+  ASSERT_TRUE(sg);
+  const auto res = run_availability_campaign(*sg, c);
+  EXPECT_GT(res.repairs_completed, 0);
+  EXPECT_GT(res.availability, 0.99);
+}
+
+}  // namespace
+}  // namespace kgdp::sim

@@ -1,0 +1,95 @@
+#include "verify/certificate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/naive.hpp"
+#include "fault/enumerator.hpp"
+#include "kgd/factory.hpp"
+
+namespace kgdp::verify {
+namespace {
+
+TEST(Certificate, RoundTripVerifies) {
+  const auto sg = kgd::build_solution(6, 2);
+  ASSERT_TRUE(sg);
+  const std::string cert = write_certificate_string(*sg, 2);
+  const CertificateStats stats = check_certificate_string(cert);
+  EXPECT_TRUE(stats.ok()) << stats.error;
+  EXPECT_EQ(stats.entries, fault::FaultEnumerator(sg->num_nodes(), 2).total());
+}
+
+TEST(Certificate, CoversAllConstructionKinds) {
+  for (auto [n, k] : std::vector<std::pair<int, int>>{
+           {1, 2}, {3, 2}, {4, 3}, {5, 1}}) {
+    const auto sg = kgd::build_solution(n, k);
+    ASSERT_TRUE(sg);
+    const auto stats =
+        check_certificate_string(write_certificate_string(*sg, k));
+    EXPECT_TRUE(stats.ok()) << "n=" << n << " k=" << k << ": "
+                            << stats.error;
+  }
+}
+
+TEST(Certificate, NonGdGraphCannotBeCertified) {
+  const auto bad = baseline::make_spare_path(5, 2);
+  EXPECT_THROW(write_certificate_string(bad, 2), std::runtime_error);
+}
+
+TEST(Certificate, TamperedPipelineDetected) {
+  const auto sg = kgd::build_solution(4, 1);
+  ASSERT_TRUE(sg);
+  std::string cert = write_certificate_string(*sg, 1);
+  // Corrupt the last pipeline's last node id by appending garbage swap:
+  // replace the final token with an out-of-range id.
+  const auto pos = cert.find_last_of(' ');
+  cert.replace(pos + 1, std::string::npos, "999\n");
+  const auto stats = check_certificate_string(cert);
+  EXPECT_FALSE(stats.ok());
+  EXPECT_FALSE(stats.error.empty());
+}
+
+TEST(Certificate, MissingEntriesDetected) {
+  const auto sg = kgd::build_solution(4, 1);
+  ASSERT_TRUE(sg);
+  std::string cert = write_certificate_string(*sg, 1);
+  // Drop the final line: truncated certificate.
+  cert.erase(cert.find_last_of('\n', cert.size() - 2) + 1);
+  const auto stats = check_certificate_string(cert);
+  EXPECT_FALSE(stats.ok());
+}
+
+TEST(Certificate, WrongEntryCountDetected) {
+  const auto sg = kgd::build_solution(4, 1);
+  ASSERT_TRUE(sg);
+  std::string cert = write_certificate_string(*sg, 1);
+  const auto pos = cert.find("entries ");
+  cert.replace(pos, cert.find('\n', pos) - pos, "entries 3");
+  const auto stats = check_certificate_string(cert);
+  EXPECT_FALSE(stats.ok());
+  EXPECT_NE(stats.error.find("entry count"), std::string::npos);
+}
+
+TEST(Certificate, BadHeaderDetected) {
+  const auto stats = check_certificate_string("not-a-cert 1\n");
+  EXPECT_FALSE(stats.ok());
+}
+
+TEST(Certificate, OutOfOrderEntriesDetected) {
+  const auto sg = kgd::build_solution(4, 1);
+  ASSERT_TRUE(sg);
+  std::string cert = write_certificate_string(*sg, 1);
+  // Swap the last two entry lines to break canonical order.
+  const auto last_nl = cert.rfind('\n', cert.size() - 2);
+  const auto prev_nl = cert.rfind('\n', last_nl - 1);
+  const std::string last_line = cert.substr(last_nl + 1);
+  const std::string prev_line =
+      cert.substr(prev_nl + 1, last_nl - prev_nl);
+  cert = cert.substr(0, prev_nl + 1) + last_line;
+  if (cert.back() != '\n') cert += '\n';
+  cert += prev_line;
+  const auto stats = check_certificate_string(cert);
+  EXPECT_FALSE(stats.ok());
+}
+
+}  // namespace
+}  // namespace kgdp::verify

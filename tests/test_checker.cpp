@@ -1,0 +1,99 @@
+#include "verify/checker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/naive.hpp"
+#include "fault/enumerator.hpp"
+#include "kgd/factory.hpp"
+#include "kgd/small_n.hpp"
+
+namespace kgdp::verify {
+namespace {
+
+TEST(Checker, CertifiesKnownGoodGraphs) {
+  const auto res = check_gd_exhaustive(kgd::make_g1k(2), 2);
+  EXPECT_TRUE(res.holds);
+  EXPECT_TRUE(res.exhaustive);
+  EXPECT_FALSE(res.counterexample.has_value());
+  EXPECT_EQ(res.fault_sets_checked,
+            fault::FaultEnumerator(9, 2).total());
+}
+
+TEST(Checker, FindsCounterexampleOnSparePath) {
+  // The naive spare path dies on any interior processor fault.
+  const auto sg = baseline::make_spare_path(4, 2);
+  const auto res = check_gd_exhaustive(sg, 2);
+  EXPECT_FALSE(res.holds);
+  ASSERT_TRUE(res.counterexample.has_value());
+  // And the counterexample really is one.
+  const auto out = find_pipeline(sg, *res.counterexample);
+  EXPECT_EQ(out.status, SolveStatus::kNone);
+}
+
+TEST(Checker, CounterexampleIsLowestIndexDeterministic) {
+  const auto sg = baseline::make_spare_path(4, 2);
+  const auto res1 = check_gd_exhaustive(sg, 2);
+  const auto res2 = check_gd_exhaustive(sg, 2);
+  ASSERT_TRUE(res1.counterexample && res2.counterexample);
+  EXPECT_EQ(res1.counterexample->nodes(), res2.counterexample->nodes());
+}
+
+TEST(Checker, ParallelMatchesSequential) {
+  util::ThreadPool pool(4);
+  CheckOptions seq;
+  CheckOptions par;
+  par.pool = &pool;
+  for (auto [n, k] : std::vector<std::pair<int, int>>{{4, 2}, {5, 2},
+                                                      {6, 1}}) {
+    const auto sg = kgd::build_solution(n, k);
+    ASSERT_TRUE(sg);
+    const auto a = check_gd_exhaustive(*sg, k, seq);
+    const auto b = check_gd_exhaustive(*sg, k, par);
+    EXPECT_EQ(a.holds, b.holds);
+  }
+  // Negative case determinism under parallelism.
+  const auto bad = baseline::make_spare_path(4, 2);
+  const auto a = check_gd_exhaustive(bad, 2, seq);
+  const auto b = check_gd_exhaustive(bad, 2, par);
+  ASSERT_TRUE(a.counterexample && b.counterexample);
+  EXPECT_EQ(a.counterexample->nodes(), b.counterexample->nodes());
+}
+
+TEST(Checker, ZeroFaultBudgetChecksOnlyEmptySet) {
+  const auto res = check_gd_exhaustive(kgd::make_g1k(1), 0);
+  EXPECT_TRUE(res.holds);
+  EXPECT_EQ(res.fault_sets_checked, 1u);
+}
+
+TEST(Checker, SampledFindsObviousFlaws) {
+  const auto sg = baseline::make_spare_path(6, 2);
+  const auto res = check_gd_sampled(sg, 2, /*samples=*/200, /*seed=*/1);
+  EXPECT_FALSE(res.holds);
+  EXPECT_TRUE(res.counterexample.has_value());
+}
+
+TEST(Checker, SampledPassesOnGoodGraphs) {
+  const auto sg = kgd::build_solution(9, 2);
+  ASSERT_TRUE(sg);
+  const auto res = check_gd_sampled(*sg, 2, 200, 7);
+  EXPECT_TRUE(res.holds);
+  EXPECT_FALSE(res.exhaustive);  // sampling never claims exhaustiveness
+}
+
+TEST(Checker, BeyondDesignBudgetGraphsMayFail) {
+  // G(n,k) checked at k+1 faults: killing all k+1 input terminals is a
+  // guaranteed counterexample, so the checker must find SOME failure.
+  const auto sg = kgd::build_solution(5, 2);
+  ASSERT_TRUE(sg);
+  const auto res = check_gd_exhaustive(*sg, 3);
+  EXPECT_FALSE(res.holds);
+}
+
+TEST(Checker, CompleteDesignIsGd) {
+  const auto res = check_gd_exhaustive(baseline::make_complete_design(6, 2),
+                                       2);
+  EXPECT_TRUE(res.holds);
+}
+
+}  // namespace
+}  // namespace kgdp::verify

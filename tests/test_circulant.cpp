@@ -1,0 +1,89 @@
+#include "graph/circulant.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/properties.hpp"
+
+namespace kgdp::graph {
+namespace {
+
+TEST(Circulant, OffsetOneIsACycle) {
+  const Graph g = make_circulant(6, {1});
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(g.max_degree(), 2);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Circulant, BisectorOffsetContributesDegreeOne) {
+  // m = 6, offset 3 pairs antipodal nodes: perfect matching.
+  const Graph g = make_circulant(6, {3});
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.max_degree(), 1);
+  EXPECT_EQ(circulant_degree(6, {3}), 1);
+}
+
+TEST(Circulant, TwoOffsets) {
+  const Graph g = make_circulant(8, {1, 2});
+  EXPECT_EQ(g.max_degree(), 4);
+  EXPECT_EQ(g.min_degree(), 4);
+  EXPECT_EQ(g.num_edges(), 16u);
+  EXPECT_EQ(circulant_degree(8, {1, 2}), 4);
+}
+
+TEST(Circulant, OffsetsNormalizedModuloM) {
+  // Offset 7 mod 8 is chord class 1; offset 9 likewise.
+  const Graph a = make_circulant(8, {1});
+  const Graph b = make_circulant(8, {7});
+  const Graph c = make_circulant(8, {9});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+}
+
+TEST(Circulant, DuplicateOffsetsCollapse) {
+  EXPECT_EQ(make_circulant(10, {2, 2, 8}), make_circulant(10, {2}));
+}
+
+TEST(Circulant, OffsetZeroIgnored) {
+  const Graph g = make_circulant(5, {0});
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Circulant, ConnectivityIsGcdCondition) {
+  EXPECT_TRUE(circulant_connected(9, {1}));
+  EXPECT_FALSE(circulant_connected(9, {3}));  // gcd(9,3)=3
+  EXPECT_TRUE(circulant_connected(9, {3, 2}));
+  EXPECT_FALSE(circulant_connected(8, {2, 4}));
+}
+
+TEST(Circulant, ConnectedPredicateMatchesBfs) {
+  for (int m = 3; m <= 12; ++m) {
+    for (int s1 = 1; s1 <= m / 2; ++s1) {
+      for (int s2 = s1; s2 <= m / 2; ++s2) {
+        const std::vector<int> offs = {s1, s2};
+        EXPECT_EQ(circulant_connected(m, offs),
+                  is_connected(make_circulant(m, offs)))
+            << "m=" << m << " offsets " << s1 << "," << s2;
+      }
+    }
+  }
+}
+
+TEST(Circulant, DegreeFormulaMatchesGraph) {
+  for (int m = 4; m <= 14; ++m) {
+    for (int s = 1; s <= m / 2; ++s) {
+      const Graph g = make_circulant(m, {1, s});
+      EXPECT_EQ(g.max_degree(), circulant_degree(m, {1, s}))
+          << "m=" << m << " s=" << s;
+      EXPECT_EQ(g.min_degree(), g.max_degree());  // vertex-transitive
+    }
+  }
+}
+
+TEST(Circulant, SingleNode) {
+  const Graph g = make_circulant(1, {1});
+  EXPECT_EQ(g.num_nodes(), 1);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace kgdp::graph

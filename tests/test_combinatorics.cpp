@@ -1,0 +1,95 @@
+#include "util/combinatorics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace kgdp::util {
+namespace {
+
+TEST(Binomial, KnownValues) {
+  EXPECT_EQ(binomial(0, 0), 1u);
+  EXPECT_EQ(binomial(5, 0), 1u);
+  EXPECT_EQ(binomial(5, 5), 1u);
+  EXPECT_EQ(binomial(5, 2), 10u);
+  EXPECT_EQ(binomial(36, 4), 58905u);
+  EXPECT_EQ(binomial(10, 11), 0u);
+  EXPECT_EQ(binomial(52, 5), 2598960u);
+}
+
+TEST(Binomial, PascalIdentityHoldsOnAGrid) {
+  for (unsigned n = 1; n <= 30; ++n) {
+    for (unsigned k = 1; k <= n; ++k) {
+      EXPECT_EQ(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(SubsetsUpTo, MatchesManualSum) {
+  // C(10,0)+C(10,1)+C(10,2) = 1+10+45.
+  EXPECT_EQ(subsets_up_to(10, 2), 56u);
+  EXPECT_EQ(subsets_up_to(36, 4), 66712u);  // the G(22,4) sweep size
+}
+
+TEST(NextCombination, EnumeratesAllInLexOrder) {
+  std::vector<int> comb = {0, 1, 2};
+  std::vector<std::vector<int>> all;
+  do {
+    all.push_back(comb);
+  } while (next_combination(comb, 5));
+  EXPECT_EQ(all.size(), binomial(5, 3));
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LT(all[i - 1], all[i]);  // strictly increasing lexicographic
+  }
+  EXPECT_EQ(all.front(), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(all.back(), (std::vector<int>{2, 3, 4}));
+}
+
+TEST(RankUnrank, RoundTripsEverySubset) {
+  const unsigned n = 9, k = 4;
+  std::vector<int> comb = {0, 1, 2, 3};
+  std::uint64_t rank = 0;
+  do {
+    EXPECT_EQ(unrank_combination(n, k, rank), comb);
+    EXPECT_EQ(rank_combination(comb, n), rank);
+    ++rank;
+  } while (next_combination(comb, static_cast<int>(n)));
+  EXPECT_EQ(rank, binomial(n, k));
+}
+
+TEST(RankUnrank, EmptySet) {
+  EXPECT_TRUE(unrank_combination(5, 0, 0).empty());
+  EXPECT_EQ(rank_combination({}, 5), 0u);
+}
+
+TEST(ForEachSubsetUpTo, VisitsEachSubsetOnce) {
+  std::set<std::vector<int>> seen;
+  const bool completed = for_each_subset_up_to(6, 3, [&](const auto& comb) {
+    EXPECT_TRUE(seen.insert(comb).second) << "duplicate subset";
+    return true;
+  });
+  EXPECT_TRUE(completed);
+  EXPECT_EQ(seen.size(), subsets_up_to(6, 3));
+}
+
+TEST(ForEachSubsetUpTo, EarlyStop) {
+  int visits = 0;
+  const bool completed = for_each_subset_up_to(6, 3, [&](const auto&) {
+    return ++visits < 5;
+  });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(visits, 5);
+}
+
+TEST(ForEachSubsetUpTo, KLargerThanNIsFine) {
+  int visits = 0;
+  for_each_subset_up_to(3, 10, [&](const auto&) {
+    ++visits;
+    return true;
+  });
+  EXPECT_EQ(visits, 8);  // all subsets of a 3-set
+}
+
+}  // namespace
+}  // namespace kgdp::util

@@ -1,0 +1,65 @@
+#include "baseline/diogenes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kgd/bounds.hpp"
+#include "verify/checker.hpp"
+
+namespace kgdp::baseline {
+namespace {
+
+TEST(BypassChain, IsNodeOptimal) {
+  const auto sg = make_bypass_chain(6, 2);
+  EXPECT_TRUE(sg.is_node_optimal());
+  EXPECT_TRUE(sg.all_terminals_degree_one());
+}
+
+TEST(BypassChain, ChordStructure) {
+  const auto sg = make_bypass_chain(6, 2);
+  const auto procs = sg.processors();
+  // Chords of length 1..k+1 = 3 exist; length 4 does not.
+  EXPECT_TRUE(sg.graph().has_edge(procs[0], procs[1]));
+  EXPECT_TRUE(sg.graph().has_edge(procs[0], procs[3]));
+  EXPECT_FALSE(sg.graph().has_edge(procs[0], procs[4]));
+}
+
+TEST(BypassChain, IsGracefullyDegradableExhaustively) {
+  // Rosenberg-style bypass wiring does achieve graceful degradation...
+  for (int k = 1; k <= 3; ++k) {
+    const auto sg = make_bypass_chain(6, k);
+    EXPECT_TRUE(verify::check_gd_exhaustive(sg, k).holds) << "k=" << k;
+  }
+}
+
+TEST(BypassChain, ButPaysDoubleTheDegree) {
+  // ...at processor degree ~2(k+1) vs the paper's optimal k+2. At k = 1
+  // the two coincide (4 = 4, for even n); from k = 2 on the gap opens
+  // and grows linearly.
+  for (int k = 1; k <= 4; ++k) {
+    const int paid = bypass_chain_max_degree(12, k);
+    const int optimal = kgd::max_degree_lower_bound(12, k);
+    EXPECT_GE(paid, 2 * (k + 1)) << "k=" << k;
+    if (k >= 2) {
+      EXPECT_GT(paid, optimal) << "k=" << k;
+    }
+  }
+  EXPECT_EQ(bypass_chain_max_degree(12, 4) -
+                kgd::max_degree_lower_bound(12, 4),
+            4);  // 10 vs 6
+}
+
+TEST(BypassChain, EdgeCountGrowsWithK) {
+  const auto k2 = make_bypass_chain(20, 2);
+  const auto k4 = make_bypass_chain(20, 4);
+  EXPECT_GT(k4.graph().num_edges(), k2.graph().num_edges());
+}
+
+TEST(BypassChain, TinyInstances) {
+  // P < 2(k+1): terminal attachments overlap but remain degree-1.
+  const auto sg = make_bypass_chain(1, 2);
+  EXPECT_TRUE(sg.all_terminals_degree_one());
+  EXPECT_TRUE(verify::check_gd_exhaustive(sg, 2).holds);
+}
+
+}  // namespace
+}  // namespace kgdp::baseline

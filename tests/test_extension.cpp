@@ -1,0 +1,102 @@
+#include "kgd/extension.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kgd/small_n.hpp"
+#include "verify/checker.hpp"
+
+namespace kgdp::kgd {
+namespace {
+
+TEST(Extension, AddsKPlusOneProcessors) {
+  for (int k = 1; k <= 4; ++k) {
+    const SolutionGraph base = make_g1k(k);
+    const SolutionGraph ext = extend_once(base);
+    EXPECT_EQ(ext.n(), base.n() + k + 1);
+    EXPECT_EQ(ext.k(), k);
+    EXPECT_EQ(ext.num_processors(), base.num_processors() + k + 1);
+    EXPECT_EQ(ext.num_inputs(), k + 1);
+    EXPECT_EQ(ext.num_outputs(), k + 1);
+  }
+}
+
+TEST(Extension, PreservesStandardness) {
+  for (int k = 1; k <= 4; ++k) {
+    EXPECT_TRUE(extend_once(make_g2k(k)).is_standard());
+  }
+}
+
+TEST(Extension, PreservesMaxDegree) {
+  // Lemma 3.6's key property: no node exceeds the base's max degree.
+  for (int k = 1; k <= 4; ++k) {
+    const SolutionGraph base = make_g1k(k);
+    EXPECT_EQ(extend_once(base).max_processor_degree(),
+              base.max_processor_degree());
+    const SolutionGraph base2 = make_g2k(k);
+    EXPECT_EQ(extend_once(base2).max_processor_degree(),
+              base2.max_processor_degree());
+  }
+}
+
+TEST(Extension, OldInputsBecomeProcessorClique) {
+  const SolutionGraph base = make_g1k(2);
+  const auto old_inputs = base.inputs();
+  const SolutionGraph ext = extend_once(base);
+  for (std::size_t i = 0; i < old_inputs.size(); ++i) {
+    EXPECT_EQ(ext.role(old_inputs[i]), Role::kProcessor);
+    for (std::size_t j = i + 1; j < old_inputs.size(); ++j) {
+      EXPECT_TRUE(ext.graph().has_edge(old_inputs[i], old_inputs[j]));
+    }
+  }
+}
+
+TEST(Extension, NewTerminalsAttachOneToOne) {
+  const SolutionGraph base = make_g1k(2);
+  const SolutionGraph ext = extend_once(base);
+  for (Node t : ext.inputs()) {
+    EXPECT_EQ(ext.graph().degree(t), 1);
+    const Node p = ext.graph().neighbors(t)[0];
+    EXPECT_EQ(base.role(p), Role::kInput);  // attached to a relabeled node
+  }
+}
+
+TEST(Extension, PreservesGracefulDegradationLemma36) {
+  // The heart of Lemma 3.6, checked exhaustively on a grid.
+  for (int k = 1; k <= 4; ++k) {
+    for (int times = 1; times <= (k <= 2 ? 2 : 1); ++times) {
+      const SolutionGraph ext = extend(make_g1k(k), times);
+      const auto res = verify::check_gd_exhaustive(ext, k);
+      EXPECT_TRUE(res.holds)
+          << "k=" << k << " times=" << times << " cex "
+          << (res.counterexample ? res.counterexample->to_string() : "");
+    }
+  }
+}
+
+TEST(Extension, G2kBasesAlsoExtendGracefully) {
+  for (int k = 1; k <= 3; ++k) {
+    const SolutionGraph ext = extend_once(make_g2k(k));
+    EXPECT_TRUE(verify::check_gd_exhaustive(ext, k).holds) << "k=" << k;
+  }
+}
+
+TEST(Extension, ZeroTimesIsIdentity) {
+  const SolutionGraph base = make_g1k(2);
+  const SolutionGraph same = extend(base, 0);
+  EXPECT_EQ(same.num_nodes(), base.num_nodes());
+  EXPECT_EQ(same.graph(), base.graph());
+}
+
+TEST(Extension, CorollaryThreeEight) {
+  // Corollary 3.8: solutions exist for n = (k+1)l + 1 with degree k+2.
+  for (int k = 1; k <= 3; ++k) {
+    for (int l = 0; l <= 2; ++l) {
+      const SolutionGraph g = extend(make_g1k(k), l);
+      EXPECT_EQ(g.n(), (k + 1) * l + 1);
+      EXPECT_EQ(g.max_processor_degree(), k + 2);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kgdp::kgd

@@ -1,0 +1,86 @@
+#include "kgd/factory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kgd/bounds.hpp"
+
+namespace kgdp::kgd {
+namespace {
+
+TEST(Factory, RejectsNonPositiveParameters) {
+  EXPECT_FALSE(is_supported(0, 1));
+  EXPECT_FALSE(is_supported(1, 0));
+  EXPECT_FALSE(is_supported(-1, 2));
+  EXPECT_FALSE(build_solution(0, 3).has_value());
+}
+
+TEST(Factory, CoverageMirrorsPaper) {
+  // n <= 3, any k.
+  EXPECT_TRUE(is_supported(1, 50));
+  EXPECT_TRUE(is_supported(3, 17));
+  // k <= 3, any n.
+  EXPECT_TRUE(is_supported(1000, 3));
+  // k >= 4 requires n >= 2k+5.
+  EXPECT_TRUE(is_supported(13, 4));
+  EXPECT_FALSE(is_supported(12, 4));
+  EXPECT_FALSE(is_supported(10, 5));
+  EXPECT_TRUE(is_supported(15, 5));
+}
+
+TEST(Factory, GapIsReportedAsUnsupported) {
+  // The paper leaves (k >= 4, 4 <= n < 2k+5) open; we must too.
+  EXPECT_EQ(construction_method(8, 4), "unsupported");
+  EXPECT_FALSE(build_solution(8, 4).has_value());
+}
+
+TEST(Factory, DispatchesToTheRightConstruction) {
+  EXPECT_NE(construction_method(1, 9).find("Lemma 3.7"), std::string::npos);
+  EXPECT_NE(construction_method(2, 9).find("Lemma 3.9"), std::string::npos);
+  EXPECT_NE(construction_method(3, 9).find("3.2"), std::string::npos);
+  EXPECT_NE(construction_method(9, 2).find("family k=2"), std::string::npos);
+  EXPECT_NE(construction_method(30, 6).find("asymptotic"),
+            std::string::npos);
+}
+
+TEST(Factory, BuiltGraphsCarryTheRequestedParameters) {
+  for (auto [n, k] : std::vector<std::pair<int, int>>{
+           {1, 7}, {2, 5}, {3, 4}, {9, 1}, {10, 2}, {11, 3}, {14, 4},
+           {17, 5}}) {
+    const auto sg = build_solution(n, k);
+    ASSERT_TRUE(sg.has_value()) << "n=" << n << " k=" << k;
+    EXPECT_EQ(sg->n(), n);
+    EXPECT_EQ(sg->k(), k);
+    EXPECT_EQ(sg->num_processors(), n + k);
+    EXPECT_TRUE(sg->is_standard());
+  }
+}
+
+TEST(Factory, AllBuiltGraphsAreDegreeOptimal) {
+  for (int k = 1; k <= 3; ++k) {
+    for (int n = 1; n <= 20; ++n) {
+      const auto sg = build_solution(n, k);
+      ASSERT_TRUE(sg.has_value());
+      EXPECT_EQ(sg->max_processor_degree(), max_degree_lower_bound(n, k))
+          << "n=" << n << " k=" << k;
+    }
+  }
+  for (int k = 4; k <= 6; ++k) {
+    for (int n = 2 * k + 5; n <= 2 * k + 8; ++n) {
+      const auto sg = build_solution(n, k);
+      ASSERT_TRUE(sg.has_value());
+      EXPECT_EQ(sg->max_processor_degree(), max_degree_lower_bound(n, k))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(Factory, LargeParameterSmoke) {
+  const auto sg = build_solution(500, 10);
+  ASSERT_TRUE(sg.has_value());
+  EXPECT_EQ(sg->num_processors(), 510);
+  EXPECT_EQ(sg->max_processor_degree(), 12);
+  EXPECT_TRUE(audit_bounds(*sg).empty());
+}
+
+}  // namespace
+}  // namespace kgdp::kgd

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fault/enumerator.hpp"
+#include "fault/fault_model.hpp"
+#include "kgd/small_n.hpp"
+#include "util/combinatorics.hpp"
+
+namespace kgdp::fault {
+namespace {
+
+using kgd::FaultSet;
+using kgd::Role;
+
+TEST(Enumerator, TotalMatchesBinomialSums) {
+  const FaultEnumerator en(10, 3);
+  EXPECT_EQ(en.total(), util::subsets_up_to(10, 3));
+}
+
+TEST(Enumerator, FirstIndexIsEmptySet) {
+  const FaultEnumerator en(5, 2);
+  EXPECT_EQ(en.at(0).size(), 0);
+}
+
+TEST(Enumerator, EnumeratesAllSubsetsOnce) {
+  const FaultEnumerator en(7, 3);
+  std::set<std::vector<int>> seen;
+  for (std::uint64_t i = 0; i < en.total(); ++i) {
+    EXPECT_TRUE(seen.insert(en.nodes_at(i)).second) << "dup at " << i;
+  }
+  EXPECT_EQ(seen.size(), en.total());
+}
+
+TEST(Enumerator, OrderedBySizeThenLex) {
+  const FaultEnumerator en(5, 2);
+  std::size_t prev_size = 0;
+  std::vector<int> prev;
+  for (std::uint64_t i = 0; i < en.total(); ++i) {
+    const auto cur = en.nodes_at(i);
+    if (cur.size() == prev_size && i > 0) {
+      EXPECT_LT(prev, cur);
+    } else {
+      EXPECT_GE(cur.size(), prev_size);
+    }
+    prev_size = cur.size();
+    prev = cur;
+  }
+}
+
+TEST(Enumerator, ZeroBudget) {
+  const FaultEnumerator en(6, 0);
+  EXPECT_EQ(en.total(), 1u);
+}
+
+TEST(FaultModel, UniformDrawsExactCount) {
+  const auto sg = kgd::make_g1k(3);
+  util::Rng rng(5);
+  for (int c = 0; c <= 4; ++c) {
+    const FaultSet fs = draw_faults(sg, c, FaultPolicy::kUniform, rng);
+    EXPECT_EQ(fs.size(), c);
+  }
+}
+
+TEST(FaultModel, ProcessorsOnlyNeverHitsTerminals) {
+  const auto sg = kgd::make_g1k(3);
+  util::Rng rng(6);
+  for (int trial = 0; trial < 50; ++trial) {
+    const FaultSet fs =
+        draw_faults(sg, 3, FaultPolicy::kProcessorsOnly, rng);
+    for (int v : fs.nodes()) {
+      EXPECT_EQ(sg.role(v), Role::kProcessor);
+    }
+  }
+}
+
+TEST(FaultModel, TerminalsFirstPrefersTerminals) {
+  const auto sg = kgd::make_g1k(3);  // 8 terminals, 4 processors
+  util::Rng rng(7);
+  const FaultSet fs = draw_faults(sg, 3, FaultPolicy::kTerminalsFirst, rng);
+  for (int v : fs.nodes()) {
+    EXPECT_NE(sg.role(v), Role::kProcessor);
+  }
+}
+
+TEST(FaultModel, TerminalsFirstPadsWithProcessorsWhenNeeded) {
+  const auto sg = kgd::make_g1k(1);  // 4 terminals, 2 processors
+  util::Rng rng(8);
+  const FaultSet fs = draw_faults(sg, 5, FaultPolicy::kTerminalsFirst, rng);
+  EXPECT_EQ(fs.size(), 5);
+}
+
+TEST(FaultModel, HighDegreeFirstTargetsProcessors) {
+  const auto sg = kgd::make_g2k(2);
+  util::Rng rng(9);
+  const FaultSet fs =
+      draw_faults(sg, 2, FaultPolicy::kHighDegreeFirst, rng);
+  for (int v : fs.nodes()) {
+    EXPECT_EQ(sg.role(v), Role::kProcessor);
+  }
+}
+
+TEST(AdversarialSuite, CoversTerminalAndAttachmentSubsets) {
+  const auto sg = kgd::make_g1k(2);
+  const auto suite = adversarial_suite(sg, 2);
+  // Pool = 6 terminals + 3 attachment processors = 9 nodes; all subsets
+  // of size <= 2 => 1 + 9 + 36 = 46.
+  EXPECT_EQ(suite.size(), 46u);
+  // No duplicates.
+  std::set<std::vector<int>> seen;
+  for (const auto& fs : suite) {
+    EXPECT_TRUE(seen.insert(fs.nodes()).second);
+  }
+}
+
+TEST(AdversarialSuite, RespectsBudgetCap) {
+  const auto sg = kgd::make_g1k(3);
+  const auto suite = adversarial_suite(sg, 3, /*budget=*/10);
+  EXPECT_EQ(suite.size(), 10u);
+}
+
+}  // namespace
+}  // namespace kgdp::fault

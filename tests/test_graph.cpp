@@ -1,0 +1,127 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kgdp::graph {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_nodes(), 0);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Graph, AddNodesAndEdges) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));  // undirected
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.degree(1), 2);
+  EXPECT_EQ(g.degree(0), 1);
+}
+
+TEST(Graph, AddNodeReturnsNewId) {
+  Graph g(2);
+  EXPECT_EQ(g.add_node(), 2);
+  EXPECT_EQ(g.num_nodes(), 3);
+}
+
+TEST(Graph, NeighborsSortedAscending) {
+  Graph g(5);
+  g.add_edge(2, 4);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  const auto nb = g.neighbors(2);
+  ASSERT_EQ(nb.size(), 3u);
+  EXPECT_EQ(nb[0], 0);
+  EXPECT_EQ(nb[1], 3);
+  EXPECT_EQ(nb[2], 4);
+}
+
+TEST(Graph, CanAddEdgeRejectsLoopsAndDuplicates) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_FALSE(g.can_add_edge(0, 0));
+  EXPECT_FALSE(g.can_add_edge(0, 1));
+  EXPECT_FALSE(g.can_add_edge(1, 0));
+  EXPECT_TRUE(g.can_add_edge(1, 2));
+  EXPECT_FALSE(g.can_add_edge(0, 3));  // out of range
+}
+
+TEST(Graph, RemoveEdge) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.remove_edge(0, 1);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(1), 1);
+}
+
+TEST(Graph, DegreeStats) {
+  Graph g = make_complete(5);
+  EXPECT_EQ(g.max_degree(), 4);
+  EXPECT_EQ(g.min_degree(), 4);
+  EXPECT_EQ(g.num_edges(), 10u);
+  const auto seq = g.degree_sequence();
+  EXPECT_EQ(seq, (std::vector<int>{4, 4, 4, 4, 4}));
+}
+
+TEST(Graph, EdgesListEachEdgeOnce) {
+  Graph g = make_cycle(4);
+  const auto es = g.edges();
+  EXPECT_EQ(es.size(), 4u);
+  for (auto [u, v] : es) EXPECT_LT(u, v);
+}
+
+TEST(Graph, MakePath) {
+  Graph g = make_path(4);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(1), 2);
+}
+
+TEST(Graph, MakeCycleSmall) {
+  EXPECT_EQ(make_cycle(3).num_edges(), 3u);
+  EXPECT_EQ(make_cycle(2).num_edges(), 1u);  // degenerate: single edge
+}
+
+TEST(Graph, InducedSubgraphRemapsIds) {
+  Graph g = make_cycle(5);  // 0-1-2-3-4-0
+  util::DynamicBitset keep(5, true);
+  keep.reset(2);
+  std::vector<Node> map;
+  const Graph sub = g.induced_subgraph(keep, &map);
+  EXPECT_EQ(sub.num_nodes(), 4);
+  EXPECT_EQ(map[2], -1);
+  // Path 3-4-0-1 must survive with remapped ids.
+  EXPECT_TRUE(sub.has_edge(map[3], map[4]));
+  EXPECT_TRUE(sub.has_edge(map[4], map[0]));
+  EXPECT_TRUE(sub.has_edge(map[0], map[1]));
+  EXPECT_FALSE(sub.has_edge(map[1], map[3]));
+  EXPECT_EQ(sub.num_edges(), 3u);
+}
+
+TEST(Graph, InducedSubgraphKeepAllIsIdentity) {
+  Graph g = make_complete(4);
+  util::DynamicBitset keep(4, true);
+  EXPECT_EQ(g.induced_subgraph(keep), g);
+}
+
+TEST(Graph, InducedSubgraphKeepNone) {
+  Graph g = make_complete(4);
+  util::DynamicBitset keep(4);
+  EXPECT_EQ(g.induced_subgraph(keep).num_nodes(), 0);
+}
+
+TEST(Graph, FromEdges) {
+  const Graph g = from_edges(4, {{0, 1}, {2, 3}});
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(2, 3));
+}
+
+}  // namespace
+}  // namespace kgdp::graph

@@ -1,0 +1,98 @@
+#include "io/graph_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kgd/factory.hpp"
+#include "kgd/small_n.hpp"
+#include "verify/checker.hpp"
+
+namespace kgdp::io {
+namespace {
+
+TEST(GraphIo, RoundTripsEveryConstructionKind) {
+  for (auto [n, k] : std::vector<std::pair<int, int>>{
+           {1, 2}, {2, 3}, {3, 4}, {8, 2}, {7, 3}, {14, 4}}) {
+    const auto sg = kgd::build_solution(n, k);
+    ASSERT_TRUE(sg);
+    const kgd::SolutionGraph back =
+        load_solution_string(save_solution_string(*sg));
+    EXPECT_EQ(back.n(), sg->n());
+    EXPECT_EQ(back.k(), sg->k());
+    EXPECT_EQ(back.name(), sg->name());
+    EXPECT_EQ(back.roles(), sg->roles());
+    EXPECT_EQ(back.graph(), sg->graph());
+  }
+}
+
+TEST(GraphIo, LoadedGraphStillVerifies) {
+  const auto sg = kgd::build_solution(6, 2);
+  ASSERT_TRUE(sg);
+  const kgd::SolutionGraph back =
+      load_solution_string(save_solution_string(*sg));
+  EXPECT_TRUE(verify::check_gd_exhaustive(back, 2).holds);
+}
+
+TEST(GraphIo, NameWithSpacesSurvives) {
+  kgd::SolutionGraph named(kgd::make_g1k(1).graph(),
+                           kgd::make_g1k(1).roles(), 1, 1,
+                           "a name with spaces");
+  const auto back = load_solution_string(save_solution_string(named));
+  EXPECT_EQ(back.name(), "a name with spaces");
+}
+
+TEST(GraphIo, RejectsBadMagic) {
+  EXPECT_THROW(load_solution_string("not-a-graph 1\n"),
+               std::runtime_error);
+}
+
+TEST(GraphIo, RejectsBadVersion) {
+  EXPECT_THROW(load_solution_string("kgdp-graph 2\nname x\n"),
+               std::runtime_error);
+}
+
+TEST(GraphIo, RejectsRoleLengthMismatch) {
+  const std::string text =
+      "kgdp-graph 1\nname t\nparams 1 1\nnodes 3\nroles pp\nedges 0\n";
+  EXPECT_THROW(load_solution_string(text), std::runtime_error);
+}
+
+TEST(GraphIo, RejectsBadRoleCharacter) {
+  const std::string text =
+      "kgdp-graph 1\nname t\nparams 1 1\nnodes 2\nroles pz\nedges 0\n";
+  EXPECT_THROW(load_solution_string(text), std::runtime_error);
+}
+
+TEST(GraphIo, RejectsOutOfRangeEdge) {
+  const std::string text =
+      "kgdp-graph 1\nname t\nparams 1 1\nnodes 2\nroles pp\nedges 1\n0 5\n";
+  EXPECT_THROW(load_solution_string(text), std::runtime_error);
+}
+
+TEST(GraphIo, RejectsSelfLoopAndDuplicate) {
+  const std::string loop =
+      "kgdp-graph 1\nname t\nparams 1 1\nnodes 2\nroles pp\nedges 1\n1 1\n";
+  EXPECT_THROW(load_solution_string(loop), std::runtime_error);
+  const std::string dup =
+      "kgdp-graph 1\nname t\nparams 1 1\nnodes 2\nroles pp\nedges 2\n"
+      "0 1\n1 0\n";
+  EXPECT_THROW(load_solution_string(dup), std::runtime_error);
+}
+
+TEST(GraphIo, RejectsTruncatedEdgeList) {
+  const std::string text =
+      "kgdp-graph 1\nname t\nparams 1 1\nnodes 2\nroles pp\nedges 2\n0 1\n";
+  EXPECT_THROW(load_solution_string(text), std::runtime_error);
+}
+
+TEST(GraphIo, JsonExportHasAllParts) {
+  const auto sg = kgd::build_solution(4, 2);
+  ASSERT_TRUE(sg);
+  const std::string json = solution_to_json(*sg).dump();
+  EXPECT_NE(json.find("\"edge_list\""), std::string::npos);
+  EXPECT_NE(json.find("\"node_list\""), std::string::npos);
+  EXPECT_NE(json.find("\"processor\""), std::string::npos);
+  EXPECT_NE(json.find("\"n\":4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kgdp::io

@@ -1,0 +1,175 @@
+#include "graph/hamiltonian.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/properties.hpp"
+#include "util/rng.hpp"
+
+namespace kgdp::graph {
+namespace {
+
+util::DynamicBitset all_nodes(int n) { return util::DynamicBitset(n, true); }
+
+util::DynamicBitset only(int n, std::initializer_list<int> nodes) {
+  util::DynamicBitset b(n);
+  for (int v : nodes) b.set(v);
+  return b;
+}
+
+TEST(Hamiltonian, SingleNodeNeedsBothEndpointSets) {
+  Graph g(1);
+  EXPECT_EQ(hamiltonian_path(g, only(1, {0}), only(1, {0})).status,
+            HamResult::kFound);
+  EXPECT_EQ(hamiltonian_path(g, only(1, {0}), util::DynamicBitset(1)).status,
+            HamResult::kNone);
+}
+
+TEST(Hamiltonian, PathGraphHasExactlyItsEndpoints) {
+  const Graph g = make_path(5);
+  auto res = hamiltonian_path(g, only(5, {0}), only(5, {4}));
+  ASSERT_EQ(res.status, HamResult::kFound);
+  EXPECT_TRUE(is_hamiltonian_path(g, res.path));
+  // Interior start is impossible.
+  EXPECT_EQ(hamiltonian_path(g, only(5, {2}), all_nodes(5)).status,
+            HamResult::kNone);
+}
+
+TEST(Hamiltonian, CompleteGraphAnyEndpoints) {
+  const Graph g = make_complete(7);
+  for (int a = 0; a < 7; ++a) {
+    for (int b = 0; b < 7; ++b) {
+      if (a == b) continue;
+      auto res = hamiltonian_path(g, only(7, {a}), only(7, {b}));
+      ASSERT_EQ(res.status, HamResult::kFound);
+      EXPECT_EQ(res.path.front(), a);
+      EXPECT_EQ(res.path.back(), b);
+      EXPECT_TRUE(is_hamiltonian_path(g, res.path));
+    }
+  }
+}
+
+TEST(Hamiltonian, DisconnectedGraphHasNone) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_EQ(hamiltonian_path(g, all_nodes(4), all_nodes(4)).status,
+            HamResult::kNone);
+}
+
+TEST(Hamiltonian, StarGraphHasNoHamPathBeyondThreeNodes) {
+  Graph g(5);  // K_{1,4}
+  for (int leaf = 1; leaf < 5; ++leaf) g.add_edge(0, leaf);
+  EXPECT_EQ(hamiltonian_path(g, all_nodes(5), all_nodes(5)).status,
+            HamResult::kNone);
+}
+
+TEST(Hamiltonian, BipartiteParityObstruction) {
+  // K_{2,4} has no Hamiltonian path (parts differ by more than 1).
+  Graph g(6);
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 2; b < 6; ++b) g.add_edge(a, b);
+  }
+  EXPECT_EQ(hamiltonian_path(g, all_nodes(6), all_nodes(6)).status,
+            HamResult::kNone);
+}
+
+TEST(Hamiltonian, CycleGraphEndpointsMustBeAdjacent) {
+  const Graph g = make_cycle(6);
+  EXPECT_EQ(hamiltonian_path(g, only(6, {0}), only(6, {1})).status,
+            HamResult::kFound);
+  EXPECT_EQ(hamiltonian_path(g, only(6, {0}), only(6, {3})).status,
+            HamResult::kNone);
+}
+
+TEST(Hamiltonian, EndpointSetsRestrictSolutions) {
+  const Graph g = make_path(4);  // only 0-...-3 works
+  EXPECT_EQ(hamiltonian_path(g, only(4, {1, 2}), all_nodes(4)).status,
+            HamResult::kNone);
+  auto res = hamiltonian_path(g, only(4, {0, 3}), only(4, {0, 3}));
+  ASSERT_EQ(res.status, HamResult::kFound);
+}
+
+TEST(Hamiltonian, GridGraph3x3) {
+  // 3x3 grid: Hamiltonian paths exist from corner (0,0).
+  Graph g(9);
+  auto id = [](int r, int c) { return r * 3 + c; };
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      if (c + 1 < 3) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < 3) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  auto res = hamiltonian_path(g, only(9, {0}), all_nodes(9));
+  ASSERT_EQ(res.status, HamResult::kFound);
+  EXPECT_TRUE(is_hamiltonian_path(g, res.path));
+  // Color argument: both endpoints must be on the majority color class;
+  // center-to-anywhere from a minority-color corner cell 1 fails:
+  EXPECT_EQ(hamiltonian_path(g, only(9, {1}), only(9, {3})).status,
+            HamResult::kNone);
+}
+
+TEST(Hamiltonian, DpFallbackAgreesWithDfs) {
+  // Tight budget forces the DP path; verdicts must agree with exact DFS.
+  util::Rng rng(99);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = 8 + static_cast<int>(rng.next_below(6));
+    Graph g(n);
+    for (int u = 0; u < n; ++u) {
+      for (int v = u + 1; v < n; ++v) {
+        if (rng.next_bool(0.35)) g.add_edge(u, v);
+      }
+    }
+    HamiltonianOptions exact;
+    HamiltonianOptions tight;
+    tight.dfs_budget = 1;  // give up immediately, go to DP
+    const auto r1 = hamiltonian_path(g, all_nodes(n), all_nodes(n), exact);
+    const auto r2 = hamiltonian_path(g, all_nodes(n), all_nodes(n), tight);
+    ASSERT_NE(r1.status, HamResult::kUnknown);
+    ASSERT_NE(r2.status, HamResult::kUnknown);
+    EXPECT_EQ(r1.status, r2.status) << "trial " << trial;
+    if (r2.status == HamResult::kFound) {
+      EXPECT_TRUE(is_hamiltonian_path(g, r2.path));
+    }
+  }
+}
+
+TEST(Hamiltonian, LargeGraphPathOver64Nodes) {
+  // Exercise the DynamicBitset code path (n > 64).
+  const int n = 80;
+  const Graph g = make_cycle(n);
+  auto res = hamiltonian_path(g, only(n, {0}), only(n, {1}));
+  ASSERT_EQ(res.status, HamResult::kFound);
+  EXPECT_TRUE(is_hamiltonian_path(g, res.path));
+  EXPECT_EQ(hamiltonian_path(g, only(n, {0}), only(n, {40})).status,
+            HamResult::kNone);
+}
+
+TEST(Hamiltonian, SolverReuseAccumulatesExpansions) {
+  HamiltonianSolver solver;
+  const Graph g = make_complete(6);
+  solver.solve(g, all_nodes(6), all_nodes(6));
+  const auto e1 = solver.expansions();
+  solver.solve(g, all_nodes(6), all_nodes(6));
+  EXPECT_GT(solver.expansions(), e1);
+}
+
+TEST(Hamiltonian, RandomDenseGraphsAlwaysCertified) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 10 + static_cast<int>(rng.next_below(15));
+    Graph g(n);
+    for (int u = 0; u < n; ++u) {
+      for (int v = u + 1; v < n; ++v) {
+        if (rng.next_bool(0.6)) g.add_edge(u, v);
+      }
+    }
+    auto res = hamiltonian_path(g, all_nodes(n), all_nodes(n));
+    ASSERT_NE(res.status, HamResult::kUnknown);
+    if (res.status == HamResult::kFound) {
+      EXPECT_TRUE(is_hamiltonian_path(g, res.path));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kgdp::graph

@@ -1,0 +1,149 @@
+#include "verify/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kgd/factory.hpp"
+#include "util/rng.hpp"
+
+namespace kgdp::verify {
+namespace {
+
+using kgd::FaultSet;
+using kgd::Role;
+
+TEST(Incremental, StartsOperational) {
+  const auto sg = kgd::build_solution(8, 2);
+  ASSERT_TRUE(sg);
+  IncrementalReconfigurator inc(*sg);
+  EXPECT_TRUE(inc.operational());
+  EXPECT_EQ(inc.pipeline().num_processors(), 10);
+}
+
+TEST(Incremental, TerminalNotOnPipelineIsUntouched) {
+  const auto sg = kgd::build_solution(8, 2);
+  ASSERT_TRUE(sg);
+  IncrementalReconfigurator inc(*sg);
+  // Find an input terminal that is not the pipeline's endpoint.
+  const auto used = inc.pipeline().input_terminal();
+  kgd::Node spare = -1;
+  for (auto t : sg->inputs()) {
+    if (t != used) {
+      spare = t;
+      break;
+    }
+  }
+  ASSERT_GE(spare, 0);
+  EXPECT_EQ(inc.fail_node(spare), RepairMethod::kUntouched);
+  EXPECT_TRUE(inc.operational());
+  EXPECT_EQ(inc.stats().untouched, 1u);
+}
+
+TEST(Incremental, EndpointTerminalFaultSwapsTerminal) {
+  const auto sg = kgd::build_solution(8, 2);
+  ASSERT_TRUE(sg);
+  IncrementalReconfigurator inc(*sg);
+  const auto dead = inc.pipeline().input_terminal();
+  const auto method = inc.fail_node(dead);
+  EXPECT_TRUE(inc.operational());
+  // A swap when the anchor has another healthy terminal; a full solve is
+  // also acceptable when it does not — but never an outage.
+  EXPECT_NE(method, RepairMethod::kInfeasible);
+}
+
+TEST(Incremental, InteriorProcessorPrefersLocalRepair) {
+  const auto sg = kgd::build_solution(12, 3);
+  ASSERT_TRUE(sg);
+  IncrementalReconfigurator inc(*sg);
+  // Fail an interior pipeline processor.
+  const auto victim = inc.pipeline().path[4];
+  ASSERT_EQ(sg->role(victim), Role::kProcessor);
+  const auto method = inc.fail_node(victim);
+  EXPECT_TRUE(inc.operational());
+  EXPECT_TRUE(method == RepairMethod::kSplice ||
+              method == RepairMethod::kWindow ||
+              method == RepairMethod::kFullSolve);
+  EXPECT_EQ(inc.pipeline().num_processors(), 14);
+}
+
+TEST(Incremental, PipelineAlwaysCertifiedThroughRandomStorm) {
+  const auto sg = kgd::build_solution(12, 3);
+  ASSERT_TRUE(sg);
+  util::Rng rng(17);
+  for (int trial = 0; trial < 30; ++trial) {
+    IncrementalReconfigurator inc(*sg);
+    int healthy_procs = sg->num_processors();
+    for (int f = 0; f < 3; ++f) {
+      const int v = static_cast<int>(rng.next_below(sg->num_nodes()));
+      if (inc.faults().contains(v)) continue;
+      const bool was_proc = sg->role(v) == Role::kProcessor;
+      const auto method = inc.fail_node(v);
+      ASSERT_NE(method, RepairMethod::kInfeasible)
+          << "trial " << trial << " fault " << v;
+      if (was_proc) --healthy_procs;
+      ASSERT_EQ(inc.pipeline().num_processors(), healthy_procs);
+      ASSERT_TRUE(kgd::check_pipeline(*sg, inc.faults(),
+                                      inc.pipeline().path)
+                      .ok);
+    }
+  }
+}
+
+TEST(Incremental, AgreesWithFreshSolveOnFeasibility) {
+  const auto sg = kgd::build_solution(6, 2);
+  ASSERT_TRUE(sg);
+  // Push beyond the design budget: eventually infeasible, and the
+  // incremental verdict must match a from-scratch solve at every step.
+  IncrementalReconfigurator inc(*sg);
+  PipelineSolver fresh;
+  util::Rng rng(5);
+  std::vector<int> order(sg->num_nodes());
+  for (int i = 0; i < sg->num_nodes(); ++i) order[i] = i;
+  rng.shuffle(order);
+  for (int v : order) {
+    const auto method = inc.fail_node(v);
+    const auto expect = fresh.solve(*sg, inc.faults());
+    EXPECT_EQ(method != RepairMethod::kInfeasible &&
+                  inc.operational(),
+              expect.status == SolveStatus::kFound);
+    if (!inc.operational() &&
+        expect.status != SolveStatus::kFound) {
+      break;  // both agree the machine is dead; storm over
+    }
+  }
+}
+
+TEST(Incremental, DoubleFaultOnSameNodeIsIdempotent) {
+  const auto sg = kgd::build_solution(8, 2);
+  ASSERT_TRUE(sg);
+  IncrementalReconfigurator inc(*sg);
+  const auto victim = inc.pipeline().path[2];
+  inc.fail_node(victim);
+  const auto before = inc.faults().size();
+  EXPECT_EQ(inc.fail_node(victim), RepairMethod::kUntouched);
+  EXPECT_EQ(inc.faults().size(), before);
+}
+
+TEST(Incremental, ResetRestoresService) {
+  const auto sg = kgd::build_solution(8, 2);
+  ASSERT_TRUE(sg);
+  IncrementalReconfigurator inc(*sg);
+  inc.fail_node(inc.pipeline().path[1]);
+  inc.fail_node(inc.pipeline().path[1]);
+  EXPECT_TRUE(inc.reset(FaultSet::none(sg->num_nodes())));
+  EXPECT_EQ(inc.pipeline().num_processors(), 10);
+}
+
+TEST(Incremental, StatsAccumulate) {
+  const auto sg = kgd::build_solution(12, 3);
+  ASSERT_TRUE(sg);
+  IncrementalReconfigurator inc(*sg);
+  inc.fail_node(inc.pipeline().path[3]);
+  inc.fail_node(inc.pipeline().path[3]);
+  const auto& st = inc.stats();
+  EXPECT_EQ(st.untouched + st.terminal_swaps + st.splices +
+                st.window_reroutes + st.full_solves + st.infeasible,
+            2u);
+}
+
+}  // namespace
+}  // namespace kgdp::verify

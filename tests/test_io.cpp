@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "io/csv.hpp"
+#include "io/json.hpp"
+#include "util/table.hpp"
+
+namespace kgdp {
+namespace {
+
+// ---- Table ----
+
+TEST(Table, AlignsColumns) {
+  util::Table t({"a", "longheader"});
+  t.add_row({"xx", "1"});
+  t.add_row({"y", "22"});
+  const std::string s = t.to_string();
+  std::istringstream is(s);
+  std::string l1, l2, l3, l4;
+  std::getline(is, l1);
+  std::getline(is, l2);
+  std::getline(is, l3);
+  std::getline(is, l4);
+  EXPECT_EQ(l1.find("longheader"), l3.find("1"));
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, MarkdownMode) {
+  util::Table t({"h1", "h2"});
+  t.add_row({"a", "b"});
+  const std::string s = t.to_string(true);
+  EXPECT_NE(s.find("| h1"), std::string::npos);
+  EXPECT_NE(s.find("|---"), std::string::npos);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(util::Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(util::Table::num(std::uint64_t{42}), "42");
+  EXPECT_EQ(util::Table::num(-7), "-7");
+}
+
+// ---- CSV ----
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = "/tmp/kgdp_test_io.csv";
+  {
+    io::CsvWriter w(path, {"x", "y"});
+    w.row({"1", "2"});
+    w.row({"a,b", "quo\"te"});
+  }
+  std::ifstream in(path);
+  std::string l1, l2, l3;
+  std::getline(in, l1);
+  std::getline(in, l2);
+  std::getline(in, l3);
+  EXPECT_EQ(l1, "x,y");
+  EXPECT_EQ(l2, "1,2");
+  EXPECT_EQ(l3, "\"a,b\",\"quo\"\"te\"");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ArityMismatchThrows) {
+  const std::string path = "/tmp/kgdp_test_io2.csv";
+  io::CsvWriter w(path, {"x", "y"});
+  EXPECT_THROW(w.row({"1"}), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, UnwritablePathThrows) {
+  EXPECT_THROW(io::CsvWriter("/nonexistent-dir/f.csv", {"a"}),
+               std::runtime_error);
+}
+
+// ---- JSON ----
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(io::Json(nullptr).dump(), "null");
+  EXPECT_EQ(io::Json(true).dump(), "true");
+  EXPECT_EQ(io::Json(false).dump(), "false");
+  EXPECT_EQ(io::Json(42).dump(), "42");
+  EXPECT_EQ(io::Json(-1.5).dump(), "-1.5");
+  EXPECT_EQ(io::Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(io::Json("a\"b\\c\nd").dump(), "\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(Json, CompactObjectAndArray) {
+  io::JsonObject o;
+  o["k"] = io::Json(io::JsonArray{io::Json(1), io::Json(2)});
+  EXPECT_EQ(io::Json(o).dump(), "{\"k\":[1,2]}");
+}
+
+TEST(Json, IndentedOutputHasNewlines) {
+  io::JsonObject o;
+  o["a"] = 1;
+  o["b"] = 2;
+  const std::string s = io::Json(o).dump(2);
+  EXPECT_NE(s.find('\n'), std::string::npos);
+  EXPECT_NE(s.find("  \"a\": 1"), std::string::npos);
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  EXPECT_EQ(io::Json(std::numeric_limits<double>::infinity()).dump(),
+            "null");
+}
+
+TEST(Json, ObjectKeysSorted) {
+  io::JsonObject o;
+  o["zebra"] = 1;
+  o["apple"] = 2;
+  const std::string s = io::Json(o).dump();
+  EXPECT_LT(s.find("apple"), s.find("zebra"));
+}
+
+}  // namespace
+}  // namespace kgdp

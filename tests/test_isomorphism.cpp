@@ -1,0 +1,86 @@
+#include "graph/isomorphism.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/circulant.hpp"
+#include "graph/graph.hpp"
+
+namespace kgdp::graph {
+namespace {
+
+TEST(Isomorphism, IdenticalGraphs) {
+  const Graph g = make_cycle(5);
+  auto m = find_isomorphism(g, g);
+  ASSERT_TRUE(m.has_value());
+  for (Node u = 0; u < 5; ++u) {
+    for (Node v : g.neighbors(u)) {
+      EXPECT_TRUE(g.has_edge((*m)[u], (*m)[v]));
+    }
+  }
+}
+
+TEST(Isomorphism, RelabeledCycle) {
+  const Graph a = make_cycle(6);
+  // 6-cycle written in a different vertex order: 0-2-4-1-5-3-0.
+  const Graph b = from_edges(
+      6, {{0, 2}, {2, 4}, {4, 1}, {1, 5}, {5, 3}, {3, 0}});
+  EXPECT_TRUE(are_isomorphic(a, b));
+}
+
+TEST(Isomorphism, CycleVsPathDiffer) {
+  EXPECT_FALSE(are_isomorphic(make_cycle(5), make_path(5)));
+}
+
+TEST(Isomorphism, SameDegreeSequenceNotIsomorphic) {
+  // Two 3-regular graphs on 6 nodes: K_{3,3} vs the prism (C3 x K2).
+  const Graph k33 = from_edges(6, {{0, 3}, {0, 4}, {0, 5}, {1, 3}, {1, 4},
+                                   {1, 5}, {2, 3}, {2, 4}, {2, 5}});
+  const Graph prism = from_edges(6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5},
+                                     {5, 3}, {0, 3}, {1, 4}, {2, 5}});
+  EXPECT_EQ(k33.degree_sequence(), prism.degree_sequence());
+  EXPECT_FALSE(are_isomorphic(k33, prism));  // prism has triangles
+}
+
+TEST(Isomorphism, SizeMismatch) {
+  EXPECT_FALSE(are_isomorphic(make_cycle(5), make_cycle(6)));
+}
+
+TEST(Isomorphism, ColorsConstrainMapping) {
+  const Graph a = make_path(3);  // 0-1-2
+  const Graph b = make_path(3);
+  std::vector<int> ca = {0, 1, 0};  // endpoints color 0
+  std::vector<int> cb = {0, 1, 0};
+  EXPECT_TRUE(are_isomorphic(a, b, &ca, &cb));
+  std::vector<int> cb_bad = {1, 0, 0};  // endpoint colored like a center
+  EXPECT_FALSE(are_isomorphic(a, b, &ca, &cb_bad));
+}
+
+TEST(Isomorphism, CirculantRotationsAreIsomorphic) {
+  const Graph a = make_circulant(8, {1, 3});
+  const Graph b = make_circulant(8, {3, 1});
+  EXPECT_TRUE(are_isomorphic(a, b));
+}
+
+TEST(Isomorphism, PetersenSelfTest) {
+  // Petersen graph: outer C5 + inner pentagram + spokes.
+  std::vector<Edge> edges;
+  for (int i = 0; i < 5; ++i) {
+    edges.push_back({i, (i + 1) % 5});
+    edges.push_back({5 + i, 5 + (i + 2) % 5});
+    edges.push_back({i, 5 + i});
+  }
+  const Graph p = from_edges(10, edges);
+  // Relabel by a random-looking permutation.
+  const std::vector<int> perm = {7, 2, 9, 4, 0, 3, 8, 1, 6, 5};
+  std::vector<Edge> redges;
+  for (auto [u, v] : edges) redges.push_back({perm[u], perm[v]});
+  EXPECT_TRUE(are_isomorphic(p, from_edges(10, redges)));
+}
+
+TEST(Isomorphism, EmptyGraphs) {
+  EXPECT_TRUE(are_isomorphic(Graph(0), Graph(0)));
+  EXPECT_TRUE(are_isomorphic(Graph(3), Graph(3)));
+}
+
+}  // namespace
+}  // namespace kgdp::graph

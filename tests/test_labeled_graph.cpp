@@ -1,0 +1,102 @@
+#include "kgd/labeled_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kgd/small_n.hpp"
+
+namespace kgdp::kgd {
+namespace {
+
+TEST(FaultSet, SortsAndDeduplicates) {
+  FaultSet fs(10, {5, 2, 5, 9});
+  EXPECT_EQ(fs.size(), 3);
+  EXPECT_EQ(fs.nodes(), (std::vector<Node>{2, 5, 9}));
+  EXPECT_TRUE(fs.contains(5));
+  EXPECT_FALSE(fs.contains(0));
+  EXPECT_EQ(fs.universe(), 10);
+  EXPECT_EQ(fs.to_string(), "{2,5,9}");
+}
+
+TEST(FaultSet, None) {
+  const FaultSet fs = FaultSet::none(4);
+  EXPECT_EQ(fs.size(), 0);
+  EXPECT_EQ(fs.to_string(), "{}");
+}
+
+TEST(SolutionGraphBuilder, AssignsRolesAndNames) {
+  SolutionGraphBuilder b(2, 1, "T");
+  const Node p0 = b.add(Role::kProcessor);
+  const Node i0 = b.add(Role::kInput, "in");
+  const Node o0 = b.add(Role::kOutput);
+  b.connect(p0, i0);
+  b.connect(p0, o0);
+  const SolutionGraph sg = b.build();
+  EXPECT_EQ(sg.role(p0), Role::kProcessor);
+  EXPECT_EQ(sg.role(i0), Role::kInput);
+  EXPECT_EQ(sg.role(o0), Role::kOutput);
+  EXPECT_EQ(sg.node_names()[i0], "in");
+  EXPECT_EQ(sg.name(), "T");
+  EXPECT_EQ(sg.n(), 2);
+  EXPECT_EQ(sg.k(), 1);
+}
+
+TEST(SolutionGraph, RoleCountsAndSets) {
+  const SolutionGraph sg = make_g1k(2);  // 3 procs, 3 in, 3 out
+  EXPECT_EQ(sg.num_processors(), 3);
+  EXPECT_EQ(sg.num_inputs(), 3);
+  EXPECT_EQ(sg.num_outputs(), 3);
+  EXPECT_EQ(sg.num_nodes(), 9);
+  EXPECT_EQ(sg.inputs().size(), 3u);
+  EXPECT_EQ(sg.outputs().size(), 3u);
+  EXPECT_EQ(sg.processors().size(), 3u);
+}
+
+TEST(SolutionGraph, AttachmentSetsForG1k) {
+  const SolutionGraph sg = make_g1k(3);
+  // In G(1,k), I = O = all processors.
+  EXPECT_EQ(sg.input_attached_processors(), sg.processors());
+  EXPECT_EQ(sg.output_attached_processors(), sg.processors());
+}
+
+TEST(SolutionGraph, AttachmentSetsForG2k) {
+  const SolutionGraph sg = make_g2k(2);
+  // a = p0 carries input only; b = p1 output only.
+  const auto I = sg.input_attached_processors();
+  const auto O = sg.output_attached_processors();
+  EXPECT_EQ(I.size(), 3u);
+  EXPECT_EQ(O.size(), 3u);
+  const auto procs = sg.processors();
+  // p1 not input-attached, p0 not output-attached.
+  EXPECT_EQ(std::count(I.begin(), I.end(), procs[1]), 0);
+  EXPECT_EQ(std::count(O.begin(), O.end(), procs[0]), 0);
+}
+
+TEST(SolutionGraph, StandardnessPredicates) {
+  const SolutionGraph g1 = make_g1k(2);
+  EXPECT_TRUE(g1.is_node_optimal());
+  EXPECT_TRUE(g1.all_terminals_degree_one());
+  EXPECT_TRUE(g1.is_standard());
+}
+
+TEST(SolutionGraph, ProcessorDegreeStats) {
+  const SolutionGraph sg = make_g1k(4);  // degree k+2 = 6 everywhere
+  EXPECT_EQ(sg.max_processor_degree(), 6);
+  EXPECT_EQ(sg.min_processor_degree(), 6);
+}
+
+TEST(SolutionGraph, DotExportContainsRolesAndEdges) {
+  const SolutionGraph sg = make_g1k(1);
+  const std::string dot = sg.to_dot();
+  EXPECT_NE(dot.find("lightblue"), std::string::npos);   // inputs
+  EXPECT_NE(dot.find("lightsalmon"), std::string::npos); // outputs
+  EXPECT_NE(dot.find("--"), std::string::npos);
+}
+
+TEST(RoleName, AllValues) {
+  EXPECT_STREQ(role_name(Role::kInput), "input");
+  EXPECT_STREQ(role_name(Role::kOutput), "output");
+  EXPECT_STREQ(role_name(Role::kProcessor), "processor");
+}
+
+}  // namespace
+}  // namespace kgdp::kgd

@@ -1,0 +1,59 @@
+// Coverage for the remaining leaf utilities: the logger and the plain
+// DOT exporter.
+#include <gtest/gtest.h>
+
+#include "graph/dot.hpp"
+#include "graph/graph.hpp"
+#include "util/log.hpp"
+
+namespace kgdp {
+namespace {
+
+TEST(Log, LevelRoundTrip) {
+  const auto saved = util::log_level();
+  util::set_log_level(util::LogLevel::kDebug);
+  EXPECT_EQ(util::log_level(), util::LogLevel::kDebug);
+  util::set_log_level(util::LogLevel::kOff);
+  EXPECT_EQ(util::log_level(), util::LogLevel::kOff);
+  util::set_log_level(saved);
+}
+
+TEST(Log, SuppressedBelowLevelDoesNotCrash) {
+  const auto saved = util::log_level();
+  util::set_log_level(util::LogLevel::kOff);
+  util::log_warn("should be invisible ", 42);
+  util::log_info("also invisible");
+  util::log_debug("and this");
+  util::set_log_level(saved);
+}
+
+TEST(Log, ConcatFormatsMixedTypes) {
+  EXPECT_EQ(util::detail::concat("x=", 3, " y=", 2.5), "x=3 y=2.5");
+}
+
+TEST(Dot, PlainExportListsNodesAndEdges) {
+  const graph::Graph g = graph::make_path(3);
+  const std::string dot = graph::to_dot(g, "P3");
+  EXPECT_NE(dot.find("graph P3 {"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -- n1;"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -- n2;"), std::string::npos);
+  EXPECT_EQ(dot.find("n0 -- n2"), std::string::npos);
+}
+
+TEST(Dot, CustomNamesAndColors) {
+  const graph::Graph g = graph::make_path(2);
+  const std::vector<std::string> names = {"alpha", "beta"};
+  const std::vector<std::string> colors = {"red", "blue"};
+  const std::string dot = graph::to_dot(g, "G", &names, &colors);
+  EXPECT_NE(dot.find("label=\"alpha\""), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=\"blue\""), std::string::npos);
+}
+
+TEST(Dot, EmptyGraph) {
+  const std::string dot = graph::to_dot(graph::Graph(0));
+  EXPECT_NE(dot.find("graph G {"), std::string::npos);
+  EXPECT_EQ(dot.find("--"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kgdp

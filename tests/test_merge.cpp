@@ -1,0 +1,104 @@
+#include "kgd/merge.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kgd/factory.hpp"
+#include "kgd/small_n.hpp"
+#include "verify/checker.hpp"
+#include "verify/pipeline_solver.hpp"
+
+namespace kgdp::kgd {
+namespace {
+
+TEST(Merge, SingleTerminalsOfEachKind) {
+  const SolutionGraph merged = merge_terminals(make_g1k(3));
+  EXPECT_EQ(merged.num_inputs(), 1);
+  EXPECT_EQ(merged.num_outputs(), 1);
+  EXPECT_EQ(merged.num_processors(), 4);
+}
+
+TEST(Merge, TerminalDegreeIsKPlus1) {
+  // §3: after merging, each terminal has degree exactly k+1 — the
+  // minimum possible (fewer neighbors could all be killed by k faults).
+  for (int k = 1; k <= 4; ++k) {
+    const SolutionGraph merged = merge_terminals(make_g1k(k));
+    for (Node t : merged.inputs()) {
+      EXPECT_EQ(merged.graph().degree(t), k + 1);
+    }
+    for (Node t : merged.outputs()) {
+      EXPECT_EQ(merged.graph().degree(t), k + 1);
+    }
+  }
+}
+
+TEST(Merge, ProcessorSubgraphUnchanged) {
+  const SolutionGraph base = make_g2k(2);
+  const SolutionGraph merged = merge_terminals(base);
+  // Same processor count and the processor-processor edges survive.
+  EXPECT_EQ(merged.num_processors(), base.num_processors());
+  std::size_t base_pp = 0, merged_pp = 0;
+  for (auto [u, v] : base.graph().edges()) {
+    if (base.role(u) == Role::kProcessor && base.role(v) == Role::kProcessor) {
+      ++base_pp;
+    }
+  }
+  for (auto [u, v] : merged.graph().edges()) {
+    if (merged.role(u) == Role::kProcessor &&
+        merged.role(v) == Role::kProcessor) {
+      ++merged_pp;
+    }
+  }
+  EXPECT_EQ(base_pp, merged_pp);
+}
+
+TEST(Merge, ToleratesProcessorFaultsWithFaultFreeTerminals) {
+  // The merged model assumes fault-free I/O devices; check that every
+  // processor-only fault set still leaves a pipeline.
+  for (int k = 1; k <= 3; ++k) {
+    const SolutionGraph merged = merge_terminals(make_g1k(k));
+    verify::PipelineSolver solver;
+    bool all_ok = true;
+    // Enumerate processor-only fault sets of size <= k.
+    const auto procs = merged.processors();
+    std::vector<int> idx(procs.size());
+    std::function<void(std::size_t, std::vector<Node>&)> rec =
+        [&](std::size_t from, std::vector<Node>& chosen) {
+          if (chosen.size() <= static_cast<std::size_t>(k) &&
+              !chosen.empty()) {
+            const FaultSet fs(merged.num_nodes(), chosen);
+            all_ok &= solver.solve(merged, fs).status ==
+                      verify::SolveStatus::kFound;
+          }
+          if (chosen.size() == static_cast<std::size_t>(k)) return;
+          for (std::size_t i = from; i < procs.size(); ++i) {
+            chosen.push_back(procs[i]);
+            rec(i + 1, chosen);
+            chosen.pop_back();
+          }
+        };
+    std::vector<Node> chosen;
+    rec(0, chosen);
+    EXPECT_TRUE(all_ok) << "k=" << k;
+  }
+}
+
+TEST(Merge, WorksOnAsymptoticConstruction) {
+  const auto base = build_solution(14, 4);
+  ASSERT_TRUE(base.has_value());
+  const SolutionGraph merged = merge_terminals(*base);
+  EXPECT_EQ(merged.num_inputs(), 1);
+  EXPECT_EQ(merged.graph().degree(merged.inputs()[0]), 5);
+  // Spot check: unfaulted pipeline still exists.
+  const auto out =
+      verify::find_pipeline(merged, FaultSet::none(merged.num_nodes()));
+  EXPECT_EQ(out.status, verify::SolveStatus::kFound);
+}
+
+TEST(Merge, NamesPreserved) {
+  const SolutionGraph merged = merge_terminals(make_g1k(1));
+  EXPECT_EQ(merged.node_names()[merged.inputs()[0]], "i");
+  EXPECT_EQ(merged.node_names()[merged.outputs()[0]], "o");
+}
+
+}  // namespace
+}  // namespace kgdp::kgd

@@ -1,0 +1,98 @@
+#include "kgd/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kgd/small_n.hpp"
+#include "verify/pipeline_solver.hpp"
+
+namespace kgdp::kgd {
+namespace {
+
+// G(1,1): processors {0,1} clique; terminals i0->0, o0->0, i1->1, o1->1
+// with builder ids: p0=0, p1=1, i0=2, o0=3, i1=4, o1=5.
+class PipelineCheckTest : public ::testing::Test {
+ protected:
+  SolutionGraph sg_ = make_g1k(1);
+};
+
+TEST_F(PipelineCheckTest, ValidPipelineAccepted) {
+  // i0(2) - p0(0) - p1(1) - o1(5)
+  const auto chk = check_pipeline(sg_, FaultSet::none(6), {2, 0, 1, 5});
+  EXPECT_TRUE(chk.ok) << chk.error;
+}
+
+TEST_F(PipelineCheckTest, ReversedDirectionAccepted) {
+  const auto chk = check_pipeline(sg_, FaultSet::none(6), {5, 1, 0, 2});
+  EXPECT_TRUE(chk.ok) << chk.error;
+}
+
+TEST_F(PipelineCheckTest, MissingHealthyProcessorRejected) {
+  // Skips processor 1 although it is healthy.
+  const auto chk = check_pipeline(sg_, FaultSet::none(6), {2, 0, 3});
+  EXPECT_FALSE(chk.ok);
+  EXPECT_NE(chk.error.find("missing"), std::string::npos);
+}
+
+TEST_F(PipelineCheckTest, FaultyNodeOnPathRejected) {
+  const FaultSet faults(6, {0});
+  const auto chk = check_pipeline(sg_, faults, {2, 0, 1, 5});
+  EXPECT_FALSE(chk.ok);
+}
+
+TEST_F(PipelineCheckTest, PipelineAroundFaultAccepted) {
+  const FaultSet faults(6, {0});  // p0 dead; i1(4) - p1(1) - o1(5)
+  const auto chk = check_pipeline(sg_, faults, {4, 1, 5});
+  EXPECT_TRUE(chk.ok) << chk.error;
+}
+
+TEST_F(PipelineCheckTest, BothEndpointsSameKindRejected) {
+  const auto chk = check_pipeline(sg_, FaultSet::none(6), {2, 0, 1, 4});
+  EXPECT_FALSE(chk.ok);
+  EXPECT_NE(chk.error.find("endpoint"), std::string::npos);
+}
+
+TEST_F(PipelineCheckTest, NonEdgeRejected) {
+  // i0(2) is not adjacent to p1(1).
+  const auto chk = check_pipeline(sg_, FaultSet::none(6), {2, 1, 0, 3});
+  EXPECT_FALSE(chk.ok);
+}
+
+TEST_F(PipelineCheckTest, InteriorTerminalRejected) {
+  // G(1,2) gives more room: try to route through a terminal.
+  const SolutionGraph sg = make_g1k(2);
+  // p0,p1,p2 = 0,1,2; terminals 3..8 (i0=3,o0=4,i1=5,o1=6,i2=7,o2=8).
+  const auto chk =
+      check_pipeline(sg, FaultSet::none(sg.num_nodes()), {3, 0, 4});
+  EXPECT_FALSE(chk.ok);  // healthy processors 1,2 missing
+}
+
+TEST_F(PipelineCheckTest, RepeatedNodeRejected) {
+  const auto chk = check_pipeline(sg_, FaultSet::none(6), {2, 0, 1, 0, 3});
+  EXPECT_FALSE(chk.ok);
+}
+
+TEST_F(PipelineCheckTest, TooShortRejected) {
+  const auto chk = check_pipeline(sg_, FaultSet::none(6), {2});
+  EXPECT_FALSE(chk.ok);
+}
+
+TEST(PipelineNormalize, OutputFirstGetsReversed) {
+  const SolutionGraph sg = make_g1k(1);
+  const Pipeline p = normalize_pipeline(sg, {5, 1, 0, 2});
+  EXPECT_EQ(sg.role(p.path.front()), Role::kInput);
+  EXPECT_EQ(sg.role(p.path.back()), Role::kOutput);
+  EXPECT_EQ(p.num_processors(), 2);
+  EXPECT_EQ(p.input_terminal(), 2);
+  EXPECT_EQ(p.output_terminal(), 5);
+}
+
+TEST(PipelineToString, UsesNodeNames) {
+  const SolutionGraph sg = make_g1k(1);
+  const Pipeline p = normalize_pipeline(sg, {2, 0, 1, 5});
+  const std::string s = p.to_string(sg);
+  EXPECT_NE(s.find("p0"), std::string::npos);
+  EXPECT_NE(s.find(" - "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kgdp::kgd

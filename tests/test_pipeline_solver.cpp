@@ -1,0 +1,114 @@
+#include "verify/pipeline_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kgd/factory.hpp"
+#include "kgd/small_n.hpp"
+
+namespace kgdp::verify {
+namespace {
+
+using kgd::FaultSet;
+using kgd::Role;
+using kgd::SolutionGraph;
+
+TEST(PipelineSolver, FaultFreeAlwaysSolvable) {
+  for (int k = 1; k <= 3; ++k) {
+    for (int n = 1; n <= 8; ++n) {
+      const auto sg = kgd::build_solution(n, k);
+      ASSERT_TRUE(sg);
+      const auto out = find_pipeline(*sg, FaultSet::none(sg->num_nodes()));
+      ASSERT_EQ(out.status, SolveStatus::kFound) << "n=" << n << " k=" << k;
+      EXPECT_EQ(out.pipeline->num_processors(), n + k);
+    }
+  }
+}
+
+TEST(PipelineSolver, PipelineIsNormalizedInputFirst) {
+  const SolutionGraph sg = kgd::make_g1k(2);
+  const auto out = find_pipeline(sg, FaultSet::none(sg.num_nodes()));
+  ASSERT_EQ(out.status, SolveStatus::kFound);
+  EXPECT_EQ(sg.role(out.pipeline->path.front()), Role::kInput);
+  EXPECT_EQ(sg.role(out.pipeline->path.back()), Role::kOutput);
+}
+
+TEST(PipelineSolver, ShrinksWithProcessorFaults) {
+  const SolutionGraph sg = kgd::make_g1k(3);  // 4 processors
+  const auto procs = sg.processors();
+  const FaultSet fs(sg.num_nodes(), {procs[1], procs[2]});
+  const auto out = find_pipeline(sg, fs);
+  ASSERT_EQ(out.status, SolveStatus::kFound);
+  EXPECT_EQ(out.pipeline->num_processors(), 2);
+  const auto chk = kgd::check_pipeline(sg, fs, out.pipeline->path);
+  EXPECT_TRUE(chk.ok) << chk.error;
+}
+
+TEST(PipelineSolver, RoutesAroundTerminalFaults) {
+  const SolutionGraph sg = kgd::make_g1k(2);
+  // Kill two input terminals; the third must carry the pipeline.
+  const auto ins = sg.inputs();
+  const FaultSet fs(sg.num_nodes(), {ins[0], ins[1]});
+  const auto out = find_pipeline(sg, fs);
+  ASSERT_EQ(out.status, SolveStatus::kFound);
+  EXPECT_EQ(out.pipeline->input_terminal(), ins[2]);
+  // All three processors still healthy and used.
+  EXPECT_EQ(out.pipeline->num_processors(), 3);
+}
+
+TEST(PipelineSolver, DetectsInfeasibleInstances) {
+  const SolutionGraph sg = kgd::make_g1k(1);
+  // Kill both input terminals (more than k faults): no entry point.
+  const auto ins = sg.inputs();
+  const FaultSet fs(sg.num_nodes(), {ins[0], ins[1]});
+  EXPECT_EQ(find_pipeline(sg, fs).status, SolveStatus::kNone);
+}
+
+TEST(PipelineSolver, AllProcessorsDeadMeansNoPipeline) {
+  const SolutionGraph sg = kgd::make_g1k(1);
+  const auto procs = sg.processors();
+  const FaultSet fs(sg.num_nodes(), {procs[0], procs[1]});
+  EXPECT_EQ(find_pipeline(sg, fs).status, SolveStatus::kNone);
+}
+
+TEST(PipelineSolver, SingleSurvivingProcessorNeedsBothTerminalKinds) {
+  const SolutionGraph sg = kgd::make_g1k(1);
+  const auto procs = sg.processors();
+  // One processor left: pipeline i - p - o.
+  const FaultSet fs(sg.num_nodes(), {procs[0]});
+  const auto out = find_pipeline(sg, fs);
+  ASSERT_EQ(out.status, SolveStatus::kFound);
+  EXPECT_EQ(out.pipeline->path.size(), 3u);
+}
+
+TEST(PipelineSolver, EveryResultIsCertified) {
+  // certify=true (default) re-validates internally; double-check here
+  // against the public checker on a fault sweep.
+  const auto sg = kgd::build_solution(6, 2);
+  ASSERT_TRUE(sg);
+  PipelineSolver solver;
+  for (int v = 0; v < sg->num_nodes(); ++v) {
+    const FaultSet fs(sg->num_nodes(), {v});
+    const auto out = solver.solve(*sg, fs);
+    ASSERT_EQ(out.status, SolveStatus::kFound) << "fault " << v;
+    EXPECT_TRUE(kgd::check_pipeline(*sg, fs, out.pipeline->path).ok);
+  }
+}
+
+TEST(PipelineSolver, LargeInstanceReconfiguresQuickly) {
+  const auto sg = kgd::build_solution(60, 4);
+  ASSERT_TRUE(sg);
+  const FaultSet fs(sg->num_nodes(), {0, 7, 33});
+  const auto out = find_pipeline(*sg, fs);
+  ASSERT_EQ(out.status, SolveStatus::kFound);
+  EXPECT_TRUE(kgd::check_pipeline(*sg, fs, out.pipeline->path).ok);
+}
+
+TEST(PipelineSolver, ExpansionCounterAdvances) {
+  PipelineSolver solver;
+  const SolutionGraph sg = kgd::make_g1k(3);
+  solver.solve(sg, FaultSet::none(sg.num_nodes()));
+  EXPECT_GT(solver.ham_expansions(), 0u);
+}
+
+}  // namespace
+}  // namespace kgdp::verify

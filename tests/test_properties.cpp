@@ -1,0 +1,100 @@
+#include "graph/properties.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/graph.hpp"
+
+namespace kgdp::graph {
+namespace {
+
+TEST(Connectivity, SingleAndEmpty) {
+  EXPECT_TRUE(is_connected(Graph(0)));
+  EXPECT_TRUE(is_connected(Graph(1)));
+  EXPECT_FALSE(is_connected(Graph(2)));
+}
+
+TEST(Connectivity, ComponentsLabelled) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  std::vector<int> comp;
+  EXPECT_EQ(connected_components(g, &comp), 3);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_NE(comp[4], comp[0]);
+  EXPECT_NE(comp[4], comp[2]);
+}
+
+TEST(Articulation, PathInteriorNodesAreCuts) {
+  const Graph g = make_path(5);
+  const auto cuts = articulation_points(g);
+  EXPECT_EQ(cuts, (std::vector<Node>{1, 2, 3}));
+}
+
+TEST(Articulation, CycleHasNone) {
+  EXPECT_TRUE(articulation_points(make_cycle(6)).empty());
+}
+
+TEST(Articulation, CompleteHasNone) {
+  EXPECT_TRUE(articulation_points(make_complete(5)).empty());
+}
+
+TEST(Articulation, BridgeNode) {
+  // Two triangles joined at node 2: node 2 is the cut.
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 2);
+  EXPECT_EQ(articulation_points(g), (std::vector<Node>{2}));
+}
+
+TEST(Articulation, StarCenterIsCut) {
+  Graph g(5);
+  for (int leaf = 1; leaf < 5; ++leaf) g.add_edge(0, leaf);
+  EXPECT_EQ(articulation_points(g), (std::vector<Node>{0}));
+}
+
+TEST(Articulation, DisconnectedGraphPerComponent) {
+  Graph g(6);  // path 0-1-2 and triangle 3-4-5
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  g.add_edge(5, 3);
+  EXPECT_EQ(articulation_points(g), (std::vector<Node>{1}));
+}
+
+TEST(SimplePath, Accepts) {
+  const Graph g = make_path(4);
+  EXPECT_TRUE(is_simple_path(g, {0, 1, 2}));
+  EXPECT_TRUE(is_simple_path(g, {3, 2, 1, 0}));
+}
+
+TEST(SimplePath, RejectsRepeatsAndNonEdges) {
+  const Graph g = make_path(4);
+  EXPECT_FALSE(is_simple_path(g, {0, 1, 0}));
+  EXPECT_FALSE(is_simple_path(g, {0, 2}));
+  EXPECT_FALSE(is_simple_path(g, {}));
+  EXPECT_FALSE(is_simple_path(g, {0, 4}));  // out of range
+}
+
+TEST(HamiltonianPathPredicate, RequiresFullCover) {
+  const Graph g = make_path(4);
+  EXPECT_TRUE(is_hamiltonian_path(g, {0, 1, 2, 3}));
+  EXPECT_FALSE(is_hamiltonian_path(g, {0, 1, 2}));
+}
+
+TEST(IsSimple, BuiltGraphsAreSimple) {
+  EXPECT_TRUE(is_simple(make_complete(6)));
+  EXPECT_TRUE(is_simple(make_cycle(5)));
+  EXPECT_TRUE(is_simple(Graph(3)));
+}
+
+}  // namespace
+}  // namespace kgdp::graph

@@ -1,0 +1,148 @@
+#include "reconfig/route.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fault/enumerator.hpp"
+#include "kgd/extension.hpp"
+#include "kgd/factory.hpp"
+#include "kgd/small_n.hpp"
+#include "util/timer.hpp"
+#include "verify/pipeline_solver.hpp"
+
+namespace kgdp::reconfig {
+namespace {
+
+using kgd::FaultSet;
+using kgd::SolutionGraph;
+
+// Cross-check a constructive router against the exact solver on EVERY
+// fault set up to k: identical feasibility verdicts, and every produced
+// pipeline certified (the routers certify internally; the checks here
+// are end-to-end).
+void cross_check(const SolutionGraph& sg,
+                 const std::function<std::optional<kgd::Pipeline>(
+                     const SolutionGraph&, const FaultSet&)>& router) {
+  const fault::FaultEnumerator en(sg.num_nodes(), sg.k());
+  verify::PipelineSolver solver;
+  for (std::uint64_t i = 0; i < en.total(); ++i) {
+    const FaultSet fs = en.at(i);
+    const auto routed = router(sg, fs);
+    const auto solved = solver.solve(sg, fs);
+    ASSERT_EQ(routed.has_value(),
+              solved.status == verify::SolveStatus::kFound)
+        << sg.name() << " faults " << fs.to_string();
+    if (routed) {
+      EXPECT_TRUE(kgd::check_pipeline(sg, fs, routed->path).ok);
+    }
+  }
+}
+
+TEST(RouteG1k, MatchesSolverExhaustively) {
+  for (int k = 1; k <= 4; ++k) {
+    cross_check(kgd::make_g1k(k), route_g1k);
+  }
+}
+
+TEST(RouteG1k, SoleSurvivorCase) {
+  // Lemma 3.7 proof case 2: only one processor part left intact.
+  const SolutionGraph sg = kgd::make_g1k(1);
+  const auto procs = sg.processors();
+  const auto routed = route_g1k(sg, FaultSet(sg.num_nodes(), {procs[1]}));
+  ASSERT_TRUE(routed.has_value());
+  EXPECT_EQ(routed->num_processors(), 1);
+}
+
+TEST(RouteG2k, MatchesSolverExhaustively) {
+  for (int k = 1; k <= 4; ++k) {
+    cross_check(kgd::make_g2k(k), route_g2k);
+  }
+}
+
+TEST(RouteG2k, HandlesInputOnlyAndOutputOnlyParts) {
+  // Kill everything except parts a (input-only) and b (output-only).
+  const SolutionGraph sg = kgd::make_g2k(2);
+  const auto procs = sg.processors();
+  const auto routed =
+      route_g2k(sg, FaultSet(sg.num_nodes(), {procs[2], procs[3]}));
+  ASSERT_TRUE(routed.has_value());
+  EXPECT_EQ(routed->num_processors(), 2);
+}
+
+TEST(RouteFamily, MatchesSolverOnExtendedGraphsExhaustively) {
+  // One and two extension layers over each base, all fault sets.
+  for (int k = 1; k <= 3; ++k) {
+    cross_check(kgd::extend_once(kgd::make_g1k(k)), route_family);
+    cross_check(kgd::extend_once(kgd::make_g2k(k)), route_family);
+  }
+  cross_check(kgd::extend(kgd::make_g1k(2), 2), route_family);
+}
+
+TEST(RouteFamily, WorksOnEveryFactoryFamilyGraph) {
+  verify::PipelineSolver solver;
+  for (int k = 1; k <= 3; ++k) {
+    for (int n = 1; n <= 14; ++n) {
+      const auto sg = kgd::build_solution(n, k);
+      ASSERT_TRUE(sg);
+      // Spot fault sets: empty, one processor, k terminals.
+      std::vector<FaultSet> cases;
+      cases.push_back(FaultSet::none(sg->num_nodes()));
+      cases.emplace_back(sg->num_nodes(),
+                         std::vector<int>{sg->processors()[0]});
+      std::vector<int> terms;
+      for (int j = 0; j < k; ++j) terms.push_back(sg->inputs()[j]);
+      cases.emplace_back(sg->num_nodes(), terms);
+      for (const auto& fs : cases) {
+        const auto routed = route_family(*sg, fs);
+        ASSERT_TRUE(routed.has_value())
+            << "n=" << n << " k=" << k << " " << fs.to_string();
+        EXPECT_TRUE(kgd::check_pipeline(*sg, fs, routed->path).ok);
+      }
+    }
+  }
+}
+
+TEST(RouteFamily, RejectsOverBudgetFaultSets) {
+  const auto sg = kgd::build_solution(7, 2);
+  ASSERT_TRUE(sg);
+  std::vector<int> faults = {sg->processors()[0], sg->processors()[1],
+                             sg->processors()[2]};
+  EXPECT_FALSE(route_family(*sg, FaultSet(sg->num_nodes(), faults))
+                   .has_value());
+}
+
+TEST(RouteFamily, LinearTimeOnHugeGraphs) {
+  // n = 3000 with k = 2: ~3000 processors. The peeling router must
+  // handle this instantly; this would be a stress case for pure search.
+  const auto sg = kgd::build_solution(3000, 2);
+  ASSERT_TRUE(sg);
+  const FaultSet fs(sg->num_nodes(),
+                    {sg->processors()[123], sg->inputs()[0]});
+  util::Timer t;
+  const auto routed = route_family(*sg, fs);
+  ASSERT_TRUE(routed.has_value());
+  EXPECT_LT(t.seconds(), 5.0);
+  EXPECT_EQ(routed->num_processors(), 3001);  // n + k - 1 faulty
+}
+
+TEST(RouteFamily, FallsBackToSolverOnNonFamilyGraphs) {
+  // The asymptotic construction has no extension layers; route_family
+  // must still answer via its solver fallback.
+  const auto sg = kgd::build_solution(14, 4);
+  ASSERT_TRUE(sg);
+  const auto routed = route_family(*sg, FaultSet::none(sg->num_nodes()));
+  ASSERT_TRUE(routed.has_value());
+  EXPECT_EQ(routed->num_processors(), 18);
+}
+
+TEST(RouteFamily, DeterministicAcrossCalls) {
+  const auto sg = kgd::build_solution(10, 2);
+  ASSERT_TRUE(sg);
+  const FaultSet fs(sg->num_nodes(), {2, 5});
+  const auto a = route_family(*sg, fs);
+  const auto b = route_family(*sg, fs);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->path, b->path);
+}
+
+}  // namespace
+}  // namespace kgdp::reconfig

@@ -1,0 +1,95 @@
+#include "verify/reliability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/naive.hpp"
+#include "kgd/factory.hpp"
+
+namespace kgdp::verify {
+namespace {
+
+TEST(Reliability, ZeroFailureProbabilityIsPerfect) {
+  const auto sg = kgd::build_solution(8, 2);
+  ASSERT_TRUE(sg);
+  const auto pt = estimate_reliability(*sg, 0.0, 50, 1);
+  EXPECT_DOUBLE_EQ(pt.survival, 1.0);
+  EXPECT_DOUBLE_EQ(pt.mean_utilization, 1.0);
+  EXPECT_DOUBLE_EQ(pt.mean_faults, 0.0);
+}
+
+TEST(Reliability, DeterministicForFixedSeed) {
+  const auto sg = kgd::build_solution(8, 2);
+  ASSERT_TRUE(sg);
+  const auto a = estimate_reliability(*sg, 0.1, 200, 9);
+  const auto b = estimate_reliability(*sg, 0.1, 200, 9);
+  EXPECT_EQ(a.survival, b.survival);
+  EXPECT_EQ(a.mean_utilization, b.mean_utilization);
+}
+
+TEST(Reliability, DecreasesWithFailureProbability) {
+  const auto sg = kgd::build_solution(8, 2);
+  ASSERT_TRUE(sg);
+  const auto low = estimate_reliability(*sg, 0.02, 400, 3);
+  const auto high = estimate_reliability(*sg, 0.35, 400, 3);
+  EXPECT_GT(low.survival, high.survival);
+}
+
+TEST(Reliability, GdDesignMeetsBinomialFloor) {
+  // A certified k-GD graph survives every pattern with <= k faults, so
+  // its R(p) must sit at or above P(Binomial(|V|, p) <= k), modulo
+  // sampling error (it can exceed the floor: some > k patterns survive
+  // too).
+  const auto sg = kgd::build_solution(8, 2);
+  ASSERT_TRUE(sg);
+  const double p = 0.05;
+  const auto pt = estimate_reliability(*sg, p, 2000, 4);
+  const double floor = binomial_survival_floor(sg->num_nodes(), 2, p);
+  EXPECT_GE(pt.survival, floor - 0.03);  // 3-sigma-ish sampling slack
+}
+
+TEST(Reliability, SparePathFallsBelowTheFloor) {
+  const auto frail = baseline::make_spare_path(8, 2);
+  const double p = 0.05;
+  const auto pt = estimate_reliability(frail, p, 2000, 5);
+  const double floor = binomial_survival_floor(frail.num_nodes(), 2, p);
+  EXPECT_LT(pt.survival, floor - 0.05);
+}
+
+TEST(Reliability, CurveSweepsAllPoints) {
+  const auto sg = kgd::build_solution(6, 2);
+  ASSERT_TRUE(sg);
+  const auto curve = reliability_curve(*sg, {0.0, 0.05, 0.1}, 100, 11);
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_DOUBLE_EQ(curve[0].p, 0.0);
+  EXPECT_DOUBLE_EQ(curve[2].p, 0.1);
+  EXPECT_DOUBLE_EQ(curve[0].survival, 1.0);
+}
+
+TEST(BinomialFloor, MatchesHandComputedValues) {
+  // n=3, k=1, p=0.5: P(X<=1) = (1+3)/8 = 0.5.
+  EXPECT_NEAR(binomial_survival_floor(3, 1, 0.5), 0.5, 1e-12);
+  // k >= n: always 1.
+  EXPECT_NEAR(binomial_survival_floor(4, 4, 0.3), 1.0, 1e-12);
+  // p tiny: essentially 1.
+  EXPECT_NEAR(binomial_survival_floor(30, 2, 1e-6), 1.0, 1e-9);
+}
+
+TEST(BinomialFloor, MonotoneInK) {
+  for (int k = 0; k < 5; ++k) {
+    EXPECT_LE(binomial_survival_floor(20, k, 0.1),
+              binomial_survival_floor(20, k + 1, 0.1));
+  }
+}
+
+TEST(Reliability, MeanFaultsTracksExpectation) {
+  const auto sg = kgd::build_solution(8, 2);
+  ASSERT_TRUE(sg);
+  const double p = 0.1;
+  const auto pt = estimate_reliability(*sg, p, 3000, 6);
+  EXPECT_NEAR(pt.mean_faults, p * sg->num_nodes(), 0.15);
+}
+
+}  // namespace
+}  // namespace kgdp::verify

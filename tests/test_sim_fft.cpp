@@ -1,0 +1,123 @@
+#include "sim/stages_fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace kgdp::sim {
+namespace {
+
+TEST(FftRadix2, ImpulseGivesFlatSpectrum) {
+  std::vector<std::complex<double>> data(8, {0.0, 0.0});
+  data[0] = {1.0, 0.0};
+  fft_radix2(data, false);
+  for (const auto& x : data) {
+    EXPECT_NEAR(x.real(), 1.0, 1e-12);
+    EXPECT_NEAR(x.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(FftRadix2, ForwardInverseRoundTrip) {
+  std::vector<std::complex<double>> data;
+  for (int i = 0; i < 16; ++i) {
+    data.emplace_back(std::sin(i * 0.7), std::cos(i * 1.3));
+  }
+  const auto original = data;
+  fft_radix2(data, false);
+  fft_radix2(data, true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-10);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-10);
+  }
+}
+
+TEST(FftRadix2, ParsevalEnergyConservation) {
+  std::vector<std::complex<double>> data;
+  for (int i = 0; i < 32; ++i) data.emplace_back(std::sin(i * 0.37), 0.0);
+  double time_energy = 0;
+  for (const auto& x : data) time_energy += std::norm(x);
+  fft_radix2(data, false);
+  double freq_energy = 0;
+  for (const auto& x : data) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy, time_energy * 32, 1e-8);
+}
+
+TEST(FftRadix2, LinearityUnderScaling) {
+  std::vector<std::complex<double>> a, b;
+  for (int i = 0; i < 8; ++i) {
+    a.emplace_back(i * 0.5, 0.0);
+    b.emplace_back(i * 1.5, 0.0);
+  }
+  fft_radix2(a, false);
+  fft_radix2(b, false);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(std::abs(b[i]), 3.0 * std::abs(a[i]), 1e-9);
+  }
+}
+
+TEST(SpectrumAnalyzer, SineAtBinFrequencyPeaksThere) {
+  const int window = 64;
+  SpectrumAnalyzer stage(window);
+  Chunk sine;
+  const int bin = 5;
+  for (int i = 0; i < window; ++i) {
+    sine.push_back(static_cast<Sample>(
+        std::sin(2.0 * std::numbers::pi * bin * i / window)));
+  }
+  const Chunk spectrum = stage.process(sine);
+  ASSERT_EQ(spectrum.size(), static_cast<std::size_t>(window / 2));
+  int peak = 0;
+  for (int b = 1; b < window / 2; ++b) {
+    if (spectrum[b] > spectrum[peak]) peak = b;
+  }
+  EXPECT_EQ(peak, bin);
+  EXPECT_NEAR(spectrum[bin], 1.0, 1e-3);  // unit sine reads ~1.0
+  EXPECT_NEAR(spectrum[bin + 3], 0.0, 1e-3);
+}
+
+TEST(SpectrumAnalyzer, BuffersAcrossChunks) {
+  SpectrumAnalyzer a(16), b(16);
+  Chunk sig;
+  for (int i = 0; i < 16; ++i) sig.push_back(std::sin(i * 0.5f));
+  const Chunk whole = a.process(sig);
+  Chunk split = b.process(Chunk(sig.begin(), sig.begin() + 7));
+  EXPECT_TRUE(split.empty());  // window not full yet
+  const Chunk rest = b.process(Chunk(sig.begin() + 7, sig.end()));
+  EXPECT_EQ(rest, whole);
+}
+
+TEST(SpectrumAnalyzer, EmitsOncePerWindow) {
+  SpectrumAnalyzer stage(8);
+  Chunk three_windows(24, 0.5f);
+  const Chunk out = stage.process(three_windows);
+  EXPECT_EQ(out.size(), 3u * 4u);
+}
+
+TEST(SpectrumAnalyzer, CloneCarriesBuffer) {
+  SpectrumAnalyzer stage(16);
+  Chunk sig;
+  for (int i = 0; i < 10; ++i) sig.push_back(std::sin(i * 0.9f));
+  stage.process(sig);
+  auto clone = stage.clone();
+  Chunk tail;
+  for (int i = 10; i < 16; ++i) tail.push_back(std::sin(i * 0.9f));
+  EXPECT_EQ(clone->process(tail), stage.process(tail));
+}
+
+TEST(SpectrumAnalyzer, ResetDropsPartialWindow) {
+  SpectrumAnalyzer stage(8);
+  stage.process(Chunk(5, 1.0f));
+  stage.reset();
+  const Chunk out = stage.process(Chunk(8, 0.0f));
+  ASSERT_EQ(out.size(), 4u);
+  for (Sample s : out) EXPECT_EQ(s, 0.0f);
+}
+
+TEST(SpectrumAnalyzer, CostGrowsLogarithmically) {
+  EXPECT_NEAR(SpectrumAnalyzer(16).cost_per_sample(), 5.0, 1e-9);
+  EXPECT_NEAR(SpectrumAnalyzer(256).cost_per_sample(), 9.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace kgdp::sim

@@ -1,0 +1,113 @@
+#include "sim/stages_image.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace kgdp::sim {
+namespace {
+
+TEST(LineImage, BresenhamEndpointsAndCount) {
+  const Chunk img = make_line_image(8, 8, 0, 3, 7, 3);  // horizontal
+  int edges = 0;
+  for (Sample s : img) edges += (s > 0.5f);
+  EXPECT_EQ(edges, 8);
+  EXPECT_GT(img[3 * 8 + 0], 0.5f);
+  EXPECT_GT(img[3 * 8 + 7], 0.5f);
+}
+
+TEST(LineImage, BlankIsBlank) {
+  const Chunk img = make_blank_image(5, 4);
+  EXPECT_EQ(img.size(), 20u);
+  for (Sample s : img) EXPECT_EQ(s, 0.0f);
+}
+
+TEST(Hough, HorizontalLinePeaksAtThetaNinety) {
+  // y = 3 line: normal form x cos(90°) + y sin(90°) = rho -> rho = 3 at
+  // theta = 90°. With 4 theta bins over [0, pi), bin 2 is exactly 90°.
+  HoughTransform hough(8, 8, 4, 1);
+  const Chunk img = make_line_image(8, 8, 0, 3, 7, 3);
+  const Chunk out = hough.process(img);
+  ASSERT_EQ(out.size(), 3u);  // one peak triple
+  const int theta_idx = static_cast<int>(out[0]);
+  const int rho_idx = static_cast<int>(out[1]);
+  const int votes = static_cast<int>(out[2]);
+  EXPECT_EQ(theta_idx, 2);  // 90 degrees
+  // rho index = rho + offset; offset = ceil(hypot(7,7)) = 10.
+  EXPECT_EQ(rho_idx, 3 + 10);
+  EXPECT_EQ(votes, 8);  // every pixel of the line voted there
+}
+
+TEST(Hough, VerticalLinePeaksAtThetaZero) {
+  HoughTransform hough(8, 8, 4, 1);
+  const Chunk img = make_line_image(8, 8, 5, 0, 5, 7);  // x = 5
+  const Chunk out = hough.process(img);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(static_cast<int>(out[0]), 0);       // theta = 0
+  EXPECT_EQ(static_cast<int>(out[1]), 5 + 10);  // rho = 5
+  EXPECT_EQ(static_cast<int>(out[2]), 8);
+}
+
+TEST(Hough, EmitsOnlyOnImageCompletion) {
+  HoughTransform hough(8, 8, 4, 1);
+  const Chunk img = make_line_image(8, 8, 0, 3, 7, 3);
+  // Feed all but one pixel: no output yet.
+  Chunk head(img.begin(), img.end() - 1);
+  EXPECT_TRUE(hough.process(head).empty());
+  // Final pixel completes the image.
+  const Chunk out = hough.process({img.back()});
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(Hough, AccumulatorResetsBetweenImages) {
+  HoughTransform hough(8, 8, 4, 1);
+  const Chunk line = make_line_image(8, 8, 0, 3, 7, 3);
+  const Chunk first = hough.process(line);
+  const Chunk second = hough.process(line);
+  EXPECT_EQ(first, second);  // identical votes, no carry-over
+}
+
+TEST(Hough, MultipleImagesInOneChunk) {
+  HoughTransform hough(4, 4, 4, 1);
+  Chunk two_images = make_line_image(4, 4, 0, 1, 3, 1);
+  const Chunk img2 = make_line_image(4, 4, 2, 0, 2, 3);
+  two_images.insert(two_images.end(), img2.begin(), img2.end());
+  const Chunk out = hough.process(two_images);
+  ASSERT_EQ(out.size(), 6u);  // two peak triples
+  EXPECT_EQ(static_cast<int>(out[0]), 2);  // horizontal -> theta 90
+  EXPECT_EQ(static_cast<int>(out[3]), 0);  // vertical -> theta 0
+}
+
+TEST(Hough, CloneCarriesPartialImageState) {
+  HoughTransform hough(8, 8, 4, 1);
+  const Chunk img = make_line_image(8, 8, 0, 3, 7, 3);
+  Chunk head(img.begin(), img.begin() + 32);
+  hough.process(head);
+  auto clone = hough.clone();
+  const Chunk tail(img.begin() + 32, img.end());
+  EXPECT_EQ(clone->process(tail), hough.process(tail));
+}
+
+TEST(Hough, ResetDropsPartialImage) {
+  HoughTransform hough(8, 8, 4, 1);
+  const Chunk img = make_line_image(8, 8, 0, 3, 7, 3);
+  hough.process(Chunk(img.begin(), img.begin() + 10));
+  hough.reset();
+  const Chunk out = hough.process(img);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(static_cast<int>(out[2]), 8);  // clean vote count
+}
+
+TEST(Hough, CostScalesWithThetaBins) {
+  EXPECT_DOUBLE_EQ(HoughTransform(8, 8, 16, 1).cost_per_sample(), 16.0);
+}
+
+TEST(Hough, BlankImageEmitsZeroVotePeak) {
+  HoughTransform hough(4, 4, 4, 1);
+  const Chunk out = hough.process(make_blank_image(4, 4));
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(static_cast<int>(out[2]), 0);
+}
+
+}  // namespace
+}  // namespace kgdp::sim

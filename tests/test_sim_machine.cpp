@@ -1,0 +1,190 @@
+#include "sim/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kgd/factory.hpp"
+#include "sim/stages_dsp.hpp"
+
+namespace kgdp::sim {
+namespace {
+
+PipelineMachine make_machine(int n, int k, int stages_hint = 0) {
+  auto sg = kgd::build_solution(n, k);
+  EXPECT_TRUE(sg.has_value());
+  return PipelineMachine(*sg, make_video_pipeline(stages_hint));
+}
+
+TEST(Machine, OperationalOnConstruction) {
+  PipelineMachine m = make_machine(8, 2);
+  EXPECT_TRUE(m.operational());
+  EXPECT_EQ(m.pipeline().num_processors(), 10);  // n + k healthy
+  EXPECT_EQ(m.stats().reconfigurations, 1);
+}
+
+TEST(Machine, ProcessesStreamLikeReferencePipeline) {
+  PipelineMachine m = make_machine(8, 2);
+  StageList ref = make_video_pipeline();
+  const Chunk sig = make_test_signal(512, 9);
+  EXPECT_EQ(m.process(sig), run_sequential(ref, sig));
+}
+
+TEST(Machine, FaultMakesItNonOperationalUntilReconfigure) {
+  PipelineMachine m = make_machine(8, 2);
+  const auto procs = m.solution_graph().processors();
+  EXPECT_TRUE(m.inject_fault(procs[3]));
+  EXPECT_FALSE(m.operational());
+  EXPECT_TRUE(m.reconfigure());
+  EXPECT_TRUE(m.operational());
+  EXPECT_EQ(m.pipeline().num_processors(), 9);
+}
+
+TEST(Machine, DuplicateFaultRejected) {
+  PipelineMachine m = make_machine(8, 2);
+  const auto procs = m.solution_graph().processors();
+  EXPECT_TRUE(m.inject_fault(procs[0]));
+  EXPECT_FALSE(m.inject_fault(procs[0]));
+  EXPECT_EQ(m.fault_count(), 1);
+}
+
+TEST(Machine, OutputIdenticalAfterFaultAndRemap) {
+  // The headline end-to-end property: kill nodes mid-stream, remap, and
+  // the remaining stream continues exactly as the fault-free reference.
+  const Chunk sig = make_test_signal(1024, 11);
+  const Chunk first(sig.begin(), sig.begin() + 512);
+  const Chunk second(sig.begin() + 512, sig.end());
+
+  StageList ref_stages = make_video_pipeline();
+  Chunk ref = run_sequential(ref_stages, first);
+  {
+    const Chunk tail = run_sequential(ref_stages, second);
+    ref.insert(ref.end(), tail.begin(), tail.end());
+  }
+
+  PipelineMachine m = make_machine(8, 2);
+  Chunk got = m.process(first);
+  const auto procs = m.solution_graph().processors();
+  ASSERT_TRUE(m.inject_fault(procs[2]));
+  ASSERT_TRUE(m.inject_fault(procs[7]));
+  ASSERT_TRUE(m.reconfigure());
+  {
+    const Chunk tail = m.process(second);
+    got.insert(got.end(), tail.begin(), tail.end());
+  }
+  EXPECT_EQ(got, ref);
+}
+
+TEST(Machine, ToleratesTerminalFaultsToo) {
+  PipelineMachine m = make_machine(6, 2);
+  const auto ins = m.solution_graph().inputs();
+  ASSERT_TRUE(m.inject_fault(ins[0]));
+  ASSERT_TRUE(m.inject_fault(ins[1]));
+  EXPECT_TRUE(m.reconfigure());
+  // All processors survive; the pipeline re-enters via the third input.
+  EXPECT_EQ(m.pipeline().num_processors(), 8);
+}
+
+TEST(Machine, FailsBeyondFaultBudgetGracefully) {
+  PipelineMachine m = make_machine(5, 1, /*stages_hint=*/0);
+  const auto ins = m.solution_graph().inputs();
+  ASSERT_EQ(ins.size(), 2u);
+  m.inject_fault(ins[0]);
+  m.inject_fault(ins[1]);  // both inputs dead: beyond k=1
+  EXPECT_FALSE(m.reconfigure());
+  EXPECT_FALSE(m.operational());
+}
+
+TEST(Machine, LatencyAndThroughputTracked) {
+  PipelineMachine m = make_machine(8, 2);
+  EXPECT_GT(m.stats().busiest_stage_cost, 0.0);
+  EXPECT_GT(m.stats().pipeline_latency_cycles, 0.0);
+  EXPECT_GT(m.stats().throughput(), 0.0);
+  // Latency includes per-hop cost for every link.
+  const double min_hops =
+      (m.pipeline().num_processors() + 1) * 10.0;  // default hop latency
+  EXPECT_GE(m.stats().pipeline_latency_cycles, min_hops);
+}
+
+TEST(Machine, FewerProcessorsRaiseNothingButLatencyDrops) {
+  // After faults the pipeline is shorter: fewer passthrough nodes, so
+  // total latency must not increase.
+  PipelineMachine m = make_machine(10, 3);
+  const double lat0 = m.stats().pipeline_latency_cycles;
+  const auto procs = m.solution_graph().processors();
+  m.inject_fault(procs[9]);
+  m.inject_fault(procs[10]);
+  ASSERT_TRUE(m.reconfigure());
+  EXPECT_LT(m.stats().pipeline_latency_cycles, lat0);
+}
+
+TEST(Machine, FusesStagesWhenProcessorsRunShort) {
+  // G(3,2): 5 processors, 5-stage pipeline. Two processor faults leave 3
+  // processors for 5 stages -> fusion, and the stream stays correct.
+  auto sg = kgd::build_solution(3, 2);
+  ASSERT_TRUE(sg.has_value());
+  PipelineMachine m(*sg, make_video_pipeline());
+  StageList ref = make_video_pipeline();
+
+  const sim::Chunk part1 = make_test_signal(256, 1);
+  EXPECT_EQ(m.process(part1), run_sequential(ref, part1));
+
+  const auto procs = m.solution_graph().processors();
+  ASSERT_TRUE(m.inject_fault(procs[0]));
+  ASSERT_TRUE(m.inject_fault(procs[1]));
+  ASSERT_TRUE(m.reconfigure());
+  EXPECT_EQ(m.pipeline().num_processors(), 3);
+
+  // Every stage still assigned exactly once, contiguously, in order.
+  int next_stage = 0;
+  for (const auto& [b, e] : m.stage_assignment()) {
+    EXPECT_EQ(b, next_stage);
+    next_stage = e;
+  }
+  EXPECT_EQ(next_stage, 5);
+
+  const sim::Chunk part2 = make_test_signal(256, 2);
+  EXPECT_EQ(m.process(part2), run_sequential(ref, part2));
+}
+
+TEST(Machine, FusionBalancesBottleneck) {
+  // Costs: fir 3, subsample 0.5, rescale 1, quantize 1.5, delta 2 over 2
+  // processors: the optimal contiguous split is {fir+sub}=3.5 vs
+  // {rescale+quant+delta}=4.5 (bottleneck 4.5).
+  auto sg = kgd::build_solution(2, 2);  // 4 processors
+  ASSERT_TRUE(sg.has_value());
+  PipelineMachine m(*sg, make_video_pipeline());
+  const auto procs = m.solution_graph().processors();
+  ASSERT_TRUE(m.inject_fault(procs[0]));
+  ASSERT_TRUE(m.inject_fault(procs[1]));
+  ASSERT_TRUE(m.reconfigure());
+  ASSERT_EQ(m.pipeline().num_processors(), 2);
+  EXPECT_DOUBLE_EQ(m.stats().busiest_stage_cost, 4.5);
+}
+
+TEST(Machine, SurvivesDownToSingleProcessor) {
+  auto sg = kgd::build_solution(1, 2);  // 3 processors, tolerate 2
+  ASSERT_TRUE(sg.has_value());
+  PipelineMachine m(*sg, make_video_pipeline());
+  StageList ref = make_video_pipeline();
+  const auto procs = m.solution_graph().processors();
+  ASSERT_TRUE(m.inject_fault(procs[0]));
+  ASSERT_TRUE(m.inject_fault(procs[1]));
+  ASSERT_TRUE(m.reconfigure());
+  EXPECT_EQ(m.pipeline().num_processors(), 1);
+  const sim::Chunk sig = make_test_signal(128, 3);
+  EXPECT_EQ(m.process(sig), run_sequential(ref, sig));
+  // Everything fused onto the lone processor: bottleneck = total cost.
+  EXPECT_DOUBLE_EQ(m.stats().busiest_stage_cost, 3 + 0.5 + 1 + 1.5 + 2);
+}
+
+TEST(Machine, SampleCountsAccumulate) {
+  PipelineMachine m = make_machine(6, 2);
+  m.process(make_test_signal(100, 1));
+  m.process(make_test_signal(50, 2));
+  EXPECT_EQ(m.stats().samples_in, 150u);
+  EXPECT_EQ(m.stats().samples_out, 75u);  // 2:1 subsample
+  m.reset_stream();
+  EXPECT_EQ(m.stats().samples_in, 0u);
+}
+
+}  // namespace
+}  // namespace kgdp::sim

@@ -1,0 +1,157 @@
+#include "sim/stages_dsp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace kgdp::sim {
+namespace {
+
+TEST(PassThroughStage, Identity) {
+  PassThrough s;
+  const Chunk in = {1.0f, -2.0f, 3.5f};
+  EXPECT_EQ(s.process(in), in);
+}
+
+TEST(FirFilterStage, ImpulseResponseEqualsTaps) {
+  FirFilter fir({0.5, 0.25, 0.125});
+  Chunk impulse = {1.0f, 0.0f, 0.0f, 0.0f};
+  const Chunk out = fir.process(impulse);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_FLOAT_EQ(out[0], 0.5f);
+  EXPECT_FLOAT_EQ(out[1], 0.25f);
+  EXPECT_FLOAT_EQ(out[2], 0.125f);
+  EXPECT_FLOAT_EQ(out[3], 0.0f);
+}
+
+TEST(FirFilterStage, StatePersistsAcrossChunks) {
+  FirFilter a({0.5, 0.5});
+  FirFilter b({0.5, 0.5});
+  const Chunk whole = {1, 2, 3, 4, 5, 6};
+  const Chunk ref = a.process(whole);
+  Chunk split = b.process({1, 2, 3});
+  const Chunk tail = b.process({4, 5, 6});
+  split.insert(split.end(), tail.begin(), tail.end());
+  EXPECT_EQ(split, ref);
+}
+
+TEST(FirFilterStage, ResetClearsHistory) {
+  FirFilter f({1.0, 1.0});
+  f.process({5.0f});
+  f.reset();
+  const Chunk out = f.process({1.0f});
+  EXPECT_FLOAT_EQ(out[0], 1.0f);  // no leftover 5.0
+}
+
+TEST(FirFilterStage, CostScalesWithTaps) {
+  EXPECT_DOUBLE_EQ(FirFilter({1, 2, 3, 4}).cost_per_sample(), 4.0);
+}
+
+TEST(IirBiquadStage, DcGainMatchesCoefficients) {
+  // y/x at DC = (b0+b1+b2)/(1+a1+a2).
+  IirBiquad iir(0.2, 0.2, 0.2, -0.1, 0.05);
+  Chunk step(2000, 1.0f);
+  const Chunk out = iir.process(step);
+  const double expected = (0.2 + 0.2 + 0.2) / (1.0 - 0.1 + 0.05);
+  EXPECT_NEAR(out.back(), expected, 1e-4);
+}
+
+TEST(IirBiquadStage, StatePersistsAcrossChunks) {
+  IirBiquad a(0.3, 0.1, 0.05, -0.2, 0.1);
+  IirBiquad b(0.3, 0.1, 0.05, -0.2, 0.1);
+  Chunk whole;
+  for (int i = 0; i < 40; ++i) whole.push_back(std::sin(i * 0.3f));
+  const Chunk ref = a.process(whole);
+  Chunk got = b.process(Chunk(whole.begin(), whole.begin() + 17));
+  const Chunk tail = b.process(Chunk(whole.begin() + 17, whole.end()));
+  got.insert(got.end(), tail.begin(), tail.end());
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_FLOAT_EQ(got[i], ref[i]) << i;
+  }
+}
+
+TEST(SubsampleStage, KeepsEveryNth) {
+  Subsample s(3);
+  const Chunk out = s.process({0, 1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(out, (Chunk{0, 3, 6}));
+}
+
+TEST(SubsampleStage, PhaseContinuesAcrossChunks) {
+  Subsample s(2);
+  Chunk out = s.process({0, 1, 2});   // keeps 0, 2
+  const Chunk out2 = s.process({3, 4, 5});  // phase=1 -> keeps 4
+  out.insert(out.end(), out2.begin(), out2.end());
+  EXPECT_EQ(out, (Chunk{0, 2, 4}));
+}
+
+TEST(SubsampleStage, FactorOneIsIdentity) {
+  Subsample s(1);
+  const Chunk in = {1, 2, 3};
+  EXPECT_EQ(s.process(in), in);
+}
+
+TEST(RescaleStage, AffineTransform) {
+  Rescale r(2.0, 1.0);
+  EXPECT_EQ(r.process({0.0f, 1.0f, -1.0f}), (Chunk{1.0f, 3.0f, -1.0f}));
+}
+
+TEST(QuantizeStage, SnapsToGridAndClamps) {
+  Quantize q(5, 0.0, 4.0);  // grid step 1.0
+  const Chunk out = q.process({0.4f, 2.6f, -3.0f, 9.0f});
+  EXPECT_EQ(out, (Chunk{0.0f, 3.0f, 0.0f, 4.0f}));
+}
+
+TEST(DeltaEncodeStage, FirstDifference) {
+  DeltaEncode d;
+  EXPECT_EQ(d.process({1, 3, 6, 10}), (Chunk{1, 2, 3, 4}));
+}
+
+TEST(DeltaEncodeStage, CloneCopiesState) {
+  DeltaEncode d;
+  d.process({5});
+  auto c = d.clone();
+  EXPECT_EQ(c->process({7}), (Chunk{2}));  // prev = 5 carried over
+}
+
+TEST(StageClone, CloneIsIndependent) {
+  FirFilter f({1.0, 1.0});
+  f.process({9.0f});
+  auto c = f.clone();  // clone gets fresh construction from taps
+  // Cloned filter re-created from taps starts with captured state?
+  // FirFilter::clone() rebuilds from taps: fresh history by design.
+  const Chunk out = c->process({1.0f});
+  EXPECT_FLOAT_EQ(out[0], 1.0f);
+}
+
+TEST(VideoPipeline, HalvesRateAndStaysDeterministic) {
+  StageList p1 = make_video_pipeline();
+  StageList p2 = make_video_pipeline();
+  const Chunk sig = make_test_signal(1000, 42);
+  const Chunk o1 = run_sequential(p1, sig);
+  const Chunk o2 = run_sequential(p2, sig);
+  EXPECT_EQ(o1, o2);
+  EXPECT_EQ(o1.size(), 500u);  // 2:1 subsample
+}
+
+TEST(VideoPipeline, HintPadsWithPassthrough) {
+  const StageList p = make_video_pipeline(9);
+  EXPECT_EQ(p.size(), 9u);
+  EXPECT_EQ(p.back()->name(), "passthrough");
+}
+
+TEST(TestSignal, DeterministicPerSeed) {
+  EXPECT_EQ(make_test_signal(64, 1), make_test_signal(64, 1));
+  EXPECT_NE(make_test_signal(64, 1), make_test_signal(64, 2));
+}
+
+TEST(CloneStages, DeepCopies) {
+  StageList a = make_video_pipeline();
+  StageList b = clone_stages(a);
+  ASSERT_EQ(a.size(), b.size());
+  const Chunk sig = make_test_signal(100, 3);
+  EXPECT_EQ(run_sequential(a, sig), run_sequential(b, sig));
+}
+
+}  // namespace
+}  // namespace kgdp::sim

@@ -1,0 +1,118 @@
+#include "kgd/small_n.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kgd/bounds.hpp"
+#include "verify/checker.hpp"
+
+namespace kgdp::kgd {
+namespace {
+
+class SmallNParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(SmallNParam, G1kStructure) {
+  const int k = GetParam();
+  const SolutionGraph sg = make_g1k(k);
+  EXPECT_TRUE(sg.is_standard());
+  EXPECT_EQ(sg.num_processors(), 1 + k);
+  EXPECT_EQ(sg.num_inputs(), k + 1);
+  EXPECT_EQ(sg.num_outputs(), k + 1);
+  // Lemma 3.7: clique + one input + one output each -> degree k+2.
+  EXPECT_EQ(sg.max_processor_degree(), k + 2);
+  EXPECT_EQ(sg.min_processor_degree(), k + 2);
+  EXPECT_TRUE(audit_bounds(sg).empty());
+}
+
+TEST_P(SmallNParam, G1kIsGracefullyDegradable) {
+  const int k = GetParam();
+  const auto res = verify::check_gd_exhaustive(make_g1k(k), k);
+  EXPECT_TRUE(res.holds) << (res.counterexample
+                                 ? res.counterexample->to_string()
+                                 : "");
+  EXPECT_TRUE(res.exhaustive);
+  EXPECT_EQ(res.solver_unknowns, 0u);
+}
+
+TEST_P(SmallNParam, G2kStructure) {
+  const int k = GetParam();
+  const SolutionGraph sg = make_g2k(k);
+  EXPECT_TRUE(sg.is_standard());
+  EXPECT_EQ(sg.num_processors(), 2 + k);
+  // Lemma 3.9 / Corollary 3.10: max degree k+3 is optimal for n = 2.
+  EXPECT_EQ(sg.max_processor_degree(), k + 3);
+  EXPECT_EQ(sg.max_processor_degree(), max_degree_lower_bound(2, k));
+}
+
+TEST_P(SmallNParam, G2kIsGracefullyDegradable) {
+  const int k = GetParam();
+  const auto res = verify::check_gd_exhaustive(make_g2k(k), k);
+  EXPECT_TRUE(res.holds);
+}
+
+TEST_P(SmallNParam, G3kStructure) {
+  const int k = GetParam();
+  const SolutionGraph sg = make_g3k(k);
+  EXPECT_TRUE(sg.is_standard());
+  EXPECT_EQ(sg.num_processors(), 3 + k);
+  EXPECT_EQ(sg.max_processor_degree(), achieved_max_degree(3, k));
+  EXPECT_TRUE(audit_bounds(sg).empty()) << audit_bounds(sg).front();
+}
+
+TEST_P(SmallNParam, G3kIsGracefullyDegradable) {
+  const int k = GetParam();
+  const auto res = verify::check_gd_exhaustive(make_g3k(k), k);
+  EXPECT_TRUE(res.holds) << (res.counterexample
+                                 ? res.counterexample->to_string()
+                                 : "");
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, SmallNParam, ::testing::Range(1, 6));
+
+TEST(G3k, MatchingParityMirrorsFigures2And3) {
+  // k odd (Figure 2): k+3 processors pair perfectly, every processor
+  // misses exactly one clique edge.
+  const SolutionGraph odd = make_g3k(3);
+  for (Node v : odd.processors()) {
+    EXPECT_EQ(processor_neighbor_count(odd, v), 3 + 1);  // k+1
+  }
+  // k even (Figure 3): p_{k+2} stays unmatched -> one processor keeps all
+  // k+2 processor neighbors.
+  const SolutionGraph even = make_g3k(2);
+  int full = 0;
+  for (Node v : even.processors()) {
+    if (processor_neighbor_count(even, v) == 2 + 2) ++full;
+  }
+  EXPECT_EQ(full, 1);
+}
+
+TEST(G3k, TerminalIndexPatternOfTheConstruction) {
+  // Ti = {0..k-2, k, k+2}, To = {0..k-1, k+1}: processors p_{k-1} and
+  // p_{k+1} have exactly one terminal; p_0..p_{k-2} have two.
+  const int k = 4;
+  const SolutionGraph sg = make_g3k(k);
+  const auto procs = sg.processors();
+  auto terminals_of = [&](Node v) {
+    int c = 0;
+    for (Node w : sg.graph().neighbors(v)) {
+      if (sg.role(w) != Role::kProcessor) ++c;
+    }
+    return c;
+  };
+  for (int j = 0; j <= k - 2; ++j) EXPECT_EQ(terminals_of(procs[j]), 2);
+  EXPECT_EQ(terminals_of(procs[k - 1]), 1);  // o_{k-1} only
+  EXPECT_EQ(terminals_of(procs[k]), 1);      // i_k only
+  EXPECT_EQ(terminals_of(procs[k + 1]), 1);  // o_{k+1} only
+  EXPECT_EQ(terminals_of(procs[k + 2]), 1);  // i_{k+2} only
+}
+
+TEST(G1k, BeyondDesignFaultBudgetFails) {
+  // k+1 faults can kill every input terminal's attachment point... in
+  // G(1,1), killing both processors leaves no pipeline.
+  const SolutionGraph sg = make_g1k(1);
+  const auto res = verify::check_gd_exhaustive(sg, 2);
+  EXPECT_FALSE(res.holds);
+  ASSERT_TRUE(res.counterexample.has_value());
+}
+
+}  // namespace
+}  // namespace kgdp::kgd

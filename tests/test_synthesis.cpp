@@ -1,0 +1,132 @@
+#include "verify/synthesis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/isomorphism.hpp"
+#include "kgd/bounds.hpp"
+#include "kgd/small_n.hpp"
+#include "verify/checker.hpp"
+
+namespace kgdp::verify {
+namespace {
+
+using kgd::Role;
+using kgd::SolutionGraph;
+
+TEST(Shapes, RespectDegreeConstraints) {
+  const SynthSpec spec{3, 2, 5};  // n=3, k=2, max degree 5
+  for (const CandidateShape& s : enumerate_shapes(spec)) {
+    int sum_in = 0, sum_out = 0, deg_sum = 0;
+    for (std::size_t v = 0; v < s.att_in.size(); ++v) {
+      sum_in += s.att_in[v];
+      sum_out += s.att_out[v];
+      deg_sum += s.proc_degree[v];
+      const int total = s.att_in[v] + s.att_out[v] + s.proc_degree[v];
+      EXPECT_GE(total, spec.k + 2);            // Lemma 3.1
+      EXPECT_LE(total, spec.max_total_degree);
+      EXPECT_GE(s.proc_degree[v], spec.k + 1);  // Lemma 3.4 (n > 1)
+    }
+    EXPECT_EQ(sum_in, spec.k + 1);
+    EXPECT_EQ(sum_out, spec.k + 1);
+    EXPECT_EQ(deg_sum % 2, 0);
+  }
+  EXPECT_FALSE(enumerate_shapes(spec).empty());
+}
+
+TEST(Assemble, ProducesNodeOptimalGraphs) {
+  const SynthSpec spec{1, 2, 4};
+  const auto shapes = enumerate_shapes(spec);
+  ASSERT_FALSE(shapes.empty());
+  const graph::Graph clique = graph::make_complete(3);
+  const SolutionGraph sg = assemble(spec, shapes.front(), clique);
+  EXPECT_TRUE(sg.is_node_optimal());
+  EXPECT_TRUE(sg.all_terminals_degree_one());
+}
+
+TEST(ExhaustiveSynthesis, FindsG1kAndItIsUnique) {
+  // Lemma 3.7: the clique with one input and one output per processor is
+  // the unique standard solution for n = 1. Exhaustive search over all
+  // candidates must find solutions, and all of them must be isomorphic
+  // (role-colored) to make_g1k(k).
+  for (int k = 2; k <= 3; ++k) {
+    const SynthSpec spec{1, k, k + 2};
+    const SolutionGraph reference = kgd::make_g1k(k);
+    std::vector<SolutionGraph> found;
+    SynthLimits limits;
+    limits.max_solutions = 0;  // find all
+    const SynthStats stats = enumerate_standard_solutions(
+        spec, limits, [&](const SolutionGraph& sg) {
+          found.push_back(sg);
+          return true;
+        });
+    EXPECT_TRUE(stats.search_space_exhausted);
+    ASSERT_GE(found.size(), 1u) << "k=" << k;
+    std::vector<int> color_ref, color_cand;
+    for (auto r : reference.roles()) color_ref.push_back(static_cast<int>(r));
+    for (const SolutionGraph& sg : found) {
+      color_cand.clear();
+      for (auto r : sg.roles()) color_cand.push_back(static_cast<int>(r));
+      EXPECT_TRUE(graph::are_isomorphic(sg.graph(), reference.graph(),
+                                        &color_cand, &color_ref))
+          << "k=" << k << ": non-canonical standard solution found";
+    }
+  }
+}
+
+TEST(ExhaustiveSynthesis, Lemma314NoDegree4SolutionForN5K2) {
+  // Lemma 3.14: no standard solution with max processor degree k+2 = 4
+  // exists for n = 5, k = 2. The paper proves this with a case analysis
+  // (Figures 5–9); we prove it by exhausting the search space.
+  const SynthSpec spec{5, 2, 4};
+  SynthLimits limits;
+  limits.max_solutions = 1;
+  const SynthStats stats = enumerate_standard_solutions(
+      spec, limits, [](const SolutionGraph&) { return true; });
+  EXPECT_EQ(stats.solutions, 0u);
+  EXPECT_TRUE(stats.search_space_exhausted);
+  EXPECT_GT(stats.graphs_enumerated, 0u);
+}
+
+TEST(ExhaustiveSynthesis, FindsDegreeOptimalG62) {
+  // Figure 10's parameters: a degree-4 standard solution for (6,2)
+  // exists and the enumerator can find one.
+  const SynthSpec spec{6, 2, 4};
+  SynthLimits limits;
+  limits.max_solutions = 1;
+  std::optional<SolutionGraph> found;
+  enumerate_standard_solutions(spec, limits,
+                               [&](const SolutionGraph& sg) {
+                                 found = sg;
+                                 return false;
+                               });
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->max_processor_degree(), 4);
+  EXPECT_TRUE(check_gd_exhaustive(*found, 2).holds);
+}
+
+TEST(StochasticSynthesis, RediscoversG62) {
+  const SynthSpec spec{6, 2, 4};
+  const auto sg = synthesize_stochastic(spec, /*seed=*/123,
+                                        /*max_restarts=*/64,
+                                        /*iters_per_restart=*/20000);
+  ASSERT_TRUE(sg.has_value());
+  EXPECT_TRUE(sg->is_standard());
+  EXPECT_EQ(sg->max_processor_degree(), 4);
+  EXPECT_TRUE(check_gd_exhaustive(*sg, 2).holds);
+}
+
+TEST(StochasticSynthesis, DifferentSeedsBothSucceed) {
+  const SynthSpec spec{6, 2, 4};
+  EXPECT_TRUE(synthesize_stochastic(spec, 1, 64, 20000).has_value());
+  EXPECT_TRUE(synthesize_stochastic(spec, 2, 64, 20000).has_value());
+}
+
+TEST(StochasticSynthesis, ImpossibleSpecReturnsNullopt) {
+  // Below the Lemma 3.1 floor no shape exists at all.
+  const SynthSpec spec{3, 2, 3};  // max degree 3 < k+2
+  EXPECT_TRUE(enumerate_shapes(spec).empty());
+  EXPECT_FALSE(synthesize_stochastic(spec, 3, 4, 100).has_value());
+}
+
+}  // namespace
+}  // namespace kgdp::verify

@@ -1,0 +1,90 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace kgdp::util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();
+  SUCCEED();
+}
+
+TEST(ThreadPool, ThreadCountAtLeastOne) {
+  ThreadPool pool(0);  // hardware concurrency fallback
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const std::uint64_t count = 10000;
+  std::vector<std::atomic<int>> hits(count);
+  parallel_for(pool, count, [&](std::uint64_t i) { hits[i].fetch_add(1); });
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, ZeroCountIsANoop) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, [&](std::uint64_t) { FAIL(); });
+}
+
+TEST(ParallelFor, ResultIndependentOfGrain) {
+  ThreadPool pool(3);
+  for (std::uint64_t grain : {1u, 7u, 64u, 1000u}) {
+    std::atomic<std::uint64_t> sum{0};
+    parallel_for(pool, 1000, [&](std::uint64_t i) { sum.fetch_add(i); },
+                 nullptr, grain);
+    EXPECT_EQ(sum.load(), 999u * 1000u / 2);
+  }
+}
+
+TEST(ParallelFor, StopFlagShortCircuits) {
+  ThreadPool pool(2);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> done{0};
+  parallel_for(pool, 1u << 20,
+               [&](std::uint64_t i) {
+                 if (i == 5) stop.store(true);
+                 done.fetch_add(1);
+               },
+               &stop, /*grain=*/8);
+  // Everything after the flag (modulo in-flight grains) is skipped.
+  EXPECT_LT(done.load(), (1u << 20));
+}
+
+TEST(ParallelFor, WorksWithSingleThreadPool) {
+  ThreadPool pool(1);
+  std::uint64_t sum = 0;  // no atomics needed: single worker
+  parallel_for(pool, 100, [&](std::uint64_t i) { sum += i; });
+  EXPECT_EQ(sum, 4950u);
+}
+
+TEST(ThreadPool, ManyWaitCycles) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.submit([&] { count.fetch_add(1); });
+    pool.wait_idle();
+    ASSERT_EQ(count.load(), round + 1);
+  }
+}
+
+}  // namespace
+}  // namespace kgdp::util

@@ -1,0 +1,133 @@
+// Graph explorer CLI: build any covered (n, k), print its properties,
+// verify it, export DOT, or reconfigure around an explicit fault list.
+//
+//   kgd_cli build   <n> <k>            construction summary
+//   kgd_cli dot     <n> <k>            DOT to stdout
+//   kgd_cli verify  <n> <k>            exhaustive GD check
+//   kgd_cli route   <n> <k> [v ...]    pipeline around the given faults
+//   kgd_cli save    <n> <k>            kgdp-graph text to stdout
+//   kgd_cli json    <n> <k>            JSON export to stdout
+//   kgd_cli certify <n> <k>            GD certificate to stdout
+//   kgd_cli check-cert <file>          re-validate a certificate
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "io/graph_io.hpp"
+#include "kgd/factory.hpp"
+#include "util/timer.hpp"
+#include "verify/certificate.hpp"
+#include "verify/checker.hpp"
+#include "verify/optimality.hpp"
+#include "verify/pipeline_solver.hpp"
+
+using namespace kgdp;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: kgd_cli {build|dot|verify|route} <n> <k> [fault...]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+
+  if (cmd == "check-cert") {
+    std::ifstream in(argv[2]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[2]);
+      return 1;
+    }
+    const auto stats = verify::check_certificate(in);
+    std::printf("certificate: %s (%llu entries)\n",
+                stats.ok() ? "VALID" : "INVALID",
+                static_cast<unsigned long long>(stats.entries));
+    if (!stats.ok()) std::printf("  %s\n", stats.error.c_str());
+    return stats.ok() ? 0 : 1;
+  }
+
+  if (argc < 4) return usage();
+  const int n = std::atoi(argv[2]);
+  const int k = std::atoi(argv[3]);
+
+  auto built = kgd::build_solution(n, k);
+  if (!built) {
+    std::fprintf(stderr,
+                 "no construction for n=%d k=%d (paper coverage: n<=3 any "
+                 "k; k<=3 any n; k>=4 with n>=2k+5)\n",
+                 n, k);
+    return 1;
+  }
+  const kgd::SolutionGraph& sg = *built;
+
+  if (cmd == "build") {
+    std::printf("%s via %s\n", sg.name().c_str(),
+                kgd::construction_method(n, k).c_str());
+    std::printf("  nodes: %d (%d inputs, %d outputs, %d processors)\n",
+                sg.num_nodes(), sg.num_inputs(), sg.num_outputs(),
+                sg.num_processors());
+    std::printf("  edges: %zu\n", sg.graph().num_edges());
+    const auto rep = verify::certify_optimality(sg);
+    std::printf("  %s\n", rep.summary().c_str());
+    return 0;
+  }
+  if (cmd == "dot") {
+    std::fputs(sg.to_dot().c_str(), stdout);
+    return 0;
+  }
+  if (cmd == "verify") {
+    util::Timer t;
+    const auto res = verify::check_gd_exhaustive(sg, k);
+    std::printf("GD(%s, %d): %s  [%llu fault sets, %.2fs]\n",
+                sg.name().c_str(), k, res.holds ? "HOLDS" : "FAILS",
+                static_cast<unsigned long long>(res.fault_sets_checked),
+                t.seconds());
+    if (res.counterexample) {
+      std::printf("  counterexample: %s\n",
+                  res.counterexample->to_string().c_str());
+    }
+    return res.holds ? 0 : 1;
+  }
+  if (cmd == "save") {
+    io::save_solution(std::cout, sg);
+    return 0;
+  }
+  if (cmd == "json") {
+    std::fputs(io::solution_to_json(sg).dump(2).c_str(), stdout);
+    std::fputc('\n', stdout);
+    return 0;
+  }
+  if (cmd == "certify") {
+    try {
+      verify::write_certificate(std::cout, sg, k);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cannot certify: %s\n", e.what());
+      return 1;
+    }
+    return 0;
+  }
+  if (cmd == "route") {
+    std::vector<int> faulty;
+    for (int i = 4; i < argc; ++i) faulty.push_back(std::atoi(argv[i]));
+    const kgd::FaultSet fs(sg.num_nodes(), faulty);
+    const auto out = verify::find_pipeline(sg, fs);
+    if (out.status != verify::SolveStatus::kFound) {
+      std::printf("no pipeline with faults %s\n", fs.to_string().c_str());
+      return 1;
+    }
+    std::printf("pipeline (%d processors): %s\n",
+                out.pipeline->num_processors(),
+                out.pipeline->to_string(sg).c_str());
+    return 0;
+  }
+  return usage();
+}

@@ -1,0 +1,63 @@
+// Regenerates every figure object from the paper as Graphviz DOT files
+// (render with `dot -Tpng figures/figN_*.dot`).
+//
+//   $ ./make_figures [output_dir]
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "graph/dot.hpp"
+#include "kgd/asymptotic.hpp"
+#include "kgd/factory.hpp"
+#include "kgd/small_k.hpp"
+#include "kgd/small_n.hpp"
+#include "kgd/special.hpp"
+#include "verify/pipeline_solver.hpp"
+
+using namespace kgdp;
+
+namespace {
+
+void write(const std::filesystem::path& dir, const std::string& name,
+           const std::string& dot) {
+  const auto path = dir / name;
+  std::ofstream out(path);
+  out << dot;
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::filesystem::path dir = argc > 1 ? argv[1] : "figures";
+  std::filesystem::create_directories(dir);
+
+  // Figure 1: a pipeline with 7 processors (drawn as the path subgraph).
+  {
+    const auto sg = kgd::build_solution(5, 2);
+    const auto out =
+        verify::find_pipeline(*sg, kgd::FaultSet::none(sg->num_nodes()));
+    graph::Graph path(static_cast<int>(out.pipeline->path.size()));
+    for (int i = 0; i + 1 < path.num_nodes(); ++i) path.add_edge(i, i + 1);
+    std::vector<std::string> names;
+    for (auto v : out.pipeline->path) names.push_back(sg->node_names()[v]);
+    write(dir, "fig01_pipeline.dot", graph::to_dot(path, "Fig1", &names));
+  }
+
+  write(dir, "fig02_g3k_odd.dot", kgd::make_g3k(3).to_dot());
+  write(dir, "fig03_g3k_even.dot", kgd::make_g3k(4).to_dot());
+  write(dir, "fig04a_g11.dot", kgd::make_g1k(1).to_dot());
+  write(dir, "fig04b_g21.dot", kgd::make_g2k(1).to_dot());
+  write(dir, "fig04c_g31.dot", kgd::make_family_k1(3).to_dot());
+  write(dir, "fig10_g62.dot", kgd::make_special_g62().to_dot());
+  write(dir, "fig11_g82.dot", kgd::make_special_g82().to_dot());
+  write(dir, "fig12_g73.dot", kgd::make_special_g73().to_dot());
+  write(dir, "fig13_g43.dot", kgd::make_special_g43().to_dot());
+  write(dir, "fig14_g22_4.dot", kgd::make_asymptotic_gnk(22, 4).to_dot());
+  write(dir, "fig15_g26_5.dot", kgd::make_asymptotic_gnk(26, 5).to_dot());
+  // Bonus: the extended graph G'(22,4) the construction is derived from.
+  write(dir, "extra_extended_g22_4.dot",
+        kgd::make_extended_gnk(22, 4).to_dot());
+  return 0;
+}
