@@ -5,12 +5,19 @@
 #include <benchmark/benchmark.h>
 
 #include "kgd/factory.hpp"
+#include "kgd/small_n.hpp"
 #include "util/thread_pool.hpp"
 #include "verify/checker.hpp"
 
 using namespace kgdp;
 
 namespace {
+
+verify::CheckOptions prune_opts(bool prune) {
+  verify::CheckOptions opts;
+  opts.prune = prune ? verify::PruneMode::kAuto : verify::PruneMode::kOff;
+  return opts;
+}
 
 void BM_ExhaustiveCheckSequential(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -61,6 +68,79 @@ void BM_AsymptoticExhaustive(benchmark::State& state) {
 }
 BENCHMARK(BM_AsymptoticExhaustive)->Unit(benchmark::kMillisecond)
     ->Iterations(3);
+
+// Symmetry pruning on the §3.2 families: G(3,k) (clique minus matching —
+// the circulant-core small-n construction) and G(1,k)/G(2,k) (cliques).
+// arg0 = k, arg1 = prune (0 = off, 1 = auto). The off/auto pair at equal
+// k is the speedup the orbit engine buys; the checker stays exact either
+// way (same verdict, summed orbit sizes = full quantifier domain).
+void BM_ExhaustiveG3kPrune(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const bool prune = state.range(1) != 0;
+  const auto sg = kgd::make_g3k(k);
+  const auto opts = prune_opts(prune);
+  std::uint64_t sets = 0, solved = 0;
+  for (auto _ : state) {
+    const auto res = verify::check_gd_exhaustive(sg, k, opts);
+    benchmark::DoNotOptimize(res);
+    if (!res.holds) state.SkipWithError("GD failed");
+    sets += res.fault_sets_checked;
+    solved += res.fault_sets_solved;
+  }
+  state.counters["fault_sets/s"] = benchmark::Counter(
+      static_cast<double>(sets), benchmark::Counter::kIsRate);
+  state.counters["solved/s"] = benchmark::Counter(
+      static_cast<double>(solved), benchmark::Counter::kIsRate);
+  state.SetLabel("G(3," + std::to_string(k) + ") prune=" +
+                 (prune ? "auto" : "off"));
+}
+BENCHMARK(BM_ExhaustiveG3kPrune)
+    ->Args({4, 0})->Args({4, 1})
+    ->Args({5, 0})->Args({5, 1})
+    ->Args({6, 0})->Args({6, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ExhaustiveCliquePrune(benchmark::State& state) {
+  const int small_n = static_cast<int>(state.range(0));
+  const int k = static_cast<int>(state.range(1));
+  const bool prune = state.range(2) != 0;
+  const auto sg = small_n == 1 ? kgd::make_g1k(k) : kgd::make_g2k(k);
+  const auto opts = prune_opts(prune);
+  std::uint64_t solved = 0;
+  for (auto _ : state) {
+    const auto res = verify::check_gd_exhaustive(sg, k, opts);
+    benchmark::DoNotOptimize(res);
+    if (!res.holds) state.SkipWithError("GD failed");
+    solved += res.fault_sets_solved;
+  }
+  state.counters["solved/s"] = benchmark::Counter(
+      static_cast<double>(solved), benchmark::Counter::kIsRate);
+  state.SetLabel("G(" + std::to_string(small_n) + "," + std::to_string(k) +
+                 ") prune=" + (prune ? "auto" : "off"));
+}
+BENCHMARK(BM_ExhaustiveCliquePrune)
+    ->Args({1, 5, 0})->Args({1, 5, 1})
+    ->Args({2, 5, 0})->Args({2, 5, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// Negative control: the asymptotic instance has a trivial label-
+// respecting group, so prune=auto must degrade to the plain sweep with
+// only the (cheap) group computation as overhead.
+void BM_ExhaustivePruneTrivialGroup(benchmark::State& state) {
+  const bool prune = state.range(0) != 0;
+  const auto sg = kgd::build_solution(22, 4);
+  const auto opts = prune_opts(prune);
+  for (auto _ : state) {
+    const auto res = verify::check_gd_exhaustive(*sg, 4, opts);
+    benchmark::DoNotOptimize(res);
+    if (!res.holds) state.SkipWithError("GD failed");
+    if (res.orbits_pruned != 0) state.SkipWithError("expected no pruning");
+  }
+  state.SetLabel(std::string("G(22,4) trivial Aut, prune=") +
+                 (prune ? "auto" : "off"));
+}
+BENCHMARK(BM_ExhaustivePruneTrivialGroup)
+    ->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond)->Iterations(3);
 
 void BM_SampledCheck(benchmark::State& state) {
   const auto sg = kgd::build_solution(40, 4);

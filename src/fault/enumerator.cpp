@@ -29,6 +29,15 @@ std::vector<int> FaultEnumerator::nodes_at(std::uint64_t index) const {
                                   static_cast<unsigned>(sz), rank);
 }
 
+std::uint64_t FaultEnumerator::index_of(
+    const std::vector<int>& sorted_nodes) const {
+  const int sz = static_cast<int>(sorted_nodes.size());
+  assert(sz <= max_faults_);
+  return size_offset_[sz] +
+         util::rank_combination(sorted_nodes,
+                                static_cast<unsigned>(num_nodes_));
+}
+
 kgd::FaultSet FaultEnumerator::at(std::uint64_t index) const {
   return kgd::FaultSet(num_nodes_, nodes_at(index));
 }

@@ -25,6 +25,11 @@ class FaultEnumerator {
   // Same but returning the raw node list (cheaper; no bitset build).
   std::vector<int> nodes_at(std::uint64_t index) const;
 
+  // Inverse of nodes_at: the global index of a strictly increasing node
+  // list with size <= max_faults. The orbit enumerator uses this to map
+  // permuted fault sets back into the index space.
+  std::uint64_t index_of(const std::vector<int>& sorted_nodes) const;
+
  private:
   int num_nodes_;
   int max_faults_;

@@ -1,0 +1,134 @@
+#include "fault/orbit_enumerator.hpp"
+
+#include <bit>
+#include <cassert>
+#include <numeric>
+
+#include "util/bitset.hpp"
+#include "util/combinatorics.hpp"
+
+namespace kgdp::fault {
+
+namespace {
+
+// Flat Pascal table C(a, b) for a <= n, b <= k+1. Rank/unrank inside the
+// orbit sweep must not pay the multiplicative binomial() loop: the sweep
+// performs total * |generators| rank computations.
+class PascalTable {
+ public:
+  PascalTable(int n, int k) : cols_(k + 2), c_((n + 1) * (k + 2), 0) {
+    for (int a = 0; a <= n; ++a) {
+      at(a, 0) = 1;
+      for (int b = 1; b < cols_; ++b) {
+        at(a, b) = b > a ? 0 : at(a - 1, b - 1) + at(a - 1, b);
+      }
+    }
+  }
+  std::uint64_t operator()(int a, int b) const {
+    return b >= cols_ || b < 0 || a < 0 ? 0 : c_[a * cols_ + b];
+  }
+
+ private:
+  std::uint64_t& at(int a, int b) { return c_[a * cols_ + b]; }
+  int cols_;
+  std::vector<std::uint64_t> c_;
+};
+
+}  // namespace
+
+OrbitEnumerator::OrbitEnumerator(int num_nodes, int max_faults,
+                                 const graph::AutomorphismList& autos)
+    : enumr_(num_nodes, max_faults) {
+  // Masks require <= 64 nodes; every paper instance within exhaustive
+  // reach satisfies this.
+  if (!autos.usable() || num_nodes > 64) return;
+  const std::uint64_t total = enumr_.total();
+  if (total > kMaxPrunedTotal) return;
+
+  const int n = num_nodes;
+  const int k = max_faults;
+  const PascalTable C(n, k);
+
+  // size_offset[s] = global index of the first size-s fault set.
+  std::vector<std::uint64_t> size_offset(k + 1, 0);
+  for (int s = 1; s <= k; ++s) {
+    size_offset[s] = size_offset[s - 1] + C(n, s - 1);
+  }
+
+  // Lexicographic rank of the subset `mask` within the global index
+  // space (size block + lex rank of the combination).
+  auto lex_index = [&](std::uint64_t mask) {
+    const int s = std::popcount(mask);
+    std::uint64_t rank = size_offset[s];
+    int prev = -1, slot = 0;
+    while (mask != 0) {
+      const int c = std::countr_zero(mask);
+      mask &= mask - 1;
+      for (int x = prev + 1; x < c; ++x) {
+        rank += C(n - 1 - x, s - 1 - slot);
+      }
+      prev = c;
+      ++slot;
+    }
+    return rank;
+  };
+
+  // Generators as image masks: apply() is a popcount-bounded bit loop,
+  // no allocation, and the image comes out already "sorted".
+  const std::vector<graph::Permutation>& gens = autos.generators;
+  auto apply = [](const graph::Permutation& g, std::uint64_t mask) {
+    std::uint64_t image = 0;
+    while (mask != 0) {
+      image |= std::uint64_t{1} << g[std::countr_zero(mask)];
+      mask &= mask - 1;
+    }
+    return image;
+  };
+
+  // Ascending sweep over all fault sets; each unvisited index starts a
+  // new orbit (it is the orbit's minimum, hence its representative) and
+  // a DFS over generator images collects the members. Every member is
+  // expanded once per generator: O(total * |gens|) cheap mask ops.
+  util::DynamicBitset visited(total);
+  std::vector<std::uint64_t> frontier;
+  std::uint64_t index = 0;
+  std::vector<int> comb;
+  for (int s = 0; s <= k && s <= n; ++s) {
+    comb.resize(s);
+    std::iota(comb.begin(), comb.end(), 0);
+    bool more = true;
+    while (more) {
+      if (!visited.test(index)) {
+        visited.set(index);
+        reps_.push_back(index);
+        std::uint64_t members = 1;
+        std::uint64_t mask = 0;
+        for (int v : comb) mask |= std::uint64_t{1} << v;
+        frontier.assign(1, mask);
+        while (!frontier.empty()) {
+          const std::uint64_t m = frontier.back();
+          frontier.pop_back();
+          for (const graph::Permutation& g : gens) {
+            const std::uint64_t im = apply(g, m);
+            if (im == m) continue;
+            const std::uint64_t j = lex_index(im);
+            if (!visited.test(j)) {
+              visited.set(j);
+              frontier.push_back(im);
+              ++members;
+            }
+          }
+        }
+        sizes_.push_back(members);
+      }
+      ++index;
+      more = s > 0 && util::next_combination(comb, n);
+    }
+  }
+  assert(index == total);
+  assert(std::accumulate(sizes_.begin(), sizes_.end(), std::uint64_t{0}) ==
+         total);
+  pruned_ = true;
+}
+
+}  // namespace kgdp::fault

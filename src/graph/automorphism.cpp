@@ -1,0 +1,213 @@
+#include "graph/automorphism.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <unordered_map>
+
+namespace kgdp::graph {
+
+namespace {
+
+// 1-WL colour refinement to a stable partition. Classes only ever split,
+// so the loop terminates when the class count stops growing; the final
+// colours are invariant under every colour-preserving automorphism.
+std::vector<int> stable_refinement(const Graph& g,
+                                   const std::vector<int>* colors) {
+  const int n = g.num_nodes();
+  std::vector<int> cur(n, 0);
+  // Fold the external colouring and the degree into the initial classes.
+  {
+    std::map<std::pair<int, int>, int> ids;
+    for (int u = 0; u < n; ++u) {
+      ids.emplace(std::pair{colors ? (*colors)[u] : 0, g.degree(u)}, 0);
+    }
+    int next = 0;
+    for (auto& [key, id] : ids) id = next++;
+    for (int u = 0; u < n; ++u) {
+      cur[u] = ids.at({colors ? (*colors)[u] : 0, g.degree(u)});
+    }
+  }
+  int classes = 0;
+  for (int c : cur) classes = std::max(classes, c + 1);
+
+  while (true) {
+    // Signature: own class followed by the sorted multiset of neighbour
+    // classes. New ids are assigned in signature order: deterministic.
+    std::vector<std::vector<int>> sig(n);
+    for (int u = 0; u < n; ++u) {
+      sig[u].push_back(cur[u]);
+      for (Node w : g.neighbors(u)) sig[u].push_back(cur[w]);
+      std::sort(sig[u].begin() + 1, sig[u].end());
+    }
+    std::map<std::vector<int>, int> ids;
+    for (int u = 0; u < n; ++u) ids.emplace(sig[u], 0);
+    if (static_cast<int>(ids.size()) == classes) break;  // stable
+    int next = 0;
+    for (auto& [key, id] : ids) id = next++;
+    for (int u = 0; u < n; ++u) cur[u] = ids.at(sig[u]);
+    classes = static_cast<int>(ids.size());
+  }
+  return cur;
+}
+
+// Backtracking enumeration of every refinement-respecting bijection that
+// preserves adjacency (and hence non-adjacency, via the reverse check).
+class AutomorphismSearch {
+ public:
+  AutomorphismSearch(const Graph& g, std::vector<int> refined,
+                     std::uint64_t cap)
+      : g_(g), colors_(std::move(refined)), cap_(cap),
+        map_(g.num_nodes(), -1), inv_(g.num_nodes(), -1) {
+    const int n = g_.num_nodes();
+    std::vector<int> class_size(n == 0 ? 1 : n, 0);
+    for (int c : colors_) ++class_size[c];
+    // Greedy connected order: always extend with the node seeing the most
+    // already-ordered neighbours (ties: smaller colour class, lower id).
+    // Degree-1 terminals then become forced the moment their processor is
+    // mapped instead of branching over their whole class up front.
+    order_.reserve(n);
+    std::vector<int> placed_neighbors(n, 0);
+    std::vector<bool> chosen(n, false);
+    for (int step = 0; step < n; ++step) {
+      Node best = -1;
+      for (Node u = 0; u < n; ++u) {
+        if (chosen[u]) continue;
+        if (best < 0) {
+          best = u;
+          continue;
+        }
+        if (placed_neighbors[u] != placed_neighbors[best]) {
+          if (placed_neighbors[u] > placed_neighbors[best]) best = u;
+          continue;
+        }
+        if (class_size[colors_[u]] != class_size[colors_[best]]) {
+          if (class_size[colors_[u]] < class_size[colors_[best]]) best = u;
+          continue;
+        }
+        // remaining tie: keep the lower id (u > best here)
+      }
+      chosen[best] = true;
+      order_.push_back(best);
+      for (Node w : g_.neighbors(best)) ++placed_neighbors[w];
+    }
+  }
+
+  // Enumerates into `elements` (identity included). Returns false iff the
+  // cap was hit.
+  bool run(std::vector<Permutation>& elements) {
+    elements_ = &elements;
+    return extend(0);
+  }
+
+  const std::vector<Node>& search_order() const { return order_; }
+
+ private:
+  bool feasible(Node u, Node v) const {
+    if (colors_[u] != colors_[v]) return false;
+    for (Node w : g_.neighbors(u)) {
+      if (map_[w] >= 0 && !g_.has_edge(v, map_[w])) return false;
+    }
+    for (Node x : g_.neighbors(v)) {
+      if (inv_[x] >= 0 && !g_.has_edge(u, inv_[x])) return false;
+    }
+    return true;
+  }
+
+  bool extend(std::size_t depth) {
+    if (depth == order_.size()) {
+      elements_->push_back(map_);
+      return elements_->size() < cap_;
+    }
+    const Node u = order_[depth];
+    for (Node v = 0; v < g_.num_nodes(); ++v) {
+      if (inv_[v] >= 0 || !feasible(u, v)) continue;
+      map_[u] = v;
+      inv_[v] = u;
+      const bool keep_going = extend(depth + 1);
+      map_[u] = -1;
+      inv_[v] = -1;
+      if (!keep_going) return false;
+    }
+    return true;
+  }
+
+  const Graph& g_;
+  std::vector<int> colors_;
+  std::uint64_t cap_;
+  std::vector<Node> map_;
+  std::vector<Node> inv_;
+  std::vector<Node> order_;
+  std::vector<Permutation>* elements_ = nullptr;
+};
+
+// Transversals of the stabilizer chain along `base` generate the group:
+// keep, per (level, image of base[level]), the first element whose
+// earliest moved base point is that level. Strips every element down to
+// the identity by induction, so the kept set is a strong generating set.
+std::vector<Permutation> strong_generating_set(
+    const std::vector<Permutation>& elements, const std::vector<Node>& base) {
+  std::vector<Permutation> gens;
+  std::unordered_map<std::uint64_t, bool> seen;
+  const std::uint64_t n = base.size();
+  for (const Permutation& e : elements) {
+    for (std::uint64_t level = 0; level < n; ++level) {
+      const Node b = base[level];
+      if (e[b] == b) continue;
+      const std::uint64_t key = level * n + static_cast<std::uint64_t>(e[b]);
+      if (!seen.emplace(key, true).second) break;
+      gens.push_back(e);
+      break;
+    }
+  }
+  return gens;
+}
+
+}  // namespace
+
+AutomorphismList find_automorphisms(const Graph& g,
+                                    const std::vector<int>* colors,
+                                    const AutomorphismOptions& opts) {
+  assert(!colors || static_cast<int>(colors->size()) == g.num_nodes());
+  AutomorphismList out;
+  if (g.num_nodes() == 0) return out;
+
+  AutomorphismSearch search(g, stable_refinement(g, colors),
+                            std::max<std::uint64_t>(1, opts.max_elements));
+  std::vector<Permutation> elements;
+  out.complete = search.run(elements);
+  out.order = elements.size();
+  if (out.complete) {
+    out.generators = strong_generating_set(elements, search.search_order());
+  }
+  return out;
+}
+
+AutomorphismList solution_automorphisms(const kgd::SolutionGraph& sg,
+                                        const AutomorphismOptions& opts) {
+  std::vector<int> colors(sg.num_nodes());
+  for (int v = 0; v < sg.num_nodes(); ++v) {
+    colors[v] = static_cast<int>(sg.role(v));
+  }
+  return find_automorphisms(sg.graph(), &colors, opts);
+}
+
+bool is_automorphism(const Graph& g, const Permutation& perm,
+                     const std::vector<int>* colors) {
+  const int n = g.num_nodes();
+  if (static_cast<int>(perm.size()) != n) return false;
+  std::vector<bool> hit(n, false);
+  for (Node u = 0; u < n; ++u) {
+    if (perm[u] < 0 || perm[u] >= n || hit[perm[u]]) return false;
+    hit[perm[u]] = true;
+    if (colors && (*colors)[u] != (*colors)[perm[u]]) return false;
+  }
+  for (Node u = 0; u < n; ++u) {
+    for (Node w : g.neighbors(u)) {
+      if (!g.has_edge(perm[u], perm[w])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace kgdp::graph

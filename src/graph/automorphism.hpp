@@ -1,0 +1,60 @@
+// Label-respecting automorphism groups. The §3.2–3.3 constructions are
+// highly symmetric (cliques, clique-minus-matching, circulant cores), so
+// the exhaustive GD checker can solve one fault set per orbit of the
+// automorphism group and multiply by the orbit size. This module computes
+// the group: colour refinement (1-WL) narrows the candidate images, a
+// backtracking search enumerates every colour-preserving automorphism,
+// and a stabilizer-chain transversal is extracted as a small strong
+// generating set for downstream orbit computations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "kgd/labeled_graph.hpp"
+
+namespace kgdp::graph {
+
+// A permutation of node ids: perm[u] is the image of u.
+using Permutation = std::vector<Node>;
+
+struct AutomorphismList {
+  // Strong generating set (identity excluded). Empty iff the group is
+  // trivial or the search was truncated.
+  std::vector<Permutation> generators;
+  // |Aut(G)| when `complete`, otherwise the number of elements seen
+  // before the cap hit (a lower bound, not the order).
+  std::uint64_t order = 1;
+  // False when the enumeration stopped at AutomorphismOptions::
+  // max_elements; consumers must then treat the group as unusable.
+  bool complete = true;
+
+  bool usable() const { return complete && !generators.empty(); }
+};
+
+struct AutomorphismOptions {
+  // Abort past this many elements (protects against near-complete
+  // graphs whose group approaches n!). The search costs O(order · n) on
+  // symmetric instances, so the cap also bounds time.
+  std::uint64_t max_elements = 1u << 16;
+};
+
+// Every colour-preserving automorphism of `g`. `colors` (size = node
+// count) restricts images to equal colours; nullptr = uncoloured.
+AutomorphismList find_automorphisms(const Graph& g,
+                                    const std::vector<int>* colors = nullptr,
+                                    const AutomorphismOptions& opts = {});
+
+// Label-respecting subgroup for a solution graph: automorphisms that
+// preserve every node's role (input / output / processor). These are
+// exactly the symmetries under which GD(G,k) fault orbits collapse.
+AutomorphismList solution_automorphisms(const kgd::SolutionGraph& sg,
+                                        const AutomorphismOptions& opts = {});
+
+// True iff `perm` is a colour-preserving automorphism of `g` (used by
+// tests and debug assertions).
+bool is_automorphism(const Graph& g, const Permutation& perm,
+                     const std::vector<int>* colors = nullptr);
+
+}  // namespace kgdp::graph

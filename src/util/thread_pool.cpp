@@ -83,4 +83,91 @@ void parallel_for(ThreadPool& pool, std::uint64_t count,
   pool.wait_idle();
 }
 
+namespace {
+
+// Owner pops from the front under the range's own mutex; a thief locks
+// both its range and the victim's (std::scoped_lock, deadlock-free) and
+// moves the victim's upper half into its own range. Indices live in
+// exactly one range or one claimed chunk at all times, so each runs once.
+struct StealRange {
+  std::mutex mu;
+  std::uint64_t next = 0;
+  std::uint64_t end = 0;
+};
+
+}  // namespace
+
+StealStats parallel_for_stealing(
+    ThreadPool& pool, std::uint64_t count,
+    const std::function<void(std::uint64_t, unsigned)>& fn,
+    std::atomic<bool>* stop, std::uint64_t min_chunk) {
+  StealStats stats;
+  if (count == 0) return stats;
+  min_chunk = std::max<std::uint64_t>(1, min_chunk);
+  const unsigned workers = pool.thread_count();
+
+  std::vector<StealRange> ranges(workers);
+  const std::uint64_t base = count / workers;
+  const std::uint64_t rem = count % workers;
+  std::uint64_t cursor = 0;
+  for (unsigned w = 0; w < workers; ++w) {
+    ranges[w].next = cursor;
+    cursor += base + (w < rem ? 1 : 0);
+    ranges[w].end = cursor;
+  }
+
+  std::atomic<std::uint64_t> steals{0};
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.submit([&ranges, &fn, &steals, stop, workers, min_chunk, w] {
+      StealRange& own = ranges[w];
+      while (true) {
+        if (stop && stop->load(std::memory_order_relaxed)) return;
+        // Claim a chunk from the front of the own range. Chunks shrink as
+        // the range drains so the tail stays stealable.
+        std::uint64_t begin = 0, end = 0;
+        {
+          std::lock_guard lk(own.mu);
+          const std::uint64_t avail = own.end - own.next;
+          if (avail > 0) {
+            const std::uint64_t chunk =
+                std::min(avail, std::max(min_chunk, avail / 4));
+            begin = own.next;
+            end = own.next + chunk;
+            own.next = end;
+          }
+        }
+        if (begin < end) {
+          for (std::uint64_t i = begin; i < end; ++i) {
+            if (stop && stop->load(std::memory_order_relaxed)) return;
+            fn(i, w);
+          }
+          continue;
+        }
+        // Own range empty: steal. Only the owner refills its own range,
+        // so a worker that finds nothing to steal is done for good.
+        bool stole = false;
+        for (unsigned d = 1; d < workers; ++d) {
+          StealRange& victim = ranges[(w + d) % workers];
+          std::scoped_lock lk(own.mu, victim.mu);
+          const std::uint64_t avail = victim.end - victim.next;
+          if (avail == 0) continue;
+          // Take the upper half (everything when splitting is pointless).
+          const std::uint64_t take_from =
+              avail <= min_chunk ? victim.next : victim.next + avail / 2;
+          own.next = take_from;
+          own.end = victim.end;
+          victim.end = take_from;
+          steals.fetch_add(1, std::memory_order_relaxed);
+          stole = true;
+          break;
+        }
+        if (!stole) return;
+      }
+    });
+  }
+  pool.wait_idle();
+  stats.steals = steals.load();
+  return stats;
+}
+
 }  // namespace kgdp::util

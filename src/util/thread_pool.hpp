@@ -53,4 +53,22 @@ void parallel_for(ThreadPool& pool, std::uint64_t count,
                   std::atomic<bool>* stop = nullptr,
                   std::uint64_t grain = 64);
 
+struct StealStats {
+  std::uint64_t steals = 0;  // range-splitting steal operations
+};
+
+// Work-stealing variant for loops whose per-index cost is wildly uneven
+// (exhaustive GD sweeps: most fault sets solve in microseconds, a few
+// fall through to the DP). [0, count) is pre-split into one contiguous
+// range per worker; each worker claims adaptively sized chunks from the
+// front of its own range and, when empty, steals the upper half of the
+// first non-empty victim range. Every index runs exactly once, on some
+// worker; fn(i, worker) receives the worker id (< thread_count()) so
+// callers can keep per-worker scratch state without sharing. The `stop`
+// flag short-circuits as in parallel_for. Blocks until complete.
+StealStats parallel_for_stealing(
+    ThreadPool& pool, std::uint64_t count,
+    const std::function<void(std::uint64_t, unsigned)>& fn,
+    std::atomic<bool>* stop = nullptr, std::uint64_t min_chunk = 4);
+
 }  // namespace kgdp::util

@@ -1,12 +1,16 @@
 // Graceful-degradation certification. GD(G,k) holds iff every fault set
 // of size <= k leaves a pipeline; the exhaustive checker decides this by
-// quantifier elimination (enumerate + exact solve), sharded across a
-// thread pool. The sampled checker covers instances whose fault-set space
-// is out of exhaustive reach.
+// quantifier elimination (enumerate + exact solve). Two refinements keep
+// the quantifier tractable: symmetry pruning (one solve per orbit of the
+// label-respecting automorphism group, weighted by orbit size) and a
+// work-stealing parallel sweep. Both are exact: pruned and unpruned runs
+// are two implementations of the same forall. The sampled checker covers
+// instances whose fault-set space is out of exhaustive reach.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "kgd/labeled_graph.hpp"
 #include "util/thread_pool.hpp"
@@ -20,9 +24,34 @@ struct CheckResult {
   // evidence only.
   bool holds = false;
   bool exhaustive = false;
+  // Fault sets certified. With symmetry pruning each solved orbit
+  // certifies its whole orbit, so on a completed sweep this equals the
+  // full quantifier domain even though fewer solves ran.
   std::uint64_t fault_sets_checked = 0;
   std::uint64_t solver_unknowns = 0;  // always 0 with exact settings
   std::optional<kgd::FaultSet> counterexample;
+
+  // --- observability (exhaustive checker only) ---
+  // Solver invocations actually performed (== orbit representatives
+  // visited; fault_sets_checked minus the symmetry-implied sets).
+  std::uint64_t fault_sets_solved = 0;
+  // Fault sets whose verdict came from symmetry instead of a solve.
+  std::uint64_t orbits_pruned = 0;
+  // Order of the label-respecting automorphism group used for pruning
+  // (1 when pruning was off or declined).
+  std::uint64_t automorphism_order = 1;
+  // Work-stealing scheduler: number of range-split steals (0 when
+  // sequential).
+  std::uint64_t steal_count = 0;
+  // Wall-clock seconds each worker spent solving; size = worker count
+  // (1 when sequential).
+  std::vector<double> worker_solve_seconds;
+};
+
+// Symmetry handling for the exhaustive checker.
+enum class PruneMode {
+  kAuto,  // compute the automorphism group; prune when it is usable
+  kOff,   // always enumerate the full fault-set space
 };
 
 struct CheckOptions {
@@ -30,9 +59,12 @@ struct CheckOptions {
   std::uint64_t dfs_budget = 1u << 20;
   // Optional pool; nullptr = run sequentially on the calling thread.
   util::ThreadPool* pool = nullptr;
+  PruneMode prune = PruneMode::kAuto;
 };
 
-// Decides GD(sg, max_faults) exactly.
+// Decides GD(sg, max_faults) exactly. Deterministic for a fixed prune
+// mode: the counterexample, when one exists, is the lowest-index failing
+// orbit representative regardless of thread count.
 CheckResult check_gd_exhaustive(const kgd::SolutionGraph& sg, int max_faults,
                                 const CheckOptions& opts = {});
 

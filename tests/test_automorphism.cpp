@@ -1,0 +1,149 @@
+#include "graph/automorphism.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "kgd/small_n.hpp"
+
+namespace kgdp::graph {
+namespace {
+
+std::uint64_t factorial(int n) {
+  std::uint64_t r = 1;
+  for (int i = 2; i <= n; ++i) r *= i;
+  return r;
+}
+
+// Closure of the generators by repeated multiplication; lets the tests
+// verify that the strong generating set really generates |Aut| elements.
+std::uint64_t generated_order(const AutomorphismList& autos, int n) {
+  std::vector<Permutation> group;
+  Permutation id(n);
+  for (int i = 0; i < n; ++i) id[i] = i;
+  group.push_back(id);
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (std::size_t gi = 0; gi < group.size(); ++gi) {
+      for (const Permutation& g : autos.generators) {
+        Permutation prod(n);
+        for (int i = 0; i < n; ++i) prod[i] = g[group[gi][i]];
+        if (std::find(group.begin(), group.end(), prod) == group.end()) {
+          group.push_back(prod);
+          grew = true;
+        }
+      }
+    }
+  }
+  return group.size();
+}
+
+TEST(Automorphism, PathHasOrderTwo) {
+  const auto autos = find_automorphisms(make_path(5));
+  EXPECT_TRUE(autos.complete);
+  EXPECT_EQ(autos.order, 2u);  // identity + reversal
+  ASSERT_EQ(autos.generators.size(), 1u);
+  EXPECT_TRUE(is_automorphism(make_path(5), autos.generators[0]));
+}
+
+TEST(Automorphism, CycleHasDihedralOrder) {
+  for (int n : {3, 5, 8}) {
+    const auto autos = find_automorphisms(make_cycle(n));
+    EXPECT_TRUE(autos.complete);
+    EXPECT_EQ(autos.order, 2u * n) << "C_" << n;
+    EXPECT_EQ(generated_order(autos, n), 2u * n) << "C_" << n;
+  }
+}
+
+TEST(Automorphism, CompleteGraphHasFullSymmetricGroup) {
+  for (int n : {2, 4, 5, 6}) {
+    const auto autos = find_automorphisms(make_complete(n));
+    EXPECT_TRUE(autos.complete);
+    EXPECT_EQ(autos.order, factorial(n)) << "K_" << n;
+    EXPECT_EQ(generated_order(autos, n), factorial(n)) << "K_" << n;
+    for (const Permutation& g : autos.generators) {
+      EXPECT_TRUE(is_automorphism(make_complete(n), g));
+    }
+  }
+}
+
+TEST(Automorphism, ColoringRestrictsTheGroup) {
+  // An end-distinguished path has no symmetry left.
+  const Graph p = make_path(4);
+  const std::vector<int> colors{0, 1, 1, 2};
+  const auto autos = find_automorphisms(p, &colors);
+  EXPECT_TRUE(autos.complete);
+  EXPECT_EQ(autos.order, 1u);
+  EXPECT_TRUE(autos.generators.empty());
+}
+
+TEST(Automorphism, CapTruncatesHugeGroups) {
+  AutomorphismOptions opts;
+  opts.max_elements = 100;  // 8! = 40320 >> 100
+  const auto autos = find_automorphisms(make_complete(8), nullptr, opts);
+  EXPECT_FALSE(autos.complete);
+  EXPECT_FALSE(autos.usable());
+}
+
+TEST(Automorphism, G1kGroupIsProcessorPermutations) {
+  // G(1,k): clique on k+1 processors, each carrying its own input and
+  // output terminal. Any processor permutation extends uniquely to the
+  // terminals, so the label-respecting group has order (k+1)!.
+  for (int k : {1, 2, 3}) {
+    const auto sg = kgd::make_g1k(k);
+    const auto autos = solution_automorphisms(sg);
+    EXPECT_TRUE(autos.complete);
+    EXPECT_EQ(autos.order, factorial(k + 1)) << "G(1," << k << ")";
+  }
+}
+
+TEST(Automorphism, G2kGroupFixesTheDistinguishedPair) {
+  // G(2,k): clique on k+2 processors where p0 carries only an input and
+  // p1 only an output; the other k processors are interchangeable.
+  for (int k : {2, 3, 4}) {
+    const auto sg = kgd::make_g2k(k);
+    const auto autos = solution_automorphisms(sg);
+    EXPECT_TRUE(autos.complete);
+    EXPECT_EQ(autos.order, factorial(k)) << "G(2," << k << ")";
+  }
+}
+
+TEST(Automorphism, GeneratorsRespectLabels) {
+  for (int k : {2, 3}) {
+    for (const kgd::SolutionGraph& sg :
+         {kgd::make_g1k(k), kgd::make_g2k(k), kgd::make_g3k(k)}) {
+      const auto autos = solution_automorphisms(sg);
+      std::vector<int> colors(sg.num_nodes());
+      for (int v = 0; v < sg.num_nodes(); ++v) {
+        colors[v] = static_cast<int>(sg.role(v));
+      }
+      for (const Permutation& g : autos.generators) {
+        // Adjacency-preserving...
+        EXPECT_TRUE(is_automorphism(sg.graph(), g, &colors));
+        // ...and role-preserving, node by node.
+        for (int v = 0; v < sg.num_nodes(); ++v) {
+          EXPECT_EQ(sg.role(v), sg.role(g[v])) << sg.name();
+        }
+      }
+    }
+  }
+}
+
+TEST(Automorphism, EmptyAndSingletonGraphs) {
+  EXPECT_EQ(find_automorphisms(Graph()).order, 1u);
+  const auto autos = find_automorphisms(Graph(1));
+  EXPECT_TRUE(autos.complete);
+  EXPECT_EQ(autos.order, 1u);
+}
+
+TEST(Automorphism, IsAutomorphismRejectsNonMaps) {
+  const Graph p = make_path(3);
+  EXPECT_FALSE(is_automorphism(p, {0, 1}));        // wrong size
+  EXPECT_FALSE(is_automorphism(p, {0, 0, 2}));     // not a bijection
+  EXPECT_FALSE(is_automorphism(p, {1, 0, 2}));     // breaks adjacency
+  EXPECT_TRUE(is_automorphism(p, {2, 1, 0}));      // reversal
+}
+
+}  // namespace
+}  // namespace kgdp::graph

@@ -17,6 +17,13 @@ TEST(Checker, CertifiesKnownGoodGraphs) {
   EXPECT_FALSE(res.counterexample.has_value());
   EXPECT_EQ(res.fault_sets_checked,
             fault::FaultEnumerator(9, 2).total());
+  // On these instance sizes the solver must never punt: a certificate
+  // with unknowns would not be a certificate.
+  EXPECT_EQ(res.solver_unknowns, 0u);
+  // Orbit pruning is on by default and must account for every fault set
+  // it skipped.
+  EXPECT_EQ(res.fault_sets_solved + res.orbits_pruned,
+            res.fault_sets_checked);
 }
 
 TEST(Checker, FindsCounterexampleOnSparePath) {
@@ -24,6 +31,7 @@ TEST(Checker, FindsCounterexampleOnSparePath) {
   const auto sg = baseline::make_spare_path(4, 2);
   const auto res = check_gd_exhaustive(sg, 2);
   EXPECT_FALSE(res.holds);
+  EXPECT_EQ(res.solver_unknowns, 0u);
   ASSERT_TRUE(res.counterexample.has_value());
   // And the counterexample really is one.
   const auto out = find_pipeline(sg, *res.counterexample);
@@ -44,12 +52,15 @@ TEST(Checker, ParallelMatchesSequential) {
   CheckOptions par;
   par.pool = &pool;
   for (auto [n, k] : std::vector<std::pair<int, int>>{{4, 2}, {5, 2},
-                                                      {6, 1}}) {
+                                                      {6, 1}, {3, 3}}) {
     const auto sg = kgd::build_solution(n, k);
     ASSERT_TRUE(sg);
     const auto a = check_gd_exhaustive(*sg, k, seq);
     const auto b = check_gd_exhaustive(*sg, k, par);
-    EXPECT_EQ(a.holds, b.holds);
+    EXPECT_EQ(a.holds, b.holds) << sg->name();
+    EXPECT_EQ(a.fault_sets_checked, b.fault_sets_checked) << sg->name();
+    EXPECT_EQ(a.solver_unknowns, 0u) << sg->name();
+    EXPECT_EQ(b.solver_unknowns, 0u) << sg->name();
   }
   // Negative case determinism under parallelism.
   const auto bad = baseline::make_spare_path(4, 2);
@@ -57,6 +68,46 @@ TEST(Checker, ParallelMatchesSequential) {
   const auto b = check_gd_exhaustive(bad, 2, par);
   ASSERT_TRUE(a.counterexample && b.counterexample);
   EXPECT_EQ(a.counterexample->nodes(), b.counterexample->nodes());
+}
+
+TEST(Checker, ParallelReportsPerWorkerCounters) {
+  // The pool path at k >= 2: one solver per worker, per-worker solve
+  // times, and steal accounting all surface through CheckResult.
+  util::ThreadPool pool(3);
+  CheckOptions par;
+  par.pool = &pool;
+  const auto sg = kgd::build_solution(8, 2);
+  ASSERT_TRUE(sg);
+  const auto res = check_gd_exhaustive(*sg, 2, par);
+  EXPECT_TRUE(res.holds);
+  EXPECT_EQ(res.solver_unknowns, 0u);
+  EXPECT_EQ(res.worker_solve_seconds.size(), pool.thread_count());
+  double busy = 0.0;
+  for (double s : res.worker_solve_seconds) {
+    EXPECT_GE(s, 0.0);
+    busy += s;
+  }
+  EXPECT_GT(busy, 0.0);  // somebody actually solved something
+  // Steals are schedule-dependent, but the counter must at least be
+  // bounded by the amount of work available.
+  EXPECT_LE(res.steal_count, res.fault_sets_checked);
+}
+
+TEST(Checker, PruneOffMatchesPruneAuto) {
+  CheckOptions off;
+  off.prune = PruneMode::kOff;
+  for (auto [n, k] : std::vector<std::pair<int, int>>{{1, 3}, {3, 3},
+                                                      {6, 2}}) {
+    const auto sg = kgd::build_solution(n, k);
+    ASSERT_TRUE(sg);
+    const auto pruned = check_gd_exhaustive(*sg, k);  // default: kAuto
+    const auto plain = check_gd_exhaustive(*sg, k, off);
+    EXPECT_EQ(pruned.holds, plain.holds) << sg->name();
+    EXPECT_EQ(pruned.fault_sets_checked, plain.fault_sets_checked)
+        << sg->name();
+    EXPECT_EQ(plain.orbits_pruned, 0u) << sg->name();
+    EXPECT_EQ(plain.automorphism_order, 1u) << sg->name();
+  }
 }
 
 TEST(Checker, ZeroFaultBudgetChecksOnlyEmptySet) {

@@ -76,6 +76,99 @@ TEST(ParallelFor, WorksWithSingleThreadPool) {
   EXPECT_EQ(sum, 4950u);
 }
 
+TEST(ParallelForStealing, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const std::uint64_t count = 10000;
+  std::vector<std::atomic<int>> hits(count);
+  const StealStats stats = parallel_for_stealing(
+      pool, count, [&](std::uint64_t i, unsigned) { hits[i].fetch_add(1); },
+      nullptr, /*min_chunk=*/1);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+  (void)stats;  // steal count is schedule-dependent; coverage is not
+}
+
+TEST(ParallelForStealing, DeterministicAcrossThreadCounts) {
+  // Work stealing may reorder execution but never the result: the same
+  // commutative reduction must come out for 1, 2 and 8 threads.
+  std::vector<std::uint64_t> sums;
+  for (unsigned threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    std::atomic<std::uint64_t> sum{0};
+    parallel_for_stealing(pool, 5000, [&](std::uint64_t i, unsigned) {
+      sum.fetch_add(i * i);
+    });
+    sums.push_back(sum.load());
+  }
+  EXPECT_EQ(sums[0], sums[1]);
+  EXPECT_EQ(sums[0], sums[2]);
+}
+
+TEST(ParallelForStealing, WorkerIdsAreInRange) {
+  ThreadPool pool(3);
+  std::atomic<int> bad{0};
+  parallel_for_stealing(pool, 2000, [&](std::uint64_t, unsigned w) {
+    if (w >= 3) bad.fetch_add(1);
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(ParallelForStealing, SkewedLoadTriggersSteals) {
+  // Worker 0's initial range is pathologically slow; the others drain
+  // their ranges in microseconds and must come steal the remainder.
+  ThreadPool pool(4);
+  const std::uint64_t count = 400;
+  std::vector<std::atomic<int>> hits(count);
+  const StealStats stats = parallel_for_stealing(
+      pool, count,
+      [&](std::uint64_t i, unsigned) {
+        if (i < count / 4) {
+          // Busy work only in the first worker's initial range.
+          volatile std::uint64_t x = 0;
+          for (int spin = 0; spin < 200000; ++spin) x += spin;
+        }
+        hits[i].fetch_add(1);
+      },
+      nullptr, /*min_chunk=*/1);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+  EXPECT_GT(stats.steals, 0u);
+}
+
+TEST(ParallelForStealing, StopFlagIsMonotoneUnderStealing) {
+  // Once the early-exit flag rises it stays up: no index may start after
+  // every worker has observed it, so the processed count stays well
+  // below the full range.
+  ThreadPool pool(8);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> done{0};
+  parallel_for_stealing(
+      pool, 1u << 20,
+      [&](std::uint64_t i, unsigned) {
+        if (i == 3) stop.store(true);
+        done.fetch_add(1);
+      },
+      &stop, /*min_chunk=*/8);
+  EXPECT_LT(done.load(), std::uint64_t{1} << 20);
+  EXPECT_TRUE(stop.load());
+}
+
+TEST(ParallelForStealing, ZeroCountAndSingleThread) {
+  ThreadPool pool(1);
+  parallel_for_stealing(pool, 0,
+                        [&](std::uint64_t, unsigned) { FAIL(); });
+  std::uint64_t sum = 0;  // single worker: no races
+  const StealStats stats = parallel_for_stealing(
+      pool, 100, [&](std::uint64_t i, unsigned w) {
+        EXPECT_EQ(w, 0u);
+        sum += i;
+      });
+  EXPECT_EQ(sum, 4950u);
+  EXPECT_EQ(stats.steals, 0u);  // nobody to steal from
+}
+
 TEST(ThreadPool, ManyWaitCycles) {
   ThreadPool pool(2);
   std::atomic<int> count{0};

@@ -3,7 +3,10 @@
 //
 //   kgd_cli build   <n> <k>            construction summary
 //   kgd_cli dot     <n> <k>            DOT to stdout
-//   kgd_cli verify  <n> <k>            exhaustive GD check
+//   kgd_cli verify  <n> <k> [--prune=auto|off] [--threads=T]
+//                                      exhaustive GD check (symmetry-
+//                                      pruned by default; T>0 enables the
+//                                      work-stealing parallel sweep)
 //   kgd_cli route   <n> <k> [v ...]    pipeline around the given faults
 //   kgd_cli save    <n> <k>            kgdp-graph text to stdout
 //   kgd_cli json    <n> <k>            JSON export to stdout
@@ -14,11 +17,13 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "io/graph_io.hpp"
 #include "kgd/factory.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 #include "verify/certificate.hpp"
 #include "verify/checker.hpp"
@@ -31,7 +36,8 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: kgd_cli {build|dot|verify|route} <n> <k> [fault...]\n");
+               "usage: kgd_cli {build|dot|verify|route} <n> <k> "
+               "[fault...] [--prune=auto|off] [--threads=T]\n");
   return 2;
 }
 
@@ -85,12 +91,45 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (cmd == "verify") {
+    verify::CheckOptions opts;
+    unsigned threads = 0;
+    for (int i = 4; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--prune=off") {
+        opts.prune = verify::PruneMode::kOff;
+      } else if (arg == "--prune=auto") {
+        opts.prune = verify::PruneMode::kAuto;
+      } else if (arg.rfind("--threads=", 0) == 0) {
+        threads = static_cast<unsigned>(std::atoi(arg.c_str() + 10));
+      } else {
+        std::fprintf(stderr, "unknown verify flag: %s\n", arg.c_str());
+        return usage();
+      }
+    }
+    std::unique_ptr<util::ThreadPool> pool;
+    if (threads > 0) {
+      pool = std::make_unique<util::ThreadPool>(threads);
+      opts.pool = pool.get();
+    }
     util::Timer t;
-    const auto res = verify::check_gd_exhaustive(sg, k);
+    const auto res = verify::check_gd_exhaustive(sg, k, opts);
     std::printf("GD(%s, %d): %s  [%llu fault sets, %.2fs]\n",
                 sg.name().c_str(), k, res.holds ? "HOLDS" : "FAILS",
                 static_cast<unsigned long long>(res.fault_sets_checked),
                 t.seconds());
+    std::printf(
+        "  solved %llu representatives, %llu pruned by symmetry "
+        "(|Aut| = %llu)\n",
+        static_cast<unsigned long long>(res.fault_sets_solved),
+        static_cast<unsigned long long>(res.orbits_pruned),
+        static_cast<unsigned long long>(res.automorphism_order));
+    if (opts.pool) {
+      std::printf("  %u workers, %llu steals; solve seconds per worker:",
+                  opts.pool->thread_count(),
+                  static_cast<unsigned long long>(res.steal_count));
+      for (double s : res.worker_solve_seconds) std::printf(" %.3f", s);
+      std::printf("\n");
+    }
     if (res.counterexample) {
       std::printf("  counterexample: %s\n",
                   res.counterexample->to_string().c_str());
