@@ -1,0 +1,76 @@
+// Checkpointable, shardable certification campaigns: a sweep of
+// CheckSessions over a configurable (n, k) grid. The runner advances one
+// instance at a time in bounded chunks, checkpoints the whole campaign
+// to disk at a configurable cadence (and whenever an instance finishes),
+// emits JSONL telemetry per chunk, and can be interrupted at any point —
+// resuming from the checkpoint reproduces the uninterrupted run
+// byte-identically (verdict, counterexample, counters). Shard campaigns
+// certify disjoint slices of every instance's fault space; merge_shards
+// folds S completed shard files into the unsharded result.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/checkpoint.hpp"
+#include "campaign/telemetry.hpp"
+#include "util/thread_pool.hpp"
+
+namespace kgdp::campaign {
+
+// Expands the config's grid into the supported (n, k) instances, all
+// pending. Throws std::invalid_argument on an inverted or empty grid,
+// or a sharded sampled campaign.
+CampaignState make_campaign(const CampaignConfig& config);
+
+struct RunLimits {
+  // Stop (checkpointing first) after this many chunks across the whole
+  // run; 0 = unlimited. This is the deterministic interruption hook used
+  // by tests and the CI kill/resume drill.
+  std::uint64_t max_chunks = 0;
+};
+
+struct RunOutcome {
+  bool complete = false;       // every instance reached kDone
+  bool all_hold = false;       // over the instances that are done
+  std::uint64_t chunks_run = 0;
+};
+
+class CampaignRunner {
+ public:
+  // `checkpoint_path` may be empty (checkpointing disabled); `telemetry`
+  // and `pool` may be null. State is moved in; read it back via state().
+  CampaignRunner(CampaignState state, std::string checkpoint_path,
+                 TelemetryWriter* telemetry = nullptr,
+                 util::ThreadPool* pool = nullptr);
+
+  // Advances pending/running instances in grid order until the campaign
+  // completes or the chunk limit is hit. Safe to call again after an
+  // interrupted return. Throws std::runtime_error when an instance's
+  // construction is unsupported or its saved cursor does not match.
+  RunOutcome run(const RunLimits& limits = {});
+
+  const CampaignState& state() const { return state_; }
+
+ private:
+  void checkpoint();
+
+  CampaignState state_;
+  std::string checkpoint_path_;
+  TelemetryWriter* telemetry_;
+  util::ThreadPool* pool_;
+};
+
+// Merges S completed shard campaigns (shard i of S over an identical
+// grid/config) into the equivalent unsharded campaign: per instance the
+// lowest-index counterexample wins and counters are recomputed
+// canonically (verify::merge_shard_results). Throws std::invalid_argument
+// on inconsistent configs, duplicate/missing shards, or unfinished
+// instances.
+CampaignState merge_shards(const std::vector<CampaignState>& shards);
+
+// Human-readable progress table (one line per instance plus a summary).
+std::string status_summary(const CampaignState& state);
+
+}  // namespace kgdp::campaign

@@ -1,0 +1,66 @@
+// On-disk campaign state: a line-oriented `kgdp-campaign` text file in
+// the same spirit as the kgdp-graph format. One file holds the campaign
+// configuration plus one entry per (n, k) instance — pending, running
+// (with an embedded CheckSession cursor), or done (with the final
+// verdict) — which is everything a later process needs to resume the
+// sweep byte-identically or to merge shard files. Writes go through an
+// atomic tmp-file + rename so a kill mid-write never corrupts the last
+// good checkpoint.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "verify/check_session.hpp"
+
+namespace kgdp::campaign {
+
+struct CampaignConfig {
+  // Inclusive (n, k) grid; instances are the supported pairs in
+  // row-major (n outer, k inner) order.
+  int n_min = 1, n_max = 1, k_min = 1, k_max = 1;
+  verify::CheckMode mode = verify::CheckMode::kExhaustive;
+  std::uint64_t samples = 1000;  // sampled mode only
+  std::uint64_t seed = 1;        // sampled mode only
+  verify::PruneMode prune = verify::PruneMode::kAuto;
+  // This file's slice of each instance's quantifier domain.
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 1;
+  // Work items per CheckSession::advance call.
+  std::uint64_t chunk = 256;
+  // Checkpoint cadence: write the campaign file every this many chunks.
+  std::uint64_t checkpoint_every = 4;
+};
+
+enum class InstanceStatus { kPending, kRunning, kDone };
+
+struct InstanceState {
+  int n = 0, k = 0;
+  InstanceStatus status = InstanceStatus::kPending;
+  std::string cursor;           // serialized session cursor when running
+  verify::CheckResult result;   // final verdict when done
+};
+
+struct CampaignState {
+  CampaignConfig config;
+  std::vector<InstanceState> instances;
+};
+
+// Verdict serialization used inside campaign files (and tested on its
+// own): exact round-trip including bit-cast solve-second accumulators.
+void save_result(std::ostream& out, const verify::CheckResult& res);
+verify::CheckResult load_result(std::istream& in);
+
+void save_campaign(std::ostream& out, const CampaignState& state);
+// Throws std::runtime_error with a line-oriented message on malformed
+// input (bad magic, unknown mode, truncated cursor or result blocks).
+CampaignState load_campaign(std::istream& in);
+
+// Atomic file write (tmp + rename); throws std::runtime_error on IO
+// failure.
+void write_campaign_file(const std::string& path, const CampaignState& state);
+CampaignState load_campaign_file(const std::string& path);
+
+}  // namespace kgdp::campaign

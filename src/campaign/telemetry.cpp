@@ -1,0 +1,43 @@
+#include "campaign/telemetry.hpp"
+
+#include <ostream>
+
+namespace kgdp::campaign {
+
+void TelemetryWriter::emit(const std::string& event, io::JsonObject fields) {
+  if (out_ == nullptr) return;
+  fields["event"] = event;
+  fields["seq"] = seq_++;
+  fields["schema_version"] = io::kSchemaVersion;
+  *out_ << io::Json(std::move(fields)).dump() << '\n';
+  out_->flush();
+}
+
+io::Json check_result_to_json(const verify::CheckResult& res) {
+  io::JsonObject o;
+  o["schema_version"] = io::kSchemaVersion;
+  o["holds"] = res.holds;
+  o["exhaustive"] = res.exhaustive;
+  o["fault_sets_checked"] = res.fault_sets_checked;
+  o["fault_sets_solved"] = res.fault_sets_solved;
+  o["solver_unknowns"] = res.solver_unknowns;
+  o["orbits_pruned"] = res.orbits_pruned;
+  o["automorphism_order"] = res.automorphism_order;
+  o["steal_count"] = res.steal_count;
+  io::JsonArray seconds;
+  for (double s : res.worker_solve_seconds) seconds.push_back(s);
+  o["worker_solve_seconds"] = std::move(seconds);
+  if (res.counterexample) {
+    io::JsonArray nodes;
+    for (int v : res.counterexample->nodes()) nodes.push_back(v);
+    o["counterexample"] = std::move(nodes);
+    if (res.counterexample_index) {
+      o["counterexample_index"] = *res.counterexample_index;
+    }
+  } else {
+    o["counterexample"] = nullptr;
+  }
+  return io::Json(std::move(o));
+}
+
+}  // namespace kgdp::campaign

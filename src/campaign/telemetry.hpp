@@ -1,0 +1,39 @@
+// Structured JSONL telemetry for certification campaigns. Every event is
+// one JSON object per line, routed through io::Json (never hand-built
+// printf fragments) and stamped with the event name, a monotonic
+// sequence number, and the export schema_version, so long-running sweeps
+// can be tailed, parsed, and aggregated by external tooling.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "io/json.hpp"
+#include "verify/checker.hpp"
+
+namespace kgdp::campaign {
+
+class TelemetryWriter {
+ public:
+  // `out` may be null: telemetry disabled, emit() is a no-op.
+  explicit TelemetryWriter(std::ostream* out = nullptr) : out_(out) {}
+
+  bool enabled() const { return out_ != nullptr; }
+
+  // Emits `fields` plus {"event", "seq", "schema_version"} as one JSONL
+  // line and flushes, so a killed campaign loses at most the line being
+  // written.
+  void emit(const std::string& event, io::JsonObject fields);
+
+ private:
+  std::ostream* out_;
+  std::uint64_t seq_ = 0;
+};
+
+// JSON view of a checker verdict (verdict, counters, counterexample).
+// Shared by `kgd_cli verify --json`, instance_done telemetry events, and
+// the campaign status surface.
+io::Json check_result_to_json(const verify::CheckResult& res);
+
+}  // namespace kgdp::campaign

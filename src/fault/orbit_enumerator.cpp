@@ -36,14 +36,39 @@ class PascalTable {
 
 }  // namespace
 
+void OrbitEnumerator::compute_fingerprint(int num_nodes, int max_faults) {
+  // FNV-1a, 64-bit. Folding in every representative index means two
+  // enumerations agree on the fingerprint iff they agree on the whole
+  // orbit layout (and hence on slot -> fault-set semantics).
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(static_cast<std::uint64_t>(num_nodes));
+  mix(static_cast<std::uint64_t>(max_faults));
+  mix(pruned_ ? 1 : 0);
+  mix(enumr_.total());
+  for (std::uint64_t r : reps_) mix(r);
+  fingerprint_ = h;
+}
+
 OrbitEnumerator::OrbitEnumerator(int num_nodes, int max_faults,
                                  const graph::AutomorphismList& autos)
     : enumr_(num_nodes, max_faults) {
   // Masks require <= 64 nodes; every paper instance within exhaustive
   // reach satisfies this.
-  if (!autos.usable() || num_nodes > 64) return;
+  if (!autos.usable() || num_nodes > 64) {
+    compute_fingerprint(num_nodes, max_faults);
+    return;
+  }
   const std::uint64_t total = enumr_.total();
-  if (total > kMaxPrunedTotal) return;
+  if (total > kMaxPrunedTotal) {
+    compute_fingerprint(num_nodes, max_faults);
+    return;
+  }
 
   const int n = num_nodes;
   const int k = max_faults;
@@ -129,6 +154,7 @@ OrbitEnumerator::OrbitEnumerator(int num_nodes, int max_faults,
   assert(std::accumulate(sizes_.begin(), sizes_.end(), std::uint64_t{0}) ==
          total);
   pruned_ = true;
+  compute_fingerprint(num_nodes, max_faults);
 }
 
 }  // namespace kgdp::fault

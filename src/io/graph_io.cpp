@@ -119,6 +119,7 @@ kgd::SolutionGraph load_solution_string(const std::string& text) {
 Json solution_to_json(const kgd::SolutionGraph& sg) {
   JsonObject root;
   root["format"] = "kgdp-graph";
+  root["schema_version"] = kSchemaVersion;
   root["name"] = sg.name();
   root["n"] = sg.n();
   root["k"] = sg.k();

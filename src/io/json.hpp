@@ -11,6 +11,11 @@
 
 namespace kgdp::io {
 
+// Version of the machine-readable export schemas (the `schema_version`
+// field on `kgd_cli json` output, certificate headers, and campaign
+// telemetry events). Bump when any of those surfaces changes shape.
+inline constexpr int kSchemaVersion = 1;
+
 class Json;
 using JsonArray = std::vector<Json>;
 using JsonObject = std::map<std::string, Json>;

@@ -1,0 +1,103 @@
+#include "util/flags.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace kgdp::util {
+
+FlagParser& FlagParser::flag(const std::string& name, bool requires_value) {
+  declared_[name] = requires_value;
+  return *this;
+}
+
+std::string FlagParser::accepted_list() const {
+  std::string out;
+  for (const auto& [name, _] : declared_) {
+    if (!out.empty()) out += ", ";
+    out += "--" + name;
+  }
+  return out;
+}
+
+bool FlagParser::parse(int argc, char* const* argv, int start) {
+  for (int i = start; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positionals_.push_back(arg);
+      continue;
+    }
+    const auto eq = arg.find('=');
+    const std::string name = arg.substr(2, eq == std::string::npos
+                                               ? std::string::npos
+                                               : eq - 2);
+    const auto it = declared_.find(name);
+    if (it == declared_.end()) {
+      error_ = "unknown flag: " + arg + " (accepted: " + accepted_list() + ")";
+      return false;
+    }
+    if (it->second) {  // requires a value
+      if (eq == std::string::npos || eq + 1 == arg.size()) {
+        error_ = "flag --" + name + " requires a value (--" + name + "=...)";
+        return false;
+      }
+      values_[name] = arg.substr(eq + 1);
+    } else {
+      if (eq != std::string::npos) {
+        error_ = "flag --" + name + " does not take a value";
+        return false;
+      }
+      values_[name] = "";
+    }
+  }
+  return true;
+}
+
+std::string FlagParser::get(const std::string& name,
+                            const std::string& def) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+bool FlagParser::get_int(const std::string& name, std::int64_t def,
+                         std::int64_t min, std::int64_t max,
+                         std::int64_t* out) {
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    *out = def;
+    return true;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (errno != 0 || end == it->second.c_str() || *end != '\0') {
+    error_ = "flag --" + name + ": not a number: " + it->second;
+    return false;
+  }
+  if (v < min || v > max) {
+    error_ = "flag --" + name + ": " + it->second + " out of range [" +
+             std::to_string(min) + ", " + std::to_string(max) + "]";
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool FlagParser::parse_shard(const std::string& spec, std::uint32_t* index,
+                             std::uint32_t* count) {
+  const auto slash = spec.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 == spec.size()) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long i = std::strtoll(spec.c_str(), &end, 10);
+  if (errno != 0 || end != spec.c_str() + slash) return false;
+  const long long s = std::strtoll(spec.c_str() + slash + 1, &end, 10);
+  if (errno != 0 || *end != '\0') return false;
+  if (s < 1 || i < 0 || i >= s) return false;
+  *index = static_cast<std::uint32_t>(i);
+  *count = static_cast<std::uint32_t>(s);
+  return true;
+}
+
+}  // namespace kgdp::util

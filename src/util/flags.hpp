@@ -1,0 +1,53 @@
+// Minimal declarative flag parser for the CLI tools. Every tool used to
+// hand-scan argv, which silently accepted typos and drifted out of sync
+// with usage(); this registers the accepted `--name` / `--name=value`
+// flags up front so unknown or malformed flags fail with a message that
+// names the offender and the accepted set.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace kgdp::util {
+
+class FlagParser {
+ public:
+  // Declare an accepted flag. `requires_value` selects between the
+  // `--name=value` form (true) and the bare `--name` switch (false).
+  FlagParser& flag(const std::string& name, bool requires_value = true);
+
+  // Parse argv[start..argc). Tokens starting with "--" must match a
+  // declared flag; anything else is collected as a positional. Returns
+  // false (and sets error()) on an unknown flag, a missing value, or a
+  // bare value given to a switch.
+  bool parse(int argc, char* const* argv, int start);
+
+  bool has(const std::string& name) const { return values_.count(name) > 0; }
+  std::string get(const std::string& name, const std::string& def = {}) const;
+
+  // Integer value of a flag; falls back to `def` when absent. Returns
+  // false (and sets error()) when present but not a number or out of
+  // [min, max].
+  bool get_int(const std::string& name, std::int64_t def, std::int64_t min,
+               std::int64_t max, std::int64_t* out);
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+  const std::string& error() const { return error_; }
+
+  // "i/S" shard spec (shard i of S, 0-based). False on malformed input,
+  // S < 1, or i outside [0, S).
+  static bool parse_shard(const std::string& spec, std::uint32_t* index,
+                          std::uint32_t* count);
+
+ private:
+  std::string accepted_list() const;
+
+  std::map<std::string, bool> declared_;  // name -> requires_value
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positionals_;
+  std::string error_;
+};
+
+}  // namespace kgdp::util

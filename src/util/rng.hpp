@@ -3,6 +3,7 @@
 // experiments reproduce bit-for-bit across platforms.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -37,6 +38,15 @@ class Rng {
 
   // k distinct values from {0..n-1}, sorted ascending.
   std::vector<int> sample_without_replacement(int n, int k);
+
+  // Raw xoshiro256** state, so an in-flight sampling sweep can be
+  // checkpointed and resumed bit-identically (verify::CheckSession).
+  std::array<std::uint64_t, 4> state() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    for (int i = 0; i < 4; ++i) s_[i] = s[i];
+  }
 
  private:
   std::uint64_t s_[4];

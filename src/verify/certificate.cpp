@@ -14,7 +14,10 @@ namespace kgdp::verify {
 
 void write_certificate(std::ostream& out, const kgd::SolutionGraph& sg,
                        int max_faults) {
-  out << "kgdp-certificate 1\n";
+  // Format 2 = format 1 plus an explicit schema_version line, so external
+  // consumers can dispatch without sniffing the body.
+  out << "kgdp-certificate 2\n";
+  out << "schema_version " << io::kSchemaVersion << '\n';
   io::save_solution(out, sg);
   out << "max_faults " << max_faults << '\n';
   const fault::FaultEnumerator en(sg.num_nodes(), max_faults);
@@ -53,8 +56,14 @@ CertificateStats check_certificate(std::istream& in) {
   std::string word;
   int version = 0;
   if (!(in >> word >> version) || word != "kgdp-certificate" ||
-      version != 1) {
+      (version != 1 && version != 2)) {
     return fail("bad certificate header");
+  }
+  if (version >= 2) {
+    int schema = 0;
+    if (!(in >> word >> schema) || word != "schema_version" || schema < 1) {
+      return fail("missing schema_version");
+    }
   }
 
   kgd::SolutionGraph sg;

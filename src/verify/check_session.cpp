@@ -1,0 +1,461 @@
+#include "verify/check_session.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "fault/fault_model.hpp"
+#include "graph/automorphism.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace kgdp::verify {
+
+namespace {
+
+constexpr std::uint64_t kNoFailure = ~std::uint64_t{0};
+
+class Fnv64 {
+ public:
+  void mix(std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h_ ^= (v >> (8 * b)) & 0xff;
+      h_ *= 0x100000001b3ULL;
+    }
+  }
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
+// Everything a cursor must be bound to: the graph (roles + edges decide
+// both the verdict and the automorphism group), the request semantics,
+// and the orbit layout actually in effect.
+std::uint64_t session_fingerprint(const kgd::SolutionGraph& sg,
+                                  const CheckRequest& req,
+                                  const fault::OrbitEnumerator* orbits) {
+  Fnv64 h;
+  h.mix(static_cast<std::uint64_t>(sg.num_nodes()));
+  h.mix(static_cast<std::uint64_t>(sg.n()));
+  h.mix(static_cast<std::uint64_t>(sg.k()));
+  for (int v = 0; v < sg.num_nodes(); ++v) {
+    h.mix(static_cast<std::uint64_t>(sg.role(v)));
+  }
+  for (auto [u, v] : sg.graph().edges()) {
+    h.mix((static_cast<std::uint64_t>(u) << 32) |
+          static_cast<std::uint32_t>(v));
+  }
+  h.mix(req.mode == CheckMode::kExhaustive ? 0 : 1);
+  h.mix(static_cast<std::uint64_t>(req.max_faults));
+  h.mix(req.samples);
+  h.mix(req.seed);
+  h.mix((static_cast<std::uint64_t>(req.shard_index) << 32) |
+        req.shard_count);
+  if (orbits != nullptr) h.mix(orbits->fingerprint());
+  return h.value();
+}
+
+SolverOptions solver_options(const CheckOptions& opts) {
+  SolverOptions s;
+  s.ham.dfs_budget = opts.dfs_budget;
+  return s;
+}
+
+void expect_keyword(std::istream& in, const char* keyword) {
+  std::string word;
+  if (!(in >> word) || word != keyword) {
+    throw std::runtime_error(std::string("check cursor: expected '") +
+                             keyword + "', got '" + word + "'");
+  }
+}
+
+std::uint64_t read_u64(std::istream& in, const char* keyword) {
+  expect_keyword(in, keyword);
+  std::uint64_t v = 0;
+  if (!(in >> v)) {
+    throw std::runtime_error(std::string("check cursor: bad value for ") +
+                             keyword);
+  }
+  return v;
+}
+
+}  // namespace
+
+// Per-worker context: one solver reused across every representative the
+// worker claims (scratch allocations amortise), plus a wall-clock solve
+// accumulator. Heap-allocated per worker so no two share a cache line.
+struct CheckSession::Worker {
+  PipelineSolver solver;
+  double solve_seconds = 0.0;
+  explicit Worker(const SolverOptions& o) : solver(o) {}
+};
+
+std::pair<std::uint64_t, std::uint64_t> CheckSession::shard_range(
+    std::uint64_t total, std::uint32_t index, std::uint32_t count) {
+  // i-th of `count` contiguous slices, sizes differing by at most one:
+  // [i*total/count, (i+1)*total/count). Their union tiles [0, total).
+  const std::uint64_t lo = total / count * index +
+                           std::min<std::uint64_t>(index, total % count);
+  const std::uint64_t size = total / count + (index < total % count ? 1 : 0);
+  return {lo, lo + size};
+}
+
+CheckSession::CheckSession(const kgd::SolutionGraph& sg,
+                           const CheckRequest& req)
+    : sg_(sg), req_(req), best_(kNoFailure) {
+  if (req_.shard_count < 1 || req_.shard_index >= req_.shard_count) {
+    throw std::invalid_argument("CheckSession: bad shard spec");
+  }
+  const unsigned num_workers =
+      req_.options.pool ? req_.options.pool->thread_count() : 1;
+  if (req_.mode == CheckMode::kExhaustive) {
+    const graph::AutomorphismList autos =
+        req_.options.prune == PruneMode::kAuto
+            ? graph::solution_automorphisms(sg_)
+            : graph::AutomorphismList{};
+    orbits_ = std::make_unique<fault::OrbitEnumerator>(
+        sg_.num_nodes(), req_.max_faults, autos);
+    automorphism_order_ = orbits_->pruned() ? autos.order : 1;
+    std::tie(begin_, end_) =
+        shard_range(orbits_->num_orbits(), req_.shard_index, req_.shard_count);
+    next_ = begin_;
+    for (std::uint64_t i = begin_; i < end_; ++i) {
+      pruned_in_shard_ += orbits_->orbit_size(i) - 1;
+    }
+    workers_.reserve(num_workers);
+    for (unsigned w = 0; w < num_workers; ++w) {
+      workers_.push_back(
+          std::make_unique<Worker>(solver_options(req_.options)));
+    }
+    done_ = next_ == end_;
+  } else {
+    if (req_.shard_count != 1) {
+      throw std::invalid_argument(
+          "CheckSession: sampled mode cannot be sharded (the sample "
+          "stream is sequential); use shard_count == 1");
+    }
+    adversarial_ = fault::adversarial_suite(sg_, req_.max_faults);
+    rng_ = util::Rng(req_.seed);
+    workers_.push_back(std::make_unique<Worker>(solver_options(req_.options)));
+    done_ = items_total() == 0;
+  }
+  fingerprint_ = session_fingerprint(sg_, req_, orbits_.get());
+}
+
+CheckSession::~CheckSession() = default;
+
+std::uint64_t CheckSession::items_total() const {
+  return req_.mode == CheckMode::kExhaustive
+             ? end_ - begin_
+             : adversarial_.size() + req_.samples;
+}
+
+std::uint64_t CheckSession::items_done() const {
+  return req_.mode == CheckMode::kExhaustive ? next_ - begin_ : next_item_;
+}
+
+bool CheckSession::advance(std::uint64_t max_items) {
+  if (done_ || max_items == 0) return done_;
+  if (req_.mode == CheckMode::kExhaustive) {
+    advance_exhaustive(max_items);
+  } else {
+    advance_sampled(max_items);
+  }
+  return done_;
+}
+
+void CheckSession::run() {
+  while (!advance(~std::uint64_t{0})) {
+  }
+}
+
+void CheckSession::advance_exhaustive(std::uint64_t max_items) {
+  const std::uint64_t chunk =
+      std::min<std::uint64_t>(max_items, end_ - next_);
+  const std::uint64_t chunk_begin = next_;
+
+  // Chunk-local accumulators (atomic for the parallel path); folded into
+  // the session counters once the chunk completes, so a cursor saved
+  // between chunks captures a consistent state.
+  std::atomic<std::uint64_t> best{best_};
+  std::atomic<std::uint64_t> covered{0}, solved{0}, unknowns{0};
+
+  auto run_item = [&](std::uint64_t offset, unsigned worker) {
+    const std::uint64_t slot = chunk_begin + offset;
+    const std::uint64_t index = orbits_->rep_index(slot);
+    // A lower-index failure is already recorded; this representative can
+    // no longer affect the verdict (cheap skip that preserves the
+    // lowest-index guarantee).
+    if (index > best.load(std::memory_order_acquire)) return;
+    Worker& ctx = *workers_[worker];
+    const util::Timer timer;
+    const kgd::FaultSet fs = orbits_->representative(slot);
+    const SolveOutcome out = ctx.solver.solve(sg_, fs);
+    ctx.solve_seconds += timer.seconds();
+    covered.fetch_add(orbits_->orbit_size(slot), std::memory_order_relaxed);
+    solved.fetch_add(1, std::memory_order_relaxed);
+    const bool failed =
+        out.status == SolveStatus::kNone || out.status == SolveStatus::kUnknown;
+    if (out.status == SolveStatus::kUnknown) {
+      unknowns.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (failed) {  // unknowns are conservatively treated as failures
+      std::uint64_t cur = best.load(std::memory_order_relaxed);
+      while (index < cur && !best.compare_exchange_weak(
+                                cur, index, std::memory_order_acq_rel)) {
+      }
+    }
+  };
+
+  if (req_.options.pool && chunk > 1) {
+    const util::StealStats stats =
+        util::parallel_for_stealing(*req_.options.pool, chunk, run_item);
+    steal_count_ += stats.steals;
+  } else {
+    for (std::uint64_t i = 0; i < chunk; ++i) run_item(i, 0);
+  }
+
+  covered_ += covered.load();
+  solved_ += solved.load();
+  unknowns_ += unknowns.load();
+  best_ = best.load();
+  next_ = chunk_begin + chunk;
+  // Representatives are index-ascending, so once a failure is recorded
+  // every remaining slot would take the cheap skip; finish immediately
+  // with identical counters.
+  if (best_ != kNoFailure) next_ = end_;
+  done_ = next_ == end_;
+}
+
+void CheckSession::advance_sampled(std::uint64_t max_items) {
+  Worker& ctx = *workers_[0];
+  const std::uint64_t total = items_total();
+  const std::uint64_t stop =
+      max_items >= total - next_item_ ? total : next_item_ + max_items;
+  while (next_item_ < stop) {
+    const kgd::FaultSet fs =
+        next_item_ < adversarial_.size()
+            ? adversarial_[next_item_]
+            : fault::draw_faults(
+                  sg_,
+                  static_cast<int>(rng_.next_int(0, req_.max_faults)),
+                  fault::FaultPolicy::kUniform, rng_);
+    ++next_item_;
+    ++covered_;
+    ++solved_;
+    const util::Timer timer;
+    const SolveOutcome out = ctx.solver.solve(sg_, fs);
+    ctx.solve_seconds += timer.seconds();
+    if (out.status == SolveStatus::kFound) continue;
+    if (out.status == SolveStatus::kUnknown) ++unknowns_;
+    sample_failed_ = true;
+    sample_counterexample_ = fs;
+    done_ = true;
+    return;
+  }
+  done_ = next_item_ == total;
+}
+
+CheckResult CheckSession::result() const {
+  CheckResult res;
+  res.fault_sets_checked = covered_;
+  res.fault_sets_solved = solved_;
+  res.solver_unknowns = unknowns_;
+  if (req_.mode == CheckMode::kExhaustive) {
+    res.orbits_pruned = pruned_in_shard_;
+    res.automorphism_order = automorphism_order_;
+    res.steal_count = steal_count_;
+    res.worker_solve_seconds.reserve(workers_.size());
+    for (const auto& w : workers_) {
+      res.worker_solve_seconds.push_back(w->solve_seconds);
+    }
+    res.holds = done_ && best_ == kNoFailure;
+    if (best_ != kNoFailure) {
+      res.counterexample = orbits_->base().at(best_);
+      res.counterexample_index = best_;
+    }
+    // Either the slice covered every fault set or it produced a concrete
+    // counterexample; both are exact verdicts.
+    res.exhaustive = res.holds || res.counterexample.has_value();
+  } else {
+    res.holds = done_ && !sample_failed_;
+    res.exhaustive = false;
+    if (sample_counterexample_) res.counterexample = sample_counterexample_;
+  }
+  return res;
+}
+
+void CheckSession::save(std::ostream& out) const {
+  out << "kgdp-check-cursor 1\n";
+  out << "fingerprint " << fingerprint_ << '\n';
+  out << "pos "
+      << (req_.mode == CheckMode::kExhaustive ? next_ : next_item_) << '\n';
+  out << "covered " << covered_ << '\n';
+  out << "solved " << solved_ << '\n';
+  out << "unknowns " << unknowns_ << '\n';
+  if (req_.mode == CheckMode::kExhaustive) {
+    out << "best " << best_ << '\n';
+    out << "steals " << steal_count_ << '\n';
+    // Wall-clock accumulators are carried across the checkpoint so a
+    // resumed run reports total (not since-resume) solve time. Bit-cast
+    // keeps the round-trip exact.
+    out << "workers " << workers_.size();
+    for (const auto& w : workers_) {
+      out << ' ' << std::bit_cast<std::uint64_t>(w->solve_seconds);
+    }
+    out << '\n';
+  } else {
+    const auto s = rng_.state();
+    out << "rng " << s[0] << ' ' << s[1] << ' ' << s[2] << ' ' << s[3]
+        << '\n';
+    out << "failed " << (sample_failed_ ? 1 : 0) << '\n';
+    if (sample_counterexample_) {
+      out << "ce " << sample_counterexample_->size();
+      for (int v : sample_counterexample_->nodes()) out << ' ' << v;
+      out << '\n';
+    }
+  }
+  out << "done " << (done_ ? 1 : 0) << '\n';
+  out << "end\n";
+}
+
+void CheckSession::restore(std::istream& in) {
+  expect_keyword(in, "kgdp-check-cursor");
+  int version = 0;
+  if (!(in >> version) || version != 1) {
+    throw std::runtime_error("check cursor: unsupported version");
+  }
+  const std::uint64_t fp = read_u64(in, "fingerprint");
+  if (fp != fingerprint_) {
+    throw std::runtime_error(
+        "check cursor: fingerprint mismatch (cursor was saved for a "
+        "different graph, request, or orbit layout)");
+  }
+  const std::uint64_t pos = read_u64(in, "pos");
+  covered_ = read_u64(in, "covered");
+  solved_ = read_u64(in, "solved");
+  unknowns_ = read_u64(in, "unknowns");
+  if (req_.mode == CheckMode::kExhaustive) {
+    if (pos < begin_ || pos > end_) {
+      throw std::runtime_error("check cursor: position outside shard");
+    }
+    next_ = pos;
+    best_ = read_u64(in, "best");
+    steal_count_ = read_u64(in, "steals");
+    expect_keyword(in, "workers");
+    std::size_t count = 0;
+    if (!(in >> count)) throw std::runtime_error("check cursor: bad workers");
+    // The checkpoint may have been written with a different thread count;
+    // fold saved accumulators into the workers we actually have.
+    for (auto& w : workers_) w->solve_seconds = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+      std::uint64_t bits = 0;
+      if (!(in >> bits)) {
+        throw std::runtime_error("check cursor: truncated worker seconds");
+      }
+      workers_[i % workers_.size()]->solve_seconds +=
+          std::bit_cast<double>(bits);
+    }
+  } else {
+    if (pos > items_total()) {
+      throw std::runtime_error("check cursor: position out of range");
+    }
+    next_item_ = pos;
+    expect_keyword(in, "rng");
+    std::array<std::uint64_t, 4> s{};
+    for (auto& v : s) {
+      if (!(in >> v)) throw std::runtime_error("check cursor: bad rng state");
+    }
+    rng_.set_state(s);
+    sample_failed_ = read_u64(in, "failed") != 0;
+    sample_counterexample_.reset();
+  }
+  std::string word;
+  if (!(in >> word)) throw std::runtime_error("check cursor: truncated");
+  if (word == "ce") {
+    int count = 0;
+    if (!(in >> count) || count < 0) {
+      throw std::runtime_error("check cursor: bad counterexample");
+    }
+    std::vector<int> nodes(count);
+    for (int& v : nodes) {
+      if (!(in >> v)) {
+        throw std::runtime_error("check cursor: truncated counterexample");
+      }
+    }
+    sample_counterexample_ = kgd::FaultSet(sg_.num_nodes(), nodes);
+    if (!(in >> word)) throw std::runtime_error("check cursor: truncated");
+  }
+  if (word != "done") throw std::runtime_error("check cursor: expected done");
+  std::uint64_t done_flag = 0;
+  if (!(in >> done_flag)) throw std::runtime_error("check cursor: bad done");
+  done_ = done_flag != 0;
+  expect_keyword(in, "end");
+}
+
+CheckResult merge_shard_results(const kgd::SolutionGraph& sg, int max_faults,
+                                PruneMode prune,
+                                const std::vector<CheckResult>& shards) {
+  if (shards.empty()) {
+    throw std::invalid_argument("merge_shard_results: no shards");
+  }
+  const graph::AutomorphismList autos =
+      prune == PruneMode::kAuto ? graph::solution_automorphisms(sg)
+                                : graph::AutomorphismList{};
+  const fault::OrbitEnumerator orbits(sg.num_nodes(), max_faults, autos);
+
+  CheckResult out;
+  out.automorphism_order = orbits.pruned() ? autos.order : 1;
+
+  std::uint64_t best = kNoFailure;
+  for (const CheckResult& s : shards) {
+    if (s.counterexample.has_value()) {
+      if (!s.counterexample_index.has_value()) {
+        throw std::invalid_argument(
+            "merge_shard_results: shard counterexample lacks its index");
+      }
+      best = std::min(best, *s.counterexample_index);
+    }
+    out.steal_count += s.steal_count;
+    out.worker_solve_seconds.insert(out.worker_solve_seconds.end(),
+                                    s.worker_solve_seconds.begin(),
+                                    s.worker_solve_seconds.end());
+  }
+
+  if (best == kNoFailure) {
+    // Every slice held: counters tile the quantifier domain exactly.
+    for (const CheckResult& s : shards) {
+      out.fault_sets_checked += s.fault_sets_checked;
+      out.fault_sets_solved += s.fault_sets_solved;
+      out.solver_unknowns += s.solver_unknowns;
+      out.orbits_pruned += s.orbits_pruned;
+    }
+    out.holds = true;
+    out.exhaustive = true;
+    return out;
+  }
+
+  // Some slice failed. Shards above the failing slot did work the
+  // unsharded sequential sweep never reaches, so recompute the counters
+  // canonically: the sweep truncated at the lowest failing representative.
+  out.orbits_pruned = orbits.fault_sets_pruned();
+  for (std::uint64_t slot = 0; slot < orbits.num_orbits(); ++slot) {
+    out.fault_sets_checked += orbits.orbit_size(slot);
+    ++out.fault_sets_solved;
+    if (orbits.rep_index(slot) == best) break;
+  }
+  for (const CheckResult& s : shards) out.solver_unknowns += s.solver_unknowns;
+  out.holds = false;
+  out.exhaustive = true;
+  out.counterexample = orbits.base().at(best);
+  out.counterexample_index = best;
+  return out;
+}
+
+}  // namespace kgdp::verify

@@ -1,0 +1,140 @@
+// Stepwise checker sessions. The one-shot check_gd_exhaustive /
+// check_gd_sampled calls are folded into a single CheckRequest resolved
+// by CheckSession, which advances the underlying sweep in bounded work
+// chunks so callers get progress, checkpoint/resume, and deterministic
+// range sharding on top of the exact same quantifier:
+//
+//   * advance(max_items) runs at most that many orbit representatives
+//     (or samples) and returns whether the session is finished;
+//   * save()/restore() serialize the sweep cursor — counters, position,
+//     RNG state — bound to a fingerprint of the graph and enumeration,
+//     so a resumed session is byte-identical to an uninterrupted one;
+//   * shard i of S certifies the i-th contiguous slice of the orbit
+//     slots; the slices are disjoint, their union tiles the quantifier
+//     domain, and merge_shard_results() reproduces the unsharded
+//     sequential verdict (lowest-index counterexample wins).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "fault/orbit_enumerator.hpp"
+#include "kgd/labeled_graph.hpp"
+#include "util/rng.hpp"
+#include "verify/checker.hpp"
+
+namespace kgdp::verify {
+
+enum class CheckMode {
+  kExhaustive,  // certify: every fault set of size <= max_faults
+  kSampled,     // evidence: adversarial suite + random samples
+};
+
+// The unified request resolved by CheckSession. check_gd_exhaustive and
+// check_gd_sampled are thin wrappers building the obvious requests.
+struct CheckRequest {
+  CheckMode mode = CheckMode::kExhaustive;
+  int max_faults = 0;
+  // Sampled mode only.
+  std::uint64_t samples = 0;
+  std::uint64_t seed = 0;
+  CheckOptions options;
+  // Deterministic range partitioning (exhaustive mode only): this session
+  // certifies the shard_index-th of shard_count contiguous slices of the
+  // orbit slot space. Sampled mode requires shard_count == 1.
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 1;
+};
+
+class CheckSession {
+ public:
+  // The graph must outlive the session. Throws std::invalid_argument on
+  // malformed requests (bad shard spec, sharded sampling).
+  CheckSession(const kgd::SolutionGraph& sg, const CheckRequest& req);
+  ~CheckSession();
+
+  CheckSession(const CheckSession&) = delete;
+  CheckSession& operator=(const CheckSession&) = delete;
+
+  // Runs at most `max_items` work items (orbit representatives, or
+  // adversarial/random fault sets in sampled mode). Returns done().
+  bool advance(std::uint64_t max_items);
+
+  // Advance to completion.
+  void run();
+
+  bool done() const { return done_; }
+
+  // Work items in this session's slice / already processed. A session
+  // that found a counterexample reports done() with items_done() frozen
+  // where the sweep stopped (later representatives cannot change the
+  // lowest-index verdict).
+  std::uint64_t items_total() const;
+  std::uint64_t items_done() const;
+
+  // Snapshot of the verdict and counters. Final (holds/exhaustive
+  // meaningful) once done(). For a shard session, `holds` refers to this
+  // shard's slice only.
+  CheckResult result() const;
+
+  // Binds cursors to this exact (graph, request, enumeration) triple.
+  std::uint64_t fingerprint() const { return fingerprint_; }
+
+  // Serializable cursor: a line-oriented text block ending in "end".
+  // restore() throws std::runtime_error on malformed input or a cursor
+  // saved against a different graph/request/enumeration.
+  void save(std::ostream& out) const;
+  void restore(std::istream& in);
+
+  // The contiguous slot range [first, second) assigned to shard `index`
+  // of `count`; slices differ in size by at most one and tile [0, total).
+  static std::pair<std::uint64_t, std::uint64_t> shard_range(
+      std::uint64_t total, std::uint32_t index, std::uint32_t count);
+
+ private:
+  struct Worker;  // per-worker solver + solve-time accumulator
+
+  void advance_exhaustive(std::uint64_t max_items);
+  void advance_sampled(std::uint64_t max_items);
+
+  const kgd::SolutionGraph& sg_;
+  CheckRequest req_;
+  std::uint64_t fingerprint_ = 0;
+  bool done_ = false;
+
+  // Exhaustive state.
+  std::unique_ptr<fault::OrbitEnumerator> orbits_;
+  std::uint64_t automorphism_order_ = 1;
+  std::uint64_t pruned_in_shard_ = 0;  // sum of (orbit_size - 1) in slice
+  std::uint64_t begin_ = 0, end_ = 0, next_ = 0;
+  std::uint64_t best_;  // lowest failing representative index so far
+  std::uint64_t steal_count_ = 0;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  // Sampled state.
+  std::vector<kgd::FaultSet> adversarial_;
+  util::Rng rng_;
+  std::uint64_t next_item_ = 0;
+  bool sample_failed_ = false;
+  std::optional<kgd::FaultSet> sample_counterexample_;
+
+  // Shared counters.
+  std::uint64_t covered_ = 0, solved_ = 0, unknowns_ = 0;
+};
+
+// Merges per-shard results of a deterministically partitioned exhaustive
+// run (same graph, max_faults, prune mode; shard i of shards.size()) into
+// the result of the equivalent unsharded *sequential* run: the lowest
+// counterexample index wins and, when one exists, the counters are
+// recomputed canonically (sweep truncated at the failing representative),
+// so merged output is bit-identical to an uninterrupted CheckSession.
+// Throws std::invalid_argument on an empty or inconsistent shard list.
+CheckResult merge_shard_results(const kgd::SolutionGraph& sg, int max_faults,
+                                PruneMode prune,
+                                const std::vector<CheckResult>& shards);
+
+}  // namespace kgdp::verify

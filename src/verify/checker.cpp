@@ -1,159 +1,37 @@
+// One-shot wrappers over verify::CheckSession. The session object (see
+// check_session.hpp) owns the actual sweep; these functions build the
+// equivalent single-shard CheckRequest, run it to completion, and return
+// its result, so legacy callers observe exactly the pre-session
+// behaviour.
 #include "verify/checker.hpp"
 
-#include <atomic>
-#include <memory>
-
-#include "fault/enumerator.hpp"
-#include "fault/fault_model.hpp"
-#include "fault/orbit_enumerator.hpp"
-#include "graph/automorphism.hpp"
-#include "util/rng.hpp"
-#include "util/timer.hpp"
+#include "verify/check_session.hpp"
 
 namespace kgdp::verify {
 
-namespace {
-
-constexpr std::uint64_t kNoFailure = ~std::uint64_t{0};
-
-// Shared state for a parallel sweep. `best` is the lowest global index of
-// a failing representative; workers skip only indices above the current
-// best, so every index below the final minimum is still solved and the
-// verdict (and counterexample) is deterministic under any thread count
-// and any stealing schedule.
-struct SweepState {
-  std::atomic<std::uint64_t> best{kNoFailure};
-  std::atomic<std::uint64_t> covered{0};
-  std::atomic<std::uint64_t> solved{0};
-  std::atomic<std::uint64_t> unknowns{0};
-
-  void report_failure(std::uint64_t index) {
-    std::uint64_t cur = best.load(std::memory_order_relaxed);
-    while (index < cur && !best.compare_exchange_weak(
-                              cur, index, std::memory_order_acq_rel)) {
-    }
-  }
-};
-
-// Per-worker context: one solver reused across every representative the
-// worker claims (the solver's scratch allocations amortise), plus a
-// wall-clock solve-time accumulator. Heap-allocated per worker so no two
-// workers share a cache line.
-struct WorkerCtx {
-  PipelineSolver solver;
-  double solve_seconds = 0.0;
-  explicit WorkerCtx(const SolverOptions& o) : solver(o) {}
-};
-
-SolverOptions solver_options(const CheckOptions& opts) {
-  SolverOptions s;
-  s.ham.dfs_budget = opts.dfs_budget;
-  return s;
-}
-
-}  // namespace
-
 CheckResult check_gd_exhaustive(const kgd::SolutionGraph& sg, int max_faults,
                                 const CheckOptions& opts) {
-  // Auto mode: compute the label-respecting group and let the orbit
-  // enumerator decide whether pruning pays (it declines trivial or
-  // truncated groups and oversized index spaces).
-  const graph::AutomorphismList autos =
-      opts.prune == PruneMode::kAuto ? graph::solution_automorphisms(sg)
-                                     : graph::AutomorphismList{};
-  const fault::OrbitEnumerator orbits(sg.num_nodes(), max_faults, autos);
-
-  const unsigned num_workers = opts.pool ? opts.pool->thread_count() : 1;
-  std::vector<std::unique_ptr<WorkerCtx>> workers;
-  workers.reserve(num_workers);
-  for (unsigned w = 0; w < num_workers; ++w) {
-    workers.push_back(std::make_unique<WorkerCtx>(solver_options(opts)));
-  }
-
-  SweepState state;
-  auto run_item = [&](std::uint64_t slot, unsigned worker) {
-    const std::uint64_t index = orbits.rep_index(slot);
-    // A lower-index failure is already recorded; this representative can
-    // no longer affect the verdict. (Cheap skip = early exit that keeps
-    // the lowest-index guarantee.)
-    if (index > state.best.load(std::memory_order_acquire)) return;
-    WorkerCtx& ctx = *workers[worker];
-    const util::Timer timer;
-    const kgd::FaultSet fs = orbits.representative(slot);
-    const SolveOutcome out = ctx.solver.solve(sg, fs);
-    ctx.solve_seconds += timer.seconds();
-    state.covered.fetch_add(orbits.orbit_size(slot),
-                            std::memory_order_relaxed);
-    state.solved.fetch_add(1, std::memory_order_relaxed);
-    if (out.status == SolveStatus::kNone) {
-      state.report_failure(index);
-    } else if (out.status == SolveStatus::kUnknown) {
-      state.unknowns.fetch_add(1, std::memory_order_relaxed);
-      state.report_failure(index);  // conservatively treat as failure
-    }
-  };
-
-  CheckResult res;
-  if (opts.pool && orbits.num_orbits() > 1) {
-    const util::StealStats stats = util::parallel_for_stealing(
-        *opts.pool, orbits.num_orbits(), run_item);
-    res.steal_count = stats.steals;
-  } else {
-    for (std::uint64_t i = 0; i < orbits.num_orbits(); ++i) run_item(i, 0);
-  }
-
-  res.fault_sets_checked = state.covered.load();
-  res.fault_sets_solved = state.solved.load();
-  res.solver_unknowns = state.unknowns.load();
-  res.orbits_pruned = orbits.fault_sets_pruned();
-  res.automorphism_order = orbits.pruned() ? autos.order : 1;
-  res.worker_solve_seconds.reserve(workers.size());
-  for (const auto& ctx : workers) {
-    res.worker_solve_seconds.push_back(ctx->solve_seconds);
-  }
-
-  const std::uint64_t best = state.best.load();
-  res.holds = best == kNoFailure;
-  if (best != kNoFailure) res.counterexample = orbits.base().at(best);
-  // Either the sweep covered every fault set or it produced a concrete
-  // counterexample; both are exact verdicts.
-  res.exhaustive = res.holds || res.counterexample.has_value();
-  return res;
+  CheckRequest req;
+  req.mode = CheckMode::kExhaustive;
+  req.max_faults = max_faults;
+  req.options = opts;
+  CheckSession session(sg, req);
+  session.run();
+  return session.result();
 }
 
 CheckResult check_gd_sampled(const kgd::SolutionGraph& sg, int max_faults,
                              std::uint64_t samples, std::uint64_t seed,
                              const CheckOptions& opts) {
-  PipelineSolver solver(solver_options(opts));
-  CheckResult res;
-  res.exhaustive = false;
-
-  auto try_set = [&](const kgd::FaultSet& fs) {
-    ++res.fault_sets_checked;
-    ++res.fault_sets_solved;
-    const SolveOutcome out = solver.solve(sg, fs);
-    if (out.status == SolveStatus::kFound) return true;
-    if (out.status == SolveStatus::kUnknown) ++res.solver_unknowns;
-    res.counterexample = fs;
-    return false;
-  };
-
-  // Adversarial suite first: most likely to expose a flaw.
-  for (const kgd::FaultSet& fs :
-       fault::adversarial_suite(sg, max_faults)) {
-    if (!try_set(fs)) return res;
-  }
-
-  util::Rng rng(seed);
-  for (std::uint64_t i = 0; i < samples; ++i) {
-    const int count =
-        static_cast<int>(rng.next_int(0, max_faults));
-    const kgd::FaultSet fs =
-        fault::draw_faults(sg, count, fault::FaultPolicy::kUniform, rng);
-    if (!try_set(fs)) return res;
-  }
-  res.holds = true;
-  return res;
+  CheckRequest req;
+  req.mode = CheckMode::kSampled;
+  req.max_faults = max_faults;
+  req.samples = samples;
+  req.seed = seed;
+  req.options = opts;
+  CheckSession session(sg, req);
+  session.run();
+  return session.result();
 }
 
 }  // namespace kgdp::verify

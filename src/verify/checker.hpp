@@ -30,6 +30,10 @@ struct CheckResult {
   std::uint64_t fault_sets_checked = 0;
   std::uint64_t solver_unknowns = 0;  // always 0 with exact settings
   std::optional<kgd::FaultSet> counterexample;
+  // Global FaultEnumerator index of the counterexample (exhaustive mode).
+  // This is what makes shard merging deterministic: across shards the
+  // lowest index wins, reproducing the unsharded sequential verdict.
+  std::optional<std::uint64_t> counterexample_index;
 
   // --- observability (exhaustive checker only) ---
   // Solver invocations actually performed (== orbit representatives
@@ -61,6 +65,14 @@ struct CheckOptions {
   util::ThreadPool* pool = nullptr;
   PruneMode prune = PruneMode::kAuto;
 };
+
+// NOTE: both free functions below are thin wrappers over
+// verify::CheckSession (check_session.hpp), which is the primary checker
+// API: it exposes the same sweep as a resumable, shardable session with a
+// serializable cursor. New code that needs progress, checkpointing, or
+// sharding should construct a CheckSession from a CheckRequest directly;
+// these wrappers remain for one-shot callers and produce results
+// identical to an uninterrupted single-shard session.
 
 // Decides GD(sg, max_faults) exactly. Deterministic for a fixed prune
 // mode: the counterexample, when one exists, is the lowest-index failing

@@ -1,0 +1,352 @@
+// Session semantics for the unified checker API: chunked advance,
+// checkpoint/restore mid-sweep, and deterministic range sharding must all
+// reproduce the uninterrupted sequential sweep bit-identically — same
+// verdict, same counterexample (and index), same counters. The shard
+// slices must tile the quantifier domain exactly, and malformed requests
+// or foreign cursors must be rejected, not silently accepted.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "baseline/naive.hpp"
+#include "fault/enumerator.hpp"
+#include "kgd/factory.hpp"
+#include "verify/check_session.hpp"
+#include "verify/checker.hpp"
+
+namespace kgdp::verify {
+namespace {
+
+CheckRequest exhaustive_request(int k, PruneMode prune = PruneMode::kAuto,
+                                std::uint32_t shard_index = 0,
+                                std::uint32_t shard_count = 1) {
+  CheckRequest req;
+  req.mode = CheckMode::kExhaustive;
+  req.max_faults = k;
+  req.options.prune = prune;
+  req.shard_index = shard_index;
+  req.shard_count = shard_count;
+  return req;
+}
+
+CheckRequest sampled_request(int k, std::uint64_t samples,
+                             std::uint64_t seed) {
+  CheckRequest req;
+  req.mode = CheckMode::kSampled;
+  req.max_faults = k;
+  req.samples = samples;
+  req.seed = seed;
+  return req;
+}
+
+// Bit-identity over everything deterministic. worker_solve_seconds holds
+// wall-clock time, so only its shape is compared.
+void expect_identical(const CheckResult& a, const CheckResult& b,
+                      const std::string& tag) {
+  EXPECT_EQ(a.holds, b.holds) << tag;
+  EXPECT_EQ(a.exhaustive, b.exhaustive) << tag;
+  EXPECT_EQ(a.fault_sets_checked, b.fault_sets_checked) << tag;
+  EXPECT_EQ(a.fault_sets_solved, b.fault_sets_solved) << tag;
+  EXPECT_EQ(a.solver_unknowns, b.solver_unknowns) << tag;
+  EXPECT_EQ(a.orbits_pruned, b.orbits_pruned) << tag;
+  EXPECT_EQ(a.automorphism_order, b.automorphism_order) << tag;
+  EXPECT_EQ(a.steal_count, b.steal_count) << tag;
+  // worker_solve_seconds is wall-clock observability, not part of the
+  // determinism contract (a merged result concatenates per-shard timing).
+  ASSERT_EQ(a.counterexample.has_value(), b.counterexample.has_value()) << tag;
+  if (a.counterexample) {
+    EXPECT_EQ(a.counterexample->nodes(), b.counterexample->nodes()) << tag;
+  }
+  ASSERT_EQ(a.counterexample_index.has_value(),
+            b.counterexample_index.has_value())
+      << tag;
+  if (a.counterexample_index) {
+    EXPECT_EQ(*a.counterexample_index, *b.counterexample_index) << tag;
+  }
+}
+
+TEST(CheckSession, WrapperEquivalence) {
+  for (const auto& [n, k] :
+       std::vector<std::pair<int, int>>{{6, 2}, {3, 4}, {9, 1}}) {
+    const auto sg = kgd::build_solution(n, k);
+    ASSERT_TRUE(sg) << n << "," << k;
+    for (PruneMode prune : {PruneMode::kAuto, PruneMode::kOff}) {
+      CheckOptions opts;
+      opts.prune = prune;
+      const auto wrapped = check_gd_exhaustive(*sg, k, opts);
+      CheckSession session(*sg, exhaustive_request(k, prune));
+      session.run();
+      expect_identical(wrapped, session.result(), sg->name());
+      EXPECT_TRUE(session.done());
+      EXPECT_EQ(session.items_done(), session.items_total());
+    }
+  }
+}
+
+TEST(CheckSession, ChunkedAdvanceMatchesOneShot) {
+  const auto sg = kgd::build_solution(3, 4);
+  ASSERT_TRUE(sg);
+  CheckSession oneshot(*sg, exhaustive_request(4));
+  oneshot.run();
+  for (std::uint64_t chunk : {1u, 7u, 64u, 100000u}) {
+    CheckSession chunked(*sg, exhaustive_request(4));
+    std::uint64_t chunks = 0;
+    while (!chunked.advance(chunk)) ++chunks;
+    if (chunk < chunked.items_total()) {
+      EXPECT_GT(chunks, 0u);
+    }
+    expect_identical(oneshot.result(), chunked.result(),
+                     "chunk=" + std::to_string(chunk));
+  }
+}
+
+TEST(CheckSession, SaveRestoreMidSweepMatchesUninterrupted) {
+  // Holding and failing graphs; the failing one checks that the frozen
+  // counterexample index survives the checkpoint boundary.
+  struct Case {
+    kgd::SolutionGraph sg;
+    int k;
+  };
+  std::vector<Case> cases;
+  cases.push_back({*kgd::build_solution(3, 4), 4});
+  cases.push_back({baseline::make_spare_path(6, 2), 2});
+  for (const Case& c : cases) {
+    CheckSession uninterrupted(c.sg, exhaustive_request(c.k));
+    uninterrupted.run();
+    const std::uint64_t total = uninterrupted.items_total();
+    for (std::uint64_t stop : {std::uint64_t{1}, total / 3, total - 1}) {
+      CheckSession first(c.sg, exhaustive_request(c.k));
+      first.advance(stop);
+      std::stringstream cursor;
+      first.save(cursor);
+      CheckSession resumed(c.sg, exhaustive_request(c.k));
+      resumed.restore(cursor);
+      EXPECT_EQ(resumed.items_done(), first.items_done());
+      resumed.run();
+      expect_identical(uninterrupted.result(), resumed.result(),
+                       c.sg.name() + " stop=" + std::to_string(stop));
+    }
+  }
+}
+
+TEST(CheckSession, SaveRestoreOfFinishedSessionIsFinal) {
+  const auto sg = kgd::build_solution(6, 2);
+  ASSERT_TRUE(sg);
+  CheckSession done(*sg, exhaustive_request(2));
+  done.run();
+  std::stringstream cursor;
+  done.save(cursor);
+  CheckSession back(*sg, exhaustive_request(2));
+  back.restore(cursor);
+  EXPECT_TRUE(back.done());
+  expect_identical(done.result(), back.result(), "finished");
+}
+
+TEST(CheckSession, RestoreRejectsForeignCursor) {
+  const auto sg = kgd::build_solution(3, 4);
+  const auto other = kgd::build_solution(6, 2);
+  ASSERT_TRUE(sg && other);
+  CheckSession source(*sg, exhaustive_request(4));
+  source.advance(10);
+  // Different graph.
+  {
+    std::stringstream cursor;
+    source.save(cursor);
+    CheckSession target(*other, exhaustive_request(2));
+    EXPECT_THROW(target.restore(cursor), std::runtime_error);
+  }
+  // Same graph, different request (k differs -> enumeration differs).
+  {
+    std::stringstream cursor;
+    source.save(cursor);
+    CheckSession target(*sg, exhaustive_request(3));
+    EXPECT_THROW(target.restore(cursor), std::runtime_error);
+  }
+  // Same graph, different prune mode (orbit layout differs).
+  {
+    std::stringstream cursor;
+    source.save(cursor);
+    CheckSession target(*sg, exhaustive_request(4, PruneMode::kOff));
+    EXPECT_THROW(target.restore(cursor), std::runtime_error);
+  }
+  // Garbage.
+  {
+    std::stringstream cursor("not a cursor at all");
+    CheckSession target(*sg, exhaustive_request(4));
+    EXPECT_THROW(target.restore(cursor), std::runtime_error);
+  }
+}
+
+TEST(CheckSession, SampledWrapperEquivalenceAndResume) {
+  const auto sg = kgd::build_solution(8, 2);
+  ASSERT_TRUE(sg);
+  const std::uint64_t samples = 60, seed = 7;
+  const auto wrapped = check_gd_sampled(*sg, 2, samples, seed);
+  CheckSession oneshot(*sg, sampled_request(2, samples, seed));
+  oneshot.run();
+  expect_identical(wrapped, oneshot.result(), "sampled wrapper");
+
+  // Interrupt mid-stream: the saved RNG state must make the resumed
+  // session draw the exact same remaining sample sequence.
+  for (std::uint64_t stop : {std::uint64_t{3}, oneshot.items_total() / 2}) {
+    CheckSession first(*sg, sampled_request(2, samples, seed));
+    first.advance(stop);
+    std::stringstream cursor;
+    first.save(cursor);
+    CheckSession resumed(*sg, sampled_request(2, samples, seed));
+    resumed.restore(cursor);
+    resumed.run();
+    expect_identical(oneshot.result(), resumed.result(),
+                     "sampled stop=" + std::to_string(stop));
+  }
+}
+
+TEST(CheckSession, RejectsMalformedRequests) {
+  const auto sg = kgd::build_solution(6, 2);
+  ASSERT_TRUE(sg);
+  // shard_count == 0.
+  EXPECT_THROW(CheckSession(*sg, exhaustive_request(2, PruneMode::kAuto, 0, 0)),
+               std::invalid_argument);
+  // shard_index out of range.
+  EXPECT_THROW(CheckSession(*sg, exhaustive_request(2, PruneMode::kAuto, 3, 3)),
+               std::invalid_argument);
+  // Sharded sampling: the sample stream is sequential by construction.
+  CheckRequest sampled = sampled_request(2, 10, 1);
+  sampled.shard_count = 2;
+  EXPECT_THROW(CheckSession(*sg, sampled), std::invalid_argument);
+}
+
+TEST(CheckSession, ShardRangeTilesAnyTotal) {
+  for (std::uint64_t total : {0ull, 1ull, 5ull, 17ull, 100ull, 1023ull}) {
+    for (std::uint32_t count : {1u, 2u, 3u, 4u, 7u, 16u}) {
+      std::uint64_t covered = 0, min_size = ~0ull, max_size = 0;
+      std::uint64_t expected_begin = 0;
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const auto [first, last] = CheckSession::shard_range(total, i, count);
+        EXPECT_EQ(first, expected_begin);  // contiguous, disjoint
+        EXPECT_LE(first, last);
+        expected_begin = last;
+        const std::uint64_t size = last - first;
+        covered += size;
+        min_size = std::min(min_size, size);
+        max_size = std::max(max_size, size);
+      }
+      EXPECT_EQ(covered, total);
+      EXPECT_EQ(expected_begin, total);
+      EXPECT_LE(max_size - min_size, 1u) << total << "/" << count;
+    }
+  }
+}
+
+// The differential shard-tiling proof: for several (S, n, k) the S shard
+// sessions partition the quantifier domain — per-shard counters sum to
+// the global quantifier exactly — and merging reproduces the unsharded
+// sequential run bit-identically.
+TEST(CheckSession, ShardUnionTilesFaultSpaceAndMergeMatches) {
+  struct Case {
+    int n, k;
+    std::uint32_t shards;
+  };
+  for (const Case& c : std::vector<Case>{
+           {6, 2, 2}, {6, 2, 5}, {3, 4, 3}, {3, 4, 4}, {9, 1, 2}}) {
+    const auto sg = kgd::build_solution(c.n, c.k);
+    ASSERT_TRUE(sg) << c.n << "," << c.k;
+    CheckSession unsharded(*sg, exhaustive_request(c.k));
+    unsharded.run();
+    const std::uint64_t domain =
+        fault::FaultEnumerator(sg->num_nodes(), c.k).total();
+
+    std::vector<CheckResult> parts;
+    std::uint64_t slots = 0, checked = 0, solved = 0, pruned = 0;
+    for (std::uint32_t i = 0; i < c.shards; ++i) {
+      CheckSession shard(*sg,
+                         exhaustive_request(c.k, PruneMode::kAuto, i, c.shards));
+      shard.run();
+      slots += shard.items_total();
+      const CheckResult r = shard.result();
+      checked += r.fault_sets_checked;
+      solved += r.fault_sets_solved;
+      pruned += r.orbits_pruned;
+      parts.push_back(r);
+    }
+    const std::string tag = sg->name() + " S=" + std::to_string(c.shards);
+    // Tiling: slot slices cover every orbit once; weighted counters cover
+    // every fault set once.
+    EXPECT_EQ(slots, unsharded.items_total()) << tag;
+    EXPECT_EQ(checked, domain) << tag;
+    EXPECT_EQ(solved + pruned, domain) << tag;
+    const auto merged =
+        merge_shard_results(*sg, c.k, PruneMode::kAuto, parts);
+    expect_identical(unsharded.result(), merged, tag);
+  }
+}
+
+TEST(CheckSession, ShardedFailureMergesToLowestIndex) {
+  const auto sg = baseline::make_spare_path(6, 2);
+  CheckSession unsharded(sg, exhaustive_request(2));
+  unsharded.run();
+  const CheckResult reference = unsharded.result();
+  ASSERT_FALSE(reference.holds);
+  ASSERT_TRUE(reference.counterexample_index.has_value());
+  for (std::uint32_t shards : {2u, 3u, 4u}) {
+    std::vector<CheckResult> parts;
+    for (std::uint32_t i = 0; i < shards; ++i) {
+      CheckSession shard(sg, exhaustive_request(2, PruneMode::kAuto, i, shards));
+      shard.run();
+      parts.push_back(shard.result());
+    }
+    const auto merged = merge_shard_results(sg, 2, PruneMode::kAuto, parts);
+    expect_identical(reference, merged, "S=" + std::to_string(shards));
+  }
+}
+
+TEST(CheckSession, MoreShardsThanSlotsStillMerges) {
+  const auto sg = kgd::build_solution(9, 1);  // tiny orbit count
+  ASSERT_TRUE(sg);
+  CheckSession unsharded(*sg, exhaustive_request(1));
+  unsharded.run();
+  const std::uint32_t shards =
+      static_cast<std::uint32_t>(unsharded.items_total()) + 3;
+  std::vector<CheckResult> parts;
+  for (std::uint32_t i = 0; i < shards; ++i) {
+    CheckSession shard(*sg, exhaustive_request(1, PruneMode::kAuto, i, shards));
+    shard.run();
+    EXPECT_TRUE(shard.done());
+    parts.push_back(shard.result());  // some slices are empty: trivially hold
+  }
+  const auto merged = merge_shard_results(*sg, 1, PruneMode::kAuto, parts);
+  expect_identical(unsharded.result(), merged, "oversharded");
+}
+
+TEST(CheckSession, MergeRejectsBadShardLists) {
+  const auto sg = kgd::build_solution(6, 2);
+  ASSERT_TRUE(sg);
+  EXPECT_THROW(merge_shard_results(*sg, 2, PruneMode::kAuto, {}),
+               std::invalid_argument);
+}
+
+TEST(CheckSession, ShardedSaveRestoreRoundTrips) {
+  const auto sg = kgd::build_solution(3, 4);
+  ASSERT_TRUE(sg);
+  CheckSession full(*sg, exhaustive_request(4, PruneMode::kAuto, 1, 3));
+  full.run();
+  CheckSession first(*sg, exhaustive_request(4, PruneMode::kAuto, 1, 3));
+  first.advance(first.items_total() / 2);
+  std::stringstream cursor;
+  first.save(cursor);
+  // A cursor from shard 1/3 must not restore into shard 0/3.
+  CheckSession wrong(*sg, exhaustive_request(4, PruneMode::kAuto, 0, 3));
+  std::stringstream copy(cursor.str());
+  EXPECT_THROW(wrong.restore(copy), std::runtime_error);
+  CheckSession resumed(*sg, exhaustive_request(4, PruneMode::kAuto, 1, 3));
+  resumed.restore(cursor);
+  resumed.run();
+  expect_identical(full.result(), resumed.result(), "shard 1/3 resume");
+}
+
+}  // namespace
+}  // namespace kgdp::verify

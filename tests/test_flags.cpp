@@ -1,0 +1,116 @@
+// The shared CLI flag parser: declared flags parse, everything else is
+// rejected with an error naming the offender and the accepted set. The
+// rejection paths matter as much as the happy path — the old ad-hoc argv
+// scans silently swallowed typos.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/flags.hpp"
+
+namespace kgdp::util {
+namespace {
+
+// argv helper: the parser takes char* const*, tests hold std::strings.
+struct Argv {
+  explicit Argv(std::vector<std::string> args) : storage(std::move(args)) {
+    for (std::string& s : storage) ptrs.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(ptrs.size()); }
+  char* const* data() { return ptrs.data(); }
+  std::vector<std::string> storage;
+  std::vector<char*> ptrs;
+};
+
+TEST(FlagParser, ParsesValuesSwitchesAndPositionals) {
+  FlagParser p;
+  p.flag("threads").flag("json", /*requires_value=*/false).flag("prune");
+  Argv argv({"prog", "verify", "6", "--threads=4", "2", "--json",
+             "--prune=off"});
+  ASSERT_TRUE(p.parse(argv.argc(), argv.data(), 2)) << p.error();
+  EXPECT_TRUE(p.error().empty());
+  EXPECT_TRUE(p.has("threads"));
+  EXPECT_EQ(p.get("threads"), "4");
+  EXPECT_TRUE(p.has("json"));
+  EXPECT_EQ(p.get("prune"), "off");
+  EXPECT_FALSE(p.has("seed"));
+  EXPECT_EQ(p.get("seed", "fallback"), "fallback");
+  EXPECT_EQ(p.positionals(), (std::vector<std::string>{"6", "2"}));
+}
+
+TEST(FlagParser, RejectsUnknownFlagNamingAcceptedSet) {
+  FlagParser p;
+  p.flag("threads").flag("seed");
+  Argv argv({"prog", "--treads=4"});
+  EXPECT_FALSE(p.parse(argv.argc(), argv.data(), 1));
+  EXPECT_NE(p.error().find("--treads"), std::string::npos) << p.error();
+  EXPECT_NE(p.error().find("--threads"), std::string::npos) << p.error();
+  EXPECT_NE(p.error().find("--seed"), std::string::npos) << p.error();
+}
+
+TEST(FlagParser, RejectsMissingValue) {
+  for (const std::string bad : {"--threads", "--threads="}) {
+    FlagParser p;
+    p.flag("threads");
+    Argv argv({"prog", bad});
+    EXPECT_FALSE(p.parse(argv.argc(), argv.data(), 1)) << bad;
+    EXPECT_NE(p.error().find("requires a value"), std::string::npos)
+        << p.error();
+  }
+}
+
+TEST(FlagParser, RejectsValueOnSwitch) {
+  FlagParser p;
+  p.flag("json", /*requires_value=*/false);
+  Argv argv({"prog", "--json=yes"});
+  EXPECT_FALSE(p.parse(argv.argc(), argv.data(), 1));
+  EXPECT_NE(p.error().find("does not take a value"), std::string::npos)
+      << p.error();
+}
+
+TEST(FlagParser, GetIntParsesValidatesAndDefaults) {
+  FlagParser p;
+  p.flag("threads").flag("chunk").flag("seed");
+  Argv argv({"prog", "--threads=8", "--chunk=abc", "--seed=-3"});
+  ASSERT_TRUE(p.parse(argv.argc(), argv.data(), 1)) << p.error();
+
+  std::int64_t v = 0;
+  EXPECT_TRUE(p.get_int("threads", 1, 1, 64, &v));
+  EXPECT_EQ(v, 8);
+  // Absent flag falls back to the default without error.
+  EXPECT_TRUE(p.get_int("missing", 42, 0, 100, &v));
+  EXPECT_EQ(v, 42);
+  // Malformed number.
+  EXPECT_FALSE(p.get_int("chunk", 1, 1, 1000, &v));
+  EXPECT_NE(p.error().find("not a number"), std::string::npos) << p.error();
+  // Out of range.
+  EXPECT_FALSE(p.get_int("seed", 0, 0, 100, &v));
+  EXPECT_NE(p.error().find("out of range"), std::string::npos) << p.error();
+  // In-range negative is fine when the range allows it.
+  EXPECT_TRUE(p.get_int("seed", 0, -10, 10, &v));
+  EXPECT_EQ(v, -3);
+}
+
+TEST(FlagParser, ParseShardAcceptsValidSpecs) {
+  std::uint32_t index = 99, count = 99;
+  ASSERT_TRUE(FlagParser::parse_shard("0/1", &index, &count));
+  EXPECT_EQ(index, 0u);
+  EXPECT_EQ(count, 1u);
+  ASSERT_TRUE(FlagParser::parse_shard("3/8", &index, &count));
+  EXPECT_EQ(index, 3u);
+  EXPECT_EQ(count, 8u);
+}
+
+TEST(FlagParser, ParseShardRejectsMalformedSpecs) {
+  std::uint32_t index = 0, count = 0;
+  for (const std::string bad :
+       {"", "3", "/4", "3/", "a/4", "3/b", "4/4", "5/4", "-1/4", "1/0",
+        "1/4x"}) {
+    EXPECT_FALSE(FlagParser::parse_shard(bad, &index, &count)) << bad;
+  }
+}
+
+}  // namespace
+}  // namespace kgdp::util

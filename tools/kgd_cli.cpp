@@ -1,31 +1,23 @@
 // Graph explorer CLI: build any covered (n, k), print its properties,
-// verify it, export DOT, or reconfigure around an explicit fault list.
-//
-//   kgd_cli build   <n> <k>            construction summary
-//   kgd_cli dot     <n> <k>            DOT to stdout
-//   kgd_cli verify  <n> <k> [--prune=auto|off] [--threads=T]
-//                                      exhaustive GD check (symmetry-
-//                                      pruned by default; T>0 enables the
-//                                      work-stealing parallel sweep)
-//   kgd_cli route   <n> <k> [v ...]    pipeline around the given faults
-//   kgd_cli save    <n> <k>            kgdp-graph text to stdout
-//   kgd_cli json    <n> <k>            JSON export to stdout
-//   kgd_cli certify <n> <k>            GD certificate to stdout
-//   kgd_cli check-cert <file>          re-validate a certificate
+// verify it, export DOT/JSON, certify it, or run resumable certification
+// campaigns over an (n, k) grid.
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "campaign/campaign.hpp"
 #include "io/graph_io.hpp"
 #include "kgd/factory.hpp"
+#include "util/flags.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 #include "verify/certificate.hpp"
+#include "verify/check_session.hpp"
 #include "verify/checker.hpp"
 #include "verify/optimality.hpp"
 #include "verify/pipeline_solver.hpp"
@@ -35,17 +27,272 @@ using namespace kgdp;
 namespace {
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: kgd_cli {build|dot|verify|route} <n> <k> "
-               "[fault...] [--prune=auto|off] [--threads=T]\n");
+  std::fprintf(
+      stderr,
+      "usage: kgd_cli <command> ...\n"
+      "  build      <n> <k>              construction summary\n"
+      "  dot        <n> <k>              DOT to stdout\n"
+      "  verify     <n> <k> [--prune=auto|off] [--threads=T] [--json]\n"
+      "                                  exhaustive GD check\n"
+      "  route      <n> <k> [v ...]      pipeline around the given faults\n"
+      "  save       <n> <k>              kgdp-graph text to stdout\n"
+      "  json       <n> <k>              JSON export to stdout\n"
+      "  certify    <n> <k>              GD certificate to stdout\n"
+      "  check-cert <file>               re-validate a certificate\n"
+      "  campaign run    --nmin=A --nmax=B --kmin=C --kmax=D --out=DIR\n"
+      "                  [--mode=exhaustive|sampled] [--samples=S]\n"
+      "                  [--seed=X] [--prune=auto|off] [--threads=T]\n"
+      "                  [--shard=i/S] [--chunk=N] [--checkpoint-every=N]\n"
+      "                  [--max-chunks=N]\n"
+      "  campaign resume --out=DIR [--threads=T] [--max-chunks=N]\n"
+      "  campaign merge  --out=DIR <shard-checkpoint>...\n"
+      "  campaign status --out=DIR\n");
   return 2;
+}
+
+int flag_error(const util::FlagParser& flags) {
+  std::fprintf(stderr, "%s\n", flags.error().c_str());
+  return usage();
+}
+
+std::unique_ptr<util::ThreadPool> make_pool(std::int64_t threads) {
+  return threads > 0
+             ? std::make_unique<util::ThreadPool>(
+                   static_cast<unsigned>(threads))
+             : nullptr;
+}
+
+bool parse_prune(const std::string& text, verify::PruneMode* mode) {
+  if (text == "auto") {
+    *mode = verify::PruneMode::kAuto;
+    return true;
+  }
+  if (text == "off") {
+    *mode = verify::PruneMode::kOff;
+    return true;
+  }
+  return false;
+}
+
+int cmd_verify(const kgd::SolutionGraph& sg, int k,
+               util::FlagParser& flags) {
+  verify::CheckOptions opts;
+  if (!parse_prune(flags.get("prune", "auto"), &opts.prune)) {
+    std::fprintf(stderr, "flag --prune: expected auto|off\n");
+    return usage();
+  }
+  std::int64_t threads = 0;
+  if (!flags.get_int("threads", 0, 0, 4096, &threads)) {
+    return flag_error(flags);
+  }
+  const auto pool = make_pool(threads);
+  opts.pool = pool.get();
+  util::Timer t;
+  const auto res = verify::check_gd_exhaustive(sg, k, opts);
+  if (flags.has("json")) {
+    std::fputs(campaign::check_result_to_json(res).dump(2).c_str(), stdout);
+    std::fputc('\n', stdout);
+    return res.holds ? 0 : 1;
+  }
+  std::printf("GD(%s, %d): %s  [%llu fault sets, %.2fs]\n",
+              sg.name().c_str(), k, res.holds ? "HOLDS" : "FAILS",
+              static_cast<unsigned long long>(res.fault_sets_checked),
+              t.seconds());
+  std::printf(
+      "  solved %llu representatives, %llu pruned by symmetry "
+      "(|Aut| = %llu)\n",
+      static_cast<unsigned long long>(res.fault_sets_solved),
+      static_cast<unsigned long long>(res.orbits_pruned),
+      static_cast<unsigned long long>(res.automorphism_order));
+  if (opts.pool != nullptr) {
+    std::printf("  %u workers, %llu steals; solve seconds per worker:",
+                opts.pool->thread_count(),
+                static_cast<unsigned long long>(res.steal_count));
+    for (double s : res.worker_solve_seconds) std::printf(" %.3f", s);
+    std::printf("\n");
+  }
+  if (res.counterexample) {
+    std::printf("  counterexample: %s\n",
+                res.counterexample->to_string().c_str());
+  }
+  return res.holds ? 0 : 1;
+}
+
+std::string checkpoint_path(const std::string& out_dir) {
+  return out_dir + "/checkpoint.kgdp";
+}
+
+// Shared tail of `campaign run` and `campaign resume`.
+int drive_campaign(campaign::CampaignState state, const std::string& out_dir,
+                   std::int64_t threads, std::int64_t max_chunks) {
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create %s: %s\n", out_dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+  std::ofstream telemetry_out(out_dir + "/telemetry.jsonl", std::ios::app);
+  campaign::TelemetryWriter telemetry(&telemetry_out);
+  const auto pool = make_pool(threads);
+  campaign::CampaignRunner runner(std::move(state), checkpoint_path(out_dir),
+                                  &telemetry, pool.get());
+  campaign::RunLimits limits;
+  limits.max_chunks =
+      max_chunks > 0 ? static_cast<std::uint64_t>(max_chunks) : 0;
+  const campaign::RunOutcome outcome = runner.run(limits);
+  std::fputs(campaign::status_summary(runner.state()).c_str(), stdout);
+  if (!outcome.complete) {
+    std::printf("campaign: INTERRUPTED after %llu chunks (resume with "
+                "`kgd_cli campaign resume --out=%s`)\n",
+                static_cast<unsigned long long>(outcome.chunks_run),
+                out_dir.c_str());
+    return 3;
+  }
+  std::printf("campaign: COMPLETE, %s\n",
+              outcome.all_hold ? "all instances HOLD"
+                               : "some instances FAIL");
+  return outcome.all_hold ? 0 : 1;
+}
+
+int cmd_campaign(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string sub = argv[2];
+
+  util::FlagParser flags;
+  flags.flag("out")
+      .flag("threads")
+      .flag("max-chunks");
+  if (sub == "run") {
+    flags.flag("nmin").flag("nmax").flag("kmin").flag("kmax");
+    flags.flag("mode").flag("samples").flag("seed").flag("prune");
+    flags.flag("shard").flag("chunk").flag("checkpoint-every");
+  }
+  if (!flags.parse(argc, argv, 3)) return flag_error(flags);
+
+  const std::string out_dir = flags.get("out");
+  if (out_dir.empty()) {
+    std::fprintf(stderr, "campaign %s: --out=DIR is required\n",
+                 sub.c_str());
+    return usage();
+  }
+  std::int64_t threads = 0, max_chunks = 0;
+  if (!flags.get_int("threads", 0, 0, 4096, &threads) ||
+      !flags.get_int("max-chunks", 0, 0, INT64_MAX, &max_chunks)) {
+    return flag_error(flags);
+  }
+
+  try {
+    if (sub == "run") {
+      campaign::CampaignConfig config;
+      std::int64_t v = 0;
+      if (!flags.get_int("nmin", 1, 1, 1 << 20, &v)) return flag_error(flags);
+      config.n_min = static_cast<int>(v);
+      if (!flags.get_int("nmax", config.n_min, 1, 1 << 20, &v)) {
+        return flag_error(flags);
+      }
+      config.n_max = static_cast<int>(v);
+      if (!flags.get_int("kmin", 1, 1, 64, &v)) return flag_error(flags);
+      config.k_min = static_cast<int>(v);
+      if (!flags.get_int("kmax", config.k_min, 1, 64, &v)) {
+        return flag_error(flags);
+      }
+      config.k_max = static_cast<int>(v);
+      const std::string mode = flags.get("mode", "exhaustive");
+      if (mode == "exhaustive") {
+        config.mode = verify::CheckMode::kExhaustive;
+      } else if (mode == "sampled") {
+        config.mode = verify::CheckMode::kSampled;
+      } else {
+        std::fprintf(stderr, "flag --mode: expected exhaustive|sampled\n");
+        return usage();
+      }
+      if (!flags.get_int("samples", 1000, 0, INT64_MAX, &v)) {
+        return flag_error(flags);
+      }
+      config.samples = static_cast<std::uint64_t>(v);
+      if (!flags.get_int("seed", 1, 0, INT64_MAX, &v)) {
+        return flag_error(flags);
+      }
+      config.seed = static_cast<std::uint64_t>(v);
+      if (!parse_prune(flags.get("prune", "auto"), &config.prune)) {
+        std::fprintf(stderr, "flag --prune: expected auto|off\n");
+        return usage();
+      }
+      if (flags.has("shard") &&
+          !util::FlagParser::parse_shard(flags.get("shard"),
+                                         &config.shard_index,
+                                         &config.shard_count)) {
+        std::fprintf(stderr,
+                     "flag --shard: expected i/S with 0 <= i < S\n");
+        return usage();
+      }
+      if (!flags.get_int("chunk", 256, 1, INT64_MAX, &v)) {
+        return flag_error(flags);
+      }
+      config.chunk = static_cast<std::uint64_t>(v);
+      if (!flags.get_int("checkpoint-every", 4, 0, INT64_MAX, &v)) {
+        return flag_error(flags);
+      }
+      config.checkpoint_every = static_cast<std::uint64_t>(v);
+      return drive_campaign(campaign::make_campaign(config), out_dir,
+                            threads, max_chunks);
+    }
+    if (sub == "resume") {
+      return drive_campaign(
+          campaign::load_campaign_file(checkpoint_path(out_dir)), out_dir,
+          threads, max_chunks);
+    }
+    if (sub == "merge") {
+      if (flags.positionals().empty()) {
+        std::fprintf(stderr,
+                     "campaign merge: list the shard checkpoint files\n");
+        return usage();
+      }
+      std::vector<campaign::CampaignState> shards;
+      for (const std::string& path : flags.positionals()) {
+        shards.push_back(campaign::load_campaign_file(path));
+      }
+      const campaign::CampaignState merged = campaign::merge_shards(shards);
+      std::error_code ec;
+      std::filesystem::create_directories(out_dir, ec);
+      if (ec) {
+        std::fprintf(stderr, "cannot create %s: %s\n", out_dir.c_str(),
+                     ec.message().c_str());
+        return 1;
+      }
+      campaign::write_campaign_file(checkpoint_path(out_dir), merged);
+      std::fputs(campaign::status_summary(merged).c_str(), stdout);
+      bool all_hold = true;
+      for (const auto& inst : merged.instances) {
+        if (!inst.result.holds) all_hold = false;
+      }
+      std::printf("campaign: MERGED %zu shards, %s\n", shards.size(),
+                  all_hold ? "all instances HOLD" : "some instances FAIL");
+      return all_hold ? 0 : 1;
+    }
+    if (sub == "status") {
+      const auto state = campaign::load_campaign_file(checkpoint_path(out_dir));
+      std::fputs(campaign::status_summary(state).c_str(), stdout);
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign %s: %s\n", sub.c_str(), e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown campaign subcommand: %s\n", sub.c_str());
+  return usage();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return usage();
+  if (argc < 2) return usage();
   const std::string cmd = argv[1];
+
+  if (cmd == "campaign") return cmd_campaign(argc, argv);
+
+  if (argc < 3) return usage();
 
   if (cmd == "check-cert") {
     std::ifstream in(argv[2]);
@@ -61,9 +308,14 @@ int main(int argc, char** argv) {
     return stats.ok() ? 0 : 1;
   }
 
-  if (argc < 4) return usage();
-  const int n = std::atoi(argv[2]);
-  const int k = std::atoi(argv[3]);
+  util::FlagParser flags;
+  if (cmd == "verify") {
+    flags.flag("prune").flag("threads").flag("json", /*requires_value=*/false);
+  }
+  if (!flags.parse(argc, argv, 2)) return flag_error(flags);
+  if (flags.positionals().size() < 2) return usage();
+  const int n = std::atoi(flags.positionals()[0].c_str());
+  const int k = std::atoi(flags.positionals()[1].c_str());
 
   auto built = kgd::build_solution(n, k);
   if (!built) {
@@ -90,52 +342,7 @@ int main(int argc, char** argv) {
     std::fputs(sg.to_dot().c_str(), stdout);
     return 0;
   }
-  if (cmd == "verify") {
-    verify::CheckOptions opts;
-    unsigned threads = 0;
-    for (int i = 4; i < argc; ++i) {
-      const std::string arg = argv[i];
-      if (arg == "--prune=off") {
-        opts.prune = verify::PruneMode::kOff;
-      } else if (arg == "--prune=auto") {
-        opts.prune = verify::PruneMode::kAuto;
-      } else if (arg.rfind("--threads=", 0) == 0) {
-        threads = static_cast<unsigned>(std::atoi(arg.c_str() + 10));
-      } else {
-        std::fprintf(stderr, "unknown verify flag: %s\n", arg.c_str());
-        return usage();
-      }
-    }
-    std::unique_ptr<util::ThreadPool> pool;
-    if (threads > 0) {
-      pool = std::make_unique<util::ThreadPool>(threads);
-      opts.pool = pool.get();
-    }
-    util::Timer t;
-    const auto res = verify::check_gd_exhaustive(sg, k, opts);
-    std::printf("GD(%s, %d): %s  [%llu fault sets, %.2fs]\n",
-                sg.name().c_str(), k, res.holds ? "HOLDS" : "FAILS",
-                static_cast<unsigned long long>(res.fault_sets_checked),
-                t.seconds());
-    std::printf(
-        "  solved %llu representatives, %llu pruned by symmetry "
-        "(|Aut| = %llu)\n",
-        static_cast<unsigned long long>(res.fault_sets_solved),
-        static_cast<unsigned long long>(res.orbits_pruned),
-        static_cast<unsigned long long>(res.automorphism_order));
-    if (opts.pool) {
-      std::printf("  %u workers, %llu steals; solve seconds per worker:",
-                  opts.pool->thread_count(),
-                  static_cast<unsigned long long>(res.steal_count));
-      for (double s : res.worker_solve_seconds) std::printf(" %.3f", s);
-      std::printf("\n");
-    }
-    if (res.counterexample) {
-      std::printf("  counterexample: %s\n",
-                  res.counterexample->to_string().c_str());
-    }
-    return res.holds ? 0 : 1;
-  }
+  if (cmd == "verify") return cmd_verify(sg, k, flags);
   if (cmd == "save") {
     io::save_solution(std::cout, sg);
     return 0;
@@ -156,7 +363,9 @@ int main(int argc, char** argv) {
   }
   if (cmd == "route") {
     std::vector<int> faulty;
-    for (int i = 4; i < argc; ++i) faulty.push_back(std::atoi(argv[i]));
+    for (std::size_t i = 2; i < flags.positionals().size(); ++i) {
+      faulty.push_back(std::atoi(flags.positionals()[i].c_str()));
+    }
     const kgd::FaultSet fs(sg.num_nodes(), faulty);
     const auto out = verify::find_pipeline(sg, fs);
     if (out.status != verify::SolveStatus::kFound) {
