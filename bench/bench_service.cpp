@@ -1,0 +1,139 @@
+// kgdd service bench: requests/second and p50/p99 latency for
+// small-verify traffic through a real in-process daemon, Unix-domain
+// socket vs TCP loopback. Each request is a complete protocol round
+// trip (send frame, read streamed events, read terminal frame), so the
+// numbers include framing, JSON, admission, pool dispatch, and the
+// session machinery — everything but real network distance.
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "io/json.hpp"
+#include "net/client.hpp"
+#include "net/socket.hpp"
+#include "service/daemon.hpp"
+#include "service/protocol.hpp"
+#include "util/timer.hpp"
+
+using namespace kgdp;
+
+namespace {
+
+struct LatencyStats {
+  double req_per_s = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+double quantile_ms(std::vector<double>& seconds, double q) {
+  if (seconds.empty()) return 0.0;
+  std::sort(seconds.begin(), seconds.end());
+  const std::size_t rank = std::min(
+      seconds.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(seconds.size())));
+  return seconds[rank] * 1000.0;
+}
+
+io::Json make_request(const std::string& method, io::JsonObject params) {
+  io::JsonObject frame;
+  frame["method"] = method;
+  frame["params"] = io::Json(std::move(params));
+  return io::Json(std::move(frame));
+}
+
+// Drives `count` identical requests through one connection, reading each
+// reply stream to its terminal frame, and returns throughput/latency.
+LatencyStats drive(net::Client& client, const io::Json& request, int count) {
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<std::size_t>(count));
+  std::string error;
+  util::Timer wall;
+  for (int i = 0; i < count; ++i) {
+    util::Timer per;
+    if (!client.send_json(request, &error)) {
+      std::fprintf(stderr, "send failed: %s\n", error.c_str());
+      return {};
+    }
+    while (true) {
+      const auto frame = client.read_json(60000, &error);
+      if (!frame.has_value()) {
+        std::fprintf(stderr, "read failed: %s\n", error.c_str());
+        return {};
+      }
+      if (service::is_terminal_frame(*frame)) break;
+    }
+    latencies.push_back(per.seconds());
+  }
+  LatencyStats stats;
+  stats.req_per_s = static_cast<double>(count) / wall.seconds();
+  stats.p50_ms = quantile_ms(latencies, 0.50);
+  stats.p99_ms = quantile_ms(latencies, 0.99);
+  return stats;
+}
+
+void bench_transport(const char* label, const net::Endpoint& listen_ep,
+                     const net::Endpoint& connect_ep) {
+  service::DaemonConfig config;
+  config.endpoints.push_back(listen_ep);
+  config.service.threads = 2;
+  config.watch_stop_signal = false;
+  service::Daemon daemon(std::move(config));
+  daemon.start_thread();
+
+  const net::Endpoint target =
+      connect_ep.kind == net::Endpoint::Kind::kTcp && connect_ep.port == 0
+          ? net::Endpoint::tcp(connect_ep.host, daemon.tcp_port())
+          : connect_ep;
+  std::string error;
+  auto client = net::Client::connect(target, &error);
+  if (!client.has_value()) {
+    std::fprintf(stderr, "connect failed: %s\n", error.c_str());
+    return;
+  }
+
+  // Warm-up: fault the code paths and the allocator out of the numbers.
+  drive(*client, make_request("ping", {}), 50);
+
+  const LatencyStats ping = drive(*client, make_request("ping", {}), 2000);
+  io::JsonObject verify_params;
+  verify_params["n"] = 6;
+  verify_params["k"] = 2;
+  verify_params["chunk"] = 4096;  // one chunk: a single-shot small verify
+  const LatencyStats verify =
+      drive(*client, make_request("verify", std::move(verify_params)), 300);
+  io::JsonObject build_params;
+  build_params["n"] = 8;
+  build_params["k"] = 2;
+  const LatencyStats construct =
+      drive(*client, make_request("construct", std::move(build_params)), 500);
+
+  std::printf("%-12s %-12s %10.0f req/s   p50 %7.3f ms   p99 %7.3f ms\n",
+              label, "ping", ping.req_per_s, ping.p50_ms, ping.p99_ms);
+  std::printf("%-12s %-12s %10.0f req/s   p50 %7.3f ms   p99 %7.3f ms\n",
+              label, "verify(6,2)", verify.req_per_s, verify.p50_ms,
+              verify.p99_ms);
+  std::printf("%-12s %-12s %10.0f req/s   p50 %7.3f ms   p99 %7.3f ms\n",
+              label, "construct", construct.req_per_s, construct.p50_ms,
+              construct.p99_ms);
+
+  daemon.begin_drain();
+  daemon.join();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("kgdd service throughput: Unix socket vs TCP loopback");
+  const std::string sock_path =
+      "bench_service_" + std::to_string(::getpid()) + ".sock";
+  bench_transport("unix", net::Endpoint::unix_path(sock_path),
+                  net::Endpoint::unix_path(sock_path));
+  ::unlink(sock_path.c_str());
+  bench_transport("tcp", net::Endpoint::tcp("127.0.0.1", 0),
+                  net::Endpoint::tcp("127.0.0.1", 0));
+  return 0;
+}

@@ -155,7 +155,8 @@ RunOutcome CampaignRunner::run(const RunLimits& limits) {
     inst.status = InstanceStatus::kRunning;
 
     while (!session.done()) {
-      if (limits.max_chunks != 0 && out.chunks_run >= limits.max_chunks) {
+      if ((limits.max_chunks != 0 && out.chunks_run >= limits.max_chunks) ||
+          (limits.stop && limits.stop())) {
         // Chunk budget exhausted: make the in-flight position durable and
         // hand back an interrupted outcome the caller can resume from.
         std::ostringstream cursor;

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,12 @@ struct RunLimits {
   // run; 0 = unlimited. This is the deterministic interruption hook used
   // by tests and the CI kill/resume drill.
   std::uint64_t max_chunks = 0;
+  // Cooperative interruption: checked before each chunk; once it returns
+  // true the runner checkpoints immediately and returns an incomplete
+  // outcome, exactly like the chunk-budget path. Wired to
+  // util::StopSignal by `kgd_cli campaign run` so SIGINT/SIGTERM lose at
+  // most one chunk of work, and reused by the kgdd drain.
+  std::function<bool()> stop;
 };
 
 struct RunOutcome {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace kgdp::io {
 
@@ -85,6 +86,327 @@ void Json::dump_to(std::string& out, int indent, int depth) const {
     }
   };
   std::visit(Visitor{out, indent, depth}, v_);
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, int max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  Json parse_document() {
+    skip_ws();
+    Json v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing garbage after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw JsonParseError(what, pos_);
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  char next() {
+    if (eof()) fail("unexpected end of input");
+    return text_[pos_++];
+  }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  void expect_literal(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p) {
+      if (eof() || next() != *p) {
+        fail(std::string("invalid literal (expected '") + lit + "')");
+      }
+    }
+  }
+
+  Json parse_value(int depth) {
+    if (depth > max_depth_) fail("nesting deeper than the configured limit");
+    if (eof()) fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return Json(parse_string());
+      case 't': expect_literal("true"); return Json(true);
+      case 'f': expect_literal("false"); return Json(false);
+      case 'n': expect_literal("null"); return Json(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object(int depth) {
+    ++pos_;  // '{'
+    JsonObject obj;
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return Json(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      if (eof() || peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      skip_ws();
+      if (next() != ':') fail("expected ':' after object key");
+      skip_ws();
+      // Last duplicate wins (matches JsonObject::operator[] semantics).
+      obj[std::move(key)] = parse_value(depth + 1);
+      skip_ws();
+      const char c = next();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+    return Json(std::move(obj));
+  }
+
+  Json parse_array(int depth) {
+    ++pos_;  // '['
+    JsonArray arr;
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return Json(std::move(arr));
+    }
+    while (true) {
+      skip_ws();
+      arr.push_back(parse_value(depth + 1));
+      skip_ws();
+      const char c = next();
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+    return Json(std::move(arr));
+  }
+
+  // Decodes one \uXXXX escape's four hex digits.
+  unsigned parse_hex4() {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = next();
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("invalid \\u escape digit");
+      }
+    }
+    return v;
+  }
+
+  void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  std::string parse_string() {
+    ++pos_;  // '"'
+    std::string out;
+    while (true) {
+      const char c = next();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        fail("raw control character in string (must be escaped)");
+      }
+      if (c != '\\') {
+        // Multibyte UTF-8 passes through byte-for-byte; the emitter does
+        // the same, so escape-free text round-trips exactly.
+        out += c;
+        continue;
+      }
+      const char e = next();
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          std::uint32_t cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a low surrogate escape must follow.
+            if (eof() || next() != '\\' || eof() || next() != 'u') {
+              fail("high surrogate not followed by \\u escape");
+            }
+            const std::uint32_t lo = parse_hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) {
+              fail("high surrogate followed by a non-low-surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("lone low surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: fail("invalid escape character");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    bool negative = false;
+    if (peek() == '-') {
+      negative = true;
+      ++pos_;
+    }
+    if (eof() || peek() < '0' || peek() > '9') fail("invalid number");
+    // Integer part: no leading zeros ("0" itself is fine).
+    if (peek() == '0') {
+      ++pos_;
+      if (!eof() && peek() >= '0' && peek() <= '9') {
+        fail("leading zero in number");
+      }
+    } else {
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    bool integral = true;
+    if (!eof() && peek() == '.') {
+      integral = false;
+      ++pos_;
+      if (eof() || peek() < '0' || peek() > '9') {
+        fail("expected digit after decimal point");
+      }
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      integral = false;
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (eof() || peek() < '0' || peek() > '9') {
+        fail("expected digit in exponent");
+      }
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    if (integral) {
+      // Accumulate as uint64 so INT64_MIN parses; overflow falls back to
+      // double below.
+      std::uint64_t mag = 0;
+      bool overflow = false;
+      for (std::size_t i = negative ? 1 : 0; i < token.size(); ++i) {
+        const std::uint64_t digit = static_cast<std::uint64_t>(token[i] - '0');
+        if (mag > (UINT64_MAX - digit) / 10) {
+          overflow = true;
+          break;
+        }
+        mag = mag * 10 + digit;
+      }
+      if (!overflow) {
+        const std::uint64_t limit =
+            negative ? (static_cast<std::uint64_t>(INT64_MAX) + 1)
+                     : static_cast<std::uint64_t>(INT64_MAX);
+        if (mag <= limit) {
+          const std::int64_t v =
+              negative ? static_cast<std::int64_t>(-mag)
+                       : static_cast<std::int64_t>(mag);
+          return Json(v);
+        }
+      }
+    }
+    // Underflow quietly becomes 0/denormal; overflow to ±inf is rejected
+    // (the emitter cannot represent non-finite values).
+    const double d = std::strtod(token.c_str(), nullptr);
+    if (!std::isfinite(d)) {
+      pos_ = start;
+      fail("number outside the finite double range");
+    }
+    return Json(d);
+  }
+
+  std::string_view text_;
+  int max_depth_;
+  std::size_t pos_ = 0;
+};
+
+[[noreturn]] void type_error(const char* want, Json::Type got) {
+  static const char* const names[] = {"null",   "bool",  "int",   "double",
+                                      "string", "array", "object"};
+  throw std::runtime_error(std::string("json: expected ") + want + ", got " +
+                           names[static_cast<int>(got)]);
+}
+
+}  // namespace
+
+Json Json::parse(std::string_view text, int max_depth) {
+  return Parser(text, max_depth).parse_document();
+}
+
+bool Json::as_bool() const {
+  if (const bool* b = std::get_if<bool>(&v_)) return *b;
+  type_error("bool", type());
+}
+
+std::int64_t Json::as_int() const {
+  if (const std::int64_t* i = std::get_if<std::int64_t>(&v_)) return *i;
+  type_error("int", type());
+}
+
+double Json::as_double() const {
+  if (const double* d = std::get_if<double>(&v_)) return *d;
+  if (const std::int64_t* i = std::get_if<std::int64_t>(&v_)) {
+    return static_cast<double>(*i);
+  }
+  type_error("number", type());
+}
+
+const std::string& Json::as_string() const {
+  if (const std::string* s = std::get_if<std::string>(&v_)) return *s;
+  type_error("string", type());
+}
+
+const JsonArray& Json::as_array() const {
+  if (const JsonArray* a = std::get_if<JsonArray>(&v_)) return *a;
+  type_error("array", type());
+}
+
+const JsonObject& Json::as_object() const {
+  if (const JsonObject* o = std::get_if<JsonObject>(&v_)) return *o;
+  type_error("object", type());
+}
+
+const Json* Json::find(const std::string& key) const {
+  const JsonObject* o = std::get_if<JsonObject>(&v_);
+  if (o == nullptr) return nullptr;
+  const auto it = o->find(key);
+  return it == o->end() ? nullptr : &it->second;
 }
 
 }  // namespace kgdp::io

@@ -1,0 +1,97 @@
+#include "net/client.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace kgdp::net {
+
+namespace {
+// Client-side frames can carry large verdicts; cap generously (the
+// server enforces its own inbound cap independently).
+constexpr std::size_t kClientMaxFrame = 8u << 20;
+}  // namespace
+
+std::optional<Client> Client::connect(const Endpoint& ep,
+                                      std::string* error) {
+  Fd fd = connect_endpoint(ep, error);
+  if (!fd.valid()) return std::nullopt;
+  return Client(std::move(fd), kClientMaxFrame);
+}
+
+bool Client::send_line(const std::string& frame, std::string* error) {
+  std::string wire = frame;
+  wire += '\n';
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n = ::write(fd_.get(), wire.data() + sent,
+                              wire.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) {
+        *error = std::string("write: ") + std::strerror(errno);
+      }
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::optional<std::string> Client::read_line(int timeout_ms,
+                                             std::string* error) {
+  while (true) {
+    if (auto frame = reader_.next()) return frame;
+    if (reader_.oversized()) {
+      if (error != nullptr) *error = "frame exceeds the client size limit";
+      return std::nullopt;
+    }
+    pollfd pfd{fd_.get(), POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready == 0) {
+      if (error != nullptr) *error = "timeout";
+      return std::nullopt;
+    }
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) {
+        *error = std::string("poll: ") + std::strerror(errno);
+      }
+      return std::nullopt;
+    }
+    char buf[16384];
+    const ssize_t n = ::read(fd_.get(), buf, sizeof buf);
+    if (n == 0) {
+      if (error != nullptr) *error = "connection closed by server";
+      return std::nullopt;
+    }
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      if (error != nullptr) {
+        *error = std::string("read: ") + std::strerror(errno);
+      }
+      return std::nullopt;
+    }
+    reader_.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+bool Client::send_json(const io::Json& frame, std::string* error) {
+  return send_line(frame.dump(), error);
+}
+
+std::optional<io::Json> Client::read_json(int timeout_ms,
+                                          std::string* error) {
+  const auto line = read_line(timeout_ms, error);
+  if (!line) return std::nullopt;
+  try {
+    return io::Json::parse(*line);
+  } catch (const io::JsonParseError& e) {
+    if (error != nullptr) *error = std::string("bad frame: ") + e.what();
+    return std::nullopt;
+  }
+}
+
+}  // namespace kgdp::net

@@ -1,0 +1,43 @@
+// Small blocking client for the kgdd wire protocol, shared by
+// `kgd_cli request`, the integration tests, and bench_service. One
+// connection, newline-delimited frames, poll(2)-based read timeouts;
+// JSON convenience wrappers parse/serialize through io::Json.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "io/json.hpp"
+#include "net/framing.hpp"
+#include "net/socket.hpp"
+
+namespace kgdp::net {
+
+class Client {
+ public:
+  // Blocking connect. Returns nullopt and sets *error on failure.
+  static std::optional<Client> connect(const Endpoint& ep,
+                                       std::string* error);
+
+  // Sends one frame (newline appended). False + *error on a broken pipe.
+  bool send_line(const std::string& frame, std::string* error);
+
+  // Blocks up to timeout_ms (-1 = forever) for one complete frame.
+  // nullopt on timeout, EOF, oversized frame, or socket error; *error
+  // says which.
+  std::optional<std::string> read_line(int timeout_ms, std::string* error);
+
+  // JSON wrappers for the kgdd protocol.
+  bool send_json(const io::Json& frame, std::string* error);
+  std::optional<io::Json> read_json(int timeout_ms, std::string* error);
+
+  int fd() const { return fd_.get(); }
+
+ private:
+  Client(Fd fd, std::size_t max_frame) : fd_(std::move(fd)), reader_(max_frame) {}
+
+  Fd fd_;
+  FrameReader reader_;
+};
+
+}  // namespace kgdp::net

@@ -1,0 +1,108 @@
+#include "net/event_loop.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace kgdp::net {
+
+EventLoop::EventLoop() {
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    std::perror("kgdp: EventLoop pipe");
+    std::abort();
+  }
+  wake_read_ = Fd(fds[0]);
+  wake_write_ = Fd(fds[1]);
+  set_nonblocking(wake_read_.get());
+  set_nonblocking(wake_write_.get());
+}
+
+EventLoop::~EventLoop() = default;
+
+void EventLoop::add(int fd, short events, IoCallback cb) {
+  Entry& e = entries_[fd];
+  e.events = events;
+  e.cb = std::move(cb);
+  e.dead = false;
+}
+
+void EventLoop::set_events(int fd, short events) {
+  const auto it = entries_.find(fd);
+  if (it != entries_.end()) it->second.events = events;
+}
+
+void EventLoop::remove(int fd) {
+  const auto it = entries_.find(fd);
+  if (it != entries_.end()) it->second.dead = true;
+}
+
+void EventLoop::post(std::function<void()> fn) {
+  {
+    std::lock_guard lk(post_mu_);
+    posted_.push_back(std::move(fn));
+  }
+  // A full pipe already guarantees a pending wakeup; dropping is fine.
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_write_.get(), &byte, 1);
+}
+
+void EventLoop::stop() {
+  post([this] { stop_requested_ = true; });
+}
+
+void EventLoop::drain_wake_pipe() {
+  char buf[256];
+  while (::read(wake_read_.get(), buf, sizeof buf) > 0) {
+  }
+}
+
+void EventLoop::run_posted() {
+  // Swap under the lock; run outside it (tasks may post more tasks,
+  // which land in the next swap).
+  while (true) {
+    std::vector<std::function<void()>> batch;
+    {
+      std::lock_guard lk(post_mu_);
+      batch.swap(posted_);
+    }
+    if (batch.empty()) return;
+    for (auto& fn : batch) fn();
+  }
+}
+
+void EventLoop::run() {
+  running_ = true;
+  stop_requested_ = false;
+  std::vector<pollfd> pfds;
+  while (!stop_requested_) {
+    // Sweep entries removed during the previous dispatch.
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      it = it->second.dead ? entries_.erase(it) : std::next(it);
+    }
+
+    pfds.clear();
+    pfds.push_back(pollfd{wake_read_.get(), POLLIN, 0});
+    for (const auto& [fd, entry] : entries_) {
+      if (entry.events != 0) pfds.push_back(pollfd{fd, entry.events, 0});
+    }
+
+    const int ready = ::poll(pfds.data(), pfds.size(), -1);
+    if (ready < 0) continue;  // EINTR: fall through to the posted queue
+
+    if (pfds[0].revents != 0) drain_wake_pipe();
+    for (std::size_t i = 1; i < pfds.size(); ++i) {
+      if (pfds[i].revents == 0) continue;
+      const auto it = entries_.find(pfds[i].fd);
+      if (it == entries_.end() || it->second.dead) continue;
+      it->second.cb(pfds[i].revents);
+    }
+    run_posted();
+  }
+  running_ = false;
+}
+
+}  // namespace kgdp::net

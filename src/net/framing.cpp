@@ -1,0 +1,41 @@
+#include "net/framing.hpp"
+
+namespace kgdp::net {
+
+bool FrameReader::append(const char* data, std::size_t len) {
+  if (oversized_) return false;
+  // Compact occasionally so the buffer does not grow with total traffic.
+  if (consumed_ > 0 && consumed_ >= buf_.size() / 2) {
+    buf_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buf_.append(data, len);
+  // The cap applies to the unterminated tail as well: a peer streaming an
+  // endless line must be cut off before it buffers max_frame + len bytes.
+  // (Complete over-long lines are caught in next().)
+  const std::size_t last_nl = buf_.rfind('\n');
+  const std::size_t tail_start =
+      last_nl == std::string::npos || last_nl < consumed_ ? consumed_
+                                                          : last_nl + 1;
+  if (buf_.size() - tail_start > max_frame_) {
+    oversized_ = true;
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::string> FrameReader::next() {
+  const std::size_t nl = buf_.find('\n', consumed_);
+  if (nl == std::string::npos) return std::nullopt;
+  std::size_t end = nl;
+  if (end > consumed_ && buf_[end - 1] == '\r') --end;
+  if (end - consumed_ > max_frame_) {
+    oversized_ = true;
+    return std::nullopt;
+  }
+  std::string frame = buf_.substr(consumed_, end - consumed_);
+  consumed_ = nl + 1;
+  return frame;
+}
+
+}  // namespace kgdp::net

@@ -1,0 +1,38 @@
+// Newline-delimited framing for the kgdd wire protocol: one frame per
+// line, payload is the line without its terminator. FrameReader is a
+// plain incremental splitter — it never looks inside the payload — with
+// a hard per-frame byte cap so one abusive connection cannot balloon the
+// daemon's memory. An optional trailing '\r' is stripped, which keeps
+// hand-driven sessions (socat, telnet) usable.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace kgdp::net {
+
+class FrameReader {
+ public:
+  explicit FrameReader(std::size_t max_frame) : max_frame_(max_frame) {}
+
+  // Appends raw bytes. Returns false once the connection has exceeded
+  // the frame cap (a line longer than max_frame, terminated or not); the
+  // reader is then poisoned — next() returns already-extracted frames
+  // but no new bytes are accepted.
+  bool append(const char* data, std::size_t len);
+
+  // Next complete frame, or nullopt when no full line is buffered.
+  std::optional<std::string> next();
+
+  bool oversized() const { return oversized_; }
+  std::size_t buffered() const { return buf_.size() - consumed_; }
+
+ private:
+  std::size_t max_frame_;
+  std::string buf_;
+  std::size_t consumed_ = 0;  // bytes of buf_ already returned as frames
+  bool oversized_ = false;
+};
+
+}  // namespace kgdp::net

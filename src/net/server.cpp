@@ -1,0 +1,155 @@
+#include "net/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace kgdp::net {
+
+FrameServer::FrameServer(EventLoop& loop, FrameServerConfig config)
+    : loop_(loop), config_(config) {}
+
+FrameServer::~FrameServer() {
+  for (auto& [id, conn] : conns_) loop_.remove(conn->fd.get());
+  for (Fd& l : listeners_) loop_.remove(l.get());
+}
+
+void FrameServer::add_listener(Fd fd) {
+  const std::size_t index = listeners_.size();
+  listeners_.push_back(std::move(fd));
+  loop_.add(listeners_[index].get(), POLLIN,
+            [this, index](short) { on_accept(index); });
+}
+
+void FrameServer::on_accept(std::size_t listener_index) {
+  while (true) {
+    Fd client(::accept(listeners_[listener_index].get(), nullptr, nullptr));
+    if (!client.valid()) return;  // EAGAIN or transient error: wait
+    if (!accepting_) continue;    // drain mode: accept-and-drop
+    set_nonblocking(client.get());
+    set_tcp_nodelay(client.get());
+    const std::uint64_t id = next_conn_id_++;
+    auto conn =
+        std::make_unique<Connection>(std::move(client), config_.max_frame);
+    const int fd = conn->fd.get();
+    conns_.emplace(id, std::move(conn));
+    loop_.add(fd, POLLIN, [this, id](short revents) { on_io(id, revents); });
+  }
+}
+
+void FrameServer::on_io(std::uint64_t conn_id, short revents) {
+  const auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  Connection& c = *it->second;
+
+  if (revents & (POLLERR | POLLHUP | POLLNVAL)) {
+    destroy(conn_id, /*notify=*/true);
+    return;
+  }
+
+  if (revents & POLLIN) {
+    char buf[16384];
+    while (true) {
+      const ssize_t n = ::read(c.fd.get(), buf, sizeof buf);
+      if (n > 0) {
+        if (!c.reader.append(buf, static_cast<std::size_t>(n))) break;
+        continue;
+      }
+      if (n == 0) {  // peer EOF
+        destroy(conn_id, /*notify=*/true);
+        return;
+      }
+      break;  // EAGAIN or error: stop reading for now
+    }
+    while (auto frame = c.reader.next()) {
+      if (on_frame_) on_frame_(conn_id, std::move(*frame));
+      if (conns_.find(conn_id) == conns_.end()) return;  // handler closed it
+      if (it->second->dead) break;
+    }
+    if (c.reader.oversized()) {
+      if (on_abuse_) on_abuse_(conn_id, "frame exceeds the size limit");
+      if (conns_.find(conn_id) == conns_.end()) return;
+      close_after_flush(conn_id);
+      return;
+    }
+  }
+
+  if (revents & POLLOUT) update_poll_events(conn_id, c);
+}
+
+void FrameServer::send(std::uint64_t conn_id, const std::string& frame) {
+  const auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  Connection& c = *it->second;
+  if (c.dead) return;
+  c.out += frame;
+  c.out += '\n';
+  if (c.out.size() - c.out_sent > config_.max_write_buffer) {
+    // Stalled or abusive reader; cut it loose rather than buffer forever.
+    destroy(conn_id, /*notify=*/true);
+    return;
+  }
+  update_poll_events(conn_id, c);
+}
+
+void FrameServer::update_poll_events(std::uint64_t conn_id, Connection& c) {
+  // Flush as much as the kernel takes now; POLLOUT only while blocked.
+  while (c.out_sent < c.out.size()) {
+    const ssize_t n = ::write(c.fd.get(), c.out.data() + c.out_sent,
+                              c.out.size() - c.out_sent);
+    if (n > 0) {
+      c.out_sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    destroy(conn_id, /*notify=*/true);
+    return;
+  }
+  if (c.out_sent == c.out.size()) {
+    c.out.clear();
+    c.out_sent = 0;
+    if (c.close_after_flush) {
+      destroy(conn_id, /*notify=*/true);
+      return;
+    }
+    loop_.set_events(c.fd.get(), POLLIN);
+  } else {
+    loop_.set_events(c.fd.get(), POLLIN | POLLOUT);
+  }
+}
+
+void FrameServer::close_after_flush(std::uint64_t conn_id) {
+  const auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  it->second->close_after_flush = true;
+  update_poll_events(conn_id, *it->second);
+}
+
+void FrameServer::close_now(std::uint64_t conn_id) {
+  destroy(conn_id, /*notify=*/true);
+}
+
+void FrameServer::close_all_after_flush() {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(conns_.size());
+  for (const auto& [id, conn] : conns_) ids.push_back(id);
+  for (const std::uint64_t id : ids) close_after_flush(id);
+}
+
+void FrameServer::stop_accepting() { accepting_ = false; }
+
+void FrameServer::destroy(std::uint64_t conn_id, bool notify) {
+  const auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  it->second->dead = true;
+  loop_.remove(it->second->fd.get());
+  std::unique_ptr<Connection> conn = std::move(it->second);
+  conns_.erase(it);
+  if (notify && on_close_) on_close_(conn_id);
+  // conn's Fd closes here, after the loop entry is gone.
+}
+
+}  // namespace kgdp::net

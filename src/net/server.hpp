@@ -1,0 +1,100 @@
+// Multi-listener frame server on top of EventLoop: accepts connections
+// from any number of Unix-domain / TCP listeners, splits the byte
+// stream into newline-delimited frames (FrameReader, with the per-frame
+// cap), and buffers outgoing frames per connection, registering for
+// POLLOUT only while a write is pending. Content-agnostic: the payload
+// protocol (JSON, request ids, ...) lives one layer up in
+// service::Service. All methods are loop-thread only; cross-thread
+// callers go through EventLoop::post.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "net/event_loop.hpp"
+#include "net/framing.hpp"
+#include "net/socket.hpp"
+
+namespace kgdp::net {
+
+struct FrameServerConfig {
+  std::size_t max_frame = 1 << 20;  // bytes per frame, either direction
+  // A connection whose unsent output exceeds this is dropped: a stalled
+  // reader must not pin daemon memory while progress events stream.
+  std::size_t max_write_buffer = 8u << 20;
+  int listen_backlog = 64;
+};
+
+class FrameServer {
+ public:
+  // One complete inbound frame (without the newline).
+  using FrameHandler =
+      std::function<void(std::uint64_t conn, std::string frame)>;
+  // Connection closed for any reason (peer EOF, abuse, close_* calls).
+  using CloseHandler = std::function<void(std::uint64_t conn)>;
+  // Protocol abuse detected by the transport (currently: frame over the
+  // cap). The handler may send a final structured error; the server
+  // flushes and closes the connection afterwards regardless.
+  using AbuseHandler =
+      std::function<void(std::uint64_t conn, const std::string& what)>;
+
+  FrameServer(EventLoop& loop, FrameServerConfig config);
+  ~FrameServer();
+
+  void set_frame_handler(FrameHandler h) { on_frame_ = std::move(h); }
+  void set_close_handler(CloseHandler h) { on_close_ = std::move(h); }
+  void set_abuse_handler(AbuseHandler h) { on_abuse_ = std::move(h); }
+
+  // Takes ownership of a listening socket from listen_endpoint().
+  void add_listener(Fd fd);
+
+  // Queues frame + '\n' on the connection; no-op on unknown ids (the
+  // connection may have died between a worker starting and finishing).
+  void send(std::uint64_t conn, const std::string& frame);
+
+  // Closes once the write buffer drains (or immediately when empty).
+  void close_after_flush(std::uint64_t conn);
+  void close_now(std::uint64_t conn);
+
+  // Drain helper: close_after_flush on every connection.
+  void close_all_after_flush();
+
+  // Stops accepting new connections (drain mode); existing connections
+  // keep flowing.
+  void stop_accepting();
+
+  std::size_t connection_count() const { return conns_.size(); }
+  bool accepting() const { return accepting_; }
+
+ private:
+  struct Connection {
+    Fd fd;
+    FrameReader reader;
+    std::string out;
+    std::size_t out_sent = 0;
+    bool close_after_flush = false;
+    bool dead = false;
+    Connection(Fd f, std::size_t max_frame)
+        : fd(std::move(f)), reader(max_frame) {}
+  };
+
+  void on_accept(std::size_t listener_index);
+  void on_io(std::uint64_t conn_id, short revents);
+  void update_poll_events(std::uint64_t conn_id, Connection& c);
+  void destroy(std::uint64_t conn_id, bool notify);
+
+  EventLoop& loop_;
+  FrameServerConfig config_;
+  std::vector<Fd> listeners_;
+  std::map<std::uint64_t, std::unique_ptr<Connection>> conns_;
+  std::uint64_t next_conn_id_ = 1;
+  bool accepting_ = true;
+  FrameHandler on_frame_;
+  CloseHandler on_close_;
+  AbuseHandler on_abuse_;
+};
+
+}  // namespace kgdp::net

@@ -1,0 +1,136 @@
+#include "service/checkpoint.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace kgdp::service {
+
+namespace {
+
+void expect_keyword(std::istream& in, const char* keyword) {
+  std::string word;
+  if (!(in >> word) || word != keyword) {
+    throw std::runtime_error(std::string("session checkpoint: expected '") +
+                             keyword + "'");
+  }
+}
+
+std::uint64_t read_u64(std::istream& in, const char* keyword) {
+  expect_keyword(in, keyword);
+  std::uint64_t v = 0;
+  if (!(in >> v)) {
+    throw std::runtime_error(std::string("session checkpoint: bad ") +
+                             keyword);
+  }
+  return v;
+}
+
+}  // namespace
+
+verify::CheckRequest SessionCheckpoint::request() const {
+  verify::CheckRequest req;
+  req.mode = mode;
+  req.max_faults = max_faults;
+  req.samples = samples;
+  req.seed = seed;
+  req.options.prune = prune;
+  return req;
+}
+
+void save_session_checkpoint(std::ostream& out, const SessionCheckpoint& cp) {
+  out << "kgdp-check-session 1\n";
+  out << "n " << cp.n << '\n';
+  out << "k " << cp.k << '\n';
+  out << "mode "
+      << (cp.mode == verify::CheckMode::kExhaustive ? "exhaustive"
+                                                    : "sampled")
+      << '\n';
+  out << "max_faults " << cp.max_faults << '\n';
+  out << "samples " << cp.samples << '\n';
+  out << "seed " << cp.seed << '\n';
+  out << "prune "
+      << (cp.prune == verify::PruneMode::kAuto ? "auto" : "off") << '\n';
+  out << "chunk " << cp.chunk << '\n';
+  out << "cursor\n";
+  out << cp.cursor;  // CheckSession::save block; already ends in "end\n"
+}
+
+SessionCheckpoint load_session_checkpoint(std::istream& in) {
+  expect_keyword(in, "kgdp-check-session");
+  int version = 0;
+  if (!(in >> version) || version != 1) {
+    throw std::runtime_error("session checkpoint: unsupported version");
+  }
+  SessionCheckpoint cp;
+  cp.n = static_cast<int>(read_u64(in, "n"));
+  cp.k = static_cast<int>(read_u64(in, "k"));
+  expect_keyword(in, "mode");
+  std::string mode;
+  if (!(in >> mode) || (mode != "exhaustive" && mode != "sampled")) {
+    throw std::runtime_error("session checkpoint: bad mode");
+  }
+  cp.mode = mode == "exhaustive" ? verify::CheckMode::kExhaustive
+                                 : verify::CheckMode::kSampled;
+  cp.max_faults = static_cast<int>(read_u64(in, "max_faults"));
+  cp.samples = read_u64(in, "samples");
+  cp.seed = read_u64(in, "seed");
+  expect_keyword(in, "prune");
+  std::string prune;
+  if (!(in >> prune) || (prune != "auto" && prune != "off")) {
+    throw std::runtime_error("session checkpoint: bad prune");
+  }
+  cp.prune = prune == "auto" ? verify::PruneMode::kAuto
+                             : verify::PruneMode::kOff;
+  cp.chunk = read_u64(in, "chunk");
+  expect_keyword(in, "cursor");
+  // The rest of the stream is the cursor block, ending in "end".
+  std::ostringstream cursor;
+  std::string word;
+  bool closed = false;
+  while (in >> word) {
+    cursor << word;
+    if (word == "end") {
+      cursor << '\n';
+      closed = true;
+      break;
+    }
+    cursor << ' ';
+  }
+  if (!closed) {
+    throw std::runtime_error("session checkpoint: truncated cursor");
+  }
+  cp.cursor = cursor.str();
+  return cp;
+}
+
+void write_session_checkpoint_file(const std::string& path,
+                                   const SessionCheckpoint& cp) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("session checkpoint: cannot write " + tmp);
+    }
+    save_session_checkpoint(out, cp);
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("session checkpoint: write failed: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("session checkpoint: cannot rename " + tmp +
+                             " -> " + path);
+  }
+}
+
+SessionCheckpoint load_session_checkpoint_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("session checkpoint: cannot open " + path);
+  }
+  return load_session_checkpoint(in);
+}
+
+}  // namespace kgdp::service

@@ -1,0 +1,40 @@
+// Drain checkpoints for streaming verify sessions: everything a later
+// daemon needs to rebuild the graph and CheckRequest and restore the
+// embedded CheckSession cursor — so a session interrupted by SIGTERM
+// resumes to the identical verdict and counters. Line-oriented
+// `kgdp-check-session` text in the same family as the campaign
+// checkpoint format, written atomically (tmp + rename).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "verify/check_session.hpp"
+
+namespace kgdp::service {
+
+struct SessionCheckpoint {
+  int n = 0, k = 0;
+  verify::CheckMode mode = verify::CheckMode::kExhaustive;
+  int max_faults = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t seed = 0;
+  verify::PruneMode prune = verify::PruneMode::kAuto;
+  std::uint64_t chunk = 0;
+  std::string cursor;  // CheckSession::save block, verbatim
+
+  // The CheckRequest this checkpoint pins down (pool left null).
+  verify::CheckRequest request() const;
+};
+
+void save_session_checkpoint(std::ostream& out, const SessionCheckpoint& cp);
+// Throws std::runtime_error on malformed input.
+SessionCheckpoint load_session_checkpoint(std::istream& in);
+
+// Atomic write (tmp + rename); throws std::runtime_error on IO failure.
+void write_session_checkpoint_file(const std::string& path,
+                                   const SessionCheckpoint& cp);
+SessionCheckpoint load_session_checkpoint_file(const std::string& path);
+
+}  // namespace kgdp::service

@@ -1,0 +1,75 @@
+#include "service/daemon.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/stop_signal.hpp"
+
+namespace kgdp::service {
+
+Daemon::Daemon(DaemonConfig config)
+    : config_(std::move(config)),
+      server_(loop_, config_.server),
+      service_(loop_, server_, config_.service) {
+  server_.set_frame_handler([this](std::uint64_t conn, std::string frame) {
+    service_.handle_frame(conn, std::move(frame));
+  });
+  server_.set_close_handler(
+      [this](std::uint64_t conn) { service_.handle_close(conn); });
+  server_.set_abuse_handler(
+      [this](std::uint64_t conn, const std::string& what) {
+        service_.handle_abuse(conn, what);
+      });
+
+  for (const net::Endpoint& ep : config_.endpoints) {
+    std::string error;
+    net::Fd fd = net::listen_endpoint(ep, config_.server.listen_backlog,
+                                      &error);
+    if (!fd.valid()) {
+      throw std::runtime_error("cannot listen on " + ep.to_string() + ": " +
+                               error);
+    }
+    if (ep.kind == net::Endpoint::Kind::kTcp && tcp_port_ == 0) {
+      tcp_port_ = net::local_tcp_port(fd.get());
+    }
+    if (ep.kind == net::Endpoint::Kind::kUnix) {
+      unix_paths_.push_back(ep.path);
+    }
+    server_.add_listener(std::move(fd));
+  }
+
+  if (config_.watch_stop_signal) {
+    util::StopSignal& stop = util::StopSignal::instance();
+    stop.install();
+    stop_fd_ = stop.fd();
+    loop_.add(stop_fd_, POLLIN, [this](short) {
+      util::StopSignal::instance().drain_pipe();
+      service_.begin_drain();
+    });
+  }
+}
+
+Daemon::~Daemon() {
+  join();
+  if (stop_fd_ >= 0) loop_.remove(stop_fd_);
+  for (const std::string& path : unix_paths_) ::unlink(path.c_str());
+}
+
+void Daemon::run() { loop_.run(); }
+
+void Daemon::start_thread() {
+  thread_ = std::thread([this] { run(); });
+}
+
+void Daemon::begin_drain() {
+  loop_.post([this] { service_.begin_drain(); });
+}
+
+void Daemon::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace kgdp::service

@@ -1,0 +1,66 @@
+// kgdd process wiring: owns the event loop, frame server, and service,
+// binds the configured listeners, and (optionally) watches the
+// process-wide StopSignal self-pipe so SIGINT/SIGTERM starts a graceful
+// drain — in-flight verify sessions checkpoint to drain_dir, replies
+// flush, and run() returns. Tests and the bench embed a Daemon on a
+// background thread via start_thread()/begin_drain()/join().
+#pragma once
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/event_loop.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
+#include "service/service.hpp"
+
+namespace kgdp::service {
+
+struct DaemonConfig {
+  std::vector<net::Endpoint> endpoints;
+  net::FrameServerConfig server;
+  ServiceConfig service;
+  // Drain on SIGINT/SIGTERM via util::StopSignal. Off for in-process
+  // daemons (tests, bench) that drain programmatically.
+  bool watch_stop_signal = true;
+};
+
+class Daemon {
+ public:
+  // Binds every endpoint; throws std::runtime_error if any bind fails.
+  explicit Daemon(DaemonConfig config);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  // Runs the event loop on the calling thread until the daemon drains.
+  void run();
+
+  // Embedded mode: run() on a background thread / thread-safe drain
+  // trigger / wait for the loop to finish.
+  void start_thread();
+  void begin_drain();
+  void join();
+
+  // The resolved port of the first TCP listener (ephemeral port 0 is
+  // replaced by the kernel's choice); 0 when there is no TCP listener.
+  int tcp_port() const { return tcp_port_; }
+
+  Service& service() { return service_; }
+  net::EventLoop& loop() { return loop_; }
+
+ private:
+  DaemonConfig config_;
+  net::EventLoop loop_;
+  net::FrameServer server_;
+  Service service_;
+  int tcp_port_ = 0;
+  int stop_fd_ = -1;  // StopSignal pipe fd when watched, else -1
+  std::vector<std::string> unix_paths_;  // unlinked on destruction
+  std::thread thread_;
+};
+
+}  // namespace kgdp::service

@@ -1,0 +1,84 @@
+#include "service/metrics.hpp"
+
+#include <cmath>
+#include <ostream>
+
+namespace kgdp::service {
+
+namespace {
+std::size_t latency_bucket(double seconds) {
+  const double us = seconds * 1e6;
+  if (us < 1.0) return 0;
+  const int b = static_cast<int>(std::floor(std::log2(us)));
+  return static_cast<std::size_t>(b < 0 ? 0 : (b > 39 ? 39 : b));
+}
+}  // namespace
+
+void Metrics::record(const std::string& method, Outcome outcome,
+                     double seconds) {
+  PerMethod& m = methods_[method];
+  ++m.count;
+  ++m.by_outcome[static_cast<std::size_t>(outcome)];
+  ++m.latency_us_log2[latency_bucket(seconds)];
+  m.sum_seconds += seconds;
+  ++total_;
+}
+
+double Metrics::PerMethod::quantile_ms(double q) const {
+  if (count == 0) return 0.0;
+  const std::uint64_t rank =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count)));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < latency_us_log2.size(); ++b) {
+    seen += latency_us_log2[b];
+    if (seen >= rank) {
+      // Upper edge of the bucket, in ms.
+      return std::ldexp(1.0, static_cast<int>(b) + 1) / 1000.0;
+    }
+  }
+  return std::ldexp(1.0, 40) / 1000.0;
+}
+
+io::JsonObject Metrics::method_fields(const PerMethod& m) const {
+  io::JsonObject f;
+  f["count"] = m.count;
+  f["ok"] = m.by_outcome[static_cast<std::size_t>(Outcome::kOk)];
+  f["error"] = m.by_outcome[static_cast<std::size_t>(Outcome::kError)];
+  f["overloaded"] =
+      m.by_outcome[static_cast<std::size_t>(Outcome::kOverloaded)];
+  f["cancelled"] =
+      m.by_outcome[static_cast<std::size_t>(Outcome::kCancelled)];
+  f["drained"] = m.by_outcome[static_cast<std::size_t>(Outcome::kDrained)];
+  f["mean_ms"] =
+      m.count == 0 ? 0.0
+                   : m.sum_seconds * 1000.0 / static_cast<double>(m.count);
+  f["p50_ms"] = m.quantile_ms(0.50);
+  f["p99_ms"] = m.quantile_ms(0.99);
+  return f;
+}
+
+io::Json Metrics::snapshot() const {
+  io::JsonObject methods;
+  for (const auto& [name, m] : methods_) {
+    methods[name] = io::Json(method_fields(m));
+  }
+  io::JsonObject out;
+  out["methods"] = io::Json(std::move(methods));
+  out["total_requests"] = total_;
+  return io::Json(std::move(out));
+}
+
+void Metrics::dump_jsonl(std::ostream& out) const {
+  std::uint64_t seq = 0;
+  for (const auto& [name, m] : methods_) {
+    io::JsonObject f = method_fields(m);
+    f["event"] = "metrics";
+    f["method"] = name;
+    f["seq"] = seq++;
+    f["schema_version"] = io::kSchemaVersion;
+    out << io::Json(std::move(f)).dump() << '\n';
+  }
+  out.flush();
+}
+
+}  // namespace kgdp::service

@@ -1,0 +1,53 @@
+// Per-method request counters and latency histograms for kgdd. Each
+// terminal reply records (method, outcome, seconds); the `stats` request
+// returns a JSON snapshot and optionally appends it as JSONL to a
+// metrics sink. Latency quantiles come from log2 microsecond buckets —
+// coarse (upper bucket edge), but allocation-free and O(1) per record,
+// which is what a hot serving path wants. All calls are loop-thread
+// only; no locking.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "io/json.hpp"
+
+namespace kgdp::service {
+
+// Terminal outcome of a request, one counter each.
+enum class Outcome { kOk, kError, kOverloaded, kCancelled, kDrained };
+
+class Metrics {
+ public:
+  void record(const std::string& method, Outcome outcome, double seconds);
+
+  // {"methods": {name: {count, ok, error, overloaded, cancelled,
+  //  drained, mean_ms, p50_ms, p99_ms}}, "total_requests": N}
+  io::Json snapshot() const;
+
+  // One JSONL line per method (event "metrics", plus the per-method
+  // fields), matching the campaign telemetry idiom.
+  void dump_jsonl(std::ostream& out) const;
+
+  std::uint64_t total_requests() const { return total_; }
+
+ private:
+  struct PerMethod {
+    std::uint64_t count = 0;
+    std::array<std::uint64_t, 5> by_outcome = {};
+    // bucket i counts latencies in [2^i, 2^(i+1)) microseconds.
+    std::array<std::uint64_t, 40> latency_us_log2 = {};
+    double sum_seconds = 0.0;
+    double quantile_ms(double q) const;
+  };
+
+  io::JsonObject method_fields(const PerMethod& m) const;
+
+  std::map<std::string, PerMethod> methods_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace kgdp::service

@@ -1,0 +1,55 @@
+#include "service/protocol.hpp"
+
+namespace kgdp::service {
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadFrame: return "bad_frame";
+    case ErrorCode::kBadRequest: return "bad_request";
+    case ErrorCode::kUnknownMethod: return "unknown_method";
+    case ErrorCode::kUnsupported: return "unsupported";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kShuttingDown: return "shutting_down";
+    case ErrorCode::kFrameTooLarge: return "frame_too_large";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+namespace {
+io::Json stamp(const std::string& req_id, const std::string& tag,
+               const std::string& type, io::JsonObject body) {
+  body["schema_version"] = io::kSchemaVersion;
+  body["req"] = req_id;
+  body["type"] = type;
+  if (!tag.empty()) body["tag"] = tag;
+  return io::Json(std::move(body));
+}
+}  // namespace
+
+io::Json make_result(const std::string& req_id, const std::string& tag,
+                     io::JsonObject body) {
+  return stamp(req_id, tag, "result", std::move(body));
+}
+
+io::Json make_error(const std::string& req_id, const std::string& tag,
+                    ErrorCode code, const std::string& message) {
+  io::JsonObject body;
+  body["code"] = error_code_name(code);
+  body["message"] = message;
+  return stamp(req_id, tag, "error", std::move(body));
+}
+
+io::Json make_event(const std::string& req_id, const std::string& tag,
+                    const std::string& type, io::JsonObject body) {
+  return stamp(req_id, tag, type, std::move(body));
+}
+
+bool is_terminal_frame(const io::Json& frame) {
+  const io::Json* type = frame.find("type");
+  if (type == nullptr || !type->is_string()) return true;  // fail safe
+  return type->as_string() == "result" || type->as_string() == "error";
+}
+
+}  // namespace kgdp::service

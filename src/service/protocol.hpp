@@ -1,0 +1,52 @@
+// kgdd wire protocol, v1 (schema_version = io::kSchemaVersion).
+//
+// Transport: newline-delimited JSON frames (see docs/service.md for the
+// full schema reference). A request is one object:
+//
+//   {"method": "verify", "params": {...}, "tag": "optional-client-tag"}
+//
+// Every reply frame carries {"schema_version", "req"} where `req` is the
+// server-assigned request id ("r<N>", monotone per daemon), plus the
+// client's `tag` verbatim when one was given, and a "type":
+//
+//   "result"    terminal success frame (exactly one per request)
+//   "error"     terminal failure frame {"code", "message"}
+//   "accepted"  a streaming verify was admitted {"session": "s<N>"}
+//   "progress"  streaming progress {"session", "items_done", "items_total"}
+//
+// Error codes are a closed enum (ErrorCode) so clients can switch on
+// them; the human-readable message is advisory only.
+#pragma once
+
+#include <string>
+
+#include "io/json.hpp"
+
+namespace kgdp::service {
+
+enum class ErrorCode {
+  kBadFrame,       // not a JSON object / unparsable
+  kBadRequest,     // missing or ill-typed method/params
+  kUnknownMethod,
+  kUnsupported,    // (n, k) outside the paper's construction coverage
+  kNotFound,       // unknown session / campaign dir
+  kOverloaded,     // admission queue or session registry full
+  kShuttingDown,   // daemon is draining
+  kFrameTooLarge,
+  kInternal,
+};
+
+const char* error_code_name(ErrorCode code);
+
+// Frame builders. `tag` is propagated when non-empty.
+io::Json make_result(const std::string& req_id, const std::string& tag,
+                     io::JsonObject body);
+io::Json make_error(const std::string& req_id, const std::string& tag,
+                    ErrorCode code, const std::string& message);
+io::Json make_event(const std::string& req_id, const std::string& tag,
+                    const std::string& type, io::JsonObject body);
+
+// True for the frame types that end a request's reply stream.
+bool is_terminal_frame(const io::Json& frame);
+
+}  // namespace kgdp::service

@@ -1,0 +1,754 @@
+#include "service/service.hpp"
+
+#include <exception>
+#include <fstream>
+#include <sstream>
+
+#include "campaign/checkpoint.hpp"
+#include "campaign/telemetry.hpp"
+#include "kgd/factory.hpp"
+#include "service/checkpoint.hpp"
+#include "sim/campaign.hpp"
+
+namespace kgdp::service {
+
+namespace {
+
+// --- param extraction helpers -------------------------------------------
+// Each returns false and fills *error on a missing/ill-typed field.
+
+bool param_int(const io::Json* params, const char* name, bool required,
+               std::int64_t def, std::int64_t min, std::int64_t max,
+               std::int64_t* out, std::string* error) {
+  const io::Json* v = params != nullptr ? params->find(name) : nullptr;
+  if (v == nullptr) {
+    if (required) {
+      *error = std::string("missing required param '") + name + "'";
+      return false;
+    }
+    *out = def;
+    return true;
+  }
+  if (!v->is_int() || v->as_int() < min || v->as_int() > max) {
+    *error = std::string("param '") + name + "' must be an integer in [" +
+             std::to_string(min) + ", " + std::to_string(max) + "]";
+    return false;
+  }
+  *out = v->as_int();
+  return true;
+}
+
+bool param_double(const io::Json* params, const char* name, double def,
+                  double* out, std::string* error) {
+  const io::Json* v = params != nullptr ? params->find(name) : nullptr;
+  if (v == nullptr) {
+    *out = def;
+    return true;
+  }
+  if (!v->is_number()) {
+    *error = std::string("param '") + name + "' must be a number";
+    return false;
+  }
+  *out = v->as_double();
+  return true;
+}
+
+bool param_string(const io::Json* params, const char* name,
+                  const std::string& def, std::string* out,
+                  std::string* error) {
+  const io::Json* v = params != nullptr ? params->find(name) : nullptr;
+  if (v == nullptr) {
+    *out = def;
+    return true;
+  }
+  if (!v->is_string()) {
+    *error = std::string("param '") + name + "' must be a string";
+    return false;
+  }
+  *out = v->as_string();
+  return true;
+}
+
+const char* instance_status_name(campaign::InstanceStatus s) {
+  switch (s) {
+    case campaign::InstanceStatus::kPending: return "pending";
+    case campaign::InstanceStatus::kRunning: return "running";
+    case campaign::InstanceStatus::kDone: return "done";
+  }
+  return "pending";
+}
+
+}  // namespace
+
+Service::Service(net::EventLoop& loop, net::FrameServer& server,
+                 ServiceConfig config)
+    : loop_(loop),
+      server_(server),
+      config_(std::move(config)),
+      pool_(config_.threads) {}
+
+Service::~Service() = default;
+
+std::string Service::next_req_id() {
+  std::string id = "r";
+  id += std::to_string(next_req_++);
+  return id;
+}
+
+void Service::send(std::uint64_t conn, const io::Json& frame) {
+  server_.send(conn, frame.dump());
+}
+
+void Service::reply_terminal(std::uint64_t conn, const std::string& method,
+                             const io::Json& frame, Outcome outcome,
+                             double seconds) {
+  metrics_.record(method, outcome, seconds);
+  send(conn, frame);
+}
+
+bool Service::admit_job() const {
+  return pool_.in_flight() <
+         static_cast<std::size_t>(pool_.thread_count()) + config_.max_queue;
+}
+
+// ---------------------------------------------------------------------------
+// Frame entry
+// ---------------------------------------------------------------------------
+
+void Service::handle_frame(std::uint64_t conn, std::string frame) {
+  const std::string req_id = next_req_id();
+  util::Timer timer;
+
+  io::Json request;
+  try {
+    request = io::Json::parse(frame);
+  } catch (const io::JsonParseError& e) {
+    reply_terminal(conn, "_frame",
+                   make_error(req_id, "", ErrorCode::kBadFrame, e.what()),
+                   Outcome::kError, timer.seconds());
+    return;
+  }
+  if (!request.is_object()) {
+    reply_terminal(
+        conn, "_frame",
+        make_error(req_id, "", ErrorCode::kBadFrame,
+                   "request frame must be a JSON object"),
+        Outcome::kError, timer.seconds());
+    return;
+  }
+
+  std::string tag;
+  std::string method;
+  std::string param_error;
+  if (!param_string(&request, "tag", "", &tag, &param_error) ||
+      !param_string(&request, "method", "", &method, &param_error)) {
+    reply_terminal(conn, "_frame",
+                   make_error(req_id, tag, ErrorCode::kBadRequest,
+                              param_error),
+                   Outcome::kError, timer.seconds());
+    return;
+  }
+  if (method.empty()) {
+    reply_terminal(conn, "_frame",
+                   make_error(req_id, tag, ErrorCode::kBadRequest,
+                              "missing required field 'method'"),
+                   Outcome::kError, timer.seconds());
+    return;
+  }
+  const io::Json* params = request.find("params");
+  if (params != nullptr && !params->is_object()) {
+    reply_terminal(conn, method,
+                   make_error(req_id, tag, ErrorCode::kBadRequest,
+                              "'params' must be an object"),
+                   Outcome::kError, timer.seconds());
+    return;
+  }
+
+  // Control-plane methods stay available while draining.
+  if (method == "ping") {
+    io::JsonObject body;
+    body["pong"] = true;
+    reply_terminal(conn, method, make_result(req_id, tag, std::move(body)),
+                   Outcome::kOk, timer.seconds());
+    return;
+  }
+  if (method == "stats") {
+    handle_stats(conn, req_id, tag);
+    return;
+  }
+  if (method == "cancel") {
+    handle_cancel(conn, req_id, tag, params);
+    return;
+  }
+  if (method == "shutdown") {
+    io::JsonObject body;
+    body["draining"] = true;
+    reply_terminal(conn, method, make_result(req_id, tag, std::move(body)),
+                   Outcome::kOk, timer.seconds());
+    // Posted so the reply is queued before connections start closing.
+    loop_.post([this] { begin_drain(); });
+    return;
+  }
+
+  if (draining_) {
+    reply_terminal(conn, method,
+                   make_error(req_id, tag, ErrorCode::kShuttingDown,
+                              "daemon is draining"),
+                   Outcome::kError, timer.seconds());
+    return;
+  }
+
+  if (method == "verify") {
+    handle_verify(conn, req_id, tag, params);
+    return;
+  }
+
+  if (method == "construct") {
+    std::int64_t n = 0, k = 0;
+    if (!param_int(params, "n", true, 0, 1, 1 << 20, &n, &param_error) ||
+        !param_int(params, "k", true, 0, 1, 64, &k, &param_error)) {
+      reply_terminal(conn, method,
+                     make_error(req_id, tag, ErrorCode::kBadRequest,
+                                param_error),
+                     Outcome::kError, timer.seconds());
+      return;
+    }
+    submit_job(conn, method, req_id, tag, [n, k]() -> JobReply {
+      JobReply r;
+      auto built = kgd::build_solution(static_cast<int>(n),
+                                       static_cast<int>(k));
+      if (!built) {
+        r.error_code = ErrorCode::kUnsupported;
+        r.error_message = "no construction for n=" + std::to_string(n) +
+                          " k=" + std::to_string(k);
+        return r;
+      }
+      r.body["name"] = built->name();
+      r.body["method"] = kgd::construction_method(static_cast<int>(n),
+                                                  static_cast<int>(k));
+      r.body["nodes"] = built->num_nodes();
+      r.body["inputs"] = built->num_inputs();
+      r.body["outputs"] = built->num_outputs();
+      r.body["processors"] = built->num_processors();
+      r.body["edges"] = static_cast<std::uint64_t>(
+          built->graph().num_edges());
+      return r;
+    });
+    return;
+  }
+
+  if (method == "sim.run") {
+    std::int64_t n = 0, k = 0, seed = 0;
+    sim::CampaignConfig sim_config;
+    double horizon_mcycles = 10.0;
+    if (!param_int(params, "n", true, 0, 1, 1 << 20, &n, &param_error) ||
+        !param_int(params, "k", true, 0, 1, 64, &k, &param_error) ||
+        !param_int(params, "seed", false, 1, 0, INT64_MAX, &seed,
+                   &param_error) ||
+        !param_double(params, "faults_per_mcycle",
+                      sim_config.faults_per_mcycle,
+                      &sim_config.faults_per_mcycle, &param_error) ||
+        !param_double(params, "repair_cycles", sim_config.repair_cycles,
+                      &sim_config.repair_cycles, &param_error) ||
+        !param_double(params, "horizon_mcycles", 10.0, &horizon_mcycles,
+                      &param_error)) {
+      reply_terminal(conn, method,
+                     make_error(req_id, tag, ErrorCode::kBadRequest,
+                                param_error),
+                     Outcome::kError, timer.seconds());
+      return;
+    }
+    sim_config.horizon_cycles = horizon_mcycles * 1e6;
+    sim_config.seed = static_cast<std::uint64_t>(seed);
+    submit_job(conn, method, req_id, tag, [n, k, sim_config]() -> JobReply {
+      JobReply r;
+      auto built = kgd::build_solution(static_cast<int>(n),
+                                       static_cast<int>(k));
+      if (!built) {
+        r.error_code = ErrorCode::kUnsupported;
+        r.error_message = "no construction for n=" + std::to_string(n) +
+                          " k=" + std::to_string(k);
+        return r;
+      }
+      const sim::CampaignResult res =
+          sim::run_availability_campaign(*built, sim_config);
+      r.body["availability"] = res.availability;
+      r.body["mean_utilization"] = res.mean_utilization;
+      r.body["faults_injected"] = res.faults_injected;
+      r.body["repairs_completed"] = res.repairs_completed;
+      r.body["reconfigurations"] = res.reconfigurations;
+      r.body["outages"] = res.outages;
+      r.body["worst_outage_cycles"] = res.worst_outage_cycles;
+      return r;
+    });
+    return;
+  }
+
+  if (method == "campaign.status") {
+    std::string dir;
+    if (!param_string(params, "dir", "", &dir, &param_error) ||
+        dir.empty()) {
+      reply_terminal(
+          conn, method,
+          make_error(req_id, tag, ErrorCode::kBadRequest,
+                     param_error.empty() ? "missing required param 'dir'"
+                                         : param_error),
+          Outcome::kError, timer.seconds());
+      return;
+    }
+    submit_job(conn, method, req_id, tag, [dir]() -> JobReply {
+      JobReply r;
+      campaign::CampaignState state;
+      try {
+        state = campaign::load_campaign_file(dir + "/checkpoint.kgdp");
+      } catch (const std::exception& e) {
+        r.error_code = ErrorCode::kNotFound;
+        r.error_message = e.what();
+        return r;
+      }
+      io::JsonArray instances;
+      std::int64_t done = 0, failing = 0;
+      for (const campaign::InstanceState& inst : state.instances) {
+        io::JsonObject f;
+        f["n"] = inst.n;
+        f["k"] = inst.k;
+        f["status"] = instance_status_name(inst.status);
+        if (inst.status == campaign::InstanceStatus::kDone) {
+          ++done;
+          if (!inst.result.holds) ++failing;
+          f["result"] = campaign::check_result_to_json(inst.result);
+        }
+        instances.push_back(io::Json(std::move(f)));
+      }
+      r.body["n_min"] = state.config.n_min;
+      r.body["n_max"] = state.config.n_max;
+      r.body["k_min"] = state.config.k_min;
+      r.body["k_max"] = state.config.k_max;
+      r.body["shard_index"] =
+          static_cast<std::int64_t>(state.config.shard_index);
+      r.body["shard_count"] =
+          static_cast<std::int64_t>(state.config.shard_count);
+      r.body["instances"] = std::move(instances);
+      r.body["done"] = done;
+      r.body["failing"] = failing;
+      return r;
+    });
+    return;
+  }
+
+  reply_terminal(conn, method,
+                 make_error(req_id, tag, ErrorCode::kUnknownMethod,
+                            "unknown method '" + method + "'"),
+                 Outcome::kError, timer.seconds());
+}
+
+// ---------------------------------------------------------------------------
+// One-shot jobs
+// ---------------------------------------------------------------------------
+
+void Service::submit_job(std::uint64_t conn, const std::string& method,
+                         const std::string& req_id, const std::string& tag,
+                         std::function<JobReply()> work) {
+  util::Timer timer;
+  if (!admit_job()) {
+    reply_terminal(conn, method,
+                   make_error(req_id, tag, ErrorCode::kOverloaded,
+                              "admission queue full"),
+                   Outcome::kOverloaded, timer.seconds());
+    return;
+  }
+  ++outstanding_jobs_;
+  pool_.submit([this, conn, method, req_id, tag, timer,
+                work = std::move(work)] {
+    JobReply reply;
+    try {
+      reply = work();
+    } catch (const std::exception& e) {
+      reply.error_code = ErrorCode::kInternal;
+      reply.error_message = e.what();
+    } catch (...) {
+      reply.error_code = ErrorCode::kInternal;
+      reply.error_message = "unknown error";
+    }
+    loop_.post([this, conn, method, req_id, tag, timer,
+                reply = std::move(reply)] {
+      if (reply.error_message.empty()) {
+        reply_terminal(conn, method,
+                       make_result(req_id, tag, reply.body), Outcome::kOk,
+                       timer.seconds());
+      } else {
+        reply_terminal(conn, method,
+                       make_error(req_id, tag, reply.error_code,
+                                  reply.error_message),
+                       Outcome::kError, timer.seconds());
+      }
+      --outstanding_jobs_;
+      maybe_finish_drain();
+    });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Control-plane handlers
+// ---------------------------------------------------------------------------
+
+void Service::handle_stats(std::uint64_t conn, const std::string& req_id,
+                           const std::string& tag) {
+  util::Timer timer;
+  io::JsonObject body;
+  body["metrics"] = metrics_.snapshot();
+  body["sessions_active"] = static_cast<std::uint64_t>(sessions_.size());
+  body["connections"] =
+      static_cast<std::uint64_t>(server_.connection_count());
+  io::JsonObject pool;
+  pool["threads"] = static_cast<std::int64_t>(pool_.thread_count());
+  pool["queue_depth"] = static_cast<std::uint64_t>(pool_.queue_depth());
+  pool["in_flight"] = static_cast<std::uint64_t>(pool_.in_flight());
+  body["pool"] = io::Json(std::move(pool));
+  body["draining"] = draining_;
+  if (!config_.metrics_path.empty()) {
+    std::ofstream out(config_.metrics_path, std::ios::app);
+    if (out) metrics_.dump_jsonl(out);
+  }
+  reply_terminal(conn, "stats", make_result(req_id, tag, std::move(body)),
+                 Outcome::kOk, timer.seconds());
+}
+
+void Service::handle_cancel(std::uint64_t conn, const std::string& req_id,
+                            const std::string& tag, const io::Json* params) {
+  util::Timer timer;
+  std::string sid, param_error;
+  if (!param_string(params, "session", "", &sid, &param_error) ||
+      sid.empty()) {
+    reply_terminal(
+        conn, "cancel",
+        make_error(req_id, tag, ErrorCode::kBadRequest,
+                   param_error.empty() ? "missing required param 'session'"
+                                       : param_error),
+        Outcome::kError, timer.seconds());
+    return;
+  }
+  const auto it = sessions_.find(sid);
+  io::JsonObject body;
+  body["session"] = sid;
+  body["found"] = it != sessions_.end();
+  if (it != sessions_.end()) {
+    Session& s = *it->second;
+    s.cancelled = true;
+    if (!s.running_chunk) finalize_cancelled(s);
+  }
+  reply_terminal(conn, "cancel", make_result(req_id, tag, std::move(body)),
+                 Outcome::kOk, timer.seconds());
+}
+
+// ---------------------------------------------------------------------------
+// Streaming verify sessions
+// ---------------------------------------------------------------------------
+
+void Service::handle_verify(std::uint64_t conn, const std::string& req_id,
+                            const std::string& tag, const io::Json* params) {
+  util::Timer timer;
+  std::string param_error;
+
+  std::string resume_path;
+  if (!param_string(params, "resume", "", &resume_path, &param_error)) {
+    reply_terminal(conn, "verify",
+                   make_error(req_id, tag, ErrorCode::kBadRequest,
+                              param_error),
+                   Outcome::kError, timer.seconds());
+    return;
+  }
+
+  auto s = std::make_unique<Session>();
+  s->conn = conn;
+  s->req_id = req_id;
+  s->tag = tag;
+  s->resume_path = resume_path;
+  s->chunk = config_.default_chunk;
+
+  if (resume_path.empty()) {
+    std::int64_t n = 0, k = 0, max_faults = 0, samples = 0, seed = 0,
+                 chunk = 0;
+    std::string mode, prune;
+    if (!param_int(params, "n", true, 0, 1, 1 << 20, &n, &param_error) ||
+        !param_int(params, "k", true, 0, 1, 64, &k, &param_error) ||
+        !param_int(params, "max_faults", false, k, 0, 64, &max_faults,
+                   &param_error) ||
+        !param_int(params, "samples", false, 1000, 0, INT64_MAX, &samples,
+                   &param_error) ||
+        !param_int(params, "seed", false, 1, 0, INT64_MAX, &seed,
+                   &param_error) ||
+        !param_int(params, "chunk", false,
+                   static_cast<std::int64_t>(config_.default_chunk), 1,
+                   INT64_MAX, &chunk, &param_error) ||
+        !param_string(params, "mode", "exhaustive", &mode, &param_error) ||
+        !param_string(params, "prune", "auto", &prune, &param_error)) {
+      reply_terminal(conn, "verify",
+                     make_error(req_id, tag, ErrorCode::kBadRequest,
+                                param_error),
+                     Outcome::kError, timer.seconds());
+      return;
+    }
+    if (mode != "exhaustive" && mode != "sampled") {
+      reply_terminal(conn, "verify",
+                     make_error(req_id, tag, ErrorCode::kBadRequest,
+                                "param 'mode' must be exhaustive|sampled"),
+                     Outcome::kError, timer.seconds());
+      return;
+    }
+    if (prune != "auto" && prune != "off") {
+      reply_terminal(conn, "verify",
+                     make_error(req_id, tag, ErrorCode::kBadRequest,
+                                "param 'prune' must be auto|off"),
+                     Outcome::kError, timer.seconds());
+      return;
+    }
+    s->n = static_cast<int>(n);
+    s->k = static_cast<int>(k);
+    s->req.mode = mode == "exhaustive" ? verify::CheckMode::kExhaustive
+                                       : verify::CheckMode::kSampled;
+    s->req.max_faults = static_cast<int>(max_faults);
+    s->req.samples = static_cast<std::uint64_t>(samples);
+    s->req.seed = static_cast<std::uint64_t>(seed);
+    s->req.options.prune = prune == "auto" ? verify::PruneMode::kAuto
+                                           : verify::PruneMode::kOff;
+    s->chunk = static_cast<std::uint64_t>(chunk);
+  }
+
+  if (sessions_.size() >= config_.max_sessions || !admit_job()) {
+    reply_terminal(conn, "verify",
+                   make_error(req_id, tag, ErrorCode::kOverloaded,
+                              sessions_.size() >= config_.max_sessions
+                                  ? "session registry full"
+                                  : "admission queue full"),
+                   Outcome::kOverloaded, timer.seconds());
+    return;
+  }
+
+  s->id = "s";
+  s->id += std::to_string(next_session_++);
+  const std::string sid = s->id;
+  Session& ref = *s;
+  sessions_.emplace(sid, std::move(s));
+
+  io::JsonObject body;
+  body["session"] = sid;
+  send(conn, make_event(req_id, tag, "accepted", std::move(body)));
+  schedule_session_work(ref);
+}
+
+void Service::schedule_session_work(Session& s) {
+  s.running_chunk = true;
+  const std::string sid = s.id;
+  Session* sp = &s;  // stable: owned by sessions_ via unique_ptr
+  pool_.submit([this, sid, sp] {
+    std::string error;
+    ErrorCode code = ErrorCode::kInternal;
+    try {
+      if (sp->session == nullptr) {
+        // First task: build the graph and session (and restore the
+        // cursor when resuming a drain checkpoint).
+        if (!sp->resume_path.empty()) {
+          const SessionCheckpoint cp =
+              load_session_checkpoint_file(sp->resume_path);
+          sp->n = cp.n;
+          sp->k = cp.k;
+          sp->req = cp.request();
+          sp->chunk = cp.chunk == 0 ? sp->chunk : cp.chunk;
+          auto built = kgd::build_solution(cp.n, cp.k);
+          if (!built) {
+            throw std::runtime_error("checkpoint names unsupported n=" +
+                                     std::to_string(cp.n) +
+                                     " k=" + std::to_string(cp.k));
+          }
+          sp->sg.emplace(std::move(*built));
+          sp->session =
+              std::make_unique<verify::CheckSession>(*sp->sg, sp->req);
+          std::istringstream cursor(cp.cursor);
+          sp->session->restore(cursor);
+        } else {
+          auto built = kgd::build_solution(sp->n, sp->k);
+          if (!built) {
+            code = ErrorCode::kUnsupported;
+            throw std::runtime_error(
+                "no construction for n=" + std::to_string(sp->n) +
+                " k=" + std::to_string(sp->k));
+          }
+          sp->sg.emplace(std::move(*built));
+          sp->session =
+              std::make_unique<verify::CheckSession>(*sp->sg, sp->req);
+        }
+      } else {
+        sp->session->advance(sp->chunk);
+      }
+      error.clear();
+    } catch (const std::exception& e) {
+      if (code == ErrorCode::kInternal && sp->session == nullptr) {
+        code = ErrorCode::kBadRequest;  // checkpoint load/restore failure
+      }
+      error = e.what();
+    }
+    loop_.post([this, sid, error, code] { chunk_done(sid, error, code); });
+  });
+}
+
+void Service::chunk_done(const std::string& sid, const std::string& error,
+                         ErrorCode code) {
+  const auto it = sessions_.find(sid);
+  if (it == sessions_.end()) return;  // defensive; should not happen
+  Session& s = *it->second;
+  s.running_chunk = false;
+
+  if (!error.empty()) {
+    finalize_error(s, code, error);
+    return;
+  }
+  if (s.cancelled) {
+    finalize_cancelled(s);
+    return;
+  }
+  if (s.session->done()) {
+    finalize_done(s);
+    return;
+  }
+  if (draining_) {
+    finalize_drained(s);
+    return;
+  }
+
+  io::JsonObject body;
+  body["session"] = s.id;
+  body["items_done"] = s.session->items_done();
+  body["items_total"] = s.session->items_total();
+  send(s.conn, make_event(s.req_id, s.tag, "progress", std::move(body)));
+  schedule_session_work(s);
+}
+
+void Service::finalize_done(Session& s) {
+  io::JsonObject body;
+  body["session"] = s.id;
+  body["status"] = "done";
+  body["items_done"] = s.session->items_done();
+  body["items_total"] = s.session->items_total();
+  body["verdict"] = campaign::check_result_to_json(s.session->result());
+  reply_terminal(s.conn, "verify",
+                 make_result(s.req_id, s.tag, std::move(body)), Outcome::kOk,
+                 s.timer.seconds());
+  destroy_session(s.id);
+}
+
+void Service::finalize_cancelled(Session& s) {
+  io::JsonObject body;
+  body["session"] = s.id;
+  body["status"] = "cancelled";
+  if (s.session != nullptr) {
+    body["items_done"] = s.session->items_done();
+    body["items_total"] = s.session->items_total();
+  }
+  reply_terminal(s.conn, "verify",
+                 make_result(s.req_id, s.tag, std::move(body)),
+                 Outcome::kCancelled, s.timer.seconds());
+  destroy_session(s.id);
+}
+
+void Service::finalize_drained(Session& s) {
+  io::JsonObject body;
+  body["session"] = s.id;
+  body["status"] = "drained";
+  try {
+    SessionCheckpoint cp;
+    cp.n = s.n;
+    cp.k = s.k;
+    cp.mode = s.req.mode;
+    cp.max_faults = s.req.max_faults;
+    cp.samples = s.req.samples;
+    cp.seed = s.req.seed;
+    cp.prune = s.req.options.prune;
+    cp.chunk = s.chunk;
+    std::ostringstream cursor;
+    s.session->save(cursor);
+    cp.cursor = cursor.str();
+    const std::string path =
+        config_.drain_dir + "/kgdd-" + s.id + ".kgdp";
+    write_session_checkpoint_file(path, cp);
+    body["checkpoint"] = path;
+    body["items_done"] = s.session->items_done();
+    body["items_total"] = s.session->items_total();
+  } catch (const std::exception& e) {
+    finalize_error(s, ErrorCode::kInternal,
+                   std::string("drain checkpoint failed: ") + e.what());
+    return;
+  }
+  reply_terminal(s.conn, "verify",
+                 make_result(s.req_id, s.tag, std::move(body)),
+                 Outcome::kDrained, s.timer.seconds());
+  destroy_session(s.id);
+}
+
+void Service::finalize_error(Session& s, ErrorCode code,
+                             const std::string& what) {
+  reply_terminal(s.conn, "verify", make_error(s.req_id, s.tag, code, what),
+                 Outcome::kError, s.timer.seconds());
+  destroy_session(s.id);
+}
+
+void Service::destroy_session(const std::string& sid) {
+  sessions_.erase(sid);
+  maybe_finish_drain();
+}
+
+// ---------------------------------------------------------------------------
+// Connection lifecycle and drain
+// ---------------------------------------------------------------------------
+
+void Service::handle_close(std::uint64_t conn) {
+  // Orphaned sessions: cancel them so the pool stops burning cycles for
+  // a client that is gone. Sends to the dead connection become no-ops.
+  std::vector<std::string> to_finalize;
+  for (auto& [sid, s] : sessions_) {
+    if (s->conn != conn) continue;
+    s->cancelled = true;
+    if (!s->running_chunk) to_finalize.push_back(sid);
+  }
+  for (const std::string& sid : to_finalize) {
+    const auto it = sessions_.find(sid);
+    if (it != sessions_.end()) finalize_cancelled(*it->second);
+  }
+  maybe_finish_drain();
+}
+
+void Service::handle_abuse(std::uint64_t conn, const std::string& what) {
+  metrics_.record("_frame", Outcome::kError, 0.0);
+  send(conn,
+       make_error(next_req_id(), "", ErrorCode::kFrameTooLarge, what));
+}
+
+void Service::begin_drain() {
+  if (draining_) return;
+  draining_ = true;
+  server_.stop_accepting();
+  std::vector<std::string> idle;
+  for (auto& [sid, s] : sessions_) {
+    if (!s->running_chunk) idle.push_back(sid);
+  }
+  for (const std::string& sid : idle) {
+    const auto it = sessions_.find(sid);
+    if (it != sessions_.end()) finalize_drained(*it->second);
+  }
+  maybe_finish_drain();
+}
+
+void Service::maybe_finish_drain() {
+  if (!draining_ || !sessions_.empty() || outstanding_jobs_ != 0) return;
+  if (!drain_finalized_) {
+    drain_finalized_ = true;
+    if (!config_.metrics_path.empty()) {
+      std::ofstream out(config_.metrics_path, std::ios::app);
+      if (out) metrics_.dump_jsonl(out);
+    }
+    server_.close_all_after_flush();
+  }
+  if (server_.connection_count() == 0) loop_.stop();
+}
+
+}  // namespace kgdp::service

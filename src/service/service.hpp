@@ -1,0 +1,151 @@
+// kgdd request router and session registry. Sits between the
+// content-agnostic net::FrameServer and the checker/construction/sim
+// libraries:
+//
+//   * every inbound frame is parsed, validated, and answered with
+//     protocol.hpp frames carrying a server-assigned request id;
+//   * quick requests (construct, sim.run, campaign.status) run as one
+//     util::ThreadPool task each, behind a bounded admission rule —
+//     when every worker is busy and max_queue requests are already
+//     waiting, the request is shed with an `overloaded` error instead
+//     of ever blocking the event loop;
+//   * `verify` runs as a streaming session: the CheckSession advances
+//     in bounded chunks (one pool task per chunk), the client gets
+//     `accepted` + per-chunk `progress` frames, may `cancel` mid-sweep,
+//     and a draining daemon checkpoints the cursor to disk so a later
+//     `verify {"resume": path}` reproduces the uninterrupted verdict.
+//
+// Threading contract: every Service method and callback runs on the
+// event-loop thread. Pool tasks touch only their own session (guarded
+// by the running_chunk flag) or job-local state, and hand results back
+// via EventLoop::post.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "io/json.hpp"
+#include "kgd/labeled_graph.hpp"
+#include "net/event_loop.hpp"
+#include "net/server.hpp"
+#include "service/metrics.hpp"
+#include "service/protocol.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+#include "verify/check_session.hpp"
+
+namespace kgdp::service {
+
+struct ServiceConfig {
+  unsigned threads = 0;  // worker pool size; 0 = hardware concurrency
+  // Admission rule: a job is shed with `overloaded` when in_flight() >=
+  // threads + max_queue (all workers busy and max_queue already waiting).
+  std::size_t max_queue = 64;
+  // Cap on concurrently admitted streaming verify sessions.
+  std::size_t max_sessions = 8;
+  // Default work items per verify chunk (overridable per request).
+  std::uint64_t default_chunk = 512;
+  // Where SIGTERM drain writes session checkpoints.
+  std::string drain_dir = ".";
+  // Optional JSONL sink appended on every `stats` request and at drain.
+  std::string metrics_path;
+};
+
+class Service {
+ public:
+  Service(net::EventLoop& loop, net::FrameServer& server,
+          ServiceConfig config);
+  ~Service();
+
+  // net::FrameServer handler entry points (wired by the daemon).
+  void handle_frame(std::uint64_t conn, std::string frame);
+  void handle_close(std::uint64_t conn);
+  void handle_abuse(std::uint64_t conn, const std::string& what);
+
+  // Stops admitting work, checkpoints in-flight sessions to drain_dir,
+  // flushes metrics, closes connections after their buffers flush, and
+  // stops the event loop once everything lands. Idempotent.
+  void begin_drain();
+
+  bool draining() const { return draining_; }
+  std::size_t active_sessions() const { return sessions_.size(); }
+  util::ThreadPool& pool() { return pool_; }
+
+ private:
+  struct Session {
+    std::string id;
+    std::uint64_t conn = 0;
+    std::string req_id, tag;
+    int n = 0, k = 0;
+    verify::CheckRequest req;  // options.pool stays null (chunk = task)
+    std::uint64_t chunk = 0;
+    std::string resume_path;  // non-empty when restoring a checkpoint
+    std::optional<kgd::SolutionGraph> sg;
+    std::unique_ptr<verify::CheckSession> session;
+    // True while a pool task (creation or a chunk) owns the session's
+    // compute state; finalization waits for the task to post back.
+    bool running_chunk = false;
+    bool cancelled = false;
+    util::Timer timer;
+  };
+
+  std::string next_req_id();
+
+  // Frame/reply plumbing.
+  void send(std::uint64_t conn, const io::Json& frame);
+  void reply_terminal(std::uint64_t conn, const std::string& method,
+                      const io::Json& frame, Outcome outcome,
+                      double seconds);
+
+  // Admission rule for one-shot jobs.
+  bool admit_job() const;
+
+  // Runs `work` on the pool; the returned (frame-body, outcome) is sent
+  // as the request's terminal frame from the loop thread.
+  struct JobReply {
+    io::JsonObject body;          // result body when ok
+    std::string error_message;    // non-empty selects an error frame
+    ErrorCode error_code = ErrorCode::kInternal;
+  };
+  void submit_job(std::uint64_t conn, const std::string& method,
+                  const std::string& req_id, const std::string& tag,
+                  std::function<JobReply()> work);
+
+  // Request handlers (loop thread).
+  void handle_verify(std::uint64_t conn, const std::string& req_id,
+                     const std::string& tag, const io::Json* params);
+  void handle_cancel(std::uint64_t conn, const std::string& req_id,
+                     const std::string& tag, const io::Json* params);
+  void handle_stats(std::uint64_t conn, const std::string& req_id,
+                    const std::string& tag);
+
+  // Session machinery (loop thread unless noted).
+  void schedule_session_work(Session& s);  // submits creation/chunk task
+  void chunk_done(const std::string& sid, const std::string& error,
+                  ErrorCode code);
+  void finalize_done(Session& s);
+  void finalize_cancelled(Session& s);
+  void finalize_drained(Session& s);
+  void finalize_error(Session& s, ErrorCode code, const std::string& what);
+  void destroy_session(const std::string& sid);
+  void maybe_finish_drain();
+
+  net::EventLoop& loop_;
+  net::FrameServer& server_;
+  ServiceConfig config_;
+  util::ThreadPool pool_;
+  Metrics metrics_;
+
+  std::map<std::string, std::unique_ptr<Session>> sessions_;
+  std::uint64_t next_req_ = 1;
+  std::uint64_t next_session_ = 1;
+  std::size_t outstanding_jobs_ = 0;
+  bool draining_ = false;
+  bool drain_finalized_ = false;
+};
+
+}  // namespace kgdp::service

@@ -32,6 +32,16 @@ void ThreadPool::submit(std::function<void()> task) {
   cv_task_.notify_one();
 }
 
+std::size_t ThreadPool::queue_depth() const {
+  std::lock_guard lk(mu_);
+  return queue_.size();
+}
+
+std::size_t ThreadPool::in_flight() const {
+  std::lock_guard lk(mu_);
+  return in_flight_;
+}
+
 void ThreadPool::wait_idle() {
   std::unique_lock lk(mu_);
   cv_idle_.wait(lk, [this] { return in_flight_ == 0; });

@@ -32,12 +32,21 @@ class ThreadPool {
   // Block until every submitted task has finished.
   void wait_idle();
 
+  // Introspection for admission control: tasks submitted but not yet
+  // picked up by a worker / submitted but not yet finished (queued +
+  // running). Both are instantaneous snapshots — by the time the caller
+  // acts the value may have moved — but they are exact at the moment of
+  // the read and monotone within one lock hold, which is all a
+  // load-shedding threshold needs.
+  std::size_t queue_depth() const;
+  std::size_t in_flight() const;
+
  private:
   void worker_loop();
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;

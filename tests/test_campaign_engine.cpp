@@ -21,6 +21,12 @@
 namespace kgdp::campaign {
 namespace {
 
+RunLimits chunk_limit(std::uint64_t n) {
+  RunLimits limits;
+  limits.max_chunks = n;
+  return limits;
+}
+
 CampaignConfig acceptance_config() {
   CampaignConfig c;
   c.n_min = 3;
@@ -151,7 +157,7 @@ TEST(Campaign, ResultSerializationRoundTripsExactly) {
 TEST(Campaign, CampaignFileRoundTripIsStable) {
   CampaignConfig c = acceptance_config();
   CampaignRunner partial(make_campaign(c), /*checkpoint_path=*/"");
-  const RunOutcome out = partial.run({.max_chunks = 3});
+  const RunOutcome out = partial.run(chunk_limit(3));
   ASSERT_FALSE(out.complete);  // mid-sweep: one instance carries a cursor
 
   std::stringstream first;
@@ -199,7 +205,7 @@ TEST(Campaign, InterruptedAndResumedMatchesUninterrupted) {
   while (true) {
     // Each iteration reloads from disk, exactly like a fresh process.
     CampaignRunner runner(load_campaign_file(path), path);
-    const RunOutcome out = runner.run({.max_chunks = 3});
+    const RunOutcome out = runner.run(chunk_limit(3));
     if (out.complete) {
       ASSERT_TRUE(out.all_hold);
       const CampaignState& resumed = runner.state();
@@ -354,7 +360,7 @@ TEST(Campaign, StatusSummaryShowsProgress) {
   const std::string pending = status_summary(runner.state());
   EXPECT_NE(pending.find("G(3,4): pending"), std::string::npos) << pending;
 
-  runner.run({.max_chunks = 3});
+  runner.run(chunk_limit(3));
   const std::string running = status_summary(runner.state());
   EXPECT_NE(running.find("running (cursor at slot"), std::string::npos)
       << running;

@@ -1,0 +1,264 @@
+// Wire-hardening tests for io::Json::parse: canonical round trips,
+// control characters, multibyte UTF-8 and surrogate escapes, int64
+// boundaries, oversized numbers, depth limits, and a malformed-input
+// corpus. The parser feeds kgdd directly, so everything here is a frame
+// an adversarial client could send.
+#include "io/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace kgdp::io {
+namespace {
+
+std::string reparse(const std::string& text) {
+  return Json::parse(text).dump();
+}
+
+TEST(JsonWire, CanonicalTextsRoundTripExactly) {
+  // Each string is already in dump() canonical form (no spaces, object
+  // keys sorted), so parse-then-dump must reproduce it byte for byte.
+  const std::vector<std::string> corpus = {
+      "null",
+      "true",
+      "false",
+      "0",
+      "-1",
+      "42",
+      "9223372036854775807",
+      "-9223372036854775808",
+      "0.5",
+      "-2.25",
+      "1e+300",
+      "\"\"",
+      "\"hello\"",
+      "[]",
+      "{}",
+      "[1,2,3]",
+      "[[[]]]",
+      "[null,true,\"x\",0.25]",
+      "{\"a\":1,\"b\":[true,null],\"c\":{\"d\":\"e\"}}",
+      "\"\\\"quoted\\\\\"",
+      "\"line\\nbreak\\ttab\"",
+  };
+  for (const std::string& text : corpus) {
+    EXPECT_EQ(reparse(text), text) << text;
+    // Idempotent: a second round trip changes nothing.
+    EXPECT_EQ(reparse(reparse(text)), reparse(text)) << text;
+  }
+}
+
+TEST(JsonWire, EveryControlCharacterRoundTrips) {
+  std::string raw;
+  for (int c = 0; c < 0x20; ++c) raw += static_cast<char>(c);
+  raw += "tail";
+  const Json v(raw);
+  const Json back = Json::parse(v.dump());
+  EXPECT_EQ(back.as_string(), raw);
+  // And raw (unescaped) control characters are rejected on the wire.
+  for (int c = 1; c < 0x20; ++c) {
+    std::string text = "\"x";
+    text += static_cast<char>(c);
+    text += '"';
+    EXPECT_THROW(Json::parse(text), JsonParseError) << "control " << c;
+  }
+}
+
+TEST(JsonWire, MultibyteUtf8PassesThrough) {
+  const std::string text = "\"h\xC3\xA9llo \xE2\x9C\x93 \xF0\x9F\x9A\x80\"";
+  const Json v = Json::parse(text);
+  EXPECT_EQ(v.dump(), text);  // bytes preserved exactly, no re-escaping
+}
+
+TEST(JsonWire, UnicodeEscapesDecodeToUtf8) {
+  EXPECT_EQ(Json::parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(Json::parse("\"\\u00e9\"").as_string(), "\xC3\xA9");
+  EXPECT_EQ(Json::parse("\"\\u2713\"").as_string(), "\xE2\x9C\x93");
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(Json::parse("\"\\ud83d\\ude00\"").as_string(),
+            "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonWire, Int64BoundariesParseAsIntegers) {
+  EXPECT_TRUE(Json::parse("9223372036854775807").is_int());
+  EXPECT_EQ(Json::parse("9223372036854775807").as_int(), INT64_MAX);
+  EXPECT_TRUE(Json::parse("-9223372036854775808").is_int());
+  EXPECT_EQ(Json::parse("-9223372036854775808").as_int(), INT64_MIN);
+  // One past the boundary falls back to double, not garbage.
+  EXPECT_TRUE(Json::parse("9223372036854775808").is_double());
+  EXPECT_TRUE(Json::parse("-9223372036854775809").is_double());
+  EXPECT_TRUE(Json::parse("184467440737095516150").is_double());
+}
+
+TEST(JsonWire, OversizedNumbersAreRejected) {
+  EXPECT_THROW(Json::parse("1e999"), JsonParseError);
+  EXPECT_THROW(Json::parse("-1e999"), JsonParseError);
+  EXPECT_THROW(Json::parse("1e309"), JsonParseError);
+  EXPECT_THROW(Json::parse("[1,2,1e400]"), JsonParseError);
+  // Underflow is not an error: it quietly becomes 0 (or a denormal).
+  EXPECT_TRUE(Json::parse("1e-400").is_double());
+  EXPECT_TRUE(std::isfinite(Json::parse("1e-400").as_double()));
+}
+
+TEST(JsonWire, NestingDepthIsLimited) {
+  const auto nest = [](int levels) {
+    return std::string(levels, '[') + std::string(levels, ']');
+  };
+  EXPECT_NO_THROW(Json::parse(nest(32)));
+  EXPECT_NO_THROW(Json::parse(nest(64)));
+  EXPECT_THROW(Json::parse(nest(80)), JsonParseError);
+  EXPECT_THROW(Json::parse(nest(4096)), JsonParseError);
+  // Caller-tightened limit.
+  EXPECT_THROW(Json::parse(nest(16), /*max_depth=*/8), JsonParseError);
+  EXPECT_NO_THROW(Json::parse(nest(8), /*max_depth=*/8));
+}
+
+TEST(JsonWire, MalformedCorpusIsRejectedWithOffsets) {
+  const std::vector<std::string> corpus = {
+      "",
+      "   ",
+      "{",
+      "[",
+      "[1,",
+      "[,1]",
+      "[1 2]",
+      "[1,]",
+      "{\"a\":}",
+      "{\"a\" 1}",
+      "{a:1}",
+      "{\"a\":1,}",
+      "{\"a\":1 \"b\":2}",
+      "01",
+      "-01",
+      "1.",
+      ".5",
+      "+1",
+      "-",
+      "1e",
+      "1e+",
+      "nan",
+      "inf",
+      "NaN",
+      "--1",
+      "0x10",
+      "tru",
+      "nul",
+      "falsehood",
+      "\"",
+      "\"unterminated",
+      "\"bad\\q\"",
+      "\"\\u12g4\"",
+      "\"\\ud800\"",        // lone high surrogate
+      "\"\\ud800x\"",       // high surrogate, no escape follows
+      "\"\\ud800\\u0041\"", // high surrogate + non-low-surrogate
+      "\"\\udc00\"",        // lone low surrogate
+      "1 2",
+      "{} {}",
+      "[]]",
+      "null,",
+  };
+  for (const std::string& text : corpus) {
+    try {
+      Json::parse(text);
+      ADD_FAILURE() << "accepted malformed input: " << text;
+    } catch (const JsonParseError& e) {
+      EXPECT_LE(e.offset(), text.size()) << text;
+    }
+  }
+}
+
+// Deterministic fuzz-style sweep: random values whose doubles are exact
+// short decimals (m / 64), dumped and reparsed; the canonical text must
+// be a fixpoint of parse-then-dump.
+Json random_value(util::Rng& rng, int depth) {
+  const std::uint64_t kind = rng.next_below(depth >= 4 ? 5 : 7);
+  switch (kind) {
+    case 0: return Json(nullptr);
+    case 1: return Json(rng.next_below(2) == 0);
+    case 2:
+      return Json(static_cast<std::int64_t>(rng.next_below(2000001)) -
+                  1000000);
+    case 3:
+      return Json(
+          static_cast<double>(static_cast<std::int64_t>(
+                                  rng.next_below(8192)) -
+                              4096) /
+          64.0);
+    case 4: {
+      std::string s;
+      const std::uint64_t len = rng.next_below(12);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        const std::uint64_t pick = rng.next_below(20);
+        if (pick == 0) {
+          s += static_cast<char>(rng.next_below(0x20));  // control char
+        } else if (pick == 1) {
+          s += "\xE2\x9C\x93";  // multibyte UTF-8
+        } else if (pick == 2) {
+          s += '"';
+        } else if (pick == 3) {
+          s += '\\';
+        } else {
+          s += static_cast<char>('a' + rng.next_below(26));
+        }
+      }
+      return Json(std::move(s));
+    }
+    case 5: {
+      JsonArray arr;
+      const std::uint64_t len = rng.next_below(4);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        arr.push_back(random_value(rng, depth + 1));
+      }
+      return Json(std::move(arr));
+    }
+    default: {
+      JsonObject obj;
+      const std::uint64_t len = rng.next_below(4);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        obj["k" + std::to_string(rng.next_below(100))] =
+            random_value(rng, depth + 1);
+      }
+      return Json(std::move(obj));
+    }
+  }
+}
+
+TEST(JsonWire, RandomValuesRoundTripThroughCanonicalText) {
+  util::Rng rng(0xC0FFEE);
+  for (int i = 0; i < 500; ++i) {
+    const Json v = random_value(rng, 0);
+    const std::string canonical = v.dump();
+    const std::string again = reparse(canonical);
+    ASSERT_EQ(again, canonical) << "iteration " << i;
+  }
+}
+
+TEST(JsonWire, AccessorsThrowOnTypeMismatch) {
+  const Json v = Json::parse("{\"s\":\"x\",\"n\":3}");
+  EXPECT_THROW(v.as_array(), std::runtime_error);
+  EXPECT_THROW(v.find("s")->as_int(), std::runtime_error);
+  EXPECT_THROW(v.find("n")->as_string(), std::runtime_error);
+  EXPECT_THROW(v.find("n")->as_bool(), std::runtime_error);
+  EXPECT_EQ(v.find("n")->as_double(), 3.0);  // int widens to double
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_EQ(Json(3).find("anything"), nullptr);  // non-object
+}
+
+TEST(JsonWire, ParseErrorCarriesUsefulOffset) {
+  try {
+    Json::parse("[1,]");
+    FAIL();
+  } catch (const JsonParseError& e) {
+    EXPECT_EQ(e.offset(), 3u);
+    EXPECT_NE(std::string(e.what()).find("at byte 3"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace kgdp::io

@@ -1,0 +1,634 @@
+// kgdd integration tests against a real in-process Daemon: concurrent
+// mixed-traffic clients (every request must get a terminal reply),
+// protocol-abuse rejection, deterministic load shedding, cancel
+// mid-sweep, and the SIGTERM-drain checkpoint/resume acceptance
+// criterion — a drained-then-resumed verify must reproduce the
+// uninterrupted verdict bit-identically on its deterministic fields.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/json.hpp"
+#include "net/client.hpp"
+#include "net/socket.hpp"
+#include "service/daemon.hpp"
+#include "service/protocol.hpp"
+
+namespace kgdp::service {
+namespace {
+
+constexpr int kReadTimeoutMs = 120000;  // generous: ASan Debug is slow
+
+// In-process daemon on an ephemeral TCP port, drained in the fixture's
+// destructor so a failing test never leaks the loop thread.
+class DaemonFixture {
+ public:
+  explicit DaemonFixture(ServiceConfig service = {},
+                         net::FrameServerConfig server = {}) {
+    DaemonConfig config;
+    config.endpoints.push_back(net::Endpoint::tcp("127.0.0.1", 0));
+    config.server = server;
+    config.service = std::move(service);
+    config.watch_stop_signal = false;
+    daemon_ = std::make_unique<Daemon>(std::move(config));
+    daemon_->start_thread();
+  }
+
+  ~DaemonFixture() {
+    if (daemon_ != nullptr) {
+      daemon_->begin_drain();
+      daemon_->join();
+    }
+  }
+
+  net::Client connect() {
+    std::string error;
+    auto client = net::Client::connect(
+        net::Endpoint::tcp("127.0.0.1", daemon_->tcp_port()), &error);
+    EXPECT_TRUE(client.has_value()) << error;
+    return std::move(*client);
+  }
+
+  Daemon& daemon() { return *daemon_; }
+
+ private:
+  std::unique_ptr<Daemon> daemon_;
+};
+
+io::Json request_frame(const std::string& method, io::JsonObject params,
+                       const std::string& tag = {}) {
+  io::JsonObject frame;
+  frame["method"] = method;
+  frame["params"] = io::Json(std::move(params));
+  if (!tag.empty()) frame["tag"] = tag;
+  return io::Json(std::move(frame));
+}
+
+// Sends one request and reads frames until the terminal result/error.
+// Returns the terminal frame; streams (accepted/progress) are counted
+// into *streamed when given.
+std::optional<io::Json> roundtrip(net::Client& client, const io::Json& req,
+                                  int* streamed = nullptr) {
+  std::string error;
+  if (!client.send_json(req, &error)) {
+    ADD_FAILURE() << "send: " << error;
+    return std::nullopt;
+  }
+  while (true) {
+    auto frame = client.read_json(kReadTimeoutMs, &error);
+    if (!frame.has_value()) {
+      ADD_FAILURE() << "read: " << error;
+      return std::nullopt;
+    }
+    if (is_terminal_frame(*frame)) return frame;
+    if (streamed != nullptr) ++*streamed;
+  }
+}
+
+std::string frame_type(const io::Json& frame) {
+  const io::Json* t = frame.find("type");
+  return t != nullptr && t->is_string() ? t->as_string() : "";
+}
+
+std::string error_code(const io::Json& frame) {
+  const io::Json* c = frame.find("code");
+  return c != nullptr && c->is_string() ? c->as_string() : "";
+}
+
+// The deterministic fields of a verify verdict: everything except the
+// timing/scheduling fields (worker_solve_seconds, steal_count).
+std::string deterministic_verdict(const io::Json& terminal) {
+  const io::Json* v = terminal.find("verdict");
+  if (v == nullptr) return "<no verdict>";
+  io::JsonObject out;
+  for (const char* field :
+       {"holds", "exhaustive", "fault_sets_checked", "fault_sets_solved",
+        "orbits_pruned", "automorphism_order", "solver_unknowns",
+        "counterexample", "counterexample_index"}) {
+    if (const io::Json* f = v->find(field)) out[field] = *f;
+  }
+  return io::Json(std::move(out)).dump();
+}
+
+TEST(Service, PingStatsAndSchemaStamping) {
+  DaemonFixture fx;
+  net::Client client = fx.connect();
+  const auto pong =
+      roundtrip(client, request_frame("ping", {}, /*tag=*/"t-1"));
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(frame_type(*pong), "result");
+  EXPECT_EQ(pong->find("schema_version")->as_int(), io::kSchemaVersion);
+  EXPECT_EQ(pong->find("req")->as_string(), "r1");
+  EXPECT_EQ(pong->find("tag")->as_string(), "t-1");
+  EXPECT_TRUE(pong->find("pong")->as_bool());
+
+  const auto stats = roundtrip(client, request_frame("stats", {}));
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->find("req")->as_string(), "r2");  // ids are monotone
+  EXPECT_EQ(stats->find("sessions_active")->as_int(), 0);
+  const io::Json* ping_metrics =
+      stats->find("metrics")->find("methods")->find("ping");
+  ASSERT_NE(ping_metrics, nullptr);
+  EXPECT_EQ(ping_metrics->find("count")->as_int(), 1);
+  EXPECT_EQ(ping_metrics->find("ok")->as_int(), 1);
+}
+
+TEST(Service, StreamingVerifyDeliversProgressThenVerdict) {
+  ServiceConfig config;
+  config.threads = 2;
+  DaemonFixture fx(config);
+  net::Client client = fx.connect();
+  io::JsonObject params;
+  params["n"] = 3;
+  params["k"] = 4;
+  params["chunk"] = 200;  // G(3,4) sweeps ~2000 items: several chunks
+  int streamed = 0;
+  const auto verdict =
+      roundtrip(client, request_frame("verify", std::move(params)),
+                &streamed);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_EQ(frame_type(*verdict), "result");
+  EXPECT_EQ(verdict->find("status")->as_string(), "done");
+  EXPECT_GE(streamed, 2);  // at least `accepted` + one progress frame
+  EXPECT_TRUE(verdict->find("verdict")->find("holds")->as_bool());
+  EXPECT_TRUE(verdict->find("verdict")->find("exhaustive")->as_bool());
+}
+
+TEST(Service, EightClientsMixedTrafficZeroDroppedRequests) {
+  ServiceConfig config;
+  config.threads = 4;
+  config.max_queue = 1024;  // shedding is tested separately
+  DaemonFixture fx(config);
+
+  constexpr int kClients = 8;
+  constexpr int kRequests = 50;
+  std::atomic<int> terminal_replies{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      net::Client client = fx.connect();
+      for (int i = 0; i < kRequests; ++i) {
+        io::Json req;
+        switch (i % 7) {
+          case 0:
+            req = request_frame("ping", {});
+            break;
+          case 1: {
+            io::JsonObject p;
+            p["n"] = 8;
+            p["k"] = 2;
+            req = request_frame("construct", std::move(p));
+            break;
+          }
+          case 2: {
+            io::JsonObject p;
+            p["n"] = 6;
+            p["k"] = 2;
+            p["chunk"] = 200;
+            std::string tag = "c";
+            tag += std::to_string(c);
+            tag += '-';
+            tag += std::to_string(i);
+            req = request_frame("verify", std::move(p), tag);
+            break;
+          }
+          case 3: {
+            io::JsonObject p;
+            p["n"] = 8;
+            p["k"] = 2;
+            p["horizon_mcycles"] = 0.2;
+            p["seed"] = c * 100 + i;
+            req = request_frame("sim.run", std::move(p));
+            break;
+          }
+          case 4: {
+            io::JsonObject p;
+            p["session"] = "s999999";  // unknown: found=false result
+            req = request_frame("cancel", std::move(p));
+            break;
+          }
+          case 5: {
+            io::JsonObject p;
+            p["n"] = 9999;  // unsupported pair: structured error
+            p["k"] = 9;
+            req = request_frame("construct", std::move(p));
+            break;
+          }
+          default:
+            req = request_frame("no.such.method", {});
+            break;
+        }
+        const auto reply = roundtrip(client, req);
+        if (!reply.has_value()) {
+          failures.fetch_add(1);
+          return;
+        }
+        const std::string type = frame_type(*reply);
+        if (type != "result" && type != "error") {
+          failures.fetch_add(1);
+          return;
+        }
+        terminal_replies.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Acceptance: every one of the 8 x 50 requests got a terminal reply.
+  EXPECT_EQ(terminal_replies.load(), kClients * kRequests);
+
+  net::Client client = fx.connect();
+  const auto stats = roundtrip(client, request_frame("stats", {}));
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->find("sessions_active")->as_int(), 0);  // none leaked
+  EXPECT_GE(stats->find("metrics")->find("total_requests")->as_int(),
+            kClients * kRequests);
+}
+
+TEST(Service, MalformedFramesGetStructuredErrorsAndConnectionSurvives) {
+  DaemonFixture fx;
+  net::Client client = fx.connect();
+  std::string error;
+  const std::vector<std::pair<std::string, std::string>> abuse = {
+      {"this is not json", "bad_frame"},
+      {"[1,2,3]", "bad_frame"},
+      {"{\"params\":{}}", "bad_request"},       // no method
+      {"{\"method\":5}", "bad_request"},        // ill-typed method
+      {"{\"method\":\"verify\",\"params\":7}", "bad_request"},
+      {"{\"method\":\"verify\",\"params\":{\"n\":\"x\",\"k\":2}}",
+       "bad_request"},
+      {"{\"method\":\"verify\",\"params\":{\"k\":2}}", "bad_request"},
+      {"{\"method\":\"verify\",\"params\":{\"n\":6,\"k\":2,"
+       "\"mode\":\"psychic\"}}",
+       "bad_request"},
+      {"{\"method\":\"cancel\",\"params\":{}}", "bad_request"},
+  };
+  for (const auto& [frame, want_code] : abuse) {
+    ASSERT_TRUE(client.send_line(frame, &error)) << error;
+    const auto reply = client.read_json(kReadTimeoutMs, &error);
+    ASSERT_TRUE(reply.has_value()) << error << " for " << frame;
+    EXPECT_EQ(frame_type(*reply), "error") << frame;
+    EXPECT_EQ(error_code(*reply), want_code) << frame;
+    EXPECT_NE(reply->find("schema_version"), nullptr);
+  }
+  // The connection is still healthy after every rejection.
+  const auto pong = roundtrip(client, request_frame("ping", {}));
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(frame_type(*pong), "result");
+}
+
+TEST(Service, OversizedFrameGetsFrameTooLargeThenClose) {
+  net::FrameServerConfig server;
+  server.max_frame = 512;
+  DaemonFixture fx({}, server);
+  net::Client client = fx.connect();
+  std::string error;
+  ASSERT_TRUE(client.send_line(std::string(4096, 'x'), &error)) << error;
+  const auto reply = client.read_json(kReadTimeoutMs, &error);
+  ASSERT_TRUE(reply.has_value()) << error;
+  EXPECT_EQ(frame_type(*reply), "error");
+  EXPECT_EQ(error_code(*reply), "frame_too_large");
+  EXPECT_FALSE(client.read_line(kReadTimeoutMs, &error).has_value());
+  // The daemon itself is unharmed: a fresh connection works.
+  net::Client again = fx.connect();
+  const auto pong = roundtrip(again, request_frame("ping", {}));
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(frame_type(*pong), "result");
+}
+
+TEST(Service, SessionRegistryFullShedsWithOverloaded) {
+  ServiceConfig config;
+  config.threads = 1;
+  config.max_sessions = 1;
+  DaemonFixture fx(config);
+  net::Client holder = fx.connect();
+  std::string error;
+  io::JsonObject slow;
+  slow["n"] = 3;
+  slow["k"] = 6;
+  slow["chunk"] = 10;
+  ASSERT_TRUE(
+      holder.send_json(request_frame("verify", std::move(slow)), &error))
+      << error;
+  auto accepted = holder.read_json(kReadTimeoutMs, &error);
+  ASSERT_TRUE(accepted.has_value()) << error;
+  ASSERT_EQ(frame_type(*accepted), "accepted");
+  const std::string session =
+      accepted->find("session")->as_string();
+
+  // Registry is full: a second verify is shed, never queued or blocked.
+  net::Client second = fx.connect();
+  io::JsonObject params;
+  params["n"] = 6;
+  params["k"] = 2;
+  const auto shed =
+      roundtrip(second, request_frame("verify", std::move(params)));
+  ASSERT_TRUE(shed.has_value());
+  EXPECT_EQ(frame_type(*shed), "error");
+  EXPECT_EQ(error_code(*shed), "overloaded");
+
+  // Cancel the holder; its terminal frame reports the cancellation and
+  // the registry frees up.
+  io::JsonObject cancel;
+  cancel["session"] = session;
+  ASSERT_TRUE(
+      holder.send_json(request_frame("cancel", std::move(cancel)), &error))
+      << error;
+  bool saw_cancelled = false, saw_cancel_ack = false;
+  for (int i = 0; i < 10000 && !(saw_cancelled && saw_cancel_ack); ++i) {
+    const auto frame = holder.read_json(kReadTimeoutMs, &error);
+    ASSERT_TRUE(frame.has_value()) << error;
+    if (frame->find("found") != nullptr) {
+      EXPECT_TRUE(frame->find("found")->as_bool());
+      saw_cancel_ack = true;
+    } else if (const io::Json* status = frame->find("status")) {
+      EXPECT_EQ(status->as_string(), "cancelled");
+      saw_cancelled = true;
+    }
+  }
+  EXPECT_TRUE(saw_cancelled);
+  EXPECT_TRUE(saw_cancel_ack);
+
+  const auto retry =
+      roundtrip(second, request_frame("verify", [] {
+                  io::JsonObject p;
+                  p["n"] = 6;
+                  p["k"] = 2;
+                  return p;
+                }()));
+  ASSERT_TRUE(retry.has_value());
+  EXPECT_EQ(frame_type(*retry), "result");
+  EXPECT_EQ(retry->find("status")->as_string(), "done");
+}
+
+TEST(Service, BusyPoolShedsOneShotJobsWithOverloaded) {
+  ServiceConfig config;
+  config.threads = 1;
+  config.max_queue = 0;  // a job is shed whenever the worker is busy
+  DaemonFixture fx(config);
+  net::Client client = fx.connect();
+  std::string error;
+  // A slow single-task job pins the only worker...
+  io::JsonObject slow;
+  slow["n"] = 8;
+  slow["k"] = 2;
+  slow["horizon_mcycles"] = 50.0;
+  slow["faults_per_mcycle"] = 100.0;
+  ASSERT_TRUE(
+      client.send_json(request_frame("sim.run", std::move(slow)), &error))
+      << error;
+  // ...so the construct that follows on the same connection (processed
+  // strictly after, while the worker is still busy) must be shed.
+  io::JsonObject p;
+  p["n"] = 8;
+  p["k"] = 2;
+  ASSERT_TRUE(
+      client.send_json(request_frame("construct", std::move(p)), &error))
+      << error;
+  bool saw_overloaded = false, saw_sim_result = false;
+  for (int i = 0; i < 2 && !(saw_overloaded && saw_sim_result); ++i) {
+    const auto frame = client.read_json(kReadTimeoutMs, &error);
+    ASSERT_TRUE(frame.has_value()) << error;
+    if (frame_type(*frame) == "error") {
+      EXPECT_EQ(error_code(*frame), "overloaded");
+      saw_overloaded = true;
+    } else if (frame->find("availability") != nullptr) {
+      saw_sim_result = true;
+    }
+  }
+  EXPECT_TRUE(saw_overloaded);
+  EXPECT_TRUE(saw_sim_result);
+}
+
+TEST(Service, CancelMidSweepStopsTheSession) {
+  ServiceConfig config;
+  config.threads = 1;
+  DaemonFixture fx(config);
+  net::Client client = fx.connect();
+  std::string error;
+  io::JsonObject params;
+  params["n"] = 3;
+  params["k"] = 6;
+  params["chunk"] = 10;
+  ASSERT_TRUE(
+      client.send_json(request_frame("verify", std::move(params)), &error))
+      << error;
+  const auto accepted = client.read_json(kReadTimeoutMs, &error);
+  ASSERT_TRUE(accepted.has_value()) << error;
+  ASSERT_EQ(frame_type(*accepted), "accepted");
+  io::JsonObject cancel;
+  cancel["session"] = accepted->find("session")->as_string();
+  ASSERT_TRUE(
+      client.send_json(request_frame("cancel", std::move(cancel)), &error))
+      << error;
+  bool cancelled = false;
+  while (!cancelled) {
+    const auto frame = client.read_json(kReadTimeoutMs, &error);
+    ASSERT_TRUE(frame.has_value()) << error;
+    const io::Json* status = frame->find("status");
+    if (status != nullptr) {
+      EXPECT_EQ(status->as_string(), "cancelled");
+      EXPECT_EQ(frame_type(*frame), "result");
+      cancelled = true;
+    }
+  }
+  const auto stats = roundtrip(client, request_frame("stats", {}));
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->find("sessions_active")->as_int(), 0);
+}
+
+TEST(Service, UnknownSessionCancelReportsNotFoundButSucceeds) {
+  DaemonFixture fx;
+  net::Client client = fx.connect();
+  io::JsonObject cancel;
+  cancel["session"] = "s424242";
+  const auto reply =
+      roundtrip(client, request_frame("cancel", std::move(cancel)));
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(frame_type(*reply), "result");
+  EXPECT_FALSE(reply->find("found")->as_bool());
+}
+
+TEST(Service, DrainedVerifyResumesToBitIdenticalVerdict) {
+  const std::string drain_dir =
+      "kgdd_drain_" + std::to_string(::getpid());
+  std::filesystem::remove_all(drain_dir);
+  std::filesystem::create_directories(drain_dir);
+
+  // Phase 1: start a verify, drain mid-sweep, collect the checkpoint.
+  std::string checkpoint_path;
+  {
+    ServiceConfig config;
+    config.threads = 2;
+    config.drain_dir = drain_dir;
+    DaemonFixture fx(config);
+    net::Client client = fx.connect();
+    std::string error;
+    io::JsonObject params;
+    params["n"] = 3;
+    params["k"] = 6;
+    params["chunk"] = 25;
+    ASSERT_TRUE(client.send_json(request_frame("verify", std::move(params)),
+                                 &error))
+        << error;
+    // Let the session get genuinely under way (accepted + 2 progress
+    // frames), then drain the daemon out from under it.
+    for (int i = 0; i < 3; ++i) {
+      const auto frame = client.read_json(kReadTimeoutMs, &error);
+      ASSERT_TRUE(frame.has_value()) << error;
+      ASSERT_FALSE(is_terminal_frame(*frame));
+    }
+    fx.daemon().begin_drain();
+    std::optional<io::Json> terminal;
+    while (!terminal.has_value()) {
+      auto frame = client.read_json(kReadTimeoutMs, &error);
+      ASSERT_TRUE(frame.has_value()) << error;
+      if (is_terminal_frame(*frame)) terminal = std::move(frame);
+    }
+    ASSERT_EQ(frame_type(*terminal), "result");
+    ASSERT_EQ(terminal->find("status")->as_string(), "drained");
+    checkpoint_path = terminal->find("checkpoint")->as_string();
+    EXPECT_GT(terminal->find("items_total")->as_int(), 0);
+    fx.daemon().join();  // drain closes every connection and stops
+  }
+  ASSERT_TRUE(std::filesystem::exists(checkpoint_path)) << checkpoint_path;
+
+  // Phase 2: resume from the checkpoint and run an uninterrupted control
+  // sweep; the deterministic verdict fields must match exactly.
+  std::string resumed, control;
+  {
+    ServiceConfig config;
+    config.threads = 2;
+    DaemonFixture fx(config);
+    net::Client client = fx.connect();
+    io::JsonObject resume_params;
+    resume_params["resume"] = checkpoint_path;
+    const auto resumed_terminal = roundtrip(
+        client, request_frame("verify", std::move(resume_params)));
+    ASSERT_TRUE(resumed_terminal.has_value());
+    ASSERT_EQ(frame_type(*resumed_terminal), "result");
+    ASSERT_EQ(resumed_terminal->find("status")->as_string(), "done");
+    resumed = deterministic_verdict(*resumed_terminal);
+
+    io::JsonObject control_params;
+    control_params["n"] = 3;
+    control_params["k"] = 6;
+    control_params["chunk"] = 25;
+    const auto control_terminal = roundtrip(
+        client, request_frame("verify", std::move(control_params)));
+    ASSERT_TRUE(control_terminal.has_value());
+    ASSERT_EQ(frame_type(*control_terminal), "result");
+    control = deterministic_verdict(*control_terminal);
+  }
+  EXPECT_EQ(resumed, control);
+  EXPECT_NE(resumed, "<no verdict>");
+  std::filesystem::remove_all(drain_dir);
+}
+
+TEST(Service, ResumeFromGarbagePathIsAStructuredError) {
+  DaemonFixture fx;
+  net::Client client = fx.connect();
+  io::JsonObject params;
+  params["resume"] = "/nonexistent/kgdd-s1.kgdp";
+  const auto reply =
+      roundtrip(client, request_frame("verify", std::move(params)));
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(frame_type(*reply), "error");
+  EXPECT_EQ(error_code(*reply), "bad_request");
+}
+
+TEST(Service, ShutdownMethodDrainsAndDumpsMetrics) {
+  const std::string metrics_path =
+      "kgdd_metrics_" + std::to_string(::getpid()) + ".jsonl";
+  std::filesystem::remove(metrics_path);
+  {
+    ServiceConfig config;
+    config.metrics_path = metrics_path;
+    DaemonFixture fx(config);
+    net::Client client = fx.connect();
+    const auto pong = roundtrip(client, request_frame("ping", {}));
+    ASSERT_TRUE(pong.has_value());
+    const auto reply = roundtrip(client, request_frame("shutdown", {}));
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(frame_type(*reply), "result");
+    EXPECT_TRUE(reply->find("draining")->as_bool());
+    // Drain closes the connection once everything flushed.
+    std::string error;
+    EXPECT_FALSE(client.read_line(kReadTimeoutMs, &error).has_value());
+    fx.daemon().join();
+  }
+  std::ifstream in(metrics_path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  bool saw_ping_metrics = false;
+  while (std::getline(in, line)) {
+    const io::Json event = io::Json::parse(line);  // every line is JSON
+    const io::Json* method = event.find("method");
+    if (method != nullptr && method->as_string() == "ping") {
+      saw_ping_metrics = true;
+      EXPECT_GE(event.find("count")->as_int(), 1);
+    }
+  }
+  EXPECT_TRUE(saw_ping_metrics);
+  std::filesystem::remove(metrics_path);
+}
+
+TEST(Service, RequestsDuringDrainAreRejectedAsShuttingDown) {
+  const std::string drain_dir =
+      "kgdd_drain2_" + std::to_string(::getpid());
+  std::filesystem::create_directories(drain_dir);
+  ServiceConfig config;
+  config.threads = 1;
+  config.drain_dir = drain_dir;
+  DaemonFixture fx(config);
+  net::Client client = fx.connect();
+  std::string error;
+  // Hold the daemon open with a long verify so drain cannot finish
+  // before our post-drain request lands.
+  io::JsonObject params;
+  params["n"] = 3;
+  params["k"] = 6;
+  params["chunk"] = 10;
+  ASSERT_TRUE(
+      client.send_json(request_frame("verify", std::move(params)), &error))
+      << error;
+  const auto accepted = client.read_json(kReadTimeoutMs, &error);
+  ASSERT_TRUE(accepted.has_value()) << error;
+  ASSERT_EQ(frame_type(*accepted), "accepted");
+
+  const auto drain_reply = roundtrip(client, request_frame("shutdown", {}));
+  ASSERT_TRUE(drain_reply.has_value());
+  ASSERT_TRUE(client.send_json(request_frame("construct", [] {
+                                 io::JsonObject p;
+                                 p["n"] = 8;
+                                 p["k"] = 2;
+                                 return p;
+                               }()),
+                               &error))
+      << error;
+  bool saw_shutting_down = false;
+  while (!saw_shutting_down) {
+    const auto frame = client.read_json(kReadTimeoutMs, &error);
+    if (!frame.has_value()) break;  // connection closed by the drain
+    if (frame_type(*frame) == "error" &&
+        error_code(*frame) == "shutting_down") {
+      saw_shutting_down = true;
+    }
+  }
+  EXPECT_TRUE(saw_shutting_down);
+  fx.daemon().join();  // let the drain finish before removing its dir
+  std::filesystem::remove_all(drain_dir);
+}
+
+}  // namespace
+}  // namespace kgdp::service

@@ -13,7 +13,12 @@
 #include "campaign/campaign.hpp"
 #include "io/graph_io.hpp"
 #include "kgd/factory.hpp"
+#include "net/client.hpp"
+#include "net/socket.hpp"
+#include "service/daemon.hpp"
+#include "service/protocol.hpp"
 #include "util/flags.hpp"
+#include "util/stop_signal.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 #include "verify/certificate.hpp"
@@ -46,7 +51,14 @@ int usage() {
       "                  [--max-chunks=N]\n"
       "  campaign resume --out=DIR [--threads=T] [--max-chunks=N]\n"
       "  campaign merge  --out=DIR <shard-checkpoint>...\n"
-      "  campaign status --out=DIR\n");
+      "  campaign status --out=DIR\n"
+      "  serve      [--unix=PATH] [--tcp=HOST:PORT] [--threads=T]\n"
+      "             [--max-queue=N] [--max-sessions=N] [--chunk=N]\n"
+      "             [--drain-dir=DIR] [--metrics=FILE]\n"
+      "                  run the kgdd daemon (SIGINT/SIGTERM drains)\n"
+      "  request    <method> --connect=unix:PATH|tcp:HOST:PORT\n"
+      "             [--params=JSON] [--tag=T] [--timeout=MS]\n"
+      "                  send one request, print every reply frame\n");
   return 2;
 }
 
@@ -140,6 +152,10 @@ int drive_campaign(campaign::CampaignState state, const std::string& out_dir,
   campaign::RunLimits limits;
   limits.max_chunks =
       max_chunks > 0 ? static_cast<std::uint64_t>(max_chunks) : 0;
+  // SIGINT/SIGTERM interrupt between chunks: the runner checkpoints the
+  // in-flight cursor and reports an incomplete outcome (exit 3 below).
+  util::StopSignal::instance().install();
+  limits.stop = [] { return util::StopSignal::instance().requested(); };
   const campaign::RunOutcome outcome = runner.run(limits);
   std::fputs(campaign::status_summary(runner.state()).c_str(), stdout);
   if (!outcome.complete) {
@@ -284,6 +300,125 @@ int cmd_campaign(int argc, char** argv) {
   return usage();
 }
 
+int cmd_serve(int argc, char** argv) {
+  util::FlagParser flags;
+  flags.flag("unix").flag("tcp").flag("threads").flag("max-queue");
+  flags.flag("max-sessions").flag("chunk").flag("drain-dir").flag("metrics");
+  if (!flags.parse(argc, argv, 2)) return flag_error(flags);
+
+  service::DaemonConfig config;
+  if (flags.has("unix")) {
+    config.endpoints.push_back(net::Endpoint::unix_path(flags.get("unix")));
+  }
+  if (flags.has("tcp")) {
+    const auto ep = net::Endpoint::parse("tcp:" + flags.get("tcp"));
+    if (!ep) {
+      std::fprintf(stderr, "flag --tcp: expected HOST:PORT\n");
+      return usage();
+    }
+    config.endpoints.push_back(*ep);
+  }
+  if (config.endpoints.empty()) {
+    std::fprintf(stderr, "serve: give --unix=PATH and/or --tcp=HOST:PORT\n");
+    return usage();
+  }
+  std::int64_t v = 0;
+  if (!flags.get_int("threads", 0, 0, 4096, &v)) return flag_error(flags);
+  config.service.threads = static_cast<unsigned>(v);
+  if (!flags.get_int("max-queue", 64, 0, 1 << 20, &v)) {
+    return flag_error(flags);
+  }
+  config.service.max_queue = static_cast<std::size_t>(v);
+  if (!flags.get_int("max-sessions", 8, 1, 4096, &v)) {
+    return flag_error(flags);
+  }
+  config.service.max_sessions = static_cast<std::size_t>(v);
+  if (!flags.get_int("chunk", 512, 1, INT64_MAX, &v)) {
+    return flag_error(flags);
+  }
+  config.service.default_chunk = static_cast<std::uint64_t>(v);
+  config.service.drain_dir = flags.get("drain-dir", ".");
+  config.service.metrics_path = flags.get("metrics");
+
+  try {
+    service::Daemon daemon(std::move(config));
+    if (flags.has("unix")) {
+      std::printf("kgdd: listening on unix:%s\n", flags.get("unix").c_str());
+    }
+    if (daemon.tcp_port() != 0) {
+      std::printf("kgdd: listening on tcp port %d\n", daemon.tcp_port());
+    }
+    std::fflush(stdout);
+    daemon.run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "serve: %s\n", e.what());
+    return 1;
+  }
+  std::printf("kgdd: drained\n");
+  return 0;
+}
+
+int cmd_request(int argc, char** argv) {
+  util::FlagParser flags;
+  flags.flag("connect").flag("params").flag("tag").flag("timeout");
+  if (!flags.parse(argc, argv, 2)) return flag_error(flags);
+  if (flags.positionals().empty()) {
+    std::fprintf(stderr, "request: give the method name\n");
+    return usage();
+  }
+  const auto ep = net::Endpoint::parse(flags.get("connect"));
+  if (!ep) {
+    std::fprintf(stderr,
+                 "request: --connect=unix:PATH|tcp:HOST:PORT is required\n");
+    return usage();
+  }
+  std::int64_t timeout = 0;
+  if (!flags.get_int("timeout", 600000, -1, INT32_MAX, &timeout)) {
+    return flag_error(flags);
+  }
+
+  io::JsonObject request;
+  request["method"] = flags.positionals()[0];
+  if (flags.has("params")) {
+    try {
+      request["params"] = io::Json::parse(flags.get("params"));
+    } catch (const io::JsonParseError& e) {
+      std::fprintf(stderr, "request: bad --params JSON: %s\n", e.what());
+      return 2;
+    }
+  }
+  if (flags.has("tag")) request["tag"] = flags.get("tag");
+
+  std::string error;
+  auto client = net::Client::connect(*ep, &error);
+  if (!client) {
+    std::fprintf(stderr, "request: cannot connect to %s: %s\n",
+                 ep->to_string().c_str(), error.c_str());
+    return 1;
+  }
+  if (!client->send_json(io::Json(std::move(request)), &error)) {
+    std::fprintf(stderr, "request: %s\n", error.c_str());
+    return 1;
+  }
+  while (true) {
+    const auto frame =
+        client->read_json(static_cast<int>(timeout), &error);
+    if (!frame) {
+      std::fprintf(stderr, "request: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("%s\n", frame->dump().c_str());
+    std::fflush(stdout);
+    if (service::is_terminal_frame(*frame)) {
+      const io::Json* type = frame->find("type");
+      return type != nullptr && type->is_string() &&
+                     type->as_string() == "result"
+                 ? 0
+                 : 1;
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -291,6 +426,8 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
 
   if (cmd == "campaign") return cmd_campaign(argc, argv);
+  if (cmd == "serve") return cmd_serve(argc, argv);
+  if (cmd == "request") return cmd_request(argc, argv);
 
   if (argc < 3) return usage();
 
