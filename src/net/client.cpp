@@ -1,10 +1,15 @@
 #include "net/client.hpp"
 
 #include <poll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
 
 namespace kgdp::net {
 
@@ -16,6 +21,9 @@ constexpr std::size_t kClientMaxFrame = 8u << 20;
 
 std::optional<Client> Client::connect(const Endpoint& ep,
                                       std::string* error) {
+  // A server that drops the connection mid-write must surface as an
+  // EPIPE send error, not kill the client process.
+  ignore_sigpipe();
   Fd fd = connect_endpoint(ep, error);
   if (!fd.valid()) return std::nullopt;
   return Client(std::move(fd), kClientMaxFrame);
@@ -26,12 +34,12 @@ bool Client::send_line(const std::string& frame, std::string* error) {
   wire += '\n';
   std::size_t sent = 0;
   while (sent < wire.size()) {
-    const ssize_t n = ::write(fd_.get(), wire.data() + sent,
-                              wire.size() - sent);
+    const ssize_t n = ::send(fd_.get(), wire.data() + sent,
+                             wire.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       if (error != nullptr) {
-        *error = std::string("write: ") + std::strerror(errno);
+        *error = std::string("send: ") + std::strerror(errno);
       }
       return false;
     }

@@ -3,6 +3,8 @@
 #include <poll.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <utility>
@@ -50,6 +52,37 @@ void EventLoop::post(std::function<void()> fn) {
   [[maybe_unused]] const ssize_t n = ::write(wake_write_.get(), &byte, 1);
 }
 
+void EventLoop::post_after(int delay_ms, std::function<void()> fn) {
+  timers_.push_back(Timer{std::chrono::steady_clock::now() +
+                              std::chrono::milliseconds(delay_ms),
+                          std::move(fn)});
+}
+
+int EventLoop::poll_timeout_ms() const {
+  if (timers_.empty()) return -1;
+  auto earliest = timers_.front().when;
+  for (const Timer& t : timers_) earliest = std::min(earliest, t.when);
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      earliest - std::chrono::steady_clock::now());
+  return left.count() < 0 ? 0 : static_cast<int>(left.count());
+}
+
+void EventLoop::run_due_timers() {
+  if (timers_.empty()) return;
+  const auto now = std::chrono::steady_clock::now();
+  // Collect first, fire second: a timer may post_after another timer.
+  std::vector<Timer> due;
+  for (auto it = timers_.begin(); it != timers_.end();) {
+    if (it->when <= now) {
+      due.push_back(std::move(*it));
+      it = timers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (Timer& t : due) t.fn();
+}
+
 void EventLoop::stop() {
   post([this] { stop_requested_ = true; });
 }
@@ -90,7 +123,7 @@ void EventLoop::run() {
       if (entry.events != 0) pfds.push_back(pollfd{fd, entry.events, 0});
     }
 
-    const int ready = ::poll(pfds.data(), pfds.size(), -1);
+    const int ready = ::poll(pfds.data(), pfds.size(), poll_timeout_ms());
     if (ready < 0) continue;  // EINTR: fall through to the posted queue
 
     if (pfds[0].revents != 0) drain_wake_pipe();
@@ -100,6 +133,7 @@ void EventLoop::run() {
       if (it == entries_.end() || it->second.dead) continue;
       it->second.cb(pfds[i].revents);
     }
+    run_due_timers();
     run_posted();
   }
   running_ = false;

@@ -7,6 +7,7 @@
 // certification daemon sees, and it runs identically on every POSIX.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -39,6 +40,11 @@ class EventLoop {
   // posted from the loop thread itself run later in the same iteration.
   void post(std::function<void()> fn);
 
+  // Runs fn on the loop thread no earlier than delay_ms from now (the
+  // poll timeout is bounded by the nearest deadline). Loop-thread only,
+  // or before run(). Used for backoff re-arms, not fine-grained timing.
+  void post_after(int delay_ms, std::function<void()> fn);
+
   // Runs until stop(). Dispatches IO, then drained posted tasks.
   void run();
 
@@ -57,7 +63,16 @@ class EventLoop {
     bool dead = false;  // removed mid-dispatch; swept after the iteration
   };
 
+  struct Timer {
+    std::chrono::steady_clock::time_point when;
+    std::function<void()> fn;
+  };
+
+  int poll_timeout_ms() const;
+  void run_due_timers();
+
   std::map<int, Entry> entries_;
+  std::vector<Timer> timers_;
   Fd wake_read_, wake_write_;
   bool running_ = false;
   bool stop_requested_ = false;

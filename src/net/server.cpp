@@ -7,7 +7,18 @@
 #include <cerrno>
 #include <utility>
 
+// Not every POSIX has MSG_NOSIGNAL; where it is missing the process-wide
+// ignore_sigpipe() in the daemon covers the same hole.
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
 namespace kgdp::net {
+
+namespace {
+// Re-arm delay for a listener parked on fd exhaustion (EMFILE/ENFILE).
+constexpr int kAcceptBackoffMs = 100;
+}  // namespace
 
 FrameServer::FrameServer(EventLoop& loop, FrameServerConfig config)
     : loop_(loop), config_(config) {}
@@ -27,7 +38,19 @@ void FrameServer::add_listener(Fd fd) {
 void FrameServer::on_accept(std::size_t listener_index) {
   while (true) {
     Fd client(::accept(listeners_[listener_index].get(), nullptr, nullptr));
-    if (!client.valid()) return;  // EAGAIN or transient error: wait
+    if (!client.valid()) {
+      if (errno == EMFILE || errno == ENFILE) {
+        // Out of descriptors: the pending connection keeps the listener
+        // readable, so returning to poll() would spin at 100% CPU. Park
+        // the listener and retry once descriptors may have freed up.
+        loop_.set_events(listeners_[listener_index].get(), 0);
+        loop_.post_after(kAcceptBackoffMs, [this, listener_index] {
+          loop_.set_events(listeners_[listener_index].get(), POLLIN);
+          on_accept(listener_index);
+        });
+      }
+      return;  // EAGAIN or transient error: wait
+    }
     if (!accepting_) continue;    // drain mode: accept-and-drop
     set_nonblocking(client.get());
     set_tcp_nodelay(client.get());
@@ -98,8 +121,10 @@ void FrameServer::send(std::uint64_t conn_id, const std::string& frame) {
 void FrameServer::update_poll_events(std::uint64_t conn_id, Connection& c) {
   // Flush as much as the kernel takes now; POLLOUT only while blocked.
   while (c.out_sent < c.out.size()) {
-    const ssize_t n = ::write(c.fd.get(), c.out.data() + c.out_sent,
-                              c.out.size() - c.out_sent);
+    // MSG_NOSIGNAL: a peer that disconnected mid-stream must surface as
+    // EPIPE on this connection, not a process-killing SIGPIPE.
+    const ssize_t n = ::send(c.fd.get(), c.out.data() + c.out_sent,
+                             c.out.size() - c.out_sent, MSG_NOSIGNAL);
     if (n > 0) {
       c.out_sent += static_cast<std::size_t>(n);
       continue;
@@ -148,7 +173,15 @@ void FrameServer::destroy(std::uint64_t conn_id, bool notify) {
   loop_.remove(it->second->fd.get());
   std::unique_ptr<Connection> conn = std::move(it->second);
   conns_.erase(it);
-  if (notify && on_close_) on_close_(conn_id);
+  // The close notification is deferred: destroy() is reachable from
+  // inside send() (write error, write-buffer cutoff), and a synchronous
+  // callback would let the service tear down session state underneath a
+  // caller still holding a reference into it.
+  if (notify && on_close_) {
+    loop_.post([this, conn_id] {
+      if (on_close_) on_close_(conn_id);
+    });
+  }
   // conn's Fd closes here, after the loop entry is gone.
 }
 

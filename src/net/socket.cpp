@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 
@@ -210,6 +211,14 @@ int local_tcp_port(int fd) {
     return ntohs(reinterpret_cast<sockaddr_in6*>(&addr)->sin6_port);
   }
   return 0;
+}
+
+void ignore_sigpipe() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof sa);
+  sa.sa_handler = SIG_IGN;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGPIPE, &sa, nullptr);
 }
 
 bool set_nonblocking(int fd) {

@@ -69,6 +69,14 @@ int local_tcp_port(int fd);
 
 bool set_nonblocking(int fd);
 
+// Sets SIGPIPE to SIG_IGN process-wide (idempotent). A peer that
+// disconnects mid-stream turns the next write into SIGPIPE, whose
+// default action kills the process; ignoring it lets the EPIPE error
+// path close just the one connection. Called by the daemon and the
+// blocking client; MSG_NOSIGNAL on the send paths covers the same hole
+// where the platform has it.
+void ignore_sigpipe();
+
 // Disables Nagle on a TCP socket; a no-op (harmless failure) on other
 // socket families. Without this, the server's multi-frame reply streams
 // (accepted -> progress -> result as separate writes) interact with

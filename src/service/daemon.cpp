@@ -14,6 +14,10 @@ Daemon::Daemon(DaemonConfig config)
     : config_(std::move(config)),
       server_(loop_, config_.server),
       service_(loop_, server_, config_.service) {
+  // One client disconnecting mid-stream must not SIGPIPE-kill the
+  // daemon; writes to dead sockets surface as EPIPE and close only the
+  // one connection.
+  net::ignore_sigpipe();
   server_.set_frame_handler([this](std::uint64_t conn, std::string frame) {
     service_.handle_frame(conn, std::move(frame));
   });

@@ -39,7 +39,7 @@ bool param_int(const io::Json* params, const char* name, bool required,
 }
 
 bool param_double(const io::Json* params, const char* name, double def,
-                  double* out, std::string* error) {
+                  double min, double max, double* out, std::string* error) {
   const io::Json* v = params != nullptr ? params->find(name) : nullptr;
   if (v == nullptr) {
     *out = def;
@@ -49,7 +49,13 @@ bool param_double(const io::Json* params, const char* name, double def,
     *error = std::string("param '") + name + "' must be a number";
     return false;
   }
-  *out = v->as_double();
+  const double value = v->as_double();
+  if (!(value >= min && value <= max)) {  // negated: NaN fails the range
+    *error = std::string("param '") + name + "' must be a number in [" +
+             std::to_string(min) + ", " + std::to_string(max) + "]";
+    return false;
+  }
+  *out = value;
   return true;
 }
 
@@ -245,13 +251,16 @@ void Service::handle_frame(std::uint64_t conn, std::string frame) {
         !param_int(params, "k", true, 0, 1, 64, &k, &param_error) ||
         !param_int(params, "seed", false, 1, 0, INT64_MAX, &seed,
                    &param_error) ||
+        // Bounded so a hostile request cannot pin a pool worker on an
+        // effectively unbounded simulation (one-shot jobs have no
+        // cancellation path).
         !param_double(params, "faults_per_mcycle",
-                      sim_config.faults_per_mcycle,
+                      sim_config.faults_per_mcycle, 0.0, 1e6,
                       &sim_config.faults_per_mcycle, &param_error) ||
         !param_double(params, "repair_cycles", sim_config.repair_cycles,
-                      &sim_config.repair_cycles, &param_error) ||
-        !param_double(params, "horizon_mcycles", 10.0, &horizon_mcycles,
-                      &param_error)) {
+                      0.0, 1e12, &sim_config.repair_cycles, &param_error) ||
+        !param_double(params, "horizon_mcycles", 10.0, 1e-6, 1e6,
+                      &horizon_mcycles, &param_error)) {
       reply_terminal(conn, method,
                      make_error(req_id, tag, ErrorCode::kBadRequest,
                                 param_error),
@@ -528,13 +537,15 @@ void Service::handle_verify(std::uint64_t conn, const std::string& req_id,
   s->id = "s";
   s->id += std::to_string(next_session_++);
   const std::string sid = s->id;
-  Session& ref = *s;
   sessions_.emplace(sid, std::move(s));
 
   io::JsonObject body;
   body["session"] = sid;
   send(conn, make_event(req_id, tag, "accepted", std::move(body)));
-  schedule_session_work(ref);
+  // Re-find: send() may have torn the connection down, and the session
+  // must never be handed to the pool through a stale reference.
+  const auto it = sessions_.find(sid);
+  if (it != sessions_.end()) schedule_session_work(*it->second);
 }
 
 void Service::schedule_session_work(Session& s) {
@@ -621,10 +632,14 @@ void Service::chunk_done(const std::string& sid, const std::string& error,
   body["items_done"] = s.session->items_done();
   body["items_total"] = s.session->items_total();
   send(s.conn, make_event(s.req_id, s.tag, "progress", std::move(body)));
-  schedule_session_work(s);
+  // Re-find before scheduling: the send can destroy the connection, and
+  // nothing that runs under it may have erased the session.
+  const auto again = sessions_.find(sid);
+  if (again != sessions_.end()) schedule_session_work(*again->second);
 }
 
 void Service::finalize_done(Session& s) {
+  const std::string sid = s.id;  // reply_terminal's send may erase s
   io::JsonObject body;
   body["session"] = s.id;
   body["status"] = "done";
@@ -634,10 +649,11 @@ void Service::finalize_done(Session& s) {
   reply_terminal(s.conn, "verify",
                  make_result(s.req_id, s.tag, std::move(body)), Outcome::kOk,
                  s.timer.seconds());
-  destroy_session(s.id);
+  destroy_session(sid);
 }
 
 void Service::finalize_cancelled(Session& s) {
+  const std::string sid = s.id;  // reply_terminal's send may erase s
   io::JsonObject body;
   body["session"] = s.id;
   body["status"] = "cancelled";
@@ -648,10 +664,11 @@ void Service::finalize_cancelled(Session& s) {
   reply_terminal(s.conn, "verify",
                  make_result(s.req_id, s.tag, std::move(body)),
                  Outcome::kCancelled, s.timer.seconds());
-  destroy_session(s.id);
+  destroy_session(sid);
 }
 
 void Service::finalize_drained(Session& s) {
+  const std::string sid = s.id;  // reply_terminal's send may erase s
   io::JsonObject body;
   body["session"] = s.id;
   body["status"] = "drained";
@@ -682,14 +699,15 @@ void Service::finalize_drained(Session& s) {
   reply_terminal(s.conn, "verify",
                  make_result(s.req_id, s.tag, std::move(body)),
                  Outcome::kDrained, s.timer.seconds());
-  destroy_session(s.id);
+  destroy_session(sid);
 }
 
 void Service::finalize_error(Session& s, ErrorCode code,
                              const std::string& what) {
+  const std::string sid = s.id;  // reply_terminal's send may erase s
   reply_terminal(s.conn, "verify", make_error(s.req_id, s.tag, code, what),
                  Outcome::kError, s.timer.seconds());
-  destroy_session(s.id);
+  destroy_session(sid);
 }
 
 void Service::destroy_session(const std::string& sid) {

@@ -7,6 +7,7 @@
 #include <poll.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
@@ -140,6 +141,24 @@ TEST(EventLoop, CrossThreadPostWakesPoll) {
   loop.run();
   poster.join();
   EXPECT_TRUE(ran);
+}
+
+TEST(EventLoop, PostAfterFiresAfterItsDelay) {
+  EventLoop loop;
+  const auto start = std::chrono::steady_clock::now();
+  bool chained = false;
+  loop.post_after(30, [&] {
+    // Timers may arm further timers (the accept-backoff re-arm path).
+    loop.post_after(10, [&] {
+      chained = true;
+      loop.stop();
+    });
+  });
+  loop.run();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_TRUE(chained);
+  EXPECT_GE(elapsed.count(), 35);
 }
 
 TEST(EventLoop, WatchedFdCallbackFires) {

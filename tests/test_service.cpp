@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <optional>
@@ -408,6 +409,77 @@ TEST(Service, BusyPoolShedsOneShotJobsWithOverloaded) {
   }
   EXPECT_TRUE(saw_overloaded);
   EXPECT_TRUE(saw_sim_result);
+}
+
+TEST(Service, SimRunRejectsOutOfRangeParameters) {
+  DaemonFixture fx;
+  net::Client client = fx.connect();
+  std::string error;
+  // Each would otherwise pin a pool worker on an effectively unbounded
+  // (or nonsensical) simulation with no cancellation path.
+  const std::vector<std::string> bad = {
+      "{\"method\":\"sim.run\",\"params\":{\"n\":8,\"k\":2,"
+      "\"horizon_mcycles\":1e300}}",
+      "{\"method\":\"sim.run\",\"params\":{\"n\":8,\"k\":2,"
+      "\"horizon_mcycles\":0}}",
+      "{\"method\":\"sim.run\",\"params\":{\"n\":8,\"k\":2,"
+      "\"horizon_mcycles\":-5}}",
+      "{\"method\":\"sim.run\",\"params\":{\"n\":8,\"k\":2,"
+      "\"faults_per_mcycle\":-1}}",
+      "{\"method\":\"sim.run\",\"params\":{\"n\":8,\"k\":2,"
+      "\"repair_cycles\":-200000}}",
+  };
+  for (const std::string& frame : bad) {
+    ASSERT_TRUE(client.send_line(frame, &error)) << error;
+    const auto reply = client.read_json(kReadTimeoutMs, &error);
+    ASSERT_TRUE(reply.has_value()) << error << " for " << frame;
+    EXPECT_EQ(frame_type(*reply), "error") << frame;
+    EXPECT_EQ(error_code(*reply), "bad_request") << frame;
+  }
+  // An in-range request on the same connection still runs.
+  io::JsonObject p;
+  p["n"] = 8;
+  p["k"] = 2;
+  p["horizon_mcycles"] = 0.1;
+  const auto ok = roundtrip(client, request_frame("sim.run", std::move(p)));
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(frame_type(*ok), "result");
+}
+
+TEST(Service, AbruptDisconnectMidStreamLeavesDaemonServing) {
+  ServiceConfig config;
+  config.threads = 2;
+  DaemonFixture fx(config);
+  {
+    net::Client dropper = fx.connect();
+    std::string error;
+    io::JsonObject params;
+    params["n"] = 3;
+    params["k"] = 6;
+    params["chunk"] = 10;  // long sweep: many progress events
+    ASSERT_TRUE(
+        dropper.send_json(request_frame("verify", std::move(params)),
+                          &error))
+        << error;
+    const auto accepted = dropper.read_json(kReadTimeoutMs, &error);
+    ASSERT_TRUE(accepted.has_value()) << error;
+    ASSERT_EQ(frame_type(*accepted), "accepted");
+    // The client vanishes mid-stream: subsequent progress writes hit a
+    // reset socket (EPIPE, which must not be a fatal SIGPIPE) and the
+    // close must not tear the session down under the event handler.
+  }
+  net::Client client = fx.connect();
+  const auto pong = roundtrip(client, request_frame("ping", {}));
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(frame_type(*pong), "result");
+  // The orphaned session is reaped once its in-flight chunk completes.
+  for (int i = 0; i < 600; ++i) {
+    const auto stats = roundtrip(client, request_frame("stats", {}));
+    ASSERT_TRUE(stats.has_value());
+    if (stats->find("sessions_active")->as_int() == 0) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  ADD_FAILURE() << "orphaned session never reaped";
 }
 
 TEST(Service, CancelMidSweepStopsTheSession) {
