@@ -1,0 +1,117 @@
+// X-DURABILITY: what the crash-safe checkpoint write costs. Each row
+// writes the same realistic mid-sweep campaign checkpoint `iters`
+// times through a different write path and reports per-write p50/p99:
+//
+//   legacy        ofstream + rename, no fsync, no envelope — the old
+//                 idiom this PR replaced (reconstructed locally)
+//   envelope      CRC32C envelope, atomic rename, fsync OFF
+//   +fsync        envelope + fsync(file) + fsync(parent dir)
+//   +backup       the production path: envelope + fsync + .bak link
+//
+// The spread between `envelope` and `+fsync` is the honest price of
+// durability (fsync dominates); the envelope itself and the backup
+// link are noise by comparison. Payload size is printed so the rows
+// can be compared across machines.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "campaign/campaign.hpp"
+#include "campaign/checkpoint.hpp"
+#include "util/durable_file.hpp"
+#include "util/timer.hpp"
+
+using namespace kgdp;
+
+namespace {
+
+double quantile_us(std::vector<double>& seconds, double q) {
+  std::sort(seconds.begin(), seconds.end());
+  const std::size_t rank = std::min(
+      seconds.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(seconds.size())));
+  return seconds[rank] * 1e6;
+}
+
+// The pre-durable_file idiom, kept here as the bench baseline.
+void legacy_write(const std::string& path, const std::string& payload) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(payload.data(),
+              static_cast<std::streamsize>(payload.size()));
+  }
+  std::rename(tmp.c_str(), path.c_str());
+}
+
+void report(const char* label, std::vector<double>& samples) {
+  std::printf("%-10s  p50 %9.1f us   p99 %9.1f us\n", label,
+              quantile_us(samples, 0.50), quantile_us(samples, 0.99));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int iters = argc > 1 ? std::atoi(argv[1]) : 400;
+  bench::banner("X-DURABILITY: checkpoint write cost");
+
+  // A mid-sweep campaign over G(3, 4..5): one running instance with an
+  // embedded cursor, one pending — the checkpoint the campaign runner
+  // rewrites every --checkpoint-every chunks.
+  campaign::CampaignConfig config;
+  config.n_min = 3;
+  config.n_max = 3;
+  config.k_min = 4;
+  config.k_max = 5;
+  config.chunk = 100;
+  campaign::CampaignRunner runner(campaign::make_campaign(config),
+                                  /*checkpoint_path=*/"");
+  campaign::RunLimits limits;
+  limits.max_chunks = 2;
+  runner.run(limits);
+  std::ostringstream serialized;
+  campaign::save_campaign(serialized, runner.state());
+  const std::string payload = serialized.str();
+  const std::string path = "bench_durability.kgdp";
+  std::printf("payload: %zu bytes, %d writes per row\n\n", payload.size(),
+              iters);
+
+  struct Row {
+    const char* label;
+    bool use_durable;
+    util::DurableWriteOptions opts;
+  };
+  util::DurableWriteOptions no_sync;
+  no_sync.fsync = false;
+  no_sync.keep_backup = false;
+  util::DurableWriteOptions sync_only;
+  sync_only.keep_backup = false;
+  const Row rows[] = {
+      {"legacy", false, {}},
+      {"envelope", true, no_sync},
+      {"+fsync", true, sync_only},
+      {"+backup", true, {}},
+  };
+  for (const Row& row : rows) {
+    std::vector<double> samples;
+    samples.reserve(static_cast<std::size_t>(iters));
+    for (int i = 0; i < iters; ++i) {
+      util::Timer t;
+      if (row.use_durable) {
+        util::durable_write_file(path, payload, row.opts);
+      } else {
+        legacy_write(path, payload);
+      }
+      samples.push_back(t.seconds());
+    }
+    report(row.label, samples);
+  }
+  std::remove(path.c_str());
+  std::remove((path + ".bak").c_str());
+  return 0;
+}

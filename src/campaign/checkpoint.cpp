@@ -1,14 +1,14 @@
 #include "campaign/checkpoint.hpp"
 
 #include <bit>
-#include <cstdio>
-#include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 
 #include "io/json.hpp"
+#include "util/durable_file.hpp"
+#include "util/log.hpp"
 
 namespace kgdp::campaign {
 
@@ -218,23 +218,24 @@ CampaignState load_campaign(std::istream& in) {
 
 void write_campaign_file(const std::string& path,
                          const CampaignState& state) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out) throw std::runtime_error("cannot write " + tmp);
-    save_campaign(out, state);
-    out.flush();
-    if (!out) throw std::runtime_error("write failed: " + tmp);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    throw std::runtime_error("cannot rename " + tmp + " -> " + path);
-  }
+  std::ostringstream out;
+  save_campaign(out, state);
+  util::durable_write_file(path, out.str());
 }
 
 CampaignState load_campaign_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open " + path);
-  return load_campaign(in);
+  CampaignState state;
+  util::CheckpointLoadInfo info;
+  util::load_checkpoint_file(
+      path, [&state](std::istream& in) { state = load_campaign(in); }, &info);
+  for (const std::string& q : info.quarantined) {
+    util::log_warn("campaign checkpoint quarantined: ", q);
+  }
+  if (info.from_backup) {
+    util::log_warn("campaign checkpoint ", path,
+                   ": primary unusable, restored from backup generation");
+  }
+  return state;
 }
 
 }  // namespace kgdp::campaign

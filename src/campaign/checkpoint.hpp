@@ -3,9 +3,10 @@
 // configuration plus one entry per (n, k) instance — pending, running
 // (with an embedded CheckSession cursor), or done (with the final
 // verdict) — which is everything a later process needs to resume the
-// sweep byte-identically or to merge shard files. Writes go through an
-// atomic tmp-file + rename so a kill mid-write never corrupts the last
-// good checkpoint.
+// sweep byte-identically or to merge shard files. Files are persisted
+// through util::durable_file — CRC32C envelope, fsync'd atomic
+// replace, `.bak` generation — so a kill or torn write at any syscall
+// boundary still leaves the previous good checkpoint loadable.
 #pragma once
 
 #include <cstdint>
@@ -58,9 +59,13 @@ void save_campaign(std::ostream& out, const CampaignState& state);
 // input (bad magic, unknown mode, truncated cursor or result blocks).
 CampaignState load_campaign(std::istream& in);
 
-// Atomic file write (tmp + rename); throws std::runtime_error on IO
-// failure.
+// Crash-safe file write via util::durable_write_file; throws
+// std::runtime_error on IO failure.
 void write_campaign_file(const std::string& path, const CampaignState& state);
+// Classified load via util::load_checkpoint_file: accepts legacy
+// un-enveloped files, quarantines truncated/corrupt/unparsable
+// candidates to `*.corrupt`, falls back to the `.bak` generation;
+// throws util::CheckpointError.
 CampaignState load_campaign_file(const std::string& path);
 
 }  // namespace kgdp::campaign

@@ -19,12 +19,29 @@ namespace {
 constexpr std::size_t kClientMaxFrame = 8u << 20;
 }  // namespace
 
+const char* to_string(ReadStatus status) {
+  switch (status) {
+    case ReadStatus::kOk:
+      return "ok";
+    case ReadStatus::kTimeout:
+      return "timeout";
+    case ReadStatus::kClosed:
+      return "closed";
+    case ReadStatus::kOversized:
+      return "oversized";
+    case ReadStatus::kError:
+      return "error";
+  }
+  return "error";
+}
+
 std::optional<Client> Client::connect(const Endpoint& ep,
-                                      std::string* error) {
+                                      std::string* error,
+                                      int* errno_out) {
   // A server that drops the connection mid-write must surface as an
   // EPIPE send error, not kill the client process.
   ignore_sigpipe();
-  Fd fd = connect_endpoint(ep, error);
+  Fd fd = connect_endpoint(ep, error, errno_out);
   if (!fd.valid()) return std::nullopt;
   return Client(std::move(fd), kClientMaxFrame);
 }
@@ -48,42 +65,55 @@ bool Client::send_line(const std::string& frame, std::string* error) {
   return true;
 }
 
-std::optional<std::string> Client::read_line(int timeout_ms,
-                                             std::string* error) {
+Client::ReadResult Client::read_frame(int timeout_ms) {
+  ReadResult res;
   while (true) {
-    if (auto frame = reader_.next()) return frame;
+    if (auto frame = reader_.next()) {
+      res.status = ReadStatus::kOk;
+      res.frame = std::move(*frame);
+      return res;
+    }
     if (reader_.oversized()) {
-      if (error != nullptr) *error = "frame exceeds the client size limit";
-      return std::nullopt;
+      res.status = ReadStatus::kOversized;
+      res.error = "frame exceeds the client size limit";
+      return res;
     }
     pollfd pfd{fd_.get(), POLLIN, 0};
     const int ready = ::poll(&pfd, 1, timeout_ms);
     if (ready == 0) {
-      if (error != nullptr) *error = "timeout";
-      return std::nullopt;
+      res.status = ReadStatus::kTimeout;
+      res.error = "timeout";
+      return res;
     }
     if (ready < 0) {
       if (errno == EINTR) continue;
-      if (error != nullptr) {
-        *error = std::string("poll: ") + std::strerror(errno);
-      }
-      return std::nullopt;
+      res.status = ReadStatus::kError;
+      res.error = std::string("poll: ") + std::strerror(errno);
+      return res;
     }
     char buf[16384];
     const ssize_t n = ::read(fd_.get(), buf, sizeof buf);
     if (n == 0) {
-      if (error != nullptr) *error = "connection closed by server";
-      return std::nullopt;
+      res.status = ReadStatus::kClosed;
+      res.error = "connection closed by server";
+      return res;
     }
     if (n < 0) {
       if (errno == EINTR || errno == EAGAIN) continue;
-      if (error != nullptr) {
-        *error = std::string("read: ") + std::strerror(errno);
-      }
-      return std::nullopt;
+      res.status = ReadStatus::kError;
+      res.error = std::string("read: ") + std::strerror(errno);
+      return res;
     }
     reader_.append(buf, static_cast<std::size_t>(n));
   }
+}
+
+std::optional<std::string> Client::read_line(int timeout_ms,
+                                             std::string* error) {
+  ReadResult res = read_frame(timeout_ms);
+  if (res.status == ReadStatus::kOk) return std::move(res.frame);
+  if (error != nullptr) *error = res.error;
+  return std::nullopt;
 }
 
 bool Client::send_json(const io::Json& frame, std::string* error) {
@@ -91,12 +121,18 @@ bool Client::send_json(const io::Json& frame, std::string* error) {
 }
 
 std::optional<io::Json> Client::read_json(int timeout_ms,
-                                          std::string* error) {
-  const auto line = read_line(timeout_ms, error);
-  if (!line) return std::nullopt;
+                                          std::string* error,
+                                          ReadStatus* status) {
+  ReadResult res = read_frame(timeout_ms);
+  if (status != nullptr) *status = res.status;
+  if (res.status != ReadStatus::kOk) {
+    if (error != nullptr) *error = res.error;
+    return std::nullopt;
+  }
   try {
-    return io::Json::parse(*line);
+    return io::Json::parse(res.frame);
   } catch (const io::JsonParseError& e) {
+    if (status != nullptr) *status = ReadStatus::kError;
     if (error != nullptr) *error = std::string("bad frame: ") + e.what();
     return std::nullopt;
   }

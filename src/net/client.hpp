@@ -13,23 +13,45 @@
 
 namespace kgdp::net {
 
+// Why a frame read failed — callers react differently to a server
+// that closed the connection (reconnect/resume) than to one that is
+// merely slow (wait longer), so the distinction is first-class.
+enum class ReadStatus { kOk, kTimeout, kClosed, kOversized, kError };
+const char* to_string(ReadStatus status);
+
 class Client {
  public:
-  // Blocking connect. Returns nullopt and sets *error on failure.
+  // Blocking connect. Returns nullopt and sets *error on failure; when
+  // errno_out is non-null it receives the connect errno (0 if none) so
+  // callers can retry ECONNREFUSED/ENOENT while a daemon restarts.
   static std::optional<Client> connect(const Endpoint& ep,
-                                       std::string* error);
+                                       std::string* error,
+                                       int* errno_out = nullptr);
 
   // Sends one frame (newline appended). False + *error on a broken pipe.
   bool send_line(const std::string& frame, std::string* error);
 
-  // Blocks up to timeout_ms (-1 = forever) for one complete frame.
-  // nullopt on timeout, EOF, oversized frame, or socket error; *error
-  // says which.
+  struct ReadResult {
+    ReadStatus status = ReadStatus::kError;
+    std::string frame;  // one complete frame when status == kOk
+    std::string error;  // human-readable detail otherwise
+  };
+  // Blocks up to timeout_ms (-1 = forever) for one complete frame and
+  // reports *why* it stopped: kTimeout (deadline, connection intact),
+  // kClosed (orderly EOF from the server), kOversized (frame exceeds
+  // the client cap), or kError (socket-level failure).
+  ReadResult read_frame(int timeout_ms);
+
+  // Legacy wrapper over read_frame: nullopt on any non-kOk status,
+  // *error says which.
   std::optional<std::string> read_line(int timeout_ms, std::string* error);
 
-  // JSON wrappers for the kgdd protocol.
+  // JSON wrappers for the kgdd protocol. read_json surfaces the read
+  // status through *status when non-null (kError also covers a frame
+  // that fails to parse as JSON).
   bool send_json(const io::Json& frame, std::string* error);
-  std::optional<io::Json> read_json(int timeout_ms, std::string* error);
+  std::optional<io::Json> read_json(int timeout_ms, std::string* error,
+                                    ReadStatus* status = nullptr);
 
   int fd() const { return fd_.get(); }
 

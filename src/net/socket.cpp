@@ -163,17 +163,21 @@ Fd listen_endpoint(const Endpoint& ep, int backlog, std::string* error) {
   return fd;
 }
 
-Fd connect_endpoint(const Endpoint& ep, std::string* error) {
+Fd connect_endpoint(const Endpoint& ep, std::string* error,
+                    int* errno_out) {
+  if (errno_out != nullptr) *errno_out = 0;
   if (ep.kind == Endpoint::Kind::kUnix) {
     sockaddr_un addr;
     if (!fill_unix_addr(ep.path, &addr, error)) return Fd();
     Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
     if (!fd.valid()) {
+      if (errno_out != nullptr) *errno_out = errno;
       *error = errno_string("socket(AF_UNIX)");
       return Fd();
     }
     if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
                   sizeof addr) != 0) {
+      if (errno_out != nullptr) *errno_out = errno;
       *error = errno_string("connect " + ep.path);
       return Fd();
     }
@@ -185,11 +189,13 @@ Fd connect_endpoint(const Endpoint& ep, std::string* error) {
   if (!resolve_tcp(ep.host, ep.port, &addr, error)) return Fd();
   Fd fd(::socket(addr.storage.ss_family, SOCK_STREAM, 0));
   if (!fd.valid()) {
+    if (errno_out != nullptr) *errno_out = errno;
     *error = errno_string("socket(TCP)");
     return Fd();
   }
   if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr.storage),
                 addr.len) != 0) {
+    if (errno_out != nullptr) *errno_out = errno;
     *error = errno_string("connect " + ep.to_string());
     return Fd();
   }

@@ -62,7 +62,11 @@ struct Endpoint {
 Fd listen_endpoint(const Endpoint& ep, int backlog, std::string* error);
 
 // Blocking connect (the client side); close-on-exec, TCP_NODELAY on TCP.
-Fd connect_endpoint(const Endpoint& ep, std::string* error);
+// On failure *errno_out (when non-null) receives the connect(2)/name
+//-resolution errno — 0 when the failure had none — so callers can
+// treat ECONNREFUSED/ENOENT (daemon restarting) as retryable.
+Fd connect_endpoint(const Endpoint& ep, std::string* error,
+                    int* errno_out = nullptr);
 
 // The port a bound TCP socket actually got (resolves port 0).
 int local_tcp_port(int fd);

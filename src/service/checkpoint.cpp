@@ -1,9 +1,10 @@
 #include "service/checkpoint.hpp"
 
-#include <cstdio>
-#include <fstream>
 #include <sstream>
 #include <stdexcept>
+
+#include "util/durable_file.hpp"
+#include "util/log.hpp"
 
 namespace kgdp::service {
 
@@ -107,30 +108,25 @@ SessionCheckpoint load_session_checkpoint(std::istream& in) {
 
 void write_session_checkpoint_file(const std::string& path,
                                    const SessionCheckpoint& cp) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out) {
-      throw std::runtime_error("session checkpoint: cannot write " + tmp);
-    }
-    save_session_checkpoint(out, cp);
-    out.flush();
-    if (!out) {
-      throw std::runtime_error("session checkpoint: write failed: " + tmp);
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    throw std::runtime_error("session checkpoint: cannot rename " + tmp +
-                             " -> " + path);
-  }
+  std::ostringstream out;
+  save_session_checkpoint(out, cp);
+  util::durable_write_file(path, out.str());
 }
 
 SessionCheckpoint load_session_checkpoint_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
-    throw std::runtime_error("session checkpoint: cannot open " + path);
+  SessionCheckpoint cp;
+  util::CheckpointLoadInfo info;
+  util::load_checkpoint_file(
+      path, [&cp](std::istream& in) { cp = load_session_checkpoint(in); },
+      &info);
+  for (const std::string& q : info.quarantined) {
+    util::log_warn("session checkpoint quarantined: ", q);
   }
-  return load_session_checkpoint(in);
+  if (info.from_backup) {
+    util::log_warn("session checkpoint ", path,
+                   ": primary unusable, restored from backup generation");
+  }
+  return cp;
 }
 
 }  // namespace kgdp::service

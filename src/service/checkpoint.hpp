@@ -3,7 +3,8 @@
 // embedded CheckSession cursor — so a session interrupted by SIGTERM
 // resumes to the identical verdict and counters. Line-oriented
 // `kgdp-check-session` text in the same family as the campaign
-// checkpoint format, written atomically (tmp + rename).
+// checkpoint format, persisted through util::durable_file (CRC32C
+// envelope, fsync'd atomic replace, `.bak` generation).
 #pragma once
 
 #include <cstdint>
@@ -32,9 +33,13 @@ void save_session_checkpoint(std::ostream& out, const SessionCheckpoint& cp);
 // Throws std::runtime_error on malformed input.
 SessionCheckpoint load_session_checkpoint(std::istream& in);
 
-// Atomic write (tmp + rename); throws std::runtime_error on IO failure.
+// Crash-safe write via util::durable_write_file; throws
+// std::runtime_error on IO failure.
 void write_session_checkpoint_file(const std::string& path,
                                    const SessionCheckpoint& cp);
+// Classified load via util::load_checkpoint_file: accepts legacy
+// un-enveloped files, quarantines bad candidates, falls back to the
+// `.bak` generation; throws util::CheckpointError.
 SessionCheckpoint load_session_checkpoint_file(const std::string& path);
 
 }  // namespace kgdp::service

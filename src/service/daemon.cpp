@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/durable_file.hpp"
+#include "util/log.hpp"
 #include "util/stop_signal.hpp"
 
 namespace kgdp::service {
@@ -18,6 +20,12 @@ Daemon::Daemon(DaemonConfig config)
   // daemon; writes to dead sockets surface as EPIPE and close only the
   // one connection.
   net::ignore_sigpipe();
+  // A previous daemon killed between open and rename leaks *.kgdp.tmp
+  // in the drain dir forever; sweep them before any session can write.
+  for (const std::string& path :
+       util::remove_stale_tmp_files(config_.service.drain_dir)) {
+    util::log_warn("removed stale checkpoint temp file ", path);
+  }
   server_.set_frame_handler([this](std::uint64_t conn, std::string frame) {
     service_.handle_frame(conn, std::move(frame));
   });

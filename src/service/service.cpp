@@ -1,5 +1,6 @@
 #include "service/service.hpp"
 
+#include <cstdio>
 #include <exception>
 #include <fstream>
 #include <sstream>
@@ -9,6 +10,8 @@
 #include "kgd/factory.hpp"
 #include "service/checkpoint.hpp"
 #include "sim/campaign.hpp"
+#include "util/durable_file.hpp"
+#include "util/log.hpp"
 
 namespace kgdp::service {
 
@@ -310,6 +313,14 @@ void Service::handle_frame(std::uint64_t conn, std::string frame) {
       campaign::CampaignState state;
       try {
         state = campaign::load_campaign_file(dir + "/checkpoint.kgdp");
+      } catch (const util::CheckpointError& e) {
+        // Classified: a missing checkpoint is the client's not-found; a
+        // truncated/corrupt/unparsable one is server-side damage.
+        r.error_code = e.kind() == util::CheckpointErrorKind::kMissing
+                           ? ErrorCode::kNotFound
+                           : ErrorCode::kInternal;
+        r.error_message = e.what();
+        return r;
       } catch (const std::exception& e) {
         r.error_code = ErrorCode::kNotFound;
         r.error_message = e.what();
@@ -593,6 +604,13 @@ void Service::schedule_session_work(Session& s) {
         sp->session->advance(sp->chunk);
       }
       error.clear();
+    } catch (const util::CheckpointError& e) {
+      // Classified resume failure: a path that names nothing is the
+      // client's not-found; a damaged checkpoint is a bad request.
+      code = e.kind() == util::CheckpointErrorKind::kMissing
+                 ? ErrorCode::kNotFound
+                 : ErrorCode::kBadRequest;
+      error = e.what();
     } catch (const std::exception& e) {
       if (code == ErrorCode::kInternal && sp->session == nullptr) {
         code = ErrorCode::kBadRequest;  // checkpoint load/restore failure
@@ -631,6 +649,19 @@ void Service::chunk_done(const std::string& sid, const std::string& error,
   body["session"] = s.id;
   body["items_done"] = s.session->items_done();
   body["items_total"] = s.session->items_total();
+  if (config_.session_checkpoint_every > 0 &&
+      ++s.chunks_since_checkpoint >= config_.session_checkpoint_every) {
+    s.chunks_since_checkpoint = 0;
+    std::string path, cp_error;
+    if (write_session_checkpoint(s, &path, &cp_error)) {
+      body["checkpoint"] = path;
+    } else {
+      // Periodic checkpoints are belt-and-braces; a failed write costs
+      // crash protection, not the sweep.
+      util::log_warn("session ", s.id,
+                     ": periodic checkpoint failed: ", cp_error);
+    }
+  }
   send(s.conn, make_event(s.req_id, s.tag, "progress", std::move(body)));
   // Re-find before scheduling: the send can destroy the connection, and
   // nothing that runs under it may have erased the session.
@@ -638,8 +669,47 @@ void Service::chunk_done(const std::string& sid, const std::string& error,
   if (again != sessions_.end()) schedule_session_work(*again->second);
 }
 
+std::string Service::session_checkpoint_path(const Session& s) const {
+  return config_.drain_dir + "/kgdd-" + s.id + ".kgdp";
+}
+
+bool Service::write_session_checkpoint(Session& s, std::string* path,
+                                       std::string* error) {
+  try {
+    SessionCheckpoint cp;
+    cp.n = s.n;
+    cp.k = s.k;
+    cp.mode = s.req.mode;
+    cp.max_faults = s.req.max_faults;
+    cp.samples = s.req.samples;
+    cp.seed = s.req.seed;
+    cp.prune = s.req.options.prune;
+    cp.chunk = s.chunk;
+    std::ostringstream cursor;
+    s.session->save(cursor);
+    cp.cursor = cursor.str();
+    *path = session_checkpoint_path(s);
+    write_session_checkpoint_file(*path, cp);
+    s.wrote_checkpoint = true;
+    return true;
+  } catch (const std::exception& e) {
+    *error = e.what();
+    return false;
+  }
+}
+
+void Service::remove_session_checkpoints(const Session& s) {
+  // Only files this daemon wrote for this session; a client-supplied
+  // resume path is never the daemon's to delete.
+  if (!s.wrote_checkpoint) return;
+  const std::string path = session_checkpoint_path(s);
+  std::remove(path.c_str());
+  std::remove((path + ".bak").c_str());
+}
+
 void Service::finalize_done(Session& s) {
   const std::string sid = s.id;  // reply_terminal's send may erase s
+  remove_session_checkpoints(s);
   io::JsonObject body;
   body["session"] = s.id;
   body["status"] = "done";
@@ -672,30 +742,15 @@ void Service::finalize_drained(Session& s) {
   io::JsonObject body;
   body["session"] = s.id;
   body["status"] = "drained";
-  try {
-    SessionCheckpoint cp;
-    cp.n = s.n;
-    cp.k = s.k;
-    cp.mode = s.req.mode;
-    cp.max_faults = s.req.max_faults;
-    cp.samples = s.req.samples;
-    cp.seed = s.req.seed;
-    cp.prune = s.req.options.prune;
-    cp.chunk = s.chunk;
-    std::ostringstream cursor;
-    s.session->save(cursor);
-    cp.cursor = cursor.str();
-    const std::string path =
-        config_.drain_dir + "/kgdd-" + s.id + ".kgdp";
-    write_session_checkpoint_file(path, cp);
-    body["checkpoint"] = path;
-    body["items_done"] = s.session->items_done();
-    body["items_total"] = s.session->items_total();
-  } catch (const std::exception& e) {
+  std::string path, cp_error;
+  if (!write_session_checkpoint(s, &path, &cp_error)) {
     finalize_error(s, ErrorCode::kInternal,
-                   std::string("drain checkpoint failed: ") + e.what());
+                   "drain checkpoint failed: " + cp_error);
     return;
   }
+  body["checkpoint"] = path;
+  body["items_done"] = s.session->items_done();
+  body["items_total"] = s.session->items_total();
   reply_terminal(s.conn, "verify",
                  make_result(s.req_id, s.tag, std::move(body)),
                  Outcome::kDrained, s.timer.seconds());

@@ -51,6 +51,10 @@ struct ServiceConfig {
   std::uint64_t default_chunk = 512;
   // Where SIGTERM drain writes session checkpoints.
   std::string drain_dir = ".";
+  // Also checkpoint each running session to drain_dir every this many
+  // chunks (0 = drain-only), bounding what a SIGKILL can lose to the
+  // last N chunks. Progress frames carry the path when a write lands.
+  std::uint64_t session_checkpoint_every = 0;
   // Optional JSONL sink appended on every `stats` request and at drain.
   std::string metrics_path;
 };
@@ -90,6 +94,9 @@ class Service {
     // compute state; finalization waits for the task to post back.
     bool running_chunk = false;
     bool cancelled = false;
+    // Periodic-checkpoint cadence state (session_checkpoint_every > 0).
+    std::uint64_t chunks_since_checkpoint = 0;
+    bool wrote_checkpoint = false;
     util::Timer timer;
   };
 
@@ -124,6 +131,12 @@ class Service {
                     const std::string& tag);
 
   // Session machinery (loop thread unless noted).
+  std::string session_checkpoint_path(const Session& s) const;
+  // Durably snapshots the session's cursor to its drain-dir path; false
+  // + *error on failure. Shared by drain and periodic checkpointing.
+  bool write_session_checkpoint(Session& s, std::string* path,
+                                std::string* error);
+  void remove_session_checkpoints(const Session& s);
   void schedule_session_work(Session& s);  // submits creation/chunk task
   void chunk_done(const std::string& sid, const std::string& error,
                   ErrorCode code);

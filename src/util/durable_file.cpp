@@ -1,0 +1,347 @@
+#include "util/durable_file.hpp"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "util/fault_inject.hpp"
+
+namespace kgdp::util {
+
+namespace {
+
+constexpr char kMagic[8] = {'k', 'g', 'd', 'p', 'd', 'u', 'r', '1'};
+constexpr std::uint32_t kEnvelopeVersion = 1;
+// magic + u32 version + u64 payload length + payload + u32 crc.
+constexpr std::size_t kHeaderBytes = sizeof kMagic + 4 + 8;
+constexpr std::size_t kFrameBytes = kHeaderBytes + 4;
+
+std::array<std::uint32_t, 256> make_crc32c_table() {
+  // Reflected Castagnoli polynomial.
+  constexpr std::uint32_t kPoly = 0x82F63B78u;
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+void put_u32le(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void put_u64le(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+std::uint32_t get_u32le(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+std::uint64_t get_u64le(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+std::string build_envelope(std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameBytes + payload.size());
+  out.append(kMagic, sizeof kMagic);
+  put_u32le(&out, kEnvelopeVersion);
+  put_u64le(&out, payload.size());
+  out.append(payload);
+  put_u32le(&out, crc32c(payload.data(), payload.size()));
+  return out;
+}
+
+[[noreturn]] void throw_io(const std::string& path, const char* op,
+                           const std::string& target) {
+  const int err = errno;
+  throw std::runtime_error("durable write " + path + ": " + op + " " +
+                           target + ": " + std::strerror(err));
+}
+
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t len, std::uint32_t crc) {
+  static const std::array<std::uint32_t, 256> table = make_crc32c_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+const char* to_string(CheckpointErrorKind kind) {
+  switch (kind) {
+    case CheckpointErrorKind::kMissing:
+      return "missing";
+    case CheckpointErrorKind::kTruncated:
+      return "truncated";
+    case CheckpointErrorKind::kCorrupt:
+      return "corrupt";
+    case CheckpointErrorKind::kParse:
+      return "parse";
+  }
+  return "unknown";
+}
+
+void durable_write_file(const std::string& path, std::string_view payload,
+                        const DurableWriteOptions& opts) {
+  FaultInjector& fi = FaultInjector::instance();
+  const std::string tmp = path + ".tmp";
+  const std::string data =
+      opts.envelope ? build_envelope(payload) : std::string(payload);
+
+  const int fd =
+      fi.open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) throw_io(path, "open", tmp);
+
+  // Cleanup also routes through the injector: a simulated-crashed
+  // process must not be able to tidy the disk behind itself.
+  const auto fail = [&](const char* op, const std::string& target) {
+    const int saved = errno;
+    ::close(fd);
+    fi.unlink(tmp.c_str());
+    errno = saved;
+    throw_io(path, op, target);
+  };
+
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = fi.write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("write", tmp);
+    }
+    if (n == 0) {
+      errno = EIO;
+      fail("write", tmp);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (opts.fsync && fi.fsync(fd) != 0) fail("fsync", tmp);
+  if (::close(fd) != 0) {
+    fi.unlink(tmp.c_str());
+    throw_io(path, "close", tmp);
+  }
+
+  if (opts.keep_backup && ::access(path.c_str(), F_OK) == 0) {
+    // Best effort: preserve the outgoing generation at <path>.bak via a
+    // hard link. A failure here (at worst a stale backup) never risks
+    // the primary, so it is not fatal.
+    const std::string bak = path + ".bak";
+    fi.unlink(bak.c_str());
+    fi.link(path.c_str(), bak.c_str());
+  }
+
+  if (fi.rename(tmp.c_str(), path.c_str()) != 0) {
+    const int saved = errno;
+    fi.unlink(tmp.c_str());
+    errno = saved;
+    throw_io(path, "rename", tmp + " -> " + path);
+  }
+
+  if (opts.fsync) {
+    // Make the rename itself durable: fsync the parent directory. The
+    // primary already holds the new checkpoint at this point, so a
+    // throw here reports unconfirmed durability, not a lost write.
+    const std::string dir = parent_dir(path);
+    const int dirfd =
+        fi.open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC, 0);
+    if (dirfd < 0) throw_io(path, "open", dir);
+    if (fi.fsync(dirfd) != 0) {
+      const int saved = errno;
+      ::close(dirfd);
+      errno = saved;
+      throw_io(path, "fsync", dir);
+    }
+    ::close(dirfd);
+  }
+}
+
+PayloadResult read_durable_payload(const std::string& path) {
+  PayloadResult res;
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    res.status = PayloadStatus::kMissing;
+    res.detail = std::string("cannot open: ") + std::strerror(errno);
+    return res;
+  }
+  std::string bytes;
+  char buf[1 << 16];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      res.status = PayloadStatus::kCorrupt;
+      res.detail = std::string("read: ") + std::strerror(errno);
+      return res;
+    }
+    if (n == 0) break;
+    bytes.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  if (bytes.empty()) {
+    res.status = PayloadStatus::kTruncated;
+    res.detail = "zero-length file";
+    return res;
+  }
+  if (bytes.size() < sizeof kMagic ||
+      std::memcmp(bytes.data(), kMagic, sizeof kMagic) != 0) {
+    res.status = PayloadStatus::kOk;
+    res.legacy = true;
+    res.payload = std::move(bytes);
+    return res;
+  }
+  if (bytes.size() < kFrameBytes) {
+    res.status = PayloadStatus::kTruncated;
+    res.detail = "envelope header truncated";
+    return res;
+  }
+  const std::uint32_t version = get_u32le(bytes.data() + sizeof kMagic);
+  if (version != kEnvelopeVersion) {
+    res.status = PayloadStatus::kCorrupt;
+    res.detail = "unsupported envelope version " + std::to_string(version);
+    return res;
+  }
+  const std::uint64_t payload_len = get_u64le(bytes.data() + sizeof kMagic + 4);
+  if (bytes.size() < kFrameBytes + payload_len) {
+    res.status = PayloadStatus::kTruncated;
+    res.detail = "payload truncated (header claims " +
+                 std::to_string(payload_len) + " bytes, file holds " +
+                 std::to_string(bytes.size() - kFrameBytes) + ")";
+    return res;
+  }
+  if (bytes.size() > kFrameBytes + payload_len) {
+    res.status = PayloadStatus::kCorrupt;
+    res.detail = "trailing bytes after the checksum";
+    return res;
+  }
+  const std::uint32_t stored =
+      get_u32le(bytes.data() + kHeaderBytes + payload_len);
+  const std::uint32_t computed =
+      crc32c(bytes.data() + kHeaderBytes, payload_len);
+  if (stored != computed) {
+    res.status = PayloadStatus::kCorrupt;
+    std::ostringstream detail;
+    detail << "checksum mismatch (stored 0x" << std::hex << stored
+           << ", computed 0x" << computed << ")";
+    res.detail = detail.str();
+    return res;
+  }
+  res.status = PayloadStatus::kOk;
+  res.payload = bytes.substr(kHeaderBytes, payload_len);
+  return res;
+}
+
+std::string quarantine_file(const std::string& path) {
+  const std::string quarantine = path + ".corrupt";
+  if (::rename(path.c_str(), quarantine.c_str()) != 0) return "";
+  return quarantine;
+}
+
+void load_checkpoint_file(const std::string& path,
+                          const std::function<void(std::istream&)>& parse,
+                          CheckpointLoadInfo* info) {
+  const std::string candidates[2] = {path, path + ".bak"};
+  CheckpointError first_error(CheckpointErrorKind::kMissing,
+                              "checkpoint " + path + ": not found");
+  bool have_error = false;
+  const auto record = [&](CheckpointErrorKind kind, const std::string& what) {
+    if (!have_error) {
+      first_error = CheckpointError(kind, what);
+      have_error = true;
+    }
+  };
+
+  for (int i = 0; i < 2; ++i) {
+    const std::string& candidate = candidates[i];
+    PayloadResult res = read_durable_payload(candidate);
+    if (res.status == PayloadStatus::kMissing) continue;
+    if (res.status != PayloadStatus::kOk) {
+      const std::string quarantined = quarantine_file(candidate);
+      if (info != nullptr) {
+        info->quarantined.push_back(quarantined.empty() ? candidate
+                                                        : quarantined);
+      }
+      record(res.status == PayloadStatus::kTruncated
+                 ? CheckpointErrorKind::kTruncated
+                 : CheckpointErrorKind::kCorrupt,
+             "checkpoint " + candidate + ": " + res.detail);
+      continue;
+    }
+    try {
+      std::istringstream in(res.payload);
+      parse(in);
+      if (info != nullptr) {
+        info->legacy = res.legacy;
+        info->from_backup = i == 1;
+      }
+      return;
+    } catch (const std::exception& e) {
+      const std::string quarantined = quarantine_file(candidate);
+      if (info != nullptr) {
+        info->quarantined.push_back(quarantined.empty() ? candidate
+                                                        : quarantined);
+      }
+      record(CheckpointErrorKind::kParse,
+             "checkpoint " + candidate + ": " + e.what());
+    }
+  }
+  throw first_error;
+}
+
+std::vector<std::string> remove_stale_tmp_files(const std::string& dir) {
+  std::vector<std::string> removed;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return removed;
+  constexpr std::string_view kSuffix = ".kgdp.tmp";
+  while (dirent* entry = ::readdir(d)) {
+    const std::string_view name = entry->d_name;
+    if (name.size() <= kSuffix.size() ||
+        name.substr(name.size() - kSuffix.size()) != kSuffix) {
+      continue;
+    }
+    const std::string path = dir + "/" + std::string(name);
+    struct stat st = {};
+    if (::stat(path.c_str(), &st) != 0 || !S_ISREG(st.st_mode)) continue;
+    if (::unlink(path.c_str()) == 0) removed.push_back(path);
+  }
+  ::closedir(d);
+  return removed;
+}
+
+}  // namespace kgdp::util

@@ -1,0 +1,109 @@
+// Crash-safe checkpoint files. The write side is raw-POSIX-fd atomic
+// replacement hardened far past the old ofstream + rename idiom:
+// payload framed in a CRC32C envelope, written to `<path>.tmp` with
+// EINTR/short-write loops, fsync'd, hard-linked previous generation at
+// `<path>.bak`, renamed into place, parent directory fsync'd — so at
+// *every* syscall boundary a crash leaves `<path>` as exactly the old
+// or the new checkpoint. The read side classifies failures (missing /
+// truncated / corrupt / parse), quarantines bad files to
+// `<name>.corrupt`, and falls back to the `.bak` generation. Every
+// syscall routes through util::FaultInjector, which is how the
+// durability test sweeps a simulated crash across each of these points.
+//
+// Envelope layout (little-endian):
+//   bytes 0..7    magic "kgdpdur1"
+//   bytes 8..11   u32 format version (currently 1)
+//   bytes 12..19  u64 payload length
+//   payload bytes
+//   trailing u32  CRC32C of the payload
+// Files that do not start with the magic are accepted verbatim as
+// legacy (pre-envelope) payloads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kgdp::util {
+
+// CRC32C (Castagnoli), bitwise-reflected, slice-by-table. `crc` chains
+// incremental calls; 0 starts a fresh checksum.
+std::uint32_t crc32c(const void* data, std::size_t len,
+                     std::uint32_t crc = 0);
+
+enum class CheckpointErrorKind { kMissing, kTruncated, kCorrupt, kParse };
+const char* to_string(CheckpointErrorKind kind);
+
+// Classified checkpoint-load failure; what() carries the path and the
+// specific defect so operators can act on it.
+class CheckpointError : public std::runtime_error {
+ public:
+  CheckpointError(CheckpointErrorKind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+  CheckpointErrorKind kind() const { return kind_; }
+
+ private:
+  CheckpointErrorKind kind_;
+};
+
+struct DurableWriteOptions {
+  // Preserve the outgoing generation at <path>.bak (link before
+  // rename) so a corrupt primary still has a good predecessor.
+  bool keep_backup = true;
+  // fsync the file and its parent directory. Off is only for the
+  // durability bench to price the syscalls; production keeps it on.
+  bool fsync = true;
+  // Frame the payload in the CRC32C envelope. Off writes the payload
+  // verbatim (what a legacy reader expects); also bench-only.
+  bool envelope = true;
+};
+
+// Atomically replaces <path> with the enveloped payload. Throws
+// std::runtime_error naming the failing operation; on a non-crash
+// failure the temp file is removed and <path> is untouched.
+void durable_write_file(const std::string& path, std::string_view payload,
+                        const DurableWriteOptions& opts = {});
+
+enum class PayloadStatus { kOk, kMissing, kTruncated, kCorrupt };
+
+struct PayloadResult {
+  PayloadStatus status = PayloadStatus::kMissing;
+  bool legacy = false;    // no envelope: whole file taken as payload
+  std::string payload;    // valid only when status == kOk
+  std::string detail;     // human-readable defect when status != kOk
+};
+
+// Reads one file and validates its envelope. Never throws; a
+// zero-length file classifies as truncated (the classic artifact of a
+// non-durable truncate-then-crash).
+PayloadResult read_durable_payload(const std::string& path);
+
+struct CheckpointLoadInfo {
+  bool legacy = false;
+  bool from_backup = false;
+  std::vector<std::string> quarantined;  // paths moved to *.corrupt
+};
+
+// Loads <path>, falling back to <path>.bak: each candidate is envelope-
+// checked and handed to `parse` (which throws on malformed payloads);
+// candidates that fail either check are quarantined to <candidate>.corrupt.
+// Throws CheckpointError describing the primary's defect when no
+// candidate loads.
+void load_checkpoint_file(const std::string& path,
+                          const std::function<void(std::istream&)>& parse,
+                          CheckpointLoadInfo* info = nullptr);
+
+// Best-effort rename of a bad checkpoint out of the load path; returns
+// the quarantine path ("<path>.corrupt"), or "" if the rename failed.
+std::string quarantine_file(const std::string& path);
+
+// Removes stale atomic-write temporaries (regular files named
+// *.kgdp.tmp, non-recursive) left by a crash between open and rename.
+// Returns the removed paths; callers log one line per file.
+std::vector<std::string> remove_stale_tmp_files(const std::string& dir);
+
+}  // namespace kgdp::util

@@ -1,0 +1,175 @@
+#!/bin/sh
+# kill-9 chaos drill for the durable-checkpoint layer.
+#
+#   chaos_kill9.sh <kgd_cli> campaign <kills> <workdir>
+#   chaos_kill9.sh <kgd_cli> daemon   <kills> <workdir>
+#
+# campaign: SIGKILLs a live `campaign run` / `campaign resume` <kills>
+# times at staggered offsets, then resumes to completion and diffs the
+# per-instance verdict lines against an uninterrupted reference run.
+# daemon: SIGKILLs a live kgdd mid-verify <kills> times; each restart
+# resumes from the periodic session checkpoint (or starts fresh when
+# the kill landed before the first one); the final verdict's
+# deterministic fields must match an uninterrupted daemon's.
+#
+# Grid/effort knobs (env, with defaults sized for CI):
+#   NMIN NMAX KMIN KMAX CHUNK  campaign grid and chunk size
+#   DN DK DCHUNK               daemon verify instance and chunk size
+set -u
+
+CLI=$1
+MODE=$2
+KILLS=$3
+WORK=$4
+
+NMIN=${NMIN:-3} NMAX=${NMAX:-3} KMIN=${KMIN:-4} KMAX=${KMAX:-5}
+CHUNK=${CHUNK:-150}
+DN=${DN:-3} DK=${DK:-6} DCHUNK=${DCHUNK:-25}
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+fail() {
+  echo "chaos_kill9: FAIL: $*" >&2
+  exit 1
+}
+
+# Staggered kill delay for iteration $1: cycles 0.05s .. 0.40s so the
+# SIGKILL lands at different points of the checkpoint cycle each time.
+kill_delay() {
+  printf "0.%02d" $(( ($1 % 8) * 5 + 5 ))
+}
+
+campaign_drill() {
+  echo "chaos_kill9: reference campaign run (uninterrupted)"
+  "$CLI" campaign run --nmin="$NMIN" --nmax="$NMAX" --kmin="$KMIN" \
+    --kmax="$KMAX" --chunk="$CHUNK" --checkpoint-every=1 \
+    --out="$WORK/ref" >/dev/null || fail "reference run failed"
+  "$CLI" campaign status --out="$WORK/ref" | grep -E "HOLDS|FAILS" \
+    > "$WORK/ref_verdicts.txt" || fail "reference produced no verdicts"
+
+  i=0
+  while [ "$i" -lt "$KILLS" ]; do
+    if [ -f "$WORK/chaos/checkpoint.kgdp" ]; then
+      "$CLI" campaign resume --out="$WORK/chaos" >/dev/null 2>&1 &
+    else
+      "$CLI" campaign run --nmin="$NMIN" --nmax="$NMAX" --kmin="$KMIN" \
+        --kmax="$KMAX" --chunk="$CHUNK" --checkpoint-every=1 \
+        --out="$WORK/chaos" >/dev/null 2>&1 &
+    fi
+    pid=$!
+    sleep "$(kill_delay "$i")"
+    kill -9 "$pid" 2>/dev/null
+    wait "$pid" 2>/dev/null
+    i=$((i + 1))
+    echo "chaos_kill9: campaign kill $i/$KILLS done"
+  done
+
+  echo "chaos_kill9: final resume to completion"
+  "$CLI" campaign resume --out="$WORK/chaos" >/dev/null \
+    || fail "final resume failed"
+  "$CLI" campaign status --out="$WORK/chaos" | grep -E "HOLDS|FAILS" \
+    > "$WORK/chaos_verdicts.txt" || fail "chaos run produced no verdicts"
+
+  diff -u "$WORK/ref_verdicts.txt" "$WORK/chaos_verdicts.txt" \
+    || fail "campaign verdicts diverged after $KILLS kills"
+  echo "chaos_kill9: campaign verdicts identical after $KILLS kills"
+}
+
+# Extracts the deterministic verdict fields from the last (terminal)
+# frame of a request transcript; timing and scheduling fields are
+# explicitly nondeterministic and excluded.
+verdict_fields() {
+  tail -n 1 "$1" | tr ',{}' '\n\n\n' | \
+    grep -E '"(holds|exhaustive|fault_sets_checked|fault_sets_solved|orbits_pruned|automorphism_order|solver_unknowns)"' | \
+    sort
+}
+
+# Starts kgdd on an ephemeral port with drain dir $1; sets DAEMON_PID
+# and PORT (no subshell — both must survive into the caller).
+start_daemon() {
+  mkdir -p "$1"
+  "$CLI" serve --tcp=127.0.0.1:0 --drain-dir="$1" --chunk="$DCHUNK" \
+    --checkpoint-every=1 --threads=2 > "$1/serve.log" 2>&1 &
+  DAEMON_PID=$!
+  PORT=""
+  tries=0
+  while [ -z "$PORT" ] && [ "$tries" -lt 200 ]; do
+    PORT=$(sed -n 's/^kgdd: listening on tcp port \([0-9]*\)$/\1/p' \
+      "$1/serve.log" 2>/dev/null)
+    [ -z "$PORT" ] && sleep 0.05
+    tries=$((tries + 1))
+  done
+  [ -n "$PORT" ] || fail "daemon did not report a listening port"
+}
+
+daemon_drill() {
+  echo "chaos_kill9: reference daemon verify (uninterrupted)"
+  start_daemon "$WORK/drain_ref"
+  "$CLI" request verify --connect="tcp:127.0.0.1:$PORT" \
+    --params="{\"n\":$DN,\"k\":$DK,\"chunk\":$DCHUNK}" \
+    > "$WORK/ref_frames.txt" || fail "reference verify failed"
+  kill -TERM "$DAEMON_PID" 2>/dev/null
+  wait "$DAEMON_PID" 2>/dev/null
+  verdict_fields "$WORK/ref_frames.txt" > "$WORK/ref_verdict.txt"
+  [ -s "$WORK/ref_verdict.txt" ] || fail "reference verdict empty"
+
+  ckpt="$WORK/drain_chaos/kgdd-s1.kgdp"
+  done_early=0
+  i=0
+  while [ "$i" -lt "$KILLS" ]; do
+    start_daemon "$WORK/drain_chaos"
+    if [ -f "$ckpt" ]; then
+      params="{\"resume\":\"$ckpt\"}"
+    else
+      params="{\"n\":$DN,\"k\":$DK,\"chunk\":$DCHUNK}"
+    fi
+    "$CLI" request verify --connect="tcp:127.0.0.1:$PORT" \
+      --params="$params" > "$WORK/chaos_frames.txt" 2>/dev/null &
+    REQ_PID=$!
+    sleep "$(kill_delay "$i")"
+    if ! kill -9 "$DAEMON_PID" 2>/dev/null; then
+      # Daemon already gone — only possible if something crashed it;
+      # the request result below decides pass/fail.
+      :
+    fi
+    wait "$DAEMON_PID" 2>/dev/null
+    if wait "$REQ_PID" 2>/dev/null; then
+      # The sweep finished before our kill landed: we already have a
+      # terminal verdict for the resumed chain.
+      done_early=1
+      i=$((i + 1))
+      echo "chaos_kill9: daemon kill $i/$KILLS (sweep completed first)"
+      break
+    fi
+    i=$((i + 1))
+    echo "chaos_kill9: daemon kill $i/$KILLS done"
+  done
+
+  if [ "$done_early" -eq 0 ]; then
+    echo "chaos_kill9: final resumed verify to completion"
+    start_daemon "$WORK/drain_chaos"
+    if [ -f "$ckpt" ]; then
+      params="{\"resume\":\"$ckpt\"}"
+    else
+      params="{\"n\":$DN,\"k\":$DK,\"chunk\":$DCHUNK}"
+    fi
+    "$CLI" request verify --connect="tcp:127.0.0.1:$PORT" \
+      --params="$params" > "$WORK/chaos_frames.txt" \
+      || fail "final resumed verify failed"
+    kill -TERM "$DAEMON_PID" 2>/dev/null
+    wait "$DAEMON_PID" 2>/dev/null
+  fi
+
+  verdict_fields "$WORK/chaos_frames.txt" > "$WORK/chaos_verdict.txt"
+  diff -u "$WORK/ref_verdict.txt" "$WORK/chaos_verdict.txt" \
+    || fail "daemon verdicts diverged after $i kills"
+  echo "chaos_kill9: daemon verdicts identical after $i kills"
+}
+
+case "$MODE" in
+  campaign) campaign_drill ;;
+  daemon) daemon_drill ;;
+  *) fail "unknown mode: $MODE (want campaign|daemon)" ;;
+esac
+echo "chaos_kill9: PASS ($MODE, $KILLS kills)"

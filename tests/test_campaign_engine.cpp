@@ -5,7 +5,12 @@
 // telemetry schema, and the merge rejection paths.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -16,6 +21,7 @@
 #include "campaign/telemetry.hpp"
 #include "fault/enumerator.hpp"
 #include "kgd/factory.hpp"
+#include "util/durable_file.hpp"
 #include "verify/check_session.hpp"
 
 namespace kgdp::campaign {
@@ -175,6 +181,78 @@ TEST(Campaign, CampaignFileRoundTripIsStable) {
   for (std::size_t i = 0; i < loaded.instances.size(); ++i) {
     EXPECT_EQ(loaded.instances[i].status, partial.state().instances[i].status);
   }
+}
+
+// Every damaged campaign file must load as a classified
+// util::CheckpointError — never undefined behaviour, never an uncaught
+// deep parse error the operator can't act on.
+TEST(Campaign, CorruptFileCorpusLoadsAsClassifiedErrors) {
+  const std::string dir =
+      testing::TempDir() + "kgdp_corpus_" + std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const auto sub = [&](const std::string& name) { return dir + "/" + name; };
+
+  CampaignConfig c = acceptance_config();
+  const std::string good = sub("good.kgdp");
+  write_campaign_file(good, make_campaign(c));
+  std::string bytes;
+  {
+    std::ifstream in(good, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 32u);
+  const auto write_raw = [&](const std::string& name,
+                             const std::string& content) {
+    const std::string path = sub(name);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+    return path;
+  };
+  const auto expect_kind = [](const std::string& path,
+                              util::CheckpointErrorKind kind) {
+    try {
+      load_campaign_file(path);
+      ADD_FAILURE() << path << ": expected a CheckpointError";
+    } catch (const util::CheckpointError& e) {
+      EXPECT_EQ(util::to_string(e.kind()), util::to_string(kind))
+          << path << ": " << e.what();
+    }
+  };
+
+  expect_kind(sub("missing.kgdp"), util::CheckpointErrorKind::kMissing);
+  expect_kind(write_raw("zero.kgdp", ""),
+              util::CheckpointErrorKind::kTruncated);
+  expect_kind(write_raw("trunc.kgdp", bytes.substr(0, bytes.size() / 2)),
+              util::CheckpointErrorKind::kTruncated);
+  std::string flipped = bytes;
+  flipped[flipped.size() / 2] ^= 0x10;
+  expect_kind(write_raw("flip.kgdp", flipped),
+              util::CheckpointErrorKind::kCorrupt);
+  const std::string wrongver = sub("wrongver.kgdp");
+  util::durable_write_file(wrongver, "kgdp-campaign 99\nschema_version 1\n");
+  expect_kind(wrongver, util::CheckpointErrorKind::kParse);
+  // Bad candidates were quarantined, not left in place to fail again.
+  EXPECT_TRUE(std::filesystem::exists(sub("flip.kgdp.corrupt")));
+  EXPECT_FALSE(std::filesystem::exists(sub("flip.kgdp")));
+
+  // Legacy pre-envelope files (plain text, no magic) still load.
+  std::ostringstream legacy_text;
+  save_campaign(legacy_text, make_campaign(c));
+  const std::string legacy = write_raw("legacy.kgdp", legacy_text.str());
+  EXPECT_NO_THROW(load_campaign_file(legacy));
+
+  // A corrupt primary falls back to the previous good `.bak`
+  // generation; the primary itself is quarantined.
+  const std::string pair = write_raw("pair.kgdp", flipped);
+  write_raw("pair.kgdp.bak", bytes);
+  const CampaignState recovered = load_campaign_file(pair);
+  EXPECT_EQ(recovered.config.n_min, c.n_min);
+  EXPECT_TRUE(std::filesystem::exists(pair + ".corrupt"));
+  std::filesystem::remove_all(dir);
 }
 
 TEST(Campaign, LoadRejectsMalformedFiles) {

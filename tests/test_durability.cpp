@@ -1,0 +1,483 @@
+// Durability acceptance suite for util::durable_file + FaultInjector:
+// CRC32C known answers, envelope round-trips, legacy acceptance, the
+// corruption-classification corpus, quarantine/backup fallback, fault
+// spec parsing, injector determinism — and the tentpole drill: a
+// simulated crash swept across *every* intercepted syscall of a
+// checkpoint rewrite, for both the kgdd session format and the
+// campaign format, proving the file reloads as exactly the old or the
+// new checkpoint at each crash point (never a parse error, never a
+// torn hybrid).
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdint>
+#include <functional>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "campaign/checkpoint.hpp"
+#include "service/checkpoint.hpp"
+#include "util/durable_file.hpp"
+#include "util/fault_inject.hpp"
+
+namespace kgdp::util {
+namespace {
+
+// Disarms the process-wide injector even when an assertion bails out
+// of the test body early.
+struct InjectorGuard {
+  ~InjectorGuard() { FaultInjector::instance().disarm(); }
+};
+
+std::string test_dir(const std::string& tag) {
+  const std::string dir = testing::TempDir() + "kgdp_dur_" + tag + "_" +
+                          std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(Crc32c, KnownAnswerVectors) {
+  // The canonical Castagnoli check value (RFC 3720 appendix B style).
+  EXPECT_EQ(crc32c("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(crc32c("", 0), 0u);
+  // 32 zero bytes — a second fixed vector so a table typo can't pass.
+  const std::string zeros(32, '\0');
+  EXPECT_EQ(crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+}
+
+TEST(Crc32c, IncrementalChainingMatchesOneShot) {
+  const std::string data = "gracefully degradable pipeline networks";
+  const std::uint32_t whole = crc32c(data.data(), data.size());
+  std::uint32_t chained = 0;
+  for (std::size_t i = 0; i < data.size(); i += 7) {
+    const std::size_t n = std::min<std::size_t>(7, data.size() - i);
+    chained = crc32c(data.data() + i, n, chained);
+  }
+  EXPECT_EQ(chained, whole);
+}
+
+TEST(DurableFile, EnvelopeRoundTripsPayloadExactly) {
+  const std::string dir = test_dir("roundtrip");
+  const std::string path = dir + "/cp.kgdp";
+  std::string payload = "kgdp-campaign 1\nbinary.bytes too\n"
+                        "and a longer tail to cross buffer sizes\n";
+  payload[20] = '\0';  // embedded NUL: payloads are bytes, not C strings
+  durable_write_file(path, payload);
+  const PayloadResult res = read_durable_payload(path);
+  EXPECT_EQ(static_cast<int>(res.status), static_cast<int>(PayloadStatus::kOk));
+  EXPECT_FALSE(res.legacy);
+  EXPECT_EQ(res.payload, payload);
+
+  // Empty payloads are legal (length 0, CRC of nothing).
+  durable_write_file(path, "");
+  const PayloadResult empty = read_durable_payload(path);
+  EXPECT_EQ(static_cast<int>(empty.status),
+            static_cast<int>(PayloadStatus::kOk));
+  EXPECT_TRUE(empty.payload.empty());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DurableFile, LegacyUnenvelopedFilesAreAcceptedVerbatim) {
+  const std::string dir = test_dir("legacy");
+  const std::string path = dir + "/old.kgdp";
+  const std::string text = "kgdp-campaign 1\nschema_version 1\n";
+  spit(path, text);
+  const PayloadResult res = read_durable_payload(path);
+  EXPECT_EQ(static_cast<int>(res.status), static_cast<int>(PayloadStatus::kOk));
+  EXPECT_TRUE(res.legacy);
+  EXPECT_EQ(res.payload, text);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DurableFile, CorruptionCorpusClassifies) {
+  const std::string dir = test_dir("corpus");
+  const std::string good = dir + "/good.kgdp";
+  const std::string payload(300, 'x');
+  durable_write_file(good, payload);
+  const std::string bytes = slurp(good);
+  ASSERT_GT(bytes.size(), payload.size());
+
+  const auto classify = [&](const std::string& content) {
+    const std::string path = dir + "/case.kgdp";
+    spit(path, content);
+    return read_durable_payload(path).status;
+  };
+
+  EXPECT_EQ(static_cast<int>(read_durable_payload(dir + "/nope.kgdp").status),
+            static_cast<int>(PayloadStatus::kMissing));
+  // The classic non-durable artifact: file truncated to zero length.
+  EXPECT_EQ(static_cast<int>(classify("")),
+            static_cast<int>(PayloadStatus::kTruncated));
+  // Torn inside the header, and torn inside the payload.
+  EXPECT_EQ(static_cast<int>(classify(bytes.substr(0, 10))),
+            static_cast<int>(PayloadStatus::kTruncated));
+  EXPECT_EQ(static_cast<int>(classify(bytes.substr(0, bytes.size() - 30))),
+            static_cast<int>(PayloadStatus::kTruncated));
+  // One flipped payload bit: CRC mismatch.
+  std::string flip_payload = bytes;
+  flip_payload[bytes.size() / 2] ^= 0x01;
+  EXPECT_EQ(static_cast<int>(classify(flip_payload)),
+            static_cast<int>(PayloadStatus::kCorrupt));
+  // One flipped trailer (CRC) bit.
+  std::string flip_crc = bytes;
+  flip_crc[bytes.size() - 1] ^= 0x80;
+  EXPECT_EQ(static_cast<int>(classify(flip_crc)),
+            static_cast<int>(PayloadStatus::kCorrupt));
+  // Unknown envelope version.
+  std::string wrong_version = bytes;
+  wrong_version[8] = 0x7f;
+  EXPECT_EQ(static_cast<int>(classify(wrong_version)),
+            static_cast<int>(PayloadStatus::kCorrupt));
+  // Trailing garbage after the trailer.
+  EXPECT_EQ(static_cast<int>(classify(bytes + "zzz")),
+            static_cast<int>(PayloadStatus::kCorrupt));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DurableFile, QuarantinesPrimaryAndFallsBackToBackup) {
+  const std::string dir = test_dir("bak");
+  const std::string path = dir + "/cp.kgdp";
+  durable_write_file(path, "generation A\n");
+  durable_write_file(path, "generation B\n");  // links A to cp.kgdp.bak
+  ASSERT_TRUE(std::filesystem::exists(path + ".bak"));
+
+  std::string damaged = slurp(path);
+  damaged[22] ^= 0x04;  // past the 20-byte header: a payload bit
+  spit(path, damaged);
+
+  std::string loaded;
+  CheckpointLoadInfo info;
+  load_checkpoint_file(
+      path,
+      [&loaded](std::istream& in) {
+        loaded.assign(std::istreambuf_iterator<char>(in),
+                      std::istreambuf_iterator<char>());
+      },
+      &info);
+  EXPECT_EQ(loaded, "generation A\n");
+  EXPECT_TRUE(info.from_backup);
+  ASSERT_EQ(info.quarantined.size(), 1u);
+  EXPECT_EQ(info.quarantined[0], path + ".corrupt");
+  EXPECT_TRUE(std::filesystem::exists(path + ".corrupt"));
+  EXPECT_FALSE(std::filesystem::exists(path));
+
+  // With the backup also gone, the load reports the *primary's* defect.
+  spit(path, damaged);
+  std::filesystem::remove(path + ".bak");
+  try {
+    load_checkpoint_file(path, [](std::istream&) {});
+    ADD_FAILURE() << "expected CheckpointError";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(std::string(to_string(e.kind())),
+              to_string(CheckpointErrorKind::kCorrupt));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DurableFile, StaleTmpSweepIsPreciselyScoped) {
+  const std::string dir = test_dir("sweep");
+  spit(dir + "/kgdd-s1.kgdp.tmp", "torn");
+  spit(dir + "/shard3.kgdp.tmp", "torn");
+  spit(dir + "/keep.kgdp", "real checkpoint");
+  spit(dir + "/keep.txt", "unrelated");
+  std::filesystem::create_directories(dir + "/subdir.kgdp.tmp");
+  spit(dir + "/subdir.kgdp.tmp/nested.kgdp.tmp", "nested: out of scope");
+
+  std::vector<std::string> removed = remove_stale_tmp_files(dir);
+  std::sort(removed.begin(), removed.end());
+  ASSERT_EQ(removed.size(), 2u);
+  EXPECT_EQ(removed[0], dir + "/kgdd-s1.kgdp.tmp");
+  EXPECT_EQ(removed[1], dir + "/shard3.kgdp.tmp");
+  EXPECT_TRUE(std::filesystem::exists(dir + "/keep.kgdp"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/keep.txt"));
+  // Directories and their contents are never touched (non-recursive,
+  // regular files only).
+  EXPECT_TRUE(
+      std::filesystem::exists(dir + "/subdir.kgdp.tmp/nested.kgdp.tmp"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FaultSpecTest, ParsesTheDocumentedGrammar) {
+  const auto spec = FaultSpec::parse("42:crash@7,enospc@3,eio@1,short@0");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->seed, 42u);
+  EXPECT_EQ(spec->crash_at, 7);
+  EXPECT_EQ(spec->enospc_at, 3);
+  EXPECT_EQ(spec->eio_at, 1);
+  EXPECT_EQ(spec->short_at, 0);
+
+  const auto probs = FaultSpec::parse("7:enospc=0.25,eio=0.5,short=1.0");
+  ASSERT_TRUE(probs.has_value());
+  EXPECT_DOUBLE_EQ(probs->p_enospc, 0.25);
+  EXPECT_DOUBLE_EQ(probs->p_eio, 0.5);
+  EXPECT_DOUBLE_EQ(probs->p_short, 1.0);
+
+  for (const char* bad :
+       {"", ":", "x:crash@1", "7", "7:", "7:crash", "7:crash@",
+        "7:crash@x", "7:crash=0.5", "7:enospc=1.5", "7:enospc=-0.1",
+        "7:bogus@3", "7:crash@1,,eio@2"}) {
+    EXPECT_FALSE(FaultSpec::parse(bad).has_value()) << bad;
+  }
+}
+
+TEST(FaultInjectorTest, DeterministicGivenSeedAndSpec) {
+  InjectorGuard guard;
+  FaultInjector& inj = FaultInjector::instance();
+  const int fd = ::open("/dev/null", O_WRONLY);
+  ASSERT_GE(fd, 0);
+  char buf[16] = {0};
+
+  const auto pattern = [&](std::uint64_t seed) {
+    FaultSpec spec;
+    spec.seed = seed;
+    spec.p_eio = 0.3;
+    spec.p_short = 0.3;
+    inj.arm(spec);
+    std::vector<int> out;
+    for (int i = 0; i < 64; ++i) {
+      errno = 0;
+      const ssize_t rc = inj.write(fd, buf, sizeof buf);
+      out.push_back(rc < 0 ? -errno : static_cast<int>(rc));
+    }
+    inj.disarm();
+    return out;
+  };
+
+  const std::vector<int> a = pattern(1234);
+  const std::vector<int> b = pattern(1234);
+  const std::vector<int> c = pattern(99);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  // The pattern actually exercised all three outcomes.
+  EXPECT_NE(std::count(a.begin(), a.end(), -EIO), 0);
+  EXPECT_NE(std::count(a.begin(), a.end(), 8), 0);   // short: half of 16
+  EXPECT_NE(std::count(a.begin(), a.end(), 16), 0);  // clean pass-through
+  ::close(fd);
+}
+
+TEST(FaultInjectorTest, ShortWritesAreRetriedToCompletion) {
+  InjectorGuard guard;
+  const std::string dir = test_dir("short");
+  const std::string path = dir + "/cp.kgdp";
+  // Every write transfers only half its bytes; the durable writer's
+  // short-write loop must still land the full payload.
+  FaultSpec spec;
+  spec.seed = 5;
+  spec.p_short = 1.0;
+  FaultInjector::instance().arm(spec);
+  const std::string payload(4096, 'q');
+  durable_write_file(path, payload);
+  FaultInjector::instance().disarm();
+  const PayloadResult res = read_durable_payload(path);
+  ASSERT_EQ(static_cast<int>(res.status), static_cast<int>(PayloadStatus::kOk));
+  EXPECT_EQ(res.payload, payload);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FaultInjectorTest, EnospcAtEveryOpLeavesOldOrNew) {
+  InjectorGuard guard;
+  const std::string dir = test_dir("enospc");
+  const std::string path = dir + "/cp.kgdp";
+  const std::string old_payload = "old generation\n";
+  const std::string new_payload = "new generation, longer than the old\n";
+
+  bool completed_clean = false;
+  for (std::int64_t n = 0; n < 64 && !completed_clean; ++n) {
+    FaultInjector& inj = FaultInjector::instance();
+    inj.disarm();
+    durable_write_file(path, old_payload);  // reset: primary = old
+    FaultSpec spec;
+    spec.enospc_at = n;
+    inj.arm(spec);
+    bool threw = false;
+    try {
+      durable_write_file(path, new_payload);
+    } catch (const std::runtime_error&) {
+      threw = true;
+    }
+    const bool fault_reached = inj.ops() > static_cast<std::uint64_t>(n);
+    inj.disarm();
+    const PayloadResult res = read_durable_payload(path);
+    ASSERT_EQ(static_cast<int>(res.status),
+              static_cast<int>(PayloadStatus::kOk))
+        << "enospc@" << n << ": " << res.detail;
+    EXPECT_TRUE(res.payload == old_payload || res.payload == new_payload)
+        << "enospc@" << n;
+    // No thrown error means the caller believes the write landed; only
+    // the new generation may be on disk then.
+    if (!threw) {
+      EXPECT_EQ(res.payload, new_payload) << "enospc@" << n;
+    }
+    if (!fault_reached) {
+      EXPECT_FALSE(threw);
+      completed_clean = true;  // past the last op: sweep is exhaustive
+    }
+  }
+  EXPECT_TRUE(completed_clean) << "sweep never ran past the final op";
+  std::filesystem::remove_all(dir);
+}
+
+// The tentpole drill, file-format-agnostic core: rewrite `path` from
+// checkpoint A to checkpoint B with a simulated kill at intercepted op
+// N, for every N until a rewrite completes crash-free. After each
+// crash the file must reload as exactly A or B — re-serialized to
+// canonical text for the comparison — and a crash-free rewrite must
+// yield B.
+void sweep_crash_points(const std::function<void()>& write_a,
+                        const std::function<void()>& write_b,
+                        const std::function<std::string()>& reload_text,
+                        const std::string& text_a,
+                        const std::string& text_b) {
+  ASSERT_NE(text_a, text_b) << "sweep needs distinguishable generations";
+  bool completed_clean = false;
+  for (std::int64_t n = 0; n < 128 && !completed_clean; ++n) {
+    FaultInjector& inj = FaultInjector::instance();
+    inj.disarm();
+    write_a();
+    FaultSpec spec;
+    spec.crash_at = n;
+    inj.arm(spec);  // programmatic arm: crash simulates, never aborts
+    try {
+      write_b();
+    } catch (const std::runtime_error&) {
+      // The simulated kill surfaces as a write error; state on disk is
+      // frozen at whatever the completed syscalls left behind.
+    }
+    const bool crashed = inj.crashed();
+    inj.disarm();
+    std::string reloaded;
+    try {
+      reloaded = reload_text();
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "crash@" << n
+                    << ": reload failed instead of yielding old-or-new: "
+                    << e.what();
+      continue;
+    }
+    EXPECT_TRUE(reloaded == text_a || reloaded == text_b)
+        << "crash@" << n << ": torn state\n"
+        << reloaded;
+    if (!crashed) {
+      EXPECT_EQ(reloaded, text_b) << "clean rewrite must yield B";
+      completed_clean = true;
+    }
+  }
+  EXPECT_TRUE(completed_clean)
+      << "sweep never reached a crash-free rewrite in 128 ops";
+}
+
+TEST(DurabilitySweep, SessionCheckpointCrashAtEverySyscall) {
+  InjectorGuard guard;
+  const std::string dir = test_dir("sess_sweep");
+  const std::string path = dir + "/kgdd-s1.kgdp";
+
+  service::SessionCheckpoint a;
+  a.n = 3;
+  a.k = 4;
+  a.max_faults = 4;
+  a.chunk = 50;
+  a.cursor = "pos 0 end\n";
+  service::SessionCheckpoint b = a;
+  b.chunk = 75;
+  b.cursor = "pos 9 end\n";
+
+  const auto ser = [](const service::SessionCheckpoint& cp) {
+    std::ostringstream out;
+    service::save_session_checkpoint(out, cp);
+    return out.str();
+  };
+  sweep_crash_points(
+      [&] { service::write_session_checkpoint_file(path, a); },
+      [&] { service::write_session_checkpoint_file(path, b); },
+      [&] { return ser(service::load_session_checkpoint_file(path)); },
+      ser(a), ser(b));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DurabilitySweep, CampaignCheckpointCrashAtEverySyscall) {
+  InjectorGuard guard;
+  const std::string dir = test_dir("camp_sweep");
+  const std::string path = dir + "/campaign.kgdp";
+
+  campaign::CampaignConfig config;
+  config.n_min = 3;
+  config.n_max = 3;
+  config.k_min = 4;
+  config.k_max = 5;
+  config.chunk = 100;
+  const campaign::CampaignState a = campaign::make_campaign(config);
+  // Generation B: the same campaign a few chunks in — a running
+  // instance with an embedded cursor, the realistic mid-sweep state.
+  campaign::CampaignRunner runner(campaign::make_campaign(config),
+                                  /*checkpoint_path=*/"");
+  campaign::RunLimits limits;
+  limits.max_chunks = 2;
+  ASSERT_FALSE(runner.run(limits).complete);
+  const campaign::CampaignState& b = runner.state();
+
+  // save -> load normalizes embedded cursors once; canonicalize both
+  // generations the same way before comparing.
+  const auto ser = [](const campaign::CampaignState& state) {
+    std::ostringstream out;
+    campaign::save_campaign(out, state);
+    std::istringstream in(out.str());
+    std::ostringstream normalized;
+    campaign::save_campaign(normalized, campaign::load_campaign(in));
+    return normalized.str();
+  };
+  sweep_crash_points(
+      [&] { campaign::write_campaign_file(path, a); },
+      [&] { campaign::write_campaign_file(path, b); },
+      [&] { return ser(campaign::load_campaign_file(path)); }, ser(a),
+      ser(b));
+  std::filesystem::remove_all(dir);
+}
+
+// After a simulated crash the leaked temp file is exactly what the
+// daemon-startup / campaign-resume sweep removes.
+TEST(DurabilitySweep, CrashLeavesOnlyATmpFileAndTheSweepRemovesIt) {
+  InjectorGuard guard;
+  const std::string dir = test_dir("tmp_after_crash");
+  const std::string path = dir + "/cp.kgdp";
+  durable_write_file(path, "old\n");
+  FaultSpec spec;
+  spec.crash_at = 2;  // mid-write of the temp file
+  FaultInjector::instance().arm(spec);
+  EXPECT_THROW(durable_write_file(path, "new\n"), std::runtime_error);
+  EXPECT_TRUE(FaultInjector::instance().crashed());
+  FaultInjector::instance().disarm();
+
+  ASSERT_TRUE(std::filesystem::exists(path + ".tmp"));
+  const std::vector<std::string> removed = remove_stale_tmp_files(dir);
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0], path + ".tmp");
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  // The primary survived the whole episode.
+  EXPECT_EQ(read_durable_payload(path).payload, "old\n");
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace kgdp::util

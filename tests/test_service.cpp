@@ -12,6 +12,7 @@
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <optional>
 #include <string>
 #include <thread>
@@ -20,8 +21,10 @@
 #include "io/json.hpp"
 #include "net/client.hpp"
 #include "net/socket.hpp"
+#include "service/checkpoint.hpp"
 #include "service/daemon.hpp"
 #include "service/protocol.hpp"
+#include "util/durable_file.hpp"
 
 namespace kgdp::service {
 namespace {
@@ -610,13 +613,203 @@ TEST(Service, DrainedVerifyResumesToBitIdenticalVerdict) {
 TEST(Service, ResumeFromGarbagePathIsAStructuredError) {
   DaemonFixture fx;
   net::Client client = fx.connect();
+  // A path that names nothing is the client's mistake: not_found.
   io::JsonObject params;
   params["resume"] = "/nonexistent/kgdd-s1.kgdp";
   const auto reply =
       roundtrip(client, request_frame("verify", std::move(params)));
   ASSERT_TRUE(reply.has_value());
   EXPECT_EQ(frame_type(*reply), "error");
-  EXPECT_EQ(error_code(*reply), "bad_request");
+  EXPECT_EQ(error_code(*reply), "not_found");
+}
+
+// The resume corruption corpus: every damaged kgdd-<sid>.kgdp variant
+// must come back as a classified bad_request error — never an internal
+// error from deep inside the parser, never a wedged session.
+TEST(Service, ResumeFromCorruptCheckpointCorpusIsClassified) {
+  const std::string dir = "kgdd_corrupt_" + std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  // A genuine checkpoint to mutate.
+  SessionCheckpoint cp;
+  cp.n = 3;
+  cp.k = 4;
+  cp.max_faults = 4;
+  cp.chunk = 100;
+  cp.cursor = "exhaustive 0 0 end\n";
+  const std::string good = dir + "/kgdd-good.kgdp";
+  write_session_checkpoint_file(good, cp);
+  std::string bytes;
+  {
+    std::ifstream in(good, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 32u);
+
+  const auto write_variant = [&](const std::string& name,
+                                 const std::string& content) {
+    const std::string path = dir + "/" + name;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+    return path;
+  };
+  std::string flipped = bytes;
+  flipped[flipped.size() / 2] ^= 0x40;  // payload bit flip: CRC catches it
+  std::vector<std::string> corpus = {
+      write_variant("kgdd-zero.kgdp", ""),
+      write_variant("kgdd-trunc.kgdp", bytes.substr(0, bytes.size() / 2)),
+      write_variant("kgdd-flip.kgdp", flipped),
+  };
+  // Valid envelope around a wrong-version payload: a parse error, not a
+  // framing error — still bad_request to the client.
+  const std::string wrongver = dir + "/kgdd-wrongver.kgdp";
+  util::durable_write_file(wrongver, "kgdp-check-session 99\nn 3\nk 4\n");
+  corpus.push_back(wrongver);
+
+  DaemonFixture fx;
+  net::Client client = fx.connect();
+  for (const std::string& path : corpus) {
+    io::JsonObject params;
+    params["resume"] = path;
+    const auto reply =
+        roundtrip(client, request_frame("verify", std::move(params)));
+    ASSERT_TRUE(reply.has_value()) << path;
+    EXPECT_EQ(frame_type(*reply), "error") << path;
+    EXPECT_EQ(error_code(*reply), "bad_request") << path;
+  }
+  // The daemon survived the whole corpus.
+  const auto pong = roundtrip(client, request_frame("ping", {}));
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(frame_type(*pong), "result");
+  std::filesystem::remove_all(dir);
+}
+
+// Periodic session checkpoints (--checkpoint-every): a mid-sweep
+// snapshot taken at a chunk boundary resumes in a fresh daemon to the
+// bit-identical verdict, and a completed session cleans its own
+// checkpoint up.
+TEST(Service, PeriodicSessionCheckpointResumesBitIdentically) {
+  const std::string dir1 = "kgdd_period1_" + std::to_string(::getpid());
+  const std::string dir2 = "kgdd_period2_" + std::to_string(::getpid());
+  std::filesystem::remove_all(dir1);
+  std::filesystem::remove_all(dir2);
+  std::filesystem::create_directories(dir1);
+  std::filesystem::create_directories(dir2);
+
+  // Phase 1: run with checkpoint-every=1 until a progress frame reports
+  // a checkpoint write, then cancel (the checkpoint file survives — it
+  // is only removed when a session *completes*).
+  std::string checkpoint_path;
+  {
+    ServiceConfig config;
+    config.threads = 2;
+    config.drain_dir = dir1;
+    config.session_checkpoint_every = 1;
+    DaemonFixture fx(config);
+    net::Client client = fx.connect();
+    std::string error;
+    io::JsonObject params;
+    params["n"] = 3;
+    params["k"] = 6;
+    params["chunk"] = 25;
+    ASSERT_TRUE(client.send_json(request_frame("verify", std::move(params)),
+                                 &error))
+        << error;
+    std::string session;
+    while (checkpoint_path.empty()) {
+      const auto frame = client.read_json(kReadTimeoutMs, &error);
+      ASSERT_TRUE(frame.has_value()) << error;
+      ASSERT_FALSE(is_terminal_frame(*frame)) << "sweep finished before "
+                                                 "any periodic checkpoint";
+      if (const io::Json* sid = frame->find("session")) {
+        session = sid->as_string();
+      }
+      if (const io::Json* path = frame->find("checkpoint")) {
+        checkpoint_path = path->as_string();
+      }
+    }
+    EXPECT_TRUE(std::filesystem::exists(checkpoint_path));
+    io::JsonObject cancel;
+    cancel["session"] = session;
+    ASSERT_TRUE(
+        client.send_json(request_frame("cancel", std::move(cancel)), &error))
+        << error;
+    bool cancelled = false;
+    while (!cancelled) {
+      const auto frame = client.read_json(kReadTimeoutMs, &error);
+      ASSERT_TRUE(frame.has_value()) << error;
+      const io::Json* status = frame->find("status");
+      if (status != nullptr && status->as_string() == "cancelled") {
+        cancelled = true;
+      }
+    }
+  }
+  ASSERT_TRUE(std::filesystem::exists(checkpoint_path)) << checkpoint_path;
+
+  // Phase 2: resume the snapshot in a fresh daemon; verdict must match
+  // an uninterrupted control sweep, and the resumed session's own
+  // periodic checkpoint must be removed once it completes.
+  {
+    ServiceConfig config;
+    config.threads = 2;
+    config.drain_dir = dir2;
+    config.session_checkpoint_every = 1;
+    DaemonFixture fx(config);
+    net::Client client = fx.connect();
+    io::JsonObject resume_params;
+    resume_params["resume"] = checkpoint_path;
+    const auto resumed_terminal = roundtrip(
+        client, request_frame("verify", std::move(resume_params)));
+    ASSERT_TRUE(resumed_terminal.has_value());
+    ASSERT_EQ(frame_type(*resumed_terminal), "result");
+    ASSERT_EQ(resumed_terminal->find("status")->as_string(), "done");
+
+    io::JsonObject control_params;
+    control_params["n"] = 3;
+    control_params["k"] = 6;
+    control_params["chunk"] = 25;
+    const auto control_terminal = roundtrip(
+        client, request_frame("verify", std::move(control_params)));
+    ASSERT_TRUE(control_terminal.has_value());
+    EXPECT_EQ(deterministic_verdict(*resumed_terminal),
+              deterministic_verdict(*control_terminal));
+    EXPECT_NE(deterministic_verdict(*resumed_terminal), "<no verdict>");
+    // Completed sessions reap their own checkpoints (primary + backup).
+    EXPECT_FALSE(std::filesystem::exists(dir2 + "/kgdd-s1.kgdp"));
+    EXPECT_FALSE(std::filesystem::exists(dir2 + "/kgdd-s1.kgdp.bak"));
+  }
+  std::filesystem::remove_all(dir1);
+  std::filesystem::remove_all(dir2);
+}
+
+// Startup hygiene: a daemon whose predecessor died between open and
+// rename sweeps the leaked *.kgdp.tmp from its drain dir before
+// serving.
+TEST(Service, DaemonStartupSweepsStaleTempFiles) {
+  const std::string dir = "kgdd_sweep_" + std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream out(dir + "/kgdd-s7.kgdp.tmp");
+    out << "half-written checkpoint";
+  }
+  {
+    std::ofstream out(dir + "/keep.txt");
+    out << "unrelated";
+  }
+  ServiceConfig config;
+  config.drain_dir = dir;
+  DaemonFixture fx(config);
+  net::Client client = fx.connect();
+  const auto pong = roundtrip(client, request_frame("ping", {}));
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_FALSE(std::filesystem::exists(dir + "/kgdd-s7.kgdp.tmp"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/keep.txt"));
+  std::filesystem::remove_all(dir);
 }
 
 TEST(Service, ShutdownMethodDrainsAndDumpsMetrics) {

@@ -1,6 +1,8 @@
 // Graph explorer CLI: build any covered (n, k), print its properties,
 // verify it, export DOT/JSON, certify it, or run resumable certification
 // campaigns over an (n, k) grid.
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -8,6 +10,7 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "campaign/campaign.hpp"
@@ -17,6 +20,7 @@
 #include "net/socket.hpp"
 #include "service/daemon.hpp"
 #include "service/protocol.hpp"
+#include "util/durable_file.hpp"
 #include "util/flags.hpp"
 #include "util/stop_signal.hpp"
 #include "util/thread_pool.hpp"
@@ -54,8 +58,11 @@ int usage() {
       "  campaign status --out=DIR\n"
       "  serve      [--unix=PATH] [--tcp=HOST:PORT] [--threads=T]\n"
       "             [--max-queue=N] [--max-sessions=N] [--chunk=N]\n"
-      "             [--drain-dir=DIR] [--metrics=FILE]\n"
-      "                  run the kgdd daemon (SIGINT/SIGTERM drains)\n"
+      "             [--drain-dir=DIR] [--checkpoint-every=N]\n"
+      "             [--metrics=FILE]\n"
+      "                  run the kgdd daemon (SIGINT/SIGTERM drains;\n"
+      "                  --checkpoint-every also snapshots sessions every\n"
+      "                  N chunks so SIGKILL loses at most N chunks)\n"
       "  request    <method> --connect=unix:PATH|tcp:HOST:PORT\n"
       "             [--params=JSON] [--tag=T] [--timeout=MS]\n"
       "                  send one request, print every reply frame\n");
@@ -255,6 +262,12 @@ int cmd_campaign(int argc, char** argv) {
                             threads, max_chunks);
     }
     if (sub == "resume") {
+      // A run killed between open and rename leaks checkpoint temp
+      // files; clear them before touching the checkpoint itself.
+      for (const std::string& path : util::remove_stale_tmp_files(out_dir)) {
+        std::printf("campaign resume: removed stale temp file %s\n",
+                    path.c_str());
+      }
       return drive_campaign(
           campaign::load_campaign_file(checkpoint_path(out_dir)), out_dir,
           threads, max_chunks);
@@ -265,11 +278,6 @@ int cmd_campaign(int argc, char** argv) {
                      "campaign merge: list the shard checkpoint files\n");
         return usage();
       }
-      std::vector<campaign::CampaignState> shards;
-      for (const std::string& path : flags.positionals()) {
-        shards.push_back(campaign::load_campaign_file(path));
-      }
-      const campaign::CampaignState merged = campaign::merge_shards(shards);
       std::error_code ec;
       std::filesystem::create_directories(out_dir, ec);
       if (ec) {
@@ -277,6 +285,36 @@ int cmd_campaign(int argc, char** argv) {
                      ec.message().c_str());
         return 1;
       }
+      std::ofstream telemetry_out(out_dir + "/telemetry.jsonl",
+                                  std::ios::app);
+      campaign::TelemetryWriter telemetry(&telemetry_out);
+      std::vector<campaign::CampaignState> shards;
+      std::size_t skipped = 0;
+      for (const std::string& path : flags.positionals()) {
+        try {
+          shards.push_back(campaign::load_campaign_file(path));
+        } catch (const util::CheckpointError& e) {
+          // The loader already quarantined the unusable file; record
+          // the skip and keep reading the rest instead of throwing the
+          // whole merge away.
+          io::JsonObject fields;
+          fields["path"] = path;
+          fields["kind"] = util::to_string(e.kind());
+          fields["error"] = std::string(e.what());
+          telemetry.emit("merge_shard_skipped", std::move(fields));
+          std::fprintf(stderr, "campaign merge: skipping shard %s (%s): %s\n",
+                       path.c_str(), util::to_string(e.kind()), e.what());
+          ++skipped;
+        }
+      }
+      if (skipped != 0) {
+        std::printf(
+            "campaign: MERGE INCOMPLETE — skipped %zu of %zu shard "
+            "file(s); re-run the skipped shards and merge again\n",
+            skipped, flags.positionals().size());
+        return 1;
+      }
+      const campaign::CampaignState merged = campaign::merge_shards(shards);
       campaign::write_campaign_file(checkpoint_path(out_dir), merged);
       std::fputs(campaign::status_summary(merged).c_str(), stdout);
       bool all_hold = true;
@@ -304,6 +342,7 @@ int cmd_serve(int argc, char** argv) {
   util::FlagParser flags;
   flags.flag("unix").flag("tcp").flag("threads").flag("max-queue");
   flags.flag("max-sessions").flag("chunk").flag("drain-dir").flag("metrics");
+  flags.flag("checkpoint-every");
   if (!flags.parse(argc, argv, 2)) return flag_error(flags);
 
   service::DaemonConfig config;
@@ -338,6 +377,10 @@ int cmd_serve(int argc, char** argv) {
   }
   config.service.default_chunk = static_cast<std::uint64_t>(v);
   config.service.drain_dir = flags.get("drain-dir", ".");
+  if (!flags.get_int("checkpoint-every", 0, 0, INT64_MAX, &v)) {
+    return flag_error(flags);
+  }
+  config.service.session_checkpoint_every = static_cast<std::uint64_t>(v);
   config.service.metrics_path = flags.get("metrics");
 
   try {
@@ -390,21 +433,47 @@ int cmd_request(int argc, char** argv) {
   if (flags.has("tag")) request["tag"] = flags.get("tag");
 
   std::string error;
-  auto client = net::Client::connect(*ep, &error);
-  if (!client) {
-    std::fprintf(stderr, "request: cannot connect to %s: %s\n",
-                 ep->to_string().c_str(), error.c_str());
-    return 1;
+  std::optional<net::Client> client;
+  // A restarting daemon refuses TCP connects (ECONNREFUSED) or has not
+  // recreated its unix socket yet (ENOENT); both are transient, so
+  // retry briefly with exponential backoff before giving up.
+  for (int attempt = 0;; ++attempt) {
+    int connect_errno = 0;
+    client = net::Client::connect(*ep, &error, &connect_errno);
+    if (client) break;
+    const bool retryable = connect_errno == ECONNREFUSED ||
+                           connect_errno == ENOENT ||
+                           connect_errno == ECONNRESET;
+    if (!retryable || attempt >= 5) {
+      std::fprintf(stderr, "request: cannot connect to %s: %s\n",
+                   ep->to_string().c_str(), error.c_str());
+      return 1;
+    }
+    const int delay_ms = 100 << attempt;
+    std::fprintf(stderr, "request: %s; retrying in %d ms\n", error.c_str(),
+                 delay_ms);
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
   }
   if (!client->send_json(io::Json(std::move(request)), &error)) {
     std::fprintf(stderr, "request: %s\n", error.c_str());
     return 1;
   }
   while (true) {
+    net::ReadStatus status = net::ReadStatus::kError;
     const auto frame =
-        client->read_json(static_cast<int>(timeout), &error);
+        client->read_json(static_cast<int>(timeout), &error, &status);
     if (!frame) {
-      std::fprintf(stderr, "request: %s\n", error.c_str());
+      if (status == net::ReadStatus::kClosed) {
+        std::fprintf(stderr,
+                     "request: server closed connection before a terminal "
+                     "frame\n");
+      } else if (status == net::ReadStatus::kTimeout) {
+        std::fprintf(stderr,
+                     "request: timed out after %lld ms waiting for a reply\n",
+                     static_cast<long long>(timeout));
+      } else {
+        std::fprintf(stderr, "request: %s\n", error.c_str());
+      }
       return 1;
     }
     std::printf("%s\n", frame->dump().c_str());
