@@ -113,12 +113,13 @@ void write_session_checkpoint_file(const std::string& path,
   util::durable_write_file(path, out.str());
 }
 
-SessionCheckpoint load_session_checkpoint_file(const std::string& path) {
+SessionCheckpoint load_session_checkpoint_file(
+    const std::string& path, const util::CheckpointLoadOptions& opts) {
   SessionCheckpoint cp;
   util::CheckpointLoadInfo info;
   util::load_checkpoint_file(
       path, [&cp](std::istream& in) { cp = load_session_checkpoint(in); },
-      &info);
+      &info, opts);
   for (const std::string& q : info.quarantined) {
     util::log_warn("session checkpoint quarantined: ", q);
   }

@@ -11,6 +11,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "util/durable_file.hpp"
 #include "verify/check_session.hpp"
 
 namespace kgdp::service {
@@ -38,8 +39,11 @@ SessionCheckpoint load_session_checkpoint(std::istream& in);
 void write_session_checkpoint_file(const std::string& path,
                                    const SessionCheckpoint& cp);
 // Classified load via util::load_checkpoint_file: accepts legacy
-// un-enveloped files, quarantines bad candidates, falls back to the
-// `.bak` generation; throws util::CheckpointError.
-SessionCheckpoint load_session_checkpoint_file(const std::string& path);
+// un-enveloped files and, under the default options, quarantines bad
+// candidates and falls back to the `.bak` generation; pass both
+// options false to load a file the caller does not own strictly
+// read-only. Throws util::CheckpointError.
+SessionCheckpoint load_session_checkpoint_file(
+    const std::string& path, const util::CheckpointLoadOptions& opts = {});
 
 }  // namespace kgdp::service

@@ -1,9 +1,12 @@
 #include "service/service.hpp"
 
+#include <dirent.h>
+
 #include <cstdio>
 #include <exception>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 
 #include "campaign/checkpoint.hpp"
 #include "campaign/telemetry.hpp"
@@ -78,6 +81,34 @@ bool param_string(const io::Json* params, const char* name,
   return true;
 }
 
+// Highest <N> among kgdd-s<N>.kgdp* files (checkpoints, .bak, .corrupt,
+// .tmp residue) in `dir`; 0 when none. Session ids seed past this so a
+// restarted daemon never mints an id whose checkpoint files a crashed
+// predecessor left behind — reusing s1 would overwrite, and on
+// completion delete, the dead daemon's only resume data.
+std::uint64_t max_checkpoint_session_ordinal(const std::string& dir) {
+  std::uint64_t max_ordinal = 0;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return max_ordinal;
+  constexpr std::string_view kPrefix = "kgdd-s";
+  while (dirent* entry = ::readdir(d)) {
+    const std::string_view name = entry->d_name;
+    if (name.substr(0, kPrefix.size()) != kPrefix) continue;
+    std::size_t i = kPrefix.size();
+    std::uint64_t ordinal = 0;
+    bool any_digit = false;
+    while (i < name.size() && name[i] >= '0' && name[i] <= '9') {
+      ordinal = ordinal * 10 + static_cast<std::uint64_t>(name[i] - '0');
+      any_digit = true;
+      ++i;
+    }
+    if (!any_digit || name.substr(i, 5) != ".kgdp") continue;
+    if (ordinal > max_ordinal) max_ordinal = ordinal;
+  }
+  ::closedir(d);
+  return max_ordinal;
+}
+
 const char* instance_status_name(campaign::InstanceStatus s) {
   switch (s) {
     case campaign::InstanceStatus::kPending: return "pending";
@@ -94,7 +125,8 @@ Service::Service(net::EventLoop& loop, net::FrameServer& server,
     : loop_(loop),
       server_(server),
       config_(std::move(config)),
-      pool_(config_.threads) {}
+      pool_(config_.threads),
+      next_session_(max_checkpoint_session_ordinal(config_.drain_dir) + 1) {}
 
 Service::~Service() = default;
 
@@ -571,8 +603,15 @@ void Service::schedule_session_work(Session& s) {
         // First task: build the graph and session (and restore the
         // cursor when resuming a drain checkpoint).
         if (!sp->resume_path.empty()) {
+          // The resume path is the client's file, not the daemon's:
+          // load it strictly read-only — no quarantine rename, no
+          // probing of a sibling `.bak` (to use one, the client names
+          // it). The daemon only mutates checkpoints it wrote itself.
+          util::CheckpointLoadOptions read_only;
+          read_only.try_backup = false;
+          read_only.quarantine = false;
           const SessionCheckpoint cp =
-              load_session_checkpoint_file(sp->resume_path);
+              load_session_checkpoint_file(sp->resume_path, read_only);
           sp->n = cp.n;
           sp->k = cp.k;
           sp->req = cp.request();
@@ -724,6 +763,9 @@ void Service::finalize_done(Session& s) {
 
 void Service::finalize_cancelled(Session& s) {
   const std::string sid = s.id;  // reply_terminal's send may erase s
+  // A cancelled sweep is abandoned, not suspended: reap its periodic
+  // checkpoints so the drain dir holds only resumable state.
+  remove_session_checkpoints(s);
   io::JsonObject body;
   body["session"] = s.id;
   body["status"] = "cancelled";
@@ -760,6 +802,13 @@ void Service::finalize_drained(Session& s) {
 void Service::finalize_error(Session& s, ErrorCode code,
                              const std::string& what) {
   const std::string sid = s.id;  // reply_terminal's send may erase s
+  // Deliberately kept (unlike done/cancel): the last periodic
+  // checkpoint is an errored session's only post-mortem resume point,
+  // and session-id seeding stops a later boot from overwriting it.
+  if (s.wrote_checkpoint) {
+    util::log_warn("session ", s.id, ": failed; last checkpoint kept at ",
+                   session_checkpoint_path(s));
+  }
   reply_terminal(s.conn, "verify", make_error(s.req_id, s.tag, code, what),
                  Outcome::kError, s.timer.seconds());
   destroy_session(sid);

@@ -155,6 +155,9 @@ class Service {
 
   std::map<std::string, std::unique_ptr<Session>> sessions_;
   std::uint64_t next_req_ = 1;
+  // Seeded at construction past any kgdd-s<N>.kgdp* left in drain_dir,
+  // so ids — and with them checkpoint paths — never collide with a
+  // previous boot's surviving resume data.
   std::uint64_t next_session_ = 1;
   std::size_t outstanding_jobs_ = 0;
   bool draining_ = false;

@@ -275,8 +275,10 @@ std::string quarantine_file(const std::string& path) {
 
 void load_checkpoint_file(const std::string& path,
                           const std::function<void(std::istream&)>& parse,
-                          CheckpointLoadInfo* info) {
+                          CheckpointLoadInfo* info,
+                          const CheckpointLoadOptions& opts) {
   const std::string candidates[2] = {path, path + ".bak"};
+  const int n_candidates = opts.try_backup ? 2 : 1;
   CheckpointError first_error(CheckpointErrorKind::kMissing,
                               "checkpoint " + path + ": not found");
   bool have_error = false;
@@ -286,17 +288,21 @@ void load_checkpoint_file(const std::string& path,
       have_error = true;
     }
   };
+  const auto discard = [&](const std::string& candidate) {
+    if (!opts.quarantine) return;
+    const std::string quarantined = quarantine_file(candidate);
+    if (info != nullptr) {
+      info->quarantined.push_back(quarantined.empty() ? candidate
+                                                      : quarantined);
+    }
+  };
 
-  for (int i = 0; i < 2; ++i) {
+  for (int i = 0; i < n_candidates; ++i) {
     const std::string& candidate = candidates[i];
     PayloadResult res = read_durable_payload(candidate);
     if (res.status == PayloadStatus::kMissing) continue;
     if (res.status != PayloadStatus::kOk) {
-      const std::string quarantined = quarantine_file(candidate);
-      if (info != nullptr) {
-        info->quarantined.push_back(quarantined.empty() ? candidate
-                                                        : quarantined);
-      }
+      discard(candidate);
       record(res.status == PayloadStatus::kTruncated
                  ? CheckpointErrorKind::kTruncated
                  : CheckpointErrorKind::kCorrupt,
@@ -312,11 +318,7 @@ void load_checkpoint_file(const std::string& path,
       }
       return;
     } catch (const std::exception& e) {
-      const std::string quarantined = quarantine_file(candidate);
-      if (info != nullptr) {
-        info->quarantined.push_back(quarantined.empty() ? candidate
-                                                        : quarantined);
-      }
+      discard(candidate);
       record(CheckpointErrorKind::kParse,
              "checkpoint " + candidate + ": " + e.what());
     }

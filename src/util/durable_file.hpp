@@ -6,7 +6,9 @@
 // *every* syscall boundary a crash leaves `<path>` as exactly the old
 // or the new checkpoint. The read side classifies failures (missing /
 // truncated / corrupt / parse), quarantines bad files to
-// `<name>.corrupt`, and falls back to the `.bak` generation. Every
+// `<name>.corrupt`, and falls back to the `.bak` generation — both
+// recovery moves are opt-outs (CheckpointLoadOptions) so files the
+// caller does not own can be loaded strictly read-only. Every
 // syscall routes through util::FaultInjector, which is how the
 // durability test sweeps a simulated crash across each of these points.
 //
@@ -88,14 +90,25 @@ struct CheckpointLoadInfo {
   std::vector<std::string> quarantined;  // paths moved to *.corrupt
 };
 
+struct CheckpointLoadOptions {
+  // Probe <path>.bak when the primary is unusable.
+  bool try_backup = true;
+  // Rename unusable candidates to <candidate>.corrupt. Both flags go
+  // false for files the caller does not own (a daemon loading a
+  // client-supplied path must never rename or even probe siblings of
+  // a file that is not its own).
+  bool quarantine = true;
+};
+
 // Loads <path>, falling back to <path>.bak: each candidate is envelope-
 // checked and handed to `parse` (which throws on malformed payloads);
 // candidates that fail either check are quarantined to <candidate>.corrupt.
-// Throws CheckpointError describing the primary's defect when no
-// candidate loads.
+// Backup fallback and quarantine honor `opts`. Throws CheckpointError
+// describing the primary's defect when no candidate loads.
 void load_checkpoint_file(const std::string& path,
                           const std::function<void(std::istream&)>& parse,
-                          CheckpointLoadInfo* info = nullptr);
+                          CheckpointLoadInfo* info = nullptr,
+                          const CheckpointLoadOptions& opts = {});
 
 // Best-effort rename of a bad checkpoint out of the load path; returns
 // the quarantine path ("<path>.corrupt"), or "" if the rename failed.

@@ -85,6 +85,14 @@ verdict_fields() {
     sort
 }
 
+# Newest session checkpoint in drain dir $1 (empty when none): session
+# ids seed past a dead daemon's leftovers, so the filename advances
+# (kgdd-s1.kgdp, kgdd-s2.kgdp, ...) across restarts and the newest
+# mtime is the one with the most progress.
+latest_ckpt() {
+  ls -t "$1"/kgdd-s*.kgdp 2>/dev/null | head -n 1
+}
+
 # Starts kgdd on an ephemeral port with drain dir $1; sets DAEMON_PID
 # and PORT (no subshell — both must survive into the caller).
 start_daemon() {
@@ -114,12 +122,12 @@ daemon_drill() {
   verdict_fields "$WORK/ref_frames.txt" > "$WORK/ref_verdict.txt"
   [ -s "$WORK/ref_verdict.txt" ] || fail "reference verdict empty"
 
-  ckpt="$WORK/drain_chaos/kgdd-s1.kgdp"
   done_early=0
   i=0
   while [ "$i" -lt "$KILLS" ]; do
     start_daemon "$WORK/drain_chaos"
-    if [ -f "$ckpt" ]; then
+    ckpt=$(latest_ckpt "$WORK/drain_chaos")
+    if [ -n "$ckpt" ] && [ -f "$ckpt" ]; then
       params="{\"resume\":\"$ckpt\"}"
     else
       params="{\"n\":$DN,\"k\":$DK,\"chunk\":$DCHUNK}"
@@ -149,7 +157,8 @@ daemon_drill() {
   if [ "$done_early" -eq 0 ]; then
     echo "chaos_kill9: final resumed verify to completion"
     start_daemon "$WORK/drain_chaos"
-    if [ -f "$ckpt" ]; then
+    ckpt=$(latest_ckpt "$WORK/drain_chaos")
+    if [ -n "$ckpt" ] && [ -f "$ckpt" ]; then
       params="{\"resume\":\"$ckpt\"}"
     else
       params="{\"n\":$DN,\"k\":$DK,\"chunk\":$DCHUNK}"

@@ -196,6 +196,39 @@ TEST(DurableFile, QuarantinesPrimaryAndFallsBackToBackup) {
   std::filesystem::remove_all(dir);
 }
 
+// Read-only load options (client-supplied paths): a damaged primary
+// stays exactly where it is — no quarantine rename — and a pristine
+// `.bak` sibling is never probed.
+TEST(DurableFile, ReadOnlyLoadNeitherQuarantinesNorProbesBackup) {
+  const std::string dir = test_dir("readonly");
+  const std::string path = dir + "/cp.kgdp";
+  durable_write_file(path, "generation A\n");
+  durable_write_file(path, "generation B\n");  // links A to cp.kgdp.bak
+  ASSERT_TRUE(std::filesystem::exists(path + ".bak"));
+
+  std::string damaged = slurp(path);
+  damaged[22] ^= 0x04;  // past the 20-byte header: a payload bit
+  spit(path, damaged);
+
+  CheckpointLoadOptions read_only;
+  read_only.try_backup = false;
+  read_only.quarantine = false;
+  CheckpointLoadInfo info;
+  try {
+    load_checkpoint_file(
+        path, [](std::istream&) {}, &info, read_only);
+    ADD_FAILURE() << "expected CheckpointError";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(std::string(to_string(e.kind())),
+              to_string(CheckpointErrorKind::kCorrupt));
+  }
+  EXPECT_TRUE(info.quarantined.empty());
+  EXPECT_EQ(slurp(path), damaged);  // still in place, byte-identical
+  EXPECT_FALSE(std::filesystem::exists(path + ".corrupt"));
+  EXPECT_TRUE(std::filesystem::exists(path + ".bak"));
+  std::filesystem::remove_all(dir);
+}
+
 TEST(DurableFile, StaleTmpSweepIsPreciselyScoped) {
   const std::string dir = test_dir("sweep");
   spit(dir + "/kgdd-s1.kgdp.tmp", "torn");

@@ -670,6 +670,13 @@ TEST(Service, ResumeFromCorruptCheckpointCorpusIsClassified) {
   util::durable_write_file(wrongver, "kgdp-check-session 99\nn 3\nk 4\n");
   corpus.push_back(wrongver);
 
+  // A corrupt primary with a pristine `.bak` sibling: the daemon must
+  // not silently probe a backup it does not own — still a structured
+  // error pointing at the file the client actually named.
+  const std::string pair = write_variant("kgdd-pair.kgdp", flipped);
+  write_session_checkpoint_file(pair + ".bak", cp);
+  corpus.push_back(pair);
+
   DaemonFixture fx;
   net::Client client = fx.connect();
   for (const std::string& path : corpus) {
@@ -680,6 +687,12 @@ TEST(Service, ResumeFromCorruptCheckpointCorpusIsClassified) {
     ASSERT_TRUE(reply.has_value()) << path;
     EXPECT_EQ(frame_type(*reply), "error") << path;
     EXPECT_EQ(error_code(*reply), "bad_request") << path;
+  }
+  // Client-supplied resume paths are read-only: none of the damaged
+  // files may have been quarantined (renamed to <name>.corrupt).
+  for (const std::string& path : corpus) {
+    EXPECT_TRUE(std::filesystem::exists(path)) << path;
+    EXPECT_FALSE(std::filesystem::exists(path + ".corrupt")) << path;
   }
   // The daemon survived the whole corpus.
   const auto pong = roundtrip(client, request_frame("ping", {}));
@@ -701,8 +714,9 @@ TEST(Service, PeriodicSessionCheckpointResumesBitIdentically) {
   std::filesystem::create_directories(dir2);
 
   // Phase 1: run with checkpoint-every=1 until a progress frame reports
-  // a checkpoint write, then cancel (the checkpoint file survives — it
-  // is only removed when a session *completes*).
+  // a checkpoint write, copy the snapshot aside, then cancel (a
+  // cancelled session reaps its own checkpoint files, so the copy is
+  // what phase 2 resumes).
   std::string checkpoint_path;
   {
     ServiceConfig config;
@@ -733,6 +747,8 @@ TEST(Service, PeriodicSessionCheckpointResumesBitIdentically) {
       }
     }
     EXPECT_TRUE(std::filesystem::exists(checkpoint_path));
+    const std::string saved = dir1 + "/saved-snapshot.kgdp";
+    std::filesystem::copy_file(checkpoint_path, saved);
     io::JsonObject cancel;
     cancel["session"] = session;
     ASSERT_TRUE(
@@ -747,6 +763,10 @@ TEST(Service, PeriodicSessionCheckpointResumesBitIdentically) {
         cancelled = true;
       }
     }
+    // The cancelled session reaped its own checkpoint and backup.
+    EXPECT_FALSE(std::filesystem::exists(checkpoint_path));
+    EXPECT_FALSE(std::filesystem::exists(checkpoint_path + ".bak"));
+    checkpoint_path = saved;
   }
   ASSERT_TRUE(std::filesystem::exists(checkpoint_path)) << checkpoint_path;
 
@@ -784,6 +804,55 @@ TEST(Service, PeriodicSessionCheckpointResumesBitIdentically) {
   }
   std::filesystem::remove_all(dir1);
   std::filesystem::remove_all(dir2);
+}
+
+// Restart safety: a daemon started over a drain dir holding a dead
+// predecessor's kgdd-s1.kgdp seeds its session ids past it, so a new
+// session's periodic checkpoints neither overwrite the leftover nor
+// (on completion) delete it — the crashed boot's resume data survives.
+TEST(Service, RestartDoesNotClobberPredecessorCheckpoints) {
+  const std::string dir = "kgdd_seed_" + std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  SessionCheckpoint cp;
+  cp.n = 3;
+  cp.k = 4;
+  cp.max_faults = 4;
+  cp.chunk = 100;
+  cp.cursor = "exhaustive 0 0 end\n";
+  const std::string leftover = dir + "/kgdd-s1.kgdp";
+  write_session_checkpoint_file(leftover, cp);
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  };
+  const std::string before = slurp(leftover);
+  ASSERT_FALSE(before.empty());
+
+  {
+    ServiceConfig config;
+    config.threads = 2;
+    config.drain_dir = dir;
+    config.session_checkpoint_every = 1;
+    DaemonFixture fx(config);
+    net::Client client = fx.connect();
+    io::JsonObject params;
+    params["n"] = 3;
+    params["k"] = 6;
+    params["chunk"] = 25;
+    const auto terminal =
+        roundtrip(client, request_frame("verify", std::move(params)));
+    ASSERT_TRUE(terminal.has_value());
+    ASSERT_EQ(frame_type(*terminal), "result");
+    ASSERT_EQ(terminal->find("status")->as_string(), "done");
+  }
+  // The new session checkpointed every chunk and completed — and still
+  // the predecessor's file is byte-identical and its .bak untouched.
+  EXPECT_EQ(slurp(leftover), before);
+  EXPECT_FALSE(std::filesystem::exists(leftover + ".bak"));
+  std::filesystem::remove_all(dir);
 }
 
 // Startup hygiene: a daemon whose predecessor died between open and
