@@ -2,9 +2,11 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "fault/enumerator.hpp"
+#include "io/json.hpp"
 #include "kgd/labeled_graph.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -14,6 +16,17 @@ namespace kgdp::bench {
 
 inline void banner(const std::string& title) {
   std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+// Machine-readable benchmark record (BENCH_*.json): pretty-printed,
+// schema_version-stamped, written atomically enough for CI consumption
+// (whole-string single write). Returns false on I/O failure.
+inline bool write_bench_json(const std::string& path, io::JsonObject fields) {
+  fields["schema_version"] = io::kSchemaVersion;
+  std::ofstream out(path);
+  if (!out) return false;
+  out << io::Json(std::move(fields)).dump(2) << '\n';
+  return static_cast<bool>(out);
 }
 
 // Exhaustively verify when the fault-set space is below `cap`, otherwise

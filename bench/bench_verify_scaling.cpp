@@ -2,11 +2,28 @@
 // and thread-pool scaling of the GD checker. On a single-core host the
 // parallel numbers simply match sequential; the shape to look for is
 // fault-sets/sec and its growth with instance size.
+//
+// Besides the google-benchmark suite, this binary has a perf-tracking
+// mode (X-SOLVER): with no gbench filter flags it measures the Figure 14
+// instance single-core and, given --json=PATH, records the result as
+// machine-readable BENCH_verify.json; --smoke=BUDGET.json compares the
+// measurement against a checked-in budget and exits nonzero on
+// regression beyond --tolerance (a multiplier; default 1.25, use a
+// generous value on shared/noisy runners).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench_common.hpp"
 #include "kgd/factory.hpp"
 #include "kgd/small_n.hpp"
 #include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+#include "verify/check_session.hpp"
 #include "verify/checker.hpp"
 
 using namespace kgdp;
@@ -153,4 +170,129 @@ void BM_SampledCheck(benchmark::State& state) {
 }
 BENCHMARK(BM_SampledCheck)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// X-SOLVER perf-tracking mode (custom main below)
+// ---------------------------------------------------------------------------
+
+struct Fig14Measurement {
+  double best_seconds = 0.0;  // fastest repetition (noise-resistant)
+  verify::CheckResult result; // counters from the fastest repetition
+};
+
+// The Figure 14 instance: G(22,4), 66,712 fault sets, trivial label-
+// respecting group (no orbit pruning), single-core sequential sweep —
+// the purest measure of raw solver throughput.
+Fig14Measurement measure_figure14(int reps) {
+  const auto sg = kgd::build_solution(22, 4);
+  verify::CheckRequest req;
+  req.mode = verify::CheckMode::kExhaustive;
+  req.max_faults = 4;
+  Fig14Measurement m;
+  for (int r = 0; r < reps; ++r) {
+    verify::CheckSession session(*sg, req);
+    const util::Timer t;
+    session.run();
+    const double secs = t.seconds();
+    const verify::CheckResult res = session.result();
+    if (!res.holds) {
+      std::fprintf(stderr, "FATAL: GD(G(22,4), 4) failed\n");
+      std::exit(2);
+    }
+    if (r == 0 || secs < m.best_seconds) {
+      m.best_seconds = secs;
+      m.result = res;
+    }
+  }
+  return m;
+}
+
+int run_perf_mode(const std::string& json_path, const std::string& smoke_path,
+                  double tolerance, int reps) {
+  const Fig14Measurement m = measure_figure14(reps);
+  const double ns_per_solve =
+      m.best_seconds * 1e9 / static_cast<double>(m.result.fault_sets_solved);
+  const double throughput =
+      static_cast<double>(m.result.fault_sets_checked) / m.best_seconds;
+  std::printf("X-SOLVER figure-14 G(22,4): %llu fault sets, %.0f ns/solve, "
+              "%.0f fault-sets/s (best of %d)\n",
+              static_cast<unsigned long long>(m.result.fault_sets_checked),
+              ns_per_solve, throughput, reps);
+
+  if (!json_path.empty()) {
+    io::JsonObject fields;
+    fields["instance"] = std::string("G(22,4)");
+    fields["fault_sets"] = m.result.fault_sets_checked;
+    fields["solves"] = m.result.fault_sets_solved;
+    fields["ns_per_solve"] = ns_per_solve;
+    fields["throughput"] = throughput;
+    fields["solver_patches"] = m.result.solver_patches;
+    fields["solver_rebuilds"] = m.result.solver_rebuilds;
+    fields["solver_search_nodes"] = m.result.solver_search_nodes;
+    if (!bench::write_bench_json(json_path, std::move(fields))) {
+      std::fprintf(stderr, "FATAL: cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (!smoke_path.empty()) {
+    std::ifstream in(smoke_path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    if (!in) {
+      std::fprintf(stderr, "FATAL: cannot read budget %s\n",
+                   smoke_path.c_str());
+      return 2;
+    }
+    const io::Json budget = io::Json::parse(buf.str());
+    const io::Json* budget_ns = budget.find("ns_per_solve");
+    if (budget_ns == nullptr) {
+      std::fprintf(stderr, "FATAL: %s lacks ns_per_solve\n",
+                   smoke_path.c_str());
+      return 2;
+    }
+    const double allowed = budget_ns->as_double() * tolerance;
+    std::printf("perf smoke: %.0f ns/solve measured vs %.0f budget "
+                "(%.0f allowed at tolerance %.2f)\n",
+                ns_per_solve, budget_ns->as_double(), allowed, tolerance);
+    if (ns_per_solve > allowed) {
+      std::fprintf(stderr, "PERF REGRESSION: ns/solve above budget\n");
+      return 1;
+    }
+    std::printf("perf smoke: OK\n");
+  }
+  return 0;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path, smoke_path;
+  double tolerance = 1.25;
+  int reps = 3;
+  // Strip our flags before handing the rest to google-benchmark.
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--smoke=", 0) == 0) {
+      smoke_path = arg.substr(8);
+    } else if (arg.rfind("--tolerance=", 0) == 0) {
+      tolerance = std::stod(arg.substr(12));
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      reps = std::stoi(arg.substr(7));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  if (!json_path.empty() || !smoke_path.empty()) {
+    return run_perf_mode(json_path, smoke_path, tolerance, reps);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -192,6 +192,9 @@ RunOutcome CampaignRunner::run(const RunLimits& limits) {
         f["fault_sets_solved"] = snap.fault_sets_solved;
         f["orbits_pruned"] = snap.orbits_pruned;
         f["steal_count"] = snap.steal_count;
+        f["solver_patches"] = snap.solver_patches;
+        f["solver_rebuilds"] = snap.solver_rebuilds;
+        f["solver_search_nodes"] = snap.solver_search_nodes;
         const std::uint64_t chunk_solved =
             snap.fault_sets_solved - solved_before;
         f["chunk_solved"] = chunk_solved;

@@ -48,6 +48,8 @@ void save_result(std::ostream& out, const verify::CheckResult& res) {
       << ' ' << res.fault_sets_checked << ' ' << res.fault_sets_solved << ' '
       << res.solver_unknowns << ' ' << res.orbits_pruned << ' '
       << res.automorphism_order << ' ' << res.steal_count;
+  out << " solver " << res.solver_patches << ' ' << res.solver_rebuilds << ' '
+      << res.solver_search_nodes << ' ' << res.solver_scratch_bytes;
   out << " workers " << res.worker_solve_seconds.size();
   for (double s : res.worker_solve_seconds) {
     out << ' ' << std::bit_cast<std::uint64_t>(s);
@@ -79,7 +81,20 @@ verify::CheckResult load_result(std::istream& in) {
   }
   res.holds = holds != 0;
   res.exhaustive = exhaustive != 0;
-  std::size_t workers = read_u64(in, "workers");
+  // Optional solver-counter block (schema_version >= 2); absent in files
+  // written before the zero-allocation engine, which load with zeros.
+  std::string word;
+  if (!(in >> word)) fail("truncated result");
+  if (word == "solver") {
+    if (!(in >> res.solver_patches >> res.solver_rebuilds >>
+          res.solver_search_nodes >> res.solver_scratch_bytes)) {
+      fail("truncated solver counters");
+    }
+    if (!(in >> word)) fail("truncated result");
+  }
+  if (word != "workers") fail("expected 'workers', got '" + word + "'");
+  std::size_t workers = 0;
+  if (!(in >> workers)) fail("bad value for workers");
   res.worker_solve_seconds.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
     std::uint64_t bits = 0;

@@ -24,6 +24,12 @@ io::Json check_result_to_json(const verify::CheckResult& res) {
   o["orbits_pruned"] = res.orbits_pruned;
   o["automorphism_order"] = res.automorphism_order;
   o["steal_count"] = res.steal_count;
+  // Solver engine counters (schema_version >= 2). Schedule-dependent
+  // observability: patches vs rebuilds depend on chunking and stealing.
+  o["solver_patches"] = res.solver_patches;
+  o["solver_rebuilds"] = res.solver_rebuilds;
+  o["solver_search_nodes"] = res.solver_search_nodes;
+  o["solver_scratch_bytes"] = res.solver_scratch_bytes;
   io::JsonArray seconds;
   for (double s : res.worker_solve_seconds) seconds.push_back(s);
   o["worker_solve_seconds"] = std::move(seconds);

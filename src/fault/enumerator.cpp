@@ -21,12 +21,19 @@ FaultEnumerator::FaultEnumerator(int num_nodes, int max_faults)
 }
 
 std::vector<int> FaultEnumerator::nodes_at(std::uint64_t index) const {
+  std::vector<int> out;
+  nodes_at_into(index, out);
+  return out;
+}
+
+void FaultEnumerator::nodes_at_into(std::uint64_t index,
+                                    std::vector<int>& out) const {
   assert(index < total_);
   int sz = 0;
   while (index >= size_offset_[sz + 1]) ++sz;
-  const std::uint64_t rank = index - size_offset_[sz];
-  return util::unrank_combination(static_cast<unsigned>(num_nodes_),
-                                  static_cast<unsigned>(sz), rank);
+  util::unrank_combination_into(static_cast<unsigned>(num_nodes_),
+                                static_cast<unsigned>(sz),
+                                index - size_offset_[sz], out);
 }
 
 std::uint64_t FaultEnumerator::index_of(
@@ -40,6 +47,57 @@ std::uint64_t FaultEnumerator::index_of(
 
 kgd::FaultSet FaultEnumerator::at(std::uint64_t index) const {
   return kgd::FaultSet(num_nodes_, nodes_at(index));
+}
+
+FaultEnumerator::Sweep::Sweep(const FaultEnumerator& en) : en_(&en) {
+  // Reserve once so seek/advance/diff never touch the heap.
+  const std::size_t k = static_cast<std::size_t>(en.max_faults_) + 1;
+  cur_.reserve(k);
+  prev_.reserve(k);
+  removed_.reserve(k);
+  added_.reserve(k);
+}
+
+void FaultEnumerator::Sweep::seek(std::uint64_t index) {
+  prev_.swap(cur_);
+  if (!positioned_) prev_.clear();  // delta from the empty set
+  en_->nodes_at_into(index, cur_);
+  index_ = index;
+  positioned_ = true;
+  diff();
+}
+
+void FaultEnumerator::Sweep::advance() {
+  assert(positioned_ && index_ + 1 < en_->total_);
+  prev_.assign(cur_.begin(), cur_.end());
+  ++index_;
+  if (!util::next_combination(cur_, en_->num_nodes_)) {
+    // Last subset of this size: the successor is the first subset of the
+    // next size, {0, 1, ..., sz}.
+    cur_.resize(cur_.size() + 1);
+    for (std::size_t i = 0; i < cur_.size(); ++i) {
+      cur_[i] = static_cast<int>(i);
+    }
+  }
+  diff();
+}
+
+void FaultEnumerator::Sweep::diff() {
+  removed_.clear();
+  added_.clear();
+  std::size_t i = 0, j = 0;
+  while (i < prev_.size() && j < cur_.size()) {
+    if (prev_[i] == cur_[j]) {
+      ++i;
+      ++j;
+    } else if (prev_[i] < cur_[j]) {
+      removed_.push_back(prev_[i++]);
+    } else {
+      added_.push_back(cur_[j++]);
+    }
+  }
+  while (i < prev_.size()) removed_.push_back(prev_[i++]);
+  while (j < cur_.size()) added_.push_back(cur_[j++]);
 }
 
 }  // namespace kgdp::fault

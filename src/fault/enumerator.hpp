@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "kgd/labeled_graph.hpp"
@@ -17,6 +18,8 @@ class FaultEnumerator {
   FaultEnumerator(int num_nodes, int max_faults);
 
   std::uint64_t total() const { return total_; }
+  int num_nodes() const { return num_nodes_; }
+  int max_faults() const { return max_faults_; }
 
   // The `index`-th fault set (0 = empty set, then size 1 lexicographic,
   // then size 2, ...).
@@ -24,11 +27,44 @@ class FaultEnumerator {
 
   // Same but returning the raw node list (cheaper; no bitset build).
   std::vector<int> nodes_at(std::uint64_t index) const;
+  // Allocation-free variant (capacity of `out` reused).
+  void nodes_at_into(std::uint64_t index, std::vector<int>& out) const;
 
   // Inverse of nodes_at: the global index of a strictly increasing node
   // list with size <= max_faults. The orbit enumerator uses this to map
   // permuted fault sets back into the index space.
   std::uint64_t index_of(const std::vector<int>& sorted_nodes) const;
+
+  // Stateful walk over the index space that reports each step as a delta
+  // (nodes removed from / added to the previous fault set) so the solver
+  // can patch its fault view instead of rebuilding it. advance() steps to
+  // the lexicographic successor in O(k); seek() repositions anywhere via
+  // unranking and still diffs against the previous position. All buffers
+  // are reserved up front — no per-step allocation once constructed.
+  class Sweep {
+   public:
+    explicit Sweep(const FaultEnumerator& en);
+
+    void seek(std::uint64_t index);
+    // Move to index() + 1; requires positioned() and a successor to exist.
+    void advance();
+
+    std::uint64_t index() const { return index_; }
+    bool positioned() const { return positioned_; }
+    // Current fault set (strictly increasing), and the delta that turned
+    // the previous position into it. Valid until the next seek/advance.
+    std::span<const int> nodes() const { return cur_; }
+    std::span<const int> removed() const { return removed_; }
+    std::span<const int> added() const { return added_; }
+
+   private:
+    void diff();
+
+    const FaultEnumerator* en_;
+    std::uint64_t index_ = 0;
+    bool positioned_ = false;
+    std::vector<int> cur_, prev_, removed_, added_;
+  };
 
  private:
   int num_nodes_;

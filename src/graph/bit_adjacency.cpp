@@ -1,0 +1,38 @@
+#include "graph/bit_adjacency.hpp"
+
+#include <bit>
+#include <cstdint>
+
+namespace kgdp::graph {
+
+void BitAdjacency::rebuild(const Graph& g) {
+  n_ = g.num_nodes();
+  const int words_per_row = n_ == 0 ? 1 : (n_ + 63) / 64;
+  // One word per row for the <=64 fast path; otherwise rows padded to a
+  // cache line (8 words) so no row spans more lines than it needs.
+  stride_ = words_per_row == 1 ? 1 : ((words_per_row + 7) / 8) * 8;
+  const std::size_t need =
+      static_cast<std::size_t>(n_) * static_cast<std::size_t>(stride_);
+  // +7 words of slack lets us align the base pointer to 64 bytes without
+  // a custom allocator.
+  if (words_.size() < need + 7) words_.resize(need + 7);
+  auto addr = reinterpret_cast<std::uintptr_t>(words_.data());
+  const std::uintptr_t aligned = (addr + 63) & ~std::uintptr_t{63};
+  base_ = words_.data() + (aligned - addr) / sizeof(std::uint64_t);
+
+  for (std::size_t i = 0; i < need; ++i) base_[i] = 0;
+  for (Node u = 0; u < n_; ++u) {
+    std::uint64_t* row = base_ + static_cast<std::size_t>(u) * stride_;
+    for (Node v : g.neighbors(u)) {
+      row[v / 64] |= std::uint64_t{1} << (v % 64);
+    }
+  }
+}
+
+int BitAdjacency::degree(Node u) const {
+  int d = 0;
+  for (std::uint64_t w : row(u)) d += std::popcount(w);
+  return d;
+}
+
+}  // namespace kgdp::graph

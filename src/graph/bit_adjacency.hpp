@@ -1,0 +1,71 @@
+// Flat bitset-CSR adjacency view: one row of uint64 words per node, all
+// rows in a single cache-aligned allocation. Built once per graph and
+// read millions of times by the solver hot path, where the sorted
+// std::span<const Node> adjacency lists of graph::Graph would cost a
+// pointer chase plus a branch per neighbor; here neighbor filtering,
+// degree counting and dead-end detection are word-parallel AND/popcount.
+//
+// For graphs with at most 64 nodes (every instance within exhaustive
+// certification reach) a row is a single word and rows64() exposes the
+// whole table as a contiguous span — the representation consumed by
+// HamiltonianSolver::solve_masked and the PipelineSolver fast path. The
+// table then spans at most eight cache lines, so per-row padding would
+// only hurt; larger graphs pad each row to a 64-byte multiple instead so
+// no row straddles a cache line it does not have to.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace kgdp::graph {
+
+class BitAdjacency {
+ public:
+  BitAdjacency() = default;
+  explicit BitAdjacency(const Graph& g) { rebuild(g); }
+
+  // Rebuilds the view for `g`, reusing the existing allocation when it is
+  // large enough (the solver rebinds without touching the heap).
+  void rebuild(const Graph& g);
+
+  int num_nodes() const { return n_; }
+  // Words per row (1 when num_nodes() <= 64).
+  int row_words() const { return stride_; }
+
+  std::span<const std::uint64_t> row(Node v) const {
+    return {base_ + static_cast<std::size_t>(v) * stride_,
+            static_cast<std::size_t>(stride_)};
+  }
+
+  // Single-word row; only valid when num_nodes() <= 64.
+  std::uint64_t row64(Node v) const { return base_[v]; }
+
+  // The whole table as one span of single-word rows (row_words() == 1).
+  std::span<const std::uint64_t> rows64() const {
+    return {base_, static_cast<std::size_t>(n_)};
+  }
+
+  bool test(Node u, Node v) const {
+    return (base_[static_cast<std::size_t>(u) * stride_ + v / 64] >>
+            (v % 64)) &
+           1u;
+  }
+
+  int degree(Node u) const;
+
+  // Bytes retained by the table (for the solver scratch gauge).
+  std::size_t scratch_bytes() const {
+    return words_.capacity() * sizeof(std::uint64_t);
+  }
+
+ private:
+  int n_ = 0;
+  int stride_ = 0;
+  std::vector<std::uint64_t> words_;  // over-allocated for alignment
+  std::uint64_t* base_ = nullptr;     // 64-byte-aligned start
+};
+
+}  // namespace kgdp::graph

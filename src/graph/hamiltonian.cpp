@@ -17,7 +17,9 @@ namespace {
 // fast on dense/expander-like graphs (our solution graphs qualify), and
 // it is immune to the deep-backtrack traps that stall a Warnsdorff DFS.
 // Returns a full path with first node in `starts` and last in `ends`, or
-// nullopt if the step cap runs out. Never proves absence.
+// nullopt if the step cap runs out. Never proves absence. This is the
+// >64-node variant; the mask engine has its own allocation-free port
+// (HamiltonianSolver::posa_masked) with the identical search sequence.
 std::optional<std::vector<Node>> posa_search(const Graph& g,
                                              const util::DynamicBitset& starts,
                                              const util::DynamicBitset& ends,
@@ -113,8 +115,10 @@ std::optional<std::vector<Node>> posa_search(const Graph& g,
 }
 
 // Connected-component mask of `seed` within `allowed` (uint64 universe).
-std::uint64_t component64(const std::vector<std::uint64_t>& adj,
-                          std::uint64_t allowed, int seed) {
+// Rows need not be pre-masked: the frontier is intersected with `allowed`
+// each round.
+std::uint64_t component64(const std::uint64_t* adj, std::uint64_t allowed,
+                          int seed) {
   std::uint64_t comp = std::uint64_t{1} << seed;
   std::uint64_t frontier = comp;
   while (frontier) {
@@ -142,10 +146,15 @@ HamPath hamiltonian_path(const Graph& g, const util::DynamicBitset& starts,
 }
 
 // Deterministic per-pass tie-break priorities. Seed 0 yields the all-zero
-// (pure Warnsdorff) order so the fast path stays exactly as before.
+// (pure Warnsdorff) order so the fast path stays exactly as before; the
+// steady-state sweep always passes seed 0 first, so re-clearing an
+// already-zero prefix is skipped.
 void HamiltonianSolver::set_tie_break(int n, std::uint64_t seed) {
+  if (seed == 0 && prio_zero_n_ >= n) return;
   prio_.assign(n, 0);
+  prio_zero_n_ = n;
   if (seed == 0) return;
+  prio_zero_n_ = 0;
   std::uint64_t x = seed;
   for (int v = 0; v < n; ++v) {
     x += 0x9e3779b97f4a7c15ULL;
@@ -166,43 +175,70 @@ HamPath HamiltonianSolver::solve(const Graph& g,
   if (n <= 64) {
     const std::uint64_t s = starts.words().empty() ? 0 : starts.words()[0];
     const std::uint64_t e = ends.words().empty() ? 0 : ends.words()[0];
-    return solve_small(g, s, e);
+    const std::uint64_t full =
+        (n == 64) ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+    adj64_.assign(n, 0);
+    for (Node u = 0; u < n; ++u) {
+      for (Node v : g.neighbors(u)) adj64_[u] |= std::uint64_t{1} << v;
+    }
+    rows_ = adj64_.data();
+    const HamResult r = solve_mask_core(n, full, s, e);
+    if (r == HamResult::kFound) return {r, stack_};
+    return {r, {}};
   }
   return solve_large(g, starts, ends);
 }
 
-HamPath HamiltonianSolver::solve_small(const Graph& g, std::uint64_t starts,
-                                       std::uint64_t ends) {
-  const int n = g.num_nodes();
+HamResult HamiltonianSolver::solve_masked(
+    std::span<const std::uint64_t> adj_rows, std::uint64_t allowed,
+    std::uint64_t starts, std::uint64_t ends) {
+  const int n_all = static_cast<int>(adj_rows.size());
+  assert(n_all >= 1 && n_all <= 64);
   const std::uint64_t full =
-      (n == 64) ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
-  starts &= full;
-  ends &= full;
-  if (!starts || !ends) return {HamResult::kNone, {}};
-  if (n == 1) {
-    if ((starts & ends & 1u) != 0) return {HamResult::kFound, {0}};
-    return {HamResult::kNone, {}};
-  }
+      (n_all == 64) ? ~std::uint64_t{0} : ((std::uint64_t{1} << n_all) - 1);
+  allowed &= full;
+  if (allowed == 0) return HamResult::kNone;
+  // No per-solve copy: the engine reads the caller's rows directly and
+  // masks at each use site (the rows must stay valid through the call).
+  rows_ = adj_rows.data();
+  return solve_mask_core(n_all, allowed, starts & allowed, ends & allowed);
+}
 
-  adj64_.assign(n, 0);
-  for (Node u = 0; u < n; ++u) {
-    for (Node v : g.neighbors(u)) adj64_[u] |= std::uint64_t{1} << v;
+// The <=64-node engine shared by solve() (contiguous universe) and
+// solve_masked() (subset universe, original ids). Exact under the same
+// budget-escalation contract as before; leaves any found path in stack_.
+HamResult HamiltonianSolver::solve_mask_core(int n_all, std::uint64_t allowed,
+                                             std::uint64_t starts,
+                                             std::uint64_t ends) {
+  n_all_ = n_all;
+  starts &= allowed;
+  ends &= allowed;
+  if (!starts || !ends) return HamResult::kNone;
+  const int m = std::popcount(allowed);
+  if (m == 1) {
+    // starts/ends are subsets of the single-node universe, so being both
+    // nonempty they contain exactly that node.
+    stack_.assign(1, std::countr_zero(allowed));
+    return HamResult::kFound;
   }
 
   // Global necessary condition: the graph must be connected.
-  if (component64(adj64_, full, 0) != full) return {HamResult::kNone, {}};
+  if (component64(rows_, allowed, std::countr_zero(allowed)) != allowed) {
+    return HamResult::kNone;
+  }
 
   // Try each start, cheapest (lowest-degree) first: low-degree starts are
   // the most constrained and usually the ones that force failure early.
-  std::vector<int> start_order;
+  start_order_.clear();
   {
     std::uint64_t s = starts;
     while (s) {
-      start_order.push_back(std::countr_zero(s));
+      start_order_.push_back(std::countr_zero(s));
       s &= s - 1;
     }
-    std::sort(start_order.begin(), start_order.end(), [&](int a, int b) {
-      return std::popcount(adj64_[a]) < std::popcount(adj64_[b]);
+    std::sort(start_order_.begin(), start_order_.end(), [&](int a, int b) {
+      return std::popcount(rows_[a] & allowed) <
+             std::popcount(rows_[b] & allowed);
     });
   }
 
@@ -213,23 +249,27 @@ HamPath HamiltonianSolver::solve_small(const Graph& g, std::uint64_t starts,
   // pass that finishes without hitting its budget proves kNone, and in
   // exact mode the final pass is unbounded.
   const bool exact_mode = opts_.dfs_budget == 0;
-  std::vector<std::uint64_t> budgets;
+  std::uint64_t budgets[3];
+  std::size_t num_budgets;
   if (exact_mode) {
-    budgets = {std::uint64_t{1} << 12, std::uint64_t{1} << 17,
-               std::uint64_t{1} << 20};
+    budgets[0] = std::uint64_t{1} << 12;
+    budgets[1] = std::uint64_t{1} << 17;
+    budgets[2] = std::uint64_t{1} << 20;
+    num_budgets = 3;
   } else {
-    budgets = {opts_.dfs_budget};
+    budgets[0] = opts_.dfs_budget;
+    num_budgets = 1;
   }
 
   auto run_pass = [&](std::uint64_t budget, std::uint64_t seed) -> HamResult {
-    set_tie_break(n, seed);
+    set_tie_break(n_all, seed);
     bool hit = false;
-    for (int a : start_order) {
+    for (int a : start_order_) {
       stack_.clear();
       stack_.push_back(a);
       expansions_ = 0;
       const HamResult r =
-          dfs_small(a, full & ~(std::uint64_t{1} << a), ends, budget);
+          dfs_small(a, allowed & ~(std::uint64_t{1} << a), ends, budget);
       expansions_total_ += expansions_;
       if (r == HamResult::kFound) return HamResult::kFound;
       if (r == HamResult::kUnknown) hit = true;
@@ -237,41 +277,37 @@ HamPath HamiltonianSolver::solve_small(const Graph& g, std::uint64_t starts,
     return hit ? HamResult::kUnknown : HamResult::kNone;
   };
 
-  for (std::size_t attempt = 0; attempt < budgets.size(); ++attempt) {
+  for (std::size_t attempt = 0; attempt < num_budgets; ++attempt) {
     const HamResult r = run_pass(budgets[attempt], attempt);
-    if (r == HamResult::kFound) return {HamResult::kFound, stack_};
-    if (r == HamResult::kNone) return {HamResult::kNone, {}};
+    if (r != HamResult::kUnknown) return r;
     // DP-sized instances go straight to the exact DP: cheaper than more
     // DFS and, unlike Pósa, it also proves absence.
-    if (n <= opts_.dp_max_nodes) return solve_dp(g, starts, ends);
+    if (m <= opts_.dp_max_nodes && m <= 31) {
+      return solve_dp_masked(allowed, starts, ends);
+    }
     {
       // The cheap deterministic pass came up empty-handed: try Pósa
       // rotations before burning bigger DFS budgets — on positive
       // instances it nearly always succeeds immediately. Fresh seeds and
       // growing step caps at every escalation level.
-      util::DynamicBitset sb(n), eb(n);
-      for (int v = 0; v < n; ++v) {
-        if ((starts >> v) & 1u) sb.set(v);
-        if ((ends >> v) & 1u) eb.set(v);
-      }
       const std::uint64_t base_seed = 11 + 64 * attempt;
       const std::uint64_t steps =
-          (600ull << attempt) * static_cast<unsigned>(n) + 30000;
+          (600ull << attempt) * static_cast<unsigned>(m) + 30000;
       for (std::uint64_t seed = base_seed; seed < base_seed + 12; ++seed) {
-        auto p = posa_search(g, sb, eb, seed, steps);
-        if (p) return {HamResult::kFound, std::move(*p)};
+        if (posa_masked(allowed, starts, ends, seed, steps)) {
+          return HamResult::kFound;
+        }
       }
     }
   }
 
-  // Budgets exhausted (n too large for the DP): in exact mode run one
+  // Budgets exhausted (m too large for the DP): in exact mode run one
   // final unbounded pass.
   if (exact_mode) {
     const HamResult r = run_pass(~std::uint64_t{0}, 0x9e3779b9u);
-    if (r == HamResult::kFound) return {HamResult::kFound, stack_};
-    return {HamResult::kNone, {}};
+    return r == HamResult::kFound ? HamResult::kFound : HamResult::kNone;
   }
-  return {HamResult::kUnknown, {}};
+  return HamResult::kUnknown;
 }
 
 // DFS from endpoint v; `rem` = unvisited nodes, all of which must still be
@@ -299,10 +335,9 @@ HamResult HamiltonianSolver::dfs_small(int v, std::uint64_t rem,
     while (scan) {
       const int u = std::countr_zero(scan);
       scan &= scan - 1;
-      const std::uint64_t nb = adj64_[u] & ctx;
-      const int deg = std::popcount(nb);
-      if (deg == 0) return HamResult::kNone;
-      if (deg == 1) {
+      const std::uint64_t nb = rows_[u] & ctx;
+      if (nb == 0) return HamResult::kNone;
+      if ((nb & (nb - 1)) == 0) {  // exactly one neighbor left
         if (nb == (std::uint64_t{1} << v)) {
           // Only connection is v: u must be next AND last.
           if (rem != (std::uint64_t{1} << u)) return HamResult::kNone;
@@ -321,10 +356,10 @@ HamResult HamiltonianSolver::dfs_small(int v, std::uint64_t rem,
 
   // Connectivity: rem must form one component hanging off v.
   {
-    const std::uint64_t seed_set = adj64_[v] & rem;
+    const std::uint64_t seed_set = rows_[v] & rem;
     if (seed_set == 0) return HamResult::kNone;
     const std::uint64_t ctx = rem | (std::uint64_t{1} << v);
-    const std::uint64_t comp = component64(adj64_, ctx, v);
+    const std::uint64_t comp = component64(rows_, ctx, v);
     if ((comp & rem) != rem) return HamResult::kNone;
   }
 
@@ -335,13 +370,13 @@ HamResult HamiltonianSolver::dfs_small(int v, std::uint64_t rem,
   std::uint64_t cand_key[64];
   int m = 0;
   {
-    std::uint64_t s = adj64_[v] & rem;
+    std::uint64_t s = rows_[v] & rem;
     while (s) {
       const int w = std::countr_zero(s);
       s &= s - 1;
       cand[m] = w;
       cand_key[m] =
-          (static_cast<std::uint64_t>(std::popcount(adj64_[w] & rem))
+          (static_cast<std::uint64_t>(std::popcount(rows_[w] & rem))
            << 32) |
           prio_[w];
       ++m;
@@ -374,31 +409,58 @@ HamResult HamiltonianSolver::dfs_small(int v, std::uint64_t rem,
   return unknown ? HamResult::kUnknown : HamResult::kNone;
 }
 
-// Held–Karp style reachability DP. reach[mask] holds the set of nodes v
-// such that some path starting in `starts` visits exactly `mask` and ends
-// at v. Exact; used only for small n when the DFS budget was exhausted.
-HamPath HamiltonianSolver::solve_dp(const Graph& g, std::uint64_t starts,
-                                    std::uint64_t ends) {
-  const int n = g.num_nodes();
-  assert(n <= opts_.dp_max_nodes && n < 32);
-  const std::uint32_t full = (std::uint32_t{1} << n) - 1;
+// Held–Karp style reachability DP over the compacted `allowed` universe.
+// reach[mask] holds the set of compact ids v such that some path starting
+// in `starts` visits exactly `mask` and ends at v. Exact; used only for
+// small subproblems when the DFS budget was exhausted, so its table
+// (re)allocation is off the steady-state path. When `allowed` is the
+// contiguous full universe the compaction is the identity and this is
+// exactly the historical solve_dp.
+HamResult HamiltonianSolver::solve_dp_masked(std::uint64_t allowed,
+                                             std::uint64_t starts,
+                                             std::uint64_t ends) {
+  const int m = std::popcount(allowed);
+  assert(m >= 2 && m <= 31);
 
-  std::vector<std::uint32_t> adj(n, 0);
-  for (Node u = 0; u < n; ++u) {
-    for (Node v : g.neighbors(u)) adj[u] |= std::uint32_t{1} << v;
-  }
-
-  std::vector<std::uint32_t> reach(std::size_t{1} << n, 0);
+  int nodes[32];        // compact id -> original id
+  signed char sub[64];  // original id -> compact id (allowed bits only)
   {
-    std::uint64_t s = starts;
+    int i = 0;
+    std::uint64_t s = allowed;
+    while (s) {
+      const int v = std::countr_zero(s);
+      s &= s - 1;
+      nodes[i] = v;
+      sub[v] = static_cast<signed char>(i);
+      ++i;
+    }
+  }
+  std::uint32_t adj[32];
+  std::uint32_t cstarts = 0, cends = 0;
+  for (int i = 0; i < m; ++i) {
+    std::uint32_t row = 0;
+    std::uint64_t nb = rows_[nodes[i]] & allowed;
+    while (nb) {
+      row |= std::uint32_t{1} << sub[std::countr_zero(nb)];
+      nb &= nb - 1;
+    }
+    adj[i] = row;
+    if ((starts >> nodes[i]) & 1u) cstarts |= std::uint32_t{1} << i;
+    if ((ends >> nodes[i]) & 1u) cends |= std::uint32_t{1} << i;
+  }
+  const std::uint32_t full = (std::uint32_t{1} << m) - 1;
+
+  dp_reach_.assign(std::size_t{1} << m, 0);
+  {
+    std::uint32_t s = cstarts;
     while (s) {
       const int a = std::countr_zero(s);
       s &= s - 1;
-      reach[std::uint32_t{1} << a] = std::uint32_t{1} << a;
+      dp_reach_[std::uint32_t{1} << a] = std::uint32_t{1} << a;
     }
   }
   for (std::uint32_t mask = 1; mask <= full; ++mask) {
-    std::uint32_t end_set = reach[mask];
+    std::uint32_t end_set = dp_reach_[mask];
     while (end_set) {
       const int v = std::countr_zero(end_set);
       end_set &= end_set - 1;
@@ -406,36 +468,136 @@ HamPath HamiltonianSolver::solve_dp(const Graph& g, std::uint64_t starts,
       while (ext) {
         const int w = std::countr_zero(ext);
         ext &= ext - 1;
-        reach[mask | (std::uint32_t{1} << w)] |= std::uint32_t{1} << w;
+        dp_reach_[mask | (std::uint32_t{1} << w)] |= std::uint32_t{1} << w;
       }
     }
   }
 
-  const std::uint32_t finals =
-      reach[full] & static_cast<std::uint32_t>(ends);
-  if (!finals) return {HamResult::kNone, {}};
+  const std::uint32_t finals = dp_reach_[full] & cends;
+  if (!finals) return HamResult::kNone;
 
-  // Reconstruct backwards.
-  std::vector<Node> path;
+  // Reconstruct backwards (original ids).
+  stack_.clear();
   std::uint32_t mask = full;
   int v = std::countr_zero(finals);
-  path.push_back(v);
+  stack_.push_back(nodes[v]);
   while (mask != (std::uint32_t{1} << v)) {
     const std::uint32_t prev_mask = mask & ~(std::uint32_t{1} << v);
-    std::uint32_t preds = reach[prev_mask] & adj[v];
+    std::uint32_t preds = dp_reach_[prev_mask] & adj[v];
     assert(preds != 0);
     const int u = std::countr_zero(preds);
-    path.push_back(u);
+    stack_.push_back(nodes[u]);
     mask = prev_mask;
     v = u;
   }
-  std::reverse(path.begin(), path.end());
-  return {HamResult::kFound, std::move(path)};
+  std::reverse(stack_.begin(), stack_.end());
+  return HamResult::kFound;
+}
+
+// Allocation-free port of posa_search for the mask engine: identical
+// search sequence (neighbor visit order, RNG draws, rotation rule) over
+// the rows_ adjacency masked to `allowed`, with the path built in stack_.
+// Returns true on success with the path left in stack_.
+bool HamiltonianSolver::posa_masked(std::uint64_t allowed,
+                                    std::uint64_t starts, std::uint64_t ends,
+                                    std::uint64_t seed,
+                                    std::uint64_t max_steps) {
+  const int m = std::popcount(allowed);
+  util::Rng rng(seed);
+  posa_pool_.clear();
+  {
+    std::uint64_t s = starts;
+    while (s) {
+      posa_pool_.push_back(std::countr_zero(s));
+      s &= s - 1;
+    }
+  }
+  if (posa_pool_.empty()) return false;
+
+  posa_pos_.resize(static_cast<std::size_t>(n_all_));
+  std::vector<Node>& path = stack_;
+  std::uint64_t steps = 0;
+
+  auto rotate_at = [&](int w) {
+    int lo = posa_pos_[w] + 1;
+    int hi = static_cast<int>(path.size()) - 1;
+    while (lo < hi) {
+      std::swap(path[lo], path[hi]);
+      posa_pos_[path[lo]] = lo;
+      posa_pos_[path[hi]] = hi;
+      ++lo;
+      --hi;
+    }
+    if (lo == hi) posa_pos_[path[lo]] = lo;
+  };
+
+  for (int restart = 0; restart < 4 && steps < max_steps; ++restart) {
+    const int a = posa_pool_[rng.next_below(posa_pool_.size())];
+    path.clear();
+    path.push_back(a);
+    std::fill(posa_pos_.begin(), posa_pos_.end(), -1);
+    posa_pos_[a] = 0;
+
+    while (steps < max_steps) {
+      ++steps;
+      const int e = path.back();
+      int fresh = -1;
+      int seen_fresh = 0;
+      for (std::uint64_t nb = rows_[e] & allowed; nb; nb &= nb - 1) {
+        const int w = std::countr_zero(nb);
+        if (posa_pos_[w] < 0 &&
+            static_cast<int>(rng.next_below(++seen_fresh)) == 0) {
+          fresh = w;
+        }
+      }
+      if (fresh >= 0) {
+        posa_pos_[fresh] = static_cast<int>(path.size());
+        path.push_back(fresh);
+        if (static_cast<int>(path.size()) == m) break;
+        continue;
+      }
+      const int len = static_cast<int>(path.size());
+      int w = -1;
+      int seen = 0;
+      for (std::uint64_t nb = rows_[e] & allowed; nb; nb &= nb - 1) {
+        const int x = std::countr_zero(nb);
+        if (posa_pos_[x] >= 0 && posa_pos_[x] < len - 2 &&
+            static_cast<int>(rng.next_below(++seen)) == 0) {
+          w = x;
+        }
+      }
+      if (w < 0) break;
+      rotate_at(w);
+    }
+
+    if (static_cast<int>(path.size()) != m) continue;
+    std::uint64_t spins = 0;
+    while (!((ends >> path.back()) & 1u) && steps < max_steps &&
+           spins < static_cast<std::uint64_t>(8 * m)) {
+      ++steps;
+      ++spins;
+      int w = -1;
+      int seen = 0;
+      for (std::uint64_t nb = rows_[path.back()] & allowed; nb; nb &= nb - 1) {
+        const int x = std::countr_zero(nb);
+        if (posa_pos_[x] < m - 2 &&
+            static_cast<int>(rng.next_below(++seen)) == 0) {
+          w = x;
+        }
+      }
+      if (w < 0) break;
+      rotate_at(w);
+    }
+    if ((ends >> path.back()) & 1u) return true;
+  }
+  return false;
 }
 
 // Generic variant for graphs with more than 64 nodes (used by the
 // reconfiguration benches on large instances). Same search, DynamicBitset
-// state. Exact when dfs_budget == 0.
+// state. Exact when dfs_budget == 0. This path is outside exhaustive
+// certification reach (orbit pruning and the fault sweep cap at 64
+// nodes), so it keeps the simpler per-call allocations.
 HamPath HamiltonianSolver::solve_large(const Graph& g,
                                        const util::DynamicBitset& starts,
                                        const util::DynamicBitset& ends) {

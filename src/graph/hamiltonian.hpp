@@ -11,10 +11,18 @@
 // exhaustive and therefore exact. With a budget it may give up
 // (Result::kUnknown); callers fall back to the O(2^n · n) Held–Karp
 // dynamic program, which is exact for n <= kDpMaxNodes.
+//
+// Two entry points share the same <=64-node mask engine: solve() takes a
+// graph::Graph (building the word-per-node adjacency on entry), while
+// solve_masked() takes prebuilt adjacency rows plus an `allowed` subset
+// and searches directly in the original id space — the zero-allocation
+// hot path of the exhaustive fault sweep, which would otherwise pay an
+// induced-subgraph copy per fault set.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -53,27 +61,68 @@ class HamiltonianSolver {
   HamPath solve(const Graph& g, const util::DynamicBitset& starts,
                 const util::DynamicBitset& ends);
 
-  // Total DFS expansions across all calls (for the scaling bench).
+  // Masked variant: searches the subgraph induced by `allowed` inside a
+  // universe of adj_rows.size() <= 64 nodes whose adjacency is one word
+  // per node (graph::BitAdjacency::rows64() has this shape; rows need not
+  // be pre-masked). starts/ends are masks in the same id space. Node ids
+  // are not remapped: on kFound the path — in original ids — is exposed
+  // through masked_path() and stays valid until the next call. Allocates
+  // nothing once scratch has warmed up (the DP fallback, reached only
+  // when a DFS budget is exhausted, may grow its table).
+  HamResult solve_masked(std::span<const std::uint64_t> adj_rows,
+                         std::uint64_t allowed, std::uint64_t starts,
+                         std::uint64_t ends);
+  std::span<const Node> masked_path() const { return stack_; }
+
+  // Total DFS expansions across all calls (for the scaling bench and the
+  // solver perf-counter layer).
   std::uint64_t expansions() const { return expansions_total_; }
+
+  // Bytes retained by the reusable scratch buffers (solver gauge).
+  std::size_t scratch_bytes() const {
+    return adj64_.capacity() * sizeof(std::uint64_t) +
+           prio_.capacity() * sizeof(std::uint32_t) +
+           stack_.capacity() * sizeof(Node) +
+           start_order_.capacity() * sizeof(int) +
+           posa_pos_.capacity() * sizeof(int) +
+           posa_pool_.capacity() * sizeof(int) +
+           dp_reach_.capacity() * sizeof(std::uint32_t);
+  }
 
  private:
   void set_tie_break(int n, std::uint64_t seed);
   HamResult dfs_small(int v, std::uint64_t rem, std::uint64_t ends,
                       std::uint64_t budget_left);
-  HamPath solve_small(const Graph& g, std::uint64_t starts,
-                      std::uint64_t ends);
-  HamPath solve_dp(const Graph& g, std::uint64_t starts, std::uint64_t ends);
+  // Shared <=64-node engine; adj64_ must already hold the (masked)
+  // adjacency rows for the full id space. Leaves the path in stack_.
+  HamResult solve_mask_core(int n_all, std::uint64_t allowed,
+                            std::uint64_t starts, std::uint64_t ends);
+  HamResult solve_dp_masked(std::uint64_t allowed, std::uint64_t starts,
+                            std::uint64_t ends);
+  bool posa_masked(std::uint64_t allowed, std::uint64_t starts,
+                   std::uint64_t ends, std::uint64_t seed,
+                   std::uint64_t max_steps);
   HamPath solve_large(const Graph& g, const util::DynamicBitset& starts,
                       const util::DynamicBitset& ends);
 
   HamiltonianOptions opts_;
-  // Small-graph (n <= 64) state.
+  // Small-graph (n <= 64) state. All scratch: sized on first use, reused
+  // across calls. The engine reads adjacency through `rows_`, which
+  // points either at the caller's prebuilt rows (solve_masked — no copy)
+  // or at adj64_ (solve builds it from the Graph). Rows are raw: every
+  // read site masks with the relevant node subset.
+  const std::uint64_t* rows_ = nullptr;
+  int n_all_ = 0;  // id-space size behind rows_
   std::vector<std::uint64_t> adj64_;
   std::vector<std::uint32_t> prio_;  // per-pass tie-break perturbation
+  int prio_zero_n_ = 0;  // prio_[0..n) known all-zero (skip re-clearing)
   std::vector<Node> stack_;
+  std::vector<int> start_order_;
+  std::vector<int> posa_pos_;
+  std::vector<int> posa_pool_;
+  std::vector<std::uint32_t> dp_reach_;  // Held–Karp table (cold path)
   std::uint64_t expansions_ = 0;
   std::uint64_t expansions_total_ = 0;
-  bool budget_hit_ = false;
 };
 
 }  // namespace kgdp::graph

@@ -20,7 +20,7 @@ namespace kgdp::io {
 // field on `kgd_cli json` output, certificate headers, campaign
 // telemetry events, and every kgdd wire frame). Bump when any of those
 // surfaces changes shape.
-inline constexpr int kSchemaVersion = 1;
+inline constexpr int kSchemaVersion = 2;
 
 // Thrown by Json::parse on malformed input; `offset` is the byte
 // position the parser rejected.

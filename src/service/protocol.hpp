@@ -1,4 +1,5 @@
-// kgdd wire protocol, v1 (schema_version = io::kSchemaVersion).
+// kgdd wire protocol (schema_version = io::kSchemaVersion; v2 added the
+// solver counter surfaces to `stats` bodies and verdict objects).
 //
 // Transport: newline-delimited JSON frames (see docs/service.md for the
 // full schema reference). A request is one object:

@@ -457,6 +457,14 @@ void Service::handle_stats(std::uint64_t conn, const std::string& req_id,
   pool["queue_depth"] = static_cast<std::uint64_t>(pool_.queue_depth());
   pool["in_flight"] = static_cast<std::uint64_t>(pool_.in_flight());
   body["pool"] = io::Json(std::move(pool));
+  // Solver engine totals across all retired verify sessions (live
+  // sessions are excluded: their counters move off the loop thread).
+  io::JsonObject solver;
+  solver["solves"] = solver_retired_.solves;
+  solver["patches"] = solver_retired_.patches;
+  solver["rebuilds"] = solver_retired_.rebuilds;
+  solver["search_nodes"] = solver_retired_.search_nodes;
+  body["solver"] = io::Json(std::move(solver));
   body["draining"] = draining_;
   if (!config_.metrics_path.empty()) {
     std::ofstream out(config_.metrics_path, std::ios::app);
@@ -815,6 +823,17 @@ void Service::finalize_error(Session& s, ErrorCode code,
 }
 
 void Service::destroy_session(const std::string& sid) {
+  const auto it = sessions_.find(sid);
+  if (it != sessions_.end() && it->second->session != nullptr &&
+      !it->second->running_chunk) {
+    // Terminal paths all run on the loop thread with no chunk in flight,
+    // so the worker counters are quiescent and safe to read.
+    const verify::SolverCounters c = it->second->session->solver_totals();
+    solver_retired_.solves += c.solves;
+    solver_retired_.patches += c.patches;
+    solver_retired_.rebuilds += c.rebuilds;
+    solver_retired_.search_nodes += c.search_nodes;
+  }
   sessions_.erase(sid);
   maybe_finish_drain();
 }

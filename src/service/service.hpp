@@ -154,6 +154,10 @@ class Service {
   Metrics metrics_;
 
   std::map<std::string, std::unique_ptr<Session>> sessions_;
+  // Solver engine counters absorbed from sessions as they are destroyed
+  // (any terminal path); surfaced by `stats`. Live sessions are excluded
+  // — their workers mutate counters off the loop thread.
+  verify::SolverCounters solver_retired_;
   std::uint64_t next_req_ = 1;
   // Seeded at construction past any kgdd-s<N>.kgdp* left in drain_dir,
   // so ids — and with them checkpoint paths — never collide with a

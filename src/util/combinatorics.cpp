@@ -39,6 +39,13 @@ bool next_combination(std::vector<int>& comb, int n) {
 std::vector<int> unrank_combination(unsigned n, unsigned k,
                                     std::uint64_t rank) {
   std::vector<int> comb;
+  unrank_combination_into(n, k, rank, comb);
+  return comb;
+}
+
+void unrank_combination_into(unsigned n, unsigned k, std::uint64_t rank,
+                             std::vector<int>& comb) {
+  comb.clear();
   comb.reserve(k);
   int x = 0;
   for (unsigned slot = 0; slot < k; ++slot) {
@@ -54,7 +61,6 @@ std::vector<int> unrank_combination(unsigned n, unsigned k,
     comb.push_back(x);
     ++x;
   }
-  return comb;
 }
 
 std::uint64_t rank_combination(const std::vector<int>& comb, unsigned n) {

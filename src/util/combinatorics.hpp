@@ -25,6 +25,11 @@ bool next_combination(std::vector<int>& comb, int n);
 std::vector<int> unrank_combination(unsigned n, unsigned k,
                                     std::uint64_t rank);
 
+// Allocation-free variant: writes the subset into `out` (cleared first,
+// capacity reused). For the enumerator sweep hot path.
+void unrank_combination_into(unsigned n, unsigned k, std::uint64_t rank,
+                             std::vector<int>& out);
+
 // Rank of a strictly increasing k-subset in lexicographic order.
 std::uint64_t rank_combination(const std::vector<int>& comb, unsigned n);
 

@@ -64,6 +64,9 @@ std::uint64_t session_fingerprint(const kgd::SolutionGraph& sg,
 SolverOptions solver_options(const CheckOptions& opts) {
   SolverOptions s;
   s.ham.dfs_budget = opts.dfs_budget;
+  // The sweep only consumes the verdict; skipping Pipeline
+  // materialisation keeps the steady-state solve path allocation-free.
+  s.want_pipeline = false;
   return s;
 }
 
@@ -87,11 +90,16 @@ std::uint64_t read_u64(std::istream& in, const char* keyword) {
 
 }  // namespace
 
-// Per-worker context: one solver reused across every representative the
-// worker claims (scratch allocations amortise), plus a wall-clock solve
-// accumulator. Heap-allocated per worker so no two share a cache line.
+// Per-worker context: one solver plus one delta sweep reused across every
+// representative the worker claims (scratch allocations amortise), and a
+// wall-clock solve accumulator. Heap-allocated per worker so no two share
+// a cache line. The sweep tracks the worker's last solved slot; when the
+// next claimed slot is its immediate successor the solver is patched with
+// the enumeration delta instead of rebuilding the fault view (exhaustive
+// mode only — sampled mode draws fault sets, so `sweep` stays empty).
 struct CheckSession::Worker {
   PipelineSolver solver;
+  std::optional<fault::OrbitEnumerator::Sweep> sweep;
   double solve_seconds = 0.0;
   explicit Worker(const SolverOptions& o) : solver(o) {}
 };
@@ -132,6 +140,7 @@ CheckSession::CheckSession(const kgd::SolutionGraph& sg,
     for (unsigned w = 0; w < num_workers; ++w) {
       workers_.push_back(
           std::make_unique<Worker>(solver_options(req_.options)));
+      workers_.back()->sweep.emplace(*orbits_);
     }
     done_ = next_ == end_;
   } else {
@@ -195,8 +204,19 @@ void CheckSession::advance_exhaustive(std::uint64_t max_items) {
     if (index > best.load(std::memory_order_acquire)) return;
     Worker& ctx = *workers_[worker];
     const util::Timer timer;
-    const kgd::FaultSet fs = orbits_->representative(slot);
-    const SolveOutcome out = ctx.solver.solve(sg_, fs);
+    fault::OrbitEnumerator::Sweep& sweep = *ctx.sweep;
+    SolveOutcome out;
+    if (sweep.positioned() && sweep.slot() + 1 == slot) {
+      // Contiguous successor: step the sweep and patch the solver with
+      // the fault-set delta. Discontinuities (chunk boundaries, stolen
+      // ranges, cheap-skipped slots, resume) fall through to a full
+      // rebuild, which is what keeps verdicts independent of scheduling.
+      sweep.advance();
+      out = ctx.solver.patch(sg_, sweep.removed(), sweep.added());
+    } else {
+      sweep.seek(slot);
+      out = ctx.solver.solve_faults(sg_, sweep.nodes());
+    }
     ctx.solve_seconds += timer.seconds();
     covered.fetch_add(orbits_->orbit_size(slot), std::memory_order_relaxed);
     solved.fetch_add(1, std::memory_order_relaxed);
@@ -262,11 +282,32 @@ void CheckSession::advance_sampled(std::uint64_t max_items) {
   done_ = next_item_ == total;
 }
 
+SolverCounters CheckSession::solver_totals() const {
+  SolverCounters t;
+  t.patches = base_patches_;
+  t.rebuilds = base_rebuilds_;
+  t.search_nodes = base_search_nodes_;
+  for (const auto& w : workers_) {
+    const SolverCounters c = w->solver.counters();
+    t.solves += c.solves;
+    t.patches += c.patches;
+    t.rebuilds += c.rebuilds;
+    t.search_nodes += c.search_nodes;
+    t.scratch_bytes += c.scratch_bytes;
+  }
+  return t;
+}
+
 CheckResult CheckSession::result() const {
   CheckResult res;
   res.fault_sets_checked = covered_;
   res.fault_sets_solved = solved_;
   res.solver_unknowns = unknowns_;
+  const SolverCounters sc = solver_totals();
+  res.solver_patches = sc.patches;
+  res.solver_rebuilds = sc.rebuilds;
+  res.solver_search_nodes = sc.search_nodes;
+  res.solver_scratch_bytes = sc.scratch_bytes;
   if (req_.mode == CheckMode::kExhaustive) {
     res.orbits_pruned = pruned_in_shard_;
     res.automorphism_order = automorphism_order_;
@@ -292,13 +333,19 @@ CheckResult CheckSession::result() const {
 }
 
 void CheckSession::save(std::ostream& out) const {
-  out << "kgdp-check-cursor 1\n";
+  out << "kgdp-check-cursor 2\n";
   out << "fingerprint " << fingerprint_ << '\n';
   out << "pos "
       << (req_.mode == CheckMode::kExhaustive ? next_ : next_item_) << '\n';
   out << "covered " << covered_ << '\n';
   out << "solved " << solved_ << '\n';
   out << "unknowns " << unknowns_ << '\n';
+  // v2: cumulative solver engine counters, so a resumed run reports
+  // totals rather than since-resume values (scratch_bytes is a live
+  // gauge and is deliberately not persisted).
+  const SolverCounters sc = solver_totals();
+  out << "solver " << sc.patches << ' ' << sc.rebuilds << ' '
+      << sc.search_nodes << '\n';
   if (req_.mode == CheckMode::kExhaustive) {
     out << "best " << best_ << '\n';
     out << "steals " << steal_count_ << '\n';
@@ -328,7 +375,7 @@ void CheckSession::save(std::ostream& out) const {
 void CheckSession::restore(std::istream& in) {
   expect_keyword(in, "kgdp-check-cursor");
   int version = 0;
-  if (!(in >> version) || version != 1) {
+  if (!(in >> version) || version < 1 || version > 2) {
     throw std::runtime_error("check cursor: unsupported version");
   }
   const std::uint64_t fp = read_u64(in, "fingerprint");
@@ -341,6 +388,16 @@ void CheckSession::restore(std::istream& in) {
   covered_ = read_u64(in, "covered");
   solved_ = read_u64(in, "solved");
   unknowns_ = read_u64(in, "unknowns");
+  // Solver counters: restored totals become the base; live worker
+  // counters restart from zero (v1 cursors predate the counters).
+  for (auto& w : workers_) w->solver.reset_counters();
+  base_patches_ = base_rebuilds_ = base_search_nodes_ = 0;
+  if (version >= 2) {
+    expect_keyword(in, "solver");
+    if (!(in >> base_patches_ >> base_rebuilds_ >> base_search_nodes_)) {
+      throw std::runtime_error("check cursor: bad solver counters");
+    }
+  }
   if (req_.mode == CheckMode::kExhaustive) {
     if (pos < begin_ || pos > end_) {
       throw std::runtime_error("check cursor: position outside shard");
@@ -426,6 +483,12 @@ CheckResult merge_shard_results(const kgd::SolutionGraph& sg, int max_faults,
     out.worker_solve_seconds.insert(out.worker_solve_seconds.end(),
                                     s.worker_solve_seconds.begin(),
                                     s.worker_solve_seconds.end());
+    // Solver counters are observability (schedule-dependent), so the
+    // merge simply sums the work each shard actually did.
+    out.solver_patches += s.solver_patches;
+    out.solver_rebuilds += s.solver_rebuilds;
+    out.solver_search_nodes += s.solver_search_nodes;
+    out.solver_scratch_bytes += s.solver_scratch_bytes;
   }
 
   if (best == kNoFailure) {

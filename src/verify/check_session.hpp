@@ -81,6 +81,11 @@ class CheckSession {
   // shard's slice only.
   CheckResult result() const;
 
+  // Solver engine counters summed across workers (plus any restored from
+  // a cursor). scratch_bytes is a live gauge, never persisted. Callers
+  // must not race this against advance() — workers mutate their counters.
+  SolverCounters solver_totals() const;
+
   // Binds cursors to this exact (graph, request, enumeration) triple.
   std::uint64_t fingerprint() const { return fingerprint_; }
 
@@ -96,7 +101,7 @@ class CheckSession {
       std::uint64_t total, std::uint32_t index, std::uint32_t count);
 
  private:
-  struct Worker;  // per-worker solver + solve-time accumulator
+  struct Worker;  // per-worker solver + delta sweep + solve-time accumulator
 
   void advance_exhaustive(std::uint64_t max_items);
   void advance_sampled(std::uint64_t max_items);
@@ -124,6 +129,9 @@ class CheckSession {
 
   // Shared counters.
   std::uint64_t covered_ = 0, solved_ = 0, unknowns_ = 0;
+  // Solver counters restored from a cursor; live worker counters are
+  // added on top (see solver_totals()).
+  std::uint64_t base_patches_ = 0, base_rebuilds_ = 0, base_search_nodes_ = 0;
 };
 
 // Merges per-shard results of a deterministically partitioned exhaustive

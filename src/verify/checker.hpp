@@ -50,6 +50,13 @@ struct CheckResult {
   // Wall-clock seconds each worker spent solving; size = worker count
   // (1 when sequential).
   std::vector<double> worker_solve_seconds;
+  // Solver engine counters, summed across workers. Patch/rebuild split
+  // depends on chunking and stealing, so like steal_count these are
+  // observability — never part of the deterministic verdict.
+  std::uint64_t solver_patches = 0;      // delta-applied fault updates
+  std::uint64_t solver_rebuilds = 0;     // full fault-view rebuilds
+  std::uint64_t solver_search_nodes = 0; // Hamiltonian DFS expansions
+  std::uint64_t solver_scratch_bytes = 0;// retained solver scratch (gauge)
 };
 
 // Symmetry handling for the exhaustive checker.

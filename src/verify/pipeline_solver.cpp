@@ -1,21 +1,344 @@
 #include "verify/pipeline_solver.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace kgdp::verify {
 
-using kgd::Role;
 using graph::Node;
+using kgd::Role;
 
 PipelineSolver::PipelineSolver(SolverOptions opts)
     : opts_(opts), ham_(opts.ham) {}
 
+// Rebuilds the cached adjacency/role view when the graph identity
+// changed. Identity is (address, node count, edge count): enough to catch
+// every legitimate rebinding in the codebase; callers juggling multiple
+// graphs at one address can force the issue with rebind().
+bool PipelineSolver::bind_if_needed(const SolutionGraph& sg) {
+  if (bound_ == &sg && bound_nodes_ == sg.num_nodes() &&
+      bound_edges_ == sg.graph().num_edges()) {
+    return false;
+  }
+  bound_ = &sg;
+  bound_nodes_ = sg.num_nodes();
+  bound_edges_ = sg.graph().num_edges();
+  small_ = bound_nodes_ >= 1 && bound_nodes_ <= 64;
+  if (small_) {
+    adj_.rebuild(sg.graph());
+    proc_mask_ = input_mask_ = output_mask_ = 0;
+    for (Node v = 0; v < bound_nodes_; ++v) {
+      const std::uint64_t bit = std::uint64_t{1} << v;
+      switch (sg.role(v)) {
+        case Role::kProcessor: proc_mask_ |= bit; break;
+        case Role::kInput: input_mask_ |= bit; break;
+        case Role::kOutput: output_mask_ |= bit; break;
+      }
+    }
+  } else {
+    fault_bits_.resize(bound_nodes_);
+  }
+  have_faults_ = false;
+  return true;
+}
+
 SolveOutcome PipelineSolver::solve(const SolutionGraph& sg,
                                    const FaultSet& faults) {
+  assert(faults.universe() == sg.num_nodes());
+  bind_if_needed(sg);
+  ++ctr_.rebuilds;
+  have_faults_ = true;
+  if (small_) {
+    fault_mask_ =
+        faults.mask().words().empty() ? 0 : faults.mask().words()[0];
+    return solve_fast();
+  }
+  fault_bits_ = faults.mask();
+  fault_list_.assign(faults.nodes().begin(), faults.nodes().end());
+  return solve_general(sg);
+}
+
+SolveOutcome PipelineSolver::solve_faults(const SolutionGraph& sg,
+                                          std::span<const Node> faulty) {
+  bind_if_needed(sg);
+  ++ctr_.rebuilds;
+  have_faults_ = true;
+  if (small_) {
+    fault_mask_ = 0;
+    for (Node v : faulty) fault_mask_ |= std::uint64_t{1} << v;
+    return solve_fast();
+  }
+  fault_bits_.reset_all();
+  for (Node v : faulty) fault_bits_.set(v);
+  fault_list_.assign(faulty.begin(), faulty.end());
+  return solve_general(sg);
+}
+
+SolveOutcome PipelineSolver::patch(const SolutionGraph& sg,
+                                   std::span<const Node> removed,
+                                   std::span<const Node> added) {
+  const bool rebound = bind_if_needed(sg);
+  if (rebound || !have_faults_) {
+    // No previous view to patch against; only legal when the delta is a
+    // pure insertion from the empty set.
+    assert(removed.empty() && "patch without a previous solve");
+    return solve_faults(sg, added);
+  }
+  ++ctr_.patches;
+  have_faults_ = true;
+  if (small_) {
+    for (Node v : removed) {
+      assert((fault_mask_ >> v) & 1u);
+      fault_mask_ &= ~(std::uint64_t{1} << v);
+    }
+    for (Node v : added) {
+      assert(!((fault_mask_ >> v) & 1u));
+      fault_mask_ |= std::uint64_t{1} << v;
+    }
+    return solve_fast();
+  }
+  for (Node v : removed) {
+    fault_bits_.reset(v);
+    fault_list_.erase(
+        std::lower_bound(fault_list_.begin(), fault_list_.end(), v));
+  }
+  for (Node v : added) {
+    fault_bits_.set(v);
+    fault_list_.insert(
+        std::lower_bound(fault_list_.begin(), fault_list_.end(), v), v);
+  }
+  return solve_general(sg);
+}
+
+// Mask fast path (1 <= n <= 64): the healthy-processor view, endpoint
+// sets and witness terminals are all single-word computations over the
+// BitAdjacency rows; the Hamiltonian search runs masked in the original
+// id space. No heap allocation unless a pipeline object is requested.
+SolveOutcome PipelineSolver::solve_fast() {
+  ++ctr_.solves;
+  const std::uint64_t healthy = ~fault_mask_;
+  const std::uint64_t keep = proc_mask_ & healthy;
+  const std::uint64_t in_ok = input_mask_ & healthy;
+  const std::uint64_t out_ok = output_mask_ & healthy;
+  const std::span<const std::uint64_t> rows = adj_.rows64();
+
+  if (keep == 0) {
+    // A pipeline has at least one interior node in any graph whose
+    // terminals only attach to processors, so zero healthy processors
+    // means no pipeline (terminal-terminal edges do not occur in our
+    // constructions; if present they could make a 2-node pipeline, which
+    // we check for completeness).
+    for (std::uint64_t s = in_ok; s; s &= s - 1) {
+      const int v = std::countr_zero(s);
+      const std::uint64_t direct = rows[v] & out_ok;
+      if (direct) {
+        if (!opts_.want_pipeline) return {SolveStatus::kFound, std::nullopt};
+        Pipeline pl{{v, std::countr_zero(direct)}};
+        return {SolveStatus::kFound, pl};
+      }
+    }
+    return {SolveStatus::kNone, std::nullopt};
+  }
+
+  // Healthy processors with a healthy input (resp. output) terminal
+  // neighbor — the legal endpoints. The witness terminal is the
+  // lowest-id healthy terminal neighbor, matching the reference solver's
+  // first-in-adjacency-order choice (adjacency lists are sorted).
+  std::uint64_t starts = 0, ends = 0;
+  for (std::uint64_t s = keep; s; s &= s - 1) {
+    const int v = std::countr_zero(s);
+    const std::uint64_t in_nb = rows[v] & in_ok;
+    if (in_nb) {
+      starts |= std::uint64_t{1} << v;
+      start_term_[v] = std::countr_zero(in_nb);
+    }
+    const std::uint64_t out_nb = rows[v] & out_ok;
+    if (out_nb) {
+      ends |= std::uint64_t{1} << v;
+      end_term_[v] = std::countr_zero(out_nb);
+    }
+  }
+  if (!starts || !ends) return {SolveStatus::kNone, std::nullopt};
+
+  const std::uint64_t before = ham_.expansions();
+  const graph::HamResult r = ham_.solve_masked(rows, keep, starts, ends);
+  ctr_.search_nodes += ham_.expansions() - before;
+  switch (r) {
+    case graph::HamResult::kUnknown:
+      return {SolveStatus::kUnknown, std::nullopt};
+    case graph::HamResult::kNone:
+      return {SolveStatus::kNone, std::nullopt};
+    case graph::HamResult::kFound:
+      break;
+  }
+  const std::span<const Node> interior = ham_.masked_path();
+
+  if (opts_.certify && !certify_fast(interior, keep, in_ok, out_ok)) {
+    assert(false && "solver produced an invalid pipeline");
+    return {SolveStatus::kUnknown, std::nullopt};
+  }
+  if (!opts_.want_pipeline) return {SolveStatus::kFound, std::nullopt};
+
+  path_buf_.clear();
+  path_buf_.push_back(start_term_[interior.front()]);
+  path_buf_.insert(path_buf_.end(), interior.begin(), interior.end());
+  path_buf_.push_back(end_term_[interior.back()]);
+  return {SolveStatus::kFound, kgd::normalize_pipeline(*bound_, path_buf_)};
+}
+
+// Mask-level certification of a found interior path: consecutive
+// adjacency, exact coverage of the healthy-processor set, and healthy
+// terminal attachments — the pipeline definition restated over bitsets,
+// so the honesty check costs no allocation either.
+bool PipelineSolver::certify_fast(std::span<const Node> interior,
+                                  std::uint64_t keep,
+                                  std::uint64_t healthy_inputs,
+                                  std::uint64_t healthy_outputs) const {
+  if (interior.empty()) return false;
+  const std::span<const std::uint64_t> rows = adj_.rows64();
+  std::uint64_t seen = 0;
+  Node prev = -1;
+  for (Node v : interior) {
+    const std::uint64_t bit = std::uint64_t{1} << v;
+    if (!(keep & bit) || (seen & bit)) return false;
+    if (prev >= 0 && !((rows[prev] >> v) & 1u)) return false;
+    seen |= bit;
+    prev = v;
+  }
+  if (seen != keep) return false;
+  const Node st = start_term_[interior.front()];
+  const Node et = end_term_[interior.back()];
+  return ((healthy_inputs >> st) & 1u) && ((rows[st] >> interior.front()) & 1u) &&
+         ((healthy_outputs >> et) & 1u) && ((rows[et] >> interior.back()) & 1u);
+}
+
+// General path (n > 64, outside exhaustive-certification reach): the
+// historical induced-subgraph algorithm, with every mapping/endpoint
+// buffer migrated to reused scratch. The subgraph copy itself remains —
+// the large Hamiltonian solver wants a Graph — but the redundant
+// per-call to_full/to_sub/terminal reallocations are gone.
+SolveOutcome PipelineSolver::solve_general(const SolutionGraph& sg) {
+  ++ctr_.solves;
+  const int n_all = sg.num_nodes();
+
+  keep_.resize(n_all);
+  keep_.reset_all();
+  for (Node v = 0; v < n_all; ++v) {
+    if (sg.role(v) == Role::kProcessor && !fault_bits_.test(v)) keep_.set(v);
+  }
+  const graph::Graph sub = sg.graph().induced_subgraph(keep_, &to_sub_);
+  const int hp = sub.num_nodes();
+
+  // Reverse mapping, rebuilt in place (assign reuses capacity).
+  to_full_.assign(hp, -1);
+  for (Node v = 0; v < n_all; ++v) {
+    if (to_sub_[v] >= 0) to_full_[to_sub_[v]] = v;
+  }
+
+  starts_bs_.resize(hp);
+  starts_bs_.reset_all();
+  ends_bs_.resize(hp);
+  ends_bs_.reset_all();
+  start_term_v_.assign(hp, -1);
+  end_term_v_.assign(hp, -1);
+  for (Node v = 0; v < n_all; ++v) {
+    const int s = to_sub_[v];
+    if (s < 0) continue;
+    for (Node w : sg.graph().neighbors(v)) {
+      if (fault_bits_.test(w)) continue;
+      if (sg.role(w) == Role::kInput && start_term_v_[s] < 0) {
+        starts_bs_.set(s);
+        start_term_v_[s] = w;
+      } else if (sg.role(w) == Role::kOutput && end_term_v_[s] < 0) {
+        ends_bs_.set(s);
+        end_term_v_[s] = w;
+      }
+    }
+  }
+
+  if (hp == 0) {
+    // See solve_fast(): only a terminal-terminal edge can carry a
+    // pipeline with no healthy processor.
+    for (Node v = 0; v < n_all; ++v) {
+      if (sg.role(v) != Role::kInput || fault_bits_.test(v)) continue;
+      for (Node w : sg.graph().neighbors(v)) {
+        if (sg.role(w) == Role::kOutput && !fault_bits_.test(w)) {
+          Pipeline pl{{v, w}};
+          return {SolveStatus::kFound, pl};
+        }
+      }
+    }
+    return {SolveStatus::kNone, std::nullopt};
+  }
+
+  if (!starts_bs_.any() || !ends_bs_.any()) {
+    return {SolveStatus::kNone, std::nullopt};
+  }
+
+  const std::uint64_t before = ham_.expansions();
+  const graph::HamPath hp_res = ham_.solve(sub, starts_bs_, ends_bs_);
+  ctr_.search_nodes += ham_.expansions() - before;
+  switch (hp_res.status) {
+    case graph::HamResult::kUnknown:
+      return {SolveStatus::kUnknown, std::nullopt};
+    case graph::HamResult::kNone:
+      return {SolveStatus::kNone, std::nullopt};
+    case graph::HamResult::kFound:
+      break;
+  }
+
+  // Assemble the full pipeline: input terminal, processors, output
+  // terminal; normalise to input-first order.
+  path_buf_.clear();
+  path_buf_.push_back(start_term_v_[hp_res.path.front()]);
+  for (Node s : hp_res.path) path_buf_.push_back(to_full_[s]);
+  path_buf_.push_back(end_term_v_[hp_res.path.back()]);
+
+  if (opts_.certify) {
+    const kgd::FaultSet fs(n_all, fault_list_);
+    const kgd::PipelineCheck chk = kgd::check_pipeline(sg, fs, path_buf_);
+    assert(chk.ok && "solver produced an invalid pipeline");
+    if (!chk.ok) return {SolveStatus::kUnknown, std::nullopt};
+  }
+  if (!opts_.want_pipeline) return {SolveStatus::kFound, std::nullopt};
+  return {SolveStatus::kFound, kgd::normalize_pipeline(sg, path_buf_)};
+}
+
+SolverCounters PipelineSolver::counters() const {
+  SolverCounters c = ctr_;
+  auto vec_bytes = [](const auto& v) {
+    return v.capacity() * sizeof(v[0]);
+  };
+  c.scratch_bytes = sizeof(*this) + vec_bytes(fault_list_) +
+                    vec_bytes(path_buf_) + vec_bytes(to_sub_) +
+                    vec_bytes(to_full_) + vec_bytes(start_term_v_) +
+                    vec_bytes(end_term_v_) +
+                    fault_bits_.words().capacity() * 8 +
+                    keep_.words().capacity() * 8 +
+                    starts_bs_.words().capacity() * 8 +
+                    ends_bs_.words().capacity() * 8 + adj_.scratch_bytes() +
+                    ham_.scratch_bytes();
+  return c;
+}
+
+SolveOutcome find_pipeline(const SolutionGraph& sg, const FaultSet& faults,
+                           SolverOptions opts) {
+  PipelineSolver solver(opts);
+  return solver.solve(sg, faults);
+}
+
+// The pre-rework implementation, verbatim: DynamicBitset keep, induced
+// subgraph with fresh mappings, DynamicBitset endpoint sets, remapped
+// Hamiltonian solve. Differential tests pit the engine above against
+// this oracle fault set by fault set.
+SolveOutcome find_pipeline_reference(const SolutionGraph& sg,
+                                     const FaultSet& faults,
+                                     SolverOptions opts) {
+  graph::HamiltonianSolver ham(opts.ham);
   const int n_all = sg.num_nodes();
   assert(faults.universe() == n_all);
 
-  // Induced subgraph of healthy processors.
   util::DynamicBitset keep(n_all);
   for (Node v = 0; v < n_all; ++v) {
     if (sg.role(v) == Role::kProcessor && !faults.contains(v)) keep.set(v);
@@ -24,14 +347,11 @@ SolveOutcome PipelineSolver::solve(const SolutionGraph& sg,
   const graph::Graph sub = sg.graph().induced_subgraph(keep, &to_sub);
   const int hp = sub.num_nodes();
 
-  // Reverse mapping.
   std::vector<Node> to_full(hp, -1);
   for (Node v = 0; v < n_all; ++v) {
     if (to_sub[v] >= 0) to_full[to_sub[v]] = v;
   }
 
-  // Healthy processors with a healthy input (resp. output) terminal
-  // neighbor — the legal endpoints. Also remember one witness terminal.
   util::DynamicBitset starts(hp), ends(hp);
   std::vector<Node> start_term(hp, -1), end_term(hp, -1);
   for (Node v = 0; v < n_all; ++v) {
@@ -50,11 +370,6 @@ SolveOutcome PipelineSolver::solve(const SolutionGraph& sg,
   }
 
   if (hp == 0) {
-    // A pipeline has at least one interior node in any graph whose
-    // terminals only attach to processors, so zero healthy processors
-    // means no pipeline (terminal-terminal edges do not occur in our
-    // constructions; if present they could make a 2-node pipeline, which
-    // we check for completeness).
     for (Node v = 0; v < n_all; ++v) {
       if (sg.role(v) != Role::kInput || faults.contains(v)) continue;
       for (Node w : sg.graph().neighbors(v)) {
@@ -69,7 +384,7 @@ SolveOutcome PipelineSolver::solve(const SolutionGraph& sg,
 
   if (!starts.any() || !ends.any()) return {SolveStatus::kNone, std::nullopt};
 
-  const graph::HamPath hp_res = ham_.solve(sub, starts, ends);
+  const graph::HamPath hp_res = ham.solve(sub, starts, ends);
   switch (hp_res.status) {
     case graph::HamResult::kUnknown:
       return {SolveStatus::kUnknown, std::nullopt};
@@ -79,26 +394,18 @@ SolveOutcome PipelineSolver::solve(const SolutionGraph& sg,
       break;
   }
 
-  // Assemble the full pipeline: input terminal, processors, output
-  // terminal; normalise to input-first order.
   std::vector<Node> full;
   full.reserve(hp_res.path.size() + 2);
   full.push_back(start_term[hp_res.path.front()]);
   for (Node s : hp_res.path) full.push_back(to_full[s]);
   full.push_back(end_term[hp_res.path.back()]);
 
-  if (opts_.certify) {
+  if (opts.certify) {
     const kgd::PipelineCheck chk = kgd::check_pipeline(sg, faults, full);
     assert(chk.ok && "solver produced an invalid pipeline");
     if (!chk.ok) return {SolveStatus::kUnknown, std::nullopt};
   }
   return {SolveStatus::kFound, kgd::normalize_pipeline(sg, std::move(full))};
-}
-
-SolveOutcome find_pipeline(const SolutionGraph& sg, const FaultSet& faults,
-                           SolverOptions opts) {
-  PipelineSolver solver(opts);
-  return solver.solve(sg, faults);
 }
 
 }  // namespace kgdp::verify

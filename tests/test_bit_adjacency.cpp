@@ -1,0 +1,104 @@
+// BitAdjacency is the solver's word-parallel view of a Graph; it must
+// agree with the span-based adjacency on every graph shape (empty,
+// single-node, exactly 64 nodes, multi-word rows) and keep its alignment
+// and reuse guarantees, or the Hamiltonian fast path silently diverges
+// from the reference solver.
+#include "graph/bit_adjacency.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace kgdp::graph {
+namespace {
+
+Graph random_graph(int n, double p, util::Rng& rng) {
+  Graph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (rng.next_double() < p) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+// Every (u,v) bit equals has_edge; degrees match; iterating a row's set
+// bits ascending equals the sorted neighbor span.
+void expect_agrees(const Graph& g, const BitAdjacency& adj) {
+  ASSERT_EQ(adj.num_nodes(), g.num_nodes());
+  for (int u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_EQ(adj.degree(u), g.degree(u)) << "node " << u;
+    std::vector<Node> from_bits;
+    const auto row = adj.row(u);
+    for (std::size_t w = 0; w < row.size(); ++w) {
+      std::uint64_t word = row[w];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        word &= word - 1;
+        from_bits.push_back(static_cast<Node>(64 * w + bit));
+      }
+    }
+    const auto span = g.neighbors(u);
+    ASSERT_EQ(from_bits, std::vector<Node>(span.begin(), span.end()))
+        << "node " << u;
+    for (int v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(adj.test(u, v), g.has_edge(u, v)) << u << "," << v;
+    }
+  }
+}
+
+TEST(BitAdjacency, MatchesSpanIterationOnRandomGraphs) {
+  util::Rng rng(7);
+  for (const int n : {1, 2, 7, 31, 63, 64, 65, 130}) {
+    for (const double p : {0.0, 0.15, 0.5, 1.0}) {
+      const Graph g = random_graph(n, p, rng);
+      const BitAdjacency adj(g);
+      expect_agrees(g, adj);
+    }
+  }
+}
+
+TEST(BitAdjacency, EmptyGraph) {
+  const Graph g(0);
+  const BitAdjacency adj(g);
+  EXPECT_EQ(adj.num_nodes(), 0);
+  EXPECT_TRUE(adj.rows64().empty());
+}
+
+TEST(BitAdjacency, SmallGraphsUseSingleWordRows) {
+  const Graph g = make_cycle(64);
+  const BitAdjacency adj(g);
+  EXPECT_EQ(adj.row_words(), 1);
+  ASSERT_EQ(adj.rows64().size(), 64u);
+  for (int v = 0; v < 64; ++v) {
+    EXPECT_EQ(std::popcount(adj.row64(v)), 2) << v;
+    EXPECT_TRUE((adj.row64(v) >> ((v + 1) % 64)) & 1u) << v;
+  }
+}
+
+TEST(BitAdjacency, LargeGraphRowsAreCacheAligned) {
+  const Graph g = make_cycle(130);  // 3 words/row -> padded stride
+  const BitAdjacency adj(g);
+  EXPECT_EQ(adj.row_words() % 8, 0);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(adj.row(0).data()) % 64, 0u);
+  expect_agrees(g, adj);
+}
+
+TEST(BitAdjacency, RebuildReusesAllocationAndReflectsNewGraph) {
+  BitAdjacency adj(make_complete(40));
+  const std::size_t bytes_before = adj.scratch_bytes();
+  adj.rebuild(make_path(12));  // smaller: no growth
+  EXPECT_EQ(adj.scratch_bytes(), bytes_before);
+  expect_agrees(make_path(12), adj);
+  // Stale bits from the larger graph must be gone.
+  EXPECT_EQ(adj.degree(0), 1);
+  EXPECT_EQ(adj.degree(5), 2);
+}
+
+}  // namespace
+}  // namespace kgdp::graph

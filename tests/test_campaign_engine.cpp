@@ -412,7 +412,7 @@ TEST(Campaign, TelemetryEventsAreVersionedJsonl) {
     ASSERT_FALSE(line.empty());
     EXPECT_EQ(line.front(), '{') << line;
     EXPECT_EQ(line.back(), '}') << line;
-    EXPECT_NE(line.find("\"schema_version\":1"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"schema_version\":2"), std::string::npos) << line;
     EXPECT_NE(line.find("\"seq\":" + std::to_string(seq)), std::string::npos)
         << line;
     ++seq;

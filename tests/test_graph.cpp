@@ -2,6 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "graph/bit_adjacency.hpp"
+#include "util/rng.hpp"
+
 namespace kgdp::graph {
 namespace {
 
@@ -115,6 +122,102 @@ TEST(Graph, InducedSubgraphKeepNone) {
   Graph g = make_complete(4);
   util::DynamicBitset keep(4);
   EXPECT_EQ(g.induced_subgraph(keep).num_nodes(), 0);
+  // The empty keep-set still writes a total mapping: every id dropped.
+  std::vector<Node> map;
+  (void)g.induced_subgraph(keep, &map);
+  ASSERT_EQ(map.size(), 4u);
+  for (Node m : map) EXPECT_EQ(m, -1);
+}
+
+TEST(Graph, InducedSubgraphSingleNode) {
+  Graph g = make_complete(5);
+  util::DynamicBitset keep(5);
+  keep.set(3);
+  std::vector<Node> map;
+  const Graph sub = g.induced_subgraph(keep, &map);
+  EXPECT_EQ(sub.num_nodes(), 1);
+  EXPECT_EQ(sub.num_edges(), 0u);
+  EXPECT_EQ(map[3], 0);
+  for (Node v : {0, 1, 2, 4}) EXPECT_EQ(map[v], -1);
+}
+
+TEST(Graph, InducedSubgraphMappingInvariants) {
+  util::Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = static_cast<int>(rng.next_int(1, 40));
+    Graph g(n);
+    for (int u = 0; u < n; ++u) {
+      for (int v = u + 1; v < n; ++v) {
+        if (rng.next_double() < 0.3) g.add_edge(u, v);
+      }
+    }
+    util::DynamicBitset keep(n);
+    for (int v = 0; v < n; ++v) {
+      if (rng.next_double() < 0.5) keep.set(v);
+    }
+    std::vector<Node> map;
+    const Graph sub = g.induced_subgraph(keep, &map);
+    // Mapping invariants: -1 exactly on dropped nodes, and kept nodes
+    // get dense ascending ids (the order the solver's reverse mapping
+    // depends on).
+    ASSERT_EQ(map.size(), static_cast<std::size_t>(n));
+    Node next = 0;
+    for (int v = 0; v < n; ++v) {
+      if (keep.test(v)) {
+        EXPECT_EQ(map[v], next++) << "trial " << trial;
+      } else {
+        EXPECT_EQ(map[v], -1) << "trial " << trial;
+      }
+    }
+    EXPECT_EQ(sub.num_nodes(), next);
+    // Adjacency preserved exactly on kept pairs.
+    for (int u = 0; u < n; ++u) {
+      if (!keep.test(u)) continue;
+      for (int v = u + 1; v < n; ++v) {
+        if (!keep.test(v)) continue;
+        EXPECT_EQ(sub.has_edge(map[u], map[v]), g.has_edge(u, v))
+            << "trial " << trial << " edge " << u << "," << v;
+      }
+    }
+  }
+}
+
+TEST(Graph, InducedSubgraphAgreesWithBitAdjacency) {
+  // Ties the legacy view to the fast-path view: on induced subgraphs of
+  // random graphs, word-parallel rows and sorted neighbor spans must
+  // describe the same graph.
+  util::Rng rng(13);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = static_cast<int>(rng.next_int(2, 80));
+    Graph g(n);
+    for (int u = 0; u < n; ++u) {
+      for (int v = u + 1; v < n; ++v) {
+        if (rng.next_double() < 0.25) g.add_edge(u, v);
+      }
+    }
+    util::DynamicBitset keep(n);
+    for (int v = 0; v < n; ++v) {
+      if (rng.next_double() < 0.7) keep.set(v);
+    }
+    const Graph sub = g.induced_subgraph(keep);
+    const BitAdjacency adj(sub);
+    for (int u = 0; u < sub.num_nodes(); ++u) {
+      EXPECT_EQ(adj.degree(u), sub.degree(u));
+      std::vector<Node> from_bits;
+      const auto row = adj.row(u);
+      for (std::size_t w = 0; w < row.size(); ++w) {
+        std::uint64_t word = row[w];
+        while (word != 0) {
+          from_bits.push_back(static_cast<Node>(
+              64 * w + static_cast<unsigned>(std::countr_zero(word))));
+          word &= word - 1;
+        }
+      }
+      const auto span = sub.neighbors(u);
+      EXPECT_EQ(from_bits, std::vector<Node>(span.begin(), span.end()))
+          << "trial " << trial << " node " << u;
+    }
+  }
 }
 
 TEST(Graph, FromEdges) {

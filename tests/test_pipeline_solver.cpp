@@ -110,5 +110,59 @@ TEST(PipelineSolver, ExpansionCounterAdvances) {
   EXPECT_GT(solver.ham_expansions(), 0u);
 }
 
+TEST(PipelineSolver, GeneralPathReusedMappingsStayCorrect) {
+  // The >64-node path reuses its to_sub/to_full mapping buffers across
+  // calls instead of rebuilding them from scratch. Pin the invariant
+  // that made the reuse safe: with one solver cycled through fault sets
+  // of varying sizes (so stale mapping tails would be visible), every
+  // produced pipeline certifies and matches a fresh reference solve.
+  const auto sg = kgd::build_solution(60, 4);  // 74 nodes: legacy path
+  ASSERT_TRUE(sg);
+  PipelineSolver solver;
+  const std::vector<std::vector<int>> fault_lists = {
+      {0, 7, 33}, {}, {70, 71, 72, 73}, {5}, {12, 40}, {}};
+  for (const auto& nodes : fault_lists) {
+    const FaultSet fs(sg->num_nodes(), nodes);
+    const auto out = solver.solve(*sg, fs);
+    const auto ref = find_pipeline_reference(*sg, fs);
+    ASSERT_EQ(out.status, ref.status);
+    if (out.status == SolveStatus::kFound) {
+      EXPECT_TRUE(kgd::check_pipeline(*sg, fs, out.pipeline->path).ok);
+      EXPECT_EQ(out.pipeline->path, ref.pipeline->path);
+    }
+  }
+  // And the patch entry point keeps the same contract on this path.
+  const FaultSet first(sg->num_nodes(), {3, 9});
+  (void)solver.solve(*sg, first);
+  const std::vector<int> removed = {9};
+  const std::vector<int> added = {20, 50};
+  const auto patched = solver.patch(*sg, removed, added);
+  const FaultSet target(sg->num_nodes(), {3, 20, 50});
+  const auto ref = find_pipeline_reference(*sg, target);
+  ASSERT_EQ(patched.status, ref.status);
+  if (patched.status == SolveStatus::kFound) {
+    EXPECT_TRUE(kgd::check_pipeline(*sg, target, patched.pipeline->path).ok);
+    EXPECT_EQ(patched.pipeline->path, ref.pipeline->path);
+  }
+}
+
+TEST(PipelineSolver, CountersTrackSolvePatchAndRebuild) {
+  const SolutionGraph sg = kgd::make_g3k(3);
+  PipelineSolver solver;
+  EXPECT_EQ(solver.counters().solves, 0u);
+  (void)solver.solve(sg, FaultSet::none(sg.num_nodes()));
+  const std::vector<int> none;
+  const std::vector<int> add = {0};
+  (void)solver.patch(sg, none, add);
+  const SolverCounters c = solver.counters();
+  EXPECT_EQ(c.solves, 2u);
+  EXPECT_EQ(c.rebuilds, 1u);
+  EXPECT_EQ(c.patches, 1u);
+  EXPECT_GT(c.search_nodes, 0u);
+  EXPECT_GT(c.scratch_bytes, 0u);
+  solver.reset_counters();
+  EXPECT_EQ(solver.counters().solves, 0u);
+}
+
 }  // namespace
 }  // namespace kgdp::verify

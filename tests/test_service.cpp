@@ -162,8 +162,32 @@ TEST(Service, StreamingVerifyDeliversProgressThenVerdict) {
   EXPECT_EQ(frame_type(*verdict), "result");
   EXPECT_EQ(verdict->find("status")->as_string(), "done");
   EXPECT_GE(streamed, 2);  // at least `accepted` + one progress frame
-  EXPECT_TRUE(verdict->find("verdict")->find("holds")->as_bool());
-  EXPECT_TRUE(verdict->find("verdict")->find("exhaustive")->as_bool());
+  const io::Json* vd = verdict->find("verdict");
+  EXPECT_TRUE(vd->find("holds")->as_bool());
+  EXPECT_TRUE(vd->find("exhaustive")->as_bool());
+  // schema_version 2: the verdict carries the solver engine counters,
+  // and every solved representative was exactly one patch or rebuild.
+  ASSERT_NE(vd->find("solver_patches"), nullptr);
+  ASSERT_NE(vd->find("solver_rebuilds"), nullptr);
+  ASSERT_NE(vd->find("solver_search_nodes"), nullptr);
+  EXPECT_GE(vd->find("solver_rebuilds")->as_int(), 1);
+  EXPECT_EQ(vd->find("solver_patches")->as_int() +
+                vd->find("solver_rebuilds")->as_int(),
+            vd->find("fault_sets_solved")->as_int());
+
+  // Once the session retires, `stats` aggregates its engine counters.
+  const auto stats = roundtrip(client, request_frame("stats", {}));
+  ASSERT_TRUE(stats.has_value());
+  const io::Json* solver = stats->find("solver");
+  ASSERT_NE(solver, nullptr);
+  EXPECT_EQ(solver->find("patches")->as_int(),
+            vd->find("solver_patches")->as_int());
+  EXPECT_EQ(solver->find("rebuilds")->as_int(),
+            vd->find("solver_rebuilds")->as_int());
+  EXPECT_EQ(solver->find("search_nodes")->as_int(),
+            vd->find("solver_search_nodes")->as_int());
+  EXPECT_EQ(solver->find("solves")->as_int(),
+            vd->find("fault_sets_solved")->as_int());
 }
 
 TEST(Service, EightClientsMixedTrafficZeroDroppedRequests) {
@@ -382,12 +406,14 @@ TEST(Service, BusyPoolShedsOneShotJobsWithOverloaded) {
   DaemonFixture fx(config);
   net::Client client = fx.connect();
   std::string error;
-  // A slow single-task job pins the only worker...
+  // A slow single-task job pins the only worker... (heavy enough that it
+  // is still running when the follow-up request below gets dispatched,
+  // whatever the solver throughput of the build)
   io::JsonObject slow;
   slow["n"] = 8;
   slow["k"] = 2;
-  slow["horizon_mcycles"] = 50.0;
-  slow["faults_per_mcycle"] = 100.0;
+  slow["horizon_mcycles"] = 500.0;
+  slow["faults_per_mcycle"] = 1000.0;
   ASSERT_TRUE(
       client.send_json(request_frame("sim.run", std::move(slow)), &error))
       << error;

@@ -1,0 +1,122 @@
+// Pins the zero-allocation contract of the solver engine: once a
+// PipelineSolver is bound and warmed up, the steady-state sweep path —
+// delta-patched solves with want_pipeline off, exactly what the
+// exhaustive checker runs millions of times — performs no heap
+// allocation at all. Counted via global operator new/delete overrides,
+// so a regression (a stray std::vector growth, a temporary string, a
+// rebuilt bitset) fails deterministically in any build type.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "fault/enumerator.hpp"
+#include "kgd/factory.hpp"
+#include "kgd/small_n.hpp"
+#include "verify/check_session.hpp"
+#include "verify/pipeline_solver.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+
+void* counted_alloc(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_alloc(std::size_t size, std::align_val_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(align) < sizeof(void*)
+                             ? sizeof(void*)
+                             : static_cast<std::size_t>(align),
+                     size ? size : 1) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t a) {
+  return counted_alloc(size, a);
+}
+void* operator new[](std::size_t size, std::align_val_t a) {
+  return counted_alloc(size, a);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace kgdp::verify {
+namespace {
+
+TEST(SolverAlloc, SteadyStatePatchSweepAllocatesNothing) {
+  const kgd::SolutionGraph sg = kgd::make_g3k(4);
+  const fault::FaultEnumerator en(sg.num_nodes(), sg.k());
+  fault::FaultEnumerator::Sweep sweep(en);
+  SolverOptions opts;
+  opts.want_pipeline = false;  // the sweep consumes the verdict only
+  PipelineSolver solver(opts);
+
+  // Warm-up pass: binds the graph, sizes every scratch buffer.
+  sweep.seek(0);
+  (void)solver.solve_faults(sg, sweep.nodes());
+  for (std::uint64_t i = 1; i < en.total(); ++i) {
+    sweep.advance();
+    (void)solver.patch(sg, sweep.removed(), sweep.added());
+  }
+
+  // Steady state: the identical sweep again, now counted.
+  sweep.seek(0);
+  std::uint64_t found = 0;
+  const std::uint64_t before = g_allocs.load();
+  const SolveOutcome first = solver.solve_faults(sg, sweep.nodes());
+  found += first.status == SolveStatus::kFound ? 1 : 0;
+  for (std::uint64_t i = 1; i < en.total(); ++i) {
+    sweep.advance();
+    const SolveOutcome out = solver.patch(sg, sweep.removed(), sweep.added());
+    found += out.status == SolveStatus::kFound ? 1 : 0;
+  }
+  const std::uint64_t after = g_allocs.load();
+  EXPECT_EQ(after - before, 0u) << "steady-state sweep allocated";
+  EXPECT_EQ(found, en.total());  // GD(G(3,4),4) holds
+
+  const SolverCounters c = solver.counters();
+  EXPECT_GT(c.scratch_bytes, 0u);
+  EXPECT_EQ(c.solves, 2 * en.total());
+}
+
+TEST(SolverAlloc, SecondCheckSessionAdvanceIsAllocationFree) {
+  // One level up: a sequential CheckSession chunk in steady state. The
+  // first advance sizes worker scratch; later chunks must not allocate.
+  const kgd::SolutionGraph sg = kgd::make_g3k(5);
+  CheckRequest req;
+  req.mode = CheckMode::kExhaustive;
+  req.max_faults = 5;
+  req.options.prune = PruneMode::kOff;  // every slot, max chunk pressure
+  CheckSession session(sg, req);
+  ASSERT_FALSE(session.advance(64));  // warm-up chunk
+  const std::uint64_t before = g_allocs.load();
+  session.advance(64);
+  session.advance(64);
+  const std::uint64_t after = g_allocs.load();
+  EXPECT_EQ(after - before, 0u) << "steady-state advance allocated";
+}
+
+}  // namespace
+}  // namespace kgdp::verify
