@@ -228,6 +228,8 @@ int run_perf_mode(const std::string& json_path, const std::string& smoke_path,
     fields["solver_patches"] = m.result.solver_patches;
     fields["solver_rebuilds"] = m.result.solver_rebuilds;
     fields["solver_search_nodes"] = m.result.solver_search_nodes;
+    fields["solver_walk_hits"] = m.result.solver_walk_hits;
+    fields["solver_walk_fallbacks"] = m.result.solver_walk_fallbacks;
     if (!bench::write_bench_json(json_path, std::move(fields))) {
       std::fprintf(stderr, "FATAL: cannot write %s\n", json_path.c_str());
       return 2;

@@ -13,7 +13,8 @@ namespace {
 
 verify::CheckRequest instance_request(const CampaignConfig& c,
                                       const InstanceState& inst,
-                                      util::ThreadPool* pool) {
+                                      util::ThreadPool* pool,
+                                      verify::VerdictCache* cache) {
   verify::CheckRequest req;
   req.mode = c.mode;
   req.max_faults = inst.k;
@@ -21,6 +22,7 @@ verify::CheckRequest instance_request(const CampaignConfig& c,
   req.seed = c.seed;
   req.options.prune = c.prune;
   req.options.pool = pool;
+  req.options.cache = cache;
   req.shard_index = c.shard_index;
   req.shard_count = c.shard_count;
   return req;
@@ -147,7 +149,7 @@ RunOutcome CampaignRunner::run(const RunLimits& limits) {
     if (inst.status == InstanceStatus::kDone) continue;
     const kgd::SolutionGraph sg = build_instance(inst);
     verify::CheckSession session(
-        sg, instance_request(state_.config, inst, pool_));
+        sg, instance_request(state_.config, inst, pool_, cache_));
     if (inst.status == InstanceStatus::kRunning) {
       std::istringstream is(inst.cursor);
       session.restore(is);
@@ -195,6 +197,10 @@ RunOutcome CampaignRunner::run(const RunLimits& limits) {
         f["solver_patches"] = snap.solver_patches;
         f["solver_rebuilds"] = snap.solver_rebuilds;
         f["solver_search_nodes"] = snap.solver_search_nodes;
+        f["solver_walk_hits"] = snap.solver_walk_hits;
+        f["solver_walk_fallbacks"] = snap.solver_walk_fallbacks;
+        f["cache_hits"] = snap.cache_hits;
+        f["cache_misses"] = snap.cache_misses;
         const std::uint64_t chunk_solved =
             snap.fault_sets_solved - solved_before;
         f["chunk_solved"] = chunk_solved;

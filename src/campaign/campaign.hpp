@@ -52,6 +52,12 @@ class CampaignRunner {
                  TelemetryWriter* telemetry = nullptr,
                  util::ThreadPool* pool = nullptr);
 
+  // Optional shared orbit-canonical verdict cache handed to every
+  // instance session (caller-owned, must outlive run()). A runtime
+  // accelerator only: verdicts and checkpoints are bit-identical with
+  // or without it, so it is not part of the campaign config or file.
+  void set_verdict_cache(verify::VerdictCache* cache) { cache_ = cache; }
+
   // Advances pending/running instances in grid order until the campaign
   // completes or the chunk limit is hit. Safe to call again after an
   // interrupted return. Throws std::runtime_error when an instance's
@@ -67,6 +73,7 @@ class CampaignRunner {
   std::string checkpoint_path_;
   TelemetryWriter* telemetry_;
   util::ThreadPool* pool_;
+  verify::VerdictCache* cache_ = nullptr;
 };
 
 // Merges S completed shard campaigns (shard i of S over an identical

@@ -50,6 +50,9 @@ void save_result(std::ostream& out, const verify::CheckResult& res) {
       << res.automorphism_order << ' ' << res.steal_count;
   out << " solver " << res.solver_patches << ' ' << res.solver_rebuilds << ' '
       << res.solver_search_nodes << ' ' << res.solver_scratch_bytes;
+  out << " walk " << res.solver_walk_hits << ' ' << res.solver_walk_fallbacks;
+  out << " cache " << res.cache_hits << ' ' << res.cache_misses << ' '
+      << res.cache_inserts << ' ' << res.cache_evictions;
   out << " workers " << res.worker_solve_seconds.size();
   for (double s : res.worker_solve_seconds) {
     out << ' ' << std::bit_cast<std::uint64_t>(s);
@@ -89,6 +92,21 @@ verify::CheckResult load_result(std::istream& in) {
     if (!(in >> res.solver_patches >> res.solver_rebuilds >>
           res.solver_search_nodes >> res.solver_scratch_bytes)) {
       fail("truncated solver counters");
+    }
+    if (!(in >> word)) fail("truncated result");
+  }
+  // Optional walk/cache blocks; files written before the batched
+  // solver load with zeros.
+  if (word == "walk") {
+    if (!(in >> res.solver_walk_hits >> res.solver_walk_fallbacks)) {
+      fail("truncated walk counters");
+    }
+    if (!(in >> word)) fail("truncated result");
+  }
+  if (word == "cache") {
+    if (!(in >> res.cache_hits >> res.cache_misses >> res.cache_inserts >>
+          res.cache_evictions)) {
+      fail("truncated cache counters");
     }
     if (!(in >> word)) fail("truncated result");
   }

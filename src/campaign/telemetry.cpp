@@ -30,6 +30,14 @@ io::Json check_result_to_json(const verify::CheckResult& res) {
   o["solver_rebuilds"] = res.solver_rebuilds;
   o["solver_search_nodes"] = res.solver_search_nodes;
   o["solver_scratch_bytes"] = res.solver_scratch_bytes;
+  // Batched-solver walk split and verdict-cache traffic (all zero when
+  // the walk never ran / no cache was attached).
+  o["solver_walk_hits"] = res.solver_walk_hits;
+  o["solver_walk_fallbacks"] = res.solver_walk_fallbacks;
+  o["cache_hits"] = res.cache_hits;
+  o["cache_misses"] = res.cache_misses;
+  o["cache_inserts"] = res.cache_inserts;
+  o["cache_evictions"] = res.cache_evictions;
   io::JsonArray seconds;
   for (double s : res.worker_solve_seconds) seconds.push_back(s);
   o["worker_solve_seconds"] = std::move(seconds);

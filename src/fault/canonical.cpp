@@ -1,0 +1,75 @@
+#include "fault/canonical.hpp"
+
+#include <bit>
+
+namespace kgdp::fault {
+
+namespace {
+
+// splitmix64 finalizer — masks are tiny popcount values over a 64-bit
+// universe, so a strong mix keeps the open-addressing probes short.
+inline std::size_t hash_mask(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return static_cast<std::size_t>(x ^ (x >> 31));
+}
+
+inline std::uint64_t apply_perm(const graph::Permutation& perm,
+                                std::uint64_t mask) {
+  std::uint64_t out = 0;
+  for (std::uint64_t m = mask; m; m &= m - 1) {
+    out |= std::uint64_t{1} << perm[std::countr_zero(m)];
+  }
+  return out;
+}
+
+}  // namespace
+
+bool FaultCanonicalizer::canonical_mask(std::uint64_t mask, Scratch& scratch,
+                                        std::uint64_t* canon) const {
+  if (auts_ == nullptr || !auts_->usable()) {
+    *canon = mask;  // trivial group: singleton orbit
+    return true;
+  }
+
+  // Generation-stamped table: bumping the generation invalidates every
+  // slot in O(1). On the (once per ~4e9 calls) wrap we do a real clear.
+  if (++scratch.generation == 0) {
+    for (std::size_t i = 0; i < kTableSize; ++i) scratch.stamp[i] = 0;
+    scratch.generation = 1;
+  }
+  const std::uint32_t gen = scratch.generation;
+  constexpr std::size_t kMask = kTableSize - 1;
+  static_assert((kTableSize & (kTableSize - 1)) == 0);
+
+  auto visit = [&](std::uint64_t m) {  // true if newly inserted
+    std::size_t slot = hash_mask(m) & kMask;
+    while (scratch.stamp[slot] == gen) {
+      if (scratch.key[slot] == m) return false;
+      slot = (slot + 1) & kMask;
+    }
+    scratch.stamp[slot] = gen;
+    scratch.key[slot] = m;
+    return true;
+  };
+
+  std::size_t head = 0, tail = 0;
+  visit(mask);
+  scratch.queue[tail++] = mask;
+  std::uint64_t best = mask;
+  while (head < tail) {
+    const std::uint64_t cur = scratch.queue[head++];
+    for (const graph::Permutation& perm : auts_->generators) {
+      const std::uint64_t img = apply_perm(perm, cur);
+      if (img < best) best = img;
+      if (!visit(img)) continue;
+      if (tail == kMaxOrbit) return false;  // orbit too large: bypass
+      scratch.queue[tail++] = img;
+    }
+  }
+  *canon = best;
+  return true;
+}
+
+}  // namespace kgdp::fault

@@ -1,0 +1,58 @@
+// Orbit-canonical fault-set keys. Two fault sets in the same orbit of
+// the label-respecting automorphism group are isomorphic instances — the
+// solver returns the same verdict for both — so a verdict cache keyed by
+// the orbit-minimal mask collapses every isomorphic re-solve into one
+// lookup. The canonical key is computed by BFS closure over the strong
+// generating set: starting from the query mask, repeatedly apply each
+// generator and keep the numerically smallest mask seen. The group is
+// finite, so positive generator words reach every group element and the
+// closure visits the full orbit exactly.
+//
+// The closure is capped (kMaxOrbit images); fault orbits under the
+// paper's constructions are far smaller, but a pathological group makes
+// canonicalization cost more than the solve it would save, so past the
+// cap canonical_mask() reports failure and the caller bypasses the
+// cache. All state lives in a caller-provided fixed-size Scratch
+// (generation-stamped open-addressing table, so no per-call clearing),
+// keeping the steady state allocation-free.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/automorphism.hpp"
+
+namespace kgdp::fault {
+
+class FaultCanonicalizer {
+ public:
+  // Orbit-size cap; past this the canonicalizer reports failure.
+  static constexpr std::size_t kMaxOrbit = 4096;
+  // Open-addressing table slots (power of two, load factor <= 1/2).
+  static constexpr std::size_t kTableSize = 2 * kMaxOrbit;
+
+  // Fixed-size BFS scratch, reusable across calls and canonicalizers.
+  // ~128 KiB; embed one per worker, not per solve.
+  struct Scratch {
+    std::uint64_t queue[kMaxOrbit];
+    std::uint64_t key[kTableSize];
+    std::uint32_t stamp[kTableSize] = {};  // generation marks, 0 = free
+    std::uint32_t generation = 0;
+  };
+
+  // `auts` must outlive the canonicalizer. An unusable group (truncated
+  // enumeration or trivial) degrades gracefully: every mask is its own
+  // canonical form, which is correct, just cache-hit-poor.
+  explicit FaultCanonicalizer(const graph::AutomorphismList* auts)
+      : auts_(auts) {}
+
+  // Writes the orbit-minimal mask to *canon and returns true; returns
+  // false (leaving *canon untouched) when the orbit closure exceeds
+  // kMaxOrbit, in which case the caller should skip the cache.
+  bool canonical_mask(std::uint64_t mask, Scratch& scratch,
+                      std::uint64_t* canon) const;
+
+ private:
+  const graph::AutomorphismList* auts_;
+};
+
+}  // namespace kgdp::fault

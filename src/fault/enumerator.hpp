@@ -56,6 +56,13 @@ class FaultEnumerator {
     std::span<const int> nodes() const { return cur_; }
     std::span<const int> removed() const { return removed_; }
     std::span<const int> added() const { return added_; }
+    // Current fault set as a single word (callers on the <= 64-node mask
+    // fast path only). O(k) — fault sets are tiny.
+    std::uint64_t mask64() const {
+      std::uint64_t m = 0;
+      for (int v : cur_) m |= std::uint64_t{1} << v;
+      return m;
+    }
 
    private:
     void diff();

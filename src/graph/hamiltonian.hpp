@@ -74,6 +74,19 @@ class HamiltonianSolver {
                          std::uint64_t ends);
   std::span<const Node> masked_path() const { return stack_; }
 
+  // Heuristic positive-instance engine: a seeded greedy walk with random
+  // rotations (min-degree extension biased away from end-capable nodes,
+  // Pósa rotations on dead ends, endpoint spin-rotations preferring
+  // pivots whose successor lies in `ends`). Never proves absence — it
+  // returns true with a certified-shape path in masked_path(), or false,
+  // in which case callers fall back to the exact solve_masked(). The
+  // walk is deterministic in (rows, allowed, starts, ends, seed), so
+  // verdict streams stay independent of batching and thread schedule.
+  // Allocation-free: fixed 64-entry scratch, path copied into stack_.
+  bool walk_masked(std::span<const std::uint64_t> adj_rows,
+                   std::uint64_t allowed, std::uint64_t starts,
+                   std::uint64_t ends, std::uint64_t seed);
+
   // Total DFS expansions across all calls (for the scaling bench and the
   // solver perf-counter layer).
   std::uint64_t expansions() const { return expansions_total_; }
@@ -121,6 +134,8 @@ class HamiltonianSolver {
   std::vector<int> posa_pos_;
   std::vector<int> posa_pool_;
   std::vector<std::uint32_t> dp_reach_;  // Held–Karp table (cold path)
+  int walk_pos_[64];   // node -> path position (-1 off-path)
+  Node walk_path_[64];
   std::uint64_t expansions_ = 0;
   std::uint64_t expansions_total_ = 0;
 };

@@ -126,7 +126,12 @@ Service::Service(net::EventLoop& loop, net::FrameServer& server,
       server_(server),
       config_(std::move(config)),
       pool_(config_.threads),
-      next_session_(max_checkpoint_session_ordinal(config_.drain_dir) + 1) {}
+      next_session_(max_checkpoint_session_ordinal(config_.drain_dir) + 1) {
+  if (config_.cache_entries > 0) {
+    verdict_cache_ = std::make_unique<verify::VerdictCache>(
+        static_cast<std::size_t>(config_.cache_entries));
+  }
+}
 
 Service::~Service() = default;
 
@@ -464,7 +469,22 @@ void Service::handle_stats(std::uint64_t conn, const std::string& req_id,
   solver["patches"] = solver_retired_.patches;
   solver["rebuilds"] = solver_retired_.rebuilds;
   solver["search_nodes"] = solver_retired_.search_nodes;
+  solver["walk_hits"] = solver_retired_.walk_hits;
+  solver["walk_fallbacks"] = solver_retired_.walk_fallbacks;
   body["solver"] = io::Json(std::move(solver));
+  // Shared verdict-cache totals (global across sessions, live included:
+  // the cache's own counters are atomic). All zero when no cache.
+  io::JsonObject cache;
+  cache["enabled"] = verdict_cache_ != nullptr;
+  cache["capacity"] = static_cast<std::uint64_t>(
+      verdict_cache_ ? verdict_cache_->capacity() : 0);
+  const verify::VerdictCacheStats cs =
+      verdict_cache_ ? verdict_cache_->stats() : verify::VerdictCacheStats{};
+  cache["hits"] = cs.hits;
+  cache["misses"] = cs.misses;
+  cache["inserts"] = cs.inserts;
+  cache["evictions"] = cs.evictions;
+  body["cache"] = io::Json(std::move(cache));
   body["draining"] = draining_;
   if (!config_.metrics_path.empty()) {
     std::ofstream out(config_.metrics_path, std::ios::app);
@@ -631,6 +651,7 @@ void Service::schedule_session_work(Session& s) {
                                      " k=" + std::to_string(cp.k));
           }
           sp->sg.emplace(std::move(*built));
+          sp->req.options.cache = verdict_cache_.get();
           sp->session =
               std::make_unique<verify::CheckSession>(*sp->sg, sp->req);
           std::istringstream cursor(cp.cursor);
@@ -644,6 +665,7 @@ void Service::schedule_session_work(Session& s) {
                 " k=" + std::to_string(sp->k));
           }
           sp->sg.emplace(std::move(*built));
+          sp->req.options.cache = verdict_cache_.get();
           sp->session =
               std::make_unique<verify::CheckSession>(*sp->sg, sp->req);
         }
@@ -833,6 +855,8 @@ void Service::destroy_session(const std::string& sid) {
     solver_retired_.patches += c.patches;
     solver_retired_.rebuilds += c.rebuilds;
     solver_retired_.search_nodes += c.search_nodes;
+    solver_retired_.walk_hits += c.walk_hits;
+    solver_retired_.walk_fallbacks += c.walk_fallbacks;
   }
   sessions_.erase(sid);
   maybe_finish_drain();

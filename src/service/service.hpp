@@ -37,6 +37,7 @@
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 #include "verify/check_session.hpp"
+#include "verify/verdict_cache.hpp"
 
 namespace kgdp::service {
 
@@ -57,6 +58,10 @@ struct ServiceConfig {
   std::uint64_t session_checkpoint_every = 0;
   // Optional JSONL sink appended on every `stats` request and at drain.
   std::string metrics_path;
+  // Orbit-canonical verdict cache shared across all verify sessions
+  // (entries; 0 = off). Runtime accelerator only: verdicts are
+  // bit-identical with or without it.
+  std::uint64_t cache_entries = 0;
 };
 
 class Service {
@@ -158,6 +163,9 @@ class Service {
   // (any terminal path); surfaced by `stats`. Live sessions are excluded
   // — their workers mutate counters off the loop thread.
   verify::SolverCounters solver_retired_;
+  // Shared verdict cache (cache_entries > 0); sessions hold a raw
+  // pointer, so it outlives them by construction order.
+  std::unique_ptr<verify::VerdictCache> verdict_cache_;
   std::uint64_t next_req_ = 1;
   // Seeded at construction past any kgdd-s<N>.kgdp* left in drain_dir,
   // so ids — and with them checkpoint paths — never collide with a

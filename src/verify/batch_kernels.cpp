@@ -1,0 +1,66 @@
+#include "verify/batch_kernels.hpp"
+
+#include "verify/batch_kernels_impl.hpp"
+
+namespace kgdp::verify::detail {
+
+void batch_setup_w1(const std::uint64_t* rows, int n, std::uint64_t proc_mask,
+                    std::uint64_t input_mask, std::uint64_t output_mask,
+                    const std::uint64_t* fault_masks, std::size_t count,
+                    LaneSetup* out) {
+  run_batch_setup<1>(rows, n, proc_mask, input_mask, output_mask, fault_masks,
+                     count, out);
+}
+
+void batch_setup_w2(const std::uint64_t* rows, int n, std::uint64_t proc_mask,
+                    std::uint64_t input_mask, std::uint64_t output_mask,
+                    const std::uint64_t* fault_masks, std::size_t count,
+                    LaneSetup* out) {
+  run_batch_setup<2>(rows, n, proc_mask, input_mask, output_mask, fault_masks,
+                     count, out);
+}
+
+void batch_setup_w4(const std::uint64_t* rows, int n, std::uint64_t proc_mask,
+                    std::uint64_t input_mask, std::uint64_t output_mask,
+                    const std::uint64_t* fault_masks, std::size_t count,
+                    LaneSetup* out) {
+  run_batch_setup<4>(rows, n, proc_mask, input_mask, output_mask, fault_masks,
+                     count, out);
+}
+
+void batch_setup_w8(const std::uint64_t* rows, int n, std::uint64_t proc_mask,
+                    std::uint64_t input_mask, std::uint64_t output_mask,
+                    const std::uint64_t* fault_masks, std::size_t count,
+                    LaneSetup* out) {
+  run_batch_setup<8>(rows, n, proc_mask, input_mask, output_mask, fault_masks,
+                     count, out);
+}
+
+namespace {
+
+bool cpu_has_avx2() {
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+BatchKernel select_batch_kernel(int lanes) {
+  switch (lanes) {
+    case 1: return {&batch_setup_w1, 1, "scalar"};
+    case 2: return {&batch_setup_w2, 2, "w2"};
+    case 4: return {&batch_setup_w4, 4, "w4"};
+    case 8: return {&batch_setup_w8, 8, "w8"};
+    default: break;  // 0 or invalid: auto
+  }
+  if (const BatchSetupFn avx2 = batch_setup_avx2();
+      avx2 != nullptr && cpu_has_avx2()) {
+    return {avx2, 8, "avx2"};
+  }
+  return {&batch_setup_w4, 4, "w4"};
+}
+
+}  // namespace kgdp::verify::detail

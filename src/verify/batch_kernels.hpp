@@ -1,0 +1,74 @@
+// Lane-parallel batch setup for the mask fast path. Solving a batch of B
+// fault sets splits into (a) a data-parallel phase — per lane, derive the
+// healthy-processor set and the legal start/end endpoint masks from the
+// BitAdjacency rows — and (b) the per-lane Hamiltonian search. Phase (a)
+// is pure word arithmetic over identical control flow, so it runs W fault
+// masks per pass with the lane loop unrolled W-wide: the portable kernels
+// below auto-vectorize, and a separate -mavx2 translation unit provides
+// an AVX2-compiled instantiation selected at runtime. All kernels compute
+// bit-identical LaneSetup values — width and ISA choice can never change
+// a verdict — so tests force each width and diff the streams.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace kgdp::verify::detail {
+
+// Per-lane solve inputs derived from one fault mask (original id space):
+// healthy processors, healthy input/output terminals, and the endpoint
+// sets (healthy processors adjacent to a healthy input resp. output).
+struct LaneSetup {
+  std::uint64_t keep = 0;
+  std::uint64_t in_ok = 0;
+  std::uint64_t out_ok = 0;
+  std::uint64_t starts = 0;
+  std::uint64_t ends = 0;
+};
+
+// Fills out[0..count) from fault_masks[0..count) against the rows of an
+// n-node (n <= 64) graph with the given role masks. Tail lanes (count
+// not a multiple of the kernel width) are handled internally.
+using BatchSetupFn = void (*)(const std::uint64_t* rows, int n,
+                              std::uint64_t proc_mask,
+                              std::uint64_t input_mask,
+                              std::uint64_t output_mask,
+                              const std::uint64_t* fault_masks,
+                              std::size_t count, LaneSetup* out);
+
+// Portable kernels, one per lane width.
+void batch_setup_w1(const std::uint64_t* rows, int n, std::uint64_t proc_mask,
+                    std::uint64_t input_mask, std::uint64_t output_mask,
+                    const std::uint64_t* fault_masks, std::size_t count,
+                    LaneSetup* out);
+void batch_setup_w2(const std::uint64_t* rows, int n, std::uint64_t proc_mask,
+                    std::uint64_t input_mask, std::uint64_t output_mask,
+                    const std::uint64_t* fault_masks, std::size_t count,
+                    LaneSetup* out);
+void batch_setup_w4(const std::uint64_t* rows, int n, std::uint64_t proc_mask,
+                    std::uint64_t input_mask, std::uint64_t output_mask,
+                    const std::uint64_t* fault_masks, std::size_t count,
+                    LaneSetup* out);
+void batch_setup_w8(const std::uint64_t* rows, int n, std::uint64_t proc_mask,
+                    std::uint64_t input_mask, std::uint64_t output_mask,
+                    const std::uint64_t* fault_masks, std::size_t count,
+                    LaneSetup* out);
+
+// The AVX2-compiled width-8 instantiation, or nullptr when the build
+// could not compile it (non-x86 target or a compiler without -mavx2).
+BatchSetupFn batch_setup_avx2();
+
+// A selected kernel plus its effective width and a display name.
+struct BatchKernel {
+  BatchSetupFn fn = nullptr;
+  int width = 1;
+  const char* name = "scalar";
+};
+
+// Runtime dispatch. `lanes` forces a portable width (1, 2, 4, 8 — the
+// differential fuzz sweeps these); 0 = auto, which picks the AVX2 kernel
+// when both the build and the CPU support it and the portable width-4
+// kernel otherwise. Invalid widths fall back to auto.
+BatchKernel select_batch_kernel(int lanes);
+
+}  // namespace kgdp::verify::detail

@@ -1,0 +1,38 @@
+// AVX2-compiled instantiation of the batch setup kernel. This TU is the
+// only one built with -mavx2 (see src/CMakeLists.txt), so the vector code
+// stays behind the runtime __builtin_cpu_supports dispatch in
+// select_batch_kernel() and the rest of the library remains baseline-ISA.
+// When the build cannot target AVX2 the stub below reports that by
+// returning nullptr and dispatch falls back to the portable kernels.
+#include "verify/batch_kernels.hpp"
+
+#if defined(__AVX2__)
+#include "verify/batch_kernels_impl.hpp"
+#endif
+
+namespace kgdp::verify::detail {
+
+#if defined(__AVX2__)
+
+namespace {
+
+void batch_setup_avx2_w8(const std::uint64_t* rows, int n,
+                         std::uint64_t proc_mask, std::uint64_t input_mask,
+                         std::uint64_t output_mask,
+                         const std::uint64_t* fault_masks, std::size_t count,
+                         LaneSetup* out) {
+  run_batch_setup<8>(rows, n, proc_mask, input_mask, output_mask, fault_masks,
+                     count, out);
+}
+
+}  // namespace
+
+BatchSetupFn batch_setup_avx2() { return &batch_setup_avx2_w8; }
+
+#else
+
+BatchSetupFn batch_setup_avx2() { return nullptr; }
+
+#endif
+
+}  // namespace kgdp::verify::detail

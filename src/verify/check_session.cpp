@@ -13,6 +13,7 @@
 #include "graph/automorphism.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
+#include "verify/verdict_cache.hpp"
 
 namespace kgdp::verify {
 
@@ -33,6 +34,25 @@ class Fnv64 {
  private:
   std::uint64_t h_ = 0xcbf29ce484222325ULL;
 };
+
+// Graph-only fingerprint (roles + edges) scoping verdict-cache entries:
+// two sessions over the same graph share cache entries regardless of
+// mode, max_faults, or sharding, because the verdict for a fault set is
+// a function of the graph alone.
+std::uint64_t graph_fingerprint(const kgd::SolutionGraph& sg) {
+  Fnv64 h;
+  h.mix(static_cast<std::uint64_t>(sg.num_nodes()));
+  h.mix(static_cast<std::uint64_t>(sg.n()));
+  h.mix(static_cast<std::uint64_t>(sg.k()));
+  for (int v = 0; v < sg.num_nodes(); ++v) {
+    h.mix(static_cast<std::uint64_t>(sg.role(v)));
+  }
+  for (auto [u, v] : sg.graph().edges()) {
+    h.mix((static_cast<std::uint64_t>(u) << 32) |
+          static_cast<std::uint32_t>(v));
+  }
+  return h.value();
+}
 
 // Everything a cursor must be bound to: the graph (roles + edges decide
 // both the verdict and the automorphism group), the request semantics,
@@ -65,8 +85,10 @@ SolverOptions solver_options(const CheckOptions& opts) {
   SolverOptions s;
   s.ham.dfs_budget = opts.dfs_budget;
   // The sweep only consumes the verdict; skipping Pipeline
-  // materialisation keeps the steady-state solve path allocation-free.
+  // materialisation keeps the steady-state solve path allocation-free
+  // (and routes solves through the walk-first verdict core).
   s.want_pipeline = false;
+  s.batch_lanes = opts.lanes;
   return s;
 }
 
@@ -98,10 +120,34 @@ std::uint64_t read_u64(std::istream& in, const char* keyword) {
 // the enumeration delta instead of rebuilding the fault view (exhaustive
 // mode only — sampled mode draws fault sets, so `sweep` stays empty).
 struct CheckSession::Worker {
+  // Where a gathered slot's verdict comes from / goes to.
+  enum Route : std::uint8_t {
+    kSolveOnly,      // solve; no cache (off, or canonicalization bypassed)
+    kSolveAndStore,  // cache miss: solve, then insert under `keys`
+    kFromCache,      // cache hit: `statuses` already holds the verdict
+  };
+
   PipelineSolver solver;
   std::optional<fault::OrbitEnumerator::Sweep> sweep;
   double solve_seconds = 0.0;
-  explicit Worker(const SolverOptions& o) : solver(o) {}
+  // Batched-sweep gather buffers: parallel arrays over the slots of one
+  // block, plus the compacted mask/status arrays handed to solve_batch.
+  // Reserved to the batch size once, so the steady state stays
+  // allocation-free.
+  std::vector<std::uint64_t> slots, masks, keys, solve_masks;
+  std::vector<SolveStatus> statuses, solve_statuses;
+  std::vector<std::uint8_t> routes;
+  fault::FaultCanonicalizer::Scratch canon_scratch;
+
+  Worker(const SolverOptions& o, std::uint32_t batch) : solver(o) {
+    slots.reserve(batch);
+    masks.reserve(batch);
+    keys.reserve(batch);
+    solve_masks.reserve(batch);
+    statuses.reserve(batch);
+    solve_statuses.reserve(batch);
+    routes.reserve(batch);
+  }
 };
 
 std::pair<std::uint64_t, std::uint64_t> CheckSession::shard_range(
@@ -122,14 +168,22 @@ CheckSession::CheckSession(const kgd::SolutionGraph& sg,
   }
   const unsigned num_workers =
       req_.options.pool ? req_.options.pool->thread_count() : 1;
+  // Verdict-cache keys need the automorphism group (orbit-canonical
+  // masks) and a graph-scoped fingerprint; both only on the mask fast
+  // path, where fault sets are single words.
+  const bool want_cache =
+      req_.options.cache != nullptr && sg_.num_nodes() <= 64;
+  const std::uint32_t batch = std::max<std::uint32_t>(1, req_.options.batch);
   if (req_.mode == CheckMode::kExhaustive) {
-    const graph::AutomorphismList autos =
-        req_.options.prune == PruneMode::kAuto
-            ? graph::solution_automorphisms(sg_)
-            : graph::AutomorphismList{};
+    if (req_.options.prune == PruneMode::kAuto || want_cache) {
+      cache_autos_ = graph::solution_automorphisms(sg_);
+    }
+    static const graph::AutomorphismList kNoAutos{};
+    const graph::AutomorphismList& orbit_autos =
+        req_.options.prune == PruneMode::kAuto ? cache_autos_ : kNoAutos;
     orbits_ = std::make_unique<fault::OrbitEnumerator>(
-        sg_.num_nodes(), req_.max_faults, autos);
-    automorphism_order_ = orbits_->pruned() ? autos.order : 1;
+        sg_.num_nodes(), req_.max_faults, orbit_autos);
+    automorphism_order_ = orbits_->pruned() ? cache_autos_.order : 1;
     std::tie(begin_, end_) =
         shard_range(orbits_->num_orbits(), req_.shard_index, req_.shard_count);
     next_ = begin_;
@@ -139,7 +193,7 @@ CheckSession::CheckSession(const kgd::SolutionGraph& sg,
     workers_.reserve(num_workers);
     for (unsigned w = 0; w < num_workers; ++w) {
       workers_.push_back(
-          std::make_unique<Worker>(solver_options(req_.options)));
+          std::make_unique<Worker>(solver_options(req_.options), batch));
       workers_.back()->sweep.emplace(*orbits_);
     }
     done_ = next_ == end_;
@@ -151,8 +205,14 @@ CheckSession::CheckSession(const kgd::SolutionGraph& sg,
     }
     adversarial_ = fault::adversarial_suite(sg_, req_.max_faults);
     rng_ = util::Rng(req_.seed);
-    workers_.push_back(std::make_unique<Worker>(solver_options(req_.options)));
+    if (want_cache) cache_autos_ = graph::solution_automorphisms(sg_);
+    workers_.push_back(
+        std::make_unique<Worker>(solver_options(req_.options), batch));
     done_ = items_total() == 0;
+  }
+  if (want_cache) {
+    canon_.emplace(&cache_autos_);
+    graph_fp_ = graph_fingerprint(sg_);
   }
   fingerprint_ = session_fingerprint(sg_, req_, orbits_.get());
 }
@@ -194,6 +254,8 @@ void CheckSession::advance_exhaustive(std::uint64_t max_items) {
   // between chunks captures a consistent state.
   std::atomic<std::uint64_t> best{best_};
   std::atomic<std::uint64_t> covered{0}, solved{0}, unknowns{0};
+  std::atomic<std::uint64_t> c_hits{0}, c_misses{0}, c_inserts{0},
+      c_evictions{0};
 
   auto run_item = [&](std::uint64_t offset, unsigned worker) {
     const std::uint64_t slot = chunk_begin + offset;
@@ -233,7 +295,113 @@ void CheckSession::advance_exhaustive(std::uint64_t max_items) {
     }
   };
 
-  if (req_.options.pool && chunk > 1) {
+  // Batched sweep: gather a block of contiguous colex slots (the sweep
+  // shim emits one fault mask per step), consult the verdict cache where
+  // attached, hand the rest to the solver in one lane-parallel pass, and
+  // fold counters in slot order. Counting truncates at the first failure
+  // exactly where the per-item path's cheap skip stops, so covered /
+  // solved / unknowns and the counterexample index are bit-identical to
+  // batch == 1; only the solver's own work counters may run up to a
+  // block past a counterexample (same class of overshoot as stealing).
+  const std::uint32_t batch = std::max<std::uint32_t>(1, req_.options.batch);
+  const bool batched = batch > 1 && sg_.num_nodes() <= 64;
+  VerdictCache* cache = canon_.has_value() ? req_.options.cache : nullptr;
+
+  auto run_block = [&](std::uint64_t block, unsigned worker) {
+    Worker& ctx = *workers_[worker];
+    const std::uint64_t lo = chunk_begin + block * batch;
+    const std::uint64_t hi = std::min(chunk_begin + chunk, lo + batch);
+    fault::OrbitEnumerator::Sweep& sweep = *ctx.sweep;
+    const util::Timer timer;
+    ctx.slots.clear();
+    ctx.masks.clear();
+    ctx.keys.clear();
+    ctx.routes.clear();
+    ctx.statuses.clear();
+    for (std::uint64_t slot = lo; slot < hi; ++slot) {
+      if (orbits_->rep_index(slot) > best.load(std::memory_order_acquire)) {
+        continue;  // cheap skip, as in run_item
+      }
+      if (sweep.positioned() && sweep.slot() + 1 == slot) {
+        sweep.advance();
+      } else {
+        sweep.seek(slot);
+      }
+      const std::uint64_t mask = sweep.mask64();
+      std::uint8_t route = Worker::kSolveOnly;
+      std::uint64_t key = 0;
+      SolveStatus status = SolveStatus::kUnknown;
+      if (cache != nullptr &&
+          canon_->canonical_mask(mask, ctx.canon_scratch, &key)) {
+        if (const auto hit = cache->lookup(graph_fp_, key)) {
+          route = Worker::kFromCache;
+          status = *hit;
+          c_hits.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          route = Worker::kSolveAndStore;
+          c_misses.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      ctx.slots.push_back(slot);
+      ctx.masks.push_back(mask);
+      ctx.keys.push_back(key);
+      ctx.routes.push_back(route);
+      ctx.statuses.push_back(status);
+    }
+    ctx.solve_masks.clear();
+    for (std::size_t i = 0; i < ctx.slots.size(); ++i) {
+      if (ctx.routes[i] != Worker::kFromCache) {
+        ctx.solve_masks.push_back(ctx.masks[i]);
+      }
+    }
+    if (!ctx.solve_masks.empty()) {
+      ctx.solve_statuses.resize(ctx.solve_masks.size());
+      ctx.solver.solve_batch(sg_, ctx.solve_masks, ctx.solve_statuses);
+    }
+    ctx.solve_seconds += timer.seconds();
+    std::size_t sidx = 0;
+    for (std::size_t i = 0; i < ctx.slots.size(); ++i) {
+      const std::uint64_t slot = ctx.slots[i];
+      const bool from_cache = ctx.routes[i] == Worker::kFromCache;
+      SolveStatus status;
+      if (from_cache) {
+        status = ctx.statuses[i];
+      } else {
+        status = ctx.solve_statuses[sidx++];
+        if (ctx.routes[i] == Worker::kSolveAndStore &&
+            status != SolveStatus::kUnknown) {
+          c_inserts.fetch_add(1, std::memory_order_relaxed);
+          if (cache->insert(graph_fp_, ctx.keys[i], status)) {
+            c_evictions.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+      covered.fetch_add(orbits_->orbit_size(slot), std::memory_order_relaxed);
+      if (!from_cache) solved.fetch_add(1, std::memory_order_relaxed);
+      if (status == SolveStatus::kFound) continue;
+      if (status == SolveStatus::kUnknown) {
+        unknowns.fetch_add(1, std::memory_order_relaxed);
+      }
+      const std::uint64_t index = orbits_->rep_index(slot);
+      std::uint64_t cur = best.load(std::memory_order_relaxed);
+      while (index < cur && !best.compare_exchange_weak(
+                                cur, index, std::memory_order_acq_rel)) {
+      }
+      break;  // later block slots would all cheap-skip; stop counting
+    }
+  };
+
+  if (batched) {
+    const std::uint64_t num_blocks = (chunk + batch - 1) / batch;
+    if (req_.options.pool && num_blocks > 1) {
+      const util::StealStats stats =
+          util::parallel_for_stealing(*req_.options.pool, num_blocks,
+                                      run_block);
+      steal_count_ += stats.steals;
+    } else {
+      for (std::uint64_t b = 0; b < num_blocks; ++b) run_block(b, 0);
+    }
+  } else if (req_.options.pool && chunk > 1) {
     const util::StealStats stats =
         util::parallel_for_stealing(*req_.options.pool, chunk, run_item);
     steal_count_ += stats.steals;
@@ -244,6 +412,10 @@ void CheckSession::advance_exhaustive(std::uint64_t max_items) {
   covered_ += covered.load();
   solved_ += solved.load();
   unknowns_ += unknowns.load();
+  cache_hits_ += c_hits.load();
+  cache_misses_ += c_misses.load();
+  cache_inserts_ += c_inserts.load();
+  cache_evictions_ += c_evictions.load();
   best_ = best.load();
   next_ = chunk_begin + chunk;
   // Representatives are index-ascending, so once a failure is recorded
@@ -255,6 +427,7 @@ void CheckSession::advance_exhaustive(std::uint64_t max_items) {
 
 void CheckSession::advance_sampled(std::uint64_t max_items) {
   Worker& ctx = *workers_[0];
+  VerdictCache* cache = canon_.has_value() ? req_.options.cache : nullptr;
   const std::uint64_t total = items_total();
   const std::uint64_t stop =
       max_items >= total - next_item_ ? total : next_item_ + max_items;
@@ -268,12 +441,39 @@ void CheckSession::advance_sampled(std::uint64_t max_items) {
                   fault::FaultPolicy::kUniform, rng_);
     ++next_item_;
     ++covered_;
-    ++solved_;
     const util::Timer timer;
-    const SolveOutcome out = ctx.solver.solve(sg_, fs);
+    // Probe the verdict cache under the orbit-canonical key. A hit is
+    // exact: an isomorphic fault set has the same verdict, and if that
+    // verdict is negative then `fs` itself is a genuine counterexample.
+    SolveStatus status;
+    bool from_cache = false;
+    bool have_key = false;
+    std::uint64_t key = 0;
+    if (cache != nullptr) {
+      const std::uint64_t mask =
+          fs.mask().words().empty() ? 0 : fs.mask().words()[0];
+      have_key = canon_->canonical_mask(mask, ctx.canon_scratch, &key);
+      if (have_key) {
+        if (const auto hit = cache->lookup(graph_fp_, key)) {
+          ++cache_hits_;
+          status = *hit;
+          from_cache = true;
+        } else {
+          ++cache_misses_;
+        }
+      }
+    }
+    if (!from_cache) {
+      ++solved_;
+      status = ctx.solver.solve(sg_, fs).status;
+      if (have_key && status != SolveStatus::kUnknown) {
+        ++cache_inserts_;
+        if (cache->insert(graph_fp_, key, status)) ++cache_evictions_;
+      }
+    }
     ctx.solve_seconds += timer.seconds();
-    if (out.status == SolveStatus::kFound) continue;
-    if (out.status == SolveStatus::kUnknown) ++unknowns_;
+    if (status == SolveStatus::kFound) continue;
+    if (status == SolveStatus::kUnknown) ++unknowns_;
     sample_failed_ = true;
     sample_counterexample_ = fs;
     done_ = true;
@@ -287,12 +487,16 @@ SolverCounters CheckSession::solver_totals() const {
   t.patches = base_patches_;
   t.rebuilds = base_rebuilds_;
   t.search_nodes = base_search_nodes_;
+  t.walk_hits = base_walk_hits_;
+  t.walk_fallbacks = base_walk_fallbacks_;
   for (const auto& w : workers_) {
     const SolverCounters c = w->solver.counters();
     t.solves += c.solves;
     t.patches += c.patches;
     t.rebuilds += c.rebuilds;
     t.search_nodes += c.search_nodes;
+    t.walk_hits += c.walk_hits;
+    t.walk_fallbacks += c.walk_fallbacks;
     t.scratch_bytes += c.scratch_bytes;
   }
   return t;
@@ -308,6 +512,12 @@ CheckResult CheckSession::result() const {
   res.solver_rebuilds = sc.rebuilds;
   res.solver_search_nodes = sc.search_nodes;
   res.solver_scratch_bytes = sc.scratch_bytes;
+  res.solver_walk_hits = sc.walk_hits;
+  res.solver_walk_fallbacks = sc.walk_fallbacks;
+  res.cache_hits = cache_hits_;
+  res.cache_misses = cache_misses_;
+  res.cache_inserts = cache_inserts_;
+  res.cache_evictions = cache_evictions_;
   if (req_.mode == CheckMode::kExhaustive) {
     res.orbits_pruned = pruned_in_shard_;
     res.automorphism_order = automorphism_order_;
@@ -333,7 +543,7 @@ CheckResult CheckSession::result() const {
 }
 
 void CheckSession::save(std::ostream& out) const {
-  out << "kgdp-check-cursor 2\n";
+  out << "kgdp-check-cursor 3\n";
   out << "fingerprint " << fingerprint_ << '\n';
   out << "pos "
       << (req_.mode == CheckMode::kExhaustive ? next_ : next_item_) << '\n';
@@ -342,10 +552,14 @@ void CheckSession::save(std::ostream& out) const {
   out << "unknowns " << unknowns_ << '\n';
   // v2: cumulative solver engine counters, so a resumed run reports
   // totals rather than since-resume values (scratch_bytes is a live
-  // gauge and is deliberately not persisted).
+  // gauge and is deliberately not persisted). v3 appends the walk-engine
+  // split and a verdict-cache traffic line.
   const SolverCounters sc = solver_totals();
   out << "solver " << sc.patches << ' ' << sc.rebuilds << ' '
-      << sc.search_nodes << '\n';
+      << sc.search_nodes << ' ' << sc.walk_hits << ' ' << sc.walk_fallbacks
+      << '\n';
+  out << "cache " << cache_hits_ << ' ' << cache_misses_ << ' '
+      << cache_inserts_ << ' ' << cache_evictions_ << '\n';
   if (req_.mode == CheckMode::kExhaustive) {
     out << "best " << best_ << '\n';
     out << "steals " << steal_count_ << '\n';
@@ -375,7 +589,7 @@ void CheckSession::save(std::ostream& out) const {
 void CheckSession::restore(std::istream& in) {
   expect_keyword(in, "kgdp-check-cursor");
   int version = 0;
-  if (!(in >> version) || version < 1 || version > 2) {
+  if (!(in >> version) || version < 1 || version > 3) {
     throw std::runtime_error("check cursor: unsupported version");
   }
   const std::uint64_t fp = read_u64(in, "fingerprint");
@@ -389,13 +603,26 @@ void CheckSession::restore(std::istream& in) {
   solved_ = read_u64(in, "solved");
   unknowns_ = read_u64(in, "unknowns");
   // Solver counters: restored totals become the base; live worker
-  // counters restart from zero (v1 cursors predate the counters).
+  // counters restart from zero (v1 cursors predate the counters, v2
+  // cursors predate the walk split and cache line).
   for (auto& w : workers_) w->solver.reset_counters();
   base_patches_ = base_rebuilds_ = base_search_nodes_ = 0;
+  base_walk_hits_ = base_walk_fallbacks_ = 0;
+  cache_hits_ = cache_misses_ = cache_inserts_ = cache_evictions_ = 0;
   if (version >= 2) {
     expect_keyword(in, "solver");
     if (!(in >> base_patches_ >> base_rebuilds_ >> base_search_nodes_)) {
       throw std::runtime_error("check cursor: bad solver counters");
+    }
+    if (version >= 3) {
+      if (!(in >> base_walk_hits_ >> base_walk_fallbacks_)) {
+        throw std::runtime_error("check cursor: bad walk counters");
+      }
+      expect_keyword(in, "cache");
+      if (!(in >> cache_hits_ >> cache_misses_ >> cache_inserts_ >>
+            cache_evictions_)) {
+        throw std::runtime_error("check cursor: bad cache counters");
+      }
     }
   }
   if (req_.mode == CheckMode::kExhaustive) {

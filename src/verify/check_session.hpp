@@ -22,7 +22,9 @@
 #include <utility>
 #include <vector>
 
+#include "fault/canonical.hpp"
 #include "fault/orbit_enumerator.hpp"
+#include "graph/automorphism.hpp"
 #include "kgd/labeled_graph.hpp"
 #include "util/rng.hpp"
 #include "verify/checker.hpp"
@@ -111,6 +113,17 @@ class CheckSession {
   std::uint64_t fingerprint_ = 0;
   bool done_ = false;
 
+  // Verdict-cache plumbing (only populated when options.cache != nullptr
+  // and the graph fits the mask fast path): the label-respecting
+  // automorphism group backs orbit-canonical cache keys, and graph_fp_
+  // scopes entries to this graph so one cache serves many instances.
+  std::uint64_t graph_fp_ = 0;
+  graph::AutomorphismList cache_autos_;
+  std::optional<fault::FaultCanonicalizer> canon_;
+  // Session-local cache traffic (the cache's own stats are global).
+  std::uint64_t cache_hits_ = 0, cache_misses_ = 0, cache_inserts_ = 0,
+      cache_evictions_ = 0;
+
   // Exhaustive state.
   std::unique_ptr<fault::OrbitEnumerator> orbits_;
   std::uint64_t automorphism_order_ = 1;
@@ -132,6 +145,7 @@ class CheckSession {
   // Solver counters restored from a cursor; live worker counters are
   // added on top (see solver_totals()).
   std::uint64_t base_patches_ = 0, base_rebuilds_ = 0, base_search_nodes_ = 0;
+  std::uint64_t base_walk_hits_ = 0, base_walk_fallbacks_ = 0;
 };
 
 // Merges per-shard results of a deterministically partitioned exhaustive

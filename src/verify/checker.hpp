@@ -57,6 +57,18 @@ struct CheckResult {
   std::uint64_t solver_rebuilds = 0;     // full fault-view rebuilds
   std::uint64_t solver_search_nodes = 0; // Hamiltonian DFS expansions
   std::uint64_t solver_scratch_bytes = 0;// retained solver scratch (gauge)
+  // Verdict-mode walk engine split: verdicts settled by the heuristic
+  // walk vs decided by the exact search after a walk miss.
+  std::uint64_t solver_walk_hits = 0;
+  std::uint64_t solver_walk_fallbacks = 0;
+  // Verdict-cache traffic attributable to this session (all 0 when no
+  // cache was attached). A hit certifies without a solve, so with a
+  // cache fault_sets_solved counts only the actual solver invocations:
+  // checked == solved + orbits_pruned + cache_hits on a completed sweep.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_inserts = 0;
+  std::uint64_t cache_evictions = 0;
 };
 
 // Symmetry handling for the exhaustive checker.
@@ -65,12 +77,32 @@ enum class PruneMode {
   kOff,   // always enumerate the full fault-set space
 };
 
+class VerdictCache;  // verify/verdict_cache.hpp
+
 struct CheckOptions {
   // Give the DFS this much budget before the exact DP fallback.
   std::uint64_t dfs_budget = 1u << 20;
   // Optional pool; nullptr = run sequentially on the calling thread.
   util::ThreadPool* pool = nullptr;
   PruneMode prune = PruneMode::kAuto;
+  // Fault sets handed to the solver per batched pass on the <= 64-node
+  // fast path: the exhaustive sweep gathers contiguous colex runs of
+  // this length and solves them lane-parallel (PipelineSolver::
+  // solve_batch). 1 = legacy per-item path. Verdicts and counterexample
+  // indices are bit-identical either way; on a failing run the batched
+  // sweep may do (and report) up to batch-1 extra solver invocations
+  // past the counterexample, like the work-stealing parallel sweep.
+  std::uint32_t batch = 64;
+  // Lane width for the batch setup kernel: 1/2/4/8 force a portable
+  // width, 0 = auto (AVX2 when built and the CPU has it). Any width is
+  // bit-identical; perf knob only.
+  int lanes = 0;
+  // Optional shared orbit-canonical verdict cache (owned by the caller;
+  // must outlive the session). Consulted by sampled sessions and by the
+  // batched exhaustive sweep so isomorphic instances are never re-solved
+  // across sessions; nullptr = off. Hits can only replace a solve with
+  // an equal verdict, so results are bit-identical with or without it.
+  VerdictCache* cache = nullptr;
 };
 
 // NOTE: both free functions below are thin wrappers over

@@ -9,8 +9,21 @@ namespace kgdp::verify {
 using graph::Node;
 using kgd::Role;
 
+namespace {
+
+// Walk seed derived purely from the fault mask (splitmix-style mix), so a
+// given (graph, fault set) always walks the same way regardless of batch
+// width, chunking or thread schedule — verdict determinism depends on it.
+inline std::uint64_t walk_seed(std::uint64_t fault_mask) {
+  return fault_mask * 0x9e3779b97f4a7c15ULL + 0x243f6a8885a308d3ULL;
+}
+
+}  // namespace
+
 PipelineSolver::PipelineSolver(SolverOptions opts)
-    : opts_(opts), ham_(opts.ham) {}
+    : opts_(opts),
+      ham_(opts.ham),
+      kernel_(detail::select_batch_kernel(opts.batch_lanes)) {}
 
 // Rebuilds the cached adjacency/role view when the graph identity
 // changed. Identity is (address, node count, edge count): enough to catch
@@ -111,11 +124,85 @@ SolveOutcome PipelineSolver::patch(const SolutionGraph& sg,
   return solve_general(sg);
 }
 
+void PipelineSolver::solve_batch(const SolutionGraph& sg,
+                                 std::span<const std::uint64_t> fault_masks,
+                                 std::span<SolveStatus> out_status) {
+  assert(out_status.size() >= fault_masks.size());
+  if (fault_masks.empty()) return;
+  bind_if_needed(sg);
+  assert(small_ && "solve_batch requires the <= 64-node mask fast path");
+  // One rebuild for the head lane plus a patch per further lane keeps the
+  // patches + rebuilds == solves invariant intact under batching.
+  ++ctr_.rebuilds;
+  ctr_.patches += fault_masks.size() - 1;
+  lane_setup_.resize(fault_masks.size());
+  kernel_.fn(adj_.rows64().data(), bound_nodes_, proc_mask_, input_mask_,
+             output_mask_, fault_masks.data(), fault_masks.size(),
+             lane_setup_.data());
+  for (std::size_t i = 0; i < fault_masks.size(); ++i) {
+    out_status[i] = solve_lane(lane_setup_[i], fault_masks[i]);
+  }
+  // Leave the fault view at the last lane so a subsequent patch()
+  // continues the colex delta stream from there.
+  fault_mask_ = fault_masks.back();
+  have_faults_ = true;
+}
+
+// Shared verdict core for the mask fast path: one lane's setup in, a
+// verdict out. Walk-first — the heuristic rotation walk settles positive
+// instances in a few hundred nanoseconds and its paths are certified like
+// any other; misses (rare: genuinely negative or near-threshold sets)
+// fall through to the exact masked search. Used by solve_batch and by the
+// verdict-only scalar entries, so batched and unbatched runs share one
+// verdict procedure bit for bit.
+SolveStatus PipelineSolver::solve_lane(const detail::LaneSetup& lane,
+                                       std::uint64_t fault_mask) {
+  ++ctr_.solves;
+  const std::span<const std::uint64_t> rows = adj_.rows64();
+  if (lane.keep == 0) {
+    // Only a terminal-terminal edge can carry a pipeline with zero
+    // healthy processors (see solve_fast()).
+    for (std::uint64_t s = lane.in_ok; s; s &= s - 1) {
+      if (rows[std::countr_zero(s)] & lane.out_ok) return SolveStatus::kFound;
+    }
+    return SolveStatus::kNone;
+  }
+  if (!lane.starts || !lane.ends) return SolveStatus::kNone;
+
+  if (ham_.walk_masked(rows, lane.keep, lane.starts, lane.ends,
+                       walk_seed(fault_mask))) {
+    ++ctr_.walk_hits;
+  } else {
+    ++ctr_.walk_fallbacks;
+    const std::uint64_t before = ham_.expansions();
+    const graph::HamResult r =
+        ham_.solve_masked(rows, lane.keep, lane.starts, lane.ends);
+    ctr_.search_nodes += ham_.expansions() - before;
+    if (r == graph::HamResult::kUnknown) return SolveStatus::kUnknown;
+    if (r == graph::HamResult::kNone) return SolveStatus::kNone;
+  }
+  if (opts_.certify &&
+      !certify_fast(ham_.masked_path(), lane.keep, lane.in_ok, lane.out_ok)) {
+    assert(false && "solver produced an invalid pipeline");
+    return SolveStatus::kUnknown;
+  }
+  return SolveStatus::kFound;
+}
+
 // Mask fast path (1 <= n <= 64): the healthy-processor view, endpoint
 // sets and witness terminals are all single-word computations over the
 // BitAdjacency rows; the Hamiltonian search runs masked in the original
 // id space. No heap allocation unless a pipeline object is requested.
+// Verdict-only solves route through the walk-first lane core; pipeline-
+// producing solves keep the deterministic exact search so the returned
+// path matches the reference solver byte for byte.
 SolveOutcome PipelineSolver::solve_fast() {
+  if (!opts_.want_pipeline) {
+    detail::LaneSetup lane;
+    detail::batch_setup_w1(adj_.rows64().data(), bound_nodes_, proc_mask_,
+                           input_mask_, output_mask_, &fault_mask_, 1, &lane);
+    return {solve_lane(lane, fault_mask_), std::nullopt};
+  }
   ++ctr_.solves;
   const std::uint64_t healthy = ~fault_mask_;
   const std::uint64_t keep = proc_mask_ & healthy;
@@ -207,10 +294,11 @@ bool PipelineSolver::certify_fast(std::span<const Node> interior,
     prev = v;
   }
   if (seen != keep) return false;
-  const Node st = start_term_[interior.front()];
-  const Node et = end_term_[interior.back()];
-  return ((healthy_inputs >> st) & 1u) && ((rows[st] >> interior.front()) & 1u) &&
-         ((healthy_outputs >> et) & 1u) && ((rows[et] >> interior.back()) & 1u);
+  // Witness terminals exist iff the path ends see a healthy terminal;
+  // the materialised witness (lowest such neighbor) is then healthy and
+  // adjacent by construction, so the mask test is the whole check.
+  return (rows[interior.front()] & healthy_inputs) != 0 &&
+         (rows[interior.back()] & healthy_outputs) != 0;
 }
 
 // General path (n > 64, outside exhaustive-certification reach): the
@@ -311,7 +399,8 @@ SolverCounters PipelineSolver::counters() const {
     return v.capacity() * sizeof(v[0]);
   };
   c.scratch_bytes = sizeof(*this) + vec_bytes(fault_list_) +
-                    vec_bytes(path_buf_) + vec_bytes(to_sub_) +
+                    vec_bytes(path_buf_) + vec_bytes(lane_setup_) +
+                    vec_bytes(to_sub_) +
                     vec_bytes(to_full_) + vec_bytes(start_term_v_) +
                     vec_bytes(end_term_v_) +
                     fault_bits_.words().capacity() * 8 +

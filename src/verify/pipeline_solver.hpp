@@ -21,9 +21,15 @@
 //     (nodes leaving/entering the fault set) instead of materialised
 //     fault sets; solve()/solve_faults() are the full-rebuild entries
 //     used at chunk boundaries and on discontinuities.
+//   * solve_batch() — lane-parallel verdict mode: the per-fault-set
+//     setup (healthy masks, endpoint sets) for a whole run of fault
+//     masks is computed in one pass by a width-templated kernel
+//     (portable or AVX2, selected at runtime), then each lane is settled
+//     by a walk-first verdict core that certifies heuristic positives
+//     and falls back to the exact search on misses.
 //   * perf counters — solves, patches vs rebuilds, Hamiltonian search
-//     nodes and retained scratch bytes, surfaced through the checker,
-//     campaign telemetry and kgdd stats.
+//     nodes, walk hits vs fallbacks and retained scratch bytes, surfaced
+//     through the checker, campaign telemetry and kgdd stats.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +40,7 @@
 #include "graph/hamiltonian.hpp"
 #include "kgd/labeled_graph.hpp"
 #include "kgd/pipeline.hpp"
+#include "verify/batch_kernels.hpp"
 
 namespace kgdp::verify {
 
@@ -61,7 +68,17 @@ struct SolverOptions {
   // When false, kFound outcomes skip materialising the Pipeline object —
   // the one unavoidable allocation of a positive solve. The exhaustive
   // sweep only consumes the verdict, so the checker turns this off.
+  // Verdict-only mode also unlocks the walk-first engine: a heuristic
+  // rotation walk settles the (overwhelmingly common) positive instances
+  // and the exact search runs only on walk misses. Verdicts stay exact —
+  // every walk path is certified, negatives always reach the full search —
+  // but the interior path differs from the deterministic search's, which
+  // is why pipeline-producing solves keep the classic engine.
   bool want_pipeline = true;
+  // Lane width for solve_batch's setup kernel: 1/2/4/8 force a portable
+  // width, 0 picks AVX2 when available (see select_batch_kernel). Any
+  // width computes bit-identical setups; this is a perf knob only.
+  int batch_lanes = 0;
 };
 
 // Monotone per-solver counters (reset_counters() zeroes them). Patches
@@ -72,6 +89,8 @@ struct SolverCounters {
   std::uint64_t patches = 0;       // delta-applied fault updates
   std::uint64_t rebuilds = 0;      // full fault-view rebuilds
   std::uint64_t search_nodes = 0;  // Hamiltonian DFS expansions
+  std::uint64_t walk_hits = 0;     // verdicts settled by the walk engine
+  std::uint64_t walk_fallbacks = 0;// walk missed; exact search decided
   std::uint64_t scratch_bytes = 0; // scratch currently retained (gauge)
 };
 
@@ -93,6 +112,18 @@ class PipelineSolver {
                      std::span<const graph::Node> removed,
                      std::span<const graph::Node> added);
 
+  // Lane-parallel batch solve (verdict-only; <= 64-node graphs). Derives
+  // the per-lane healthy/endpoint setups for all fault masks in one
+  // kernel pass (width per SolverOptions::batch_lanes), then settles each
+  // lane through the shared verdict core. Verdicts are bit-identical to
+  // calling solve_faults() on each mask with want_pipeline off, and the
+  // batch counts as one rebuild plus count-1 patches, preserving the
+  // patches + rebuilds == solves invariant. Leaves the fault view at the
+  // last lane so a subsequent patch() continues the delta stream.
+  void solve_batch(const SolutionGraph& sg,
+                   std::span<const std::uint64_t> fault_masks,
+                   std::span<SolveStatus> out_status);
+
   // Drops the cached adjacency view; the next solve rebuilds it.
   void rebind() { bound_ = nullptr; }
 
@@ -105,12 +136,15 @@ class PipelineSolver {
   bool bind_if_needed(const SolutionGraph& sg);
   SolveOutcome solve_fast();
   SolveOutcome solve_general(const SolutionGraph& sg);
+  SolveStatus solve_lane(const detail::LaneSetup& lane,
+                         std::uint64_t fault_mask);
   bool certify_fast(std::span<const graph::Node> interior, std::uint64_t keep,
                     std::uint64_t healthy_inputs,
                     std::uint64_t healthy_outputs) const;
 
   SolverOptions opts_;
   graph::HamiltonianSolver ham_;
+  detail::BatchKernel kernel_;
 
   // Bound-graph view (rebuilt when the graph identity changes).
   const SolutionGraph* bound_ = nullptr;
@@ -130,6 +164,7 @@ class PipelineSolver {
   graph::Node start_term_[64];  // witness input terminal per start node
   graph::Node end_term_[64];
   std::vector<graph::Node> path_buf_;
+  std::vector<detail::LaneSetup> lane_setup_;  // solve_batch scratch
   // General (>64 nodes) path scratch; this path still builds an induced
   // subgraph per solve but reuses every mapping buffer.
   util::DynamicBitset keep_, starts_bs_, ends_bs_;

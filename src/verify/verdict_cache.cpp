@@ -1,0 +1,95 @@
+#include "verify/verdict_cache.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace kgdp::verify {
+
+namespace {
+
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+VerdictCache::VerdictCache(std::size_t capacity) {
+  const std::size_t want_sets = (capacity + kWays - 1) / kWays;
+  const std::size_t num_sets = std::bit_ceil(std::max<std::size_t>(1, want_sets));
+  sets_.resize(num_sets);
+  set_mask_ = num_sets - 1;
+}
+
+std::size_t VerdictCache::set_index(std::uint64_t graph_fp,
+                                    std::uint64_t canon_mask) const {
+  return static_cast<std::size_t>(mix64(graph_fp ^ mix64(canon_mask))) &
+         set_mask_;
+}
+
+std::optional<SolveStatus> VerdictCache::lookup(std::uint64_t graph_fp,
+                                                std::uint64_t canon_mask) {
+  const std::size_t si = set_index(graph_fp, canon_mask);
+  {
+    std::lock_guard<std::mutex> lock(stripes_[si & (kStripes - 1)]);
+    const Set& set = sets_[si];
+    for (const Entry& e : set.ways) {
+      if (e.valid && e.fp == graph_fp && e.mask == canon_mask) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return static_cast<SolveStatus>(e.verdict);
+      }
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+bool VerdictCache::insert(std::uint64_t graph_fp, std::uint64_t canon_mask,
+                          SolveStatus verdict) {
+  if (verdict == SolveStatus::kUnknown) return false;
+  const std::size_t si = set_index(graph_fp, canon_mask);
+  std::lock_guard<std::mutex> lock(stripes_[si & (kStripes - 1)]);
+  Set& set = sets_[si];
+  // Refresh in place if the key is already resident (concurrent workers
+  // race to insert the same orbit; verdicts agree, so this is idempotent).
+  for (Entry& e : set.ways) {
+    if (e.valid && e.fp == graph_fp && e.mask == canon_mask) {
+      e.verdict = static_cast<std::uint8_t>(verdict);
+      return false;
+    }
+  }
+  // Prefer a free way; otherwise evict at the round-robin cursor.
+  Entry* victim = nullptr;
+  for (Entry& e : set.ways) {
+    if (!e.valid) {
+      victim = &e;
+      break;
+    }
+  }
+  bool evicted = false;
+  if (victim == nullptr) {
+    victim = &set.ways[set.next];
+    set.next = static_cast<std::uint8_t>((set.next + 1) % kWays);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    evicted = true;
+  }
+  victim->fp = graph_fp;
+  victim->mask = canon_mask;
+  victim->verdict = static_cast<std::uint8_t>(verdict);
+  victim->valid = true;
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  return evicted;
+}
+
+VerdictCacheStats VerdictCache::stats() const {
+  VerdictCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.inserts = inserts_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace kgdp::verify

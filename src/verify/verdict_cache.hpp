@@ -1,0 +1,88 @@
+// Orbit-canonical verdict cache. Keyed by (graph fingerprint, canonical
+// fault mask) — the canonical mask is the orbit-minimal image under the
+// label-respecting automorphism group (fault/canonical.hpp), so every
+// member of an isomorphic family of fault sets shares one entry and no
+// isomorphic instance is ever re-solved. Consulted by sampled campaigns
+// and by kgdd verify sessions (opt-in; exhaustive sweeps already collapse
+// orbits at the enumerator).
+//
+// Shape: set-associative (kWays entries per set, power-of-two sets) with
+// round-robin replacement within a set, so the memory footprint is fixed
+// at construction and lookups are O(kWays). The full 128-bit key is
+// stored per entry — a hit compares fingerprint and mask exactly, never
+// probabilistically, so a collision can not corrupt a verdict. Striped
+// mutexes make the cache safe for concurrent workers; counters are
+// relaxed atomics. kUnknown is never stored: a budget-limited verdict is
+// not a fact about the instance, and caching it could mask a later,
+// better-budgeted answer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "verify/pipeline_solver.hpp"
+
+namespace kgdp::verify {
+
+struct VerdictCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t evictions = 0;
+};
+
+class VerdictCache {
+ public:
+  static constexpr std::size_t kWays = 4;
+
+  // `capacity` is the target entry count; rounded up to a power-of-two
+  // number of sets times kWays (minimum one set). All memory is
+  // allocated here; lookup/insert never allocate.
+  explicit VerdictCache(std::size_t capacity);
+
+  VerdictCache(const VerdictCache&) = delete;
+  VerdictCache& operator=(const VerdictCache&) = delete;
+
+  // Exact-match probe; counts a hit or a miss.
+  std::optional<SolveStatus> lookup(std::uint64_t graph_fp,
+                                    std::uint64_t canon_mask);
+
+  // Stores a kFound/kNone verdict (kUnknown is dropped). Counts an
+  // insert, plus an eviction when a live entry was displaced; returns
+  // true exactly when an eviction happened so callers can keep
+  // session-local eviction counts. Racing inserts of the same key are
+  // benign: verdicts are deterministic, so duplicates agree.
+  bool insert(std::uint64_t graph_fp, std::uint64_t canon_mask,
+              SolveStatus verdict);
+
+  VerdictCacheStats stats() const;
+  std::size_t capacity() const { return sets_.size() * kWays; }
+
+ private:
+  struct Entry {
+    std::uint64_t fp = 0;
+    std::uint64_t mask = 0;
+    std::uint8_t verdict = 0;
+    bool valid = false;
+  };
+  struct Set {
+    Entry ways[kWays];
+    std::uint8_t next = 0;  // round-robin replacement cursor
+  };
+
+  static constexpr std::size_t kStripes = 64;  // power of two
+
+  std::size_t set_index(std::uint64_t graph_fp,
+                        std::uint64_t canon_mask) const;
+
+  std::vector<Set> sets_;
+  std::size_t set_mask_ = 0;
+  mutable std::mutex stripes_[kStripes];
+  std::atomic<std::uint64_t> hits_{0}, misses_{0}, inserts_{0},
+      evictions_{0};
+};
+
+}  // namespace kgdp::verify

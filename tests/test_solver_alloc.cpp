@@ -10,12 +10,14 @@
 #include <atomic>
 #include <cstdlib>
 #include <new>
+#include <vector>
 
 #include "fault/enumerator.hpp"
 #include "kgd/factory.hpp"
 #include "kgd/small_n.hpp"
 #include "verify/check_session.hpp"
 #include "verify/pipeline_solver.hpp"
+#include "verify/verdict_cache.hpp"
 
 namespace {
 
@@ -99,6 +101,58 @@ TEST(SolverAlloc, SteadyStatePatchSweepAllocatesNothing) {
   const SolverCounters c = solver.counters();
   EXPECT_GT(c.scratch_bytes, 0u);
   EXPECT_EQ(c.solves, 2 * en.total());
+}
+
+TEST(SolverAlloc, BatchedSteadyStateAllocatesNothing) {
+  // The lane-parallel batch entry: after one warm-up batch (binds the
+  // graph, sizes the lane-setup scratch), further batches — kernel
+  // setup pass, walk-first verdicts, exact-search fallbacks — must not
+  // touch the heap.
+  const kgd::SolutionGraph sg = kgd::make_g3k(4);
+  SolverOptions opts;
+  opts.want_pipeline = false;
+  PipelineSolver solver(opts);
+
+  std::vector<std::uint64_t> masks;
+  std::vector<SolveStatus> status(64, SolveStatus::kUnknown);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    masks.push_back((i * 0x9e3779b97f4a7c15ULL) &
+                    ((1ull << sg.num_nodes()) - 1) & 0x3ff);
+  }
+  solver.solve_batch(sg, masks, status);  // warm-up
+
+  const std::uint64_t before = g_allocs.load();
+  for (int round = 0; round < 16; ++round) {
+    solver.solve_batch(sg, masks, status);
+  }
+  const std::uint64_t after = g_allocs.load();
+  EXPECT_EQ(after - before, 0u) << "steady-state batch allocated";
+  const SolverCounters c = solver.counters();
+  EXPECT_EQ(c.patches + c.rebuilds, c.solves);
+}
+
+TEST(SolverAlloc, CachedSessionAdvanceIsAllocationFree) {
+  // Full steady-state stack with the verdict cache attached: batched
+  // gather, orbit canonicalization (generation-stamped scratch), cache
+  // probes, and inserts. The warm-up chunk sizes everything; later
+  // chunks — including ones that *hit* the cache — must not allocate.
+  const kgd::SolutionGraph sg = kgd::make_g3k(5);
+  VerdictCache cache(1 << 12);
+  CheckRequest req;
+  req.mode = CheckMode::kExhaustive;
+  req.max_faults = 5;
+  req.options.prune = PruneMode::kOff;  // isomorphic slots -> cache hits
+  req.options.cache = &cache;
+  CheckSession session(sg, req);
+  ASSERT_FALSE(session.advance(128));  // warm-up chunk
+  const std::uint64_t before = g_allocs.load();
+  session.advance(128);
+  session.advance(128);
+  const std::uint64_t after = g_allocs.load();
+  EXPECT_EQ(after - before, 0u) << "cached steady-state advance allocated";
+  // Prune is off, so isomorphic fault sets occupy distinct slots and
+  // the canonical cache collapses them: hits must have happened.
+  EXPECT_GT(session.result().cache_hits, 0u);
 }
 
 TEST(SolverAlloc, SecondCheckSessionAdvanceIsAllocationFree) {

@@ -1,0 +1,202 @@
+// Differential fuzz for the lane-parallel batch solver: random fault-set
+// batches on real construction instances, checked bit-for-bit against
+// find_pipeline_reference and against the unbatched delta-stream path,
+// across every kernel lane width and around batch-size boundaries.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "kgd/factory.hpp"
+#include "util/rng.hpp"
+#include "verify/batch_kernels.hpp"
+#include "verify/pipeline_solver.hpp"
+
+namespace kgdp::verify {
+namespace {
+
+using graph::Node;
+using kgd::FaultSet;
+using kgd::SolutionGraph;
+
+// Instances spanning the shapes the factory produces (spare-path,
+// extension towers, small-k specials), all on the <= 64-node fast path.
+const std::pair<int, int> kInstances[] = {
+    {1, 1}, {2, 3}, {5, 2}, {6, 2}, {6, 3}, {3, 4}, {10, 3}, {14, 3},
+};
+
+std::vector<Node> mask_nodes(std::uint64_t mask) {
+  std::vector<Node> nodes;
+  for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+    nodes.push_back(static_cast<Node>(std::countr_zero(m)));
+  }
+  return nodes;
+}
+
+FaultSet mask_fault_set(const SolutionGraph& sg, std::uint64_t mask) {
+  std::vector<int> nodes;
+  for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+    nodes.push_back(std::countr_zero(m));
+  }
+  return FaultSet(sg.num_nodes(), nodes);
+}
+
+// Random fault mask over the whole node space (processors and terminals
+// alike), between 0 and `max_size` faults.
+std::uint64_t random_mask(util::Rng& rng, int n, int max_size) {
+  const int size = static_cast<int>(rng.next_int(0, max_size));
+  std::uint64_t mask = 0;
+  for (int i = 0; i < size; ++i) {
+    mask |= 1ull << rng.next_below(static_cast<std::uint64_t>(n));
+  }
+  return mask;
+}
+
+SolverOptions verdict_options(int lanes = 0) {
+  SolverOptions o;
+  o.want_pipeline = false;
+  o.batch_lanes = lanes;
+  return o;
+}
+
+TEST(BatchFuzz, AllLaneWidthsMatchReferenceOnRandomBatches) {
+  util::Rng rng(0xba7c4);
+  for (const auto& [n, k] : kInstances) {
+    const auto sg = kgd::build_solution(n, k);
+    ASSERT_TRUE(sg) << "n=" << n << " k=" << k;
+    const int nodes = sg->num_nodes();
+    ASSERT_LE(nodes, 64);
+
+    // One shared batch of random masks; every width must agree with the
+    // reference (and therefore with every other width).
+    std::vector<std::uint64_t> masks;
+    for (int i = 0; i < 96; ++i) {
+      masks.push_back(random_mask(rng, nodes, k + 2));
+    }
+    std::vector<SolveStatus> expected;
+    for (std::uint64_t m : masks) {
+      expected.push_back(
+          find_pipeline_reference(*sg, mask_fault_set(*sg, m)).status);
+    }
+
+    for (int lanes : {1, 2, 4, 8, 0}) {
+      PipelineSolver solver(verdict_options(lanes));
+      std::vector<SolveStatus> got(masks.size(), SolveStatus::kUnknown);
+      solver.solve_batch(*sg, masks, got);
+      for (std::size_t i = 0; i < masks.size(); ++i) {
+        EXPECT_EQ(got[i], expected[i])
+            << "n=" << n << " k=" << k << " lanes=" << lanes << " slot=" << i
+            << " mask=" << masks[i];
+        EXPECT_NE(got[i], SolveStatus::kUnknown);
+      }
+    }
+  }
+}
+
+TEST(BatchFuzz, BatchBoundariesAndTailsMatchUnbatchedStream) {
+  util::Rng rng(0x5eed5);
+  const auto sg = kgd::build_solution(10, 3);
+  ASSERT_TRUE(sg);
+  const int nodes = sg->num_nodes();
+
+  // Batch sizes straddling every kernel width multiple plus ragged
+  // tails: 1..9, W-1 / W / W+1 for the widest kernel, and a large run.
+  for (const std::size_t count :
+       {std::size_t{1}, std::size_t{2}, std::size_t{3}, std::size_t{4},
+        std::size_t{5}, std::size_t{7}, std::size_t{8}, std::size_t{9},
+        std::size_t{15}, std::size_t{16}, std::size_t{17},
+        std::size_t{63}, std::size_t{64}, std::size_t{65}}) {
+    std::vector<std::uint64_t> masks;
+    for (std::size_t i = 0; i < count; ++i) {
+      masks.push_back(random_mask(rng, nodes, 5));
+    }
+
+    // Unbatched oracle: one solver fed the same masks one at a time
+    // through the rebuild entry (the delta-stream equivalent).
+    PipelineSolver unbatched(verdict_options());
+    std::vector<SolveStatus> expected;
+    for (std::uint64_t m : masks) {
+      const auto nodes_list = mask_nodes(m);
+      expected.push_back(unbatched.solve_faults(*sg, nodes_list).status);
+    }
+
+    PipelineSolver solver(verdict_options());
+    std::vector<SolveStatus> got(count, SolveStatus::kUnknown);
+    solver.solve_batch(*sg, masks, got);
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(got[i], expected[i]) << "count=" << count << " slot=" << i;
+    }
+  }
+}
+
+TEST(BatchFuzz, BatchLeavesDeltaStreamContinuable) {
+  // solve_batch leaves the fault view at the last lane; a subsequent
+  // patch() must continue the delta stream as if the batch had been fed
+  // item by item.
+  util::Rng rng(0xde17a);
+  const auto sg = kgd::build_solution(6, 3);
+  ASSERT_TRUE(sg);
+  const int nodes = sg->num_nodes();
+
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::uint64_t> masks;
+    for (int i = 0; i < 5; ++i) masks.push_back(random_mask(rng, nodes, 4));
+    const std::uint64_t next_mask = random_mask(rng, nodes, 4);
+
+    PipelineSolver solver(verdict_options());
+    std::vector<SolveStatus> got(masks.size(), SolveStatus::kUnknown);
+    solver.solve_batch(*sg, masks, got);
+
+    const std::uint64_t last = masks.back();
+    const auto removed = mask_nodes(last & ~next_mask);
+    const auto added = mask_nodes(next_mask & ~last);
+    const auto patched = solver.patch(*sg, removed, added);
+
+    PipelineSolver fresh(verdict_options());
+    const auto oracle = fresh.solve_faults(*sg, mask_nodes(next_mask));
+    EXPECT_EQ(patched.status, oracle.status) << "round=" << round;
+  }
+}
+
+TEST(BatchFuzz, BatchCountersPreserveSolveIdentity) {
+  // One rebuild plus count-1 patches per batch: the
+  // patches + rebuilds == solves identity survives any mix of batch
+  // sizes, exactly as it does for the unbatched delta stream.
+  util::Rng rng(0xc0117);
+  const auto sg = kgd::build_solution(14, 3);
+  ASSERT_TRUE(sg);
+  const int nodes = sg->num_nodes();
+
+  PipelineSolver solver(verdict_options());
+  std::uint64_t fed = 0;
+  for (const std::size_t count : {std::size_t{1}, std::size_t{6},
+                                  std::size_t{64}, std::size_t{13}}) {
+    std::vector<std::uint64_t> masks;
+    for (std::size_t i = 0; i < count; ++i) {
+      masks.push_back(random_mask(rng, nodes, 4));
+    }
+    std::vector<SolveStatus> got(count, SolveStatus::kUnknown);
+    solver.solve_batch(*sg, masks, got);
+    fed += count;
+  }
+  const SolverCounters c = solver.counters();
+  EXPECT_EQ(c.solves, fed);
+  EXPECT_EQ(c.patches + c.rebuilds, c.solves);
+  // Early-exit lanes (no healthy endpoint) settle before the walk runs.
+  EXPECT_LE(c.walk_hits + c.walk_fallbacks, c.solves);
+}
+
+TEST(BatchFuzz, KernelSelectionHonoursForcedWidths) {
+  for (int lanes : {1, 2, 4, 8}) {
+    const detail::BatchKernel k = detail::select_batch_kernel(lanes);
+    EXPECT_EQ(k.width, lanes);
+    ASSERT_NE(k.fn, nullptr);
+  }
+  const detail::BatchKernel auto_kernel = detail::select_batch_kernel(0);
+  ASSERT_NE(auto_kernel.fn, nullptr);
+  EXPECT_GE(auto_kernel.width, 4);
+}
+
+}  // namespace
+}  // namespace kgdp::verify

@@ -245,9 +245,10 @@ TEST(SolverDifferential, ResumedShardedMergeMatchesUnsharded) {
   }
 }
 
-// Cursor v2 round-trips the engine counters; v1 cursors (no solver line)
-// still restore, with counters restarting from zero.
-TEST(SolverDifferential, CursorV2CarriesSolverCountersAcrossResume) {
+// Cursor v3 round-trips the engine counters (patch/rebuild/search plus
+// the walk split and cache traffic); v1 and v2 cursors still restore,
+// with the missing counters restarting from zero.
+TEST(SolverDifferential, CursorCarriesSolverCountersAcrossResume) {
   const SolutionGraph sg = kgd::make_g3k(5);
   CheckRequest req;
   req.mode = CheckMode::kExhaustive;
@@ -259,8 +260,9 @@ TEST(SolverDifferential, CursorV2CarriesSolverCountersAcrossResume) {
   EXPECT_GT(before.patches + before.rebuilds, 0u);
   std::stringstream cursor;
   first.save(cursor);
-  EXPECT_NE(cursor.str().find("kgdp-check-cursor 2"), std::string::npos);
+  EXPECT_NE(cursor.str().find("kgdp-check-cursor 3"), std::string::npos);
   EXPECT_NE(cursor.str().find("solver "), std::string::npos);
+  EXPECT_NE(cursor.str().find("cache "), std::string::npos);
 
   CheckSession resumed(sg, req);
   resumed.restore(cursor);
@@ -269,15 +271,43 @@ TEST(SolverDifferential, CursorV2CarriesSolverCountersAcrossResume) {
   // Work done before the checkpoint is carried, not lost.
   EXPECT_GE(total.patches + total.rebuilds,
             before.patches + before.rebuilds);
+  EXPECT_GE(total.walk_hits + total.walk_fallbacks,
+            before.walk_hits + before.walk_fallbacks);
   const CheckResult res = resumed.result();
   EXPECT_EQ(res.solver_patches + res.solver_rebuilds, res.fault_sets_solved);
 
-  // v1 acceptance: strip the solver line and downgrade the header.
+  // v2 acceptance: downgrade the header, truncate the solver line to its
+  // v2 three fields, and drop the cache line.
+  std::string v2 = cursor.str();
+  v2.replace(v2.find("kgdp-check-cursor 3"), 19, "kgdp-check-cursor 2");
+  {
+    const auto pos = v2.find("\nsolver ");
+    ASSERT_NE(pos, std::string::npos);
+    std::istringstream fields(v2.substr(pos + 8));
+    std::uint64_t p = 0, r = 0, s = 0;
+    fields >> p >> r >> s;
+    const auto line_end = v2.find('\n', pos + 1);
+    v2.replace(pos + 1, line_end - pos - 1,
+               "solver " + std::to_string(p) + ' ' + std::to_string(r) +
+                   ' ' + std::to_string(s));
+    const auto cpos = v2.find("\ncache ");
+    ASSERT_NE(cpos, std::string::npos);
+    v2.erase(cpos + 1, v2.find('\n', cpos + 1) - cpos);
+  }
+  std::stringstream v2s(v2);
+  CheckSession mid(sg, req);
+  mid.restore(v2s);
+  mid.run();
+  expect_same_verdict(resumed.result(), mid.result(), "v2 cursor");
+
+  // v1 acceptance: strip the solver and cache lines, downgrade header.
   std::string v1 = cursor.str();
-  v1.replace(v1.find("kgdp-check-cursor 2"), 19, "kgdp-check-cursor 1");
-  const auto pos = v1.find("\nsolver ");
-  ASSERT_NE(pos, std::string::npos);
-  v1.erase(pos + 1, v1.find('\n', pos + 1) - pos);
+  v1.replace(v1.find("kgdp-check-cursor 3"), 19, "kgdp-check-cursor 1");
+  for (const char* line : {"\nsolver ", "\ncache "}) {
+    const auto pos = v1.find(line);
+    ASSERT_NE(pos, std::string::npos);
+    v1.erase(pos + 1, v1.find('\n', pos + 1) - pos);
+  }
   std::stringstream old(v1);
   CheckSession legacy(sg, req);
   legacy.restore(old);

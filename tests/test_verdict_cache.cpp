@@ -1,0 +1,203 @@
+// Orbit-canonical verdict cache: canonical keys collapse isomorphic
+// fault sets, cached runs return bit-identical verdicts (including the
+// lowest-index counterexample), and bounded eviction keeps the cache a
+// pure accelerator.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "baseline/naive.hpp"
+#include "fault/canonical.hpp"
+#include "graph/automorphism.hpp"
+#include "kgd/factory.hpp"
+#include "util/rng.hpp"
+#include "verify/checker.hpp"
+#include "verify/verdict_cache.hpp"
+
+namespace kgdp::verify {
+namespace {
+
+using graph::AutomorphismList;
+using kgd::SolutionGraph;
+
+std::uint64_t apply_perm(const graph::Permutation& perm,
+                         std::uint64_t mask) {
+  std::uint64_t out = 0;
+  for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+    out |= 1ull << perm[std::countr_zero(m)];
+  }
+  return out;
+}
+
+TEST(FaultCanonicalizer, IsomorphicFaultSetsShareTheCanonicalKey) {
+  const auto sg = kgd::build_solution(14, 3);
+  ASSERT_TRUE(sg);
+  const AutomorphismList autos = graph::solution_automorphisms(*sg);
+  ASSERT_TRUE(autos.usable());
+
+  const fault::FaultCanonicalizer canon(&autos);
+  auto scratch = std::make_unique<fault::FaultCanonicalizer::Scratch>();
+  util::Rng rng(0xca11);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::uint64_t mask = 0;
+    for (int i = 0; i < 4; ++i) {
+      mask |= 1ull << rng.next_below(
+          static_cast<std::uint64_t>(sg->num_nodes()));
+    }
+    std::uint64_t key = 0;
+    ASSERT_TRUE(canon.canonical_mask(mask, *scratch, &key));
+    // The key is orbit-minimal, so it never exceeds the query mask.
+    EXPECT_LE(key, mask);
+    // Every generator image of the mask canonicalizes to the same key.
+    for (const graph::Permutation& g : autos.generators) {
+      const std::uint64_t image = apply_perm(g, mask);
+      std::uint64_t image_key = 0;
+      ASSERT_TRUE(canon.canonical_mask(image, *scratch, &image_key));
+      EXPECT_EQ(image_key, key) << "mask=" << mask << " image=" << image;
+    }
+  }
+}
+
+TEST(FaultCanonicalizer, UnusableGroupLeavesMasksFixed) {
+  const AutomorphismList trivial;  // no generators
+  const fault::FaultCanonicalizer canon(&trivial);
+  auto scratch = std::make_unique<fault::FaultCanonicalizer::Scratch>();
+  for (std::uint64_t mask : {0ull, 5ull, 0x8001ull, ~0ull}) {
+    std::uint64_t key = 1;
+    ASSERT_TRUE(canon.canonical_mask(mask, *scratch, &key));
+    EXPECT_EQ(key, mask);
+  }
+}
+
+TEST(VerdictCache, LookupInsertAndBoundedEviction) {
+  VerdictCache cache(4);  // one 4-way set
+  EXPECT_EQ(cache.capacity(), 4u);
+
+  EXPECT_FALSE(cache.lookup(1, 10).has_value());
+  EXPECT_FALSE(cache.insert(1, 10, SolveStatus::kFound));
+  const auto hit = cache.lookup(1, 10);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, SolveStatus::kFound);
+
+  // Same key again: refreshed in place, no eviction, verdict updated.
+  EXPECT_FALSE(cache.insert(1, 10, SolveStatus::kNone));
+  EXPECT_EQ(*cache.lookup(1, 10), SolveStatus::kNone);
+
+  // kUnknown is never cached.
+  EXPECT_FALSE(cache.insert(2, 20, SolveStatus::kUnknown));
+  EXPECT_FALSE(cache.lookup(2, 20).has_value());
+
+  // Fill the set, then overflow it: the fifth distinct key must evict.
+  EXPECT_FALSE(cache.insert(1, 11, SolveStatus::kFound));
+  EXPECT_FALSE(cache.insert(1, 12, SolveStatus::kFound));
+  EXPECT_FALSE(cache.insert(1, 13, SolveStatus::kFound));
+  EXPECT_TRUE(cache.insert(1, 14, SolveStatus::kFound));
+
+  const VerdictCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_GE(stats.inserts, 5u);
+  EXPECT_GE(stats.hits, 2u);
+  EXPECT_GE(stats.misses, 2u);
+}
+
+CheckOptions with_cache(VerdictCache* cache) {
+  CheckOptions o;
+  o.cache = cache;
+  return o;
+}
+
+void expect_same_verdict(const CheckResult& a, const CheckResult& b,
+                         const std::string& tag) {
+  EXPECT_EQ(a.holds, b.holds) << tag;
+  EXPECT_EQ(a.exhaustive, b.exhaustive) << tag;
+  EXPECT_EQ(a.fault_sets_checked, b.fault_sets_checked) << tag;
+  ASSERT_EQ(a.counterexample.has_value(), b.counterexample.has_value())
+      << tag;
+  if (a.counterexample) {
+    EXPECT_EQ(a.counterexample->nodes(), b.counterexample->nodes()) << tag;
+  }
+  ASSERT_EQ(a.counterexample_index.has_value(),
+            b.counterexample_index.has_value())
+      << tag;
+  if (a.counterexample_index) {
+    EXPECT_EQ(*a.counterexample_index, *b.counterexample_index) << tag;
+  }
+}
+
+TEST(VerdictCache, CachedExhaustiveRunsAreBitIdentical) {
+  // Holding and failing instances; each is checked cold (no cache),
+  // cold-cache, and warm-cache — all three must agree exactly.
+  struct Case {
+    SolutionGraph sg;
+    int k;
+  };
+  std::vector<Case> cases;
+  {
+    auto a = kgd::build_solution(10, 3);
+    ASSERT_TRUE(a);
+    cases.push_back({std::move(*a), 3});       // holds
+    cases.push_back({baseline::make_spare_path(6, 2), 2});  // fails
+  }
+  for (const Case& c : cases) {
+    const CheckResult plain = check_gd_exhaustive(c.sg, c.k);
+    VerdictCache cache(1 << 14);
+    const CheckResult cold =
+        check_gd_exhaustive(c.sg, c.k, with_cache(&cache));
+    const CheckResult warm =
+        check_gd_exhaustive(c.sg, c.k, with_cache(&cache));
+    expect_same_verdict(plain, cold, c.sg.name() + " cold");
+    expect_same_verdict(plain, warm, c.sg.name() + " warm");
+
+    // Cold run: every representative missed and was inserted. Warm run:
+    // the sweep re-solves nothing — every verdict is a hit.
+    EXPECT_EQ(cold.cache_hits, 0u) << c.sg.name();
+    EXPECT_GT(cold.cache_inserts, 0u) << c.sg.name();
+    EXPECT_GT(warm.cache_hits, 0u) << c.sg.name();
+    if (plain.holds) {
+      EXPECT_EQ(warm.cache_hits, cold.fault_sets_solved) << c.sg.name();
+      EXPECT_EQ(warm.fault_sets_solved, 0u) << c.sg.name();
+      // Completed-sweep accounting with a cache attached.
+      EXPECT_EQ(warm.fault_sets_checked,
+                warm.fault_sets_solved + warm.orbits_pruned + warm.cache_hits)
+          << c.sg.name();
+    }
+  }
+}
+
+TEST(VerdictCache, CachedSampledRunsAreBitIdentical) {
+  const auto sg = kgd::build_solution(14, 3);
+  ASSERT_TRUE(sg);
+  const CheckResult plain = check_gd_sampled(*sg, 3, 400, 7);
+  VerdictCache cache(1 << 14);
+  const CheckResult cold =
+      check_gd_sampled(*sg, 3, 400, 7, with_cache(&cache));
+  const CheckResult warm =
+      check_gd_sampled(*sg, 3, 400, 7, with_cache(&cache));
+  EXPECT_EQ(plain.holds, cold.holds);
+  EXPECT_EQ(plain.holds, warm.holds);
+  EXPECT_EQ(plain.fault_sets_checked, cold.fault_sets_checked);
+  EXPECT_EQ(plain.fault_sets_checked, warm.fault_sets_checked);
+  // The sampler repeats orbits, so even the cold run sees hits; the
+  // warm run answers (almost) everything from the cache.
+  EXPECT_GT(warm.cache_hits, 0u);
+  EXPECT_GT(warm.cache_hits, cold.cache_hits);
+}
+
+TEST(VerdictCache, TinyCacheEvictsButStaysExact) {
+  const auto sg = kgd::build_solution(10, 3);
+  ASSERT_TRUE(sg);
+  const CheckResult plain = check_gd_exhaustive(*sg, 3);
+  VerdictCache cache(8);  // far smaller than the representative count
+  const CheckResult cold =
+      check_gd_exhaustive(*sg, 3, with_cache(&cache));
+  expect_same_verdict(plain, cold, "tiny cache");
+  EXPECT_GT(cold.cache_evictions, 0u);
+  EXPECT_GT(cold.cache_inserts, cache.capacity());
+}
+
+}  // namespace
+}  // namespace kgdp::verify

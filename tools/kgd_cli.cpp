@@ -27,6 +27,7 @@
 #include "util/timer.hpp"
 #include "verify/certificate.hpp"
 #include "verify/check_session.hpp"
+#include "verify/verdict_cache.hpp"
 #include "verify/checker.hpp"
 #include "verify/optimality.hpp"
 #include "verify/pipeline_solver.hpp"
@@ -42,7 +43,10 @@ int usage() {
       "  build      <n> <k>              construction summary\n"
       "  dot        <n> <k>              DOT to stdout\n"
       "  verify     <n> <k> [--prune=auto|off] [--threads=T] [--json]\n"
-      "                                  exhaustive GD check\n"
+      "                     [--batch=B] [--lanes=0|1|2|4|8] [--cache=N]\n"
+      "                                  exhaustive GD check (--batch=1\n"
+      "                                  forces the legacy per-item sweep;\n"
+      "                                  --cache sizes a verdict cache)\n"
       "  route      <n> <k> [v ...]      pipeline around the given faults\n"
       "  save       <n> <k>              kgdp-graph text to stdout\n"
       "  json       <n> <k>              JSON export to stdout\n"
@@ -52,14 +56,15 @@ int usage() {
       "                  [--mode=exhaustive|sampled] [--samples=S]\n"
       "                  [--seed=X] [--prune=auto|off] [--threads=T]\n"
       "                  [--shard=i/S] [--chunk=N] [--checkpoint-every=N]\n"
-      "                  [--max-chunks=N]\n"
+      "                  [--max-chunks=N] [--cache=N]\n"
       "  campaign resume --out=DIR [--threads=T] [--max-chunks=N]\n"
+      "                  [--cache=N]\n"
       "  campaign merge  --out=DIR <shard-checkpoint>...\n"
       "  campaign status --out=DIR\n"
       "  serve      [--unix=PATH] [--tcp=HOST:PORT] [--threads=T]\n"
       "             [--max-queue=N] [--max-sessions=N] [--chunk=N]\n"
       "             [--drain-dir=DIR] [--checkpoint-every=N]\n"
-      "             [--metrics=FILE]\n"
+      "             [--metrics=FILE] [--cache=N]\n"
       "                  run the kgdd daemon (SIGINT/SIGTERM drains;\n"
       "                  --checkpoint-every also snapshots sessions every\n"
       "                  N chunks so SIGKILL loses at most N chunks)\n"
@@ -100,9 +105,24 @@ int cmd_verify(const kgd::SolutionGraph& sg, int k,
     std::fprintf(stderr, "flag --prune: expected auto|off\n");
     return usage();
   }
-  std::int64_t threads = 0;
-  if (!flags.get_int("threads", 0, 0, 4096, &threads)) {
+  std::int64_t threads = 0, batch = 0, lanes = 0, cache_entries = 0;
+  if (!flags.get_int("threads", 0, 0, 4096, &threads) ||
+      !flags.get_int("batch", 64, 1, 1 << 20, &batch) ||
+      !flags.get_int("lanes", 0, 0, 8, &lanes) ||
+      !flags.get_int("cache", 0, 0, INT64_MAX, &cache_entries)) {
     return flag_error(flags);
+  }
+  if (lanes != 0 && lanes != 1 && lanes != 2 && lanes != 4 && lanes != 8) {
+    std::fprintf(stderr, "flag --lanes: expected 0|1|2|4|8\n");
+    return usage();
+  }
+  opts.batch = static_cast<std::uint32_t>(batch);
+  opts.lanes = static_cast<int>(lanes);
+  std::unique_ptr<verify::VerdictCache> cache;
+  if (cache_entries > 0) {
+    cache = std::make_unique<verify::VerdictCache>(
+        static_cast<std::size_t>(cache_entries));
+    opts.cache = cache.get();
   }
   const auto pool = make_pool(threads);
   opts.pool = pool.get();
@@ -123,6 +143,17 @@ int cmd_verify(const kgd::SolutionGraph& sg, int k,
       static_cast<unsigned long long>(res.fault_sets_solved),
       static_cast<unsigned long long>(res.orbits_pruned),
       static_cast<unsigned long long>(res.automorphism_order));
+  std::printf("  walk hits %llu, fallbacks %llu\n",
+              static_cast<unsigned long long>(res.solver_walk_hits),
+              static_cast<unsigned long long>(res.solver_walk_fallbacks));
+  if (opts.cache != nullptr) {
+    std::printf("  cache hits %llu, misses %llu, inserts %llu, "
+                "evictions %llu\n",
+                static_cast<unsigned long long>(res.cache_hits),
+                static_cast<unsigned long long>(res.cache_misses),
+                static_cast<unsigned long long>(res.cache_inserts),
+                static_cast<unsigned long long>(res.cache_evictions));
+  }
   if (opts.pool != nullptr) {
     std::printf("  %u workers, %llu steals; solve seconds per worker:",
                 opts.pool->thread_count(),
@@ -143,7 +174,8 @@ std::string checkpoint_path(const std::string& out_dir) {
 
 // Shared tail of `campaign run` and `campaign resume`.
 int drive_campaign(campaign::CampaignState state, const std::string& out_dir,
-                   std::int64_t threads, std::int64_t max_chunks) {
+                   std::int64_t threads, std::int64_t max_chunks,
+                   std::int64_t cache_entries) {
   std::error_code ec;
   std::filesystem::create_directories(out_dir, ec);
   if (ec) {
@@ -156,6 +188,12 @@ int drive_campaign(campaign::CampaignState state, const std::string& out_dir,
   const auto pool = make_pool(threads);
   campaign::CampaignRunner runner(std::move(state), checkpoint_path(out_dir),
                                   &telemetry, pool.get());
+  std::unique_ptr<verify::VerdictCache> cache;
+  if (cache_entries > 0) {
+    cache = std::make_unique<verify::VerdictCache>(
+        static_cast<std::size_t>(cache_entries));
+    runner.set_verdict_cache(cache.get());
+  }
   campaign::RunLimits limits;
   limits.max_chunks =
       max_chunks > 0 ? static_cast<std::uint64_t>(max_chunks) : 0;
@@ -185,7 +223,8 @@ int cmd_campaign(int argc, char** argv) {
   util::FlagParser flags;
   flags.flag("out")
       .flag("threads")
-      .flag("max-chunks");
+      .flag("max-chunks")
+      .flag("cache");
   if (sub == "run") {
     flags.flag("nmin").flag("nmax").flag("kmin").flag("kmax");
     flags.flag("mode").flag("samples").flag("seed").flag("prune");
@@ -199,9 +238,10 @@ int cmd_campaign(int argc, char** argv) {
                  sub.c_str());
     return usage();
   }
-  std::int64_t threads = 0, max_chunks = 0;
+  std::int64_t threads = 0, max_chunks = 0, cache_entries = 0;
   if (!flags.get_int("threads", 0, 0, 4096, &threads) ||
-      !flags.get_int("max-chunks", 0, 0, INT64_MAX, &max_chunks)) {
+      !flags.get_int("max-chunks", 0, 0, INT64_MAX, &max_chunks) ||
+      !flags.get_int("cache", 0, 0, INT64_MAX, &cache_entries)) {
     return flag_error(flags);
   }
 
@@ -259,7 +299,7 @@ int cmd_campaign(int argc, char** argv) {
       }
       config.checkpoint_every = static_cast<std::uint64_t>(v);
       return drive_campaign(campaign::make_campaign(config), out_dir,
-                            threads, max_chunks);
+                            threads, max_chunks, cache_entries);
     }
     if (sub == "resume") {
       // A run killed between open and rename leaks checkpoint temp
@@ -270,7 +310,7 @@ int cmd_campaign(int argc, char** argv) {
       }
       return drive_campaign(
           campaign::load_campaign_file(checkpoint_path(out_dir)), out_dir,
-          threads, max_chunks);
+          threads, max_chunks, cache_entries);
     }
     if (sub == "merge") {
       if (flags.positionals().empty()) {
@@ -342,7 +382,7 @@ int cmd_serve(int argc, char** argv) {
   util::FlagParser flags;
   flags.flag("unix").flag("tcp").flag("threads").flag("max-queue");
   flags.flag("max-sessions").flag("chunk").flag("drain-dir").flag("metrics");
-  flags.flag("checkpoint-every");
+  flags.flag("checkpoint-every").flag("cache");
   if (!flags.parse(argc, argv, 2)) return flag_error(flags);
 
   service::DaemonConfig config;
@@ -382,6 +422,10 @@ int cmd_serve(int argc, char** argv) {
   }
   config.service.session_checkpoint_every = static_cast<std::uint64_t>(v);
   config.service.metrics_path = flags.get("metrics");
+  if (!flags.get_int("cache", 0, 0, INT64_MAX, &v)) {
+    return flag_error(flags);
+  }
+  config.service.cache_entries = static_cast<std::uint64_t>(v);
 
   try {
     service::Daemon daemon(std::move(config));
@@ -517,6 +561,7 @@ int main(int argc, char** argv) {
   util::FlagParser flags;
   if (cmd == "verify") {
     flags.flag("prune").flag("threads").flag("json", /*requires_value=*/false);
+    flags.flag("batch").flag("lanes").flag("cache");
   }
   if (!flags.parse(argc, argv, 2)) return flag_error(flags);
   if (flags.positionals().size() < 2) return usage();
