@@ -22,7 +22,7 @@ int main() {
                  "node-opt", "k-GD"});
   auto row = [&](const kgd::SolutionGraph& sg) {
     const auto m = baseline::metrics_for(sg);
-    const auto res = verify::check_gd_exhaustive(sg, k);
+    const auto res = verify::run_check(sg, verify::CheckRequest::exhaustive(k));
     t.add_row({m.name, util::Table::num(m.nodes), util::Table::num(m.edges),
                util::Table::num(m.max_degree),
                util::Table::num(m.max_processor_degree),

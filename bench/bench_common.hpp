@@ -38,7 +38,7 @@ inline std::string verify_cell(const kgd::SolutionGraph& sg, int k,
       fault::FaultEnumerator(sg.num_nodes(), k).total();
   util::Timer t;
   if (space <= cap) {
-    const auto res = verify::check_gd_exhaustive(sg, k);
+    const auto res = verify::run_check(sg, verify::CheckRequest::exhaustive(k));
     char buf[64];
     std::snprintf(buf, sizeof buf, "%s (all %llu, %.0fms)",
                   res.holds ? "OK" : "FAIL",
@@ -46,7 +46,7 @@ inline std::string verify_cell(const kgd::SolutionGraph& sg, int k,
                   t.millis());
     return buf;
   }
-  const auto res = verify::check_gd_sampled(sg, k, samples, 42);
+  const auto res = verify::run_check(sg, verify::CheckRequest::sampled(k, samples, 42));
   char buf[64];
   std::snprintf(buf, sizeof buf, "%s (sampled %llu)",
                 res.holds ? "OK" : "FAIL",

@@ -1,20 +1,34 @@
-// kgdd service bench: requests/second and p50/p99 latency for
-// small-verify traffic through a real in-process daemon, Unix-domain
-// socket vs TCP loopback. Each request is a complete protocol round
-// trip (send frame, read streamed events, read terminal frame), so the
-// numbers include framing, JSON, admission, pool dispatch, and the
-// session machinery — everything but real network distance.
+// kgdd service bench: requests/second and p50/p99 latency for verify,
+// construct, and atlas-served route traffic through a real in-process
+// daemon, Unix-domain socket vs TCP loopback. Each request is a complete
+// protocol round trip (send frame, read streamed events, read terminal
+// frame), so the numbers include framing, JSON, admission, pool
+// dispatch, and the session machinery — everything but real network
+// distance. A separate in-memory section isolates the atlas itself:
+// raw RouteAtlas::lookup and full Router::route (canonicalize +
+// lookup + transport + certify) rates without any wire overhead.
+//
+// Flags:
+//   --json=PATH   also write the numbers as machine-readable JSON
+//   --smoke       reduced counts plus hard budget checks (CI gate):
+//                 raw atlas lookups >= 1M/s, warm in-memory route p99
+//                 < 100 us, daemon unix route p99 < 250 ms. Exits 1 on
+//                 a budget violation.
 #include <unistd.h>
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "fault/canonical.hpp"
 #include "io/json.hpp"
+#include "kgd/factory.hpp"
 #include "net/client.hpp"
 #include "net/socket.hpp"
+#include "reconfig/atlas.hpp"
 #include "service/daemon.hpp"
 #include "service/protocol.hpp"
 #include "util/timer.hpp"
@@ -28,6 +42,9 @@ struct LatencyStats {
   double p50_ms = 0.0;
   double p99_ms = 0.0;
 };
+
+// Accumulated machine-readable output (--json).
+io::JsonObject g_json;
 
 double quantile_ms(std::vector<double>& seconds, double q) {
   if (seconds.empty()) return 0.0;
@@ -75,8 +92,47 @@ LatencyStats drive(net::Client& client, const io::Json& request, int count) {
   return stats;
 }
 
-void bench_transport(const char* label, const net::Endpoint& listen_ep,
-                     const net::Endpoint& connect_ep) {
+void record(const std::string& transport, const std::string& workload,
+            const LatencyStats& s, double items_per_request = 1.0) {
+  std::printf("%-6s %-18s %10.0f req/s   p50 %7.3f ms   p99 %7.3f ms",
+              transport.c_str(), workload.c_str(), s.req_per_s, s.p50_ms,
+              s.p99_ms);
+  if (items_per_request > 1.0) {
+    std::printf("   (%0.0f routes/s, p99 %.1f us/route)",
+                s.req_per_s * items_per_request,
+                s.p99_ms * 1000.0 / items_per_request);
+  }
+  std::printf("\n");
+  io::JsonObject row;
+  row["req_per_s"] = s.req_per_s;
+  row["p50_ms"] = s.p50_ms;
+  row["p99_ms"] = s.p99_ms;
+  if (items_per_request > 1.0) {
+    row["routes_per_s"] = s.req_per_s * items_per_request;
+    row["per_route_p99_us"] = s.p99_ms * 1000.0 / items_per_request;
+  }
+  g_json[transport + "." + workload] = io::Json(std::move(row));
+}
+
+// All <= max_faults fault sets of a `num_nodes`-node graph, as JSON
+// arrays — the deterministic route population the batch workload cycles.
+io::JsonArray all_fault_sets(int num_nodes, int max_faults) {
+  io::JsonArray sets;
+  for (std::uint64_t m = 0; m < (std::uint64_t{1} << num_nodes); ++m) {
+    if (std::popcount(m) > max_faults) continue;
+    io::JsonArray set;
+    for (std::uint64_t rest = m; rest; rest &= rest - 1) {
+      set.push_back(std::countr_zero(rest));
+    }
+    sets.emplace_back(std::move(set));
+  }
+  return sets;
+}
+
+// Wire benches against one daemon/transport.
+LatencyStats bench_transport(const char* label,
+                             const net::Endpoint& listen_ep,
+                             const net::Endpoint& connect_ep, bool smoke) {
   service::DaemonConfig config;
   config.endpoints.push_back(listen_ep);
   config.service.threads = 2;
@@ -92,48 +148,190 @@ void bench_transport(const char* label, const net::Endpoint& listen_ep,
   auto client = net::Client::connect(target, &error);
   if (!client.has_value()) {
     std::fprintf(stderr, "connect failed: %s\n", error.c_str());
-    return;
+    return {};
   }
+  const int scale = smoke ? 10 : 1;
 
   // Warm-up: fault the code paths and the allocator out of the numbers.
   drive(*client, make_request("ping", {}), 50);
 
-  const LatencyStats ping = drive(*client, make_request("ping", {}), 2000);
+  record(label, "ping",
+         drive(*client, make_request("ping", {}), 2000 / scale));
   io::JsonObject verify_params;
   verify_params["n"] = 6;
   verify_params["k"] = 2;
   verify_params["chunk"] = 4096;  // one chunk: a single-shot small verify
-  const LatencyStats verify =
-      drive(*client, make_request("verify", std::move(verify_params)), 300);
+  record(label, "verify(6,2)",
+         drive(*client, make_request("verify", std::move(verify_params)),
+               300 / scale));
   io::JsonObject build_params;
   build_params["n"] = 8;
   build_params["k"] = 2;
-  const LatencyStats construct =
-      drive(*client, make_request("construct", std::move(build_params)), 500);
+  record(label, "construct(8,2)",
+         drive(*client, make_request("construct", std::move(build_params)),
+               500 / scale));
 
-  std::printf("%-12s %-12s %10.0f req/s   p50 %7.3f ms   p99 %7.3f ms\n",
-              label, "ping", ping.req_per_s, ping.p50_ms, ping.p99_ms);
-  std::printf("%-12s %-12s %10.0f req/s   p50 %7.3f ms   p99 %7.3f ms\n",
-              label, "verify(6,2)", verify.req_per_s, verify.p50_ms,
-              verify.p99_ms);
-  std::printf("%-12s %-12s %10.0f req/s   p50 %7.3f ms   p99 %7.3f ms\n",
-              label, "construct", construct.req_per_s, construct.p50_ms,
-              construct.p99_ms);
+  // Atlas-served routing. One cold request builds the router and warms
+  // the orbit; everything after is the steady state kgdd was built for.
+  io::JsonObject route_params;
+  route_params["n"] = 8;
+  route_params["k"] = 2;
+  route_params["faults"] = io::JsonArray{0, 11};
+  const io::Json route_req = make_request("route", std::move(route_params));
+  drive(*client, route_req, 50);  // warm router + orbit
+  const LatencyStats route_single =
+      drive(*client, route_req, 4000 / scale);
+  record(label, "route(8,2)", route_single);
+
+  // Batched routing: every <= 2-fault set of the 16-node graph in one
+  // frame (137 sets), the protocol's answer to reconfiguration storms.
+  io::JsonObject batch_params;
+  batch_params["n"] = 8;
+  batch_params["k"] = 2;
+  io::JsonArray sets = all_fault_sets(16, 2);
+  const double batch_size = static_cast<double>(sets.size());
+  batch_params["sets"] = io::Json(std::move(sets));
+  const io::Json batch_req = make_request("route", std::move(batch_params));
+  drive(*client, batch_req, 5);  // warm every orbit
+  record(label, "route-batch137",
+         drive(*client, batch_req, 400 / scale), batch_size);
 
   daemon.begin_drain();
   daemon.join();
+  return route_single;
+}
+
+// In-memory section: the atlas data structure itself, no wire, no JSON.
+// Returns (lookups_per_s, route_p99_us) for the smoke budgets.
+std::pair<double, double> bench_in_memory(bool smoke) {
+  auto sg = kgd::build_solution(8, 2);
+  if (!sg.has_value()) return {0.0, 0.0};
+  reconfig::RouteAtlas atlas(std::size_t{1} << 20);
+  reconfig::Router router(*sg, &atlas);
+  router.build_atlas(sg->k(), 0, 1);
+  auto scratch = std::make_unique<fault::FaultCanonicalizer::Scratch>();
+
+  // Raw RouteAtlas::lookup on the canonical keys: one atomic snapshot
+  // load plus one hash probe — the advertised >= 1M/s hot path.
+  std::vector<std::uint64_t> masks;
+  std::vector<kgd::FaultSet> fault_sets;
+  for (std::uint64_t m = 0; m < (std::uint64_t{1} << 16); ++m) {
+    if (std::popcount(m) > 2) continue;
+    masks.push_back(m);
+    std::vector<graph::Node> nodes;
+    for (std::uint64_t rest = m; rest; rest &= rest - 1) {
+      nodes.push_back(static_cast<graph::Node>(std::countr_zero(rest)));
+    }
+    fault_sets.emplace_back(sg->num_nodes(), nodes);
+  }
+  const std::uint64_t fp = router.graph_fp();
+  std::vector<graph::Node> path;
+  std::uint64_t hits = 0;
+  const int lookup_iters = smoke ? 2000 : 20000;
+  util::Timer lookup_timer;
+  for (int it = 0; it < lookup_iters; ++it) {
+    for (const std::uint64_t m : masks) {
+      // Canonical-form keys hit; raw masks may miss — both are probes.
+      hits += atlas.lookup(fp, m, &path) ? 1u : 0u;
+    }
+  }
+  const double lookups =
+      static_cast<double>(lookup_iters) * static_cast<double>(masks.size());
+  const double lookups_per_s = lookups / lookup_timer.seconds();
+
+  // Full warm route: canonicalize + transport + lookup + certify.
+  const int route_iters = smoke ? 20 : 200;
+  std::vector<double> route_lat;
+  route_lat.reserve(fault_sets.size() * static_cast<std::size_t>(route_iters));
+  std::uint64_t feasible = 0;
+  util::Timer route_timer;
+  for (int it = 0; it < route_iters; ++it) {
+    for (const kgd::FaultSet& faults : fault_sets) {
+      util::Timer per;
+      const reconfig::Router::Result res = router.route(faults, *scratch);
+      route_lat.push_back(per.seconds());
+      feasible += res.feasible ? 1u : 0u;
+    }
+  }
+  const double routes = static_cast<double>(route_lat.size());
+  const double routes_per_s = routes / route_timer.seconds();
+  const double route_p99_us = quantile_ms(route_lat, 0.99) * 1000.0;
+
+  std::printf("memory raw-atlas-lookup   %12.0f lookups/s  (%llu hits)\n",
+              lookups_per_s, static_cast<unsigned long long>(hits));
+  std::printf("memory warm-route         %12.0f routes/s   p99 %7.2f us "
+              "(%llu feasible)\n",
+              routes_per_s, route_p99_us,
+              static_cast<unsigned long long>(feasible));
+  io::JsonObject mem;
+  mem["atlas_lookups_per_s"] = lookups_per_s;
+  mem["warm_routes_per_s"] = routes_per_s;
+  mem["warm_route_p99_us"] = route_p99_us;
+  g_json["memory.route(8,2)"] = io::Json(std::move(mem));
+  return {lookups_per_s, route_p99_us};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: bench_service [--json=PATH] [--smoke]\n");
+      return 2;
+    }
+  }
+
   bench::banner("kgdd service throughput: Unix socket vs TCP loopback");
+  const auto [lookups_per_s, route_p99_us] = bench_in_memory(smoke);
   const std::string sock_path =
       "bench_service_" + std::to_string(::getpid()) + ".sock";
-  bench_transport("unix", net::Endpoint::unix_path(sock_path),
-                  net::Endpoint::unix_path(sock_path));
+  const LatencyStats unix_route =
+      bench_transport("unix", net::Endpoint::unix_path(sock_path),
+                      net::Endpoint::unix_path(sock_path), smoke);
   ::unlink(sock_path.c_str());
   bench_transport("tcp", net::Endpoint::tcp("127.0.0.1", 0),
-                  net::Endpoint::tcp("127.0.0.1", 0));
+                  net::Endpoint::tcp("127.0.0.1", 0), smoke);
+
+  if (!json_path.empty()) {
+    if (!bench::write_bench_json(json_path, std::move(g_json))) {
+      std::fprintf(stderr, "FATAL: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (smoke) {
+    // Generous CI budgets: loaded shared runners must pass; an atlas
+    // lookup regressing to a full recompute must not.
+    bool ok = true;
+    if (lookups_per_s < 1e6) {
+      std::printf("route smoke: FAIL raw atlas lookups %.0f/s < 1M/s\n",
+                  lookups_per_s);
+      ok = false;
+    }
+    if (route_p99_us > 100.0) {
+      std::printf("route smoke: FAIL warm in-memory route p99 %.1f us > "
+                  "100 us\n",
+                  route_p99_us);
+      ok = false;
+    }
+    if (unix_route.p99_ms <= 0.0 || unix_route.p99_ms > 250.0) {
+      std::printf("route smoke: FAIL unix route p99 %.3f ms outside "
+                  "(0, 250] ms\n",
+                  unix_route.p99_ms);
+      ok = false;
+    }
+    if (!ok) return 1;
+    std::printf("route smoke: OK (%.1fM lookups/s, route p99 %.1f us, "
+                "unix p99 %.3f ms)\n",
+                lookups_per_s / 1e6, route_p99_us, unix_route.p99_ms);
+  }
   return 0;
 }

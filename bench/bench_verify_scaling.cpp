@@ -42,7 +42,7 @@ void BM_ExhaustiveCheckSequential(benchmark::State& state) {
   const auto sg = kgd::build_solution(n, k);
   std::uint64_t sets = 0;
   for (auto _ : state) {
-    const auto res = verify::check_gd_exhaustive(*sg, k);
+    const auto res = verify::run_check(*sg, verify::CheckRequest::exhaustive(k));
     benchmark::DoNotOptimize(res);
     sets += res.fault_sets_checked;
     if (!res.holds) state.SkipWithError("GD failed");
@@ -60,7 +60,7 @@ void BM_ExhaustiveCheckParallel(benchmark::State& state) {
   opts.pool = &pool;
   std::uint64_t sets = 0;
   for (auto _ : state) {
-    const auto res = verify::check_gd_exhaustive(*sg, 2, opts);
+    const auto res = verify::run_check(*sg, verify::CheckRequest::exhaustive(2, opts));
     benchmark::DoNotOptimize(res);
     sets += res.fault_sets_checked;
   }
@@ -76,7 +76,7 @@ void BM_AsymptoticExhaustive(benchmark::State& state) {
   // The Figure 14 instance: 66712 fault sets, 26-processor Ham instances.
   const auto sg = kgd::build_solution(22, 4);
   for (auto _ : state) {
-    const auto res = verify::check_gd_exhaustive(*sg, 4);
+    const auto res = verify::run_check(*sg, verify::CheckRequest::exhaustive(4));
     benchmark::DoNotOptimize(res);
     if (!res.holds) state.SkipWithError("GD failed");
     state.counters["fault_sets"] =
@@ -98,7 +98,7 @@ void BM_ExhaustiveG3kPrune(benchmark::State& state) {
   const auto opts = prune_opts(prune);
   std::uint64_t sets = 0, solved = 0;
   for (auto _ : state) {
-    const auto res = verify::check_gd_exhaustive(sg, k, opts);
+    const auto res = verify::run_check(sg, verify::CheckRequest::exhaustive(k, opts));
     benchmark::DoNotOptimize(res);
     if (!res.holds) state.SkipWithError("GD failed");
     sets += res.fault_sets_checked;
@@ -125,7 +125,7 @@ void BM_ExhaustiveCliquePrune(benchmark::State& state) {
   const auto opts = prune_opts(prune);
   std::uint64_t solved = 0;
   for (auto _ : state) {
-    const auto res = verify::check_gd_exhaustive(sg, k, opts);
+    const auto res = verify::run_check(sg, verify::CheckRequest::exhaustive(k, opts));
     benchmark::DoNotOptimize(res);
     if (!res.holds) state.SkipWithError("GD failed");
     solved += res.fault_sets_solved;
@@ -148,7 +148,7 @@ void BM_ExhaustivePruneTrivialGroup(benchmark::State& state) {
   const auto sg = kgd::build_solution(22, 4);
   const auto opts = prune_opts(prune);
   for (auto _ : state) {
-    const auto res = verify::check_gd_exhaustive(*sg, 4, opts);
+    const auto res = verify::run_check(*sg, verify::CheckRequest::exhaustive(4, opts));
     benchmark::DoNotOptimize(res);
     if (!res.holds) state.SkipWithError("GD failed");
     if (res.orbits_pruned != 0) state.SkipWithError("expected no pruning");
@@ -163,7 +163,7 @@ void BM_SampledCheck(benchmark::State& state) {
   const auto sg = kgd::build_solution(40, 4);
   std::uint64_t seed = 0;
   for (auto _ : state) {
-    const auto res = verify::check_gd_sampled(*sg, 4, 200, ++seed);
+    const auto res = verify::run_check(*sg, verify::CheckRequest::sampled(4, 200, ++seed));
     benchmark::DoNotOptimize(res);
   }
   state.SetLabel("n=40 k=4, 200 samples + adversarial suite");

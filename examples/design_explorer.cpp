@@ -52,10 +52,10 @@ int main(int argc, char** argv) {
       const std::uint64_t space =
           fault::FaultEnumerator(sg->num_nodes(), k).total();
       if (space <= 300000) {
-        const auto res = verify::check_gd_exhaustive(*sg, k);
+        const auto res = verify::run_check(*sg, verify::CheckRequest::exhaustive(k));
         verdict = res.holds ? "exhaustive: OK" : "exhaustive: FAIL";
       } else {
-        const auto res = verify::check_gd_sampled(*sg, k, 500, 42);
+        const auto res = verify::run_check(*sg, verify::CheckRequest::sampled(k, 500, 42));
         verdict = res.holds ? "sampled: OK" : "sampled: FAIL";
       }
       table.add_row({util::Table::num(n), util::Table::num(k),

@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
               out.pipeline->to_string(*sg).c_str());
 
   // 4. Certify the graph exhaustively: EVERY fault set up to k works.
-  const auto res = verify::check_gd_exhaustive(*sg, k);
+  const auto res = verify::run_check(*sg, verify::CheckRequest::exhaustive(k));
   std::printf("exhaustive certification over %llu fault sets: %s\n",
               static_cast<unsigned long long>(res.fault_sets_checked),
               res.holds ? "k-gracefully-degradable" : "FAILED");

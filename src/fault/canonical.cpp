@@ -26,6 +26,11 @@ inline std::uint64_t apply_perm(const graph::Permutation& perm,
 
 }  // namespace
 
+std::uint64_t FaultCanonicalizer::apply_to_mask(
+    const graph::Permutation& perm, std::uint64_t mask) {
+  return apply_perm(perm, mask);
+}
+
 bool FaultCanonicalizer::canonical_mask(std::uint64_t mask, Scratch& scratch,
                                         std::uint64_t* canon) const {
   if (auts_ == nullptr || !auts_->usable()) {
@@ -69,6 +74,73 @@ bool FaultCanonicalizer::canonical_mask(std::uint64_t mask, Scratch& scratch,
     }
   }
   *canon = best;
+  return true;
+}
+
+bool FaultCanonicalizer::canonical_mask_transport(
+    std::uint64_t mask, int num_nodes, Scratch& scratch,
+    std::uint64_t* canon, graph::Permutation* sigma) const {
+  sigma->assign(static_cast<std::size_t>(num_nodes), 0);
+  for (int v = 0; v < num_nodes; ++v) (*sigma)[v] = v;
+  if (auts_ == nullptr || !auts_->usable()) {
+    *canon = mask;  // trivial group: identity transport
+    return true;
+  }
+
+  // Same BFS closure as canonical_mask, with a parent link per queue
+  // entry so the minimising chain of generators can be replayed.
+  if (++scratch.generation == 0) {
+    for (std::size_t i = 0; i < kTableSize; ++i) scratch.stamp[i] = 0;
+    scratch.generation = 1;
+  }
+  const std::uint32_t gen = scratch.generation;
+  constexpr std::size_t kMask = kTableSize - 1;
+
+  auto visit = [&](std::uint64_t m) {  // true if newly inserted
+    std::size_t slot = hash_mask(m) & kMask;
+    while (scratch.stamp[slot] == gen) {
+      if (scratch.key[slot] == m) return false;
+      slot = (slot + 1) & kMask;
+    }
+    scratch.stamp[slot] = gen;
+    scratch.key[slot] = m;
+    return true;
+  };
+
+  std::size_t head = 0, tail = 0;
+  visit(mask);
+  scratch.queue[tail] = mask;
+  scratch.parent[tail] = 0;
+  scratch.via[tail] = 0;
+  ++tail;
+  std::size_t best_at = 0;
+  while (head < tail) {
+    const std::size_t cur_at = head;
+    const std::uint64_t cur = scratch.queue[head++];
+    for (std::size_t g = 0; g < auts_->generators.size(); ++g) {
+      const std::uint64_t img = apply_perm(auts_->generators[g], cur);
+      if (!visit(img)) continue;
+      if (tail == kMaxOrbit) return false;  // orbit too large: bypass
+      scratch.queue[tail] = img;
+      scratch.parent[tail] = static_cast<std::uint32_t>(cur_at);
+      scratch.via[tail] = static_cast<std::uint32_t>(g);
+      if (img < scratch.queue[best_at]) best_at = tail;
+      ++tail;
+    }
+  }
+
+  // Replay the parent chain root→best, composing sigma = g_n ∘ … ∘ g_1
+  // (BFS depth is bounded by the orbit size, so the chain fits).
+  std::uint32_t chain[kMaxOrbit];
+  std::size_t depth = 0;
+  for (std::size_t at = best_at; at != 0; at = scratch.parent[at]) {
+    chain[depth++] = scratch.via[at];
+  }
+  for (std::size_t i = depth; i-- > 0;) {
+    const graph::Permutation& g = auts_->generators[chain[i]];
+    for (int v = 0; v < num_nodes; ++v) (*sigma)[v] = g[(*sigma)[v]];
+  }
+  *canon = scratch.queue[best_at];
   return true;
 }
 

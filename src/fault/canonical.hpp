@@ -31,12 +31,18 @@ class FaultCanonicalizer {
   static constexpr std::size_t kTableSize = 2 * kMaxOrbit;
 
   // Fixed-size BFS scratch, reusable across calls and canonicalizers.
-  // ~128 KiB; embed one per worker, not per solve.
+  // ~160 KiB; embed one per worker, not per solve. The parent/via links
+  // are written only by canonical_mask_transport; plain canonical_mask
+  // leaves them untouched.
   struct Scratch {
     std::uint64_t queue[kMaxOrbit];
     std::uint64_t key[kTableSize];
     std::uint32_t stamp[kTableSize] = {};  // generation marks, 0 = free
     std::uint32_t generation = 0;
+    // BFS tree for transport extraction: queue[i] is the image of
+    // queue[parent[i]] under generator via[i] (root has parent[0] == 0).
+    std::uint32_t parent[kMaxOrbit];
+    std::uint32_t via[kMaxOrbit];
   };
 
   // `auts` must outlive the canonicalizer. An unusable group (truncated
@@ -50,6 +56,23 @@ class FaultCanonicalizer {
   // kMaxOrbit, in which case the caller should skip the cache.
   bool canonical_mask(std::uint64_t mask, Scratch& scratch,
                       std::uint64_t* canon) const;
+
+  // As canonical_mask, but also reconstructs a transporting group
+  // element: *sigma is a node permutation (an automorphism of the
+  // underlying graph) with image(sigma, mask) == *canon, composed from
+  // the BFS parent chain. The route atlas uses it to carry a canonical
+  // pipeline back to the queried fault set (apply sigma^-1 nodewise).
+  // `num_nodes` sizes the permutation; it must cover every generator.
+  // With a trivial/unusable group, *sigma is the identity. Same failure
+  // contract as canonical_mask.
+  bool canonical_mask_transport(std::uint64_t mask, int num_nodes,
+                                Scratch& scratch, std::uint64_t* canon,
+                                graph::Permutation* sigma) const;
+
+  // The image of `mask` under a node permutation (exposed for tests and
+  // for atlas transport checks).
+  static std::uint64_t apply_to_mask(const graph::Permutation& perm,
+                                     std::uint64_t mask);
 
  private:
   const graph::AutomorphismList* auts_;

@@ -19,8 +19,11 @@ namespace kgdp::io {
 // Version of the machine-readable export schemas (the `schema_version`
 // field on `kgd_cli json` output, certificate headers, campaign
 // telemetry events, and every kgdd wire frame). Bump when any of those
-// surfaces changes shape.
-inline constexpr int kSchemaVersion = 2;
+// surfaces changes shape. History: v2 added solver-counter surfaces;
+// v3 added the kgdd `route` method and the request-side
+// `schema_version` field. Readers stay backward compatible: artifact
+// loaders and the daemon accept any version in [1, kSchemaVersion].
+inline constexpr int kSchemaVersion = 3;
 
 // Thrown by Json::parse on malformed input; `offset` is the byte
 // position the parser rejected.

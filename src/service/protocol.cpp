@@ -46,6 +46,71 @@ io::Json make_event(const std::string& req_id, const std::string& tag,
   return stamp(req_id, tag, type, std::move(body));
 }
 
+io::Json Envelope::result(io::JsonObject body) const {
+  return make_result(req_id, tag, std::move(body));
+}
+
+io::Json Envelope::error(ErrorCode code, const std::string& message) const {
+  return make_error(req_id, tag, code, message);
+}
+
+io::Json Envelope::event(const std::string& type, io::JsonObject body) const {
+  return make_event(req_id, tag, type, std::move(body));
+}
+
+bool parse_envelope(const std::string& frame, Envelope* env,
+                    io::Json* reply) {
+  try {
+    env->request = io::Json::parse(frame);
+  } catch (const io::JsonParseError& e) {
+    *reply = env->error(ErrorCode::kBadFrame, e.what());
+    return false;
+  }
+  if (!env->request.is_object()) {
+    *reply = env->error(ErrorCode::kBadFrame,
+                        "request frame must be a JSON object");
+    return false;
+  }
+
+  // Recover the tag first so even rejects propagate it.
+  if (const io::Json* tag = env->request.find("tag")) {
+    if (!tag->is_string()) {
+      *reply = env->error(ErrorCode::kBadRequest,
+                          "field 'tag' must be a string");
+      return false;
+    }
+    env->tag = tag->as_string();
+  }
+
+  const io::Json* method = env->request.find("method");
+  if (method == nullptr || !method->is_string() ||
+      method->as_string().empty()) {
+    *reply = env->error(ErrorCode::kBadRequest,
+                        "missing required string field 'method'");
+    return false;
+  }
+  env->method = method->as_string();
+
+  if (const io::Json* ver = env->request.find("schema_version")) {
+    if (!ver->is_int() || ver->as_int() < 1 ||
+        ver->as_int() > io::kSchemaVersion) {
+      *reply = env->error(
+          ErrorCode::kBadRequest,
+          "unsupported schema_version (this server speaks 1.." +
+              std::to_string(io::kSchemaVersion) + ")");
+      return false;
+    }
+    env->schema_version = static_cast<int>(ver->as_int());
+  }
+
+  const io::Json* params = env->params();
+  if (params != nullptr && !params->is_object()) {
+    *reply = env->error(ErrorCode::kBadRequest, "'params' must be an object");
+    return false;
+  }
+  return true;
+}
+
 bool is_terminal_frame(const io::Json& frame) {
   const io::Json* type = frame.find("type");
   if (type == nullptr || !type->is_string()) return true;  // fail safe

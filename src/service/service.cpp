@@ -10,6 +10,7 @@
 
 #include "campaign/checkpoint.hpp"
 #include "campaign/telemetry.hpp"
+#include "fault/canonical.hpp"
 #include "kgd/factory.hpp"
 #include "service/checkpoint.hpp"
 #include "sim/campaign.hpp"
@@ -81,6 +82,30 @@ bool param_string(const io::Json* params, const char* name,
   return true;
 }
 
+// Parses one fault-set JSON array into node ids (range-checked against
+// `num_nodes` later, once the graph is known).
+bool parse_fault_list(const io::Json& arr, const char* what,
+                      std::vector<graph::Node>* out, std::string* error) {
+  if (!arr.is_array()) {
+    *error = std::string(what) + " must be an array of node ids";
+    return false;
+  }
+  out->clear();
+  out->reserve(arr.as_array().size());
+  for (const io::Json& v : arr.as_array()) {
+    if (!v.is_int() || v.as_int() < 0) {
+      *error = std::string(what) + " must contain non-negative integers";
+      return false;
+    }
+    out->push_back(static_cast<graph::Node>(v.as_int()));
+  }
+  return true;
+}
+
+// Largest batch one `route` request may carry; bounds the work a single
+// frame can pin on a pool worker.
+constexpr std::size_t kMaxRouteBatch = 4096;
+
 // Highest <N> among kgdd-s<N>.kgdp* files (checkpoints, .bak, .corrupt,
 // .tmp residue) in `dir`; 0 when none. Session ids seed past this so a
 // restarted daemon never mints an id whose checkpoint files a crashed
@@ -131,6 +156,26 @@ Service::Service(net::EventLoop& loop, net::FrameServer& server,
     verdict_cache_ = std::make_unique<verify::VerdictCache>(
         static_cast<std::size_t>(config_.cache_entries));
   }
+  if (config_.atlas_entries > 0) {
+    route_atlas_ = std::make_unique<reconfig::RouteAtlas>(
+        static_cast<std::size_t>(config_.atlas_entries));
+    for (const std::string& path : config_.atlas_paths) {
+      std::ifstream in(path);
+      if (!in) {
+        throw std::runtime_error("cannot open atlas artifact: " + path);
+      }
+      try {
+        const reconfig::RouteAtlasFileInfo info = route_atlas_->load(in);
+        util::log_info("atlas: preloaded ", info.entries, " routes for n=",
+                       info.n, " k=", info.k, " from ", path);
+      } catch (const std::exception& e) {
+        throw std::runtime_error("atlas artifact " + path + ": " + e.what());
+      }
+    }
+  } else if (!config_.atlas_paths.empty()) {
+    throw std::runtime_error(
+        "atlas artifacts given but the atlas is disabled (atlas_entries=0)");
+  }
 }
 
 Service::~Service() = default;
@@ -162,74 +207,37 @@ bool Service::admit_job() const {
 // ---------------------------------------------------------------------------
 
 void Service::handle_frame(std::uint64_t conn, std::string frame) {
-  const std::string req_id = next_req_id();
   util::Timer timer;
+  Envelope env;
+  env.req_id = next_req_id();
 
-  io::Json request;
-  try {
-    request = io::Json::parse(frame);
-  } catch (const io::JsonParseError& e) {
-    reply_terminal(conn, "_frame",
-                   make_error(req_id, "", ErrorCode::kBadFrame, e.what()),
-                   Outcome::kError, timer.seconds());
-    return;
-  }
-  if (!request.is_object()) {
-    reply_terminal(
-        conn, "_frame",
-        make_error(req_id, "", ErrorCode::kBadFrame,
-                   "request frame must be a JSON object"),
-        Outcome::kError, timer.seconds());
-    return;
-  }
-
-  std::string tag;
-  std::string method;
-  std::string param_error;
-  if (!param_string(&request, "tag", "", &tag, &param_error) ||
-      !param_string(&request, "method", "", &method, &param_error)) {
-    reply_terminal(conn, "_frame",
-                   make_error(req_id, tag, ErrorCode::kBadRequest,
-                              param_error),
-                   Outcome::kError, timer.seconds());
-    return;
-  }
-  if (method.empty()) {
-    reply_terminal(conn, "_frame",
-                   make_error(req_id, tag, ErrorCode::kBadRequest,
-                              "missing required field 'method'"),
-                   Outcome::kError, timer.seconds());
-    return;
-  }
-  const io::Json* params = request.find("params");
-  if (params != nullptr && !params->is_object()) {
-    reply_terminal(conn, method,
-                   make_error(req_id, tag, ErrorCode::kBadRequest,
-                              "'params' must be an object"),
+  io::Json reject;
+  if (!parse_envelope(frame, &env, &reject)) {
+    reply_terminal(conn, env.method.empty() ? "_frame" : env.method, reject,
                    Outcome::kError, timer.seconds());
     return;
   }
 
   // Control-plane methods stay available while draining.
-  if (method == "ping") {
+  if (env.method == "ping") {
     io::JsonObject body;
     body["pong"] = true;
-    reply_terminal(conn, method, make_result(req_id, tag, std::move(body)),
+    reply_terminal(conn, env.method, env.result(std::move(body)),
                    Outcome::kOk, timer.seconds());
     return;
   }
-  if (method == "stats") {
-    handle_stats(conn, req_id, tag);
+  if (env.method == "stats") {
+    handle_stats(conn, env);
     return;
   }
-  if (method == "cancel") {
-    handle_cancel(conn, req_id, tag, params);
+  if (env.method == "cancel") {
+    handle_cancel(conn, env);
     return;
   }
-  if (method == "shutdown") {
+  if (env.method == "shutdown") {
     io::JsonObject body;
     body["draining"] = true;
-    reply_terminal(conn, method, make_result(req_id, tag, std::move(body)),
+    reply_terminal(conn, env.method, env.result(std::move(body)),
                    Outcome::kOk, timer.seconds());
     // Posted so the reply is queued before connections start closing.
     loop_.post([this] { begin_drain(); });
@@ -237,29 +245,33 @@ void Service::handle_frame(std::uint64_t conn, std::string frame) {
   }
 
   if (draining_) {
-    reply_terminal(conn, method,
-                   make_error(req_id, tag, ErrorCode::kShuttingDown,
-                              "daemon is draining"),
+    reply_terminal(conn, env.method,
+                   env.error(ErrorCode::kShuttingDown, "daemon is draining"),
                    Outcome::kError, timer.seconds());
     return;
   }
 
-  if (method == "verify") {
-    handle_verify(conn, req_id, tag, params);
+  if (env.method == "verify") {
+    handle_verify(conn, env);
+    return;
+  }
+  if (env.method == "route") {
+    handle_route(conn, env);
     return;
   }
 
-  if (method == "construct") {
+  std::string param_error;
+  if (env.method == "construct") {
     std::int64_t n = 0, k = 0;
+    const io::Json* params = env.params();
     if (!param_int(params, "n", true, 0, 1, 1 << 20, &n, &param_error) ||
         !param_int(params, "k", true, 0, 1, 64, &k, &param_error)) {
-      reply_terminal(conn, method,
-                     make_error(req_id, tag, ErrorCode::kBadRequest,
-                                param_error),
+      reply_terminal(conn, env.method,
+                     env.error(ErrorCode::kBadRequest, param_error),
                      Outcome::kError, timer.seconds());
       return;
     }
-    submit_job(conn, method, req_id, tag, [n, k]() -> JobReply {
+    submit_job(conn, env, [n, k]() -> JobReply {
       JobReply r;
       auto built = kgd::build_solution(static_cast<int>(n),
                                        static_cast<int>(k));
@@ -283,10 +295,11 @@ void Service::handle_frame(std::uint64_t conn, std::string frame) {
     return;
   }
 
-  if (method == "sim.run") {
+  if (env.method == "sim.run") {
     std::int64_t n = 0, k = 0, seed = 0;
     sim::CampaignConfig sim_config;
     double horizon_mcycles = 10.0;
+    const io::Json* params = env.params();
     if (!param_int(params, "n", true, 0, 1, 1 << 20, &n, &param_error) ||
         !param_int(params, "k", true, 0, 1, 64, &k, &param_error) ||
         !param_int(params, "seed", false, 1, 0, INT64_MAX, &seed,
@@ -301,15 +314,14 @@ void Service::handle_frame(std::uint64_t conn, std::string frame) {
                       0.0, 1e12, &sim_config.repair_cycles, &param_error) ||
         !param_double(params, "horizon_mcycles", 10.0, 1e-6, 1e6,
                       &horizon_mcycles, &param_error)) {
-      reply_terminal(conn, method,
-                     make_error(req_id, tag, ErrorCode::kBadRequest,
-                                param_error),
+      reply_terminal(conn, env.method,
+                     env.error(ErrorCode::kBadRequest, param_error),
                      Outcome::kError, timer.seconds());
       return;
     }
     sim_config.horizon_cycles = horizon_mcycles * 1e6;
     sim_config.seed = static_cast<std::uint64_t>(seed);
-    submit_job(conn, method, req_id, tag, [n, k, sim_config]() -> JobReply {
+    submit_job(conn, env, [n, k, sim_config]() -> JobReply {
       JobReply r;
       auto built = kgd::build_solution(static_cast<int>(n),
                                        static_cast<int>(k));
@@ -333,19 +345,19 @@ void Service::handle_frame(std::uint64_t conn, std::string frame) {
     return;
   }
 
-  if (method == "campaign.status") {
+  if (env.method == "campaign.status") {
     std::string dir;
-    if (!param_string(params, "dir", "", &dir, &param_error) ||
+    if (!param_string(env.params(), "dir", "", &dir, &param_error) ||
         dir.empty()) {
       reply_terminal(
-          conn, method,
-          make_error(req_id, tag, ErrorCode::kBadRequest,
-                     param_error.empty() ? "missing required param 'dir'"
-                                         : param_error),
+          conn, env.method,
+          env.error(ErrorCode::kBadRequest,
+                    param_error.empty() ? "missing required param 'dir'"
+                                        : param_error),
           Outcome::kError, timer.seconds());
       return;
     }
-    submit_job(conn, method, req_id, tag, [dir]() -> JobReply {
+    submit_job(conn, env, [dir]() -> JobReply {
       JobReply r;
       campaign::CampaignState state;
       try {
@@ -393,9 +405,9 @@ void Service::handle_frame(std::uint64_t conn, std::string frame) {
     return;
   }
 
-  reply_terminal(conn, method,
-                 make_error(req_id, tag, ErrorCode::kUnknownMethod,
-                            "unknown method '" + method + "'"),
+  reply_terminal(conn, env.method,
+                 env.error(ErrorCode::kUnknownMethod,
+                           "unknown method '" + env.method + "'"),
                  Outcome::kError, timer.seconds());
 }
 
@@ -403,20 +415,17 @@ void Service::handle_frame(std::uint64_t conn, std::string frame) {
 // One-shot jobs
 // ---------------------------------------------------------------------------
 
-void Service::submit_job(std::uint64_t conn, const std::string& method,
-                         const std::string& req_id, const std::string& tag,
+void Service::submit_job(std::uint64_t conn, const Envelope& env,
                          std::function<JobReply()> work) {
   util::Timer timer;
   if (!admit_job()) {
-    reply_terminal(conn, method,
-                   make_error(req_id, tag, ErrorCode::kOverloaded,
-                              "admission queue full"),
+    reply_terminal(conn, env.method,
+                   env.error(ErrorCode::kOverloaded, "admission queue full"),
                    Outcome::kOverloaded, timer.seconds());
     return;
   }
   ++outstanding_jobs_;
-  pool_.submit([this, conn, method, req_id, tag, timer,
-                work = std::move(work)] {
+  pool_.submit([this, conn, env, timer, work = std::move(work)] {
     JobReply reply;
     try {
       reply = work();
@@ -427,16 +436,13 @@ void Service::submit_job(std::uint64_t conn, const std::string& method,
       reply.error_code = ErrorCode::kInternal;
       reply.error_message = "unknown error";
     }
-    loop_.post([this, conn, method, req_id, tag, timer,
-                reply = std::move(reply)] {
+    loop_.post([this, conn, env, timer, reply = std::move(reply)] {
       if (reply.error_message.empty()) {
-        reply_terminal(conn, method,
-                       make_result(req_id, tag, reply.body), Outcome::kOk,
-                       timer.seconds());
+        reply_terminal(conn, env.method, env.result(reply.body),
+                       Outcome::kOk, timer.seconds());
       } else {
-        reply_terminal(conn, method,
-                       make_error(req_id, tag, reply.error_code,
-                                  reply.error_message),
+        reply_terminal(conn, env.method,
+                       env.error(reply.error_code, reply.error_message),
                        Outcome::kError, timer.seconds());
       }
       --outstanding_jobs_;
@@ -449,8 +455,7 @@ void Service::submit_job(std::uint64_t conn, const std::string& method,
 // Control-plane handlers
 // ---------------------------------------------------------------------------
 
-void Service::handle_stats(std::uint64_t conn, const std::string& req_id,
-                           const std::string& tag) {
+void Service::handle_stats(std::uint64_t conn, const Envelope& env) {
   util::Timer timer;
   io::JsonObject body;
   body["metrics"] = metrics_.snapshot();
@@ -485,26 +490,42 @@ void Service::handle_stats(std::uint64_t conn, const std::string& req_id,
   cache["inserts"] = cs.inserts;
   cache["evictions"] = cs.evictions;
   body["cache"] = io::Json(std::move(cache));
+  // Route-atlas totals (atomic counters; live route jobs included).
+  io::JsonObject atlas;
+  atlas["enabled"] = route_atlas_ != nullptr;
+  atlas["capacity"] = static_cast<std::uint64_t>(
+      route_atlas_ ? route_atlas_->max_entries() : 0);
+  const reconfig::RouteAtlasStats as =
+      route_atlas_ ? route_atlas_->stats() : reconfig::RouteAtlasStats{};
+  atlas["entries"] = as.entries;
+  atlas["hits"] = as.hits;
+  atlas["misses"] = as.misses;
+  atlas["inserts"] = as.inserts;
+  atlas["rejected_full"] = as.rejected_full;
+  {
+    std::lock_guard<std::mutex> lock(routers_mu_);
+    atlas["routers"] = static_cast<std::uint64_t>(routers_.size());
+  }
+  body["atlas"] = io::Json(std::move(atlas));
   body["draining"] = draining_;
   if (!config_.metrics_path.empty()) {
     std::ofstream out(config_.metrics_path, std::ios::app);
     if (out) metrics_.dump_jsonl(out);
   }
-  reply_terminal(conn, "stats", make_result(req_id, tag, std::move(body)),
-                 Outcome::kOk, timer.seconds());
+  reply_terminal(conn, "stats", env.result(std::move(body)), Outcome::kOk,
+                 timer.seconds());
 }
 
-void Service::handle_cancel(std::uint64_t conn, const std::string& req_id,
-                            const std::string& tag, const io::Json* params) {
+void Service::handle_cancel(std::uint64_t conn, const Envelope& env) {
   util::Timer timer;
   std::string sid, param_error;
-  if (!param_string(params, "session", "", &sid, &param_error) ||
+  if (!param_string(env.params(), "session", "", &sid, &param_error) ||
       sid.empty()) {
     reply_terminal(
         conn, "cancel",
-        make_error(req_id, tag, ErrorCode::kBadRequest,
-                   param_error.empty() ? "missing required param 'session'"
-                                       : param_error),
+        env.error(ErrorCode::kBadRequest,
+                  param_error.empty() ? "missing required param 'session'"
+                                      : param_error),
         Outcome::kError, timer.seconds());
     return;
   }
@@ -517,32 +538,173 @@ void Service::handle_cancel(std::uint64_t conn, const std::string& req_id,
     s.cancelled = true;
     if (!s.running_chunk) finalize_cancelled(s);
   }
-  reply_terminal(conn, "cancel", make_result(req_id, tag, std::move(body)),
-                 Outcome::kOk, timer.seconds());
+  reply_terminal(conn, "cancel", env.result(std::move(body)), Outcome::kOk,
+                 timer.seconds());
+}
+
+// ---------------------------------------------------------------------------
+// Routing (atlas-served)
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<Service::RouterEntry> Service::router_for(int n, int k,
+                                                          std::string* error,
+                                                          ErrorCode* code) {
+  // Serializes first-use construction of a given (n, k) router (graph +
+  // automorphism group, milliseconds); steady-state this is one map
+  // lookup under an uncontended lock. Pool-worker callable.
+  std::lock_guard<std::mutex> lock(routers_mu_);
+  const auto it = routers_.find({n, k});
+  if (it != routers_.end()) return it->second;
+  auto built = kgd::build_solution(n, k);
+  if (!built) {
+    *code = ErrorCode::kUnsupported;
+    *error = "no construction for n=" + std::to_string(n) +
+             " k=" + std::to_string(k);
+    return nullptr;
+  }
+  auto entry = std::make_shared<RouterEntry>(std::move(*built),
+                                             route_atlas_.get());
+  routers_.emplace(std::make_pair(n, k), entry);
+  return entry;
+}
+
+void Service::handle_route(std::uint64_t conn, const Envelope& env) {
+  util::Timer timer;
+  std::string param_error;
+  std::int64_t n = 0, k = 0;
+  const io::Json* params = env.params();
+  if (!param_int(params, "n", true, 0, 1, 1 << 20, &n, &param_error) ||
+      !param_int(params, "k", true, 0, 1, 64, &k, &param_error)) {
+    reply_terminal(conn, env.method,
+                   env.error(ErrorCode::kBadRequest, param_error),
+                   Outcome::kError, timer.seconds());
+    return;
+  }
+  const io::Json* faults = params != nullptr ? params->find("faults") : nullptr;
+  const io::Json* sets = params != nullptr ? params->find("sets") : nullptr;
+  if ((faults != nullptr) == (sets != nullptr)) {
+    reply_terminal(conn, env.method,
+                   env.error(ErrorCode::kBadRequest,
+                             "exactly one of 'faults' (one fault set) or "
+                             "'sets' (a batch of fault sets) is required"),
+                   Outcome::kError, timer.seconds());
+    return;
+  }
+  const bool single = faults != nullptr;
+  std::vector<std::vector<graph::Node>> batch;
+  if (single) {
+    batch.emplace_back();
+    if (!parse_fault_list(*faults, "param 'faults'", &batch.back(),
+                          &param_error)) {
+      reply_terminal(conn, env.method,
+                     env.error(ErrorCode::kBadRequest, param_error),
+                     Outcome::kError, timer.seconds());
+      return;
+    }
+  } else {
+    if (!sets->is_array()) {
+      reply_terminal(conn, env.method,
+                     env.error(ErrorCode::kBadRequest,
+                               "param 'sets' must be an array of fault-set "
+                               "arrays"),
+                     Outcome::kError, timer.seconds());
+      return;
+    }
+    if (sets->as_array().size() > kMaxRouteBatch) {
+      reply_terminal(
+          conn, env.method,
+          env.error(ErrorCode::kBadRequest,
+                    "batch of " + std::to_string(sets->as_array().size()) +
+                        " fault sets exceeds the per-request limit of " +
+                        std::to_string(kMaxRouteBatch)),
+          Outcome::kError, timer.seconds());
+      return;
+    }
+    batch.reserve(sets->as_array().size());
+    for (std::size_t i = 0; i < sets->as_array().size(); ++i) {
+      batch.emplace_back();
+      if (!parse_fault_list(sets->as_array()[i],
+                            ("param 'sets[" + std::to_string(i) + "]'")
+                                .c_str(),
+                            &batch.back(), &param_error)) {
+        reply_terminal(conn, env.method,
+                       env.error(ErrorCode::kBadRequest, param_error),
+                       Outcome::kError, timer.seconds());
+        return;
+      }
+    }
+  }
+
+  submit_job(conn, env,
+             [this, n, k, single, batch = std::move(batch)]() -> JobReply {
+    JobReply r;
+    const std::shared_ptr<RouterEntry> entry = router_for(
+        static_cast<int>(n), static_cast<int>(k), &r.error_message,
+        &r.error_code);
+    if (entry == nullptr) return r;
+    const int nn = entry->sg.num_nodes();
+    // One canonicalizer scratch per pool worker (~160 KiB): route jobs
+    // on the same worker reuse it allocation-free.
+    static thread_local std::unique_ptr<fault::FaultCanonicalizer::Scratch>
+        scratch;
+    if (scratch == nullptr) {
+      scratch = std::make_unique<fault::FaultCanonicalizer::Scratch>();
+    }
+    io::JsonArray routes;
+    routes.reserve(batch.size());
+    for (const std::vector<graph::Node>& nodes : batch) {
+      for (const graph::Node v : nodes) {
+        if (v >= nn) {
+          r.error_code = ErrorCode::kBadRequest;
+          r.error_message =
+              "fault id " + std::to_string(v) + " out of range: the n=" +
+              std::to_string(n) + " k=" + std::to_string(k) + " graph has " +
+              std::to_string(nn) + " nodes";
+          return r;
+        }
+      }
+      const reconfig::Router::Result res = entry->router.route(
+          kgd::FaultSet(nn, nodes), *scratch);
+      if (!res.feasible) {
+        routes.push_back(io::Json(nullptr));
+        continue;
+      }
+      io::JsonArray path;
+      path.reserve(res.pipeline.path.size());
+      for (const graph::Node v : res.pipeline.path) path.push_back(v);
+      routes.push_back(io::Json(std::move(path)));
+    }
+    // Reply bodies carry the route alone — never hit/warm provenance —
+    // so atlas-on and atlas-off replies are bit-identical.
+    if (single) {
+      r.body["route"] = std::move(routes.front());
+    } else {
+      r.body["routes"] = io::Json(std::move(routes));
+    }
+    return r;
+  });
 }
 
 // ---------------------------------------------------------------------------
 // Streaming verify sessions
 // ---------------------------------------------------------------------------
 
-void Service::handle_verify(std::uint64_t conn, const std::string& req_id,
-                            const std::string& tag, const io::Json* params) {
+void Service::handle_verify(std::uint64_t conn, const Envelope& env) {
   util::Timer timer;
   std::string param_error;
+  const io::Json* params = env.params();
 
   std::string resume_path;
   if (!param_string(params, "resume", "", &resume_path, &param_error)) {
     reply_terminal(conn, "verify",
-                   make_error(req_id, tag, ErrorCode::kBadRequest,
-                              param_error),
+                   env.error(ErrorCode::kBadRequest, param_error),
                    Outcome::kError, timer.seconds());
     return;
   }
 
   auto s = std::make_unique<Session>();
   s->conn = conn;
-  s->req_id = req_id;
-  s->tag = tag;
+  s->env = env;
   s->resume_path = resume_path;
   s->chunk = config_.default_chunk;
 
@@ -564,22 +726,21 @@ void Service::handle_verify(std::uint64_t conn, const std::string& req_id,
         !param_string(params, "mode", "exhaustive", &mode, &param_error) ||
         !param_string(params, "prune", "auto", &prune, &param_error)) {
       reply_terminal(conn, "verify",
-                     make_error(req_id, tag, ErrorCode::kBadRequest,
-                                param_error),
+                     env.error(ErrorCode::kBadRequest, param_error),
                      Outcome::kError, timer.seconds());
       return;
     }
     if (mode != "exhaustive" && mode != "sampled") {
       reply_terminal(conn, "verify",
-                     make_error(req_id, tag, ErrorCode::kBadRequest,
-                                "param 'mode' must be exhaustive|sampled"),
+                     env.error(ErrorCode::kBadRequest,
+                               "param 'mode' must be exhaustive|sampled"),
                      Outcome::kError, timer.seconds());
       return;
     }
     if (prune != "auto" && prune != "off") {
       reply_terminal(conn, "verify",
-                     make_error(req_id, tag, ErrorCode::kBadRequest,
-                                "param 'prune' must be auto|off"),
+                     env.error(ErrorCode::kBadRequest,
+                               "param 'prune' must be auto|off"),
                      Outcome::kError, timer.seconds());
       return;
     }
@@ -597,10 +758,10 @@ void Service::handle_verify(std::uint64_t conn, const std::string& req_id,
 
   if (sessions_.size() >= config_.max_sessions || !admit_job()) {
     reply_terminal(conn, "verify",
-                   make_error(req_id, tag, ErrorCode::kOverloaded,
-                              sessions_.size() >= config_.max_sessions
-                                  ? "session registry full"
-                                  : "admission queue full"),
+                   env.error(ErrorCode::kOverloaded,
+                             sessions_.size() >= config_.max_sessions
+                                 ? "session registry full"
+                                 : "admission queue full"),
                    Outcome::kOverloaded, timer.seconds());
     return;
   }
@@ -612,7 +773,7 @@ void Service::handle_verify(std::uint64_t conn, const std::string& req_id,
 
   io::JsonObject body;
   body["session"] = sid;
-  send(conn, make_event(req_id, tag, "accepted", std::move(body)));
+  send(conn, env.event("accepted", std::move(body)));
   // Re-find: send() may have torn the connection down, and the session
   // must never be handed to the pool through a stale reference.
   const auto it = sessions_.find(sid);
@@ -731,7 +892,7 @@ void Service::chunk_done(const std::string& sid, const std::string& error,
                      ": periodic checkpoint failed: ", cp_error);
     }
   }
-  send(s.conn, make_event(s.req_id, s.tag, "progress", std::move(body)));
+  send(s.conn, s.env.event("progress", std::move(body)));
   // Re-find before scheduling: the send can destroy the connection, and
   // nothing that runs under it may have erased the session.
   const auto again = sessions_.find(sid);
@@ -785,9 +946,8 @@ void Service::finalize_done(Session& s) {
   body["items_done"] = s.session->items_done();
   body["items_total"] = s.session->items_total();
   body["verdict"] = campaign::check_result_to_json(s.session->result());
-  reply_terminal(s.conn, "verify",
-                 make_result(s.req_id, s.tag, std::move(body)), Outcome::kOk,
-                 s.timer.seconds());
+  reply_terminal(s.conn, "verify", s.env.result(std::move(body)),
+                 Outcome::kOk, s.timer.seconds());
   destroy_session(sid);
 }
 
@@ -803,8 +963,7 @@ void Service::finalize_cancelled(Session& s) {
     body["items_done"] = s.session->items_done();
     body["items_total"] = s.session->items_total();
   }
-  reply_terminal(s.conn, "verify",
-                 make_result(s.req_id, s.tag, std::move(body)),
+  reply_terminal(s.conn, "verify", s.env.result(std::move(body)),
                  Outcome::kCancelled, s.timer.seconds());
   destroy_session(sid);
 }
@@ -823,8 +982,7 @@ void Service::finalize_drained(Session& s) {
   body["checkpoint"] = path;
   body["items_done"] = s.session->items_done();
   body["items_total"] = s.session->items_total();
-  reply_terminal(s.conn, "verify",
-                 make_result(s.req_id, s.tag, std::move(body)),
+  reply_terminal(s.conn, "verify", s.env.result(std::move(body)),
                  Outcome::kDrained, s.timer.seconds());
   destroy_session(sid);
 }
@@ -839,8 +997,8 @@ void Service::finalize_error(Session& s, ErrorCode code,
     util::log_warn("session ", s.id, ": failed; last checkpoint kept at ",
                    session_checkpoint_path(s));
   }
-  reply_terminal(s.conn, "verify", make_error(s.req_id, s.tag, code, what),
-                 Outcome::kError, s.timer.seconds());
+  reply_terminal(s.conn, "verify", s.env.error(code, what), Outcome::kError,
+                 s.timer.seconds());
   destroy_session(sid);
 }
 

@@ -1,14 +1,20 @@
 // kgdd request router and session registry. Sits between the
-// content-agnostic net::FrameServer and the checker/construction/sim
-// libraries:
+// content-agnostic net::FrameServer and the checker/construction/sim/
+// reconfiguration libraries:
 //
-//   * every inbound frame is parsed, validated, and answered with
-//     protocol.hpp frames carrying a server-assigned request id;
-//   * quick requests (construct, sim.run, campaign.status) run as one
-//     util::ThreadPool task each, behind a bounded admission rule —
-//     when every worker is busy and max_queue requests are already
-//     waiting, the request is shed with an `overloaded` error instead
-//     of ever blocking the event loop;
+//   * every inbound frame is parsed into a service::Envelope (request
+//     id, tag, method, declared schema_version) and answered with
+//     frames stamped through that envelope — one reply shape for every
+//     method;
+//   * quick requests (construct, sim.run, campaign.status, route) run
+//     as one util::ThreadPool task each, behind a bounded admission
+//     rule — when every worker is busy and max_queue requests are
+//     already waiting, the request is shed with an `overloaded` error
+//     instead of ever blocking the event loop;
+//   * `route` answers from the shared reconfig::RouteAtlas when the
+//     orbit-canonical key hits, computes-and-warms on a miss, and is
+//     bit-identical either way (the atlas stores exactly what the miss
+//     path computes);
 //   * `verify` runs as a streaming session: the CheckSession advances
 //     in bounded chunks (one pool task per chunk), the client gets
 //     `accepted` + per-chunk `progress` frames, may `cancel` mid-sweep,
@@ -16,22 +22,27 @@
 //     `verify {"resume": path}` reproduces the uninterrupted verdict.
 //
 // Threading contract: every Service method and callback runs on the
-// event-loop thread. Pool tasks touch only their own session (guarded
-// by the running_chunk flag) or job-local state, and hand results back
-// via EventLoop::post.
+// event-loop thread, except router_for() which pool tasks call behind
+// routers_mu_. Pool tasks touch only their own session (guarded by the
+// running_chunk flag) or job-local state, and hand results back via
+// EventLoop::post.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "io/json.hpp"
 #include "kgd/labeled_graph.hpp"
 #include "net/event_loop.hpp"
 #include "net/server.hpp"
+#include "reconfig/atlas.hpp"
 #include "service/metrics.hpp"
 #include "service/protocol.hpp"
 #include "util/thread_pool.hpp"
@@ -62,6 +73,14 @@ struct ServiceConfig {
   // (entries; 0 = off). Runtime accelerator only: verdicts are
   // bit-identical with or without it.
   std::uint64_t cache_entries = 0;
+  // Orbit-keyed route atlas shared across all `route` requests
+  // (entries; 0 = off). Also a pure accelerator: the atlas stores
+  // exactly what the miss path computes, so replies are bit-identical
+  // with or without it.
+  std::uint64_t atlas_entries = 1 << 20;
+  // Atlas artifacts (`kgd_cli atlas build`) preloaded at startup.
+  // Construction throws on an unreadable or malformed artifact.
+  std::vector<std::string> atlas_paths;
 };
 
 class Service {
@@ -83,12 +102,13 @@ class Service {
   bool draining() const { return draining_; }
   std::size_t active_sessions() const { return sessions_.size(); }
   util::ThreadPool& pool() { return pool_; }
+  reconfig::RouteAtlas* route_atlas() { return route_atlas_.get(); }
 
  private:
   struct Session {
     std::string id;
     std::uint64_t conn = 0;
-    std::string req_id, tag;
+    Envelope env;  // the admitting request; stamps the whole stream
     int n = 0, k = 0;
     verify::CheckRequest req;  // options.pool stays null (chunk = task)
     std::uint64_t chunk = 0;
@@ -103,6 +123,15 @@ class Service {
     std::uint64_t chunks_since_checkpoint = 0;
     bool wrote_checkpoint = false;
     util::Timer timer;
+  };
+
+  // A lazily built (n, k) router: the graph and its automorphism-backed
+  // Router, which borrows both the graph and the shared atlas.
+  struct RouterEntry {
+    RouterEntry(kgd::SolutionGraph g, reconfig::RouteAtlas* atlas)
+        : sg(std::move(g)), router(sg, atlas) {}
+    kgd::SolutionGraph sg;
+    reconfig::Router router;
   };
 
   std::string next_req_id();
@@ -123,17 +152,20 @@ class Service {
     std::string error_message;    // non-empty selects an error frame
     ErrorCode error_code = ErrorCode::kInternal;
   };
-  void submit_job(std::uint64_t conn, const std::string& method,
-                  const std::string& req_id, const std::string& tag,
+  void submit_job(std::uint64_t conn, const Envelope& env,
                   std::function<JobReply()> work);
 
   // Request handlers (loop thread).
-  void handle_verify(std::uint64_t conn, const std::string& req_id,
-                     const std::string& tag, const io::Json* params);
-  void handle_cancel(std::uint64_t conn, const std::string& req_id,
-                     const std::string& tag, const io::Json* params);
-  void handle_stats(std::uint64_t conn, const std::string& req_id,
-                    const std::string& tag);
+  void handle_verify(std::uint64_t conn, const Envelope& env);
+  void handle_cancel(std::uint64_t conn, const Envelope& env);
+  void handle_stats(std::uint64_t conn, const Envelope& env);
+  void handle_route(std::uint64_t conn, const Envelope& env);
+
+  // The (n, k) router, built on first use. Callable from pool workers
+  // (locks routers_mu_). Returns nullptr + fills *error/*code when the
+  // construction is unsupported.
+  std::shared_ptr<RouterEntry> router_for(int n, int k, std::string* error,
+                                          ErrorCode* code);
 
   // Session machinery (loop thread unless noted).
   std::string session_checkpoint_path(const Session& s) const;
@@ -166,6 +198,12 @@ class Service {
   // Shared verdict cache (cache_entries > 0); sessions hold a raw
   // pointer, so it outlives them by construction order.
   std::unique_ptr<verify::VerdictCache> verdict_cache_;
+  // Shared route atlas (atlas_entries > 0) and the lazily built per-
+  // (n, k) routers serving it. routers_ is the one piece of state pool
+  // workers touch directly — always behind routers_mu_.
+  std::unique_ptr<reconfig::RouteAtlas> route_atlas_;
+  std::mutex routers_mu_;
+  std::map<std::pair<int, int>, std::shared_ptr<RouterEntry>> routers_;
   std::uint64_t next_req_ = 1;
   // Seeded at construction past any kgdd-s<N>.kgdp* left in drain_dir,
   // so ids — and with them checkpoint paths — never collide with a

@@ -35,25 +35,6 @@ class Fnv64 {
   std::uint64_t h_ = 0xcbf29ce484222325ULL;
 };
 
-// Graph-only fingerprint (roles + edges) scoping verdict-cache entries:
-// two sessions over the same graph share cache entries regardless of
-// mode, max_faults, or sharding, because the verdict for a fault set is
-// a function of the graph alone.
-std::uint64_t graph_fingerprint(const kgd::SolutionGraph& sg) {
-  Fnv64 h;
-  h.mix(static_cast<std::uint64_t>(sg.num_nodes()));
-  h.mix(static_cast<std::uint64_t>(sg.n()));
-  h.mix(static_cast<std::uint64_t>(sg.k()));
-  for (int v = 0; v < sg.num_nodes(); ++v) {
-    h.mix(static_cast<std::uint64_t>(sg.role(v)));
-  }
-  for (auto [u, v] : sg.graph().edges()) {
-    h.mix((static_cast<std::uint64_t>(u) << 32) |
-          static_cast<std::uint32_t>(v));
-  }
-  return h.value();
-}
-
 // Everything a cursor must be bound to: the graph (roles + edges decide
 // both the verdict and the automorphism group), the request semantics,
 // and the orbit layout actually in effect.
@@ -111,6 +92,25 @@ std::uint64_t read_u64(std::istream& in, const char* keyword) {
 }
 
 }  // namespace
+
+// Declared in the header: two sessions (or a session and a route atlas)
+// over the same graph share cache/atlas entries regardless of mode,
+// max_faults, or sharding, because the verdict for a fault set — and
+// the canonical route — is a function of the graph alone.
+std::uint64_t graph_fingerprint(const kgd::SolutionGraph& sg) {
+  Fnv64 h;
+  h.mix(static_cast<std::uint64_t>(sg.num_nodes()));
+  h.mix(static_cast<std::uint64_t>(sg.n()));
+  h.mix(static_cast<std::uint64_t>(sg.k()));
+  for (int v = 0; v < sg.num_nodes(); ++v) {
+    h.mix(static_cast<std::uint64_t>(sg.role(v)));
+  }
+  for (auto [u, v] : sg.graph().edges()) {
+    h.mix((static_cast<std::uint64_t>(u) << 32) |
+          static_cast<std::uint32_t>(v));
+  }
+  return h.value();
+}
 
 // Per-worker context: one solver plus one delta sweep reused across every
 // representative the worker claims (scratch allocations amortise), and a

@@ -31,26 +31,15 @@
 
 namespace kgdp::verify {
 
-enum class CheckMode {
-  kExhaustive,  // certify: every fault set of size <= max_faults
-  kSampled,     // evidence: adversarial suite + random samples
-};
+// CheckMode and CheckRequest (with its exhaustive()/sampled() factories
+// and the one-shot run_check()) live in verify/checker.hpp; this header
+// adds the stepwise session resolving the same requests.
 
-// The unified request resolved by CheckSession. check_gd_exhaustive and
-// check_gd_sampled are thin wrappers building the obvious requests.
-struct CheckRequest {
-  CheckMode mode = CheckMode::kExhaustive;
-  int max_faults = 0;
-  // Sampled mode only.
-  std::uint64_t samples = 0;
-  std::uint64_t seed = 0;
-  CheckOptions options;
-  // Deterministic range partitioning (exhaustive mode only): this session
-  // certifies the shard_index-th of shard_count contiguous slices of the
-  // orbit slot space. Sampled mode requires shard_count == 1.
-  std::uint32_t shard_index = 0;
-  std::uint32_t shard_count = 1;
-};
+// Graph-only fingerprint (nodes, (n, k), roles, edges — FNV-1a) scoping
+// verdict-cache and route-atlas entries: the verdict for a fault set,
+// and the canonical route, are functions of the graph alone, so every
+// session/atlas over the same graph shares one key space.
+std::uint64_t graph_fingerprint(const kgd::SolutionGraph& sg);
 
 class CheckSession {
  public:

@@ -105,22 +105,68 @@ struct CheckOptions {
   VerdictCache* cache = nullptr;
 };
 
-// NOTE: both free functions below are thin wrappers over
-// verify::CheckSession (check_session.hpp), which is the primary checker
-// API: it exposes the same sweep as a resumable, shardable session with a
-// serializable cursor. New code that needs progress, checkpointing, or
-// sharding should construct a CheckSession from a CheckRequest directly;
-// these wrappers remain for one-shot callers and produce results
-// identical to an uninterrupted single-shard session.
+enum class CheckMode {
+  kExhaustive,  // certify: every fault set of size <= max_faults
+  kSampled,     // evidence: adversarial suite + random samples
+};
 
-// Decides GD(sg, max_faults) exactly. Deterministic for a fixed prune
-// mode: the counterexample, when one exists, is the lowest-index failing
-// orbit representative regardless of thread count.
+// The single checker entry point: every check is a CheckRequest resolved
+// either one-shot by run_check() or stepwise by verify::CheckSession
+// (check_session.hpp), which exposes the same sweep as a resumable,
+// shardable session with a serializable cursor. The factories build the
+// two standard requests.
+struct CheckRequest {
+  CheckMode mode = CheckMode::kExhaustive;
+  int max_faults = 0;
+  // Sampled mode only.
+  std::uint64_t samples = 0;
+  std::uint64_t seed = 0;
+  CheckOptions options;
+  // Deterministic range partitioning (exhaustive mode only): this session
+  // certifies the shard_index-th of shard_count contiguous slices of the
+  // orbit slot space. Sampled mode requires shard_count == 1.
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 1;
+
+  // Decides GD(sg, max_faults) exactly. Deterministic for a fixed prune
+  // mode: the counterexample, when one exists, is the lowest-index
+  // failing orbit representative regardless of thread count.
+  static CheckRequest exhaustive(int max_faults,
+                                 const CheckOptions& opts = {}) {
+    CheckRequest req;
+    req.mode = CheckMode::kExhaustive;
+    req.max_faults = max_faults;
+    req.options = opts;
+    return req;
+  }
+
+  // Samples `samples` random fault sets of size <= max_faults (uniform
+  // over sizes 0..max_faults weighted by count) plus the adversarial
+  // suite.
+  static CheckRequest sampled(int max_faults, std::uint64_t samples,
+                              std::uint64_t seed,
+                              const CheckOptions& opts = {}) {
+    CheckRequest req;
+    req.mode = CheckMode::kSampled;
+    req.max_faults = max_faults;
+    req.samples = samples;
+    req.seed = seed;
+    req.options = opts;
+    return req;
+  }
+};
+
+// Resolves a request to completion on the calling thread(s): equivalent
+// to constructing a CheckSession and running it to done().
+CheckResult run_check(const kgd::SolutionGraph& sg, const CheckRequest& req);
+
+// Legacy one-shot wrappers, kept as shims over run_check for
+// out-of-tree callers; in-repo code uses run_check/CheckSession.
+[[deprecated("build a CheckRequest and call verify::run_check")]]
 CheckResult check_gd_exhaustive(const kgd::SolutionGraph& sg, int max_faults,
                                 const CheckOptions& opts = {});
 
-// Samples `samples` random fault sets of size <= max_faults (uniform over
-// sizes 0..max_faults weighted by count) plus the adversarial suite.
+[[deprecated("build a CheckRequest and call verify::run_check")]]
 CheckResult check_gd_sampled(const kgd::SolutionGraph& sg, int max_faults,
                              std::uint64_t samples, std::uint64_t seed,
                              const CheckOptions& opts = {});

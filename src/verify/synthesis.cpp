@@ -182,7 +182,7 @@ class GdFilter {
       }
     }
     ++*gd_checks;
-    const CheckResult res = check_gd_exhaustive(sg, k_);
+    const CheckResult res = run_check(sg, CheckRequest::exhaustive(k_));
     if (!res.holds && res.counterexample) {
       remember(res.counterexample->nodes());
       return false;
@@ -389,7 +389,7 @@ std::optional<SolutionGraph> synthesize_stochastic(const SynthSpec& spec,
     if (cur == 0) {
       // Certify with the full exhaustive checker before returning.
       SolutionGraph sg = assemble(spec, shape, g);
-      const CheckResult res = check_gd_exhaustive(sg, spec.k);
+      const CheckResult res = run_check(sg, CheckRequest::exhaustive(spec.k));
       if (res.holds) return sg;
     }
   }

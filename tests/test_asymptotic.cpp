@@ -123,7 +123,7 @@ TEST(Asymptotic, SmallestWellFormedInstancesAreGd) {
   for (int k : {4, 5}) {
     const int n = asymptotic_min_n(k);
     const SolutionGraph sg = make_asymptotic_gnk(n, k);
-    const auto res = verify::check_gd_exhaustive(sg, k);
+    const auto res = verify::run_check(sg, verify::CheckRequest::exhaustive(k));
     EXPECT_TRUE(res.holds)
         << "n=" << n << " k=" << k << " cex "
         << (res.counterexample ? res.counterexample->to_string() : "");
@@ -133,7 +133,7 @@ TEST(Asymptotic, SmallestWellFormedInstancesAreGd) {
 TEST(Asymptotic, Figure14InstanceExhaustivelyCertified) {
   // The paper's flagship example: all 66,712 fault sets of size <= 4.
   const SolutionGraph sg = make_asymptotic_gnk(22, 4);
-  const auto res = verify::check_gd_exhaustive(sg, 4);
+  const auto res = verify::run_check(sg, verify::CheckRequest::exhaustive(4));
   EXPECT_TRUE(res.holds);
   EXPECT_EQ(res.fault_sets_checked, 66712u);
   EXPECT_EQ(res.solver_unknowns, 0u);

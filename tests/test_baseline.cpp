@@ -34,7 +34,7 @@ TEST(Hayes, AdaptationFailsGdWhenKOddAndNEven) {
   for (auto [n, k] : std::vector<std::pair<int, int>>{{4, 1}, {6, 1},
                                                       {8, 3}, {10, 3}}) {
     const auto adapted = make_hayes_pipeline_adaptation(n, k);
-    const auto res = verify::check_gd_exhaustive(adapted, k);
+    const auto res = verify::run_check(adapted, verify::CheckRequest::exhaustive(k));
     EXPECT_FALSE(res.holds) << "n=" << n << " k=" << k;
     EXPECT_TRUE(res.counterexample.has_value());
   }
@@ -45,7 +45,7 @@ TEST(Hayes, AdaptationElsewhereGdButDegreeSuboptimal) {
   // paper's §3.4 core IS a Hayes supergraph — but naive terminal
   // attachment costs max degree k+3 where the paper achieves k+2.
   const auto adapted = make_hayes_pipeline_adaptation(8, 2);
-  EXPECT_TRUE(verify::check_gd_exhaustive(adapted, 2).holds);
+  EXPECT_TRUE(verify::run_check(adapted, verify::CheckRequest::exhaustive(2)).holds);
   EXPECT_EQ(adapted.max_processor_degree(), 5);        // k+3
   EXPECT_EQ(kgd::max_degree_lower_bound(8, 2), 4);     // paper: k+2
 }
@@ -60,7 +60,7 @@ TEST(Hayes, AdaptationStillWorksFaultFree) {
 TEST(SparePath, NodeOptimalButUseless) {
   const auto sg = make_spare_path(5, 2);
   EXPECT_TRUE(sg.is_node_optimal());
-  const auto res = verify::check_gd_exhaustive(sg, 2);
+  const auto res = verify::run_check(sg, verify::CheckRequest::exhaustive(2));
   EXPECT_FALSE(res.holds);
 }
 
@@ -73,7 +73,7 @@ TEST(SparePath, SurvivesFaultFreeOnly) {
 
 TEST(CompleteDesign, GracefullyDegradableButDegreeBloated) {
   const auto sg = make_complete_design(6, 2);
-  EXPECT_TRUE(verify::check_gd_exhaustive(sg, 2).holds);
+  EXPECT_TRUE(verify::run_check(sg, verify::CheckRequest::exhaustive(2)).holds);
   // Cost: processor degree ~ n+k vs the paper's k+2.
   EXPECT_GT(sg.max_processor_degree(), 4);
 }

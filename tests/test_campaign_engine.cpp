@@ -20,6 +20,7 @@
 #include "campaign/checkpoint.hpp"
 #include "campaign/telemetry.hpp"
 #include "fault/enumerator.hpp"
+#include "io/json.hpp"
 #include "kgd/factory.hpp"
 #include "util/durable_file.hpp"
 #include "verify/check_session.hpp"
@@ -412,7 +413,10 @@ TEST(Campaign, TelemetryEventsAreVersionedJsonl) {
     ASSERT_FALSE(line.empty());
     EXPECT_EQ(line.front(), '{') << line;
     EXPECT_EQ(line.back(), '}') << line;
-    EXPECT_NE(line.find("\"schema_version\":2"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"schema_version\":" +
+                        std::to_string(io::kSchemaVersion)),
+              std::string::npos)
+        << line;
     EXPECT_NE(line.find("\"seq\":" + std::to_string(seq)), std::string::npos)
         << line;
     ++seq;

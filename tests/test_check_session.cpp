@@ -77,7 +77,7 @@ TEST(CheckSession, WrapperEquivalence) {
     for (PruneMode prune : {PruneMode::kAuto, PruneMode::kOff}) {
       CheckOptions opts;
       opts.prune = prune;
-      const auto wrapped = check_gd_exhaustive(*sg, k, opts);
+      const auto wrapped = run_check(*sg, CheckRequest::exhaustive(k, opts));
       CheckSession session(*sg, exhaustive_request(k, prune));
       session.run();
       expect_identical(wrapped, session.result(), sg->name());
@@ -185,7 +185,7 @@ TEST(CheckSession, SampledWrapperEquivalenceAndResume) {
   const auto sg = kgd::build_solution(8, 2);
   ASSERT_TRUE(sg);
   const std::uint64_t samples = 60, seed = 7;
-  const auto wrapped = check_gd_sampled(*sg, 2, samples, seed);
+  const auto wrapped = run_check(*sg, CheckRequest::sampled(2, samples, seed));
   CheckSession oneshot(*sg, sampled_request(2, samples, seed));
   oneshot.run();
   expect_identical(wrapped, oneshot.result(), "sampled wrapper");

@@ -11,7 +11,7 @@ namespace kgdp::verify {
 namespace {
 
 TEST(Checker, CertifiesKnownGoodGraphs) {
-  const auto res = check_gd_exhaustive(kgd::make_g1k(2), 2);
+  const auto res = run_check(kgd::make_g1k(2), CheckRequest::exhaustive(2));
   EXPECT_TRUE(res.holds);
   EXPECT_TRUE(res.exhaustive);
   EXPECT_FALSE(res.counterexample.has_value());
@@ -29,7 +29,7 @@ TEST(Checker, CertifiesKnownGoodGraphs) {
 TEST(Checker, FindsCounterexampleOnSparePath) {
   // The naive spare path dies on any interior processor fault.
   const auto sg = baseline::make_spare_path(4, 2);
-  const auto res = check_gd_exhaustive(sg, 2);
+  const auto res = run_check(sg, CheckRequest::exhaustive(2));
   EXPECT_FALSE(res.holds);
   EXPECT_EQ(res.solver_unknowns, 0u);
   ASSERT_TRUE(res.counterexample.has_value());
@@ -40,8 +40,8 @@ TEST(Checker, FindsCounterexampleOnSparePath) {
 
 TEST(Checker, CounterexampleIsLowestIndexDeterministic) {
   const auto sg = baseline::make_spare_path(4, 2);
-  const auto res1 = check_gd_exhaustive(sg, 2);
-  const auto res2 = check_gd_exhaustive(sg, 2);
+  const auto res1 = run_check(sg, CheckRequest::exhaustive(2));
+  const auto res2 = run_check(sg, CheckRequest::exhaustive(2));
   ASSERT_TRUE(res1.counterexample && res2.counterexample);
   EXPECT_EQ(res1.counterexample->nodes(), res2.counterexample->nodes());
 }
@@ -55,8 +55,8 @@ TEST(Checker, ParallelMatchesSequential) {
                                                       {6, 1}, {3, 3}}) {
     const auto sg = kgd::build_solution(n, k);
     ASSERT_TRUE(sg);
-    const auto a = check_gd_exhaustive(*sg, k, seq);
-    const auto b = check_gd_exhaustive(*sg, k, par);
+    const auto a = run_check(*sg, CheckRequest::exhaustive(k, seq));
+    const auto b = run_check(*sg, CheckRequest::exhaustive(k, par));
     EXPECT_EQ(a.holds, b.holds) << sg->name();
     EXPECT_EQ(a.fault_sets_checked, b.fault_sets_checked) << sg->name();
     EXPECT_EQ(a.solver_unknowns, 0u) << sg->name();
@@ -64,8 +64,8 @@ TEST(Checker, ParallelMatchesSequential) {
   }
   // Negative case determinism under parallelism.
   const auto bad = baseline::make_spare_path(4, 2);
-  const auto a = check_gd_exhaustive(bad, 2, seq);
-  const auto b = check_gd_exhaustive(bad, 2, par);
+  const auto a = run_check(bad, CheckRequest::exhaustive(2, seq));
+  const auto b = run_check(bad, CheckRequest::exhaustive(2, par));
   ASSERT_TRUE(a.counterexample && b.counterexample);
   EXPECT_EQ(a.counterexample->nodes(), b.counterexample->nodes());
 }
@@ -78,7 +78,7 @@ TEST(Checker, ParallelReportsPerWorkerCounters) {
   par.pool = &pool;
   const auto sg = kgd::build_solution(8, 2);
   ASSERT_TRUE(sg);
-  const auto res = check_gd_exhaustive(*sg, 2, par);
+  const auto res = run_check(*sg, CheckRequest::exhaustive(2, par));
   EXPECT_TRUE(res.holds);
   EXPECT_EQ(res.solver_unknowns, 0u);
   EXPECT_EQ(res.worker_solve_seconds.size(), pool.thread_count());
@@ -100,8 +100,8 @@ TEST(Checker, PruneOffMatchesPruneAuto) {
                                                       {6, 2}}) {
     const auto sg = kgd::build_solution(n, k);
     ASSERT_TRUE(sg);
-    const auto pruned = check_gd_exhaustive(*sg, k);  // default: kAuto
-    const auto plain = check_gd_exhaustive(*sg, k, off);
+    const auto pruned = run_check(*sg, CheckRequest::exhaustive(k));  // default: kAuto
+    const auto plain = run_check(*sg, CheckRequest::exhaustive(k, off));
     EXPECT_EQ(pruned.holds, plain.holds) << sg->name();
     EXPECT_EQ(pruned.fault_sets_checked, plain.fault_sets_checked)
         << sg->name();
@@ -111,14 +111,14 @@ TEST(Checker, PruneOffMatchesPruneAuto) {
 }
 
 TEST(Checker, ZeroFaultBudgetChecksOnlyEmptySet) {
-  const auto res = check_gd_exhaustive(kgd::make_g1k(1), 0);
+  const auto res = run_check(kgd::make_g1k(1), CheckRequest::exhaustive(0));
   EXPECT_TRUE(res.holds);
   EXPECT_EQ(res.fault_sets_checked, 1u);
 }
 
 TEST(Checker, SampledFindsObviousFlaws) {
   const auto sg = baseline::make_spare_path(6, 2);
-  const auto res = check_gd_sampled(sg, 2, /*samples=*/200, /*seed=*/1);
+  const auto res = run_check(sg, CheckRequest::sampled(2, /*samples=*/200, /*seed=*/1));
   EXPECT_FALSE(res.holds);
   EXPECT_TRUE(res.counterexample.has_value());
 }
@@ -126,7 +126,7 @@ TEST(Checker, SampledFindsObviousFlaws) {
 TEST(Checker, SampledPassesOnGoodGraphs) {
   const auto sg = kgd::build_solution(9, 2);
   ASSERT_TRUE(sg);
-  const auto res = check_gd_sampled(*sg, 2, 200, 7);
+  const auto res = run_check(*sg, CheckRequest::sampled(2, 200, 7));
   EXPECT_TRUE(res.holds);
   EXPECT_FALSE(res.exhaustive);  // sampling never claims exhaustiveness
 }
@@ -136,15 +136,47 @@ TEST(Checker, BeyondDesignBudgetGraphsMayFail) {
   // guaranteed counterexample, so the checker must find SOME failure.
   const auto sg = kgd::build_solution(5, 2);
   ASSERT_TRUE(sg);
-  const auto res = check_gd_exhaustive(*sg, 3);
+  const auto res = run_check(*sg, CheckRequest::exhaustive(3));
   EXPECT_FALSE(res.holds);
 }
 
 TEST(Checker, CompleteDesignIsGd) {
-  const auto res = check_gd_exhaustive(baseline::make_complete_design(6, 2),
-                                       2);
+  const auto res = run_check(baseline::make_complete_design(6, 2), CheckRequest::exhaustive(2));
   EXPECT_TRUE(res.holds);
 }
+
+// The legacy entry points are frozen shims over CheckRequest/run_check;
+// until they are removed they must answer bit-identically on every
+// deterministic field.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(Checker, DeprecatedShimsMatchRunCheckBitIdentically) {
+  const auto compare = [](const CheckResult& a, const CheckResult& b) {
+    EXPECT_EQ(a.holds, b.holds);
+    EXPECT_EQ(a.exhaustive, b.exhaustive);
+    EXPECT_EQ(a.fault_sets_checked, b.fault_sets_checked);
+    EXPECT_EQ(a.fault_sets_solved, b.fault_sets_solved);
+    EXPECT_EQ(a.orbits_pruned, b.orbits_pruned);
+    EXPECT_EQ(a.solver_unknowns, b.solver_unknowns);
+    EXPECT_EQ(a.counterexample.has_value(), b.counterexample.has_value());
+    if (a.counterexample.has_value() && b.counterexample.has_value()) {
+      EXPECT_EQ(a.counterexample->to_string(), b.counterexample->to_string());
+    }
+  };
+
+  const auto sg = kgd::build_solution(6, 2);
+  ASSERT_TRUE(sg.has_value());
+  compare(check_gd_exhaustive(*sg, 2), run_check(*sg, CheckRequest::exhaustive(2)));
+  compare(check_gd_sampled(*sg, 3, 200, /*seed=*/7),
+          run_check(*sg, CheckRequest::sampled(3, 200, /*seed=*/7)));
+
+  // Options pass through the shim unchanged.
+  CheckOptions opts;
+  opts.prune = PruneMode::kOff;
+  compare(check_gd_exhaustive(*sg, 2, opts),
+          run_check(*sg, CheckRequest::exhaustive(2, opts)));
+}
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace kgdp::verify

@@ -27,7 +27,7 @@ TEST(BypassChain, IsGracefullyDegradableExhaustively) {
   // Rosenberg-style bypass wiring does achieve graceful degradation...
   for (int k = 1; k <= 3; ++k) {
     const auto sg = make_bypass_chain(6, k);
-    EXPECT_TRUE(verify::check_gd_exhaustive(sg, k).holds) << "k=" << k;
+    EXPECT_TRUE(verify::run_check(sg, verify::CheckRequest::exhaustive(k)).holds) << "k=" << k;
   }
 }
 
@@ -58,7 +58,7 @@ TEST(BypassChain, TinyInstances) {
   // P < 2(k+1): terminal attachments overlap but remain degree-1.
   const auto sg = make_bypass_chain(1, 2);
   EXPECT_TRUE(sg.all_terminals_degree_one());
-  EXPECT_TRUE(verify::check_gd_exhaustive(sg, 2).holds);
+  EXPECT_TRUE(verify::run_check(sg, verify::CheckRequest::exhaustive(2)).holds);
 }
 
 }  // namespace

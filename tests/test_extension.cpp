@@ -65,7 +65,7 @@ TEST(Extension, PreservesGracefulDegradationLemma36) {
   for (int k = 1; k <= 4; ++k) {
     for (int times = 1; times <= (k <= 2 ? 2 : 1); ++times) {
       const SolutionGraph ext = extend(make_g1k(k), times);
-      const auto res = verify::check_gd_exhaustive(ext, k);
+      const auto res = verify::run_check(ext, verify::CheckRequest::exhaustive(k));
       EXPECT_TRUE(res.holds)
           << "k=" << k << " times=" << times << " cex "
           << (res.counterexample ? res.counterexample->to_string() : "");
@@ -76,7 +76,7 @@ TEST(Extension, PreservesGracefulDegradationLemma36) {
 TEST(Extension, G2kBasesAlsoExtendGracefully) {
   for (int k = 1; k <= 3; ++k) {
     const SolutionGraph ext = extend_once(make_g2k(k));
-    EXPECT_TRUE(verify::check_gd_exhaustive(ext, k).holds) << "k=" << k;
+    EXPECT_TRUE(verify::run_check(ext, verify::CheckRequest::exhaustive(k)).holds) << "k=" << k;
   }
 }
 

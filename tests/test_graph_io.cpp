@@ -29,7 +29,7 @@ TEST(GraphIo, LoadedGraphStillVerifies) {
   ASSERT_TRUE(sg);
   const kgd::SolutionGraph back =
       load_solution_string(save_solution_string(*sg));
-  EXPECT_TRUE(verify::check_gd_exhaustive(back, 2).holds);
+  EXPECT_TRUE(verify::run_check(back, verify::CheckRequest::exhaustive(2)).holds);
 }
 
 TEST(GraphIo, NameWithSpacesSurvives) {

@@ -100,9 +100,9 @@ TEST(Integration, PaperHeadlineComparison) {
   const auto spare = baseline::make_spare_path(n, k);
   const auto complete = baseline::make_complete_design(n, k);
 
-  EXPECT_TRUE(verify::check_gd_exhaustive(*ours, k).holds);
-  EXPECT_FALSE(verify::check_gd_exhaustive(spare, k).holds);
-  EXPECT_TRUE(verify::check_gd_exhaustive(complete, k).holds);
+  EXPECT_TRUE(verify::run_check(*ours, verify::CheckRequest::exhaustive(k)).holds);
+  EXPECT_FALSE(verify::run_check(spare, verify::CheckRequest::exhaustive(k)).holds);
+  EXPECT_TRUE(verify::run_check(complete, verify::CheckRequest::exhaustive(k)).holds);
 
   const auto m_ours = baseline::metrics_for(*ours);
   const auto m_complete = baseline::metrics_for(complete);

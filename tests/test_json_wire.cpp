@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "service/protocol.hpp"
 #include "util/rng.hpp"
 
 namespace kgdp::io {
@@ -248,6 +249,127 @@ TEST(JsonWire, AccessorsThrowOnTypeMismatch) {
   EXPECT_EQ(v.find("n")->as_double(), 3.0);  // int widens to double
   EXPECT_EQ(v.find("missing"), nullptr);
   EXPECT_EQ(Json(3).find("anything"), nullptr);  // non-object
+}
+
+// ---------------------------------------------------------------------------
+// service::Envelope — the one parse/stamp path every kgdd method uses.
+// ---------------------------------------------------------------------------
+
+TEST(JsonWire, EnvelopeRoundTripsAFullRequest) {
+  service::Envelope env;
+  env.req_id = "r42";
+  Json reply;
+  ASSERT_TRUE(service::parse_envelope(
+      R"({"method":"route","tag":"t-7","schema_version":2,)"
+      R"("params":{"n":8,"k":2,"faults":[0,11]}})",
+      &env, &reply));
+  EXPECT_EQ(env.method, "route");
+  EXPECT_EQ(env.tag, "t-7");
+  EXPECT_EQ(env.schema_version, 2);
+  ASSERT_NE(env.params(), nullptr);
+  EXPECT_EQ(env.params()->find("n")->as_int(), 8);
+
+  // Every reply builder stamps the same header fields.
+  const Json result = env.result({{"ok", Json(true)}});
+  EXPECT_EQ(result.find("type")->as_string(), "result");
+  EXPECT_EQ(result.find("req")->as_string(), "r42");
+  EXPECT_EQ(result.find("tag")->as_string(), "t-7");
+  EXPECT_EQ(result.find("schema_version")->as_int(), kSchemaVersion);
+  EXPECT_TRUE(service::is_terminal_frame(result));
+
+  const Json error = env.error(service::ErrorCode::kUnsupported, "nope");
+  EXPECT_EQ(error.find("type")->as_string(), "error");
+  EXPECT_EQ(error.find("code")->as_string(), "unsupported");
+  EXPECT_EQ(error.find("req")->as_string(), "r42");
+  EXPECT_TRUE(service::is_terminal_frame(error));
+
+  const Json progress = env.event("progress", {{"items_done", Json(5)}});
+  EXPECT_EQ(progress.find("type")->as_string(), "progress");
+  EXPECT_EQ(progress.find("tag")->as_string(), "t-7");
+  EXPECT_FALSE(service::is_terminal_frame(progress));
+}
+
+TEST(JsonWire, EnvelopeMinimalRequestGetsServerDefaults) {
+  service::Envelope env;
+  env.req_id = "r1";
+  Json reply;
+  ASSERT_TRUE(service::parse_envelope(R"({"method":"ping"})", &env, &reply));
+  EXPECT_EQ(env.method, "ping");
+  EXPECT_EQ(env.tag, "");
+  EXPECT_EQ(env.schema_version, kSchemaVersion);  // defaults to ours
+  EXPECT_EQ(env.params(), nullptr);
+  // No tag in → no tag field out.
+  EXPECT_EQ(env.result({}).find("tag"), nullptr);
+}
+
+TEST(JsonWire, EnvelopeVersionSkewWindow) {
+  // Every version in the compatibility window parses; everything
+  // outside it — including a *numeric string* — is a bad_request.
+  for (int v = 1; v <= kSchemaVersion; ++v) {
+    service::Envelope env;
+    Json reply;
+    EXPECT_TRUE(service::parse_envelope(
+        R"({"method":"ping","schema_version":)" + std::to_string(v) + "}",
+        &env, &reply))
+        << v;
+    EXPECT_EQ(env.schema_version, v);
+  }
+  for (const std::string& ver :
+       {std::string("0"), std::to_string(kSchemaVersion + 1),
+        std::string("-1"), std::string("\"2\""), std::string("2.0")}) {
+    service::Envelope env;
+    Json reply;
+    EXPECT_FALSE(service::parse_envelope(
+        R"({"method":"ping","schema_version":)" + ver + "}", &env, &reply))
+        << ver;
+    EXPECT_EQ(reply.find("code")->as_string(), "bad_request") << ver;
+    EXPECT_NE(reply.find("message")->as_string().find(
+                  "unsupported schema_version"),
+              std::string::npos)
+        << ver;
+  }
+}
+
+TEST(JsonWire, EnvelopeRejectCorpus) {
+  struct Case {
+    const char* frame;
+    const char* code;     // expected error code name
+    const char* message;  // expected message substring
+  };
+  const Case corpus[] = {
+      {"not json", "bad_frame", "at byte"},
+      {"[1,2]", "bad_frame", "must be a JSON object"},
+      {"{}", "bad_request", "method"},
+      {R"({"method":3})", "bad_request", "method"},
+      {R"({"method":""})", "bad_request", "method"},
+      {R"({"method":"ping","tag":7})", "bad_request", "'tag'"},
+      {R"({"method":"ping","params":[1]})", "bad_request",
+       "'params' must be an object"},
+  };
+  for (const Case& c : corpus) {
+    service::Envelope env;
+    env.req_id = "r9";
+    Json reply;
+    EXPECT_FALSE(service::parse_envelope(c.frame, &env, &reply)) << c.frame;
+    EXPECT_TRUE(service::is_terminal_frame(reply));
+    EXPECT_EQ(reply.find("type")->as_string(), "error") << c.frame;
+    EXPECT_EQ(reply.find("code")->as_string(), c.code) << c.frame;
+    EXPECT_NE(reply.find("message")->as_string().find(c.message),
+              std::string::npos)
+        << c.frame << " -> " << reply.dump();
+    EXPECT_EQ(reply.find("req")->as_string(), "r9");
+  }
+}
+
+TEST(JsonWire, EnvelopeRejectsPropagateTheRecoveredTag) {
+  // The tag is recovered before validation, so even a reject the client
+  // caused can be matched back to its request.
+  service::Envelope env;
+  env.req_id = "r3";
+  Json reply;
+  EXPECT_FALSE(service::parse_envelope(
+      R"({"tag":"find-me","method":""})", &env, &reply));
+  EXPECT_EQ(reply.find("tag")->as_string(), "find-me");
 }
 
 TEST(JsonWire, ParseErrorCarriesUsefulOffset) {

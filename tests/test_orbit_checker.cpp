@@ -71,8 +71,8 @@ TEST(OrbitChecker, DifferentialOverFactoryConstructions) {
   for (const auto& [n, k] : covered_instances()) {
     const auto sg = kgd::build_solution(n, k);
     ASSERT_TRUE(sg) << n << "," << k;
-    const auto pruned = check_gd_exhaustive(*sg, k, with_prune(PruneMode::kAuto));
-    const auto unpruned = check_gd_exhaustive(*sg, k, with_prune(PruneMode::kOff));
+    const auto pruned = run_check(*sg, CheckRequest::exhaustive(k, with_prune(PruneMode::kAuto)));
+    const auto unpruned = run_check(*sg, CheckRequest::exhaustive(k, with_prune(PruneMode::kOff)));
     expect_agreement(*sg, k, pruned, unpruned);
     EXPECT_TRUE(pruned.holds) << sg->name();  // factory graphs are GD
   }
@@ -83,8 +83,8 @@ TEST(OrbitChecker, DifferentialOnFailingGraphs) {
   // check the factory graphs one past their design budget.
   for (auto [n, k] : std::vector<std::pair<int, int>>{{4, 2}, {6, 3}}) {
     const auto sg = baseline::make_spare_path(n, k);
-    const auto pruned = check_gd_exhaustive(sg, k, with_prune(PruneMode::kAuto));
-    const auto unpruned = check_gd_exhaustive(sg, k, with_prune(PruneMode::kOff));
+    const auto pruned = run_check(sg, CheckRequest::exhaustive(k, with_prune(PruneMode::kAuto)));
+    const auto unpruned = run_check(sg, CheckRequest::exhaustive(k, with_prune(PruneMode::kOff)));
     expect_agreement(sg, k, pruned, unpruned);
     EXPECT_FALSE(pruned.holds);
   }
@@ -92,9 +92,9 @@ TEST(OrbitChecker, DifferentialOnFailingGraphs) {
     const auto sg = kgd::build_solution(n, k);
     ASSERT_TRUE(sg);
     const auto pruned =
-        check_gd_exhaustive(*sg, k + 1, with_prune(PruneMode::kAuto));
+        run_check(*sg, CheckRequest::exhaustive(k + 1, with_prune(PruneMode::kAuto)));
     const auto unpruned =
-        check_gd_exhaustive(*sg, k + 1, with_prune(PruneMode::kOff));
+        run_check(*sg, CheckRequest::exhaustive(k + 1, with_prune(PruneMode::kOff)));
     expect_agreement(*sg, k + 1, pruned, unpruned);
     EXPECT_FALSE(pruned.holds) << sg->name();
   }
@@ -106,9 +106,9 @@ TEST(OrbitChecker, ParallelPrunedMatchesSequentialPruned) {
     if (n + k > 10) continue;  // keep the parallel leg quick
     const auto sg = kgd::build_solution(n, k);
     ASSERT_TRUE(sg);
-    const auto seq = check_gd_exhaustive(*sg, k, with_prune(PruneMode::kAuto));
+    const auto seq = run_check(*sg, CheckRequest::exhaustive(k, with_prune(PruneMode::kAuto)));
     const auto par =
-        check_gd_exhaustive(*sg, k, with_prune(PruneMode::kAuto, &pool));
+        run_check(*sg, CheckRequest::exhaustive(k, with_prune(PruneMode::kAuto, &pool)));
     EXPECT_EQ(seq.holds, par.holds) << sg->name();
     EXPECT_EQ(seq.fault_sets_solved, par.fault_sets_solved) << sg->name();
     EXPECT_EQ(par.worker_solve_seconds.size(), pool.thread_count());
@@ -116,9 +116,9 @@ TEST(OrbitChecker, ParallelPrunedMatchesSequentialPruned) {
   // Deterministic counterexample under parallel pruning: lowest-index
   // failing representative, any thread count.
   const auto bad = baseline::make_spare_path(4, 2);
-  const auto seq = check_gd_exhaustive(bad, 2, with_prune(PruneMode::kAuto));
+  const auto seq = run_check(bad, CheckRequest::exhaustive(2, with_prune(PruneMode::kAuto)));
   const auto par =
-      check_gd_exhaustive(bad, 2, with_prune(PruneMode::kAuto, &pool));
+      run_check(bad, CheckRequest::exhaustive(2, with_prune(PruneMode::kAuto, &pool)));
   ASSERT_TRUE(seq.counterexample && par.counterexample);
   EXPECT_EQ(seq.counterexample->nodes(), par.counterexample->nodes());
 }

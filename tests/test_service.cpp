@@ -19,8 +19,10 @@
 #include <vector>
 
 #include "io/json.hpp"
+#include "kgd/factory.hpp"
 #include "net/client.hpp"
 #include "net/socket.hpp"
+#include "reconfig/atlas.hpp"
 #include "service/checkpoint.hpp"
 #include "service/daemon.hpp"
 #include "service/protocol.hpp"
@@ -165,7 +167,7 @@ TEST(Service, StreamingVerifyDeliversProgressThenVerdict) {
   const io::Json* vd = verdict->find("verdict");
   EXPECT_TRUE(vd->find("holds")->as_bool());
   EXPECT_TRUE(vd->find("exhaustive")->as_bool());
-  // schema_version 2: the verdict carries the solver engine counters,
+  // Since schema v2 the verdict carries the solver engine counters,
   // and every solved representative was exactly one patch or rebuild.
   ASSERT_NE(vd->find("solver_patches"), nullptr);
   ASSERT_NE(vd->find("solver_rebuilds"), nullptr);
@@ -988,6 +990,246 @@ TEST(Service, RequestsDuringDrainAreRejectedAsShuttingDown) {
   EXPECT_TRUE(saw_shutting_down);
   fx.daemon().join();  // let the drain finish before removing its dir
   std::filesystem::remove_all(drain_dir);
+}
+
+// ---------------------------------------------------------------------------
+// route: atlas-served reconfiguration
+// ---------------------------------------------------------------------------
+
+TEST(Service, RouteSingleAndBatchServedFromTheAtlas) {
+  DaemonFixture fx;  // default config: atlas on
+  net::Client client = fx.connect();
+
+  const auto make_route = [] (io::Json faults) {
+    io::JsonObject p;
+    p["n"] = 8;
+    p["k"] = 2;
+    p["faults"] = std::move(faults);
+    return request_frame("route", std::move(p));
+  };
+
+  // Cold miss: computed, warmed in place, and a valid route comes back.
+  const auto first = roundtrip(client, make_route(io::JsonArray{0, 11}));
+  ASSERT_TRUE(first.has_value());
+  ASSERT_EQ(frame_type(*first), "result") << first->dump();
+  const io::Json* route = first->find("route");
+  ASSERT_NE(route, nullptr);
+  ASSERT_TRUE(route->is_array());
+  EXPECT_GE(route->as_array().size(), 2u);  // two terminals at least
+
+  // Warm hit: the reply body is byte-identical to the cold miss.
+  const auto second = roundtrip(client, make_route(io::JsonArray{0, 11}));
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(first->find("route")->dump(), second->find("route")->dump());
+
+  // Batch: one reply, per-set routes in request order; the repeated set
+  // matches the single-route answer.
+  io::JsonObject p;
+  p["n"] = 8;
+  p["k"] = 2;
+  p["sets"] = io::JsonArray{io::JsonArray{0, 11}, io::JsonArray{},
+                            io::JsonArray{3}};
+  const auto batch = roundtrip(client, request_frame("route", std::move(p)));
+  ASSERT_TRUE(batch.has_value());
+  ASSERT_EQ(frame_type(*batch), "result") << batch->dump();
+  const io::Json* routes = batch->find("routes");
+  ASSERT_NE(routes, nullptr);
+  ASSERT_EQ(routes->as_array().size(), 3u);
+  EXPECT_EQ(routes->as_array()[0].dump(), first->find("route")->dump());
+  for (const io::Json& r : routes->as_array()) {
+    EXPECT_TRUE(r.is_array() || r.is_null());
+  }
+
+  // The stats surface proves the atlas actually served: entries were
+  // warmed, at least one lookup hit, and exactly one router was built.
+  const auto stats = roundtrip(client, request_frame("stats", {}));
+  ASSERT_TRUE(stats.has_value());
+  const io::Json* atlas = stats->find("atlas");
+  ASSERT_NE(atlas, nullptr);
+  EXPECT_TRUE(atlas->find("enabled")->as_bool());
+  EXPECT_GE(atlas->find("entries")->as_int(), 1);
+  EXPECT_GE(atlas->find("hits")->as_int(), 1);
+  EXPECT_GE(atlas->find("inserts")->as_int(), 1);
+  EXPECT_EQ(atlas->find("routers")->as_int(), 1);
+}
+
+TEST(Service, RouteRepliesBitIdenticalWithAtlasOnAndOff) {
+  ServiceConfig off_config;
+  off_config.atlas_entries = 0;
+  DaemonFixture with_atlas;
+  DaemonFixture without_atlas(off_config);
+  net::Client on = with_atlas.connect();
+  net::Client off = without_atlas.connect();
+
+  // A mixed batch: within the certified budget, past it (3 > k), and
+  // the empty set — and a repeat, so the atlas daemon answers it once
+  // cold and once warm. All four replies must carry identical bodies.
+  io::JsonObject p;
+  p["n"] = 8;
+  p["k"] = 2;
+  p["sets"] = io::JsonArray{io::JsonArray{0, 11}, io::JsonArray{1, 2, 3},
+                            io::JsonArray{}, io::JsonArray{0, 11}};
+  const io::Json req = request_frame("route", std::move(p));
+  const auto on1 = roundtrip(on, req);
+  const auto on2 = roundtrip(on, req);
+  const auto off1 = roundtrip(off, req);
+  ASSERT_TRUE(on1.has_value() && on2.has_value() && off1.has_value());
+  ASSERT_EQ(frame_type(*on1), "result") << on1->dump();
+  const std::string want = on1->find("routes")->dump();
+  EXPECT_EQ(on2->find("routes")->dump(), want);
+  EXPECT_EQ(off1->find("routes")->dump(), want);
+
+  const auto off_stats = roundtrip(off, request_frame("stats", {}));
+  ASSERT_TRUE(off_stats.has_value());
+  EXPECT_FALSE(off_stats->find("atlas")->find("enabled")->as_bool());
+}
+
+TEST(Service, RoutePreloadedArtifactServesHitsImmediately) {
+  // Build a full n=8 k=2 atlas artifact the way `kgd_cli atlas build`
+  // does, then boot a daemon that preloads it.
+  const std::string path =
+      "kgdd_atlas_" + std::to_string(::getpid()) + ".kgdp";
+  std::uint64_t built_entries = 0;
+  {
+    auto sg = kgd::build_solution(8, 2);
+    ASSERT_TRUE(sg.has_value());
+    reconfig::RouteAtlas atlas(std::size_t{1} << 20);
+    reconfig::Router router(*sg, &atlas);
+    built_entries = router.build_atlas(sg->k(), 0, 1);
+    std::ofstream out(path);
+    atlas.save(out, router.graph_fp(), sg->n(), sg->k());
+  }
+  ASSERT_GT(built_entries, 0u);
+
+  ServiceConfig config;
+  config.atlas_paths.push_back(path);
+  DaemonFixture fx(config);
+  net::Client client = fx.connect();
+  io::JsonObject p;
+  p["n"] = 8;
+  p["k"] = 2;
+  p["faults"] = io::JsonArray{0, 11};
+  const auto reply = roundtrip(client, request_frame("route", std::move(p)));
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(frame_type(*reply), "result") << reply->dump();
+
+  const auto stats = roundtrip(client, request_frame("stats", {}));
+  ASSERT_TRUE(stats.has_value());
+  const io::Json* atlas = stats->find("atlas");
+  EXPECT_EQ(atlas->find("entries")->as_int(),
+            static_cast<std::int64_t>(built_entries));
+  EXPECT_GE(atlas->find("hits")->as_int(), 1);  // served without warming
+  EXPECT_EQ(atlas->find("misses")->as_int(), 0);
+  std::filesystem::remove(path);
+}
+
+TEST(Service, RouteValidationErrorsArePrecise) {
+  DaemonFixture fx;
+  net::Client client = fx.connect();
+
+  const auto expect_bad_request = [&](io::JsonObject params,
+                                      const std::string& needle) {
+    const auto reply =
+        roundtrip(client, request_frame("route", std::move(params)));
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(frame_type(*reply), "error");
+    EXPECT_EQ(error_code(*reply), "bad_request");
+    EXPECT_NE(reply->find("message")->as_string().find(needle),
+              std::string::npos)
+        << reply->dump();
+  };
+
+  {
+    io::JsonObject p;  // missing n
+    p["k"] = 2;
+    p["faults"] = io::JsonArray{0};
+    expect_bad_request(std::move(p), "param 'n'");
+  }
+  {
+    io::JsonObject p;  // both faults and sets
+    p["n"] = 8;
+    p["k"] = 2;
+    p["faults"] = io::JsonArray{0};
+    p["sets"] = io::JsonArray{io::JsonArray{0}};
+    expect_bad_request(std::move(p), "exactly one of");
+  }
+  {
+    io::JsonObject p;  // neither faults nor sets
+    p["n"] = 8;
+    p["k"] = 2;
+    expect_bad_request(std::move(p), "exactly one of");
+  }
+  {
+    io::JsonObject p;  // fault id past the graph
+    p["n"] = 8;
+    p["k"] = 2;
+    p["faults"] = io::JsonArray{999};
+    expect_bad_request(std::move(p), "out of range");
+  }
+  {
+    io::JsonObject p;  // batch over the per-request limit
+    p["n"] = 8;
+    p["k"] = 2;
+    p["sets"] = io::Json(io::JsonArray(4097, io::Json(io::JsonArray{})));
+    expect_bad_request(std::move(p), "per-request limit");
+  }
+  {
+    io::JsonObject p;  // unsupported construction
+    p["n"] = 8;
+    p["k"] = 4;
+    p["faults"] = io::JsonArray{0};
+    const auto reply =
+        roundtrip(client, request_frame("route", std::move(p)));
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(frame_type(*reply), "error");
+    EXPECT_EQ(error_code(*reply), "unsupported");
+  }
+
+  // A misspelled method names the server's vocabulary, not a crash.
+  const auto unknown = roundtrip(client, request_frame("rout", {}));
+  ASSERT_TRUE(unknown.has_value());
+  EXPECT_EQ(frame_type(*unknown), "error");
+  EXPECT_EQ(error_code(*unknown), "unknown_method");
+}
+
+TEST(Service, RequestSchemaVersionSkew) {
+  DaemonFixture fx;
+  net::Client client = fx.connect();
+
+  const auto ping_with_version = [](io::Json version) {
+    io::JsonObject frame;
+    frame["method"] = "ping";
+    frame["schema_version"] = std::move(version);
+    return io::Json(std::move(frame));
+  };
+
+  // Every version the server speaks is accepted, and the reply is
+  // always stamped with the *server's* version — v1/v2 clients keep
+  // working across the v3 bump.
+  for (int v = 1; v <= io::kSchemaVersion; ++v) {
+    const auto reply = roundtrip(client, ping_with_version(io::Json(v)));
+    ASSERT_TRUE(reply.has_value()) << "v" << v;
+    EXPECT_EQ(frame_type(*reply), "result") << reply->dump();
+    EXPECT_EQ(reply->find("schema_version")->as_int(), io::kSchemaVersion);
+  }
+
+  // Future, ancient, and mistyped versions are rejected up front with a
+  // message that names the supported range.
+  for (const io::Json& v :
+       {io::Json(0), io::Json(io::kSchemaVersion + 1), io::Json("2")}) {
+    const auto reply = roundtrip(client, ping_with_version(v));
+    ASSERT_TRUE(reply.has_value()) << v.dump();
+    EXPECT_EQ(frame_type(*reply), "error");
+    EXPECT_EQ(error_code(*reply), "bad_request");
+    EXPECT_NE(reply->find("message")->as_string().find(
+                  "unsupported schema_version"),
+              std::string::npos);
+  }
+
+  // The connection survives the rejects.
+  const auto pong = roundtrip(client, request_frame("ping", {}));
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(frame_type(*pong), "result");
 }
 
 }  // namespace

@@ -32,7 +32,7 @@ TEST_P(FamilyParam, StructureMatchesTheorems) {
 TEST_P(FamilyParam, ExhaustivelyGracefullyDegradable) {
   const auto [n, k] = GetParam();
   const SolutionGraph sg = make_small_k_family(n, k);
-  const auto res = verify::check_gd_exhaustive(sg, k);
+  const auto res = verify::run_check(sg, verify::CheckRequest::exhaustive(k));
   EXPECT_TRUE(res.holds)
       << "n=" << n << " k=" << k << " cex "
       << (res.counterexample ? res.counterexample->to_string() : "");

@@ -25,7 +25,7 @@ TEST_P(SmallNParam, G1kStructure) {
 
 TEST_P(SmallNParam, G1kIsGracefullyDegradable) {
   const int k = GetParam();
-  const auto res = verify::check_gd_exhaustive(make_g1k(k), k);
+  const auto res = verify::run_check(make_g1k(k), verify::CheckRequest::exhaustive(k));
   EXPECT_TRUE(res.holds) << (res.counterexample
                                  ? res.counterexample->to_string()
                                  : "");
@@ -45,7 +45,7 @@ TEST_P(SmallNParam, G2kStructure) {
 
 TEST_P(SmallNParam, G2kIsGracefullyDegradable) {
   const int k = GetParam();
-  const auto res = verify::check_gd_exhaustive(make_g2k(k), k);
+  const auto res = verify::run_check(make_g2k(k), verify::CheckRequest::exhaustive(k));
   EXPECT_TRUE(res.holds);
 }
 
@@ -60,7 +60,7 @@ TEST_P(SmallNParam, G3kStructure) {
 
 TEST_P(SmallNParam, G3kIsGracefullyDegradable) {
   const int k = GetParam();
-  const auto res = verify::check_gd_exhaustive(make_g3k(k), k);
+  const auto res = verify::run_check(make_g3k(k), verify::CheckRequest::exhaustive(k));
   EXPECT_TRUE(res.holds) << (res.counterexample
                                  ? res.counterexample->to_string()
                                  : "");
@@ -109,7 +109,7 @@ TEST(G1k, BeyondDesignFaultBudgetFails) {
   // k+1 faults can kill every input terminal's attachment point... in
   // G(1,1), killing both processors leaves no pipeline.
   const SolutionGraph sg = make_g1k(1);
-  const auto res = verify::check_gd_exhaustive(sg, 2);
+  const auto res = verify::run_check(sg, verify::CheckRequest::exhaustive(2));
   EXPECT_FALSE(res.holds);
   ASSERT_TRUE(res.counterexample.has_value());
 }

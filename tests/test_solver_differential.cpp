@@ -168,7 +168,7 @@ TEST(SolverDifferential, CheckerAgreesAcrossPruneAndThreads) {
             "G(3," + std::to_string(k) + ") prune=" +
             (prune == PruneMode::kAuto ? "auto" : "off") +
             " threads=" + std::to_string(threads);
-        runs.emplace_back(tag, check_gd_exhaustive(sg, k, opts));
+        runs.emplace_back(tag, run_check(sg, CheckRequest::exhaustive(k, opts)));
       }
     }
     // Pruned runs solve fewer representatives but certify the same
@@ -192,7 +192,7 @@ TEST(SolverDifferential, CheckerCounterexampleAgreesAcrossCombos) {
       CheckOptions opts;
       opts.prune = prune;
       if (threads == 8) opts.pool = &pool8;
-      runs.push_back(check_gd_exhaustive(sg, 2, opts));
+      runs.push_back(run_check(sg, CheckRequest::exhaustive(2, opts)));
     }
   }
   ASSERT_TRUE(runs[0].counterexample.has_value());

@@ -33,7 +33,7 @@ TEST_P(SpecialParam, StructurallySound) {
 TEST_P(SpecialParam, ExhaustivelyCertified) {
   // This re-runs the certification the embedded edge lists shipped with.
   const auto [n, k, deg] = GetParam();
-  const auto res = verify::check_gd_exhaustive(make_special(n, k), k);
+  const auto res = verify::run_check(make_special(n, k), verify::CheckRequest::exhaustive(k));
   EXPECT_TRUE(res.holds);
   EXPECT_TRUE(res.exhaustive);
   EXPECT_EQ(res.solver_unknowns, 0u);

@@ -101,7 +101,7 @@ TEST(ExhaustiveSynthesis, FindsDegreeOptimalG62) {
                                });
   ASSERT_TRUE(found.has_value());
   EXPECT_EQ(found->max_processor_degree(), 4);
-  EXPECT_TRUE(check_gd_exhaustive(*found, 2).holds);
+  EXPECT_TRUE(run_check(*found, CheckRequest::exhaustive(2)).holds);
 }
 
 TEST(StochasticSynthesis, RediscoversG62) {
@@ -112,7 +112,7 @@ TEST(StochasticSynthesis, RediscoversG62) {
   ASSERT_TRUE(sg.has_value());
   EXPECT_TRUE(sg->is_standard());
   EXPECT_EQ(sg->max_processor_degree(), 4);
-  EXPECT_TRUE(check_gd_exhaustive(*sg, 2).holds);
+  EXPECT_TRUE(run_check(*sg, CheckRequest::exhaustive(2)).holds);
 }
 
 TEST(StochasticSynthesis, DifferentSeedsBothSucceed) {

@@ -143,12 +143,12 @@ TEST(VerdictCache, CachedExhaustiveRunsAreBitIdentical) {
     cases.push_back({baseline::make_spare_path(6, 2), 2});  // fails
   }
   for (const Case& c : cases) {
-    const CheckResult plain = check_gd_exhaustive(c.sg, c.k);
+    const CheckResult plain = run_check(c.sg, CheckRequest::exhaustive(c.k));
     VerdictCache cache(1 << 14);
     const CheckResult cold =
-        check_gd_exhaustive(c.sg, c.k, with_cache(&cache));
+        run_check(c.sg, CheckRequest::exhaustive(c.k, with_cache(&cache)));
     const CheckResult warm =
-        check_gd_exhaustive(c.sg, c.k, with_cache(&cache));
+        run_check(c.sg, CheckRequest::exhaustive(c.k, with_cache(&cache)));
     expect_same_verdict(plain, cold, c.sg.name() + " cold");
     expect_same_verdict(plain, warm, c.sg.name() + " warm");
 
@@ -171,12 +171,12 @@ TEST(VerdictCache, CachedExhaustiveRunsAreBitIdentical) {
 TEST(VerdictCache, CachedSampledRunsAreBitIdentical) {
   const auto sg = kgd::build_solution(14, 3);
   ASSERT_TRUE(sg);
-  const CheckResult plain = check_gd_sampled(*sg, 3, 400, 7);
+  const CheckResult plain = run_check(*sg, CheckRequest::sampled(3, 400, 7));
   VerdictCache cache(1 << 14);
   const CheckResult cold =
-      check_gd_sampled(*sg, 3, 400, 7, with_cache(&cache));
+      run_check(*sg, CheckRequest::sampled(3, 400, 7, with_cache(&cache)));
   const CheckResult warm =
-      check_gd_sampled(*sg, 3, 400, 7, with_cache(&cache));
+      run_check(*sg, CheckRequest::sampled(3, 400, 7, with_cache(&cache)));
   EXPECT_EQ(plain.holds, cold.holds);
   EXPECT_EQ(plain.holds, warm.holds);
   EXPECT_EQ(plain.fault_sets_checked, cold.fault_sets_checked);
@@ -190,10 +190,10 @@ TEST(VerdictCache, CachedSampledRunsAreBitIdentical) {
 TEST(VerdictCache, TinyCacheEvictsButStaysExact) {
   const auto sg = kgd::build_solution(10, 3);
   ASSERT_TRUE(sg);
-  const CheckResult plain = check_gd_exhaustive(*sg, 3);
+  const CheckResult plain = run_check(*sg, CheckRequest::exhaustive(3));
   VerdictCache cache(8);  // far smaller than the representative count
   const CheckResult cold =
-      check_gd_exhaustive(*sg, 3, with_cache(&cache));
+      run_check(*sg, CheckRequest::exhaustive(3, with_cache(&cache)));
   expect_same_verdict(plain, cold, "tiny cache");
   EXPECT_GT(cold.cache_evictions, 0u);
   EXPECT_GT(cold.cache_inserts, cache.capacity());

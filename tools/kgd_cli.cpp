@@ -14,10 +14,12 @@
 #include <vector>
 
 #include "campaign/campaign.hpp"
+#include "fault/canonical.hpp"
 #include "io/graph_io.hpp"
 #include "kgd/factory.hpp"
 #include "net/client.hpp"
 #include "net/socket.hpp"
+#include "reconfig/atlas.hpp"
 #include "service/daemon.hpp"
 #include "service/protocol.hpp"
 #include "util/durable_file.hpp"
@@ -47,7 +49,19 @@ int usage() {
       "                                  exhaustive GD check (--batch=1\n"
       "                                  forces the legacy per-item sweep;\n"
       "                                  --cache sizes a verdict cache)\n"
-      "  route      <n> <k> [v ...]      pipeline around the given faults\n"
+      "  route      <n> <k> [v ...] [--atlas=FILE] [--no-atlas]\n"
+      "                                  pipeline around the given faulty\n"
+      "                                  nodes, atlas-accelerated (--atlas\n"
+      "                                  preloads a built artifact;\n"
+      "                                  --no-atlas computes directly —\n"
+      "                                  the output is identical)\n"
+      "  atlas build <n> <k> [--max-faults=M] [--out=FILE] [--shard=i/S]\n"
+      "                                  precompute the orbit-keyed route\n"
+      "                                  atlas (all fault sets of size\n"
+      "                                  <= M, default k; shardable)\n"
+      "  atlas info  <file>              print an atlas artifact header\n"
+      "  atlas merge --out=FILE <shard>...\n"
+      "                                  merge shard artifacts (same graph)\n"
       "  save       <n> <k>              kgdp-graph text to stdout\n"
       "  json       <n> <k>              JSON export to stdout\n"
       "  certify    <n> <k>              GD certificate to stdout\n"
@@ -64,19 +78,39 @@ int usage() {
       "  serve      [--unix=PATH] [--tcp=HOST:PORT] [--threads=T]\n"
       "             [--max-queue=N] [--max-sessions=N] [--chunk=N]\n"
       "             [--drain-dir=DIR] [--checkpoint-every=N]\n"
-      "             [--metrics=FILE] [--cache=N]\n"
+      "             [--metrics=FILE] [--cache=N] [--atlas=N]\n"
+      "             [--atlas-load=FILE[,FILE...]]\n"
       "                  run the kgdd daemon (SIGINT/SIGTERM drains;\n"
       "                  --checkpoint-every also snapshots sessions every\n"
-      "                  N chunks so SIGKILL loses at most N chunks)\n"
+      "                  N chunks so SIGKILL loses at most N chunks;\n"
+      "                  --atlas sizes the route atlas, 0 disables;\n"
+      "                  --atlas-load preloads built atlas artifacts)\n"
       "  request    <method> --connect=unix:PATH|tcp:HOST:PORT\n"
       "             [--params=JSON] [--tag=T] [--timeout=MS]\n"
-      "                  send one request, print every reply frame\n");
+      "                  send one request (verify|route|construct|sim.run|\n"
+      "                  campaign.status|stats|cancel|ping|shutdown),\n"
+      "                  print every reply frame\n");
   return 2;
 }
 
 int flag_error(const util::FlagParser& flags) {
   std::fprintf(stderr, "%s\n", flags.error().c_str());
   return usage();
+}
+
+// Strict positional-integer parse: the whole token must be a decimal
+// number in [min, max]. (std::atoi would silently read "12x" as 12 and
+// anything unparsable as 0.)
+bool parse_int_arg(const std::string& text, std::int64_t min,
+                   std::int64_t max, std::int64_t* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  if (v < min || v > max) return false;
+  *out = v;
+  return true;
 }
 
 std::unique_ptr<util::ThreadPool> make_pool(std::int64_t threads) {
@@ -127,7 +161,7 @@ int cmd_verify(const kgd::SolutionGraph& sg, int k,
   const auto pool = make_pool(threads);
   opts.pool = pool.get();
   util::Timer t;
-  const auto res = verify::check_gd_exhaustive(sg, k, opts);
+  const auto res = verify::run_check(sg, verify::CheckRequest::exhaustive(k, opts));
   if (flags.has("json")) {
     std::fputs(campaign::check_result_to_json(res).dump(2).c_str(), stdout);
     std::fputc('\n', stdout);
@@ -378,11 +412,180 @@ int cmd_campaign(int argc, char** argv) {
   return usage();
 }
 
+// Builds, inspects, and merges route-atlas artifacts.
+int cmd_atlas(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "atlas: give a subcommand (build|info|merge)\n");
+    return usage();
+  }
+  const std::string sub = argv[2];
+
+  if (sub == "info") {
+    util::FlagParser flags;
+    if (!flags.parse(argc, argv, 3)) return flag_error(flags);
+    if (flags.positionals().size() != 1) {
+      std::fprintf(stderr, "atlas info: give exactly one artifact file\n");
+      return usage();
+    }
+    const std::string& path = flags.positionals()[0];
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "atlas info: cannot open %s\n", path.c_str());
+      return 1;
+    }
+    try {
+      reconfig::RouteAtlas atlas(std::size_t{1} << 22);
+      const reconfig::RouteAtlasFileInfo info = atlas.load(in);
+      std::printf("atlas: n=%d k=%d fingerprint=%llu entries=%llu\n",
+                  info.n, info.k,
+                  static_cast<unsigned long long>(info.graph_fp),
+                  static_cast<unsigned long long>(info.entries));
+      return 0;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "atlas info: %s: %s\n", path.c_str(), e.what());
+      return 1;
+    }
+  }
+
+  if (sub == "build") {
+    util::FlagParser flags;
+    flags.flag("max-faults").flag("out").flag("shard");
+    if (!flags.parse(argc, argv, 3)) return flag_error(flags);
+    if (flags.positionals().size() != 2) {
+      std::fprintf(stderr, "atlas build: give <n> <k>\n");
+      return usage();
+    }
+    std::int64_t n = 0, k = 0, max_faults = 0;
+    if (!parse_int_arg(flags.positionals()[0], 1, 1 << 20, &n) ||
+        !parse_int_arg(flags.positionals()[1], 1, 64, &k)) {
+      std::fprintf(stderr,
+                   "atlas build: <n> and <k> must be integers (n >= 1, "
+                   "1 <= k <= 64), got '%s' '%s'\n",
+                   flags.positionals()[0].c_str(),
+                   flags.positionals()[1].c_str());
+      return usage();
+    }
+    if (!flags.get_int("max-faults", k, 0, 64, &max_faults)) {
+      return flag_error(flags);
+    }
+    std::uint32_t shard_index = 0, shard_count = 1;
+    if (flags.has("shard") &&
+        !util::FlagParser::parse_shard(flags.get("shard"), &shard_index,
+                                       &shard_count)) {
+      std::fprintf(stderr, "flag --shard: expected i/S with 0 <= i < S\n");
+      return usage();
+    }
+    auto built = kgd::build_solution(static_cast<int>(n),
+                                     static_cast<int>(k));
+    if (!built) {
+      std::fprintf(stderr, "atlas build: no construction for n=%lld k=%lld\n",
+                   static_cast<long long>(n), static_cast<long long>(k));
+      return 1;
+    }
+    if (built->num_nodes() > 64) {
+      std::fprintf(stderr,
+                   "atlas build: the n=%lld k=%lld graph has %d nodes; "
+                   "graphs over 64 nodes are routed without an atlas\n",
+                   static_cast<long long>(n), static_cast<long long>(k),
+                   built->num_nodes());
+      return 1;
+    }
+    try {
+      reconfig::RouteAtlas atlas(std::size_t{1} << 22);
+      reconfig::Router router(*built, &atlas);
+      util::Timer t;
+      std::uint64_t slots = 0;
+      const std::uint64_t inserted = router.build_atlas(
+          static_cast<int>(max_faults), shard_index, shard_count, &slots);
+      const std::string out_path = flags.get("out");
+      if (out_path.empty()) {
+        atlas.save(std::cout, router.graph_fp(), static_cast<int>(n),
+                   static_cast<int>(k));
+      } else {
+        std::ofstream out(out_path);
+        if (!out) {
+          std::fprintf(stderr, "atlas build: cannot write %s\n",
+                       out_path.c_str());
+          return 1;
+        }
+        atlas.save(out, router.graph_fp(), static_cast<int>(n),
+                   static_cast<int>(k));
+      }
+      std::fprintf(stderr,
+                   "atlas build: %llu routes from %llu orbit slots "
+                   "(shard %u/%u, max_faults=%lld) in %.2fs\n",
+                   static_cast<unsigned long long>(inserted),
+                   static_cast<unsigned long long>(slots), shard_index,
+                   shard_count, static_cast<long long>(max_faults),
+                   t.seconds());
+      return 0;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "atlas build: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  if (sub == "merge") {
+    util::FlagParser flags;
+    flags.flag("out");
+    if (!flags.parse(argc, argv, 3)) return flag_error(flags);
+    const std::string out_path = flags.get("out");
+    if (out_path.empty()) {
+      std::fprintf(stderr, "atlas merge: --out=FILE is required\n");
+      return usage();
+    }
+    if (flags.positionals().empty()) {
+      std::fprintf(stderr, "atlas merge: list the shard artifact files\n");
+      return usage();
+    }
+    try {
+      reconfig::RouteAtlas atlas(std::size_t{1} << 22);
+      reconfig::RouteAtlasFileInfo first;
+      bool have_first = false;
+      for (const std::string& path : flags.positionals()) {
+        std::ifstream in(path);
+        if (!in) {
+          std::fprintf(stderr, "atlas merge: cannot open %s\n",
+                       path.c_str());
+          return 1;
+        }
+        // Fingerprint pinning: every shard must describe the graph the
+        // first one does, or the merged artifact would mix key spaces.
+        const reconfig::RouteAtlasFileInfo info =
+            atlas.load(in, have_first ? first.graph_fp : 0);
+        if (!have_first) {
+          first = info;
+          have_first = true;
+        }
+      }
+      std::ofstream out(out_path);
+      if (!out) {
+        std::fprintf(stderr, "atlas merge: cannot write %s\n",
+                     out_path.c_str());
+        return 1;
+      }
+      atlas.save(out, first.graph_fp, first.n, first.k);
+      std::printf("atlas merge: %llu routes for n=%d k=%d -> %s\n",
+                  static_cast<unsigned long long>(atlas.size()), first.n,
+                  first.k, out_path.c_str());
+      return 0;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "atlas merge: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  std::fprintf(stderr, "unknown atlas subcommand '%s' (expected build|info|"
+               "merge)\n", sub.c_str());
+  return usage();
+}
+
 int cmd_serve(int argc, char** argv) {
   util::FlagParser flags;
   flags.flag("unix").flag("tcp").flag("threads").flag("max-queue");
   flags.flag("max-sessions").flag("chunk").flag("drain-dir").flag("metrics");
-  flags.flag("checkpoint-every").flag("cache");
+  flags.flag("checkpoint-every").flag("cache").flag("atlas");
+  flags.flag("atlas-load");
   if (!flags.parse(argc, argv, 2)) return flag_error(flags);
 
   service::DaemonConfig config;
@@ -426,6 +629,25 @@ int cmd_serve(int argc, char** argv) {
     return flag_error(flags);
   }
   config.service.cache_entries = static_cast<std::uint64_t>(v);
+  if (!flags.get_int("atlas", 1 << 20, 0, INT64_MAX, &v)) {
+    return flag_error(flags);
+  }
+  config.service.atlas_entries = static_cast<std::uint64_t>(v);
+  if (flags.has("atlas-load")) {
+    // Comma-separated artifact list; the service throws at startup on
+    // an unreadable or malformed file.
+    std::string paths = flags.get("atlas-load");
+    std::size_t pos = 0;
+    while (pos <= paths.size()) {
+      const std::size_t comma = paths.find(',', pos);
+      const std::string one =
+          paths.substr(pos, comma == std::string::npos ? std::string::npos
+                                                       : comma - pos);
+      if (!one.empty()) config.service.atlas_paths.push_back(one);
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
 
   try {
     service::Daemon daemon(std::move(config));
@@ -538,11 +760,27 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
 
+  // Closed command set: anything else fails with a message naming the
+  // offender instead of the bare usage fallthrough.
+  static const char* const kCommands[] = {
+      "build", "dot", "verify", "route", "atlas", "save", "json",
+      "certify", "check-cert", "campaign", "serve", "request"};
+  bool known = false;
+  for (const char* c : kCommands) known = known || cmd == c;
+  if (!known) {
+    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+    return usage();
+  }
+
   if (cmd == "campaign") return cmd_campaign(argc, argv);
   if (cmd == "serve") return cmd_serve(argc, argv);
   if (cmd == "request") return cmd_request(argc, argv);
+  if (cmd == "atlas") return cmd_atlas(argc, argv);
 
-  if (argc < 3) return usage();
+  if (argc < 3) {
+    std::fprintf(stderr, "%s: missing arguments\n", cmd.c_str());
+    return usage();
+  }
 
   if (cmd == "check-cert") {
     std::ifstream in(argv[2]);
@@ -563,10 +801,26 @@ int main(int argc, char** argv) {
     flags.flag("prune").flag("threads").flag("json", /*requires_value=*/false);
     flags.flag("batch").flag("lanes").flag("cache");
   }
+  if (cmd == "route") {
+    flags.flag("atlas").flag("no-atlas", /*requires_value=*/false);
+  }
   if (!flags.parse(argc, argv, 2)) return flag_error(flags);
-  if (flags.positionals().size() < 2) return usage();
-  const int n = std::atoi(flags.positionals()[0].c_str());
-  const int k = std::atoi(flags.positionals()[1].c_str());
+  if (flags.positionals().size() < 2) {
+    std::fprintf(stderr, "%s: give <n> <k>\n", cmd.c_str());
+    return usage();
+  }
+  std::int64_t n64 = 0, k64 = 0;
+  if (!parse_int_arg(flags.positionals()[0], 1, 1 << 20, &n64) ||
+      !parse_int_arg(flags.positionals()[1], 1, 64, &k64)) {
+    std::fprintf(stderr,
+                 "%s: <n> and <k> must be integers (n >= 1, 1 <= k <= 64), "
+                 "got '%s' '%s'\n",
+                 cmd.c_str(), flags.positionals()[0].c_str(),
+                 flags.positionals()[1].c_str());
+    return usage();
+  }
+  const int n = static_cast<int>(n64);
+  const int k = static_cast<int>(k64);
 
   auto built = kgd::build_solution(n, k);
   if (!built) {
@@ -615,18 +869,54 @@ int main(int argc, char** argv) {
   if (cmd == "route") {
     std::vector<int> faulty;
     for (std::size_t i = 2; i < flags.positionals().size(); ++i) {
-      faulty.push_back(std::atoi(flags.positionals()[i].c_str()));
+      std::int64_t v = 0;
+      if (!parse_int_arg(flags.positionals()[i], 0, sg.num_nodes() - 1,
+                         &v)) {
+        std::fprintf(stderr,
+                     "route: faulty node '%s' must be an integer in "
+                     "[0, %d) (the n=%d k=%d graph has %d nodes)\n",
+                     flags.positionals()[i].c_str(), sg.num_nodes(), n, k,
+                     sg.num_nodes());
+        return usage();
+      }
+      faulty.push_back(static_cast<int>(v));
+    }
+    if (flags.has("atlas") && flags.has("no-atlas")) {
+      std::fprintf(stderr, "route: --atlas and --no-atlas conflict\n");
+      return usage();
+    }
+    std::unique_ptr<reconfig::RouteAtlas> atlas;
+    if (!flags.has("no-atlas")) {
+      atlas = std::make_unique<reconfig::RouteAtlas>(std::size_t{1} << 22);
+    }
+    reconfig::Router router(sg, atlas.get());
+    if (flags.has("atlas")) {
+      const std::string path = flags.get("atlas");
+      std::ifstream in(path);
+      if (!in) {
+        std::fprintf(stderr, "route: cannot open atlas artifact %s\n",
+                     path.c_str());
+        return 1;
+      }
+      try {
+        atlas->load(in, router.graph_fp());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "route: %s: %s\n", path.c_str(), e.what());
+        return 1;
+      }
     }
     const kgd::FaultSet fs(sg.num_nodes(), faulty);
-    const auto out = verify::find_pipeline(sg, fs);
-    if (out.status != verify::SolveStatus::kFound) {
+    auto scratch = std::make_unique<fault::FaultCanonicalizer::Scratch>();
+    const reconfig::Router::Result res = router.route(fs, *scratch);
+    if (!res.feasible) {
       std::printf("no pipeline with faults %s\n", fs.to_string().c_str());
       return 1;
     }
     std::printf("pipeline (%d processors): %s\n",
-                out.pipeline->num_processors(),
-                out.pipeline->to_string(sg).c_str());
+                res.pipeline.num_processors(),
+                res.pipeline.to_string(sg).c_str());
     return 0;
   }
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return usage();
 }

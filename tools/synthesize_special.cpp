@@ -63,7 +63,7 @@ bool run(int n, int k) {
     std::fprintf(stderr, "  FAILED after %.1fs\n", timer.seconds());
     return false;
   }
-  const auto res = verify::check_gd_exhaustive(*sg, k);
+  const auto res = verify::run_check(*sg, verify::CheckRequest::exhaustive(k));
   std::fprintf(stderr, "  found in %.1fs; exhaustive recheck: %s (%llu sets)\n",
                timer.seconds(), res.holds ? "OK" : "FAILED",
                static_cast<unsigned long long>(res.fault_sets_checked));
