@@ -1,0 +1,125 @@
+#include "campaign/fleet_runner.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "campaign/telemetry.hpp"
+#include "kgd/factory.hpp"
+
+namespace kgdp::campaign {
+
+FleetCampaignRunner::FleetCampaignRunner(CampaignState state,
+                                         std::string checkpoint_path,
+                                         fleet::Coordinator* coordinator)
+    : state_(std::move(state)),
+      checkpoint_path_(std::move(checkpoint_path)),
+      coordinator_(coordinator) {
+  if (coordinator_ == nullptr) {
+    throw std::invalid_argument("fleet campaign: no coordinator");
+  }
+  if (state_.config.mode != verify::CheckMode::kExhaustive) {
+    throw std::invalid_argument(
+        "fleet campaign: only exhaustive campaigns can be fleet-run");
+  }
+  if (state_.config.shard_count != 1) {
+    throw std::invalid_argument(
+        "fleet campaign: sharding and fleet dispatch are mutually "
+        "exclusive (leases already partition each instance)");
+  }
+}
+
+void FleetCampaignRunner::checkpoint() {
+  if (checkpoint_path_.empty()) return;
+  write_campaign_file(checkpoint_path_, state_);
+}
+
+FleetRunOutcome FleetCampaignRunner::run(const std::function<bool()>& stop) {
+  FleetRunOutcome out;
+
+  auto done_all_hold = [this] {
+    for (const InstanceState& inst : state_.instances) {
+      if (inst.status == InstanceStatus::kDone && !inst.result.holds) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  {
+    io::JsonObject f;
+    f["n_min"] = state_.config.n_min;
+    f["n_max"] = state_.config.n_max;
+    f["k_min"] = state_.config.k_min;
+    f["k_max"] = state_.config.k_max;
+    f["instances"] = static_cast<std::uint64_t>(state_.instances.size());
+    f["workers"] = coordinator_->worker_count();
+    coordinator_->emit_telemetry("fleet_run_start", std::move(f));
+  }
+
+  for (InstanceState& inst : state_.instances) {
+    if (inst.status == InstanceStatus::kDone) continue;
+    if (stop && stop()) {
+      checkpoint();
+      out.complete = false;
+      out.all_hold = done_all_hold();
+      return out;
+    }
+    // A stale mid-instance cursor (interrupted local run, or a dead
+    // coordinator) is discarded: the fleet re-partitions from scratch
+    // and the merged verdict is identical either way.
+    inst.cursor.clear();
+    inst.status = InstanceStatus::kPending;
+
+    auto built = kgd::build_solution(inst.n, inst.k);
+    if (!built) {
+      throw std::runtime_error("fleet campaign: no construction for n=" +
+                               std::to_string(inst.n) +
+                               " k=" + std::to_string(inst.k));
+    }
+    fleet::InstanceOutcome res = coordinator_->run_instance(
+        *built, inst.n, inst.k, inst.k, state_.config.prune);
+
+    inst.result = res.result;
+    inst.status = InstanceStatus::kDone;
+    ++out.instances_run;
+    out.leases_planned += res.leases_planned;
+    out.leases_stolen += res.leases_stolen;
+    out.leases_reassigned += res.leases_reassigned;
+    out.workers_lost += res.workers_lost;
+    checkpoint();  // instance completion is always made durable
+
+    io::JsonObject f;
+    f["n"] = inst.n;
+    f["k"] = inst.k;
+    f["leases"] = res.leases_planned;
+    f["stolen"] = res.leases_stolen;
+    f["reassigned"] = res.leases_reassigned;
+    f["workers_lost"] = res.workers_lost;
+    io::JsonArray per_worker;
+    for (std::size_t w = 0; w < res.per_worker_solved.size(); ++w) {
+      io::JsonObject wf;
+      wf["worker"] = coordinator_->worker_endpoint(static_cast<int>(w))
+                         .to_string();
+      wf["solved"] = res.per_worker_solved[w];
+      wf["leases_done"] = res.per_worker_leases[w];
+      per_worker.push_back(io::Json(std::move(wf)));
+    }
+    f["per_worker"] = std::move(per_worker);
+    f["result"] = check_result_to_json(inst.result);
+    coordinator_->emit_telemetry("fleet_instance_done", std::move(f));
+  }
+
+  out.complete = true;
+  out.all_hold = done_all_hold();
+  checkpoint();
+  {
+    io::JsonObject f;
+    f["complete"] = out.complete;
+    f["all_hold"] = out.all_hold;
+    f["instances_run"] = out.instances_run;
+    coordinator_->emit_telemetry("fleet_campaign_done", std::move(f));
+  }
+  return out;
+}
+
+}  // namespace kgdp::campaign

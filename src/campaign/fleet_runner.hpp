@@ -1,0 +1,62 @@
+// Fleet-backed campaign runner: the same (n, k) certification grid as
+// CampaignRunner, but each exhaustive instance is dispatched across
+// remote kgdd workers by a fleet::Coordinator instead of swept in-
+// process. Checkpointing is instance-granular — a completed instance's
+// verdict is durable (same kgdp-campaign file as the local runner, so
+// status/resume/merge tooling is shared), while a killed coordinator
+// redoes at most the instance in flight: mid-instance positions live in
+// lease cursors held in coordinator memory, which die with it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "campaign/checkpoint.hpp"
+#include "fleet/coordinator.hpp"
+
+namespace kgdp::campaign {
+
+struct FleetRunOutcome {
+  bool complete = false;  // every instance reached kDone
+  bool all_hold = false;  // over the instances that are done
+  std::uint64_t instances_run = 0;
+  // Fleet totals summed over the instances this call ran.
+  std::uint64_t leases_planned = 0;
+  std::uint64_t leases_stolen = 0;
+  std::uint64_t leases_reassigned = 0;
+  std::uint64_t workers_lost = 0;
+};
+
+class FleetCampaignRunner {
+ public:
+  // The coordinator is caller-owned (its WorkerPool persists across
+  // instances and runner instances alike) and carries the telemetry
+  // writer. The campaign must be exhaustive and unsharded — lease
+  // ranges already partition each instance, and a sampled sweep has no
+  // slot space to lease. Throws std::invalid_argument otherwise.
+  // `checkpoint_path` may be empty (checkpointing disabled).
+  FleetCampaignRunner(CampaignState state, std::string checkpoint_path,
+                      fleet::Coordinator* coordinator);
+
+  // Runs pending instances in grid order to completion. `stop` (may be
+  // empty) is polled between instances — the finest interruption grain
+  // this runner has; a true return checkpoints and hands back an
+  // incomplete outcome that a later run() resumes. An instance that was
+  // kRunning (a cursor from an interrupted local run, or a coordinator
+  // killed mid-instance) restarts from its beginning: single-session
+  // cursors do not map onto lease partitions. Throws std::runtime_error
+  // when the fleet cannot finish an instance (all workers lost).
+  FleetRunOutcome run(const std::function<bool()>& stop = {});
+
+  const CampaignState& state() const { return state_; }
+
+ private:
+  void checkpoint();
+
+  CampaignState state_;
+  std::string checkpoint_path_;
+  fleet::Coordinator* coordinator_;
+};
+
+}  // namespace kgdp::campaign

@@ -1,0 +1,531 @@
+#include "fleet/coordinator.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "campaign/checkpoint.hpp"
+#include "fault/orbit_enumerator.hpp"
+#include "graph/automorphism.hpp"
+#include "service/protocol.hpp"
+
+namespace kgdp::fleet {
+namespace {
+
+std::string lease_name(std::size_t li) { return "L" + std::to_string(li); }
+
+// Tags are "g-L<i>-<epoch>" (grant) / "r-L<i>-<epoch>" (release): error
+// frames carry no lease body fields, so the tag is the only route back
+// to the assignment that failed. Returns false on foreign tags.
+bool parse_tag(const std::string& tag, char* op, std::size_t* li,
+               std::uint64_t* epoch) {
+  if (tag.size() < 6 || tag[1] != '-' || (tag[0] != 'g' && tag[0] != 'r')) {
+    return false;
+  }
+  const std::size_t dash = tag.rfind('-');
+  if (dash < 3 || tag[2] != 'L') return false;
+  try {
+    *li = std::stoull(tag.substr(3, dash - 3));
+    *epoch = std::stoull(tag.substr(dash + 1));
+  } catch (const std::exception&) {
+    return false;
+  }
+  *op = tag[0];
+  return true;
+}
+
+std::uint64_t field_u64(const io::Json& frame, const char* key,
+                        std::uint64_t fallback = 0) {
+  const io::Json* v = frame.find(key);
+  if (v == nullptr || !v->is_int()) return fallback;
+  const std::int64_t raw = v->as_int();
+  return raw < 0 ? fallback : static_cast<std::uint64_t>(raw);
+}
+
+std::string field_str(const io::Json& frame, const char* key) {
+  const io::Json* v = frame.find(key);
+  return (v != nullptr && v->is_string()) ? v->as_string() : std::string();
+}
+
+}  // namespace
+
+Coordinator::Coordinator(FleetConfig config,
+                         campaign::TelemetryWriter* telemetry)
+    : config_(std::move(config)), telemetry_(telemetry) {
+  if (config_.workers.empty()) {
+    throw std::invalid_argument("fleet: no worker endpoints");
+  }
+  if (config_.chunk == 0) config_.chunk = 1;
+  if (config_.lease_grain == 0) config_.lease_grain = 1;
+  if (config_.min_steal_items < 2) config_.min_steal_items = 2;
+  workers_.resize(config_.workers.size());
+  WorkerPoolConfig pool_config;
+  pool_config.reconnect = config_.reconnect;
+  pool_config.poll_ms = config_.poll_ms;
+  WorkerPool::Callbacks callbacks;
+  callbacks.on_connected = [this](int w) { on_connected(w); };
+  callbacks.on_frame = [this](int w, io::Json frame) {
+    on_frame(w, std::move(frame));
+  };
+  callbacks.on_down = [this](int w, const std::string& reason,
+                             bool permanent) {
+    on_down(w, reason, permanent);
+  };
+  pool_ = std::make_unique<WorkerPool>(config_.workers, pool_config,
+                                       std::move(callbacks));
+}
+
+Coordinator::~Coordinator() {
+  // Stop the pool before members die: callbacks lock mu_ and touch
+  // leases_, so no callback may outlive this object.
+  pool_->stop();
+  pool_.reset();
+}
+
+void Coordinator::emit_telemetry(const std::string& event,
+                                 io::JsonObject fields) {
+  std::lock_guard<std::mutex> lock(mu_);
+  emit_locked(event, std::move(fields));
+}
+
+void Coordinator::emit_locked(const std::string& event,
+                              io::JsonObject fields) {
+  if (telemetry_ != nullptr) telemetry_->emit(event, std::move(fields));
+}
+
+InstanceOutcome Coordinator::run_instance(const kgd::SolutionGraph& sg,
+                                          int n, int k, int max_faults,
+                                          verify::PruneMode prune) {
+  // Plan the initial partition against the same enumeration geometry the
+  // workers will build (the lease ranges are orbit-slot indices, so both
+  // sides must agree on num_orbits).
+  const graph::AutomorphismList autos =
+      prune == verify::PruneMode::kAuto ? graph::solution_automorphisms(sg)
+                                        : graph::AutomorphismList{};
+  const fault::OrbitEnumerator orbits(sg.num_nodes(), max_faults, autos);
+  const std::uint64_t total = orbits.num_orbits();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  n_ = n;
+  k_ = k;
+  max_faults_ = max_faults;
+  prune_ = prune;
+  fatal_.clear();
+  stolen_ = reassigned_ = lost_ = 0;
+  for (WorkerState& ws : workers_) {
+    ws.active_lease = -1;
+    ws.solved = 0;
+    ws.leases_done = 0;
+  }
+  leases_.clear();
+  queue_.clear();
+  const std::uint64_t want =
+      static_cast<std::uint64_t>(workers_.size()) * config_.lease_grain;
+  const std::uint64_t planned =
+      std::max<std::uint64_t>(1, std::min(want, std::max<std::uint64_t>(
+                                                    total, 1)));
+  leases_.resize(planned);
+  for (std::uint32_t i = 0; i < planned; ++i) {
+    const auto range = verify::CheckSession::shard_range(
+        total, i, static_cast<std::uint32_t>(planned));
+    leases_[i].begin = range.first;
+    leases_[i].end = range.second;
+    queue_.push_back(i);
+  }
+  run_active_ = true;
+
+  while (true) {
+    if (!fatal_.empty()) {
+      run_active_ = false;
+      const std::string why = fatal_;
+      lock.unlock();
+      throw std::runtime_error(why);
+    }
+    if (all_done_locked()) break;
+    pump_locked();
+    cv_.wait_for(lock, std::chrono::milliseconds(config_.poll_ms));
+  }
+  run_active_ = false;
+
+  std::vector<verify::LeaseResult> parts;
+  parts.reserve(leases_.size());
+  for (Lease& l : leases_) {
+    verify::LeaseResult part;
+    part.begin = l.begin;
+    part.end = l.end;
+    part.result = l.result;
+    parts.push_back(std::move(part));
+  }
+
+  InstanceOutcome out;
+  out.leases_planned = planned;
+  out.leases_stolen = stolen_;
+  out.leases_reassigned = reassigned_;
+  out.workers_lost = lost_;
+  for (const WorkerState& ws : workers_) {
+    out.per_worker_solved.push_back(ws.solved);
+    out.per_worker_leases.push_back(ws.leases_done);
+  }
+  out.result =
+      verify::merge_lease_results(sg, max_faults, prune, std::move(parts));
+  io::JsonObject fields;
+  fields["n"] = n;
+  fields["k"] = k;
+  fields["max_faults"] = max_faults;
+  fields["leases"] = static_cast<std::uint64_t>(leases_.size());
+  fields["stolen"] = stolen_;
+  fields["reassigned"] = reassigned_;
+  fields["holds"] = out.result.holds;
+  emit_locked("merge_done", std::move(fields));
+  return out;
+}
+
+bool Coordinator::all_done_locked() const {
+  for (const Lease& l : leases_) {
+    if (l.status != LeaseStatus::kDone) return false;
+  }
+  return true;
+}
+
+bool Coordinator::all_workers_dead_locked() const {
+  for (const WorkerState& ws : workers_) {
+    if (!ws.permanently_down) return false;
+  }
+  return true;
+}
+
+void Coordinator::pump_locked() {
+  // 1. Heartbeat deadlines: an active lease whose worker has streamed
+  // nothing (no accept, progress, or terminal) for the timeout is
+  // presumed lost. Kick the connection — the daemon sees the close and
+  // cancels its session — and requeue; the epoch bump at the next grant
+  // fences any frame the old assignment still manages to emit.
+  for (std::size_t li = 0; li < leases_.size(); ++li) {
+    Lease& l = leases_[li];
+    if (l.status != LeaseStatus::kActive) continue;
+    if (l.last_frame.seconds() * 1000.0 <
+        static_cast<double>(config_.heartbeat_timeout_ms)) {
+      continue;
+    }
+    const int w = l.worker;
+    io::JsonObject fields;
+    fields["worker"] = pool_->endpoint(w).to_string();
+    fields["reason"] = "heartbeat timeout";
+    fields["lease"] = lease_name(li);
+    emit_locked("worker_dead", std::move(fields));
+    workers_[static_cast<std::size_t>(w)].connected = false;
+    workers_[static_cast<std::size_t>(w)].active_lease = -1;
+    requeue_locked(li, "heartbeat timeout");
+    pool_->kick(w);
+  }
+
+  // 2. Grants: queued leases to idle connected workers.
+  while (!queue_.empty()) {
+    int idle = -1;
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      if (workers_[w].connected && workers_[w].active_lease < 0) {
+        idle = static_cast<int>(w);
+        break;
+      }
+    }
+    if (idle < 0) break;
+    const std::size_t li = queue_.front();
+    queue_.pop_front();
+    if (!grant_locked(li, idle)) {
+      queue_.push_front(li);
+      break;
+    }
+  }
+
+  // 3. Steals: queue dry, somebody idle — split the largest remainder.
+  if (queue_.empty()) maybe_steal_locked();
+
+  // 4. Liveness: every worker written off with work outstanding is the
+  // one unrecoverable state.
+  if (!all_done_locked() && all_workers_dead_locked()) {
+    fatal_ = "fleet: all workers permanently down with leases outstanding";
+  }
+}
+
+bool Coordinator::grant_locked(std::size_t li, int w) {
+  Lease& l = leases_[li];
+  l.epoch += 1;
+  io::JsonObject params;
+  params["n"] = n_;
+  params["k"] = k_;
+  params["max_faults"] = max_faults_;
+  params["prune"] = prune_ == verify::PruneMode::kAuto ? "auto" : "off";
+  params["begin"] = l.begin;
+  params["end"] = l.end;
+  params["chunk"] = config_.chunk;
+  params["lease"] = lease_name(li);
+  params["epoch"] = l.epoch;
+  const bool resumed = !l.cursor.empty();
+  if (resumed) params["cursor"] = l.cursor;
+  io::JsonObject frame;
+  frame["method"] = "lease";
+  frame["params"] = io::Json(std::move(params));
+  frame["schema_version"] = io::kSchemaVersion;
+  frame["tag"] = "g-" + lease_name(li) + "-" + std::to_string(l.epoch);
+  if (!pool_->send(w, io::Json(std::move(frame)))) {
+    l.epoch -= 1;  // never went on the wire; nothing to fence
+    return false;
+  }
+  l.status = LeaseStatus::kActive;
+  l.worker = w;
+  l.steal_pending = false;
+  l.last_frame.reset();
+  workers_[static_cast<std::size_t>(w)].active_lease = static_cast<int>(li);
+  io::JsonObject fields;
+  fields["lease"] = lease_name(li);
+  fields["epoch"] = l.epoch;
+  fields["worker"] = pool_->endpoint(w).to_string();
+  fields["begin"] = l.begin;
+  fields["end"] = l.end;
+  fields["resumed"] = resumed;
+  emit_locked("lease_granted", std::move(fields));
+  return true;
+}
+
+void Coordinator::requeue_locked(std::size_t li, const char* why) {
+  Lease& l = leases_[li];
+  if (l.status != LeaseStatus::kActive) return;
+  l.status = LeaseStatus::kQueued;
+  l.worker = -1;
+  l.steal_pending = false;
+  ++reassigned_;
+  io::JsonObject fields;
+  fields["lease"] = lease_name(li);
+  fields["epoch"] = l.epoch;
+  fields["reason"] = why;
+  fields["cursor_items"] = l.items_done;
+  emit_locked("lease_requeued", std::move(fields));
+  queue_.push_back(li);
+  cv_.notify_all();
+}
+
+void Coordinator::maybe_steal_locked() {
+  int thief = -1;
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (workers_[w].connected && workers_[w].active_lease < 0) {
+      thief = static_cast<int>(w);
+      break;
+    }
+  }
+  if (thief < 0) return;
+  // Victim: active lease with the largest unswept remainder past the
+  // overhead floor and no handshake already in flight.
+  std::size_t victim = leases_.size();
+  std::uint64_t best_remaining = 0;
+  for (std::size_t li = 0; li < leases_.size(); ++li) {
+    const Lease& l = leases_[li];
+    if (l.status != LeaseStatus::kActive || l.steal_pending) continue;
+    const std::uint64_t swept = l.begin + l.items_done;
+    const std::uint64_t remaining = l.end > swept ? l.end - swept : 0;
+    if (remaining >= config_.min_steal_items && remaining > best_remaining) {
+      best_remaining = remaining;
+      victim = li;
+    }
+  }
+  if (victim == leases_.size()) return;
+  Lease& l = leases_[victim];
+  // Ask the victim to surrender the tail half; the split point is a
+  // request, not a fact — the worker may have swept past it by the time
+  // the release lands, in which case it answers applied:false and no
+  // steal happens. Only an applied:true reply creates the stolen lease.
+  const std::uint64_t truncate_to = l.end - best_remaining / 2;
+  if (truncate_to <= l.begin + l.items_done || truncate_to >= l.end) return;
+  io::JsonObject params;
+  params["lease"] = lease_name(victim);
+  params["epoch"] = l.epoch;
+  params["truncate_to"] = truncate_to;
+  io::JsonObject frame;
+  frame["method"] = "lease.release";
+  frame["params"] = io::Json(std::move(params));
+  frame["schema_version"] = io::kSchemaVersion;
+  frame["tag"] = "r-" + lease_name(victim) + "-" + std::to_string(l.epoch);
+  if (!pool_->send(l.worker, io::Json(std::move(frame)))) return;
+  l.steal_pending = true;
+}
+
+// Maps an inbound lease-bodied frame back to the lease it belongs to.
+// *current=false for frames from a superseded epoch or a worker the
+// lease no longer lives on — those are late echoes of a fenced
+// assignment and must be dropped, never merged.
+std::size_t Coordinator::lease_from_frame_locked(const io::Json& frame,
+                                                 int w, bool* current) {
+  *current = false;
+  const std::string name = field_str(frame, "lease");
+  if (name.size() < 2 || name[0] != 'L') return leases_.size();
+  std::size_t li = 0;
+  try {
+    li = std::stoull(name.substr(1));
+  } catch (const std::exception&) {
+    return leases_.size();
+  }
+  if (li >= leases_.size()) return leases_.size();
+  const Lease& l = leases_[li];
+  *current = l.status == LeaseStatus::kActive && l.worker == w &&
+             field_u64(frame, "epoch") == l.epoch;
+  return li;
+}
+
+void Coordinator::on_connected(int w) {
+  std::lock_guard<std::mutex> lock(mu_);
+  workers_[static_cast<std::size_t>(w)].connected = true;
+  cv_.notify_all();  // the pump grants on the run_instance thread
+}
+
+void Coordinator::on_down(int w, const std::string& reason, bool permanent) {
+  std::lock_guard<std::mutex> lock(mu_);
+  WorkerState& ws = workers_[static_cast<std::size_t>(w)];
+  ws.connected = false;
+  if (permanent) ws.permanently_down = true;
+  ++lost_;
+  if (run_active_) {
+    io::JsonObject fields;
+    fields["worker"] = pool_->endpoint(w).to_string();
+    fields["reason"] = reason;
+    fields["permanent"] = permanent;
+    emit_locked("worker_dead", std::move(fields));
+  }
+  if (ws.active_lease >= 0) {
+    const std::size_t li = static_cast<std::size_t>(ws.active_lease);
+    ws.active_lease = -1;
+    if (run_active_) requeue_locked(li, "worker connection lost");
+  }
+  cv_.notify_all();
+}
+
+void Coordinator::on_frame(int w, io::Json frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!run_active_) return;
+
+  const std::string type = field_str(frame, "type");
+  if (type == "error") {
+    // Errors carry no lease body; the tag names the failed assignment.
+    char op = 0;
+    std::size_t li = 0;
+    std::uint64_t epoch = 0;
+    if (!parse_tag(field_str(frame, "tag"), &op, &li, &epoch)) return;
+    if (li >= leases_.size()) return;
+    Lease& l = leases_[li];
+    if (l.status != LeaseStatus::kActive || l.worker != w ||
+        l.epoch != epoch) {
+      return;  // stale: the assignment was already fenced or resolved
+    }
+    if (op == 'g') {
+      // The grant was refused (draining or overloaded daemon). Requeue
+      // and drop this connection: a daemon that just said no would
+      // otherwise be handed the same lease again next pump, forever.
+      workers_[static_cast<std::size_t>(w)].connected = false;
+      workers_[static_cast<std::size_t>(w)].active_lease = -1;
+      requeue_locked(li, field_str(frame, "message").c_str());
+      pool_->kick(w);
+    } else {
+      l.steal_pending = false;  // steal aborted; the victim runs on
+    }
+    cv_.notify_all();
+    return;
+  }
+
+  bool current = false;
+  const std::size_t li = lease_from_frame_locked(frame, w, &current);
+  if (li >= leases_.size() || !current) return;
+  Lease& l = leases_[li];
+  l.last_frame.reset();
+
+  if (frame.find("applied") != nullptr) {
+    handle_release_reply_locked(li, frame);
+    return;
+  }
+  if (type == "accepted") return;  // admission ack; heartbeat only
+  if (type == "progress") {
+    l.items_done = field_u64(frame, "items_done", l.items_done);
+    const std::string cursor = field_str(frame, "cursor");
+    if (!cursor.empty()) l.cursor = cursor;
+    return;
+  }
+  if (type != "result") return;
+
+  const std::string status = field_str(frame, "status");
+  if (status == "done") {
+    // The certified range comes from the frame, not our bookkeeping: a
+    // truncation applied worker-side after our last look shrinks it.
+    l.begin = field_u64(frame, "begin", l.begin);
+    l.end = field_u64(frame, "end", l.end);
+    try {
+      std::istringstream text(field_str(frame, "result"));
+      l.result = campaign::load_result(text);
+    } catch (const std::exception& e) {
+      fatal_ = std::string("fleet: undecodable lease result: ") + e.what();
+      cv_.notify_all();
+      return;
+    }
+    l.status = LeaseStatus::kDone;
+    l.steal_pending = false;
+    WorkerState& ws = workers_[static_cast<std::size_t>(w)];
+    ws.active_lease = -1;
+    ws.solved += l.result.fault_sets_solved;
+    ws.leases_done += 1;
+    io::JsonObject fields;
+    fields["lease"] = lease_name(li);
+    fields["epoch"] = l.epoch;
+    fields["worker"] = pool_->endpoint(w).to_string();
+    fields["begin"] = l.begin;
+    fields["end"] = l.end;
+    fields["solved"] = l.result.fault_sets_solved;
+    emit_locked("lease_done", std::move(fields));
+    cv_.notify_all();
+    return;
+  }
+  if (status == "cancelled" || status == "drained") {
+    // The worker gave the lease back (drain handoff, or a cancel we did
+    // not initiate). Capture the final cursor and reschedule.
+    const std::string cursor = field_str(frame, "cursor");
+    if (!cursor.empty()) l.cursor = cursor;
+    l.items_done = field_u64(frame, "items_done", l.items_done);
+    workers_[static_cast<std::size_t>(w)].active_lease = -1;
+    requeue_locked(li, status == "drained" ? "worker draining"
+                                           : "worker cancelled lease");
+    cv_.notify_all();
+    return;
+  }
+}
+
+void Coordinator::handle_release_reply_locked(std::size_t li,
+                                              const io::Json& frame) {
+  Lease& l = leases_[li];
+  if (!l.steal_pending) return;
+  l.steal_pending = false;
+  const io::Json* applied = frame.find("applied");
+  if (applied == nullptr || !applied->is_bool() || !applied->as_bool()) {
+    return;  // the victim had already swept past the split point
+  }
+  // Confirmed: the victim now ends at the reply's `end`; the surrendered
+  // tail becomes a fresh queued lease.
+  const std::uint64_t old_end = l.end;
+  const std::uint64_t new_end = field_u64(frame, "end", l.end);
+  l.items_done = field_u64(frame, "items_done", l.items_done);
+  const std::string cursor = field_str(frame, "cursor");
+  if (!cursor.empty()) l.cursor = cursor;
+  if (new_end >= old_end || new_end < l.begin) return;  // nothing ceded
+  l.end = new_end;
+  Lease stolen;
+  stolen.begin = new_end;
+  stolen.end = old_end;
+  leases_.push_back(std::move(stolen));
+  queue_.push_back(leases_.size() - 1);
+  ++stolen_;
+  io::JsonObject fields;
+  fields["victim"] = lease_name(li);
+  fields["lease"] = lease_name(leases_.size() - 1);
+  fields["begin"] = new_end;
+  fields["end"] = old_end;
+  emit_locked("lease_stolen", std::move(fields));
+  cv_.notify_all();
+}
+
+}  // namespace kgdp::fleet

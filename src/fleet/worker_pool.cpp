@@ -1,0 +1,194 @@
+#include "fleet/worker_pool.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <thread>
+#include <utility>
+
+#include "net/client.hpp"
+
+namespace kgdp::fleet {
+
+struct WorkerPool::Worker {
+  net::Endpoint endpoint;
+  std::thread thread;
+
+  mutable std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::string> outbox;  // serialized frames, sent in order
+  bool stop = false;
+  bool kicked = false;
+  // Written by the worker thread, read by send()/stats() under mu.
+  bool connected = false;
+  bool permanently_down = false;
+  std::uint64_t connects = 0;
+  std::uint64_t disconnects = 0;
+};
+
+WorkerPool::WorkerPool(std::vector<net::Endpoint> endpoints,
+                       WorkerPoolConfig config, Callbacks callbacks)
+    : config_(config), callbacks_(std::move(callbacks)) {
+  workers_.reserve(endpoints.size());
+  for (net::Endpoint& ep : endpoints) {
+    auto w = std::make_unique<Worker>();
+    w->endpoint = std::move(ep);
+    workers_.push_back(std::move(w));
+  }
+  for (int i = 0; i < size(); ++i) {
+    workers_[static_cast<std::size_t>(i)]->thread =
+        std::thread([this, i] { run_worker(i); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  stop();
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+const net::Endpoint& WorkerPool::endpoint(int worker) const {
+  return workers_.at(static_cast<std::size_t>(worker))->endpoint;
+}
+
+bool WorkerPool::send(int worker, io::Json frame) {
+  Worker& w = *workers_.at(static_cast<std::size_t>(worker));
+  std::lock_guard<std::mutex> lock(w.mu);
+  if (!w.connected || w.stop) return false;
+  w.outbox.push_back(frame.dump());
+  w.cv.notify_all();
+  return true;
+}
+
+void WorkerPool::kick(int worker) {
+  Worker& w = *workers_.at(static_cast<std::size_t>(worker));
+  std::lock_guard<std::mutex> lock(w.mu);
+  w.kicked = true;
+  w.cv.notify_all();
+}
+
+void WorkerPool::stop() {
+  for (auto& w : workers_) {
+    std::lock_guard<std::mutex> lock(w->mu);
+    w->stop = true;
+    w->cv.notify_all();
+  }
+}
+
+WorkerPool::WorkerStats WorkerPool::stats(int worker) const {
+  const Worker& w = *workers_.at(static_cast<std::size_t>(worker));
+  std::lock_guard<std::mutex> lock(w.mu);
+  WorkerStats s;
+  s.connects = w.connects;
+  s.disconnects = w.disconnects;
+  s.connected = w.connected;
+  s.permanently_down = w.permanently_down;
+  return s;
+}
+
+void WorkerPool::run_worker(int worker) {
+  Worker& w = *workers_[static_cast<std::size_t>(worker)];
+  util::Backoff backoff(config_.reconnect);
+  while (true) {
+    // --- connect phase, bounded backoff per outage ---
+    std::optional<net::Client> client;
+    while (true) {
+      {
+        std::lock_guard<std::mutex> lock(w.mu);
+        if (w.stop) return;
+        w.kicked = false;
+      }
+      std::string error;
+      int connect_errno = 0;
+      client = net::Client::connect(w.endpoint, &error, &connect_errno);
+      if (client.has_value()) break;
+      int delay_ms = 0;
+      if (!backoff.next_delay(&delay_ms)) {
+        {
+          std::lock_guard<std::mutex> lock(w.mu);
+          w.permanently_down = true;
+        }
+        if (callbacks_.on_down) {
+          callbacks_.on_down(
+              worker,
+              "reconnect budget exhausted after " +
+                  std::to_string(backoff.attempts()) + " attempts over " +
+                  std::to_string(backoff.elapsed_ms()) + " ms: " + error +
+                  " (errno " + std::to_string(connect_errno) + ")",
+              /*permanent=*/true);
+        }
+        // Park until stop: a permanently down worker never resurrects
+        // inside one run (the coordinator has re-planned around it).
+        std::unique_lock<std::mutex> lock(w.mu);
+        w.cv.wait(lock, [&w] { return w.stop; });
+        return;
+      }
+      std::unique_lock<std::mutex> lock(w.mu);
+      w.cv.wait_for(lock, std::chrono::milliseconds(delay_ms),
+                    [&w] { return w.stop; });
+      if (w.stop) return;
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(w.mu);
+      w.connected = true;
+      w.outbox.clear();  // frames addressed to a previous connection
+      ++w.connects;
+    }
+    backoff.reset();
+    if (callbacks_.on_connected) callbacks_.on_connected(worker);
+
+    // --- connected I/O loop ---
+    std::string down_reason;
+    while (true) {
+      std::deque<std::string> to_send;
+      {
+        std::lock_guard<std::mutex> lock(w.mu);
+        if (w.stop) return;
+        if (w.kicked) {
+          down_reason = "kicked (heartbeat deadline expired)";
+          break;
+        }
+        to_send.swap(w.outbox);
+      }
+      bool send_failed = false;
+      for (const std::string& frame : to_send) {
+        std::string error;
+        if (!client->send_line(frame, &error)) {
+          down_reason = "send failed: " + error;
+          send_failed = true;
+          break;
+        }
+      }
+      if (send_failed) break;
+      net::Client::ReadResult res = client->read_frame(config_.poll_ms);
+      if (res.status == net::ReadStatus::kTimeout) continue;
+      if (res.status != net::ReadStatus::kOk) {
+        down_reason = "read failed: " + res.error;
+        break;
+      }
+      io::Json frame;
+      try {
+        frame = io::Json::parse(res.frame);
+      } catch (const io::JsonParseError& e) {
+        down_reason = std::string("protocol error: ") + e.what();
+        break;
+      }
+      if (callbacks_.on_frame) callbacks_.on_frame(worker, std::move(frame));
+    }
+
+    client.reset();  // close before reporting, so a re-grant can't race us
+    {
+      std::lock_guard<std::mutex> lock(w.mu);
+      w.connected = false;
+      w.outbox.clear();
+      ++w.disconnects;
+      if (w.stop) return;
+    }
+    if (callbacks_.on_down) {
+      callbacks_.on_down(worker, down_reason, /*permanent=*/false);
+    }
+  }
+}
+
+}  // namespace kgdp::fleet

@@ -21,9 +21,11 @@ namespace kgdp::io {
 // telemetry events, and every kgdd wire frame). Bump when any of those
 // surfaces changes shape. History: v2 added solver-counter surfaces;
 // v3 added the kgdd `route` method and the request-side
-// `schema_version` field. Readers stay backward compatible: artifact
-// loaders and the daemon accept any version in [1, kSchemaVersion].
-inline constexpr int kSchemaVersion = 3;
+// `schema_version` field; v4 added the fleet `lease`/`lease.release`
+// methods and the `stats` fleet block. Readers stay backward
+// compatible: artifact loaders and the daemon accept any version in
+// [1, kSchemaVersion].
+inline constexpr int kSchemaVersion = 4;
 
 // Thrown by Json::parse on malformed input; `offset` is the byte
 // position the parser rejected.

@@ -4,6 +4,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -18,6 +19,26 @@ namespace {
 // server enforces its own inbound cap independently).
 constexpr std::size_t kClientMaxFrame = 8u << 20;
 }  // namespace
+
+Deadline Deadline::after_ms(int ms) {
+  Deadline d;
+  d.at_ = std::chrono::steady_clock::now() +
+          std::chrono::milliseconds(std::max(ms, 0));
+  return d;
+}
+
+Deadline Deadline::never() {
+  Deadline d;
+  d.unbounded_ = true;
+  return d;
+}
+
+int Deadline::remaining_ms() const {
+  if (unbounded_) return -1;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      at_ - std::chrono::steady_clock::now());
+  return left.count() > 0 ? static_cast<int>(left.count()) : 0;
+}
 
 const char* to_string(ReadStatus status) {
   switch (status) {
@@ -66,6 +87,13 @@ bool Client::send_line(const std::string& frame, std::string* error) {
 }
 
 Client::ReadResult Client::read_frame(int timeout_ms) {
+  // One fixed budget for the whole call (buffered partial bytes do not
+  // restart it); -1 keeps the traditional block-forever contract.
+  return read_frame_by(timeout_ms < 0 ? Deadline::never()
+                                      : Deadline::after_ms(timeout_ms));
+}
+
+Client::ReadResult Client::read_frame_by(const Deadline& deadline) {
   ReadResult res;
   while (true) {
     if (auto frame = reader_.next()) {
@@ -79,7 +107,7 @@ Client::ReadResult Client::read_frame(int timeout_ms) {
       return res;
     }
     pollfd pfd{fd_.get(), POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, timeout_ms);
+    const int ready = ::poll(&pfd, 1, deadline.remaining_ms());
     if (ready == 0) {
       res.status = ReadStatus::kTimeout;
       res.error = "timeout";
@@ -120,10 +148,9 @@ bool Client::send_json(const io::Json& frame, std::string* error) {
   return send_line(frame.dump(), error);
 }
 
-std::optional<io::Json> Client::read_json(int timeout_ms,
-                                          std::string* error,
-                                          ReadStatus* status) {
-  ReadResult res = read_frame(timeout_ms);
+namespace {
+std::optional<io::Json> parse_read(Client::ReadResult res, std::string* error,
+                                   ReadStatus* status) {
   if (status != nullptr) *status = res.status;
   if (res.status != ReadStatus::kOk) {
     if (error != nullptr) *error = res.error;
@@ -136,6 +163,19 @@ std::optional<io::Json> Client::read_json(int timeout_ms,
     if (error != nullptr) *error = std::string("bad frame: ") + e.what();
     return std::nullopt;
   }
+}
+}  // namespace
+
+std::optional<io::Json> Client::read_json(int timeout_ms,
+                                          std::string* error,
+                                          ReadStatus* status) {
+  return parse_read(read_frame(timeout_ms), error, status);
+}
+
+std::optional<io::Json> Client::read_json_by(const Deadline& deadline,
+                                             std::string* error,
+                                             ReadStatus* status) {
+  return parse_read(read_frame_by(deadline), error, status);
 }
 
 }  // namespace kgdp::net

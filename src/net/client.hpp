@@ -4,6 +4,7 @@
 // JSON convenience wrappers parse/serialize through io::Json.
 #pragma once
 
+#include <chrono>
 #include <optional>
 #include <string>
 
@@ -12,6 +13,30 @@
 #include "net/socket.hpp"
 
 namespace kgdp::net {
+
+// An absolute point in time a blocking read must finish by. The plain
+// read_frame(timeout_ms) restarts its full timeout every time bytes
+// trickle in, so "a frame within T" silently becomes "no silence longer
+// than T" — fine for heartbeats, wrong for deadlines. A Deadline is
+// fixed at creation; each poll round computes the true remaining
+// budget, so a sequence of reads shares one wall-clock bound (what the
+// fleet coordinator's lease deadlines and bounded reconnect loops need).
+class Deadline {
+ public:
+  // Expires `ms` from now (ms <= 0 = already expired).
+  static Deadline after_ms(int ms);
+  // Never expires: remaining_ms() is -1, the poll(2) "wait forever".
+  static Deadline never();
+
+  bool expired() const { return !unbounded_ && remaining_ms() == 0; }
+  // Milliseconds left, clamped to 0 once past; -1 when unbounded.
+  int remaining_ms() const;
+
+ private:
+  Deadline() = default;
+  std::chrono::steady_clock::time_point at_{};
+  bool unbounded_ = false;
+};
 
 // Why a frame read failed — callers react differently to a server
 // that closed the connection (reconnect/resume) than to one that is
@@ -42,6 +67,10 @@ class Client {
   // the client cap), or kError (socket-level failure).
   ReadResult read_frame(int timeout_ms);
 
+  // Deadline-aware variant: kTimeout once the absolute deadline passes,
+  // no matter how the bytes trickled in before it.
+  ReadResult read_frame_by(const Deadline& deadline);
+
   // Legacy wrapper over read_frame: nullopt on any non-kOk status,
   // *error says which.
   std::optional<std::string> read_line(int timeout_ms, std::string* error);
@@ -52,6 +81,9 @@ class Client {
   bool send_json(const io::Json& frame, std::string* error);
   std::optional<io::Json> read_json(int timeout_ms, std::string* error,
                                     ReadStatus* status = nullptr);
+  std::optional<io::Json> read_json_by(const Deadline& deadline,
+                                       std::string* error,
+                                       ReadStatus* status = nullptr);
 
   int fd() const { return fd_.get(); }
 

@@ -1,8 +1,9 @@
 // kgdd wire protocol (schema_version = io::kSchemaVersion; v2 added the
 // solver counter surfaces to `stats` bodies and verdict objects; v3
 // added the `route` method, the request-side `schema_version` field,
-// and serves every reply through the unified Envelope below — servers
-// still accept v1/v2 requests on the wire).
+// and serves every reply through the unified Envelope below; v4 added
+// the fleet `lease`/`lease.release` methods and the `stats` fleet block
+// — servers still accept v1..v3 requests on the wire).
 //
 // Transport: newline-delimited JSON frames (see docs/service.md for the
 // full schema reference). A request is one object:

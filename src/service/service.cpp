@@ -259,6 +259,14 @@ void Service::handle_frame(std::uint64_t conn, std::string frame) {
     handle_route(conn, env);
     return;
   }
+  if (env.method == "lease") {
+    handle_lease(conn, env);
+    return;
+  }
+  if (env.method == "lease.release") {
+    handle_lease_release(conn, env);
+    return;
+  }
 
   std::string param_error;
   if (env.method == "construct") {
@@ -507,6 +515,30 @@ void Service::handle_stats(std::uint64_t conn, const Envelope& env) {
     atlas["routers"] = static_cast<std::uint64_t>(routers_.size());
   }
   body["atlas"] = io::Json(std::move(atlas));
+  // Fleet worker counters plus the live lease table (items/heartbeat are
+  // loop-thread snapshots taken at each progress frame, so reading them
+  // here never races a running chunk).
+  io::JsonObject fleet;
+  fleet["leases_granted"] = fleet_.granted;
+  fleet["leases_completed"] = fleet_.completed;
+  fleet["leases_resumed"] = fleet_.resumed;
+  fleet["leases_truncated"] = fleet_.truncated;
+  fleet["leases_released"] = fleet_.released;
+  fleet["stale_rejected"] = fleet_.stale_rejected;
+  io::JsonArray active_leases;
+  for (const auto& [sid, s] : sessions_) {
+    if (!s->is_lease) continue;
+    io::JsonObject l;
+    l["lease"] = s->lease_id;
+    l["session"] = sid;
+    l["epoch"] = s->lease_epoch;
+    l["items_done"] = s->last_items_done;
+    l["items_total"] = s->last_items_total;
+    l["heartbeat_age_s"] = s->last_progress.seconds();
+    active_leases.push_back(io::Json(std::move(l)));
+  }
+  fleet["active"] = io::Json(std::move(active_leases));
+  body["fleet"] = io::Json(std::move(fleet));
   body["draining"] = draining_;
   if (!config_.metrics_path.empty()) {
     std::ofstream out(config_.metrics_path, std::ios::app);
@@ -780,6 +812,229 @@ void Service::handle_verify(std::uint64_t conn, const Envelope& env) {
   if (it != sessions_.end()) schedule_session_work(*it->second);
 }
 
+// ---------------------------------------------------------------------------
+// Fleet lease sessions
+// ---------------------------------------------------------------------------
+
+void Service::handle_lease(std::uint64_t conn, const Envelope& env) {
+  util::Timer timer;
+  std::string param_error;
+  const io::Json* params = env.params();
+  std::int64_t n = 0, k = 0, max_faults = 0, begin = 0, end = 0, epoch = 0,
+               chunk = 0;
+  std::string prune, lease_id, cursor;
+  if (!param_int(params, "n", true, 0, 1, 1 << 20, &n, &param_error) ||
+      !param_int(params, "k", true, 0, 1, 64, &k, &param_error) ||
+      !param_int(params, "max_faults", false, k, 0, 64, &max_faults,
+                 &param_error) ||
+      !param_int(params, "begin", true, 0, 0, INT64_MAX, &begin,
+                 &param_error) ||
+      !param_int(params, "end", true, 0, 0, INT64_MAX, &end, &param_error) ||
+      !param_int(params, "epoch", true, 0, 1, INT64_MAX, &epoch,
+                 &param_error) ||
+      !param_int(params, "chunk", false,
+                 static_cast<std::int64_t>(config_.default_chunk), 1,
+                 INT64_MAX, &chunk, &param_error) ||
+      !param_string(params, "prune", "auto", &prune, &param_error) ||
+      !param_string(params, "lease", "", &lease_id, &param_error) ||
+      !param_string(params, "cursor", "", &cursor, &param_error)) {
+    reply_terminal(conn, "lease",
+                   env.error(ErrorCode::kBadRequest, param_error),
+                   Outcome::kError, timer.seconds());
+    return;
+  }
+  if (lease_id.empty() || end < begin || (prune != "auto" && prune != "off")) {
+    reply_terminal(conn, "lease",
+                   env.error(ErrorCode::kBadRequest,
+                             lease_id.empty()
+                                 ? "missing required param 'lease'"
+                                 : end < begin
+                                       ? "param 'end' must be >= 'begin'"
+                                       : "param 'prune' must be auto|off"),
+                   Outcome::kError, timer.seconds());
+    return;
+  }
+
+  // Epoch fencing on re-grants: a grant for a lease id this daemon
+  // already holds supersedes the old session only with a strictly newer
+  // epoch — a replayed or reordered grant can never resurrect a range
+  // the coordinator has since reassigned.
+  const auto idx = lease_index_.find(lease_id);
+  if (idx != lease_index_.end()) {
+    const auto old_it = sessions_.find(idx->second);
+    if (old_it != sessions_.end()) {
+      Session& old = *old_it->second;
+      if (static_cast<std::uint64_t>(epoch) <= old.lease_epoch) {
+        ++fleet_.stale_rejected;
+        reply_terminal(
+            conn, "lease",
+            env.error(ErrorCode::kBadRequest,
+                      "stale lease epoch " + std::to_string(epoch) +
+                          " (lease '" + lease_id + "' is at epoch " +
+                          std::to_string(old.lease_epoch) + ")"),
+            Outcome::kError, timer.seconds());
+        return;
+      }
+      old.cancelled = true;
+      if (!old.running_chunk) finalize_cancelled(old);
+    }
+  }
+
+  if (sessions_.size() >= config_.max_sessions || !admit_job()) {
+    reply_terminal(conn, "lease",
+                   env.error(ErrorCode::kOverloaded,
+                             sessions_.size() >= config_.max_sessions
+                                 ? "session registry full"
+                                 : "admission queue full"),
+                   Outcome::kOverloaded, timer.seconds());
+    return;
+  }
+
+  auto s = std::make_unique<Session>();
+  s->conn = conn;
+  s->env = env;
+  s->n = static_cast<int>(n);
+  s->k = static_cast<int>(k);
+  // No verdict cache on lease sessions: a cache hit replaces a solve,
+  // shifting fault_sets_solved, and the fleet's acceptance bar is a
+  // merged result bit-identical to a cache-less single-node run.
+  s->req = verify::CheckRequest::exhaustive_slots(
+      static_cast<int>(max_faults), static_cast<std::uint64_t>(begin),
+      static_cast<std::uint64_t>(end));
+  s->req.options.prune = prune == "auto" ? verify::PruneMode::kAuto
+                                         : verify::PruneMode::kOff;
+  s->chunk = static_cast<std::uint64_t>(chunk);
+  s->is_lease = true;
+  s->lease_id = lease_id;
+  s->lease_epoch = static_cast<std::uint64_t>(epoch);
+  s->resume_cursor = cursor;
+  s->last_items_total = static_cast<std::uint64_t>(end - begin);
+  ++fleet_.granted;
+  if (!cursor.empty()) ++fleet_.resumed;
+
+  s->id = "s";
+  s->id += std::to_string(next_session_++);
+  const std::string sid = s->id;
+  sessions_.emplace(sid, std::move(s));
+  lease_index_[lease_id] = sid;
+
+  io::JsonObject body;
+  body["session"] = sid;
+  body["lease"] = lease_id;
+  body["epoch"] = epoch;
+  send(conn, env.event("accepted", std::move(body)));
+  const auto it = sessions_.find(sid);
+  if (it != sessions_.end()) schedule_session_work(*it->second);
+}
+
+void Service::handle_lease_release(std::uint64_t conn, const Envelope& env) {
+  util::Timer timer;
+  std::string param_error;
+  const io::Json* params = env.params();
+  std::string lease_id;
+  std::int64_t epoch = 0, truncate_to = -1;
+  if (!param_string(params, "lease", "", &lease_id, &param_error) ||
+      !param_int(params, "epoch", true, 0, 1, INT64_MAX, &epoch,
+                 &param_error) ||
+      !param_int(params, "truncate_to", false, -1, 0, INT64_MAX,
+                 &truncate_to, &param_error) ||
+      lease_id.empty()) {
+    reply_terminal(conn, "lease.release",
+                   env.error(ErrorCode::kBadRequest,
+                             param_error.empty()
+                                 ? "missing required param 'lease'"
+                                 : param_error),
+                   Outcome::kError, timer.seconds());
+    return;
+  }
+  const auto idx = lease_index_.find(lease_id);
+  const auto it =
+      idx == lease_index_.end() ? sessions_.end() : sessions_.find(idx->second);
+  if (it == sessions_.end()) {
+    reply_terminal(conn, "lease.release",
+                   env.error(ErrorCode::kNotFound,
+                             "unknown lease '" + lease_id + "'"),
+                   Outcome::kError, timer.seconds());
+    return;
+  }
+  Session& s = *it->second;
+  if (static_cast<std::uint64_t>(epoch) != s.lease_epoch || conn != s.conn) {
+    ++fleet_.stale_rejected;
+    reply_terminal(
+        conn, "lease.release",
+        env.error(ErrorCode::kBadRequest,
+                  conn != s.conn
+                      ? "lease '" + lease_id + "' is owned by another "
+                        "connection"
+                      : "stale lease epoch " + std::to_string(epoch) +
+                            " (lease '" + lease_id + "' is at epoch " +
+                            std::to_string(s.lease_epoch) + ")"),
+        Outcome::kError, timer.seconds());
+    return;
+  }
+  const bool has_truncate = truncate_to >= 0;
+  if (s.running_chunk) {
+    if (s.release_pending) {
+      reply_terminal(conn, "lease.release",
+                     env.error(ErrorCode::kBadRequest,
+                               "a release is already pending for lease '" +
+                                   lease_id + "'"),
+                     Outcome::kError, timer.seconds());
+      return;
+    }
+    // The chunk in flight owns the sweep; park the release and answer it
+    // at the chunk boundary, where truncation is well-defined.
+    s.release_pending = true;
+    s.release_has_truncate = has_truncate;
+    s.release_truncate_to = static_cast<std::uint64_t>(truncate_to);
+    s.release_env = env;
+    return;
+  }
+  apply_lease_release(s, env, has_truncate,
+                      static_cast<std::uint64_t>(truncate_to));
+  // A full release surrenders the lease: its verify stream ends as
+  // cancelled (with the final cursor in the release reply above).
+  if (s.cancelled && !s.running_chunk) finalize_cancelled(s);
+}
+
+void Service::apply_lease_release(Session& s, const Envelope& env,
+                                  bool has_truncate,
+                                  std::uint64_t truncate_to) {
+  // Chunk boundary: the session's compute state is quiescent, so the
+  // cursor and truncation below are exact.
+  io::JsonObject body;
+  body["lease"] = s.lease_id;
+  body["epoch"] = s.lease_epoch;
+  bool applied = false;
+  if (s.session != nullptr) {
+    if (has_truncate) {
+      // The steal handshake: applied:true means the tail [truncate_to,
+      // end) is surrendered and safe to re-grant; applied:false means
+      // the sweep already passed the split point and the thief must
+      // abort. Either way the reply carries the live range and cursor.
+      applied = s.session->truncate(truncate_to);
+      if (applied) ++fleet_.truncated;
+    } else {
+      // Full release: surrender the whole unswept remainder.
+      applied = true;
+      ++fleet_.released;
+      s.cancelled = true;
+    }
+    body["begin"] = s.session->slot_begin();
+    body["end"] = s.session->slot_end();
+    body["items_done"] = s.session->items_done();
+    std::ostringstream cursor;
+    s.session->save(cursor);
+    body["cursor"] = cursor.str();
+  } else {
+    // Creation failed before the sweep existed; nothing to truncate.
+    body["items_done"] = std::uint64_t{0};
+  }
+  body["applied"] = applied;
+  reply_terminal(s.conn, "lease.release", env.result(std::move(body)),
+                 Outcome::kOk, 0.0);
+}
+
 void Service::schedule_session_work(Session& s) {
   s.running_chunk = true;
   const std::string sid = s.id;
@@ -826,9 +1081,18 @@ void Service::schedule_session_work(Session& s) {
                 " k=" + std::to_string(sp->k));
           }
           sp->sg.emplace(std::move(*built));
-          sp->req.options.cache = verdict_cache_.get();
+          // Lease sessions never attach the shared verdict cache: see
+          // handle_lease (bit-identical merge vs a cache-less run).
+          if (!sp->is_lease) sp->req.options.cache = verdict_cache_.get();
           sp->session =
               std::make_unique<verify::CheckSession>(*sp->sg, sp->req);
+          if (sp->is_lease && !sp->resume_cursor.empty()) {
+            // Reassigned lease: pick up at the dead worker's last
+            // streamed cursor (fingerprint binds the range's begin, so
+            // the cursor survives any truncation of its end).
+            std::istringstream cursor(sp->resume_cursor);
+            sp->session->restore(cursor);
+          }
         }
       } else {
         sp->session->advance(sp->chunk);
@@ -859,8 +1123,21 @@ void Service::chunk_done(const std::string& sid, const std::string& error,
   s.running_chunk = false;
 
   if (!error.empty()) {
+    // A parked release must not be left unanswered by the error path.
+    if (s.release_pending) {
+      s.release_pending = false;
+      apply_lease_release(s, s.release_env, s.release_has_truncate,
+                          s.release_truncate_to);
+    }
     finalize_error(s, code, error);
     return;
+  }
+  if (s.release_pending) {
+    // Chunk boundary: apply the parked release now. A truncation can
+    // finish the slice (done() below); a full release cancels it.
+    s.release_pending = false;
+    apply_lease_release(s, s.release_env, s.release_has_truncate,
+                        s.release_truncate_to);
   }
   if (s.cancelled) {
     finalize_cancelled(s);
@@ -879,7 +1156,21 @@ void Service::chunk_done(const std::string& sid, const std::string& error,
   body["session"] = s.id;
   body["items_done"] = s.session->items_done();
   body["items_total"] = s.session->items_total();
-  if (config_.session_checkpoint_every > 0 &&
+  if (s.is_lease) {
+    // Lease progress frames carry the fencing pair and the live cursor:
+    // the cursor on the coordinator's side IS the lease's recovery
+    // point, so worker death costs at most one chunk of re-solving and
+    // no disk write on either end.
+    s.last_items_done = s.session->items_done();
+    s.last_items_total = s.session->items_total();
+    s.last_progress.reset();
+    body["lease"] = s.lease_id;
+    body["epoch"] = s.lease_epoch;
+    std::ostringstream cursor;
+    s.session->save(cursor);
+    body["cursor"] = cursor.str();
+  }
+  if (!s.is_lease && config_.session_checkpoint_every > 0 &&
       ++s.chunks_since_checkpoint >= config_.session_checkpoint_every) {
     s.chunks_since_checkpoint = 0;
     std::string path, cp_error;
@@ -945,9 +1236,24 @@ void Service::finalize_done(Session& s) {
   body["status"] = "done";
   body["items_done"] = s.session->items_done();
   body["items_total"] = s.session->items_total();
-  body["verdict"] = campaign::check_result_to_json(s.session->result());
-  reply_terminal(s.conn, "verify", s.env.result(std::move(body)),
-                 Outcome::kOk, s.timer.seconds());
+  if (s.is_lease) {
+    ++fleet_.completed;
+    body["lease"] = s.lease_id;
+    body["epoch"] = s.lease_epoch;
+    body["begin"] = s.session->slot_begin();
+    body["end"] = s.session->slot_end();
+    // The shard verdict rides the campaign result line (bit-cast
+    // doubles and all) so the coordinator's merge is exact — JSON
+    // number round-tripping would cost the bit-identical guarantee.
+    std::ostringstream result;
+    campaign::save_result(result, s.session->result());
+    body["result"] = result.str();
+  } else {
+    body["verdict"] = campaign::check_result_to_json(s.session->result());
+  }
+  reply_terminal(s.conn, s.is_lease ? "lease" : "verify",
+                 s.env.result(std::move(body)), Outcome::kOk,
+                 s.timer.seconds());
   destroy_session(sid);
 }
 
@@ -963,8 +1269,19 @@ void Service::finalize_cancelled(Session& s) {
     body["items_done"] = s.session->items_done();
     body["items_total"] = s.session->items_total();
   }
-  reply_terminal(s.conn, "verify", s.env.result(std::move(body)),
-                 Outcome::kCancelled, s.timer.seconds());
+  if (s.is_lease) {
+    body["lease"] = s.lease_id;
+    body["epoch"] = s.lease_epoch;
+    if (s.session != nullptr) {
+      // Final cursor so a surrendering worker's remainder is resumable.
+      std::ostringstream cursor;
+      s.session->save(cursor);
+      body["cursor"] = cursor.str();
+    }
+  }
+  reply_terminal(s.conn, s.is_lease ? "lease" : "verify",
+                 s.env.result(std::move(body)), Outcome::kCancelled,
+                 s.timer.seconds());
   destroy_session(sid);
 }
 
@@ -973,6 +1290,22 @@ void Service::finalize_drained(Session& s) {
   io::JsonObject body;
   body["session"] = s.id;
   body["status"] = "drained";
+  if (s.is_lease) {
+    // Lease recovery is the coordinator's job, not the disk's: hand the
+    // cursor back in the terminal frame and let the lease be re-granted
+    // elsewhere, exactly as if this worker had died politely.
+    body["lease"] = s.lease_id;
+    body["epoch"] = s.lease_epoch;
+    body["items_done"] = s.session->items_done();
+    body["items_total"] = s.session->items_total();
+    std::ostringstream cursor;
+    s.session->save(cursor);
+    body["cursor"] = cursor.str();
+    reply_terminal(s.conn, "lease", s.env.result(std::move(body)),
+                   Outcome::kDrained, s.timer.seconds());
+    destroy_session(sid);
+    return;
+  }
   std::string path, cp_error;
   if (!write_session_checkpoint(s, &path, &cp_error)) {
     finalize_error(s, ErrorCode::kInternal,
@@ -997,13 +1330,20 @@ void Service::finalize_error(Session& s, ErrorCode code,
     util::log_warn("session ", s.id, ": failed; last checkpoint kept at ",
                    session_checkpoint_path(s));
   }
-  reply_terminal(s.conn, "verify", s.env.error(code, what), Outcome::kError,
+  reply_terminal(s.conn, s.is_lease ? "lease" : "verify",
+                 s.env.error(code, what), Outcome::kError,
                  s.timer.seconds());
   destroy_session(sid);
 }
 
 void Service::destroy_session(const std::string& sid) {
   const auto it = sessions_.find(sid);
+  if (it != sessions_.end() && it->second->is_lease) {
+    // Only unmap the lease id if it still points at this session; an
+    // epoch-bumped re-grant has already claimed the mapping otherwise.
+    const auto li = lease_index_.find(it->second->lease_id);
+    if (li != lease_index_.end() && li->second == sid) lease_index_.erase(li);
+  }
   if (it != sessions_.end() && it->second->session != nullptr &&
       !it->second->running_chunk) {
     // Terminal paths all run on the loop thread with no chunk in flight,

@@ -19,7 +19,15 @@
 //     in bounded chunks (one pool task per chunk), the client gets
 //     `accepted` + per-chunk `progress` frames, may `cancel` mid-sweep,
 //     and a draining daemon checkpoints the cursor to disk so a later
-//     `verify {"resume": path}` reproduces the uninterrupted verdict.
+//     `verify {"resume": path}` reproduces the uninterrupted verdict;
+//   * `lease` is the fleet coordinator's worker-side session type: a
+//     lease-bounded exhaustive slice ([begin, end) orbit slots) fenced
+//     by a (lease id, epoch) pair. Progress frames stream the cursor
+//     (the coordinator's reassignment point — nothing touches disk),
+//     `lease.release` truncates the unswept tail at the next chunk
+//     boundary (the steal handshake) or surrenders the lease, and any
+//     frame carrying a stale epoch is rejected so a worker that missed
+//     a reassignment can never double-certify its old range.
 //
 // Threading contract: every Service method and callback runs on the
 // event-loop thread, except router_for() which pool tasks call behind
@@ -123,6 +131,22 @@ class Service {
     std::uint64_t chunks_since_checkpoint = 0;
     bool wrote_checkpoint = false;
     util::Timer timer;
+    // --- lease sessions only ---
+    bool is_lease = false;
+    std::string lease_id;
+    std::uint64_t lease_epoch = 0;
+    // Coordinator-streamed cursor to resume from (reassigned lease).
+    std::string resume_cursor;
+    // A lease.release that arrived while a chunk was in flight; applied
+    // and answered (under its own envelope) at the chunk boundary.
+    bool release_pending = false;
+    bool release_has_truncate = false;
+    std::uint64_t release_truncate_to = 0;
+    Envelope release_env;
+    // Loop-thread snapshots for `stats` (the live session's counters
+    // move on a pool thread while a chunk runs).
+    std::uint64_t last_items_done = 0, last_items_total = 0;
+    util::Timer last_progress;  // heartbeat age = seconds since reset
   };
 
   // A lazily built (n, k) router: the graph and its automorphism-backed
@@ -160,6 +184,12 @@ class Service {
   void handle_cancel(std::uint64_t conn, const Envelope& env);
   void handle_stats(std::uint64_t conn, const Envelope& env);
   void handle_route(std::uint64_t conn, const Envelope& env);
+  void handle_lease(std::uint64_t conn, const Envelope& env);
+  void handle_lease_release(std::uint64_t conn, const Envelope& env);
+  // Applies a (possibly deferred) lease.release at a chunk boundary and
+  // answers it under its own envelope.
+  void apply_lease_release(Session& s, const Envelope& env,
+                           bool has_truncate, std::uint64_t truncate_to);
 
   // The (n, k) router, built on first use. Callable from pool workers
   // (locks routers_mu_). Returns nullptr + fills *error/*code when the
@@ -191,6 +221,20 @@ class Service {
   Metrics metrics_;
 
   std::map<std::string, std::unique_ptr<Session>> sessions_;
+  // Coordinator-chosen lease id -> session id, for lease.release lookup
+  // and epoch fencing of re-grants. Entries are removed only when they
+  // still name the session being destroyed (an epoch-bumped re-grant
+  // overwrites the mapping while the fenced session winds down).
+  std::map<std::string, std::string> lease_index_;
+  // Worker-side fleet counters, surfaced by `stats`.
+  struct FleetCounters {
+    std::uint64_t granted = 0;    // lease sessions admitted
+    std::uint64_t completed = 0;  // leases run to a terminal verdict
+    std::uint64_t resumed = 0;    // grants carrying a resume cursor
+    std::uint64_t truncated = 0;  // lease.release steals applied
+    std::uint64_t released = 0;   // full releases (lease surrendered)
+    std::uint64_t stale_rejected = 0;  // epoch-fenced frames refused
+  } fleet_;
   // Solver engine counters absorbed from sessions as they are destroyed
   // (any terminal path); surfaced by `stats`. Live sessions are excluded
   // — their workers mutate counters off the loop thread.

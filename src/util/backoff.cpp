@@ -1,0 +1,29 @@
+#include "util/backoff.hpp"
+
+#include <algorithm>
+
+namespace kgdp::util {
+
+Backoff::Backoff(const BackoffPolicy& policy) : policy_(policy) { reset(); }
+
+void Backoff::reset() {
+  attempts_ = 0;
+  elapsed_ms_ = 0;
+  delay_ms_ = static_cast<double>(std::max(1, policy_.initial_delay_ms));
+}
+
+bool Backoff::next_delay(int* delay_ms) {
+  ++attempts_;
+  if (attempts_ > policy_.max_attempts) return false;
+  int remaining = policy_.budget_ms - elapsed_ms_;
+  if (remaining <= 0) return false;
+  int delay = std::min(static_cast<int>(delay_ms_), policy_.max_delay_ms);
+  delay = std::min(std::max(delay, 1), remaining);
+  elapsed_ms_ += delay;
+  delay_ms_ = std::min(delay_ms_ * policy_.multiplier,
+                       static_cast<double>(policy_.max_delay_ms));
+  *delay_ms = delay;
+  return true;
+}
+
+}  // namespace kgdp::util

@@ -1,0 +1,48 @@
+// Bounded exponential backoff shared by every reconnect loop in the
+// tree (kgd_cli request, fleet::WorkerPool). Two independent caps: a
+// maximum attempt count AND a total wall-clock budget over the sleeps
+// it hands out — a retry loop bounded only by attempts can stall for
+// the full geometric sum (100ms << 5 attempts is already 3.1s; callers
+// that raised the cap got minutes). Deterministic on purpose (no
+// jitter): chaos drills and unit tests assert exact schedules.
+#pragma once
+
+namespace kgdp::util {
+
+struct BackoffPolicy {
+  int initial_delay_ms = 100;
+  double multiplier = 2.0;
+  int max_delay_ms = 2000;   // per-sleep clamp
+  int max_attempts = 6;      // failed attempts before giving up
+  int budget_ms = 10000;     // cumulative sleep budget across the loop
+};
+
+class Backoff {
+ public:
+  Backoff() : Backoff(BackoffPolicy{}) {}
+  explicit Backoff(const BackoffPolicy& policy);
+
+  // Call after a failed attempt. Returns true and sets *delay_ms to the
+  // next sleep (clamped so the cumulative total never exceeds
+  // budget_ms), or false once either cap is exhausted — the caller
+  // should stop retrying and report failure.
+  bool next_delay(int* delay_ms);
+
+  // Failed attempts recorded so far (== successful next_delay calls
+  // until exhaustion, then the count that exhausted it).
+  int attempts() const { return attempts_; }
+  // Total sleep time handed out, for failure messages.
+  int elapsed_ms() const { return elapsed_ms_; }
+
+  // Back to the initial delay with full caps; call after a success so
+  // the next outage starts fresh.
+  void reset();
+
+ private:
+  BackoffPolicy policy_;
+  int attempts_ = 0;
+  int elapsed_ms_ = 0;
+  double delay_ms_ = 0.0;
+};
+
+}  // namespace kgdp::util

@@ -56,8 +56,18 @@ std::uint64_t session_fingerprint(const kgd::SolutionGraph& sg,
   h.mix(static_cast<std::uint64_t>(req.max_faults));
   h.mix(req.samples);
   h.mix(req.seed);
-  h.mix((static_cast<std::uint64_t>(req.shard_index) << 32) |
-        req.shard_count);
+  if (req.has_slots) {
+    // Lease-bounded range: bind the cursor to where the slice starts but
+    // NOT where it ends — a steal truncates slot_end mid-flight and a
+    // reassigned worker must still accept the victim's streamed cursor.
+    // (slot_end is re-validated structurally: restore() rejects any
+    // position outside the live [begin_, end_).)
+    h.mix(0x9e3779b97f4a7c15ULL);
+    h.mix(req.slot_begin);
+  } else {
+    h.mix((static_cast<std::uint64_t>(req.shard_index) << 32) |
+          req.shard_count);
+  }
   if (orbits != nullptr) h.mix(orbits->fingerprint());
   return h.value();
 }
@@ -184,8 +194,22 @@ CheckSession::CheckSession(const kgd::SolutionGraph& sg,
     orbits_ = std::make_unique<fault::OrbitEnumerator>(
         sg_.num_nodes(), req_.max_faults, orbit_autos);
     automorphism_order_ = orbits_->pruned() ? cache_autos_.order : 1;
-    std::tie(begin_, end_) =
-        shard_range(orbits_->num_orbits(), req_.shard_index, req_.shard_count);
+    if (req_.has_slots) {
+      if (req_.shard_index != 0 || req_.shard_count != 1) {
+        throw std::invalid_argument(
+            "CheckSession: a lease slot range excludes a shard spec");
+      }
+      if (req_.slot_begin > req_.slot_end ||
+          req_.slot_end > orbits_->num_orbits()) {
+        throw std::invalid_argument(
+            "CheckSession: lease slot range outside the enumeration");
+      }
+      begin_ = req_.slot_begin;
+      end_ = req_.slot_end;
+    } else {
+      std::tie(begin_, end_) = shard_range(orbits_->num_orbits(),
+                                           req_.shard_index, req_.shard_count);
+    }
     next_ = begin_;
     for (std::uint64_t i = begin_; i < end_; ++i) {
       pruned_in_shard_ += orbits_->orbit_size(i) - 1;
@@ -202,6 +226,10 @@ CheckSession::CheckSession(const kgd::SolutionGraph& sg,
       throw std::invalid_argument(
           "CheckSession: sampled mode cannot be sharded (the sample "
           "stream is sequential); use shard_count == 1");
+    }
+    if (req_.has_slots) {
+      throw std::invalid_argument(
+          "CheckSession: sampled mode has no orbit slots to lease");
     }
     adversarial_ = fault::adversarial_suite(sg_, req_.max_faults);
     rng_ = util::Rng(req_.seed);
@@ -242,6 +270,21 @@ bool CheckSession::advance(std::uint64_t max_items) {
 void CheckSession::run() {
   while (!advance(~std::uint64_t{0})) {
   }
+}
+
+bool CheckSession::truncate(std::uint64_t new_end) {
+  if (!req_.has_slots || req_.mode != CheckMode::kExhaustive) return false;
+  if (new_end < next_ || new_end > end_) return false;
+  if (new_end == end_) return true;  // no-op steal of nothing
+  // The surrendered tail [new_end, end_) was never swept, so only its
+  // pruned-weight contribution has to leave the accounting; every other
+  // counter reflects work already done in the surviving range.
+  for (std::uint64_t i = new_end; i < end_; ++i) {
+    pruned_in_shard_ -= orbits_->orbit_size(i) - 1;
+  }
+  end_ = new_end;
+  done_ = next_ == end_;
+  return true;
 }
 
 void CheckSession::advance_exhaustive(std::uint64_t max_items) {
@@ -746,6 +789,46 @@ CheckResult merge_shard_results(const kgd::SolutionGraph& sg, int max_faults,
   out.counterexample = orbits.base().at(best);
   out.counterexample_index = best;
   return out;
+}
+
+CheckResult merge_lease_results(const kgd::SolutionGraph& sg, int max_faults,
+                                PruneMode prune,
+                                std::vector<LeaseResult> leases) {
+  if (leases.empty()) {
+    throw std::invalid_argument("merge_lease_results: no leases");
+  }
+  std::sort(leases.begin(), leases.end(),
+            [](const LeaseResult& a, const LeaseResult& b) {
+              return a.begin < b.begin;
+            });
+  // Validate the reshaped partition before trusting it: steals and
+  // reassignments rewrite lease boundaries at runtime, so gaps or
+  // overlaps here mean a coordinator bug, not a degenerate input.
+  std::uint64_t expect = 0;
+  for (const LeaseResult& l : leases) {
+    if (l.begin != expect || l.end < l.begin) {
+      throw std::invalid_argument(
+          "merge_lease_results: lease ranges do not tile the sweep");
+    }
+    expect = l.end;
+  }
+  {
+    // Cheap num_orbits recomputation (prune geometry only) to check the
+    // partition covers the whole enumeration; the merge itself rebuilds
+    // the same layout.
+    const graph::AutomorphismList autos =
+        prune == PruneMode::kAuto ? graph::solution_automorphisms(sg)
+                                  : graph::AutomorphismList{};
+    const fault::OrbitEnumerator orbits(sg.num_nodes(), max_faults, autos);
+    if (expect != orbits.num_orbits()) {
+      throw std::invalid_argument(
+          "merge_lease_results: partition does not cover the enumeration");
+    }
+  }
+  std::vector<CheckResult> parts;
+  parts.reserve(leases.size());
+  for (LeaseResult& l : leases) parts.push_back(std::move(l.result));
+  return merge_shard_results(sg, max_faults, prune, parts);
 }
 
 }  // namespace kgdp::verify

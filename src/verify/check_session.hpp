@@ -60,6 +60,22 @@ class CheckSession {
 
   bool done() const { return done_; }
 
+  // This session's orbit-slot slice [slot_begin, slot_end) — the full
+  // [0, num_orbits) range for an unsharded exhaustive session, the
+  // shard/lease slice otherwise. Meaningless in sampled mode (0, 0).
+  std::uint64_t slot_begin() const { return begin_; }
+  std::uint64_t slot_end() const { return end_; }
+
+  // Shrinks an explicit-range (has_slots) exhaustive session to
+  // [slot_begin, new_end) — the worker half of a fleet steal. Legal only
+  // while every slot at or past new_end is still unswept; returns false
+  // (and changes nothing) when the sweep has already passed new_end,
+  // when new_end would grow the range, or on a non-lease session. On
+  // success the pruned-weight accounting is re-derived for the shorter
+  // slice, so a truncated session's result merges bit-identically with
+  // a separate session covering [new_end, old_end).
+  bool truncate(std::uint64_t new_end);
+
   // Work items in this session's slice / already processed. A session
   // that found a counterexample reports done() with items_done() frozen
   // where the sweep stopped (later representatives cannot change the
@@ -147,5 +163,24 @@ class CheckSession {
 CheckResult merge_shard_results(const kgd::SolutionGraph& sg, int max_faults,
                                 PruneMode prune,
                                 const std::vector<CheckResult>& shards);
+
+// One completed lease slice: the slot range the session actually
+// certified (post-truncation) plus its result.
+struct LeaseResult {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  CheckResult result;
+};
+
+// Merges lease-bounded slices of one exhaustive sweep. Unlike
+// merge_shard_results, the partition is arbitrary: the ranges (in any
+// order) must be disjoint and tile [0, num_orbits) exactly — steals and
+// reassignments reshape the partition, and this validates the reshaped
+// tiling before producing the same canonical merged result as the
+// unsliced sequential run. Throws std::invalid_argument on gaps,
+// overlaps, or a partition that does not cover the enumeration.
+CheckResult merge_lease_results(const kgd::SolutionGraph& sg, int max_faults,
+                                PruneMode prune,
+                                std::vector<LeaseResult> leases);
 
 }  // namespace kgdp::verify

@@ -127,6 +127,16 @@ struct CheckRequest {
   // orbit slot space. Sampled mode requires shard_count == 1.
   std::uint32_t shard_index = 0;
   std::uint32_t shard_count = 1;
+  // Explicit lease-bounded slot range [slot_begin, slot_end) — the fleet
+  // coordinator's unit of dispatch (exhaustive mode only; mutually
+  // exclusive with a non-trivial shard spec). Unlike shards, lease
+  // ranges are not derived from an (index, count) pair, so a lease can
+  // be truncated mid-flight (CheckSession::truncate) when its tail is
+  // stolen; the cursor fingerprint binds slot_begin but NOT slot_end so
+  // a saved cursor stays valid across truncation and reassignment.
+  bool has_slots = false;
+  std::uint64_t slot_begin = 0;
+  std::uint64_t slot_end = 0;
 
   // Decides GD(sg, max_faults) exactly. Deterministic for a fixed prune
   // mode: the counterexample, when one exists, is the lowest-index
@@ -137,6 +147,22 @@ struct CheckRequest {
     req.mode = CheckMode::kExhaustive;
     req.max_faults = max_faults;
     req.options = opts;
+    return req;
+  }
+
+  // Certifies only orbit slots [begin, end) of the exhaustive sweep —
+  // one fleet lease. end must not exceed the enumeration's num_orbits()
+  // (validated at session construction).
+  static CheckRequest exhaustive_slots(int max_faults, std::uint64_t begin,
+                                       std::uint64_t end,
+                                       const CheckOptions& opts = {}) {
+    CheckRequest req;
+    req.mode = CheckMode::kExhaustive;
+    req.max_faults = max_faults;
+    req.options = opts;
+    req.has_slots = true;
+    req.slot_begin = begin;
+    req.slot_end = end;
     return req;
   }
 

@@ -3,6 +3,7 @@
 #
 #   chaos_kill9.sh <kgd_cli> campaign <kills> <workdir>
 #   chaos_kill9.sh <kgd_cli> daemon   <kills> <workdir>
+#   chaos_kill9.sh <kgd_cli> fleet    <kills> <workdir>
 #
 # campaign: SIGKILLs a live `campaign run` / `campaign resume` <kills>
 # times at staggered offsets, then resumes to completion and diffs the
@@ -11,10 +12,16 @@
 # resumes from the periodic session checkpoint (or starts fresh when
 # the kill landed before the first one); the final verdict's
 # deterministic fields must match an uninterrupted daemon's.
+# fleet: runs `campaign run --fleet` over three kgdd workers while
+# SIGKILLing and restarting the workers round-robin under it; the
+# coordinator must reassign the orphaned leases (resuming from their
+# last streamed cursors) and the final verdict lines must diff clean
+# against an uninterrupted single-node reference run.
 #
 # Grid/effort knobs (env, with defaults sized for CI):
 #   NMIN NMAX KMIN KMAX CHUNK  campaign grid and chunk size
 #   DN DK DCHUNK               daemon verify instance and chunk size
+#   FLEET_CHUNK                fleet lease chunk (cursor cadence)
 set -u
 
 CLI=$1
@@ -25,6 +32,7 @@ WORK=$4
 NMIN=${NMIN:-3} NMAX=${NMAX:-3} KMIN=${KMIN:-4} KMAX=${KMAX:-5}
 CHUNK=${CHUNK:-150}
 DN=${DN:-3} DK=${DK:-6} DCHUNK=${DCHUNK:-25}
+FLEET_CHUNK=${FLEET_CHUNK:-25}
 
 rm -rf "$WORK"
 mkdir -p "$WORK"
@@ -176,9 +184,81 @@ daemon_drill() {
   echo "chaos_kill9: daemon verdicts identical after $i kills"
 }
 
+# Starts fleet worker $1 on unix:$WORK/w$1.sock (bind unlinks a stale
+# socket left by a SIGKILLed predecessor) and records its pid in
+# W<i>_PID — no subshell, the pid must survive into the caller.
+start_worker() {
+  "$CLI" worker --listen="unix:$WORK/w$1.sock" --threads=2 \
+    --chunk="$FLEET_CHUNK" >> "$WORK/w$1.log" 2>&1 &
+  eval "W$1_PID=$!"
+}
+
+fleet_drill() {
+  echo "chaos_kill9: reference campaign run (uninterrupted, single node)"
+  "$CLI" campaign run --nmin="$NMIN" --nmax="$NMAX" --kmin="$KMIN" \
+    --kmax="$KMAX" --chunk="$CHUNK" --out="$WORK/ref" >/dev/null \
+    || fail "reference run failed"
+  "$CLI" campaign status --out="$WORK/ref" | grep -E "HOLDS|FAILS" \
+    > "$WORK/ref_verdicts.txt" || fail "reference produced no verdicts"
+
+  for w in 1 2 3; do start_worker "$w"; done
+  endpoints="unix:$WORK/w1.sock,unix:$WORK/w2.sock,unix:$WORK/w3.sock"
+  "$CLI" campaign run --nmin="$NMIN" --nmax="$NMAX" --kmin="$KMIN" \
+    --kmax="$KMAX" --fleet="$endpoints" --fleet-chunk="$FLEET_CHUNK" \
+    --lease-grain=4 --min-steal=8 --out="$WORK/chaos" \
+    > "$WORK/fleet.log" 2>&1 &
+  CAMP_PID=$!
+
+  landed=0
+  i=0
+  while [ "$i" -lt "$KILLS" ]; do
+    kill -0 "$CAMP_PID" 2>/dev/null || break
+    w=$(( (i % 3) + 1 ))
+    pid=$(eval "echo \"\$W${w}_PID\"")
+    if kill -9 "$pid" 2>/dev/null; then
+      landed=$((landed + 1))
+    fi
+    wait "$pid" 2>/dev/null
+    sleep "$(kill_delay "$i")"
+    start_worker "$w"
+    i=$((i + 1))
+    echo "chaos_kill9: fleet kill $i/$KILLS (worker $w) done"
+  done
+
+  wait "$CAMP_PID" 2>/dev/null
+  rc=$?
+  for w in 1 2 3; do
+    pid=$(eval "echo \"\$W${w}_PID\"")
+    kill "$pid" 2>/dev/null
+    wait "$pid" 2>/dev/null
+  done
+  [ "$rc" -eq 0 ] || fail "fleet campaign exited $rc (see $WORK/fleet.log)"
+  [ "$landed" -ge 1 ] || fail "fleet campaign finished before any kill landed"
+
+  "$CLI" campaign status --out="$WORK/chaos" | grep -E "HOLDS|FAILS" \
+    > "$WORK/chaos_verdicts.txt" || fail "fleet run produced no verdicts"
+  diff -u "$WORK/ref_verdicts.txt" "$WORK/chaos_verdicts.txt" \
+    || fail "fleet verdicts diverged after $landed worker kills"
+
+  # The coordinator's telemetry must show the lease lifecycle; the
+  # worker_dead/lease_requeued events depend on where the kills landed,
+  # so they are reported but not required.
+  telemetry="$WORK/chaos/telemetry.jsonl"
+  grep -q '"event":"lease_granted"' "$telemetry" \
+    || fail "telemetry has no lease_granted events"
+  grep -q '"event":"merge_done"' "$telemetry" \
+    || fail "telemetry has no merge_done events"
+  for ev in worker_dead lease_requeued lease_stolen; do
+    n=$(grep -c "\"event\":\"$ev\"" "$telemetry" 2>/dev/null || true)
+    echo "chaos_kill9: telemetry $ev events: ${n:-0}"
+  done
+  echo "chaos_kill9: fleet verdicts identical after $landed worker kills"
+}
+
 case "$MODE" in
   campaign) campaign_drill ;;
   daemon) daemon_drill ;;
-  *) fail "unknown mode: $MODE (want campaign|daemon)" ;;
+  fleet) fleet_drill ;;
+  *) fail "unknown mode: $MODE (want campaign|daemon|fleet)" ;;
 esac
 echo "chaos_kill9: PASS ($MODE, $KILLS kills)"

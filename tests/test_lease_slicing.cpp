@@ -1,0 +1,289 @@
+// Lease-boundary determinism: any partition of the orbit-slot space into
+// explicit [begin, end) lease slices — including partitions reshaped by
+// mid-sweep truncation (steals) and cursor reassignment (worker death) —
+// must merge to the exact result of the unsliced sequential sweep,
+// bit-identically on every deterministic field. This is the verify-layer
+// half of the fleet acceptance criterion; tests run both sequentially
+// and through a ThreadPool so the TSan lane exercises the same paths.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "baseline/naive.hpp"
+#include "fault/orbit_enumerator.hpp"
+#include "graph/automorphism.hpp"
+#include "kgd/factory.hpp"
+#include "util/thread_pool.hpp"
+#include "verify/check_session.hpp"
+#include "verify/checker.hpp"
+
+namespace kgdp::verify {
+namespace {
+
+std::uint64_t orbit_total(const kgd::SolutionGraph& sg, int max_faults,
+                          PruneMode prune) {
+  const graph::AutomorphismList autos =
+      prune == PruneMode::kAuto ? graph::solution_automorphisms(sg)
+                                : graph::AutomorphismList{};
+  return fault::OrbitEnumerator(sg.num_nodes(), max_faults, autos)
+      .num_orbits();
+}
+
+void expect_identical(const CheckResult& a, const CheckResult& b,
+                      const std::string& tag) {
+  EXPECT_EQ(a.holds, b.holds) << tag;
+  EXPECT_EQ(a.exhaustive, b.exhaustive) << tag;
+  EXPECT_EQ(a.fault_sets_checked, b.fault_sets_checked) << tag;
+  EXPECT_EQ(a.fault_sets_solved, b.fault_sets_solved) << tag;
+  EXPECT_EQ(a.solver_unknowns, b.solver_unknowns) << tag;
+  EXPECT_EQ(a.orbits_pruned, b.orbits_pruned) << tag;
+  EXPECT_EQ(a.automorphism_order, b.automorphism_order) << tag;
+  ASSERT_EQ(a.counterexample.has_value(), b.counterexample.has_value())
+      << tag;
+  if (a.counterexample) {
+    EXPECT_EQ(a.counterexample->nodes(), b.counterexample->nodes()) << tag;
+  }
+  ASSERT_EQ(a.counterexample_index.has_value(),
+            b.counterexample_index.has_value())
+      << tag;
+  if (a.counterexample_index) {
+    EXPECT_EQ(*a.counterexample_index, *b.counterexample_index) << tag;
+  }
+}
+
+// Runs every lease slice of `cuts` (a sorted boundary list including 0
+// and the total) to completion and merges.
+CheckResult run_partition(const kgd::SolutionGraph& sg, int max_faults,
+                          PruneMode prune,
+                          const std::vector<std::uint64_t>& cuts,
+                          util::ThreadPool* pool = nullptr) {
+  std::vector<LeaseResult> parts;
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+    CheckOptions opts;
+    opts.prune = prune;
+    opts.pool = pool;
+    CheckSession session(sg, CheckRequest::exhaustive_slots(
+                                 max_faults, cuts[i], cuts[i + 1], opts));
+    session.run();
+    LeaseResult part;
+    part.begin = session.slot_begin();
+    part.end = session.slot_end();
+    part.result = session.result();
+    parts.push_back(std::move(part));
+  }
+  return merge_lease_results(sg, max_faults, prune, std::move(parts));
+}
+
+TEST(LeaseSlicing, ArbitraryPartitionsMergeIdentically) {
+  struct Case {
+    kgd::SolutionGraph sg;
+    int max_faults;
+  };
+  std::vector<Case> cases;
+  cases.push_back({*kgd::build_solution(6, 2), 2});
+  cases.push_back({*kgd::build_solution(3, 4), 4});
+  for (const Case& c : cases) {
+    for (const PruneMode prune : {PruneMode::kAuto, PruneMode::kOff}) {
+      const std::uint64_t total = orbit_total(c.sg, c.max_faults, prune);
+      ASSERT_GE(total, 8u);
+      CheckOptions opts;
+      opts.prune = prune;
+      CheckSession full(
+          c.sg, CheckRequest::exhaustive(c.max_faults, opts));
+      full.run();
+      const std::vector<std::vector<std::uint64_t>> partitions = {
+          {0, total},                                  // single lease
+          {0, total / 2, total},                       // even halves
+          {0, 1, total - 1, total},                    // degenerate edges
+          {0, total / 7 + 1, total / 3, total / 2, total},  // ragged
+      };
+      for (const auto& cuts : partitions) {
+        const std::string tag =
+            c.sg.name() + " m=" + std::to_string(c.max_faults) +
+            " slices=" + std::to_string(cuts.size() - 1) +
+            (prune == PruneMode::kAuto ? " auto" : " off");
+        expect_identical(full.result(),
+                         run_partition(c.sg, c.max_faults, prune, cuts),
+                         tag);
+      }
+    }
+  }
+}
+
+TEST(LeaseSlicing, FailingInstanceReportsLowestIndexAcrossAnyPartition) {
+  const auto sg = baseline::make_spare_path(6, 2);
+  CheckSession full(sg, CheckRequest::exhaustive(2));
+  full.run();
+  const CheckResult reference = full.result();
+  ASSERT_FALSE(reference.holds);
+  ASSERT_TRUE(reference.counterexample_index.has_value());
+  const std::uint64_t total = orbit_total(sg, 2, PruneMode::kAuto);
+  const std::vector<std::vector<std::uint64_t>> partitions = {
+      {0, total / 2, total},
+      {0, total / 5, 2 * total / 5, 4 * total / 5, total},
+  };
+  for (const auto& cuts : partitions) {
+    expect_identical(reference,
+                     run_partition(sg, 2, PruneMode::kAuto, cuts),
+                     "failing slices=" + std::to_string(cuts.size() - 1));
+  }
+}
+
+TEST(LeaseSlicing, PooledLeaseSessionsMergeIdentically) {
+  // Same differential through a ThreadPool — the configuration the TSan
+  // CI lane runs to prove the lease slicing has no data races.
+  const auto sg = kgd::build_solution(3, 4);
+  CheckSession full(*sg, CheckRequest::exhaustive(4));
+  full.run();
+  util::ThreadPool pool(3);
+  const std::uint64_t total = orbit_total(*sg, 4, PruneMode::kAuto);
+  expect_identical(
+      full.result(),
+      run_partition(*sg, 4, PruneMode::kAuto,
+                    {0, total / 3, 2 * total / 3, total}, &pool),
+      "pooled");
+}
+
+TEST(LeaseSlicing, TruncateMidSweepMergesWithStolenTail) {
+  // The steal handshake's worker half: advance partway, surrender the
+  // unswept tail, finish the shortened lease; a separate lease covers
+  // the tail. The reshaped partition must merge bit-identically — on a
+  // holding instance and on a failing one (counterexample in either
+  // side of the cut).
+  const auto sg = kgd::build_solution(3, 4);
+  CheckSession full(*sg, CheckRequest::exhaustive(4));
+  full.run();
+  const std::uint64_t total = orbit_total(*sg, 4, PruneMode::kAuto);
+  ASSERT_GE(total, 64u);
+
+  CheckSession victim(
+      *sg, CheckRequest::exhaustive_slots(4, 0, total));
+  victim.advance(total / 4);
+  ASSERT_FALSE(victim.done());
+  const std::uint64_t cut = total / 2;
+  ASSERT_TRUE(victim.truncate(cut));
+  EXPECT_EQ(victim.slot_end(), cut);
+  victim.run();
+
+  CheckSession thief(
+      *sg, CheckRequest::exhaustive_slots(4, cut, total));
+  thief.run();
+
+  std::vector<LeaseResult> parts;
+  parts.push_back({victim.slot_begin(), victim.slot_end(), victim.result()});
+  parts.push_back({thief.slot_begin(), thief.slot_end(), thief.result()});
+  expect_identical(
+      full.result(),
+      merge_lease_results(*sg, 4, PruneMode::kAuto, std::move(parts)),
+      "truncated steal");
+}
+
+TEST(LeaseSlicing, TruncateRefusesIllegalCuts) {
+  const auto sg = kgd::build_solution(3, 4);
+  const std::uint64_t total = orbit_total(*sg, 4, PruneMode::kAuto);
+  CheckSession session(
+      *sg, CheckRequest::exhaustive_slots(4, 0, total));
+  session.advance(16);
+  // Behind the sweep position, growing the range, and no-op in-place.
+  EXPECT_FALSE(session.truncate(8));
+  EXPECT_FALSE(session.truncate(total + 1));
+  EXPECT_TRUE(session.truncate(total));  // new_end == end: legal no-op
+  EXPECT_EQ(session.slot_end(), total);
+  // Plain (non-lease) exhaustive sessions cannot be truncated.
+  CheckSession plain(*sg, CheckRequest::exhaustive(4));
+  plain.advance(1);
+  EXPECT_FALSE(plain.truncate(total / 2));
+}
+
+TEST(LeaseSlicing, CursorSurvivesTruncationAndReassignment) {
+  // Fingerprint binds slot_begin but not slot_end, so a cursor saved
+  // before a truncation restores into the shortened lease — the exact
+  // sequence of a worker dying after its lease was stolen from.
+  const auto sg = kgd::build_solution(3, 4);
+  CheckSession full(*sg, CheckRequest::exhaustive(4));
+  full.run();
+  const std::uint64_t total = orbit_total(*sg, 4, PruneMode::kAuto);
+  const std::uint64_t cut = total / 2;
+
+  CheckSession first(
+      *sg, CheckRequest::exhaustive_slots(4, 0, total));
+  first.advance(total / 8);
+  std::ostringstream cursor;
+  first.save(cursor);
+
+  // Reassigned to a new session whose range was truncated meanwhile.
+  CheckSession second(
+      *sg, CheckRequest::exhaustive_slots(4, 0, cut));
+  std::istringstream in(cursor.str());
+  second.restore(in);
+  EXPECT_EQ(second.items_done(), first.items_done());
+  second.run();
+
+  CheckSession tail(
+      *sg, CheckRequest::exhaustive_slots(4, cut, total));
+  tail.run();
+  std::vector<LeaseResult> parts;
+  parts.push_back({0, cut, second.result()});
+  parts.push_back({cut, total, tail.result()});
+  expect_identical(
+      full.result(),
+      merge_lease_results(*sg, 4, PruneMode::kAuto, std::move(parts)),
+      "cursor reassignment");
+}
+
+TEST(LeaseSlicing, MergeValidatesTheTiling) {
+  const auto sg = kgd::build_solution(6, 2);
+  const std::uint64_t total = orbit_total(*sg, 2, PruneMode::kAuto);
+  auto slice = [&](std::uint64_t b, std::uint64_t e) {
+    CheckSession s(*sg, CheckRequest::exhaustive_slots(2, b, e));
+    s.run();
+    return LeaseResult{b, e, s.result()};
+  };
+  const LeaseResult head = slice(0, total / 2);
+  const LeaseResult tail = slice(total / 2, total);
+  // Gap (missing head), overlap, and short coverage all throw.
+  EXPECT_THROW(merge_lease_results(*sg, 2, PruneMode::kAuto, {tail}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      merge_lease_results(*sg, 2, PruneMode::kAuto,
+                          {head, slice(total / 2 - 1, total)}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      merge_lease_results(*sg, 2, PruneMode::kAuto,
+                          {head, slice(total / 2, total - 1)}),
+      std::invalid_argument);
+  EXPECT_THROW(merge_lease_results(*sg, 2, PruneMode::kAuto, {}),
+               std::invalid_argument);
+  // Order independence: the merge sorts by begin.
+  expect_identical(
+      merge_lease_results(*sg, 2, PruneMode::kAuto, {tail, head}),
+      merge_lease_results(*sg, 2, PruneMode::kAuto, {head, tail}),
+      "order independence");
+}
+
+TEST(LeaseSlicing, SlotRequestsRejectMalformedRanges) {
+  const auto sg = kgd::build_solution(6, 2);
+  const std::uint64_t total = orbit_total(*sg, 2, PruneMode::kAuto);
+  EXPECT_THROW(
+      CheckSession(*sg, CheckRequest::exhaustive_slots(2, 5, 4)),
+      std::invalid_argument);
+  EXPECT_THROW(
+      CheckSession(*sg, CheckRequest::exhaustive_slots(2, 0, total + 1)),
+      std::invalid_argument);
+  // Slot ranges and shard specs are mutually exclusive.
+  CheckRequest mixed = CheckRequest::exhaustive_slots(2, 0, total);
+  mixed.shard_index = 0;
+  mixed.shard_count = 2;
+  EXPECT_THROW(CheckSession(*sg, mixed), std::invalid_argument);
+  // Sampled mode has no slot space.
+  CheckRequest sampled = CheckRequest::sampled(2, 10, 1);
+  sampled.has_slots = true;
+  sampled.slot_end = 1;
+  EXPECT_THROW(CheckSession(*sg, sampled), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace kgdp::verify

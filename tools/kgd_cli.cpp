@@ -14,7 +14,9 @@
 #include <vector>
 
 #include "campaign/campaign.hpp"
+#include "campaign/fleet_runner.hpp"
 #include "fault/canonical.hpp"
+#include "fleet/coordinator.hpp"
 #include "io/graph_io.hpp"
 #include "kgd/factory.hpp"
 #include "net/client.hpp"
@@ -22,6 +24,7 @@
 #include "reconfig/atlas.hpp"
 #include "service/daemon.hpp"
 #include "service/protocol.hpp"
+#include "util/backoff.hpp"
 #include "util/durable_file.hpp"
 #include "util/flags.hpp"
 #include "util/stop_signal.hpp"
@@ -71,8 +74,15 @@ int usage() {
       "                  [--seed=X] [--prune=auto|off] [--threads=T]\n"
       "                  [--shard=i/S] [--chunk=N] [--checkpoint-every=N]\n"
       "                  [--max-chunks=N] [--cache=N]\n"
+      "                  [--fleet=EP[,EP...]] [--fleet-chunk=N]\n"
+      "                  [--lease-grain=G] [--min-steal=N]\n"
+      "                  [--heartbeat-ms=MS] [--fleet-reconnect-ms=MS]\n"
+      "                  --fleet dispatches each exhaustive instance as\n"
+      "                  shard leases over remote kgdd workers (each EP is\n"
+      "                  unix:PATH or tcp:HOST:PORT; excludes --shard,\n"
+      "                  sampled mode, --threads, and --cache)\n"
       "  campaign resume --out=DIR [--threads=T] [--max-chunks=N]\n"
-      "                  [--cache=N]\n"
+      "                  [--cache=N] [--fleet=EP[,EP...] ...]\n"
       "  campaign merge  --out=DIR <shard-checkpoint>...\n"
       "  campaign status --out=DIR\n"
       "  serve      [--unix=PATH] [--tcp=HOST:PORT] [--threads=T]\n"
@@ -88,8 +98,14 @@ int usage() {
       "  request    <method> --connect=unix:PATH|tcp:HOST:PORT\n"
       "             [--params=JSON] [--tag=T] [--timeout=MS]\n"
       "                  send one request (verify|route|construct|sim.run|\n"
-      "                  campaign.status|stats|cancel|ping|shutdown),\n"
-      "                  print every reply frame\n");
+      "                  campaign.status|stats|cancel|ping|shutdown|lease|\n"
+      "                  lease.release), print every reply frame\n"
+      "  worker     --listen=unix:PATH|tcp:HOST:PORT [--threads=T]\n"
+      "             [--chunk=N] [--max-sessions=N]\n"
+      "                  run a fleet worker: a kgdd daemon tuned for\n"
+      "                  coordinator-dispatched lease duty (no disk\n"
+      "                  checkpoints — the coordinator re-leases from\n"
+      "                  streamed cursors on loss)\n");
   return 2;
 }
 
@@ -250,6 +266,68 @@ int drive_campaign(campaign::CampaignState state, const std::string& out_dir,
   return outcome.all_hold ? 0 : 1;
 }
 
+// Comma-separated endpoint list for --fleet; false on any bad spec.
+bool parse_fleet_endpoints(const std::string& text,
+                           std::vector<net::Endpoint>* out) {
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string one =
+        text.substr(pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+    if (!one.empty()) {
+      const auto ep = net::Endpoint::parse(one);
+      if (!ep) return false;
+      out->push_back(*ep);
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return !out->empty();
+}
+
+// Fleet tail of `campaign run --fleet=...` and `campaign resume` against
+// a fleet: dispatches every exhaustive instance across the workers.
+int drive_campaign_fleet(campaign::CampaignState state,
+                         const std::string& out_dir,
+                         fleet::FleetConfig fleet_config) {
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create %s: %s\n", out_dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+  std::ofstream telemetry_out(out_dir + "/telemetry.jsonl", std::ios::app);
+  campaign::TelemetryWriter telemetry(&telemetry_out);
+  fleet::Coordinator coordinator(std::move(fleet_config), &telemetry);
+  campaign::FleetCampaignRunner runner(std::move(state),
+                                       checkpoint_path(out_dir),
+                                       &coordinator);
+  util::StopSignal::instance().install();
+  const campaign::FleetRunOutcome outcome =
+      runner.run([] { return util::StopSignal::instance().requested(); });
+  std::fputs(campaign::status_summary(runner.state()).c_str(), stdout);
+  std::printf("fleet: %llu instances over %d workers (%llu leases, "
+              "%llu stolen, %llu reassigned, %llu worker losses)\n",
+              static_cast<unsigned long long>(outcome.instances_run),
+              coordinator.worker_count(),
+              static_cast<unsigned long long>(outcome.leases_planned),
+              static_cast<unsigned long long>(outcome.leases_stolen),
+              static_cast<unsigned long long>(outcome.leases_reassigned),
+              static_cast<unsigned long long>(outcome.workers_lost));
+  if (!outcome.complete) {
+    std::printf("campaign: INTERRUPTED (resume with "
+                "`kgd_cli campaign resume --out=%s --fleet=...`)\n",
+                out_dir.c_str());
+    return 3;
+  }
+  std::printf("campaign: COMPLETE, %s\n",
+              outcome.all_hold ? "all instances HOLD"
+                               : "some instances FAIL");
+  return outcome.all_hold ? 0 : 1;
+}
+
 int cmd_campaign(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string sub = argv[2];
@@ -259,6 +337,10 @@ int cmd_campaign(int argc, char** argv) {
       .flag("threads")
       .flag("max-chunks")
       .flag("cache");
+  if (sub == "run" || sub == "resume") {
+    flags.flag("fleet").flag("fleet-chunk").flag("lease-grain");
+    flags.flag("min-steal").flag("heartbeat-ms").flag("fleet-reconnect-ms");
+  }
   if (sub == "run") {
     flags.flag("nmin").flag("nmax").flag("kmin").flag("kmax");
     flags.flag("mode").flag("samples").flag("seed").flag("prune");
@@ -277,6 +359,51 @@ int cmd_campaign(int argc, char** argv) {
       !flags.get_int("max-chunks", 0, 0, INT64_MAX, &max_chunks) ||
       !flags.get_int("cache", 0, 0, INT64_MAX, &cache_entries)) {
     return flag_error(flags);
+  }
+
+  // Fleet dispatch (run/resume): lease partitioning replaces both local
+  // threading and shard specs, so those knobs conflict rather than
+  // silently doing nothing.
+  const bool fleet_mode = flags.has("fleet");
+  fleet::FleetConfig fleet_config;
+  if (fleet_mode) {
+    if (!parse_fleet_endpoints(flags.get("fleet"), &fleet_config.workers)) {
+      std::fprintf(stderr,
+                   "flag --fleet: expected a comma-separated list of "
+                   "unix:PATH|tcp:HOST:PORT endpoints\n");
+      return usage();
+    }
+    if (threads != 0 || cache_entries != 0 || max_chunks != 0) {
+      std::fprintf(stderr,
+                   "campaign %s: --threads/--cache/--max-chunks apply to "
+                   "local runs, not --fleet (workers own their pools)\n",
+                   sub.c_str());
+      return usage();
+    }
+    std::int64_t v = 0;
+    if (!flags.get_int("fleet-chunk", 512, 1, INT64_MAX, &v)) {
+      return flag_error(flags);
+    }
+    fleet_config.chunk = static_cast<std::uint64_t>(v);
+    if (!flags.get_int("lease-grain", 4, 1, 1 << 20, &v)) {
+      return flag_error(flags);
+    }
+    fleet_config.lease_grain = static_cast<std::uint64_t>(v);
+    if (!flags.get_int("min-steal", 256, 2, INT64_MAX, &v)) {
+      return flag_error(flags);
+    }
+    fleet_config.min_steal_items = static_cast<std::uint64_t>(v);
+    if (!flags.get_int("heartbeat-ms", 10000, 100, INT32_MAX, &v)) {
+      return flag_error(flags);
+    }
+    fleet_config.heartbeat_timeout_ms = static_cast<int>(v);
+    if (!flags.get_int("fleet-reconnect-ms", 10000, 100, INT32_MAX, &v)) {
+      return flag_error(flags);
+    }
+    fleet_config.reconnect.budget_ms = static_cast<int>(v);
+    // The attempt cap scales with the budget; the per-sleep clamp keeps
+    // probing frequent enough to catch a worker restart promptly.
+    fleet_config.reconnect.max_attempts = INT32_MAX;
   }
 
   try {
@@ -332,6 +459,21 @@ int cmd_campaign(int argc, char** argv) {
         return flag_error(flags);
       }
       config.checkpoint_every = static_cast<std::uint64_t>(v);
+      if (fleet_mode) {
+        if (config.shard_count != 1) {
+          std::fprintf(stderr,
+                       "campaign run: --shard and --fleet conflict (leases "
+                       "already partition each instance)\n");
+          return usage();
+        }
+        if (config.mode != verify::CheckMode::kExhaustive) {
+          std::fprintf(stderr,
+                       "campaign run: --fleet requires --mode=exhaustive\n");
+          return usage();
+        }
+        return drive_campaign_fleet(campaign::make_campaign(config), out_dir,
+                                    std::move(fleet_config));
+      }
       return drive_campaign(campaign::make_campaign(config), out_dir,
                             threads, max_chunks, cache_entries);
     }
@@ -341,6 +483,11 @@ int cmd_campaign(int argc, char** argv) {
       for (const std::string& path : util::remove_stale_tmp_files(out_dir)) {
         std::printf("campaign resume: removed stale temp file %s\n",
                     path.c_str());
+      }
+      if (fleet_mode) {
+        return drive_campaign_fleet(
+            campaign::load_campaign_file(checkpoint_path(out_dir)), out_dir,
+            std::move(fleet_config));
       }
       return drive_campaign(
           campaign::load_campaign_file(checkpoint_path(out_dir)), out_dir,
@@ -667,6 +814,58 @@ int cmd_serve(int argc, char** argv) {
   return 0;
 }
 
+// A fleet worker is a kgdd daemon with lease-duty defaults: no session
+// disk checkpoints (lease recovery is the coordinator's job, from
+// streamed cursors) and no verdict cache (cache hits would perturb the
+// per-lease solve counters that fleet accounting reports; the service
+// never attaches the cache to lease sessions anyway).
+int cmd_worker(int argc, char** argv) {
+  util::FlagParser flags;
+  flags.flag("listen").flag("threads").flag("chunk").flag("max-sessions");
+  if (!flags.parse(argc, argv, 2)) return flag_error(flags);
+
+  service::DaemonConfig config;
+  const auto ep = net::Endpoint::parse(flags.get("listen"));
+  if (!ep) {
+    std::fprintf(stderr,
+                 "worker: --listen=unix:PATH|tcp:HOST:PORT is required\n");
+    return usage();
+  }
+  config.endpoints.push_back(*ep);
+  std::int64_t v = 0;
+  if (!flags.get_int("threads", 0, 0, 4096, &v)) return flag_error(flags);
+  config.service.threads = static_cast<unsigned>(v);
+  if (!flags.get_int("chunk", 512, 1, INT64_MAX, &v)) {
+    return flag_error(flags);
+  }
+  config.service.default_chunk = static_cast<std::uint64_t>(v);
+  if (!flags.get_int("max-sessions", 8, 1, 4096, &v)) {
+    return flag_error(flags);
+  }
+  config.service.max_sessions = static_cast<std::size_t>(v);
+  config.service.session_checkpoint_every = 0;
+  config.service.cache_entries = 0;
+  config.service.atlas_entries = 0;
+
+  try {
+    service::Daemon daemon(std::move(config));
+    if (ep->kind == net::Endpoint::Kind::kUnix) {
+      std::printf("kgdd worker: listening on unix:%s\n", ep->path.c_str());
+    }
+    if (daemon.tcp_port() != 0) {
+      std::printf("kgdd worker: listening on tcp port %d\n",
+                  daemon.tcp_port());
+    }
+    std::fflush(stdout);
+    daemon.run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "worker: %s\n", e.what());
+    return 1;
+  }
+  std::printf("kgdd worker: drained\n");
+  return 0;
+}
+
 int cmd_request(int argc, char** argv) {
   util::FlagParser flags;
   flags.flag("connect").flag("params").flag("tag").flag("timeout");
@@ -702,20 +901,26 @@ int cmd_request(int argc, char** argv) {
   std::optional<net::Client> client;
   // A restarting daemon refuses TCP connects (ECONNREFUSED) or has not
   // recreated its unix socket yet (ENOENT); both are transient, so
-  // retry briefly with exponential backoff before giving up.
-  for (int attempt = 0;; ++attempt) {
+  // retry with bounded backoff — capped on attempts AND total
+  // wall-clock (the old attempt-only loop could stall for the full
+  // geometric sum) — and surface the final errno on give-up.
+  util::Backoff backoff;
+  while (true) {
     int connect_errno = 0;
     client = net::Client::connect(*ep, &error, &connect_errno);
     if (client) break;
     const bool retryable = connect_errno == ECONNREFUSED ||
                            connect_errno == ENOENT ||
                            connect_errno == ECONNRESET;
-    if (!retryable || attempt >= 5) {
-      std::fprintf(stderr, "request: cannot connect to %s: %s\n",
-                   ep->to_string().c_str(), error.c_str());
+    int delay_ms = 0;
+    if (!retryable || !backoff.next_delay(&delay_ms)) {
+      std::fprintf(stderr,
+                   "request: cannot connect to %s after %d attempts over "
+                   "%d ms: %s (errno %d)\n",
+                   ep->to_string().c_str(), backoff.attempts() + 1,
+                   backoff.elapsed_ms(), error.c_str(), connect_errno);
       return 1;
     }
-    const int delay_ms = 100 << attempt;
     std::fprintf(stderr, "request: %s; retrying in %d ms\n", error.c_str(),
                  delay_ms);
     std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
@@ -764,7 +969,7 @@ int main(int argc, char** argv) {
   // offender instead of the bare usage fallthrough.
   static const char* const kCommands[] = {
       "build", "dot", "verify", "route", "atlas", "save", "json",
-      "certify", "check-cert", "campaign", "serve", "request"};
+      "certify", "check-cert", "campaign", "serve", "request", "worker"};
   bool known = false;
   for (const char* c : kCommands) known = known || cmd == c;
   if (!known) {
@@ -775,6 +980,7 @@ int main(int argc, char** argv) {
   if (cmd == "campaign") return cmd_campaign(argc, argv);
   if (cmd == "serve") return cmd_serve(argc, argv);
   if (cmd == "request") return cmd_request(argc, argv);
+  if (cmd == "worker") return cmd_worker(argc, argv);
   if (cmd == "atlas") return cmd_atlas(argc, argv);
 
   if (argc < 3) {
