@@ -69,7 +69,8 @@ struct FleetRow {
 // divergence — a wrong answer makes every timing below meaningless.
 FleetRow run_fleet(int n, int k, int max_faults, int workers,
                    std::uint64_t chunk, std::uint64_t grain,
-                   const verify::CheckResult& reference) {
+                   const verify::CheckResult& reference,
+                   const std::string& checkpoint_path = {}) {
   const auto sg = kgd::build_solution(n, k);
   std::vector<std::unique_ptr<service::Daemon>> daemons;
   fleet::FleetConfig config;
@@ -80,6 +81,7 @@ FleetRow run_fleet(int n, int k, int max_faults, int workers,
   }
   config.chunk = chunk;
   config.lease_grain = grain;
+  config.checkpoint_path = checkpoint_path;
   // The default 100ms transport tick is sized for WAN fleets riding out
   // real outages; on loopback it would dominate every grant (a queued
   // frame waits for the worker thread's next read-timeout tick).
@@ -221,6 +223,36 @@ int run_smoke() {
   if (t.seconds() > 120.0) {
     std::fprintf(stderr, "SMOKE FAIL: fleet dispatch took %.0fs (> 120s)\n",
                  t.seconds());
+    return 1;
+  }
+
+  // Checkpoint-overhead gate on the dispatch-bound Figure 14 instance
+  // (sub-microsecond solves, so the lease machinery IS the runtime):
+  // the durable lease table is written on every lease-state transition,
+  // which must stay in the dispatch noise. Budget: 5% over the plain
+  // run, plus a flat half-second so a shared runner's scheduling jitter
+  // can't fail a short baseline.
+  const auto sg22 = kgd::build_solution(22, 4);
+  const verify::CheckResult ref22 =
+      verify::run_check(*sg22, verify::CheckRequest::exhaustive(4, off));
+  const std::string ckpt = "bench_fleet_smoke.kgdp";
+  std::remove(ckpt.c_str());
+  const util::Timer tp;
+  run_fleet(22, 4, 4, /*workers=*/1, /*chunk=*/1024, /*grain=*/8, ref22);
+  const double plain = tp.seconds();
+  const util::Timer tc;
+  run_fleet(22, 4, 4, /*workers=*/1, /*chunk=*/1024, /*grain=*/8, ref22,
+            ckpt);
+  const double checkpointed = tc.seconds();
+  std::remove(ckpt.c_str());
+  std::remove((ckpt + ".bak").c_str());
+  std::printf("checkpoint overhead: plain %.2fs, durable %.2fs (%+.1f%%)\n",
+              plain, checkpointed, (checkpointed / plain - 1.0) * 100.0);
+  if (checkpointed > plain * 1.05 + 0.5) {
+    std::fprintf(stderr,
+                 "SMOKE FAIL: durable lease checkpointing cost %.2fs vs "
+                 "%.2fs plain (budget: 5%% + 0.5s)\n",
+                 checkpointed, plain);
     return 1;
   }
   std::printf("fleet smoke: OK\n");

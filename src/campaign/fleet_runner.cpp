@@ -64,9 +64,10 @@ FleetRunOutcome FleetCampaignRunner::run(const std::function<bool()>& stop) {
       out.all_hold = done_all_hold();
       return out;
     }
-    // A stale mid-instance cursor (interrupted local run, or a dead
-    // coordinator) is discarded: the fleet re-partitions from scratch
-    // and the merged verdict is identical either way.
+    // A stale mid-instance cursor (from an interrupted *local* run) is
+    // discarded — fleet recovery state lives in the coordinator's own
+    // durable lease-table checkpoint, which run_instance resumes from
+    // when one matches; the merged verdict is identical either way.
     inst.cursor.clear();
     inst.status = InstanceStatus::kPending;
 
@@ -76,8 +77,24 @@ FleetRunOutcome FleetCampaignRunner::run(const std::function<bool()>& stop) {
                                std::to_string(inst.n) +
                                " k=" + std::to_string(inst.k));
     }
-    fleet::InstanceOutcome res = coordinator_->run_instance(
-        *built, inst.n, inst.k, inst.k, state_.config.prune);
+    fleet::InstanceOutcome res;
+    try {
+      res = coordinator_->run_instance(*built, inst.n, inst.k, inst.k,
+                                       state_.config.prune);
+    } catch (const fleet::AllWorkersDeadError& e) {
+      // Every endpoint written off with leases outstanding: record the
+      // terminal cause in telemetry, keep the campaign checkpoint (the
+      // coordinator's lease checkpoint also survives, so a resume with
+      // healthy workers continues mid-instance), and let the caller map
+      // the typed error to its documented exit code.
+      checkpoint();
+      io::JsonObject f;
+      f["n"] = inst.n;
+      f["k"] = inst.k;
+      f["error"] = std::string(e.what());
+      coordinator_->emit_telemetry("fleet_all_workers_dead", std::move(f));
+      throw;
+    }
 
     inst.result = res.result;
     inst.status = InstanceStatus::kDone;

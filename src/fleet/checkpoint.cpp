@@ -1,0 +1,145 @@
+#include "fleet/checkpoint.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/durable_file.hpp"
+
+namespace kgdp::fleet {
+
+namespace {
+
+constexpr const char* kMagic = "fleet-ckpt v1";
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw std::runtime_error("fleet checkpoint: " + what);
+}
+
+std::string read_block(std::istream& in, const char* keyword) {
+  std::string line;
+  if (!std::getline(in, line)) malformed("truncated before " +
+                                         std::string(keyword));
+  std::istringstream head(line);
+  std::string word;
+  std::uint64_t len = 0;
+  if (!(head >> word >> len) || word != keyword) {
+    malformed("expected '" + std::string(keyword) + " <len>', got: " + line);
+  }
+  std::string payload(len, '\0');
+  if (len > 0 && !in.read(payload.data(), static_cast<std::streamsize>(len))) {
+    malformed(std::string(keyword) + " block truncated");
+  }
+  if (in.get() != '\n') malformed(std::string(keyword) + " block unterminated");
+  return payload;
+}
+
+void write_block(std::ostream& out, const char* keyword,
+                 const std::string& payload) {
+  out << keyword << ' ' << payload.size() << '\n' << payload << '\n';
+}
+
+}  // namespace
+
+std::string FleetCheckpoint::serialize() const {
+  std::ostringstream out;
+  out << kMagic << '\n';
+  out << "n " << n << '\n';
+  out << "k " << k << '\n';
+  out << "max_faults " << max_faults << '\n';
+  out << "prune " << prune << '\n';
+  out << "total " << total << '\n';
+  out << "generation " << generation << '\n';
+  out << "leases " << leases.size() << '\n';
+  for (const LeaseSnapshot& l : leases) {
+    out << "lease " << l.begin << ' ' << l.end << ' ' << l.epoch << ' '
+        << l.status << ' ' << l.items_done << '\n';
+    write_block(out, "cursor", l.cursor);
+    write_block(out, "result", l.result_text);
+  }
+  out << "end\n";
+  return out.str();
+}
+
+FleetCheckpoint FleetCheckpoint::parse(std::istream& in) {
+  FleetCheckpoint ckpt;
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    malformed("bad magic: " + line);
+  }
+  auto header_u64 = [&](const char* key) -> std::uint64_t {
+    if (!std::getline(in, line)) malformed("truncated header");
+    std::istringstream row(line);
+    std::string word;
+    std::uint64_t value = 0;
+    if (!(row >> word >> value) || word != key) {
+      malformed("expected '" + std::string(key) + " <value>', got: " + line);
+    }
+    return value;
+  };
+  ckpt.n = static_cast<int>(header_u64("n"));
+  ckpt.k = static_cast<int>(header_u64("k"));
+  ckpt.max_faults = static_cast<int>(header_u64("max_faults"));
+  {
+    if (!std::getline(in, line)) malformed("truncated header");
+    std::istringstream row(line);
+    std::string word;
+    if (!(row >> word >> ckpt.prune) || word != "prune") {
+      malformed("expected 'prune <mode>', got: " + line);
+    }
+  }
+  ckpt.total = header_u64("total");
+  ckpt.generation = header_u64("generation");
+  const std::uint64_t count = header_u64("leases");
+  ckpt.leases.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (!std::getline(in, line)) malformed("truncated lease table");
+    std::istringstream row(line);
+    std::string word;
+    LeaseSnapshot l;
+    if (!(row >> word >> l.begin >> l.end >> l.epoch >> l.status >>
+          l.items_done) ||
+        word != "lease" || l.status < 0 || l.status > 2 || l.end < l.begin) {
+      malformed("bad lease line: " + line);
+    }
+    l.cursor = read_block(in, "cursor");
+    l.result_text = read_block(in, "result");
+    if (l.status == 2 && l.result_text.empty()) {
+      malformed("done lease without a result");
+    }
+    ckpt.leases.push_back(std::move(l));
+  }
+  if (!std::getline(in, line) || line != "end") malformed("missing trailer");
+  return ckpt;
+}
+
+void save_fleet_checkpoint(const std::string& path,
+                           const FleetCheckpoint& ckpt) {
+  util::durable_write_file(path, ckpt.serialize());
+}
+
+std::optional<FleetCheckpoint> load_fleet_checkpoint(const std::string& path,
+                                                     std::string* detail) {
+  FleetCheckpoint ckpt;
+  try {
+    util::load_checkpoint_file(path, [&](std::istream& in) {
+      ckpt = FleetCheckpoint::parse(in);
+    });
+  } catch (const util::CheckpointError& e) {
+    // A missing file is the ordinary first run, not a defect worth a
+    // detail line; truncation/corruption/parse failures are.
+    if (detail != nullptr &&
+        e.kind() != util::CheckpointErrorKind::kMissing) {
+      *detail = e.what();
+    }
+    return std::nullopt;
+  }
+  return ckpt;
+}
+
+void remove_fleet_checkpoint(const std::string& path) {
+  std::remove(path.c_str());
+  std::remove((path + ".bak").c_str());
+}
+
+}  // namespace kgdp::fleet

@@ -1,0 +1,75 @@
+// Durable coordinator state: the lease table, epochs, and last-streamed
+// cursors of the in-flight fleet instance, serialized on every
+// lease-state transition through util::durable_file (CRC32C envelope,
+// atomic replace, .bak generation — the same machinery as every other
+// checkpoint in the tree). A coordinator SIGKILLed mid-instance and
+// restarted on the same path rebuilds its lease table from here,
+// re-fences every unfinished lease at a strictly higher epoch (the
+// persisted epoch is the fence floor; the next grant bumps past it),
+// and resumes each lease from its persisted cursor instead of
+// restarting the instance — the merged verdict stays bit-identical to
+// an uninterrupted run.
+//
+// Format: line-oriented header (identity + generation), then one
+// `lease` line per lease followed by length-prefixed `cursor` and
+// `result` blocks (both payloads embed newlines — cursors are
+// save_cursor text, results are campaign::save_result text with
+// bit-cast doubles), closed by `end`. The identity fields bind the
+// checkpoint to one (n, k, max_faults, prune, num_orbits) instance; a
+// mismatch means the campaign moved on and the file is ignored.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace kgdp::fleet {
+
+struct LeaseSnapshot {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t items_done = 0;
+  // 0 = queued, 1 = active (loads as queued: the assignment died with
+  // the coordinator), 2 = done.
+  int status = 0;
+  std::string cursor;       // last streamed; the resume point
+  std::string result_text;  // campaign::save_result text once done
+};
+
+struct FleetCheckpoint {
+  // Instance identity — all five must match for a resume to apply.
+  int n = 0;
+  int k = 0;
+  int max_faults = 0;
+  std::string prune;  // "auto" / "off"
+  std::uint64_t total = 0;  // num_orbits the lease ranges tile
+
+  // Coordinator incarnations over this instance: 0 for the first run,
+  // +1 per resume. Grants carry it so workers can count resumes.
+  std::uint64_t generation = 0;
+
+  std::vector<LeaseSnapshot> leases;
+
+  std::string serialize() const;
+  // Throws std::runtime_error on any malformed payload.
+  static FleetCheckpoint parse(std::istream& in);
+};
+
+// Atomic, fsync'd, enveloped write to `path` (+ .bak generation).
+void save_fleet_checkpoint(const std::string& path,
+                           const FleetCheckpoint& ckpt);
+
+// Loads `path` (falling back to `.bak`, quarantining corrupt files).
+// Returns nullopt when no usable checkpoint exists — a fresh start,
+// not an error; *detail (optional) says why when empty-handed.
+std::optional<FleetCheckpoint> load_fleet_checkpoint(
+    const std::string& path, std::string* detail = nullptr);
+
+// Removes the checkpoint and its .bak once the instance is merged —
+// a stale table must never resurrect leases of a finished instance.
+void remove_fleet_checkpoint(const std::string& path);
+
+}  // namespace kgdp::fleet

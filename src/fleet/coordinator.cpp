@@ -1,6 +1,11 @@
 #include "fleet/coordinator.hpp"
 
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <sstream>
 #include <stdexcept>
@@ -8,8 +13,11 @@
 
 #include "campaign/checkpoint.hpp"
 #include "fault/orbit_enumerator.hpp"
+#include "fleet/checkpoint.hpp"
 #include "graph/automorphism.hpp"
-#include "service/protocol.hpp"
+#include "net/framing.hpp"
+#include "util/durable_file.hpp"
+#include "util/log.hpp"
 
 namespace kgdp::fleet {
 namespace {
@@ -54,7 +62,7 @@ std::string field_str(const io::Json& frame, const char* key) {
 Coordinator::Coordinator(FleetConfig config,
                          campaign::TelemetryWriter* telemetry)
     : config_(std::move(config)), telemetry_(telemetry) {
-  if (config_.workers.empty()) {
+  if (config_.workers.empty() && !config_.listen.has_value()) {
     throw std::invalid_argument("fleet: no worker endpoints");
   }
   if (config_.chunk == 0) config_.chunk = 1;
@@ -75,11 +83,27 @@ Coordinator::Coordinator(FleetConfig config,
   };
   pool_ = std::make_unique<WorkerPool>(config_.workers, pool_config,
                                        std::move(callbacks));
+  if (config_.listen.has_value()) {
+    std::string error;
+    listen_fd_ = net::listen_endpoint(*config_.listen, 16, &error);
+    if (!listen_fd_.valid()) {
+      pool_->stop();
+      pool_.reset();
+      throw std::runtime_error("fleet: registration listener: " + error);
+    }
+    if (config_.listen->kind == net::Endpoint::Kind::kTcp) {
+      listen_port_ = net::local_tcp_port(listen_fd_.get());
+    }
+    listener_ = std::thread([this] { run_listener(); });
+  }
 }
 
 Coordinator::~Coordinator() {
-  // Stop the pool before members die: callbacks lock mu_ and touch
+  // Stop the listener first (it calls pool_->add_worker and locks mu_),
+  // then the pool before members die: callbacks lock mu_ and touch
   // leases_, so no callback may outlive this object.
+  listen_stop_.store(true, std::memory_order_relaxed);
+  if (listener_.joinable()) listener_.join();
   pool_->stop();
   pool_.reset();
 }
@@ -112,35 +136,54 @@ InstanceOutcome Coordinator::run_instance(const kgd::SolutionGraph& sg,
   k_ = k;
   max_faults_ = max_faults;
   prune_ = prune;
+  total_ = total;
   fatal_.clear();
+  fatal_all_dead_ = false;
   stolen_ = reassigned_ = lost_ = 0;
   for (WorkerState& ws : workers_) {
+    // decommissioned survives across instances: a leaver stays left.
     ws.active_lease = -1;
     ws.solved = 0;
     ws.leases_done = 0;
   }
-  leases_.clear();
-  queue_.clear();
-  const std::uint64_t want =
-      static_cast<std::uint64_t>(workers_.size()) * config_.lease_grain;
-  const std::uint64_t planned =
-      std::max<std::uint64_t>(1, std::min(want, std::max<std::uint64_t>(
-                                                    total, 1)));
-  leases_.resize(planned);
-  for (std::uint32_t i = 0; i < planned; ++i) {
-    const auto range = verify::CheckSession::shard_range(
-        total, i, static_cast<std::uint32_t>(planned));
-    leases_[i].begin = range.first;
-    leases_[i].end = range.second;
-    queue_.push_back(i);
+  const std::string prune_str =
+      prune == verify::PruneMode::kAuto ? "auto" : "off";
+  resumed_run_ = try_resume_locked(prune_str, total);
+  std::uint64_t planned = 0;
+  if (resumed_run_) {
+    planned = leases_.size();
+  } else {
+    generation_ = 0;
+    leases_.clear();
+    queue_.clear();
+    // With a registration listener the pool may still be empty; plan
+    // for at least one worker so joiners find a queue to drain.
+    const std::uint64_t pool_size =
+        std::max<std::uint64_t>(1, workers_.size());
+    const std::uint64_t want = pool_size * config_.lease_grain;
+    planned = std::max<std::uint64_t>(
+        1, std::min(want, std::max<std::uint64_t>(total, 1)));
+    leases_.resize(planned);
+    for (std::uint32_t i = 0; i < planned; ++i) {
+      const auto range = verify::CheckSession::shard_range(
+          total, i, static_cast<std::uint32_t>(planned));
+      leases_[i].begin = range.first;
+      leases_[i].end = range.second;
+      queue_.push_back(i);
+    }
   }
   run_active_ = true;
+  // Persist the initial (or re-fenced) table before the first grant:
+  // from here on every lease-state transition rewrites it.
+  checkpoint_locked();
 
   while (true) {
     if (!fatal_.empty()) {
       run_active_ = false;
       const std::string why = fatal_;
+      const bool all_dead = fatal_all_dead_;
       lock.unlock();
+      if (all_dead) throw AllWorkersDeadError(why);
       throw std::runtime_error(why);
     }
     if (all_done_locked()) break;
@@ -164,12 +207,19 @@ InstanceOutcome Coordinator::run_instance(const kgd::SolutionGraph& sg,
   out.leases_stolen = stolen_;
   out.leases_reassigned = reassigned_;
   out.workers_lost = lost_;
+  out.resumed = resumed_run_;
+  out.generation = generation_;
   for (const WorkerState& ws : workers_) {
     out.per_worker_solved.push_back(ws.solved);
     out.per_worker_leases.push_back(ws.leases_done);
   }
   out.result =
       verify::merge_lease_results(sg, max_faults, prune, std::move(parts));
+  // The instance is merged; a stale lease table must never resurrect
+  // it (the campaign checkpoint records the completed result).
+  if (!config_.checkpoint_path.empty()) {
+    remove_fleet_checkpoint(config_.checkpoint_path);
+  }
   io::JsonObject fields;
   fields["n"] = n;
   fields["k"] = k;
@@ -177,9 +227,116 @@ InstanceOutcome Coordinator::run_instance(const kgd::SolutionGraph& sg,
   fields["leases"] = static_cast<std::uint64_t>(leases_.size());
   fields["stolen"] = stolen_;
   fields["reassigned"] = reassigned_;
+  fields["resumed"] = resumed_run_;
   fields["holds"] = out.result.holds;
   emit_locked("merge_done", std::move(fields));
   return out;
+}
+
+bool Coordinator::try_resume_locked(const std::string& prune_str,
+                                    std::uint64_t total) {
+  if (config_.checkpoint_path.empty()) return false;
+  std::string why;
+  const auto ckpt = load_fleet_checkpoint(config_.checkpoint_path, &why);
+  if (!ckpt.has_value()) {
+    if (!why.empty()) {
+      util::log_warn("fleet: ignoring unusable checkpoint: ", why);
+    }
+    return false;
+  }
+  if (ckpt->n != n_ || ckpt->k != k_ || ckpt->max_faults != max_faults_ ||
+      ckpt->prune != prune_str || ckpt->total != total ||
+      ckpt->leases.empty()) {
+    // A different instance's table: the campaign moved on. Start fresh;
+    // the first write below replaces it.
+    return false;
+  }
+  std::vector<Lease> loaded(ckpt->leases.size());
+  std::deque<std::size_t> queued;
+  std::uint64_t refenced = 0;
+  for (std::size_t i = 0; i < ckpt->leases.size(); ++i) {
+    const LeaseSnapshot& snap = ckpt->leases[i];
+    Lease& l = loaded[i];
+    l.begin = snap.begin;
+    l.end = snap.end;
+    l.epoch = snap.epoch;  // the fence floor: the next grant bumps past
+    l.items_done = snap.items_done;
+    l.cursor = snap.cursor;
+    if (snap.status == 2) {
+      try {
+        std::istringstream text(snap.result_text);
+        l.result = campaign::load_result(text);
+      } catch (const std::exception& e) {
+        util::log_warn("fleet: checkpoint result undecodable, starting "
+                       "fresh: ", e.what());
+        return false;
+      }
+      l.status = LeaseStatus::kDone;
+    } else {
+      // Active-at-crash leases load as queued: the assignment died with
+      // the old coordinator, and the persisted cursor is the resume
+      // point. The next grant re-fences at a strictly higher epoch.
+      l.status = LeaseStatus::kQueued;
+      l.refenced = true;
+      ++refenced;
+      queued.push_back(i);
+    }
+  }
+  leases_ = std::move(loaded);
+  queue_ = std::move(queued);
+  generation_ = ckpt->generation + 1;
+  io::JsonObject fields;
+  fields["generation"] = generation_;
+  fields["leases"] = static_cast<std::uint64_t>(leases_.size());
+  fields["refenced"] = refenced;
+  emit_locked("coordinator_resume", std::move(fields));
+  return true;
+}
+
+void Coordinator::checkpoint_locked() {
+  if (config_.checkpoint_path.empty() && !config_.checkpoint_observer) {
+    return;
+  }
+  if (!run_active_) return;
+  FleetCheckpoint ckpt;
+  ckpt.n = n_;
+  ckpt.k = k_;
+  ckpt.max_faults = max_faults_;
+  ckpt.prune = prune_ == verify::PruneMode::kAuto ? "auto" : "off";
+  ckpt.total = total_;
+  ckpt.generation = generation_;
+  ckpt.leases.reserve(leases_.size());
+  for (const Lease& l : leases_) {
+    LeaseSnapshot snap;
+    snap.begin = l.begin;
+    snap.end = l.end;
+    snap.epoch = l.epoch;
+    snap.items_done = l.items_done;
+    snap.cursor = l.cursor;
+    switch (l.status) {
+      case LeaseStatus::kQueued: snap.status = 0; break;
+      case LeaseStatus::kActive: snap.status = 1; break;
+      case LeaseStatus::kDone: {
+        snap.status = 2;
+        std::ostringstream text;
+        campaign::save_result(text, l.result);
+        snap.result_text = text.str();
+        break;
+      }
+    }
+    ckpt.leases.push_back(std::move(snap));
+  }
+  const std::string payload = ckpt.serialize();
+  if (config_.checkpoint_observer) config_.checkpoint_observer(payload);
+  if (config_.checkpoint_path.empty()) return;
+  try {
+    util::durable_write_file(config_.checkpoint_path, payload);
+  } catch (const std::exception& e) {
+    // Callers sit on worker threads that must not unwind; surface the
+    // write failure as the run's fatal instead.
+    fatal_ = std::string("fleet: checkpoint write failed: ") + e.what();
+    cv_.notify_all();
+  }
 }
 
 bool Coordinator::all_done_locked() const {
@@ -190,8 +347,11 @@ bool Coordinator::all_done_locked() const {
 }
 
 bool Coordinator::all_workers_dead_locked() const {
+  // An open registration listener means replacements can still join:
+  // the fleet is starved, not dead.
+  if (listen_fd_.valid()) return false;
   for (const WorkerState& ws : workers_) {
-    if (!ws.permanently_down) return false;
+    if (!ws.permanently_down && !ws.decommissioned) return false;
   }
   return true;
 }
@@ -221,11 +381,13 @@ void Coordinator::pump_locked() {
     pool_->kick(w);
   }
 
-  // 2. Grants: queued leases to idle connected workers.
+  // 2. Grants: queued leases to idle connected workers (a leaver is
+  // never granted to again — it is draining toward fleet.leave).
   while (!queue_.empty()) {
     int idle = -1;
     for (std::size_t w = 0; w < workers_.size(); ++w) {
-      if (workers_[w].connected && workers_[w].active_lease < 0) {
+      if (workers_[w].connected && !workers_[w].decommissioned &&
+          workers_[w].active_lease < 0) {
         idle = static_cast<int>(w);
         break;
       }
@@ -246,6 +408,7 @@ void Coordinator::pump_locked() {
   // one unrecoverable state.
   if (!all_done_locked() && all_workers_dead_locked()) {
     fatal_ = "fleet: all workers permanently down with leases outstanding";
+    fatal_all_dead_ = true;
   }
 }
 
@@ -262,6 +425,11 @@ bool Coordinator::grant_locked(std::size_t li, int w) {
   params["chunk"] = config_.chunk;
   params["lease"] = lease_name(li);
   params["epoch"] = l.epoch;
+  // Durability provenance: which coordinator incarnation granted this,
+  // and whether the grant re-fences a lease recovered from the crash
+  // checkpoint. Workers surface both as stats counters.
+  params["generation"] = generation_;
+  if (l.refenced) params["refenced"] = true;
   const bool resumed = !l.cursor.empty();
   if (resumed) params["cursor"] = l.cursor;
   io::JsonObject frame;
@@ -273,11 +441,14 @@ bool Coordinator::grant_locked(std::size_t li, int w) {
     l.epoch -= 1;  // never went on the wire; nothing to fence
     return false;
   }
+  const bool refenced = l.refenced;
+  l.refenced = false;  // one re-fence per recovered lease
   l.status = LeaseStatus::kActive;
   l.worker = w;
   l.steal_pending = false;
   l.last_frame.reset();
   workers_[static_cast<std::size_t>(w)].active_lease = static_cast<int>(li);
+  checkpoint_locked();
   io::JsonObject fields;
   fields["lease"] = lease_name(li);
   fields["epoch"] = l.epoch;
@@ -285,6 +456,7 @@ bool Coordinator::grant_locked(std::size_t li, int w) {
   fields["begin"] = l.begin;
   fields["end"] = l.end;
   fields["resumed"] = resumed;
+  if (refenced) fields["refenced"] = true;
   emit_locked("lease_granted", std::move(fields));
   return true;
 }
@@ -296,6 +468,7 @@ void Coordinator::requeue_locked(std::size_t li, const char* why) {
   l.worker = -1;
   l.steal_pending = false;
   ++reassigned_;
+  checkpoint_locked();
   io::JsonObject fields;
   fields["lease"] = lease_name(li);
   fields["epoch"] = l.epoch;
@@ -309,7 +482,8 @@ void Coordinator::requeue_locked(std::size_t li, const char* why) {
 void Coordinator::maybe_steal_locked() {
   int thief = -1;
   for (std::size_t w = 0; w < workers_.size(); ++w) {
-    if (workers_[w].connected && workers_[w].active_lease < 0) {
+    if (workers_[w].connected && !workers_[w].decommissioned &&
+        workers_[w].active_lease < 0) {
       thief = static_cast<int>(w);
       break;
     }
@@ -374,7 +548,19 @@ std::size_t Coordinator::lease_from_frame_locked(const io::Json& frame,
 
 void Coordinator::on_connected(int w) {
   std::lock_guard<std::mutex> lock(mu_);
-  workers_[static_cast<std::size_t>(w)].connected = true;
+  WorkerState& ws = workers_[static_cast<std::size_t>(w)];
+  ws.connected = true;
+  if (ws.announce_join) {
+    // Tell the daemon it is now fleet-attached (it counts the join and
+    // acks with a result frame the lease router drops harmlessly).
+    ws.announce_join = false;
+    io::JsonObject frame;
+    frame["method"] = "fleet.join";
+    frame["params"] = io::Json(io::JsonObject{});
+    frame["schema_version"] = io::kSchemaVersion;
+    frame["tag"] = "j-w" + std::to_string(w);
+    pool_->send(w, io::Json(std::move(frame)));
+  }
   cv_.notify_all();  // the pump grants on the run_instance thread
 }
 
@@ -446,6 +632,9 @@ void Coordinator::on_frame(int w, io::Json frame) {
     l.items_done = field_u64(frame, "items_done", l.items_done);
     const std::string cursor = field_str(frame, "cursor");
     if (!cursor.empty()) l.cursor = cursor;
+    // The cursor is the resume point after a coordinator crash — it
+    // must be durable before the next chunk can be considered streamed.
+    checkpoint_locked();
     return;
   }
   if (type != "result") return;
@@ -470,6 +659,7 @@ void Coordinator::on_frame(int w, io::Json frame) {
     ws.active_lease = -1;
     ws.solved += l.result.fault_sets_solved;
     ws.leases_done += 1;
+    checkpoint_locked();
     io::JsonObject fields;
     fields["lease"] = lease_name(li);
     fields["epoch"] = l.epoch;
@@ -493,6 +683,155 @@ void Coordinator::on_frame(int w, io::Json frame) {
     cv_.notify_all();
     return;
   }
+}
+
+// --- elastic membership: the registration listener -------------------
+//
+// Workers attach to a running coordinator by dialing config_.listen and
+// sending `fleet.join {endpoint}` (their own serving endpoint, which
+// the coordinator dials back through the pool — the transport stays
+// dial-out, so a joiner needs no inbound path to the workers).
+// `fleet.leave {endpoint}` decommissions a member: it is never granted
+// to again, and the daemon is told to drain its lease sessions at the
+// next chunk boundary — the drained cursor hands the work back without
+// losing a slot, exactly like a confirmed steal. Registration frames
+// ride the same v5 envelope as every other kgdd method.
+
+void Coordinator::run_listener() {
+  while (!listen_stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_.get(), POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready <= 0) continue;
+    net::Fd conn(::accept(listen_fd_.get(), nullptr, nullptr));
+    if (!conn.valid()) continue;
+    // Registrations are rare and tiny; serving them one at a time off
+    // the accept loop keeps the listener a hundred lines, not a server.
+    serve_registration(std::move(conn));
+  }
+}
+
+void Coordinator::serve_registration(net::Fd conn) {
+  net::FrameReader reader(1u << 16);
+  char buf[4096];
+  int idle_ticks = 0;
+  while (!listen_stop_.load(std::memory_order_relaxed) && idle_ticks < 20) {
+    while (auto frame = reader.next()) {
+      idle_ticks = 0;
+      service::Envelope env;
+      env.req_id = "c" + std::to_string(++registrations_);
+      io::Json reply;
+      if (service::parse_envelope(*frame, &env, &reply)) {
+        std::lock_guard<std::mutex> lock(mu_);
+        reply = handle_registration_locked(env);
+      }
+      std::string wire = reply.dump();
+      wire += '\n';
+      std::size_t sent = 0;
+      while (sent < wire.size()) {
+        const ssize_t n = ::send(conn.get(), wire.data() + sent,
+                                 wire.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          return;
+        }
+        sent += static_cast<std::size_t>(n);
+      }
+    }
+    if (reader.oversized()) return;
+    pollfd pfd{conn.get(), POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (ready == 0) {
+      ++idle_ticks;
+      continue;
+    }
+    const ssize_t n = ::read(conn.get(), buf, sizeof buf);
+    if (n == 0) return;  // peer done
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    reader.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+io::Json Coordinator::handle_registration_locked(
+    const service::Envelope& env) {
+  const io::Json* params = env.params();
+  const std::string ep_text =
+      params != nullptr ? field_str(*params, "endpoint") : std::string();
+  if (env.method == "fleet.join") {
+    const auto ep = net::Endpoint::parse(ep_text);
+    if (!ep.has_value()) {
+      return env.error(service::ErrorCode::kBadRequest,
+                       "fleet.join requires params.endpoint "
+                       "(unix:PATH or tcp:HOST:PORT)");
+    }
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      if (!workers_[w].decommissioned &&
+          pool_->endpoint(static_cast<int>(w)).to_string() ==
+              ep->to_string()) {
+        io::JsonObject body;
+        body["joined"] = true;
+        body["worker"] = static_cast<int>(w);
+        body["already_member"] = true;
+        return env.result(std::move(body));
+      }
+    }
+    const int w = pool_->add_worker(*ep);
+    if (w < 0) {
+      return env.error(service::ErrorCode::kShuttingDown,
+                       "coordinator is stopping");
+    }
+    workers_.resize(static_cast<std::size_t>(w) + 1);
+    workers_[static_cast<std::size_t>(w)].announce_join = true;
+    io::JsonObject fields;
+    fields["worker"] = ep->to_string();
+    emit_locked("worker_joined", std::move(fields));
+    cv_.notify_all();  // a joiner is immediately grantable
+    io::JsonObject body;
+    body["joined"] = true;
+    body["worker"] = w;
+    return env.result(std::move(body));
+  }
+  if (env.method == "fleet.leave") {
+    int found = -1;
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      if (!workers_[w].decommissioned &&
+          pool_->endpoint(static_cast<int>(w)).to_string() == ep_text) {
+        found = static_cast<int>(w);
+        break;
+      }
+    }
+    if (found < 0) {
+      return env.error(service::ErrorCode::kNotFound,
+                       "no such fleet member: " + ep_text);
+    }
+    workers_[static_cast<std::size_t>(found)].decommissioned = true;
+    // Ask the daemon to drain its lease sessions at the next chunk
+    // boundary; the drained terminal frames hand every cursor back and
+    // the leases requeue to the survivors.
+    io::JsonObject frame;
+    frame["method"] = "fleet.leave";
+    frame["params"] = io::Json(io::JsonObject{});
+    frame["schema_version"] = io::kSchemaVersion;
+    frame["tag"] = "l-w" + std::to_string(found);
+    pool_->send(found, io::Json(std::move(frame)));
+    io::JsonObject fields;
+    fields["worker"] = ep_text;
+    emit_locked("worker_left", std::move(fields));
+    cv_.notify_all();
+    io::JsonObject body;
+    body["leaving"] = true;
+    body["worker"] = found;
+    return env.result(std::move(body));
+  }
+  return env.error(service::ErrorCode::kUnknownMethod,
+                   "the registration listener speaks fleet.join and "
+                   "fleet.leave only");
 }
 
 void Coordinator::handle_release_reply_locked(std::size_t li,
@@ -519,6 +858,7 @@ void Coordinator::handle_release_reply_locked(std::size_t li,
   leases_.push_back(std::move(stolen));
   queue_.push_back(leases_.size() - 1);
   ++stolen_;
+  checkpoint_locked();
   io::JsonObject fields;
   fields["victim"] = lease_name(li);
   fields["lease"] = lease_name(leases_.size() - 1);

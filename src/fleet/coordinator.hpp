@@ -22,21 +22,37 @@
 //     run fails only when every worker is gone with work outstanding.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "campaign/telemetry.hpp"
 #include "fleet/worker_pool.hpp"
 #include "kgd/labeled_graph.hpp"
+#include "service/protocol.hpp"
 #include "util/timer.hpp"
 #include "verify/check_session.hpp"
 
 namespace kgdp::fleet {
+
+// Thrown by run_instance when every worker is permanently written off
+// (or has left) with leases outstanding and no registration listener is
+// accepting replacements — the one unrecoverable fleet state. Distinct
+// from std::runtime_error so callers can map it to a documented exit
+// code instead of a bare throw.
+class AllWorkersDeadError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 struct FleetConfig {
   std::vector<net::Endpoint> workers;
@@ -54,6 +70,23 @@ struct FleetConfig {
   int poll_ms = 100;
   // Per-outage reconnect schedule (exhaustion = worker written off).
   util::BackoffPolicy reconnect;
+  // Durable lease-table checkpoint (fleet/checkpoint.hpp), written on
+  // every lease-state transition; empty disables. A coordinator
+  // restarted on the same path resumes the in-flight instance from it:
+  // done leases keep their results, unfinished leases re-enter the
+  // queue at their last streamed cursor and are re-fenced at a
+  // strictly higher epoch on their next grant.
+  std::string checkpoint_path;
+  // Test hook: observes every serialized checkpoint payload (called
+  // under the coordinator mutex, also when checkpoint_path is empty).
+  // Each payload is exactly the state a SIGKILL after that transition
+  // would leave on disk, so a resume sweep can replay them all.
+  std::function<void(const std::string&)> checkpoint_observer;
+  // Registration listener for elastic membership: workers attach with
+  // `fleet.join` / detach with `fleet.leave` (schema v5). With a
+  // listener the worker list may start empty, and the coordinator
+  // waits for joiners instead of declaring the fleet dead.
+  std::optional<net::Endpoint> listen;
 };
 
 // Per-instance accounting alongside the merged verdict.
@@ -63,7 +96,11 @@ struct InstanceOutcome {
   std::uint64_t leases_stolen = 0;      // successful steal splits
   std::uint64_t leases_reassigned = 0;  // requeues of orphaned leases
   std::uint64_t workers_lost = 0;       // connection losses observed
-  // Per configured endpoint: solver invocations / leases completed.
+  // Crash-resume: true when the instance was rebuilt from a durable
+  // checkpoint; generation counts coordinator incarnations (0 = first).
+  bool resumed = false;
+  std::uint64_t generation = 0;
+  // Per worker (configured + joined): solver invocations / leases done.
   std::vector<std::uint64_t> per_worker_solved;
   std::vector<std::uint64_t> per_worker_leases;
 };
@@ -82,11 +119,12 @@ class Coordinator {
   Coordinator& operator=(const Coordinator&) = delete;
 
   // Certifies GD(sg, max_faults) across the fleet: plans the lease
-  // partition, drives it to completion (stealing and reassigning as
-  // workers slow down or die), and returns the merged result —
-  // bit-identical to run_check on one node with the same prune mode.
-  // Throws std::runtime_error when every worker is permanently down
-  // with leases outstanding. Workers persist across calls.
+  // partition (or resumes it from the durable checkpoint), drives it to
+  // completion (stealing and reassigning as workers slow down or die),
+  // and returns the merged result — bit-identical to run_check on one
+  // node with the same prune mode. Throws AllWorkersDeadError when
+  // every worker is permanently down with leases outstanding and no
+  // listener is open for joiners. Workers persist across calls.
   InstanceOutcome run_instance(const kgd::SolutionGraph& sg, int n, int k,
                                int max_faults, verify::PruneMode prune);
 
@@ -100,6 +138,10 @@ class Coordinator {
     return pool_->endpoint(w);
   }
 
+  // The registration listener's resolved TCP port (ephemeral binds),
+  // -1 without a TCP listener.
+  int listen_tcp_port() const { return listen_port_; }
+
  private:
   enum class LeaseStatus { kQueued, kActive, kDone };
 
@@ -111,6 +153,9 @@ class Coordinator {
     std::string cursor;  // last streamed; the reassignment point
     std::uint64_t items_done = 0;
     bool steal_pending = false;  // a truncation handshake is in flight
+    // Loaded from a crash checkpoint and not yet re-granted: the next
+    // grant re-fences it (strictly higher epoch) and says so.
+    bool refenced = false;
     verify::CheckResult result;  // valid once kDone
     util::Timer last_frame;      // heartbeat age while active
   };
@@ -118,6 +163,11 @@ class Coordinator {
   struct WorkerState {
     bool connected = false;
     bool permanently_down = false;
+    // fleet.leave accepted: drains at its next chunk boundary and is
+    // never granted to again (indices stay stable; no erasure).
+    bool decommissioned = false;
+    // Joined live; announce fleet.join to the daemon when connected.
+    bool announce_join = false;
     int active_lease = -1;
     std::uint64_t solved = 0;
     std::uint64_t leases_done = 0;
@@ -127,6 +177,11 @@ class Coordinator {
   void on_connected(int w);
   void on_frame(int w, io::Json frame);
   void on_down(int w, const std::string& reason, bool permanent);
+
+  // Registration listener (elastic membership).
+  void run_listener();
+  void serve_registration(net::Fd conn);
+  io::Json handle_registration_locked(const service::Envelope& env);
 
   // All _locked helpers require mu_ held.
   void pump_locked();
@@ -139,18 +194,35 @@ class Coordinator {
                                       bool* current);
   bool all_done_locked() const;
   bool all_workers_dead_locked() const;
+  // Serializes the lease table and writes it durably (+ observer).
+  // Failures set fatal_ instead of throwing: callers sit on worker
+  // threads that must not unwind.
+  void checkpoint_locked();
+  // Rebuilds the lease table from the checkpoint; false = start fresh.
+  bool try_resume_locked(const std::string& prune_str, std::uint64_t total);
 
   FleetConfig config_;
   campaign::TelemetryWriter* telemetry_;
   std::unique_ptr<WorkerPool> pool_;
 
+  // Registration listener (only when config_.listen is set).
+  net::Fd listen_fd_;
+  std::thread listener_;
+  std::atomic<bool> listen_stop_{false};
+  int listen_port_ = -1;
+  std::uint64_t registrations_ = 0;  // req-id source for replies
+
   std::mutex mu_;
   std::condition_variable cv_;
   bool run_active_ = false;
   std::string fatal_;
+  bool fatal_all_dead_ = false;
   // Grant parameters of the live instance.
   int n_ = 0, k_ = 0, max_faults_ = 0;
   verify::PruneMode prune_ = verify::PruneMode::kAuto;
+  std::uint64_t total_ = 0;       // num_orbits (checkpoint identity)
+  std::uint64_t generation_ = 0;  // coordinator incarnations
+  bool resumed_run_ = false;
   std::vector<Lease> leases_;       // lease id "L<index>"
   std::deque<std::size_t> queue_;   // grantable lease indices
   std::vector<WorkerState> workers_;

@@ -42,17 +42,43 @@ WorkerPool::WorkerPool(std::vector<net::Endpoint> endpoints,
 
 WorkerPool::~WorkerPool() {
   stop();
-  for (auto& w : workers_) {
+  std::vector<Worker*> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    for (auto& w : workers_) snapshot.push_back(w.get());
+  }
+  for (Worker* w : snapshot) {
     if (w->thread.joinable()) w->thread.join();
   }
 }
 
+WorkerPool::Worker* WorkerPool::at(int worker) const {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  return workers_.at(static_cast<std::size_t>(worker)).get();
+}
+
+int WorkerPool::size() const {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  return static_cast<int>(workers_.size());
+}
+
+int WorkerPool::add_worker(net::Endpoint ep) {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (stopped_) return -1;
+  auto w = std::make_unique<Worker>();
+  w->endpoint = std::move(ep);
+  workers_.push_back(std::move(w));
+  const int index = static_cast<int>(workers_.size()) - 1;
+  workers_.back()->thread = std::thread([this, index] { run_worker(index); });
+  return index;
+}
+
 const net::Endpoint& WorkerPool::endpoint(int worker) const {
-  return workers_.at(static_cast<std::size_t>(worker))->endpoint;
+  return at(worker)->endpoint;
 }
 
 bool WorkerPool::send(int worker, io::Json frame) {
-  Worker& w = *workers_.at(static_cast<std::size_t>(worker));
+  Worker& w = *at(worker);
   std::lock_guard<std::mutex> lock(w.mu);
   if (!w.connected || w.stop) return false;
   w.outbox.push_back(frame.dump());
@@ -61,14 +87,20 @@ bool WorkerPool::send(int worker, io::Json frame) {
 }
 
 void WorkerPool::kick(int worker) {
-  Worker& w = *workers_.at(static_cast<std::size_t>(worker));
+  Worker& w = *at(worker);
   std::lock_guard<std::mutex> lock(w.mu);
   w.kicked = true;
   w.cv.notify_all();
 }
 
 void WorkerPool::stop() {
-  for (auto& w : workers_) {
+  std::vector<Worker*> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    stopped_ = true;
+    for (auto& w : workers_) snapshot.push_back(w.get());
+  }
+  for (Worker* w : snapshot) {
     std::lock_guard<std::mutex> lock(w->mu);
     w->stop = true;
     w->cv.notify_all();
@@ -76,7 +108,7 @@ void WorkerPool::stop() {
 }
 
 WorkerPool::WorkerStats WorkerPool::stats(int worker) const {
-  const Worker& w = *workers_.at(static_cast<std::size_t>(worker));
+  const Worker& w = *at(worker);
   std::lock_guard<std::mutex> lock(w.mu);
   WorkerStats s;
   s.connects = w.connects;
@@ -87,7 +119,7 @@ WorkerPool::WorkerStats WorkerPool::stats(int worker) const {
 }
 
 void WorkerPool::run_worker(int worker) {
-  Worker& w = *workers_[static_cast<std::size_t>(worker)];
+  Worker& w = *at(worker);
   util::Backoff backoff(config_.reconnect);
   while (true) {
     // --- connect phase, bounded backoff per outage ---

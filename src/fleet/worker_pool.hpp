@@ -52,8 +52,15 @@ class WorkerPool {
   WorkerPool(const WorkerPool&) = delete;
   WorkerPool& operator=(const WorkerPool&) = delete;
 
-  int size() const { return static_cast<int>(workers_.size()); }
+  int size() const;
   const net::Endpoint& endpoint(int worker) const;
+
+  // Grows the pool live (elastic membership): appends a worker for `ep`
+  // and starts its connection thread. Indices are stable — a worker is
+  // never removed, only decommissioned by the coordinator — so the
+  // returned index is the worker's identity for its lifetime. Returns
+  // -1 after stop().
+  int add_worker(net::Endpoint ep);
 
   // Queues one frame on worker w's connection (its thread sends in
   // order). False when the worker is not currently connected — queued
@@ -81,9 +88,15 @@ class WorkerPool {
  private:
   struct Worker;
   void run_worker(int worker);
+  Worker* at(int worker) const;
 
   WorkerPoolConfig config_;
   Callbacks callbacks_;
+  // Guards the vector's structure (add_worker appends live). Worker
+  // objects themselves are behind stable unique_ptrs and carry their
+  // own mutex, so callers hold pool_mu_ only to resolve an index.
+  mutable std::mutex pool_mu_;
+  bool stopped_ = false;
   std::vector<std::unique_ptr<Worker>> workers_;
 };
 

@@ -22,10 +22,12 @@ namespace kgdp::io {
 // surfaces changes shape. History: v2 added solver-counter surfaces;
 // v3 added the kgdd `route` method and the request-side
 // `schema_version` field; v4 added the fleet `lease`/`lease.release`
-// methods and the `stats` fleet block. Readers stay backward
-// compatible: artifact loaders and the daemon accept any version in
-// [1, kSchemaVersion].
-inline constexpr int kSchemaVersion = 4;
+// methods and the `stats` fleet block; v5 added the elastic-membership
+// `fleet.join`/`fleet.leave` methods, the durable-coordinator grant
+// params (`generation`, `refenced`), and their `stats` fleet counters.
+// Readers stay backward compatible: artifact loaders and the daemon
+// accept any version in [1, kSchemaVersion].
+inline constexpr int kSchemaVersion = 5;
 
 // Thrown by Json::parse on malformed input; `offset` is the byte
 // position the parser rejected.

@@ -6,7 +6,11 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
+
+#include "net/fault_inject.hpp"
 
 #ifndef MSG_NOSIGNAL
 #define MSG_NOSIGNAL 0
@@ -70,6 +74,31 @@ std::optional<Client> Client::connect(const Endpoint& ep,
 bool Client::send_line(const std::string& frame, std::string* error) {
   std::string wire = frame;
   wire += '\n';
+  // One intercepted op per outbound frame (see net/fault_inject.hpp):
+  // drop swallows the frame while reporting success — exactly what a
+  // lossy link does to a fire-and-forget sender.
+  if (FaultInjector::instance().enabled()) {
+    switch (FaultInjector::instance().next_action()) {
+      case FaultAction::kDrop:
+        return true;
+      case FaultAction::kDup:
+        wire += frame;
+        wire += '\n';
+        break;
+      case FaultAction::kStall:
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(FaultInjector::kStallMs));
+        break;
+      case FaultAction::kSever:
+        fd_ = Fd();
+        if (error != nullptr) {
+          *error = "send: connection severed (fault injection)";
+        }
+        return false;
+      case FaultAction::kNone:
+        break;
+    }
+  }
   std::size_t sent = 0;
   while (sent < wire.size()) {
     const ssize_t n = ::send(fd_.get(), wire.data() + sent,
@@ -95,8 +124,39 @@ Client::ReadResult Client::read_frame(int timeout_ms) {
 
 Client::ReadResult Client::read_frame_by(const Deadline& deadline) {
   ReadResult res;
+  if (has_dup_) {
+    has_dup_ = false;
+    res.status = ReadStatus::kOk;
+    res.frame = std::move(dup_frame_);
+    dup_frame_.clear();
+    return res;
+  }
   while (true) {
     if (auto frame = reader_.next()) {
+      // One intercepted op per complete inbound frame: drop discards it
+      // and keeps reading, dup replays it on the next call, sever cuts
+      // the connection as if the peer vanished mid-stream.
+      if (FaultInjector::instance().enabled()) {
+        switch (FaultInjector::instance().next_action()) {
+          case FaultAction::kDrop:
+            continue;
+          case FaultAction::kDup:
+            dup_frame_ = *frame;
+            has_dup_ = true;
+            break;
+          case FaultAction::kStall:
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(FaultInjector::kStallMs));
+            break;
+          case FaultAction::kSever:
+            fd_ = Fd();
+            res.status = ReadStatus::kClosed;
+            res.error = "connection severed (fault injection)";
+            return res;
+          case FaultAction::kNone:
+            break;
+        }
+      }
       res.status = ReadStatus::kOk;
       res.frame = std::move(*frame);
       return res;

@@ -92,6 +92,10 @@ class Client {
 
   Fd fd_;
   FrameReader reader_;
+  // A received frame net::FaultInjector chose to duplicate; handed out
+  // by the next read before the socket is touched again.
+  std::string dup_frame_;
+  bool has_dup_ = false;
 };
 
 }  // namespace kgdp::net

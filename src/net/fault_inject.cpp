@@ -1,0 +1,148 @@
+#include "net/fault_inject.hpp"
+
+#include <cstdlib>
+
+#include "util/log.hpp"
+
+namespace kgdp::net {
+
+namespace {
+
+bool parse_u64(const std::string& s, std::uint64_t* out) {
+  if (s.empty()) return false;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+bool parse_prob(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == nullptr || *end != '\0' || v < 0.0 || v > 1.0) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(FaultAction action) {
+  switch (action) {
+    case FaultAction::kNone: return "none";
+    case FaultAction::kDrop: return "drop";
+    case FaultAction::kDup: return "dup";
+    case FaultAction::kStall: return "stall";
+    case FaultAction::kSever: return "sever";
+  }
+  return "?";
+}
+
+std::optional<FaultSpec> FaultSpec::parse(const std::string& text) {
+  const std::size_t colon = text.find(':');
+  if (colon == std::string::npos) return std::nullopt;
+  FaultSpec spec;
+  if (!parse_u64(text.substr(0, colon), &spec.seed)) return std::nullopt;
+  std::size_t pos = colon + 1;
+  while (pos <= text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string item = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    std::size_t sep = item.find('@');
+    if (sep != std::string::npos) {
+      const std::string name = item.substr(0, sep);
+      std::uint64_t at = 0;
+      if (!parse_u64(item.substr(sep + 1), &at)) return std::nullopt;
+      const auto idx = static_cast<std::int64_t>(at);
+      if (name == "drop") {
+        spec.drop_at = idx;
+      } else if (name == "dup") {
+        spec.dup_at = idx;
+      } else if (name == "stall") {
+        spec.stall_at = idx;
+      } else if (name == "sever") {
+        spec.sever_at = idx;
+      } else {
+        return std::nullopt;
+      }
+      continue;
+    }
+    sep = item.find('=');
+    if (sep == std::string::npos) return std::nullopt;
+    const std::string name = item.substr(0, sep);
+    double p = 0.0;
+    if (!parse_prob(item.substr(sep + 1), &p)) return std::nullopt;
+    if (name == "drop") {
+      spec.p_drop = p;
+    } else if (name == "dup") {
+      spec.p_dup = p;
+    } else if (name == "stall") {
+      spec.p_stall = p;
+    } else if (name == "sever") {
+      spec.p_sever = p;
+    } else {
+      return std::nullopt;
+    }
+  }
+  return spec;
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector* injector = [] {
+    auto* fi = new FaultInjector();
+    if (const char* env = std::getenv("KGDP_NET_FAULTS")) {
+      if (auto spec = FaultSpec::parse(env)) {
+        fi->arm(*spec);
+        util::log_warn("network fault injection armed from KGDP_NET_FAULTS: ",
+                       env);
+      } else {
+        util::log_warn("ignoring malformed KGDP_NET_FAULTS: ", env);
+      }
+    }
+    return fi;
+  }();
+  return *injector;
+}
+
+void FaultInjector::arm(const FaultSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spec_ = spec;
+  rng_ = util::Rng(spec.seed);
+  ops_.store(0, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+FaultAction FaultInjector::next_action() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_.load(std::memory_order_relaxed)) return FaultAction::kNone;
+  const auto op =
+      static_cast<std::int64_t>(ops_.fetch_add(1, std::memory_order_relaxed));
+  if (op == spec_.drop_at) return FaultAction::kDrop;
+  if (op == spec_.dup_at) return FaultAction::kDup;
+  if (op == spec_.stall_at) return FaultAction::kStall;
+  if (op == spec_.sever_at) return FaultAction::kSever;
+  if (spec_.p_drop > 0.0 && rng_.next_double() < spec_.p_drop) {
+    return FaultAction::kDrop;
+  }
+  if (spec_.p_dup > 0.0 && rng_.next_double() < spec_.p_dup) {
+    return FaultAction::kDup;
+  }
+  if (spec_.p_stall > 0.0 && rng_.next_double() < spec_.p_stall) {
+    return FaultAction::kStall;
+  }
+  if (spec_.p_sever > 0.0 && rng_.next_double() < spec_.p_sever) {
+    return FaultAction::kSever;
+  }
+  return FaultAction::kNone;
+}
+
+}  // namespace kgdp::net

@@ -1,0 +1,96 @@
+// Deterministic network fault injection — the wire-layer sibling of
+// util::FaultInjector. Every frame that crosses the NDJSON transport
+// (client send, client receive, server send, server dispatch) is one
+// intercepted *op*; the process-wide injector decides its fate. It is
+// disarmed by default — one relaxed atomic load and a predicted branch
+// per op — and can be armed two ways:
+//
+//  * programmatically (the fleet-chaos tests): `arm(spec)` sweeps one
+//    fault across every send/recv site of the lease protocol, and the
+//    suite asserts the merged verdict stays bit-identical — the wire
+//    may lose, repeat, delay, or cut frames, but the epoch fence and
+//    reconnect machinery must absorb all of it;
+//  * via the environment (`KGDP_NET_FAULTS=seed:spec[,spec...]`), so
+//    shell drills can run a whole campaign under a lossy wire.
+//
+// Spec grammar (comma-separated items after the decimal seed):
+//   drop@N    swallow the Nth intercepted frame op (0-based): a sent
+//             frame is silently not sent, a received frame is discarded
+//   dup@N     the Nth op happens twice (frame sent or delivered twice)
+//   stall@N   the Nth op is delayed by kStallMs before proceeding
+//   sever@N   the connection carrying the Nth op is hard-closed
+//   drop=P / dup=P / stall=P / sever=P
+//             per-op probability in [0,1], drawn from the seeded rng
+//
+// All faults are deterministic given (seed, spec, op sequence), so a
+// failing sweep reproduces from its log line. Call sites implement the
+// action semantics; the injector only sequences and decides.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace kgdp::net {
+
+// What a call site must do with the current frame op.
+enum class FaultAction { kNone, kDrop, kDup, kStall, kSever };
+const char* to_string(FaultAction action);
+
+struct FaultSpec {
+  std::uint64_t seed = 1;
+  // One-shot faults by 0-based intercepted-op index; -1 = never.
+  std::int64_t drop_at = -1;
+  std::int64_t dup_at = -1;
+  std::int64_t stall_at = -1;
+  std::int64_t sever_at = -1;
+  // Per-op probabilities in [0, 1].
+  double p_drop = 0.0;
+  double p_dup = 0.0;
+  double p_stall = 0.0;
+  double p_sever = 0.0;
+
+  // Parses "seed:spec[,spec...]" (the KGDP_NET_FAULTS grammar). Returns
+  // nullopt on any malformed item.
+  static std::optional<FaultSpec> parse(const std::string& text);
+};
+
+class FaultInjector {
+ public:
+  // How long a kStall op sleeps. Long enough to reorder frames against
+  // heartbeat ticks, short enough that sweeping hundreds of ops stays
+  // inside a test budget.
+  static constexpr int kStallMs = 20;
+
+  // Process-wide instance; the first call arms from KGDP_NET_FAULTS if
+  // the variable is set and parses.
+  static FaultInjector& instance();
+
+  // (Re)arms with the given spec and resets the op counter and rng.
+  void arm(const FaultSpec& spec);
+  void disarm();
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  // Intercepted ops since the last arm().
+  std::uint64_t ops() const { return ops_.load(std::memory_order_relaxed); }
+
+  // Decides the fate of one frame op, consuming one op index. Disarmed
+  // it returns kNone without touching the counter.
+  FaultAction next_action();
+
+ private:
+  FaultInjector() = default;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> ops_{0};
+  FaultSpec spec_;
+  util::Rng rng_{1};
+  std::mutex mu_;
+};
+
+}  // namespace kgdp::net

@@ -5,7 +5,11 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <thread>
 #include <utility>
+
+#include "net/fault_inject.hpp"
 
 // Not every POSIX has MSG_NOSIGNAL; where it is missing the process-wide
 // ignore_sigpipe() in the daemon covers the same hole.
@@ -88,9 +92,39 @@ void FrameServer::on_io(std::uint64_t conn_id, short revents) {
       break;  // EAGAIN or error: stop reading for now
     }
     while (auto frame = c.reader.next()) {
-      if (on_frame_) on_frame_(conn_id, std::move(*frame));
-      if (conns_.find(conn_id) == conns_.end()) return;  // handler closed it
-      if (it->second->dead) break;
+      // One intercepted op per dispatched inbound frame (see
+      // net/fault_inject.hpp): drop skips the handler, dup invokes it
+      // twice, sever cuts the connection before the handler sees it.
+      int deliveries = 1;
+      if (FaultInjector::instance().enabled()) {
+        switch (FaultInjector::instance().next_action()) {
+          case FaultAction::kDrop:
+            deliveries = 0;
+            break;
+          case FaultAction::kDup:
+            deliveries = 2;
+            break;
+          case FaultAction::kStall:
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(FaultInjector::kStallMs));
+            break;
+          case FaultAction::kSever:
+            destroy(conn_id, /*notify=*/true);
+            return;
+          case FaultAction::kNone:
+            break;
+        }
+      }
+      bool conn_dead = false;
+      for (; deliveries > 0 && !conn_dead; --deliveries) {
+        if (on_frame_) {
+          on_frame_(conn_id, deliveries > 1 ? std::string(*frame)
+                                            : std::move(*frame));
+        }
+        if (conns_.find(conn_id) == conns_.end()) return;  // handler closed it
+        conn_dead = it->second->dead;
+      }
+      if (conn_dead) break;
     }
     if (c.reader.oversized()) {
       if (on_abuse_) on_abuse_(conn_id, "frame exceeds the size limit");
@@ -108,8 +142,32 @@ void FrameServer::send(std::uint64_t conn_id, const std::string& frame) {
   if (it == conns_.end()) return;
   Connection& c = *it->second;
   if (c.dead) return;
-  c.out += frame;
-  c.out += '\n';
+  // One intercepted op per outbound frame: drop swallows it (the
+  // caller believes it was queued, as with a lossy link), dup queues
+  // it twice, sever cuts the connection instead of replying.
+  int copies = 1;
+  if (FaultInjector::instance().enabled()) {
+    switch (FaultInjector::instance().next_action()) {
+      case FaultAction::kDrop:
+        return;
+      case FaultAction::kDup:
+        copies = 2;
+        break;
+      case FaultAction::kStall:
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(FaultInjector::kStallMs));
+        break;
+      case FaultAction::kSever:
+        destroy(conn_id, /*notify=*/true);
+        return;
+      case FaultAction::kNone:
+        break;
+    }
+  }
+  for (int i = 0; i < copies; ++i) {
+    c.out += frame;
+    c.out += '\n';
+  }
   if (c.out.size() - c.out_sent > config_.max_write_buffer) {
     // Stalled or abusive reader; cut it loose rather than buffer forever.
     destroy(conn_id, /*notify=*/true);

@@ -2,8 +2,11 @@
 // solver counter surfaces to `stats` bodies and verdict objects; v3
 // added the `route` method, the request-side `schema_version` field,
 // and serves every reply through the unified Envelope below; v4 added
-// the fleet `lease`/`lease.release` methods and the `stats` fleet block
-// — servers still accept v1..v3 requests on the wire).
+// the fleet `lease`/`lease.release` methods and the `stats` fleet
+// block; v5 added `fleet.join`/`fleet.leave` (elastic membership), the
+// durable-coordinator grant params `generation`/`refenced`, and their
+// `stats` fleet counters — servers still accept v1..v4 requests on the
+// wire).
 //
 // Transport: newline-delimited JSON frames (see docs/service.md for the
 // full schema reference). A request is one object:

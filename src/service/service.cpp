@@ -267,6 +267,41 @@ void Service::handle_frame(std::uint64_t conn, std::string frame) {
     handle_lease_release(conn, env);
     return;
   }
+  // Elastic-membership announcements (schema v5). The coordinator sends
+  // these over the worker connection: `fleet.join` when this daemon was
+  // attached to a live campaign, `fleet.leave` when it was asked to
+  // detach — the daemon then drains each lease session at its next
+  // chunk boundary (cursor handed back exactly as for a daemon-wide
+  // drain) while staying up for other clients.
+  if (env.method == "fleet.join") {
+    ++fleet_.workers_joined;
+    io::JsonObject body;
+    body["joined"] = true;
+    reply_terminal(conn, env.method, env.result(std::move(body)),
+                   Outcome::kOk, timer.seconds());
+    return;
+  }
+  if (env.method == "fleet.leave") {
+    ++fleet_.workers_left;
+    std::uint64_t draining = 0;
+    std::vector<std::string> idle;
+    for (auto& [sid, s] : sessions_) {
+      if (!s->is_lease || s->leave_drain) continue;
+      s->leave_drain = true;
+      ++draining;
+      if (!s->running_chunk && !s->cancelled) idle.push_back(sid);
+    }
+    for (const std::string& sid : idle) {
+      const auto it = sessions_.find(sid);
+      if (it != sessions_.end()) finalize_drained(*it->second);
+    }
+    io::JsonObject body;
+    body["leaving"] = true;
+    body["draining"] = draining;
+    reply_terminal(conn, env.method, env.result(std::move(body)),
+                   Outcome::kOk, timer.seconds());
+    return;
+  }
 
   std::string param_error;
   if (env.method == "construct") {
@@ -525,6 +560,10 @@ void Service::handle_stats(std::uint64_t conn, const Envelope& env) {
   fleet["leases_truncated"] = fleet_.truncated;
   fleet["leases_released"] = fleet_.released;
   fleet["stale_rejected"] = fleet_.stale_rejected;
+  fleet["coordinator_resumes"] = fleet_.coordinator_resumes;
+  fleet["leases_refenced"] = fleet_.leases_refenced;
+  fleet["workers_joined"] = fleet_.workers_joined;
+  fleet["workers_left"] = fleet_.workers_left;
   io::JsonArray active_leases;
   for (const auto& [sid, s] : sessions_) {
     if (!s->is_lease) continue;
@@ -821,7 +860,7 @@ void Service::handle_lease(std::uint64_t conn, const Envelope& env) {
   std::string param_error;
   const io::Json* params = env.params();
   std::int64_t n = 0, k = 0, max_faults = 0, begin = 0, end = 0, epoch = 0,
-               chunk = 0;
+               chunk = 0, generation = 0;
   std::string prune, lease_id, cursor;
   if (!param_int(params, "n", true, 0, 1, 1 << 20, &n, &param_error) ||
       !param_int(params, "k", true, 0, 1, 64, &k, &param_error) ||
@@ -835,6 +874,8 @@ void Service::handle_lease(std::uint64_t conn, const Envelope& env) {
       !param_int(params, "chunk", false,
                  static_cast<std::int64_t>(config_.default_chunk), 1,
                  INT64_MAX, &chunk, &param_error) ||
+      !param_int(params, "generation", false, 0, 0, INT64_MAX, &generation,
+                 &param_error) ||
       !param_string(params, "prune", "auto", &prune, &param_error) ||
       !param_string(params, "lease", "", &lease_id, &param_error) ||
       !param_string(params, "cursor", "", &cursor, &param_error)) {
@@ -911,6 +952,19 @@ void Service::handle_lease(std::uint64_t conn, const Envelope& env) {
   s->last_items_total = static_cast<std::uint64_t>(end - begin);
   ++fleet_.granted;
   if (!cursor.empty()) ++fleet_.resumed;
+  // Durable-coordinator markers (optional; absent pre-v5): a strictly
+  // higher generation means a restarted coordinator resumed its lease
+  // table from the crash checkpoint; refenced marks the one grant that
+  // re-fences a recovered lease at its post-resume epoch.
+  if (static_cast<std::uint64_t>(generation) > fleet_.last_generation_seen) {
+    if (generation > 0) ++fleet_.coordinator_resumes;
+    fleet_.last_generation_seen = static_cast<std::uint64_t>(generation);
+  }
+  const io::Json* refenced = params != nullptr ? params->find("refenced")
+                                               : nullptr;
+  if (refenced != nullptr && refenced->is_bool() && refenced->as_bool()) {
+    ++fleet_.leases_refenced;
+  }
 
   s->id = "s";
   s->id += std::to_string(next_session_++);
@@ -1147,7 +1201,7 @@ void Service::chunk_done(const std::string& sid, const std::string& error,
     finalize_done(s);
     return;
   }
-  if (draining_) {
+  if (draining_ || s.leave_drain) {
     finalize_drained(s);
     return;
   }

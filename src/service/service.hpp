@@ -137,6 +137,10 @@ class Service {
     std::uint64_t lease_epoch = 0;
     // Coordinator-streamed cursor to resume from (reassigned lease).
     std::string resume_cursor;
+    // fleet.leave accepted: the session drains at its next chunk
+    // boundary (cursor handed back, lease re-granted elsewhere) even
+    // though the daemon itself keeps serving.
+    bool leave_drain = false;
     // A lease.release that arrived while a chunk was in flight; applied
     // and answered (under its own envelope) at the chunk boundary.
     bool release_pending = false;
@@ -234,6 +238,16 @@ class Service {
     std::uint64_t truncated = 0;  // lease.release steals applied
     std::uint64_t released = 0;   // full releases (lease surrendered)
     std::uint64_t stale_rejected = 0;  // epoch-fenced frames refused
+    // Durable-coordinator visibility: grants arriving from a restarted
+    // coordinator incarnation / carrying a re-fence marker.
+    std::uint64_t coordinator_resumes = 0;  // new generations observed
+    std::uint64_t leases_refenced = 0;      // grants with refenced:true
+    // Elastic membership announcements (fleet.join / fleet.leave).
+    std::uint64_t workers_joined = 0;
+    std::uint64_t workers_left = 0;
+    // Highest grant `generation` seen; a strictly higher one counts a
+    // coordinator resume (generation 0 = first incarnation, not one).
+    std::uint64_t last_generation_seen = 0;
   } fleet_;
   // Solver engine counters absorbed from sessions as they are destroyed
   // (any terminal path); surfaced by `stats`. Live sessions are excluded

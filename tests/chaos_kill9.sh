@@ -1,9 +1,10 @@
 #!/bin/sh
 # kill-9 chaos drill for the durable-checkpoint layer.
 #
-#   chaos_kill9.sh <kgd_cli> campaign <kills> <workdir>
-#   chaos_kill9.sh <kgd_cli> daemon   <kills> <workdir>
-#   chaos_kill9.sh <kgd_cli> fleet    <kills> <workdir>
+#   chaos_kill9.sh <kgd_cli> campaign          <kills> <workdir>
+#   chaos_kill9.sh <kgd_cli> daemon            <kills> <workdir>
+#   chaos_kill9.sh <kgd_cli> fleet             <kills> <workdir>
+#   chaos_kill9.sh <kgd_cli> fleet-coordinator <kills> <workdir>
 #
 # campaign: SIGKILLs a live `campaign run` / `campaign resume` <kills>
 # times at staggered offsets, then resumes to completion and diffs the
@@ -17,6 +18,12 @@
 # coordinator must reassign the orphaned leases (resuming from their
 # last streamed cursors) and the final verdict lines must diff clean
 # against an uninterrupted single-node reference run.
+# fleet-coordinator: the other half of the fleet drill — the workers
+# stay up while the *coordinator* is SIGKILLed <kills> times mid-
+# campaign; each restart resumes from the durable lease-table
+# checkpoint (DIR/fleet.kgdp), re-fences every unfinished lease at a
+# higher epoch, and the final verdicts must diff clean against the
+# single-node reference.
 #
 # Grid/effort knobs (env, with defaults sized for CI):
 #   NMIN NMAX KMIN KMAX CHUNK  campaign grid and chunk size
@@ -255,10 +262,85 @@ fleet_drill() {
   echo "chaos_kill9: fleet verdicts identical after $landed worker kills"
 }
 
+# Starts (or, once DIR/checkpoint.kgdp exists, resumes) the fleet
+# campaign in the background; sets CAMP_PID.
+start_coordinator() {
+  if [ -f "$WORK/chaos/checkpoint.kgdp" ]; then
+    "$CLI" campaign resume --fleet="$1" --fleet-chunk="$FLEET_CHUNK" \
+      --lease-grain=4 --out="$WORK/chaos" >> "$WORK/fleet.log" 2>&1 &
+  else
+    "$CLI" campaign run --nmin="$NMIN" --nmax="$NMAX" --kmin="$KMIN" \
+      --kmax="$KMAX" --fleet="$1" --fleet-chunk="$FLEET_CHUNK" \
+      --lease-grain=4 --out="$WORK/chaos" >> "$WORK/fleet.log" 2>&1 &
+  fi
+  CAMP_PID=$!
+}
+
+fleet_coordinator_drill() {
+  echo "chaos_kill9: reference campaign run (uninterrupted, single node)"
+  "$CLI" campaign run --nmin="$NMIN" --nmax="$NMAX" --kmin="$KMIN" \
+    --kmax="$KMAX" --chunk="$CHUNK" --out="$WORK/ref" >/dev/null \
+    || fail "reference run failed"
+  "$CLI" campaign status --out="$WORK/ref" | grep -E "HOLDS|FAILS" \
+    > "$WORK/ref_verdicts.txt" || fail "reference produced no verdicts"
+
+  for w in 1 2; do start_worker "$w"; done
+  endpoints="unix:$WORK/w1.sock,unix:$WORK/w2.sock"
+
+  landed=0
+  done_early=0
+  i=0
+  while [ "$i" -lt "$KILLS" ]; do
+    start_coordinator "$endpoints"
+    sleep "$(kill_delay "$i")"
+    if kill -9 "$CAMP_PID" 2>/dev/null; then
+      landed=$((landed + 1))
+    else
+      done_early=1
+    fi
+    wait "$CAMP_PID" 2>/dev/null
+    i=$((i + 1))
+    echo "chaos_kill9: coordinator kill $i/$KILLS done"
+    [ "$done_early" -eq 1 ] && break
+  done
+
+  echo "chaos_kill9: final resumed coordinator to completion"
+  start_coordinator "$endpoints"
+  wait "$CAMP_PID"
+  rc=$?
+  for w in 1 2; do
+    pid=$(eval "echo \"\$W${w}_PID\"")
+    kill "$pid" 2>/dev/null
+    wait "$pid" 2>/dev/null
+  done
+  [ "$rc" -eq 0 ] || fail "fleet campaign exited $rc (see $WORK/fleet.log)"
+  [ "$landed" -ge 1 ] \
+    || fail "coordinator finished before any kill landed"
+  # The merge must have retired the durable lease table — a stale one
+  # could resurrect finished leases on the next campaign.
+  [ ! -f "$WORK/chaos/fleet.kgdp" ] \
+    || fail "lease checkpoint survived the merge"
+
+  "$CLI" campaign status --out="$WORK/chaos" | grep -E "HOLDS|FAILS" \
+    > "$WORK/chaos_verdicts.txt" || fail "fleet run produced no verdicts"
+  diff -u "$WORK/ref_verdicts.txt" "$WORK/chaos_verdicts.txt" \
+    || fail "fleet verdicts diverged after $landed coordinator kills"
+
+  # Whether a resume was mid-instance depends on where the kills landed
+  # relative to the first lease-table write; report, don't require.
+  n=$(grep -c '"resumed":true' "$WORK/chaos/telemetry.jsonl" \
+     2>/dev/null || true)
+  echo "chaos_kill9: telemetry mid-instance resumes: ${n:-0}"
+  echo "chaos_kill9: fleet verdicts identical after $landed" \
+    "coordinator kills"
+}
+
 case "$MODE" in
   campaign) campaign_drill ;;
   daemon) daemon_drill ;;
   fleet) fleet_drill ;;
-  *) fail "unknown mode: $MODE (want campaign|daemon|fleet)" ;;
+  fleet-coordinator) fleet_coordinator_drill ;;
+  *) fail "unknown mode: $MODE" \
+    "(want campaign|daemon|fleet|fleet-coordinator)" ;;
 esac
 echo "chaos_kill9: PASS ($MODE, $KILLS kills)"

@@ -9,14 +9,18 @@
 
 #include <chrono>
 #include <cstdint>
+#include <fstream>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "fault/orbit_enumerator.hpp"
+#include "fleet/checkpoint.hpp"
 #include "fleet/coordinator.hpp"
+#include "util/durable_file.hpp"
 #include "graph/automorphism.hpp"
 #include "io/json.hpp"
 #include "kgd/factory.hpp"
@@ -64,6 +68,49 @@ TEST(Backoff, BudgetClampsTheFinalSleepThenExhausts) {
   EXPECT_EQ(backoff.elapsed_ms(), 1000);
   EXPECT_FALSE(backoff.next_delay(&delay));  // budget cap, not attempts
   EXPECT_EQ(backoff.attempts(), 3);
+}
+
+TEST(Backoff, ZeroBudgetExhaustsBeforeTheFirstSleep) {
+  util::BackoffPolicy policy;
+  policy.initial_delay_ms = 100;
+  policy.max_attempts = 10;
+  policy.budget_ms = 0;
+  util::Backoff backoff(policy);
+  int delay = -1;
+  EXPECT_FALSE(backoff.next_delay(&delay));
+  EXPECT_EQ(delay, -1);  // never written
+  EXPECT_EQ(backoff.elapsed_ms(), 0);
+  EXPECT_EQ(backoff.attempts(), 1);  // the call that exhausted it
+}
+
+TEST(Backoff, BudgetSmallerThanTheFirstDelayClampsThenExhausts) {
+  util::BackoffPolicy policy;
+  policy.initial_delay_ms = 500;
+  policy.max_delay_ms = 10000;
+  policy.max_attempts = 10;
+  policy.budget_ms = 200;
+  util::Backoff backoff(policy);
+  int delay = 0;
+  ASSERT_TRUE(backoff.next_delay(&delay));
+  EXPECT_EQ(delay, 200);  // clamped to the whole budget at once
+  EXPECT_EQ(backoff.elapsed_ms(), 200);
+  EXPECT_FALSE(backoff.next_delay(&delay));
+  EXPECT_EQ(backoff.attempts(), 2);
+}
+
+TEST(Backoff, ExhaustionAtTheExactBudgetBoundary) {
+  util::BackoffPolicy policy;
+  policy.initial_delay_ms = 100;
+  policy.multiplier = 1.0;
+  policy.max_attempts = 10;
+  policy.budget_ms = 100;  // first sleep lands exactly on the budget
+  util::Backoff backoff(policy);
+  int delay = 0;
+  ASSERT_TRUE(backoff.next_delay(&delay));
+  EXPECT_EQ(delay, 100);
+  EXPECT_EQ(backoff.elapsed_ms(), 100);
+  EXPECT_FALSE(backoff.next_delay(&delay));  // remaining == 0, no sleep
+  EXPECT_EQ(backoff.attempts(), 2);
 }
 
 TEST(Backoff, ResetRestoresTheFullSchedule) {
@@ -235,9 +282,11 @@ TEST(Fleet, AllWorkersDownFailsTheRun) {
   config.reconnect.budget_ms = 50;
   config.poll_ms = 20;
   fleet::Coordinator coordinator(std::move(config));
+  // The typed error is the CLI's documented exit-4 path: every endpoint
+  // written off with leases outstanding and no listener for joiners.
   EXPECT_THROW(
       coordinator.run_instance(*sg, 6, 2, 2, verify::PruneMode::kAuto),
-      std::runtime_error);
+      fleet::AllWorkersDeadError);
 }
 
 // Polls a worker's `stats` until its live lease table shows streamed
@@ -449,6 +498,226 @@ TEST(Fleet, EpochFencingOnTheWire) {
   EXPECT_EQ(fleet_block->find("stale_rejected")->as_int(), 3);
   EXPECT_EQ(fleet_block->find("leases_granted")->as_int(), 2);
   EXPECT_EQ(fleet_block->find("leases_released")->as_int(), 1);
+}
+
+// --- Crash-resume and elastic membership ---------------------------------
+
+// Reads one integer out of a worker's `stats` fleet block.
+std::int64_t fleet_stat(WorkerDaemon& worker, const std::string& field) {
+  net::Client client = worker.connect();
+  io::JsonObject frame;
+  frame["method"] = std::string("stats");
+  frame["tag"] = std::string("fs");
+  std::string error;
+  EXPECT_TRUE(client.send_json(io::Json(std::move(frame)), &error)) << error;
+  auto reply = read_tagged(client, "fs", {"result", "error"});
+  if (!reply.has_value()) return -1;
+  const io::Json* fleet_block = reply->find("fleet");
+  if (fleet_block == nullptr) return -1;
+  const io::Json* value = fleet_block->find(field);
+  return value != nullptr ? value->as_int() : -1;
+}
+
+// The ISSUE acceptance drill: checkpoint a clean G(3,6) run, capturing
+// the exact bytes a SIGKILL after every lease-state transition would
+// leave on disk, then treat each snapshot as a crash site — restore it
+// and prove a fresh coordinator resumes to a bit-identical merge.
+TEST(Fleet, CrashResumeSweepIsBitIdentical) {
+  const auto sg = kgd::build_solution(3, 6);
+  ASSERT_TRUE(sg.has_value());
+  const verify::CheckResult reference = local_reference(*sg, 6);
+
+  WorkerDaemon worker(net::Endpoint::tcp("127.0.0.1", 0));
+  const std::string ckpt =
+      ::testing::TempDir() + "kgdp_fleet_resume.kgdp";
+  fleet::remove_fleet_checkpoint(ckpt);
+
+  std::vector<std::string> payloads;
+  std::mutex payloads_mu;
+  auto make_config = [&] {
+    fleet::FleetConfig config;
+    config.workers = {worker.endpoint()};
+    config.chunk = 4096;
+    config.lease_grain = 4;
+    config.checkpoint_path = ckpt;
+    return config;
+  };
+
+  {
+    fleet::FleetConfig config = make_config();
+    config.checkpoint_observer = [&](const std::string& payload) {
+      std::lock_guard<std::mutex> lock(payloads_mu);
+      payloads.push_back(payload);
+    };
+    fleet::Coordinator coordinator(std::move(config));
+    const fleet::InstanceOutcome out =
+        coordinator.run_instance(*sg, 3, 6, 6, verify::PruneMode::kAuto);
+    expect_identical(out.result, reference, "checkpointed clean run");
+    EXPECT_FALSE(out.resumed);
+    EXPECT_EQ(out.generation, 0u);
+  }
+  // The merge removed its own checkpoint; a stale table must never
+  // resurrect leases of a finished instance.
+  EXPECT_FALSE(std::ifstream(ckpt).good());
+  // Initial plan + at least grant/progress/done per lease.
+  ASSERT_GE(payloads.size(), 8u) << "checkpoint cadence collapsed";
+
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    const std::string tag = "snapshot " + std::to_string(i);
+    util::durable_write_file(ckpt, payloads[i]);
+    fleet::Coordinator coordinator(make_config());
+    const fleet::InstanceOutcome out =
+        coordinator.run_instance(*sg, 3, 6, 6, verify::PruneMode::kAuto);
+    expect_identical(out.result, reference, tag);
+    EXPECT_TRUE(out.resumed) << tag;
+    EXPECT_GE(out.generation, 1u) << tag;
+    EXPECT_FALSE(std::ifstream(ckpt).good()) << tag;
+  }
+}
+
+// A checkpoint for a different instance identity is ignored, not
+// misapplied: the run starts fresh and still merges correctly.
+TEST(Fleet, ForeignCheckpointIsIgnored) {
+  const auto sg = kgd::build_solution(6, 2);
+  ASSERT_TRUE(sg.has_value());
+  const std::string ckpt =
+      ::testing::TempDir() + "kgdp_fleet_foreign.kgdp";
+  fleet::FleetCheckpoint foreign;
+  foreign.n = 3;
+  foreign.k = 4;
+  foreign.max_faults = 4;
+  foreign.prune = "auto";
+  foreign.total = 999;
+  foreign.generation = 7;
+  fleet::save_fleet_checkpoint(ckpt, foreign);
+
+  WorkerDaemon worker(net::Endpoint::tcp("127.0.0.1", 0));
+  fleet::FleetConfig config;
+  config.workers = {worker.endpoint()};
+  config.checkpoint_path = ckpt;
+  fleet::Coordinator coordinator(std::move(config));
+  const fleet::InstanceOutcome out =
+      coordinator.run_instance(*sg, 6, 2, 2, verify::PruneMode::kAuto);
+  expect_identical(out.result, local_reference(*sg, 2), "foreign ckpt");
+  EXPECT_FALSE(out.resumed);
+  EXPECT_EQ(out.generation, 0u);
+  fleet::remove_fleet_checkpoint(ckpt);
+}
+
+TEST(Fleet, JoinedWorkerCompletesTheRun) {
+  const auto sg = kgd::build_solution(3, 4);
+  ASSERT_TRUE(sg.has_value());
+  WorkerDaemon joiner(net::Endpoint::tcp("127.0.0.1", 0));
+
+  fleet::FleetConfig config;
+  // Nobody at launch: with a registration listener open, an empty
+  // fleet waits for joiners instead of declaring itself dead.
+  config.listen = net::Endpoint::tcp("127.0.0.1", 0);
+  config.chunk = 64;
+  config.lease_grain = 2;
+  config.poll_ms = 20;
+  fleet::Coordinator coordinator(std::move(config));
+  ASSERT_GT(coordinator.listen_tcp_port(), 0);
+
+  fleet::InstanceOutcome out;
+  std::thread run([&] {
+    out = coordinator.run_instance(*sg, 3, 4, 4, verify::PruneMode::kAuto);
+  });
+  // Let the campaign go live (and sit idle) before the first member
+  // registers — the join provably lands mid-run.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  std::string error;
+  auto reg = net::Client::connect(
+      net::Endpoint::tcp("127.0.0.1", coordinator.listen_tcp_port()),
+      &error);
+  ASSERT_TRUE(reg.has_value()) << error;
+  io::JsonObject params;
+  params["endpoint"] = joiner.endpoint().to_string();
+  ASSERT_TRUE(reg->send_json(
+      request_frame("fleet.join", std::move(params), "j0"), &error))
+      << error;
+  auto joined = read_tagged(*reg, "j0", {"result", "error"});
+  ASSERT_TRUE(joined.has_value());
+  ASSERT_EQ(joined->find("type")->as_string(), "result");
+  EXPECT_TRUE(joined->find("joined")->as_bool());
+  EXPECT_EQ(joined->find("worker")->as_int(), 0);
+
+  // Re-joining the same endpoint is idempotent, not a second member.
+  io::JsonObject again;
+  again["endpoint"] = joiner.endpoint().to_string();
+  ASSERT_TRUE(reg->send_json(
+      request_frame("fleet.join", std::move(again), "j1"), &error));
+  auto dup = read_tagged(*reg, "j1", {"result", "error"});
+  ASSERT_TRUE(dup.has_value());
+  ASSERT_EQ(dup->find("type")->as_string(), "result");
+  EXPECT_TRUE(dup->find("already_member")->as_bool());
+
+  run.join();
+  expect_identical(out.result, local_reference(*sg, 4), "joined worker");
+  ASSERT_EQ(out.per_worker_solved.size(), 1u);
+  EXPECT_EQ(out.per_worker_solved[0], out.result.fault_sets_solved);
+  EXPECT_GE(out.per_worker_leases[0], 1u);
+  // The daemon heard the coordinator's announce and counted the join.
+  EXPECT_EQ(fleet_stat(joiner, "workers_joined"), 1);
+}
+
+TEST(Fleet, LeaveDrainsAtTheChunkBoundaryWithoutLosingSlots) {
+  const auto sg = kgd::build_solution(3, 4);
+  ASSERT_TRUE(sg.has_value());
+  WorkerDaemon stay(net::Endpoint::tcp("127.0.0.1", 0));
+  WorkerDaemon leaver(net::Endpoint::tcp("127.0.0.1", 0));
+
+  fleet::FleetConfig config;
+  config.workers = {stay.endpoint(), leaver.endpoint()};
+  config.listen = net::Endpoint::tcp("127.0.0.1", 0);
+  config.chunk = 1;  // a cursor per item: the drain hands back mid-lease
+  config.lease_grain = 2;
+  config.poll_ms = 20;
+  fleet::Coordinator coordinator(std::move(config));
+  ASSERT_GT(coordinator.listen_tcp_port(), 0);
+
+  fleet::InstanceOutcome out;
+  std::thread run([&] {
+    out = coordinator.run_instance(*sg, 3, 4, 4, verify::PruneMode::kAuto);
+  });
+
+  // Wait for the leaver to stream progress on its lease, then ask the
+  // coordinator to decommission it mid-lease.
+  EXPECT_GT(wait_for_lease_progress(leaver), 0u);
+  std::string error;
+  auto reg = net::Client::connect(
+      net::Endpoint::tcp("127.0.0.1", coordinator.listen_tcp_port()),
+      &error);
+  ASSERT_TRUE(reg.has_value()) << error;
+  io::JsonObject params;
+  params["endpoint"] = leaver.endpoint().to_string();
+  ASSERT_TRUE(reg->send_json(
+      request_frame("fleet.leave", std::move(params), "l0"), &error))
+      << error;
+  auto leaving = read_tagged(*reg, "l0", {"result", "error"});
+  ASSERT_TRUE(leaving.has_value());
+  ASSERT_EQ(leaving->find("type")->as_string(), "result");
+  EXPECT_TRUE(leaving->find("leaving")->as_bool());
+
+  // Leaving an endpoint that is not a member bounces as not_found.
+  io::JsonObject ghost;
+  ghost["endpoint"] = std::string("tcp:127.0.0.1:1");
+  ASSERT_TRUE(reg->send_json(
+      request_frame("fleet.leave", std::move(ghost), "l1"), &error));
+  auto missing = read_tagged(*reg, "l1", {"result", "error"});
+  ASSERT_TRUE(missing.has_value());
+  EXPECT_EQ(missing->find("code")->as_string(), "not_found");
+
+  run.join();
+  expect_identical(out.result, local_reference(*sg, 4), "leave drain");
+  // The drained lease was handed back at its cursor and finished by the
+  // survivor — no slot lost, no slot double-counted.
+  EXPECT_GE(out.leases_reassigned, 1u);
+  ASSERT_EQ(out.per_worker_solved.size(), 2u);
+  EXPECT_EQ(out.per_worker_solved[0] + out.per_worker_solved[1],
+            out.result.fault_sets_solved);
+  EXPECT_EQ(fleet_stat(leaver, "workers_left"), 1);
 }
 
 }  // namespace

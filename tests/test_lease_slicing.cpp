@@ -257,11 +257,57 @@ TEST(LeaseSlicing, MergeValidatesTheTiling) {
       std::invalid_argument);
   EXPECT_THROW(merge_lease_results(*sg, 2, PruneMode::kAuto, {}),
                std::invalid_argument);
+  // An exactly-duplicated lease (a grant replayed past the fence) is an
+  // overlap too — the merge must refuse to double-count it.
+  EXPECT_THROW(
+      merge_lease_results(*sg, 2, PruneMode::kAuto, {head, head, tail}),
+      std::invalid_argument);
   // Order independence: the merge sorts by begin.
   expect_identical(
       merge_lease_results(*sg, 2, PruneMode::kAuto, {tail, head}),
       merge_lease_results(*sg, 2, PruneMode::kAuto, {head, tail}),
       "order independence");
+}
+
+TEST(LeaseSlicing, ResumedRunRetilesTheRemainderBitIdentically) {
+  // The crash-resume shape: some leases finished before the crash and
+  // keep their checkpointed results verbatim; the orphaned middle lease
+  // resumes from its persisted cursor and is later truncated by a
+  // post-resume steal — so the final tiling mixes pre-crash and
+  // post-resume boundaries. The merge must not care.
+  const auto sg = kgd::build_solution(3, 4);
+  CheckSession full(*sg, CheckRequest::exhaustive(4));
+  full.run();
+  const std::uint64_t total = orbit_total(*sg, 4, PruneMode::kAuto);
+  ASSERT_GE(total, 16u);
+  const std::uint64_t a = total / 4;      // [0, a) done pre-crash
+  const std::uint64_t b = 3 * total / 4;  // [b, total) done pre-crash
+  const std::uint64_t m = (a + b) / 2;    // post-resume steal boundary
+
+  auto slice = [&](std::uint64_t begin, std::uint64_t end) {
+    CheckSession s(*sg, CheckRequest::exhaustive_slots(4, begin, end));
+    s.run();
+    return LeaseResult{begin, end, s.result()};
+  };
+
+  CheckSession orphan(*sg, CheckRequest::exhaustive_slots(4, a, b));
+  orphan.advance((m - a) / 2);  // crash site: cursor short of the cut
+  std::ostringstream cursor;
+  orphan.save(cursor);
+  CheckSession resumed(*sg, CheckRequest::exhaustive_slots(4, a, m));
+  std::istringstream in(cursor.str());
+  resumed.restore(in);
+  resumed.run();
+
+  std::vector<LeaseResult> parts;
+  parts.push_back(slice(0, a));
+  parts.push_back({a, m, resumed.result()});
+  parts.push_back(slice(m, b));
+  parts.push_back(slice(b, total));
+  expect_identical(
+      full.result(),
+      merge_lease_results(*sg, 4, PruneMode::kAuto, std::move(parts)),
+      "resumed re-tiling");
 }
 
 TEST(LeaseSlicing, SlotRequestsRejectMalformedRanges) {

@@ -18,6 +18,8 @@
 #include <thread>
 #include <vector>
 
+#include "fault/orbit_enumerator.hpp"
+#include "graph/automorphism.hpp"
 #include "io/json.hpp"
 #include "kgd/factory.hpp"
 #include "net/client.hpp"
@@ -1230,6 +1232,136 @@ TEST(Service, RequestSchemaVersionSkew) {
   const auto pong = roundtrip(client, request_frame("ping", {}));
   ASSERT_TRUE(pong.has_value());
   EXPECT_EQ(frame_type(*pong), "result");
+}
+
+TEST(Service, FleetMembershipAndResumeCountersOnStats) {
+  DaemonFixture fx;
+  net::Client client = fx.connect();
+
+  const auto sg = kgd::build_solution(6, 2);
+  ASSERT_TRUE(sg.has_value());
+  const std::uint64_t total =
+      fault::OrbitEnumerator(sg->num_nodes(), 2,
+                             graph::solution_automorphisms(*sg))
+          .num_orbits();
+
+  // Runs a whole lease to its `done` terminal, carrying the resume
+  // bookkeeping params a generation-N coordinator would stamp.
+  auto grant = [&](const std::string& lease, std::int64_t generation,
+                   bool refenced) {
+    io::JsonObject p;
+    p["n"] = 6;
+    p["k"] = 2;
+    p["max_faults"] = 2;
+    p["begin"] = std::uint64_t{0};
+    p["end"] = total;
+    p["chunk"] = std::uint64_t{512};
+    p["lease"] = lease;
+    p["epoch"] = std::uint64_t{1};
+    p["generation"] = generation;
+    if (refenced) p["refenced"] = true;
+    const auto done = roundtrip(client, request_frame("lease", std::move(p)));
+    ASSERT_TRUE(done.has_value()) << lease;
+    ASSERT_EQ(frame_type(*done), "result") << done->dump();
+    EXPECT_EQ(done->find("status")->as_string(), "done") << lease;
+  };
+
+  // A restarted coordinator shows up as a generation bump; replays of
+  // the same or an older generation must not count twice.
+  grant("L0", 2, true);   // resumes -> 1, refenced -> 1
+  grant("L1", 2, false);  // same generation: no new resume
+  grant("L2", 1, false);  // older: a replayed pre-crash grant
+  grant("L3", 3, true);   // next incarnation: resumes -> 2, refenced -> 2
+
+  const auto joined =
+      roundtrip(client, request_frame("fleet.join", {}, "j"));
+  ASSERT_TRUE(joined.has_value());
+  ASSERT_EQ(frame_type(*joined), "result");
+  EXPECT_TRUE(joined->find("joined")->as_bool());
+
+  // A leave with no lease sessions open acknowledges with nothing to
+  // drain.
+  const auto idle_leave =
+      roundtrip(client, request_frame("fleet.leave", {}, "l"));
+  ASSERT_TRUE(idle_leave.has_value());
+  ASSERT_EQ(frame_type(*idle_leave), "result");
+  EXPECT_TRUE(idle_leave->find("leaving")->as_bool());
+  EXPECT_EQ(idle_leave->find("draining")->as_int(), 0);
+
+  const auto stats = roundtrip(client, request_frame("stats", {}));
+  ASSERT_TRUE(stats.has_value());
+  const io::Json* fleet = stats->find("fleet");
+  ASSERT_NE(fleet, nullptr);
+  EXPECT_EQ(fleet->find("leases_granted")->as_int(), 4);
+  EXPECT_EQ(fleet->find("coordinator_resumes")->as_int(), 2);
+  EXPECT_EQ(fleet->find("leases_refenced")->as_int(), 2);
+  EXPECT_EQ(fleet->find("workers_joined")->as_int(), 1);
+  EXPECT_EQ(fleet->find("workers_left")->as_int(), 1);
+}
+
+TEST(Service, FleetLeaveDrainsOpenLeaseSessionsAtTheChunkBoundary) {
+  DaemonFixture fx;
+  net::Client worker = fx.connect();
+
+  // A long lease at a one-item chunk: ~29k boundaries, so the leave
+  // lands mid-sweep with enormous margin.
+  const auto sg = kgd::build_solution(3, 6);
+  ASSERT_TRUE(sg.has_value());
+  const std::uint64_t total =
+      fault::OrbitEnumerator(sg->num_nodes(), 6,
+                             graph::solution_automorphisms(*sg))
+          .num_orbits();
+  io::JsonObject p;
+  p["n"] = 3;
+  p["k"] = 6;
+  p["max_faults"] = 6;
+  p["begin"] = std::uint64_t{0};
+  p["end"] = total;
+  p["chunk"] = std::uint64_t{1};
+  p["lease"] = std::string("LD");
+  p["epoch"] = std::uint64_t{1};
+  std::string error;
+  ASSERT_TRUE(worker.send_json(request_frame("lease", std::move(p), "g"),
+                               &error))
+      << error;
+
+  // Wait until the sweep has streamed progress, then ask it to leave
+  // from a second connection.
+  net::Client observer = fx.connect();
+  bool streaming = false;
+  for (int i = 0; i < 6000 && !streaming; ++i) {
+    const auto stats = roundtrip(observer, request_frame("stats", {}));
+    ASSERT_TRUE(stats.has_value());
+    const io::Json* active = stats->find("fleet")->find("active");
+    if (active != nullptr && active->is_array()) {
+      for (const io::Json& lease : active->as_array()) {
+        const io::Json* done = lease.find("items_done");
+        if (done != nullptr && done->as_int() > 0) streaming = true;
+      }
+    }
+    if (!streaming) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(streaming) << "lease never streamed progress";
+
+  const auto leave =
+      roundtrip(observer, request_frame("fleet.leave", {}, "l"));
+  ASSERT_TRUE(leave.has_value());
+  ASSERT_EQ(frame_type(*leave), "result") << leave->dump();
+  EXPECT_EQ(leave->find("draining")->as_int(), 1);
+
+  // The lease stream ends `drained` at the next chunk boundary, cursor
+  // attached so the coordinator re-grants the remainder elsewhere.
+  while (true) {
+    auto frame = worker.read_json(kReadTimeoutMs, &error);
+    ASSERT_TRUE(frame.has_value()) << error;
+    if (!is_terminal_frame(*frame)) continue;
+    ASSERT_EQ(frame_type(*frame), "result") << frame->dump();
+    EXPECT_EQ(frame->find("status")->as_string(), "drained");
+    EXPECT_FALSE(frame->find("cursor")->as_string().empty());
+    EXPECT_LT(frame->find("items_done")->as_int(),
+              frame->find("items_total")->as_int());
+    break;
+  }
 }
 
 }  // namespace

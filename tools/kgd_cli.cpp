@@ -77,10 +77,16 @@ int usage() {
       "                  [--fleet=EP[,EP...]] [--fleet-chunk=N]\n"
       "                  [--lease-grain=G] [--min-steal=N]\n"
       "                  [--heartbeat-ms=MS] [--fleet-reconnect-ms=MS]\n"
+      "                  [--fleet-listen=EP]\n"
       "                  --fleet dispatches each exhaustive instance as\n"
       "                  shard leases over remote kgdd workers (each EP is\n"
       "                  unix:PATH or tcp:HOST:PORT; excludes --shard,\n"
-      "                  sampled mode, --threads, and --cache)\n"
+      "                  sampled mode, --threads, and --cache); the lease\n"
+      "                  table is checkpointed to DIR/fleet.kgdp, so a\n"
+      "                  killed coordinator resumes mid-instance;\n"
+      "                  --fleet-listen accepts live fleet.join/\n"
+      "                  fleet.leave registrations (--fleet may then be\n"
+      "                  empty); exit 4 = every worker written off\n"
       "  campaign resume --out=DIR [--threads=T] [--max-chunks=N]\n"
       "                  [--cache=N] [--fleet=EP[,EP...] ...]\n"
       "  campaign merge  --out=DIR <shard-checkpoint>...\n"
@@ -101,11 +107,13 @@ int usage() {
       "                  campaign.status|stats|cancel|ping|shutdown|lease|\n"
       "                  lease.release), print every reply frame\n"
       "  worker     --listen=unix:PATH|tcp:HOST:PORT [--threads=T]\n"
-      "             [--chunk=N] [--max-sessions=N]\n"
+      "             [--chunk=N] [--max-sessions=N] [--join=EP]\n"
       "                  run a fleet worker: a kgdd daemon tuned for\n"
       "                  coordinator-dispatched lease duty (no disk\n"
       "                  checkpoints — the coordinator re-leases from\n"
-      "                  streamed cursors on loss)\n");
+      "                  streamed cursors on loss); --join announces the\n"
+      "                  worker to a running coordinator's --fleet-listen\n"
+      "                  endpoint (fleet.leave is sent back on drain)\n");
   return 2;
 }
 
@@ -300,13 +308,30 @@ int drive_campaign_fleet(campaign::CampaignState state,
   }
   std::ofstream telemetry_out(out_dir + "/telemetry.jsonl", std::ios::app);
   campaign::TelemetryWriter telemetry(&telemetry_out);
+  // Durable lease table: a coordinator SIGKILLed mid-instance resumes
+  // the in-flight partition from here on the next run/resume.
+  fleet_config.checkpoint_path = out_dir + "/fleet.kgdp";
   fleet::Coordinator coordinator(std::move(fleet_config), &telemetry);
+  if (coordinator.listen_tcp_port() > 0) {
+    std::printf("fleet: registration listener on tcp port %d\n",
+                coordinator.listen_tcp_port());
+    std::fflush(stdout);
+  }
   campaign::FleetCampaignRunner runner(std::move(state),
                                        checkpoint_path(out_dir),
                                        &coordinator);
   util::StopSignal::instance().install();
-  const campaign::FleetRunOutcome outcome =
-      runner.run([] { return util::StopSignal::instance().requested(); });
+  campaign::FleetRunOutcome outcome;
+  try {
+    outcome =
+        runner.run([] { return util::StopSignal::instance().requested(); });
+  } catch (const fleet::AllWorkersDeadError& e) {
+    std::fprintf(stderr, "fleet: %s\n", e.what());
+    std::printf("campaign: ALL WORKERS DEAD (restart workers, then resume "
+                "with `kgd_cli campaign resume --out=%s --fleet=...`)\n",
+                out_dir.c_str());
+    return 4;
+  }
   std::fputs(campaign::status_summary(runner.state()).c_str(), stdout);
   std::printf("fleet: %llu instances over %d workers (%llu leases, "
               "%llu stolen, %llu reassigned, %llu worker losses)\n",
@@ -340,6 +365,7 @@ int cmd_campaign(int argc, char** argv) {
   if (sub == "run" || sub == "resume") {
     flags.flag("fleet").flag("fleet-chunk").flag("lease-grain");
     flags.flag("min-steal").flag("heartbeat-ms").flag("fleet-reconnect-ms");
+    flags.flag("fleet-listen");
   }
   if (sub == "run") {
     flags.flag("nmin").flag("nmax").flag("kmin").flag("kmax");
@@ -364,10 +390,23 @@ int cmd_campaign(int argc, char** argv) {
   // Fleet dispatch (run/resume): lease partitioning replaces both local
   // threading and shard specs, so those knobs conflict rather than
   // silently doing nothing.
-  const bool fleet_mode = flags.has("fleet");
+  const bool fleet_mode = flags.has("fleet") || flags.has("fleet-listen");
   fleet::FleetConfig fleet_config;
   if (fleet_mode) {
-    if (!parse_fleet_endpoints(flags.get("fleet"), &fleet_config.workers)) {
+    if (flags.has("fleet-listen")) {
+      // Elastic membership: workers fleet.join/fleet.leave here, so the
+      // initial --fleet list may be empty (the run waits for joiners).
+      const auto listen_ep = net::Endpoint::parse(flags.get("fleet-listen"));
+      if (!listen_ep) {
+        std::fprintf(stderr,
+                     "flag --fleet-listen: expected unix:PATH or "
+                     "tcp:HOST:PORT\n");
+        return usage();
+      }
+      fleet_config.listen = *listen_ep;
+    }
+    if (flags.has("fleet") &&
+        !parse_fleet_endpoints(flags.get("fleet"), &fleet_config.workers)) {
       std::fprintf(stderr,
                    "flag --fleet: expected a comma-separated list of "
                    "unix:PATH|tcp:HOST:PORT endpoints\n");
@@ -819,9 +858,73 @@ int cmd_serve(int argc, char** argv) {
 // streamed cursors) and no verdict cache (cache hits would perturb the
 // per-lease solve counters that fleet accounting reports; the service
 // never attaches the cache to lease sessions anyway).
+// One registration round-trip against a coordinator's --fleet-listen
+// endpoint (`fleet.join` on startup, `fleet.leave` on drain): dials with
+// a short bounded backoff, sends {method, params:{endpoint}}, and waits
+// for the terminal result/error frame. Returns false (with a logged
+// reason) on any failure — registration is advisory, so the worker
+// keeps serving either way.
+bool register_with_coordinator(const net::Endpoint& coordinator,
+                               const std::string& method,
+                               const std::string& self_endpoint) {
+  util::BackoffPolicy policy;
+  policy.budget_ms = 10000;
+  policy.max_attempts = 20;
+  util::Backoff backoff(policy);
+  std::optional<net::Client> client;
+  std::string error;
+  while (true) {
+    client = net::Client::connect(coordinator, &error);
+    if (client.has_value()) break;
+    int delay_ms = 0;
+    if (!backoff.next_delay(&delay_ms)) {
+      std::fprintf(stderr, "worker: %s: cannot reach coordinator %s: %s\n",
+                   method.c_str(), coordinator.to_string().c_str(),
+                   error.c_str());
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  io::JsonObject params;
+  params["endpoint"] = self_endpoint;
+  io::JsonObject frame;
+  frame["method"] = method;
+  frame["params"] = io::Json(std::move(params));
+  frame["schema_version"] = io::kSchemaVersion;
+  if (!client->send_line(io::Json(std::move(frame)).dump(), &error)) {
+    std::fprintf(stderr, "worker: %s: send failed: %s\n", method.c_str(),
+                 error.c_str());
+    return false;
+  }
+  const net::Client::ReadResult res = client->read_frame(5000);
+  if (res.status != net::ReadStatus::kOk) {
+    std::fprintf(stderr, "worker: %s: no reply from coordinator (%s)\n",
+                 method.c_str(), net::to_string(res.status));
+    return false;
+  }
+  try {
+    const io::Json reply = io::Json::parse(res.frame);
+    if (const io::Json* type = reply.find("type");
+        type != nullptr && type->is_string() && type->as_string() == "error") {
+      const io::Json* msg = reply.find("message");
+      std::fprintf(stderr, "worker: %s rejected: %s\n", method.c_str(),
+                   msg != nullptr && msg->is_string()
+                       ? msg->as_string().c_str()
+                       : res.frame.c_str());
+      return false;
+    }
+  } catch (const io::JsonParseError& e) {
+    std::fprintf(stderr, "worker: %s: bad reply: %s\n", method.c_str(),
+                 e.what());
+    return false;
+  }
+  return true;
+}
+
 int cmd_worker(int argc, char** argv) {
   util::FlagParser flags;
   flags.flag("listen").flag("threads").flag("chunk").flag("max-sessions");
+  flags.flag("join");
   if (!flags.parse(argc, argv, 2)) return flag_error(flags);
 
   service::DaemonConfig config;
@@ -847,6 +950,17 @@ int cmd_worker(int argc, char** argv) {
   config.service.cache_entries = 0;
   config.service.atlas_entries = 0;
 
+  std::optional<net::Endpoint> coordinator;
+  if (flags.has("join")) {
+    coordinator = net::Endpoint::parse(flags.get("join"));
+    if (!coordinator) {
+      std::fprintf(stderr,
+                   "worker: --join=unix:PATH|tcp:HOST:PORT names the "
+                   "coordinator's --fleet-listen endpoint\n");
+      return usage();
+    }
+  }
+
   try {
     service::Daemon daemon(std::move(config));
     if (ep->kind == net::Endpoint::Kind::kUnix) {
@@ -857,7 +971,29 @@ int cmd_worker(int argc, char** argv) {
                   daemon.tcp_port());
     }
     std::fflush(stdout);
-    daemon.run();
+    if (coordinator.has_value()) {
+      // Elastic membership: announce our serving endpoint (resolving an
+      // ephemeral TCP port to the bound one) so the coordinator dials
+      // back and starts granting leases.
+      net::Endpoint self = *ep;
+      if (self.kind == net::Endpoint::Kind::kTcp && self.port == 0) {
+        self.port = daemon.tcp_port();
+      }
+      if (register_with_coordinator(*coordinator, "fleet.join",
+                                    self.to_string())) {
+        std::printf("kgdd worker: joined fleet at %s\n",
+                    coordinator->to_string().c_str());
+        std::fflush(stdout);
+      }
+      daemon.run();
+      // Best-effort detach: lease sessions have already drained their
+      // cursors back; fleet.leave just spares the coordinator a
+      // reconnect storm against a gone worker.
+      register_with_coordinator(*coordinator, "fleet.leave",
+                                self.to_string());
+    } else {
+      daemon.run();
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "worker: %s\n", e.what());
     return 1;
