@@ -3,13 +3,16 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
+#include <thread>
 
 #include "fault/enumerator.hpp"
 #include "io/json.hpp"
 #include "kgd/labeled_graph.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
+#include "verify/batch_kernels.hpp"
 #include "verify/checker.hpp"
 
 namespace kgdp::bench {
@@ -18,11 +21,50 @@ inline void banner(const std::string& title) {
   std::printf("\n=== %s ===\n\n", title.c_str());
 }
 
+// Host description embedded in every bench record so the perf trajectory
+// is comparable across runs and machines: CPU model (best-effort from
+// /proc/cpuinfo), logical core count, and the ISA batch kernels this
+// build+CPU can actually run (from the kernel registry, so it reflects
+// compiled-AND-runnable, not just CPUID flags).
+inline io::JsonObject machine_info() {
+  io::JsonObject m;
+  std::string model = "unknown";
+#if defined(__linux__)
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    const auto pos = line.find(':');
+    if (pos != std::string::npos &&
+        line.compare(0, 10, "model name") == 0) {
+      const auto start = line.find_first_not_of(" \t", pos + 1);
+      if (start != std::string::npos) model = line.substr(start);
+      break;
+    }
+  }
+#endif
+  m["cpu_model"] = model;
+  m["cores"] = static_cast<std::int64_t>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  io::JsonArray isa;
+  for (const auto& e : verify::detail::batch_kernel_registry()) {
+    if (e.kernel.isa != verify::detail::KernelIsa::kPortable && e.runnable) {
+      isa.push_back(std::string(verify::detail::isa_name(e.kernel.isa)));
+    }
+  }
+  m["isa_features"] = std::move(isa);
+  return m;
+}
+
 // Machine-readable benchmark record (BENCH_*.json): pretty-printed,
-// schema_version-stamped, written atomically enough for CI consumption
-// (whole-string single write). Returns false on I/O failure.
-inline bool write_bench_json(const std::string& path, io::JsonObject fields) {
+// schema_version-stamped, tagged with the bench name and host metadata,
+// written atomically enough for CI consumption (whole-string single
+// write). Returns false on I/O failure.
+inline bool write_bench_json(const std::string& path,
+                             const std::string& bench_name,
+                             io::JsonObject fields) {
   fields["schema_version"] = io::kSchemaVersion;
+  fields["bench_name"] = bench_name;
+  fields["machine"] = machine_info();
   std::ofstream out(path);
   if (!out) return false;
   out << io::Json(std::move(fields)).dump(2) << '\n';

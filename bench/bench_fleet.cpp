@@ -193,7 +193,7 @@ int run_main(std::uint64_t chunk, std::uint64_t grain,
     fields["chunk"] = chunk;
     fields["lease_grain"] = grain;
     fields["rows"] = std::move(rows);
-    if (!bench::write_bench_json(json_path, std::move(fields))) {
+    if (!bench::write_bench_json(json_path, "bench_fleet", std::move(fields))) {
       std::fprintf(stderr, "FATAL: cannot write %s\n", json_path.c_str());
       return 2;
     }

@@ -300,7 +300,7 @@ int main(int argc, char** argv) {
                   net::Endpoint::tcp("127.0.0.1", 0), smoke);
 
   if (!json_path.empty()) {
-    if (!bench::write_bench_json(json_path, std::move(g_json))) {
+    if (!bench::write_bench_json(json_path, "bench_service", std::move(g_json))) {
       std::fprintf(stderr, "FATAL: cannot write %s\n", json_path.c_str());
       return 1;
     }

@@ -6,17 +6,24 @@
 // Besides the google-benchmark suite, this binary has a perf-tracking
 // mode (X-SOLVER): with no gbench filter flags it measures the Figure 14
 // instance single-core and, given --json=PATH, records the result as
-// machine-readable BENCH_verify.json; --smoke=BUDGET.json compares the
-// measurement against a checked-in budget and exits nonzero on
-// regression beyond --tolerance (a multiplier; default 1.25, use a
-// generous value on shared/noisy runners).
+// machine-readable BENCH_verify.json; --threads=1,2,4 additionally runs
+// the multi-core batch sweep at each listed thread count and emits one
+// `mt` JSON row per point (--pin pins workers to cores for the sweep);
+// --smoke=BUDGET.json compares the measurement against a checked-in
+// budget and exits nonzero on regression beyond --tolerance (a
+// multiplier; default 1.25, use a generous value on shared/noisy
+// runners), replaying a 2-thread sweep against the budget's mt rows
+// under --mt-tolerance. A missing or unparsable budget exits 4 — a
+// distinct code so CI can tell "stale checkout" from "perf regression".
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "kgd/factory.hpp"
@@ -180,13 +187,22 @@ struct Fig14Measurement {
 };
 
 // The Figure 14 instance: G(22,4), 66,712 fault sets, trivial label-
-// respecting group (no orbit pruning), single-core sequential sweep —
-// the purest measure of raw solver throughput.
-Fig14Measurement measure_figure14(int reps) {
+// respecting group (no orbit pruning). threads == 1 runs the single-core
+// sequential sweep — the purest measure of raw solver throughput;
+// threads > 1 runs the work-stealing batched sweep over a pool of that
+// size (optionally pinned), which is what the thread-scaling rows
+// measure. Verdicts are thread-count-independent, so every point
+// certifies the same instance.
+Fig14Measurement measure_figure14(int reps, unsigned threads, bool pin) {
   const auto sg = kgd::build_solution(22, 4);
   verify::CheckRequest req;
   req.mode = verify::CheckMode::kExhaustive;
   req.max_faults = 4;
+  std::unique_ptr<util::ThreadPool> pool;
+  if (threads > 1) {
+    pool = std::make_unique<util::ThreadPool>(threads, pin);
+    req.options.pool = pool.get();
+  }
   Fig14Measurement m;
   for (int r = 0; r < reps; ++r) {
     verify::CheckSession session(*sg, req);
@@ -206,17 +222,90 @@ Fig14Measurement measure_figure14(int reps) {
   return m;
 }
 
+struct MtPoint {
+  unsigned threads = 1;
+  double seconds = 0.0;
+  double ns_per_solve = 0.0;
+  double throughput = 0.0;  // fault sets (incl. pruned) per second
+  double solves_per_s = 0.0;
+};
+
+MtPoint measure_mt_point(int reps, unsigned threads, bool pin) {
+  const Fig14Measurement m = measure_figure14(reps, threads, pin);
+  MtPoint p;
+  p.threads = threads;
+  p.seconds = m.best_seconds;
+  p.ns_per_solve =
+      m.best_seconds * 1e9 / static_cast<double>(m.result.fault_sets_solved);
+  p.throughput =
+      static_cast<double>(m.result.fault_sets_checked) / m.best_seconds;
+  p.solves_per_s =
+      static_cast<double>(m.result.fault_sets_solved) / m.best_seconds;
+  return p;
+}
+
+// Distinct exit code for "the checked-in budget is missing or not JSON":
+// CI must be able to tell a stale/fresh checkout from a genuine perf
+// regression (exit 1) or a measurement failure (exit 2).
+constexpr int kBadBudgetExit = 4;
+
 int run_perf_mode(const std::string& json_path, const std::string& smoke_path,
-                  double tolerance, int reps) {
-  const Fig14Measurement m = measure_figure14(reps);
+                  double tolerance, double mt_tolerance, int reps,
+                  const std::vector<unsigned>& thread_sweep, bool pin) {
+  // Load and validate the smoke budget before measuring anything: a
+  // missing or corrupt checkout should fail in milliseconds with the
+  // distinct exit code, not after a multi-second sweep.
+  io::Json budget;
+  if (!smoke_path.empty()) {
+    std::ifstream in(smoke_path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    if (!in) {
+      std::fprintf(stderr,
+                   "FATAL: perf budget %s is missing or unreadable — "
+                   "run `bench_verify_scaling --json=%s` to regenerate it\n",
+                   smoke_path.c_str(), smoke_path.c_str());
+      return kBadBudgetExit;
+    }
+    try {
+      budget = io::Json::parse(buf.str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "FATAL: perf budget %s is not valid JSON (%s) — "
+                   "run `bench_verify_scaling --json=%s` to regenerate it\n",
+                   smoke_path.c_str(), e.what(), smoke_path.c_str());
+      return kBadBudgetExit;
+    }
+    const io::Json* budget_ns = budget.find("ns_per_solve");
+    if (budget_ns == nullptr || !budget_ns->is_number()) {
+      std::fprintf(stderr,
+                   "FATAL: perf budget %s lacks a numeric ns_per_solve — "
+                   "run `bench_verify_scaling --json=%s` to regenerate it\n",
+                   smoke_path.c_str(), smoke_path.c_str());
+      return kBadBudgetExit;
+    }
+  }
+
+  const Fig14Measurement m = measure_figure14(reps, 1, false);
   const double ns_per_solve =
       m.best_seconds * 1e9 / static_cast<double>(m.result.fault_sets_solved);
   const double throughput =
       static_cast<double>(m.result.fault_sets_checked) / m.best_seconds;
   std::printf("X-SOLVER figure-14 G(22,4): %llu fault sets, %.0f ns/solve, "
-              "%.0f fault-sets/s (best of %d)\n",
+              "%.0f fault-sets/s (best of %d, kernel %s w%d %s)\n",
               static_cast<unsigned long long>(m.result.fault_sets_checked),
-              ns_per_solve, throughput, reps);
+              ns_per_solve, throughput, reps, m.result.solver_kernel_name,
+              m.result.solver_kernel_width, m.result.solver_kernel_isa);
+
+  std::vector<MtPoint> mt;
+  for (const unsigned t : thread_sweep) {
+    const MtPoint p = measure_mt_point(reps, t, pin);
+    mt.push_back(p);
+    std::printf("X-SOLVER-MT threads=%u%s: %.3fs, %.0f ns/solve, "
+                "%.0f solves/s, %.0f fault-sets/s\n",
+                p.threads, pin ? " (pinned)" : "", p.seconds, p.ns_per_solve,
+                p.solves_per_s, p.throughput);
+  }
 
   if (!json_path.empty()) {
     io::JsonObject fields;
@@ -230,7 +319,25 @@ int run_perf_mode(const std::string& json_path, const std::string& smoke_path,
     fields["solver_search_nodes"] = m.result.solver_search_nodes;
     fields["solver_walk_hits"] = m.result.solver_walk_hits;
     fields["solver_walk_fallbacks"] = m.result.solver_walk_fallbacks;
-    if (!bench::write_bench_json(json_path, std::move(fields))) {
+    fields["kernel_name"] = std::string(m.result.solver_kernel_name);
+    fields["kernel_width"] = m.result.solver_kernel_width;
+    fields["kernel_isa"] = std::string(m.result.solver_kernel_isa);
+    if (!mt.empty()) {
+      io::JsonArray rows;
+      for (const MtPoint& p : mt) {
+        io::JsonObject row;
+        row["threads"] = static_cast<std::int64_t>(p.threads);
+        row["pinned"] = pin;
+        row["seconds"] = p.seconds;
+        row["ns_per_solve"] = p.ns_per_solve;
+        row["throughput"] = p.throughput;
+        row["solves_per_s"] = p.solves_per_s;
+        rows.push_back(std::move(row));
+      }
+      fields["mt"] = std::move(rows);
+    }
+    if (!bench::write_bench_json(json_path, "bench_verify_scaling",
+                                 std::move(fields))) {
       std::fprintf(stderr, "FATAL: cannot write %s\n", json_path.c_str());
       return 2;
     }
@@ -238,21 +345,7 @@ int run_perf_mode(const std::string& json_path, const std::string& smoke_path,
   }
 
   if (!smoke_path.empty()) {
-    std::ifstream in(smoke_path);
-    std::stringstream buf;
-    buf << in.rdbuf();
-    if (!in) {
-      std::fprintf(stderr, "FATAL: cannot read budget %s\n",
-                   smoke_path.c_str());
-      return 2;
-    }
-    const io::Json budget = io::Json::parse(buf.str());
     const io::Json* budget_ns = budget.find("ns_per_solve");
-    if (budget_ns == nullptr) {
-      std::fprintf(stderr, "FATAL: %s lacks ns_per_solve\n",
-                   smoke_path.c_str());
-      return 2;
-    }
     const double allowed = budget_ns->as_double() * tolerance;
     std::printf("perf smoke: %.0f ns/solve measured vs %.0f budget "
                 "(%.0f allowed at tolerance %.2f)\n",
@@ -260,6 +353,35 @@ int run_perf_mode(const std::string& json_path, const std::string& smoke_path,
     if (ns_per_solve > allowed) {
       std::fprintf(stderr, "PERF REGRESSION: ns/solve above budget\n");
       return 1;
+    }
+    // 2-thread replay against the budget's mt rows, under its own
+    // tolerance (thread scheduling is noisier than a sequential sweep).
+    // Budgets written before the mt rows existed skip the replay.
+    const io::Json* budget_mt = budget.find("mt");
+    const io::Json* mt2 = nullptr;
+    if (budget_mt != nullptr && budget_mt->is_array()) {
+      for (const io::Json& row : budget_mt->as_array()) {
+        const io::Json* t = row.find("threads");
+        if (t != nullptr && t->is_int() && t->as_int() == 2) {
+          mt2 = row.find("ns_per_solve");
+          break;
+        }
+      }
+    }
+    if (mt2 != nullptr && mt2->is_number()) {
+      const MtPoint p = measure_mt_point(reps, 2, pin);
+      const double mt_allowed = mt2->as_double() * mt_tolerance;
+      std::printf("perf smoke (2-thread): %.0f ns/solve measured vs %.0f "
+                  "budget (%.0f allowed at tolerance %.2f)\n",
+                  p.ns_per_solve, mt2->as_double(), mt_allowed, mt_tolerance);
+      if (p.ns_per_solve > mt_allowed) {
+        std::fprintf(stderr,
+                     "PERF REGRESSION: 2-thread ns/solve above budget\n");
+        return 1;
+      }
+    } else {
+      std::printf("perf smoke: budget has no 2-thread mt row; replay "
+                  "skipped\n");
     }
     std::printf("perf smoke: OK\n");
   }
@@ -271,7 +393,10 @@ int run_perf_mode(const std::string& json_path, const std::string& smoke_path,
 int main(int argc, char** argv) {
   std::string json_path, smoke_path;
   double tolerance = 1.25;
+  double mt_tolerance = 3.0;
   int reps = 3;
+  std::vector<unsigned> thread_sweep;
+  bool pin = false;
   // Strip our flags before handing the rest to google-benchmark.
   int out = 1;
   for (int i = 1; i < argc; ++i) {
@@ -282,15 +407,33 @@ int main(int argc, char** argv) {
       smoke_path = arg.substr(8);
     } else if (arg.rfind("--tolerance=", 0) == 0) {
       tolerance = std::stod(arg.substr(12));
+    } else if (arg.rfind("--mt-tolerance=", 0) == 0) {
+      mt_tolerance = std::stod(arg.substr(15));
     } else if (arg.rfind("--reps=", 0) == 0) {
       reps = std::stoi(arg.substr(7));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      // Comma-separated thread counts, e.g. --threads=1,2,4,8.
+      std::stringstream list(arg.substr(10));
+      std::string item;
+      while (std::getline(list, item, ',')) {
+        const int t = std::stoi(item);
+        if (t < 1) {
+          std::fprintf(stderr, "FATAL: bad thread count '%s'\n",
+                       item.c_str());
+          return 2;
+        }
+        thread_sweep.push_back(static_cast<unsigned>(t));
+      }
+    } else if (arg == "--pin") {
+      pin = true;
     } else {
       argv[out++] = argv[i];
     }
   }
   argc = out;
-  if (!json_path.empty() || !smoke_path.empty()) {
-    return run_perf_mode(json_path, smoke_path, tolerance, reps);
+  if (!json_path.empty() || !smoke_path.empty() || !thread_sweep.empty()) {
+    return run_perf_mode(json_path, smoke_path, tolerance, mt_tolerance, reps,
+                         thread_sweep, pin);
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -623,7 +623,7 @@ bool HamiltonianSolver::posa_masked(std::uint64_t allowed,
 bool HamiltonianSolver::walk_masked(std::span<const std::uint64_t> adj_rows,
                                     std::uint64_t allowed,
                                     std::uint64_t starts, std::uint64_t ends,
-                                    std::uint64_t seed) {
+                                    std::uint64_t seed, int first_start) {
   const int n_all = static_cast<int>(adj_rows.size());
   assert(n_all >= 1 && n_all <= 64);
   const std::uint64_t full =
@@ -644,13 +644,19 @@ bool HamiltonianSolver::walk_masked(std::span<const std::uint64_t> adj_rows,
   constexpr int kRestarts = 3;
   WalkRng rng{seed ? seed : 0x243f6a8885a308d3ULL};
   const int ns = std::popcount(starts);
+  // A batch kernel may hand in the restart-0 start (lowest start bit,
+  // computed lane-parallel). It must agree with the scalar derivation —
+  // the walk stays a pure function of (rows, allowed, starts, ends,
+  // seed) either way.
+  assert(first_start < 0 || first_start == std::countr_zero(starts));
+  const int start0 =
+      first_start >= 0 ? first_start : std::countr_zero(starts);
 
   int* const pos = walk_pos_;
   Node* const path = walk_path_;
   for (int r = 0; r < kRestarts; ++r) {
     // First try the lowest start deterministically; later restarts draw.
-    const int start = r == 0 ? std::countr_zero(starts)
-                             : select_bit(starts, rng.next() % ns);
+    const int start = r == 0 ? start0 : select_bit(starts, rng.next() % ns);
     std::uint64_t rem = allowed & ~(std::uint64_t{1} << start);
     int len = 1;
     int steps = 0;

@@ -83,9 +83,16 @@ class HamiltonianSolver {
   // walk is deterministic in (rows, allowed, starts, ends, seed), so
   // verdict streams stay independent of batching and thread schedule.
   // Allocation-free: fixed 64-entry scratch, path copied into stack_.
+  //
+  // `first_start` >= 0 supplies the restart-0 start node precomputed by
+  // a batch setup kernel (the lowest bit of `starts` after masking);
+  // the walk would derive the same node itself, so passing it only
+  // moves the endpoint selection into the lane-parallel phase. -1 keeps
+  // the scalar derivation.
   bool walk_masked(std::span<const std::uint64_t> adj_rows,
                    std::uint64_t allowed, std::uint64_t starts,
-                   std::uint64_t ends, std::uint64_t seed);
+                   std::uint64_t ends, std::uint64_t seed,
+                   int first_start = -1);
 
   // Total DFS expansions across all calls (for the scaling bench and the
   // solver perf-counter layer).

@@ -24,10 +24,13 @@ namespace kgdp::io {
 // `schema_version` field; v4 added the fleet `lease`/`lease.release`
 // methods and the `stats` fleet block; v5 added the elastic-membership
 // `fleet.join`/`fleet.leave` methods, the durable-coordinator grant
-// params (`generation`, `refenced`), and their `stats` fleet counters.
+// params (`generation`, `refenced`), and their `stats` fleet counters;
+// v6 added `bench_name`/`machine` metadata to BENCH_*.json records, the
+// solver `kernel` block in `stats`/telemetry, and the `mt` thread-sweep
+// rows in BENCH_verify.json.
 // Readers stay backward compatible: artifact loaders and the daemon
 // accept any version in [1, kSchemaVersion].
-inline constexpr int kSchemaVersion = 5;
+inline constexpr int kSchemaVersion = 6;
 
 // Thrown by Json::parse on malformed input; `offset` is the byte
 // position the parser rejected.

@@ -2,15 +2,40 @@
 
 #include <algorithm>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace kgdp::util {
 
-ThreadPool::ThreadPool(unsigned threads) {
+namespace {
+
+// Best-effort affinity: pin `handle` to one core. Failure (cgroup cpuset
+// restrictions, exotic kernels) is ignored — pinning is a perf hint, the
+// pool is correct either way.
+void pin_to_core(std::thread& handle, unsigned core) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(core % std::max(1u, std::thread::hardware_concurrency()), &set);
+  pthread_setaffinity_np(handle.native_handle(), sizeof(set), &set);
+#else
+  (void)handle;
+  (void)core;
+#endif
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned threads, bool pin) {
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
+    if (pin) pin_to_core(workers_.back(), i);
   }
 }
 

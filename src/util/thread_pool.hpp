@@ -17,8 +17,12 @@ namespace kgdp::util {
 
 class ThreadPool {
  public:
-  // `threads == 0` means hardware_concurrency (at least 1).
-  explicit ThreadPool(unsigned threads = 0);
+  // `threads == 0` means hardware_concurrency (at least 1). With `pin`
+  // set each worker i is pinned to core i % hardware_concurrency
+  // (Linux; a no-op elsewhere), which stops the scheduler migrating
+  // workers mid-sweep — measurable on the multi-core batch sweep, where
+  // a migration costs the worker its warm solver scratch and L1/L2.
+  explicit ThreadPool(unsigned threads = 0, bool pin = false);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;

@@ -36,6 +36,14 @@ void batch_setup_w8(const std::uint64_t* rows, int n, std::uint64_t proc_mask,
                      count, out);
 }
 
+void batch_setup_w16(const std::uint64_t* rows, int n, std::uint64_t proc_mask,
+                     std::uint64_t input_mask, std::uint64_t output_mask,
+                     const std::uint64_t* fault_masks, std::size_t count,
+                     LaneSetup* out) {
+  run_batch_setup<16>(rows, n, proc_mask, input_mask, output_mask, fault_masks,
+                      count, out);
+}
+
 namespace {
 
 bool cpu_has_avx2() {
@@ -46,21 +54,99 @@ bool cpu_has_avx2() {
 #endif
 }
 
+bool cpu_has_avx512f() {
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+  return __builtin_cpu_supports("avx512f") != 0;
+#else
+  return false;
+#endif
+}
+
+bool cpu_has_neon() {
+  // NEON is architecturally mandatory on aarch64; the kernel TU compiles
+  // to a stub everywhere else, so compiled implies runnable.
+#if defined(__aarch64__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+BatchKernelEntry make_entry(BatchSetupFn fn, int width, const char* name,
+                            KernelIsa isa, bool cpu_ok) {
+  BatchKernelEntry e;
+  e.kernel = {fn, width, name, isa};
+  e.compiled = fn != nullptr;
+  e.runnable = e.compiled && cpu_ok;
+  return e;
+}
+
 }  // namespace
+
+const char* isa_name(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kPortable: return "portable";
+    case KernelIsa::kAvx2: return "avx2";
+    case KernelIsa::kAvx512: return "avx512";
+    case KernelIsa::kNeon: return "neon";
+  }
+  return "unknown";
+}
+
+const std::vector<BatchKernelEntry>& batch_kernel_registry() {
+  static const std::vector<BatchKernelEntry> registry = [] {
+    std::vector<BatchKernelEntry> r;
+    r.push_back(make_entry(&batch_setup_w1, 1, "scalar",
+                           KernelIsa::kPortable, true));
+    r.push_back(
+        make_entry(&batch_setup_w2, 2, "w2", KernelIsa::kPortable, true));
+    r.push_back(
+        make_entry(&batch_setup_w4, 4, "w4", KernelIsa::kPortable, true));
+    r.push_back(
+        make_entry(&batch_setup_w8, 8, "w8", KernelIsa::kPortable, true));
+    r.push_back(
+        make_entry(&batch_setup_w16, 16, "w16", KernelIsa::kPortable, true));
+    // ISA kernels in auto-selection preference order. Entries with a
+    // nullptr fn record that this build could not compile the kernel
+    // (wrong target or missing compiler flag) — kept in the table so
+    // dispatch tests can assert the compile-absent contract.
+    r.push_back(make_entry(batch_setup_avx512(), 16, "avx512",
+                           KernelIsa::kAvx512, cpu_has_avx512f()));
+    r.push_back(make_entry(batch_setup_avx2(), 8, "avx2", KernelIsa::kAvx2,
+                           cpu_has_avx2()));
+    r.push_back(make_entry(batch_setup_neon(), 8, "neon", KernelIsa::kNeon,
+                           cpu_has_neon()));
+    return r;
+  }();
+  return registry;
+}
 
 BatchKernel select_batch_kernel(int lanes) {
   switch (lanes) {
-    case 1: return {&batch_setup_w1, 1, "scalar"};
-    case 2: return {&batch_setup_w2, 2, "w2"};
-    case 4: return {&batch_setup_w4, 4, "w4"};
-    case 8: return {&batch_setup_w8, 8, "w8"};
+    case 1: return {&batch_setup_w1, 1, "scalar", KernelIsa::kPortable};
+    case 2: return {&batch_setup_w2, 2, "w2", KernelIsa::kPortable};
+    case 4: return {&batch_setup_w4, 4, "w4", KernelIsa::kPortable};
+    case 8: return {&batch_setup_w8, 8, "w8", KernelIsa::kPortable};
+    case 16: return {&batch_setup_w16, 16, "w16", KernelIsa::kPortable};
     default: break;  // 0 or invalid: auto
   }
-  if (const BatchSetupFn avx2 = batch_setup_avx2();
-      avx2 != nullptr && cpu_has_avx2()) {
-    return {avx2, 8, "avx2"};
+  // Auto: widest runnable ISA kernel first (avx512 > avx2 > neon), then
+  // the portable width-4 kernel — the best autovectorization target on
+  // ISA-less hosts. The registry is already in preference order.
+  for (const BatchKernelEntry& e : batch_kernel_registry()) {
+    if (e.kernel.isa != KernelIsa::kPortable && e.runnable) return e.kernel;
   }
-  return {&batch_setup_w4, 4, "w4"};
+  return {&batch_setup_w4, 4, "w4", KernelIsa::kPortable};
+}
+
+std::optional<BatchKernel> select_batch_kernel_by_name(std::string_view name) {
+  for (const BatchKernelEntry& e : batch_kernel_registry()) {
+    if (name == e.kernel.name) {
+      if (!e.runnable) return std::nullopt;
+      return e.kernel;
+    }
+  }
+  return std::nullopt;
 }
 
 }  // namespace kgdp::verify::detail

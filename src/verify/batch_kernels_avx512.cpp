@@ -1,0 +1,40 @@
+// AVX-512-compiled instantiation of the batch setup kernel. This TU is
+// the only one built with -mavx512f (see src/CMakeLists.txt), so the
+// width-16 vector code stays behind the runtime __builtin_cpu_supports
+// dispatch in select_batch_kernel() and the rest of the library remains
+// baseline-ISA. Sixteen 64-bit lanes fill two zmm registers per live
+// mask array; the portable width-16 kernel is the differential twin the
+// fuzz harness diffs this against. When the build cannot target AVX-512
+// the stub reports that by returning nullptr and dispatch falls back.
+#include "verify/batch_kernels.hpp"
+
+#if defined(__AVX512F__)
+#include "verify/batch_kernels_impl.hpp"
+#endif
+
+namespace kgdp::verify::detail {
+
+#if defined(__AVX512F__)
+
+namespace {
+
+void batch_setup_avx512_w16(const std::uint64_t* rows, int n,
+                            std::uint64_t proc_mask, std::uint64_t input_mask,
+                            std::uint64_t output_mask,
+                            const std::uint64_t* fault_masks,
+                            std::size_t count, LaneSetup* out) {
+  run_batch_setup<16>(rows, n, proc_mask, input_mask, output_mask, fault_masks,
+                      count, out);
+}
+
+}  // namespace
+
+BatchSetupFn batch_setup_avx512() { return &batch_setup_avx512_w16; }
+
+#else
+
+BatchSetupFn batch_setup_avx512() { return nullptr; }
+
+#endif
+
+}  // namespace kgdp::verify::detail

@@ -38,9 +38,14 @@ inline void run_batch_setup(const std::uint64_t* rows, int n,
         ends[l] |= keep[l] & bit & has_out;
       }
     }
+    // Walk-first seeding, still W-wide and branchless: the splitmix seed
+    // is a multiply-add on the fault mask, the first-restart start is
+    // the lowest start bit (x & -x).
     for (int l = 0; l < W; ++l) {
-      out[i + l] = LaneSetup{keep[l], in_ok[l], out_ok[l], starts[l],
-                             ends[l]};
+      out[i + l] = LaneSetup{keep[l],   in_ok[l],
+                             out_ok[l], starts[l],
+                             ends[l],   walk_seed_mix(fault_masks[i + l]),
+                             starts[l] & (~starts[l] + 1)};
     }
   }
   // Tail lanes, one at a time (same arithmetic, so still bit-identical).
@@ -58,6 +63,8 @@ inline void run_batch_setup(const std::uint64_t* rows, int n,
         if (row & s.out_ok) s.ends |= bit;
       }
     }
+    s.seed = walk_seed_mix(fault_masks[i]);
+    s.start_bit = s.starts & (~s.starts + 1);
     out[i] = s;
   }
 }

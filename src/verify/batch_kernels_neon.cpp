@@ -1,0 +1,96 @@
+// NEON instantiation of the batch setup kernel for aarch64, where NEON
+// is architecturally mandatory — no runtime CPUID gate needed, the
+// #if below is the whole dispatch. Width 8 over four uint64x2_t pairs:
+// the role-mask derivation and the start/end accumulation are pure
+// 128-bit word logic (vtstq_u64 gives the branchless -(row & mask != 0)
+// lane predicate directly), and the first-restart start bit is the
+// vectorized x & -x. The walk seed is a 64-bit multiply-add, which NEON
+// has no vector form for, so it is mixed scalar at store time. On any
+// other target this TU compiles to the nullptr stub, which is how a
+// compile-time-absent kernel reports itself to the registry.
+#include "verify/batch_kernels.hpp"
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+#include <arm_neon.h>
+
+#include "verify/batch_kernels_impl.hpp"
+#endif
+
+namespace kgdp::verify::detail {
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+
+namespace {
+
+void batch_setup_neon_w8(const std::uint64_t* rows, int n,
+                         std::uint64_t proc_mask, std::uint64_t input_mask,
+                         std::uint64_t output_mask,
+                         const std::uint64_t* fault_masks, std::size_t count,
+                         LaneSetup* out) {
+  constexpr int kWidth = 8;
+  constexpr int kPairs = kWidth / 2;
+  const uint64x2_t proc = vdupq_n_u64(proc_mask);
+  const uint64x2_t in_m = vdupq_n_u64(input_mask);
+  const uint64x2_t out_m = vdupq_n_u64(output_mask);
+  const uint64x2_t ones = vdupq_n_u64(~std::uint64_t{0});
+  const uint64x2_t zero = vdupq_n_u64(0);
+  std::size_t i = 0;
+  for (; i + kWidth <= count; i += kWidth) {
+    uint64x2_t keep[kPairs], in_ok[kPairs], out_ok[kPairs];
+    uint64x2_t starts[kPairs], ends[kPairs];
+    for (int p = 0; p < kPairs; ++p) {
+      const uint64x2_t fm = vld1q_u64(fault_masks + i + 2 * p);
+      const uint64x2_t healthy = veorq_u64(fm, ones);
+      keep[p] = vandq_u64(proc, healthy);
+      in_ok[p] = vandq_u64(in_m, healthy);
+      out_ok[p] = vandq_u64(out_m, healthy);
+      starts[p] = zero;
+      ends[p] = zero;
+    }
+    for (int v = 0; v < n; ++v) {
+      const uint64x2_t row = vdupq_n_u64(rows[v]);
+      const uint64x2_t bit = vdupq_n_u64(std::uint64_t{1} << v);
+      for (int p = 0; p < kPairs; ++p) {
+        const uint64x2_t has_in = vtstq_u64(row, in_ok[p]);
+        const uint64x2_t has_out = vtstq_u64(row, out_ok[p]);
+        const uint64x2_t keep_bit = vandq_u64(keep[p], bit);
+        starts[p] = vorrq_u64(starts[p], vandq_u64(keep_bit, has_in));
+        ends[p] = vorrq_u64(ends[p], vandq_u64(keep_bit, has_out));
+      }
+    }
+    for (int p = 0; p < kPairs; ++p) {
+      const uint64x2_t start_bit =
+          vandq_u64(starts[p], vsubq_u64(zero, starts[p]));
+      std::uint64_t keep_s[2], in_s[2], out_s[2], st_s[2], en_s[2], sb_s[2];
+      vst1q_u64(keep_s, keep[p]);
+      vst1q_u64(in_s, in_ok[p]);
+      vst1q_u64(out_s, out_ok[p]);
+      vst1q_u64(st_s, starts[p]);
+      vst1q_u64(en_s, ends[p]);
+      vst1q_u64(sb_s, start_bit);
+      for (int l = 0; l < 2; ++l) {
+        const std::size_t idx = i + 2 * p + l;
+        out[idx] = LaneSetup{keep_s[l], in_s[l],
+                             out_s[l],  st_s[l],
+                             en_s[l],   walk_seed_mix(fault_masks[idx]),
+                             sb_s[l]};
+      }
+    }
+  }
+  if (i < count) {
+    run_batch_setup<1>(rows, n, proc_mask, input_mask, output_mask,
+                       fault_masks + i, count - i, out + i);
+  }
+}
+
+}  // namespace
+
+BatchSetupFn batch_setup_neon() { return &batch_setup_neon_w8; }
+
+#else
+
+BatchSetupFn batch_setup_neon() { return nullptr; }
+
+#endif
+
+}  // namespace kgdp::verify::detail

@@ -137,14 +137,33 @@ struct CheckSession::Worker {
     kFromCache,      // cache hit: `statuses` already holds the verdict
   };
 
+  // Chunk-local counter accumulator, cache-line padded and private to
+  // this worker (the shared-atomic version of these counters was the
+  // measured false-sharing hot spot of the multi-core sweep). Reset at
+  // the top of each chunk, folded into the session counters
+  // single-threaded after the parallel region, so a cursor saved
+  // between chunks captures a consistent state. `best` stays a shared
+  // atomic: workers read it per slot for the cheap skip, so it must be
+  // globally fresh.
+  struct alignas(64) Counters {
+    std::uint64_t covered = 0;
+    std::uint64_t solved = 0;
+    std::uint64_t unknowns = 0;
+    std::uint64_t c_hits = 0;
+    std::uint64_t c_misses = 0;
+    std::uint64_t c_inserts = 0;
+    std::uint64_t c_evictions = 0;
+  };
+
   PipelineSolver solver;
+  Counters counters;
   std::optional<fault::OrbitEnumerator::Sweep> sweep;
   double solve_seconds = 0.0;
   // Batched-sweep gather buffers: parallel arrays over the slots of one
   // block, plus the compacted mask/status arrays handed to solve_batch.
   // Reserved to the batch size once, so the steady state stays
   // allocation-free.
-  std::vector<std::uint64_t> slots, masks, keys, solve_masks;
+  std::vector<std::uint64_t> slots, masks, keys, hashes, solve_masks;
   std::vector<SolveStatus> statuses, solve_statuses;
   std::vector<std::uint8_t> routes;
   fault::FaultCanonicalizer::Scratch canon_scratch;
@@ -153,6 +172,7 @@ struct CheckSession::Worker {
     slots.reserve(batch);
     masks.reserve(batch);
     keys.reserve(batch);
+    hashes.reserve(batch);
     solve_masks.reserve(batch);
     statuses.reserve(batch);
     solve_statuses.reserve(batch);
@@ -292,13 +312,11 @@ void CheckSession::advance_exhaustive(std::uint64_t max_items) {
       std::min<std::uint64_t>(max_items, end_ - next_);
   const std::uint64_t chunk_begin = next_;
 
-  // Chunk-local accumulators (atomic for the parallel path); folded into
-  // the session counters once the chunk completes, so a cursor saved
-  // between chunks captures a consistent state.
+  // Each worker accumulates into its own padded Worker::Counters block
+  // (no shared write traffic inside the parallel region, no per-chunk
+  // allocation); reset here, folded below once the chunk completes.
   std::atomic<std::uint64_t> best{best_};
-  std::atomic<std::uint64_t> covered{0}, solved{0}, unknowns{0};
-  std::atomic<std::uint64_t> c_hits{0}, c_misses{0}, c_inserts{0},
-      c_evictions{0};
+  for (auto& w : workers_) w->counters = {};
 
   auto run_item = [&](std::uint64_t offset, unsigned worker) {
     const std::uint64_t slot = chunk_begin + offset;
@@ -323,13 +341,11 @@ void CheckSession::advance_exhaustive(std::uint64_t max_items) {
       out = ctx.solver.solve_faults(sg_, sweep.nodes());
     }
     ctx.solve_seconds += timer.seconds();
-    covered.fetch_add(orbits_->orbit_size(slot), std::memory_order_relaxed);
-    solved.fetch_add(1, std::memory_order_relaxed);
+    ctx.counters.covered += orbits_->orbit_size(slot);
+    ++ctx.counters.solved;
     const bool failed =
         out.status == SolveStatus::kNone || out.status == SolveStatus::kUnknown;
-    if (out.status == SolveStatus::kUnknown) {
-      unknowns.fetch_add(1, std::memory_order_relaxed);
-    }
+    if (out.status == SolveStatus::kUnknown) ++ctx.counters.unknowns;
     if (failed) {  // unknowns are conservatively treated as failures
       std::uint64_t cur = best.load(std::memory_order_relaxed);
       while (index < cur && !best.compare_exchange_weak(
@@ -361,6 +377,10 @@ void CheckSession::advance_exhaustive(std::uint64_t max_items) {
     ctx.keys.clear();
     ctx.routes.clear();
     ctx.statuses.clear();
+    // Gather: step the sweep over the block's slots, canonicalizing each
+    // mask when a cache is attached. Routes are provisional here —
+    // kSolveAndStore means "cacheable", and the probe phase below
+    // rewrites hits to kFromCache.
     for (std::uint64_t slot = lo; slot < hi; ++slot) {
       if (orbits_->rep_index(slot) > best.load(std::memory_order_acquire)) {
         continue;  // cheap skip, as in run_item
@@ -373,23 +393,34 @@ void CheckSession::advance_exhaustive(std::uint64_t max_items) {
       const std::uint64_t mask = sweep.mask64();
       std::uint8_t route = Worker::kSolveOnly;
       std::uint64_t key = 0;
-      SolveStatus status = SolveStatus::kUnknown;
       if (cache != nullptr &&
           canon_->canonical_mask(mask, ctx.canon_scratch, &key)) {
-        if (const auto hit = cache->lookup(graph_fp_, key)) {
-          route = Worker::kFromCache;
-          status = *hit;
-          c_hits.fetch_add(1, std::memory_order_relaxed);
-        } else {
-          route = Worker::kSolveAndStore;
-          c_misses.fetch_add(1, std::memory_order_relaxed);
-        }
+        route = Worker::kSolveAndStore;
       }
       ctx.slots.push_back(slot);
       ctx.masks.push_back(mask);
       ctx.keys.push_back(key);
       ctx.routes.push_back(route);
-      ctx.statuses.push_back(status);
+      ctx.statuses.push_back(SolveStatus::kUnknown);
+    }
+    // Probe: hash every gathered key in one lane-parallel pass, then walk
+    // the precomputed hashes through the cache. This keeps the double
+    // mix64 out of the per-set probe loop — it was the scalar tail the
+    // batched sweep still paid per fault set.
+    if (cache != nullptr && !ctx.keys.empty()) {
+      ctx.hashes.resize(ctx.keys.size());
+      VerdictCache::hash_keys(graph_fp_, ctx.keys, ctx.hashes);
+      for (std::size_t i = 0; i < ctx.keys.size(); ++i) {
+        if (ctx.routes[i] == Worker::kSolveOnly) continue;
+        if (const auto hit = cache->lookup_hashed(graph_fp_, ctx.keys[i],
+                                                  ctx.hashes[i])) {
+          ctx.routes[i] = Worker::kFromCache;
+          ctx.statuses[i] = *hit;
+          ++ctx.counters.c_hits;
+        } else {
+          ++ctx.counters.c_misses;
+        }
+      }
     }
     ctx.solve_masks.clear();
     for (std::size_t i = 0; i < ctx.slots.size(); ++i) {
@@ -413,18 +444,17 @@ void CheckSession::advance_exhaustive(std::uint64_t max_items) {
         status = ctx.solve_statuses[sidx++];
         if (ctx.routes[i] == Worker::kSolveAndStore &&
             status != SolveStatus::kUnknown) {
-          c_inserts.fetch_add(1, std::memory_order_relaxed);
-          if (cache->insert(graph_fp_, ctx.keys[i], status)) {
-            c_evictions.fetch_add(1, std::memory_order_relaxed);
+          ++ctx.counters.c_inserts;
+          if (cache->insert_hashed(graph_fp_, ctx.keys[i], ctx.hashes[i],
+                                   status)) {
+            ++ctx.counters.c_evictions;
           }
         }
       }
-      covered.fetch_add(orbits_->orbit_size(slot), std::memory_order_relaxed);
-      if (!from_cache) solved.fetch_add(1, std::memory_order_relaxed);
+      ctx.counters.covered += orbits_->orbit_size(slot);
+      if (!from_cache) ++ctx.counters.solved;
       if (status == SolveStatus::kFound) continue;
-      if (status == SolveStatus::kUnknown) {
-        unknowns.fetch_add(1, std::memory_order_relaxed);
-      }
+      if (status == SolveStatus::kUnknown) ++ctx.counters.unknowns;
       const std::uint64_t index = orbits_->rep_index(slot);
       std::uint64_t cur = best.load(std::memory_order_relaxed);
       while (index < cur && !best.compare_exchange_weak(
@@ -435,6 +465,11 @@ void CheckSession::advance_exhaustive(std::uint64_t max_items) {
   };
 
   if (batched) {
+    // The work-stealing grid is over whole blocks, so a steal can only
+    // transfer ownership at a batch boundary: no stolen range ever splits
+    // a kernel pass mid-batch, and each block's gather buffers live in
+    // exactly one worker. (Audited for the multi-core sweep — alignment
+    // holds by construction, no padding needed.)
     const std::uint64_t num_blocks = (chunk + batch - 1) / batch;
     if (req_.options.pool && num_blocks > 1) {
       const util::StealStats stats =
@@ -452,13 +487,16 @@ void CheckSession::advance_exhaustive(std::uint64_t max_items) {
     for (std::uint64_t i = 0; i < chunk; ++i) run_item(i, 0);
   }
 
-  covered_ += covered.load();
-  solved_ += solved.load();
-  unknowns_ += unknowns.load();
-  cache_hits_ += c_hits.load();
-  cache_misses_ += c_misses.load();
-  cache_inserts_ += c_inserts.load();
-  cache_evictions_ += c_evictions.load();
+  for (const auto& w : workers_) {
+    const Worker::Counters& c = w->counters;
+    covered_ += c.covered;
+    solved_ += c.solved;
+    unknowns_ += c.unknowns;
+    cache_hits_ += c.c_hits;
+    cache_misses_ += c.c_misses;
+    cache_inserts_ += c.c_inserts;
+    cache_evictions_ += c.c_evictions;
+  }
   best_ = best.load();
   next_ = chunk_begin + chunk;
   // Representatives are index-ascending, so once a failure is recorded
@@ -561,6 +599,12 @@ CheckResult CheckSession::result() const {
   res.cache_misses = cache_misses_;
   res.cache_inserts = cache_inserts_;
   res.cache_evictions = cache_evictions_;
+  if (!workers_.empty()) {
+    const detail::BatchKernel& k = workers_.front()->solver.kernel();
+    res.solver_kernel_name = k.name;
+    res.solver_kernel_width = k.width;
+    res.solver_kernel_isa = detail::isa_name(k.isa);
+  }
   if (req_.mode == CheckMode::kExhaustive) {
     res.orbits_pruned = pruned_in_shard_;
     res.automorphism_order = automorphism_order_;

@@ -69,6 +69,12 @@ struct CheckResult {
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_inserts = 0;
   std::uint64_t cache_evictions = 0;
+  // Batch setup kernel the session's solvers selected (identical across
+  // workers — dispatch is deterministic per process). Records what
+  // actually ran, including silent fallbacks from invalid lane widths.
+  const char* solver_kernel_name = "scalar";
+  int solver_kernel_width = 1;
+  const char* solver_kernel_isa = "portable";
 };
 
 // Symmetry handling for the exhaustive checker.
@@ -93,9 +99,9 @@ struct CheckOptions {
   // sweep may do (and report) up to batch-1 extra solver invocations
   // past the counterexample, like the work-stealing parallel sweep.
   std::uint32_t batch = 64;
-  // Lane width for the batch setup kernel: 1/2/4/8 force a portable
-  // width, 0 = auto (AVX2 when built and the CPU has it). Any width is
-  // bit-identical; perf knob only.
+  // Lane width for the batch setup kernel: 1/2/4/8/16 force a portable
+  // width, 0 = auto (widest of AVX-512/AVX2/NEON the build and CPU
+  // support). Any width is bit-identical; perf knob only.
   int lanes = 0;
   // Optional shared orbit-canonical verdict cache (owned by the caller;
   // must outlive the session). Consulted by sampled sessions and by the

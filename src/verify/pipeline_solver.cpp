@@ -11,19 +11,21 @@ using kgd::Role;
 
 namespace {
 
-// Walk seed derived purely from the fault mask (splitmix-style mix), so a
-// given (graph, fault set) always walks the same way regardless of batch
-// width, chunking or thread schedule — verdict determinism depends on it.
-inline std::uint64_t walk_seed(std::uint64_t fault_mask) {
-  return fault_mask * 0x9e3779b97f4a7c15ULL + 0x243f6a8885a308d3ULL;
+// Resolves the configured kernel: an explicit name (test/bench hook)
+// wins when it is runnable here, otherwise the width/auto dispatch.
+detail::BatchKernel resolve_kernel(const SolverOptions& opts) {
+  if (opts.batch_kernel != nullptr) {
+    if (auto k = detail::select_batch_kernel_by_name(opts.batch_kernel)) {
+      return *k;
+    }
+  }
+  return detail::select_batch_kernel(opts.batch_lanes);
 }
 
 }  // namespace
 
 PipelineSolver::PipelineSolver(SolverOptions opts)
-    : opts_(opts),
-      ham_(opts.ham),
-      kernel_(detail::select_batch_kernel(opts.batch_lanes)) {}
+    : opts_(opts), ham_(opts.ham), kernel_(resolve_kernel(opts)) {}
 
 // Rebuilds the cached adjacency/role view when the graph identity
 // changed. Identity is (address, node count, edge count): enough to catch
@@ -157,6 +159,7 @@ void PipelineSolver::solve_batch(const SolutionGraph& sg,
 // verdict procedure bit for bit.
 SolveStatus PipelineSolver::solve_lane(const detail::LaneSetup& lane,
                                        std::uint64_t fault_mask) {
+  (void)fault_mask;  // seed and first start come precomputed in the lane
   ++ctr_.solves;
   const std::span<const std::uint64_t> rows = adj_.rows64();
   if (lane.keep == 0) {
@@ -169,8 +172,11 @@ SolveStatus PipelineSolver::solve_lane(const detail::LaneSetup& lane,
   }
   if (!lane.starts || !lane.ends) return SolveStatus::kNone;
 
-  if (ham_.walk_masked(rows, lane.keep, lane.starts, lane.ends,
-                       walk_seed(fault_mask))) {
+  // The setup kernel already mixed the walk seed and selected the
+  // restart-0 start (lowest start bit) lane-parallel; the walk takes
+  // both as-is, so its per-lane scalar preamble is gone.
+  if (ham_.walk_masked(rows, lane.keep, lane.starts, lane.ends, lane.seed,
+                       std::countr_zero(lane.start_bit))) {
     ++ctr_.walk_hits;
   } else {
     ++ctr_.walk_fallbacks;

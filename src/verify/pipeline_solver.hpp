@@ -22,11 +22,12 @@
 //     fault sets; solve()/solve_faults() are the full-rebuild entries
 //     used at chunk boundaries and on discontinuities.
 //   * solve_batch() — lane-parallel verdict mode: the per-fault-set
-//     setup (healthy masks, endpoint sets) for a whole run of fault
-//     masks is computed in one pass by a width-templated kernel
-//     (portable or AVX2, selected at runtime), then each lane is settled
-//     by a walk-first verdict core that certifies heuristic positives
-//     and falls back to the exact search on misses.
+//     setup (healthy masks, endpoint sets, walk seed and first-restart
+//     start) for a whole run of fault masks is computed in one pass by a
+//     width-templated kernel (portable, AVX2, AVX-512 or NEON, selected
+//     at runtime), then each lane is settled by a walk-first verdict
+//     core that certifies heuristic positives and falls back to the
+//     exact search on misses.
 //   * perf counters — solves, patches vs rebuilds, Hamiltonian search
 //     nodes, walk hits vs fallbacks and retained scratch bytes, surfaced
 //     through the checker, campaign telemetry and kgdd stats.
@@ -75,10 +76,16 @@ struct SolverOptions {
   // but the interior path differs from the deterministic search's, which
   // is why pipeline-producing solves keep the classic engine.
   bool want_pipeline = true;
-  // Lane width for solve_batch's setup kernel: 1/2/4/8 force a portable
-  // width, 0 picks AVX2 when available (see select_batch_kernel). Any
-  // width computes bit-identical setups; this is a perf knob only.
+  // Lane width for solve_batch's setup kernel: 1/2/4/8/16 force a
+  // portable width, 0 picks the widest runnable ISA kernel (AVX-512,
+  // AVX2, NEON — see select_batch_kernel). Any width computes
+  // bit-identical setups; this is a perf knob only.
   int batch_lanes = 0;
+  // Force a specific registry kernel by name ("w16", "avx512", ...);
+  // wins over batch_lanes when the kernel is runnable here, otherwise
+  // falls back to the batch_lanes dispatch. Test/bench hook; nullptr
+  // (the default) means dispatch normally.
+  const char* batch_kernel = nullptr;
 };
 
 // Monotone per-solver counters (reset_counters() zeroes them). Patches
@@ -131,6 +138,10 @@ class PipelineSolver {
   void reset_counters() { ctr_ = {}; }
 
   std::uint64_t ham_expansions() const { return ham_.expansions(); }
+
+  // The batch setup kernel this solver selected (name/width/ISA), for
+  // stats, telemetry and bench records.
+  const detail::BatchKernel& kernel() const { return kernel_; }
 
  private:
   bool bind_if_needed(const SolutionGraph& sg);

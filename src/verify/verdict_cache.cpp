@@ -23,15 +23,27 @@ VerdictCache::VerdictCache(std::size_t capacity) {
   set_mask_ = num_sets - 1;
 }
 
-std::size_t VerdictCache::set_index(std::uint64_t graph_fp,
-                                    std::uint64_t canon_mask) const {
-  return static_cast<std::size_t>(mix64(graph_fp ^ mix64(canon_mask))) &
-         set_mask_;
+void VerdictCache::hash_keys(std::uint64_t graph_fp,
+                             std::span<const std::uint64_t> canon_masks,
+                             std::span<std::uint64_t> hashes) {
+  // Branchless over lanes; identical arithmetic to the scalar probe path
+  // (hash = mix64(fp ^ mix64(mask))), so hashed and unhashed entries
+  // always land in the same set.
+  const std::size_t count = std::min(canon_masks.size(), hashes.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    hashes[i] = mix64(graph_fp ^ mix64(canon_masks[i]));
+  }
 }
 
 std::optional<SolveStatus> VerdictCache::lookup(std::uint64_t graph_fp,
                                                 std::uint64_t canon_mask) {
-  const std::size_t si = set_index(graph_fp, canon_mask);
+  return lookup_hashed(graph_fp, canon_mask,
+                       mix64(graph_fp ^ mix64(canon_mask)));
+}
+
+std::optional<SolveStatus> VerdictCache::lookup_hashed(
+    std::uint64_t graph_fp, std::uint64_t canon_mask, std::uint64_t hash) {
+  const std::size_t si = set_index(hash);
   {
     std::lock_guard<std::mutex> lock(stripes_[si & (kStripes - 1)]);
     const Set& set = sets_[si];
@@ -48,8 +60,15 @@ std::optional<SolveStatus> VerdictCache::lookup(std::uint64_t graph_fp,
 
 bool VerdictCache::insert(std::uint64_t graph_fp, std::uint64_t canon_mask,
                           SolveStatus verdict) {
+  return insert_hashed(graph_fp, canon_mask,
+                       mix64(graph_fp ^ mix64(canon_mask)), verdict);
+}
+
+bool VerdictCache::insert_hashed(std::uint64_t graph_fp,
+                                 std::uint64_t canon_mask, std::uint64_t hash,
+                                 SolveStatus verdict) {
   if (verdict == SolveStatus::kUnknown) return false;
-  const std::size_t si = set_index(graph_fp, canon_mask);
+  const std::size_t si = set_index(hash);
   std::lock_guard<std::mutex> lock(stripes_[si & (kStripes - 1)]);
   Set& set = sets_[si];
   // Refresh in place if the key is already resident (concurrent workers

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "verify/pipeline_solver.hpp"
@@ -50,6 +51,24 @@ class VerdictCache {
   std::optional<SolveStatus> lookup(std::uint64_t graph_fp,
                                     std::uint64_t canon_mask);
 
+  // Batched key hashing for the lane-parallel sweep: mixes the set hash
+  // for canon_masks[0..count) under one graph fingerprint in a single
+  // branchless pass (the double splitmix mix64 autovectorizes), so the
+  // probe loop stops paying the per-set scalar hash tail. hashes[i] is
+  // the full mixed hash; pass it to lookup_hashed/insert_hashed with the
+  // same (graph_fp, canon_mask) pair.
+  static void hash_keys(std::uint64_t graph_fp,
+                        std::span<const std::uint64_t> canon_masks,
+                        std::span<std::uint64_t> hashes);
+
+  // lookup/insert taking the precomputed hash from hash_keys. The key
+  // comparison is still exact — the hash only selects the set.
+  std::optional<SolveStatus> lookup_hashed(std::uint64_t graph_fp,
+                                           std::uint64_t canon_mask,
+                                           std::uint64_t hash);
+  bool insert_hashed(std::uint64_t graph_fp, std::uint64_t canon_mask,
+                     std::uint64_t hash, SolveStatus verdict);
+
   // Stores a kFound/kNone verdict (kUnknown is dropped). Counts an
   // insert, plus an eviction when a live entry was displaced; returns
   // true exactly when an eviction happened so callers can keep
@@ -75,8 +94,9 @@ class VerdictCache {
 
   static constexpr std::size_t kStripes = 64;  // power of two
 
-  std::size_t set_index(std::uint64_t graph_fp,
-                        std::uint64_t canon_mask) const;
+  std::size_t set_index(std::uint64_t hash) const {
+    return static_cast<std::size_t>(hash) & set_mask_;
+  }
 
   std::vector<Set> sets_;
   std::size_t set_mask_ = 0;

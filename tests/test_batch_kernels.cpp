@@ -1,0 +1,131 @@
+// Dispatch-layer unit for the batch setup kernel registry: the full
+// table (including compile-time-absent entries reporting fn == nullptr),
+// the auto-selection preference order on the current CPU, forced widths,
+// and by-name selection. Bit-identity of the kernels themselves lives in
+// test_solver_batch_fuzz; this file pins the wiring that decides which
+// kernel runs and what stats/telemetry will report about it.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "verify/batch_kernels.hpp"
+
+namespace kgdp::verify::detail {
+namespace {
+
+TEST(BatchKernelRegistry, FullTableInPreferenceOrder) {
+  const auto& reg = batch_kernel_registry();
+  // Portable widths first (always compiled, always runnable), then the
+  // ISA kernels in auto-selection preference order. The table must list
+  // every kernel the dispatcher knows about even when this build could
+  // not compile it — absence is data, not a missing row.
+  ASSERT_EQ(reg.size(), 8u);
+  const char* expected_names[] = {"scalar", "w2",     "w4",   "w8",
+                                  "w16",    "avx512", "avx2", "neon"};
+  const int expected_widths[] = {1, 2, 4, 8, 16, 16, 8, 8};
+  const KernelIsa expected_isa[] = {
+      KernelIsa::kPortable, KernelIsa::kPortable, KernelIsa::kPortable,
+      KernelIsa::kPortable, KernelIsa::kPortable, KernelIsa::kAvx512,
+      KernelIsa::kAvx2,     KernelIsa::kNeon};
+  for (std::size_t i = 0; i < reg.size(); ++i) {
+    EXPECT_STREQ(reg[i].kernel.name, expected_names[i]) << "row " << i;
+    EXPECT_EQ(reg[i].kernel.width, expected_widths[i]) << "row " << i;
+    EXPECT_EQ(reg[i].kernel.isa, expected_isa[i]) << "row " << i;
+  }
+}
+
+TEST(BatchKernelRegistry, CompiledAndRunnableFlagsAreConsistent) {
+  for (const auto& e : batch_kernel_registry()) {
+    // compiled <=> a function pointer exists; runnable additionally
+    // requires CPU support, so runnable implies compiled.
+    EXPECT_EQ(e.compiled, e.kernel.fn != nullptr) << e.kernel.name;
+    if (e.runnable) EXPECT_TRUE(e.compiled) << e.kernel.name;
+    if (e.kernel.isa == KernelIsa::kPortable) {
+      // Portable kernels run anywhere by definition.
+      EXPECT_TRUE(e.compiled) << e.kernel.name;
+      EXPECT_TRUE(e.runnable) << e.kernel.name;
+    }
+  }
+  // The per-ISA factory stubs agree with the registry's compiled flags.
+  const auto& reg = batch_kernel_registry();
+  EXPECT_EQ(reg[5].compiled, batch_setup_avx512() != nullptr);
+  EXPECT_EQ(reg[6].compiled, batch_setup_avx2() != nullptr);
+  EXPECT_EQ(reg[7].compiled, batch_setup_neon() != nullptr);
+}
+
+TEST(BatchKernelRegistry, ForcedWidthsSelectPortableKernels) {
+  const char* names[] = {nullptr, "scalar", "w2", nullptr, "w4",
+                         nullptr, nullptr,  nullptr, "w8"};
+  for (int lanes : {1, 2, 4, 8, 16}) {
+    const BatchKernel k = select_batch_kernel(lanes);
+    ASSERT_NE(k.fn, nullptr) << "lanes=" << lanes;
+    EXPECT_EQ(k.width, lanes);
+    EXPECT_EQ(k.isa, KernelIsa::kPortable);
+    if (lanes <= 8) EXPECT_STREQ(k.name, names[lanes]);
+    if (lanes == 16) EXPECT_STREQ(k.name, "w16");
+  }
+}
+
+TEST(BatchKernelRegistry, AutoSelectionPicksFirstRunnableIsaKernel) {
+  // Auto (lanes = 0) must return the first runnable non-portable entry
+  // in registry order, or the portable width-4 kernel when no ISA
+  // kernel can run here. Recomputing the answer from the table makes
+  // the test valid on any build/CPU combination CI throws at it.
+  const BatchKernel k = select_batch_kernel(0);
+  ASSERT_NE(k.fn, nullptr);
+  const BatchKernel* expected = nullptr;
+  for (const auto& e : batch_kernel_registry()) {
+    if (e.kernel.isa == KernelIsa::kPortable || !e.runnable) continue;
+    expected = &e.kernel;
+    break;
+  }
+  if (expected != nullptr) {
+    EXPECT_STREQ(k.name, expected->name);
+    EXPECT_EQ(k.width, expected->width);
+    EXPECT_EQ(k.isa, expected->isa);
+  } else {
+    EXPECT_STREQ(k.name, "w4");
+    EXPECT_EQ(k.width, 4);
+    EXPECT_EQ(k.isa, KernelIsa::kPortable);
+  }
+  // Invalid widths fall back to the same auto choice.
+  for (int lanes : {-1, 3, 5, 7, 9, 32}) {
+    const BatchKernel f = select_batch_kernel(lanes);
+    EXPECT_STREQ(f.name, k.name) << "lanes=" << lanes;
+    EXPECT_EQ(f.width, k.width) << "lanes=" << lanes;
+  }
+}
+
+TEST(BatchKernelRegistry, ByNameSelectionTracksRunnability) {
+  for (const auto& e : batch_kernel_registry()) {
+    const auto k = select_batch_kernel_by_name(e.kernel.name);
+    if (e.runnable) {
+      ASSERT_TRUE(k.has_value()) << e.kernel.name;
+      EXPECT_STREQ(k->name, e.kernel.name);
+      EXPECT_EQ(k->width, e.kernel.width);
+      EXPECT_EQ(k->isa, e.kernel.isa);
+      EXPECT_EQ(k->fn, e.kernel.fn);
+    } else {
+      // Compile-time-absent or CPU-unsupported kernels are not
+      // selectable — the caller falls back instead of crashing on a
+      // nullptr fn at solve time.
+      EXPECT_FALSE(k.has_value()) << e.kernel.name;
+    }
+  }
+  EXPECT_FALSE(select_batch_kernel_by_name("no-such-kernel").has_value());
+  EXPECT_FALSE(select_batch_kernel_by_name("").has_value());
+}
+
+TEST(BatchKernelRegistry, IsaNamesAreStable) {
+  // These strings land in BENCH_*.json, kgdd stats and telemetry rows;
+  // renaming one is a schema change, not a refactor.
+  EXPECT_STREQ(isa_name(KernelIsa::kPortable), "portable");
+  EXPECT_STREQ(isa_name(KernelIsa::kAvx2), "avx2");
+  EXPECT_STREQ(isa_name(KernelIsa::kAvx512), "avx512");
+  EXPECT_STREQ(isa_name(KernelIsa::kNeon), "neon");
+}
+
+}  // namespace
+}  // namespace kgdp::verify::detail

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "graph/bit_adjacency.hpp"
 #include "kgd/factory.hpp"
 #include "util/rng.hpp"
 #include "verify/batch_kernels.hpp"
@@ -60,6 +61,24 @@ SolverOptions verdict_options(int lanes = 0) {
   return o;
 }
 
+SolverOptions named_kernel_options(const char* name) {
+  SolverOptions o;
+  o.want_pipeline = false;
+  o.batch_kernel = name;
+  return o;
+}
+
+// Every registry kernel runnable on this build+CPU, by name — the ISA
+// sweep exercises AVX2/AVX-512/NEON wherever they can actually execute
+// and silently narrows elsewhere (CI's compile-only runners).
+std::vector<const char*> runnable_kernel_names() {
+  std::vector<const char*> names;
+  for (const auto& e : detail::batch_kernel_registry()) {
+    if (e.runnable) names.push_back(e.kernel.name);
+  }
+  return names;
+}
+
 TEST(BatchFuzz, AllLaneWidthsMatchReferenceOnRandomBatches) {
   util::Rng rng(0xba7c4);
   for (const auto& [n, k] : kInstances) {
@@ -80,7 +99,7 @@ TEST(BatchFuzz, AllLaneWidthsMatchReferenceOnRandomBatches) {
           find_pipeline_reference(*sg, mask_fault_set(*sg, m)).status);
     }
 
-    for (int lanes : {1, 2, 4, 8, 0}) {
+    for (int lanes : {1, 2, 4, 8, 16, 0}) {
       PipelineSolver solver(verdict_options(lanes));
       std::vector<SolveStatus> got(masks.size(), SolveStatus::kUnknown);
       solver.solve_batch(*sg, masks, got);
@@ -89,6 +108,21 @@ TEST(BatchFuzz, AllLaneWidthsMatchReferenceOnRandomBatches) {
             << "n=" << n << " k=" << k << " lanes=" << lanes << " slot=" << i
             << " mask=" << masks[i];
         EXPECT_NE(got[i], SolveStatus::kUnknown);
+      }
+    }
+
+    // Same batch through every runnable ISA kernel, forced by name:
+    // AVX2/AVX-512 on capable x86-64, NEON on aarch64. Bit-identical to
+    // the reference like the portable widths above.
+    for (const char* name : runnable_kernel_names()) {
+      PipelineSolver solver(named_kernel_options(name));
+      ASSERT_STREQ(solver.kernel().name, name);
+      std::vector<SolveStatus> got(masks.size(), SolveStatus::kUnknown);
+      solver.solve_batch(*sg, masks, got);
+      for (std::size_t i = 0; i < masks.size(); ++i) {
+        EXPECT_EQ(got[i], expected[i])
+            << "n=" << n << " k=" << k << " kernel=" << name << " slot=" << i
+            << " mask=" << masks[i];
       }
     }
   }
@@ -188,14 +222,70 @@ TEST(BatchFuzz, BatchCountersPreserveSolveIdentity) {
 }
 
 TEST(BatchFuzz, KernelSelectionHonoursForcedWidths) {
-  for (int lanes : {1, 2, 4, 8}) {
+  for (int lanes : {1, 2, 4, 8, 16}) {
     const detail::BatchKernel k = detail::select_batch_kernel(lanes);
     EXPECT_EQ(k.width, lanes);
+    EXPECT_EQ(k.isa, detail::KernelIsa::kPortable);
     ASSERT_NE(k.fn, nullptr);
   }
   const detail::BatchKernel auto_kernel = detail::select_batch_kernel(0);
   ASSERT_NE(auto_kernel.fn, nullptr);
   EXPECT_GE(auto_kernel.width, 4);
+}
+
+TEST(BatchFuzz, LaneSetupCarriesWalkSeedAndStartBit) {
+  // Every kernel (portable widths and runnable ISA kernels alike) must
+  // fill the lane's walk seed and first-restart start bit exactly as the
+  // scalar definition does — these feed the walk, so a mismatch would
+  // change verdict streams. Drive the raw kernels against the width-1
+  // reference on the same rows and diff every LaneSetup field.
+  util::Rng rng(0x5eedb17);
+  const auto sg = kgd::build_solution(10, 3);
+  ASSERT_TRUE(sg);
+  const int nodes = sg->num_nodes();
+  ASSERT_LE(nodes, 64);
+
+  graph::BitAdjacency adj;
+  adj.rebuild(sg->graph());
+  std::uint64_t proc = 0, in = 0, out_m = 0;
+  for (Node v = 0; v < nodes; ++v) {
+    const std::uint64_t bit = std::uint64_t{1} << v;
+    switch (sg->role(v)) {
+      case kgd::Role::kProcessor: proc |= bit; break;
+      case kgd::Role::kInput: in |= bit; break;
+      case kgd::Role::kOutput: out_m |= bit; break;
+    }
+  }
+
+  std::vector<std::uint64_t> masks;
+  for (int i = 0; i < 67; ++i) masks.push_back(random_mask(rng, nodes, 5));
+
+  std::vector<detail::LaneSetup> ref(masks.size());
+  detail::batch_setup_w1(adj.rows64().data(), nodes, proc, in, out_m,
+                         masks.data(), masks.size(), ref.data());
+  for (std::size_t i = 0; i < masks.size(); ++i) {
+    EXPECT_EQ(ref[i].seed, detail::walk_seed_mix(masks[i]));
+    EXPECT_EQ(ref[i].start_bit, ref[i].starts & (~ref[i].starts + 1));
+  }
+
+  for (const auto& e : detail::batch_kernel_registry()) {
+    if (!e.runnable) continue;
+    std::vector<detail::LaneSetup> got(masks.size());
+    e.kernel.fn(adj.rows64().data(), nodes, proc, in, out_m, masks.data(),
+                masks.size(), got.data());
+    for (std::size_t i = 0; i < masks.size(); ++i) {
+      EXPECT_EQ(got[i].keep, ref[i].keep) << e.kernel.name << " slot " << i;
+      EXPECT_EQ(got[i].in_ok, ref[i].in_ok) << e.kernel.name << " slot " << i;
+      EXPECT_EQ(got[i].out_ok, ref[i].out_ok)
+          << e.kernel.name << " slot " << i;
+      EXPECT_EQ(got[i].starts, ref[i].starts)
+          << e.kernel.name << " slot " << i;
+      EXPECT_EQ(got[i].ends, ref[i].ends) << e.kernel.name << " slot " << i;
+      EXPECT_EQ(got[i].seed, ref[i].seed) << e.kernel.name << " slot " << i;
+      EXPECT_EQ(got[i].start_bit, ref[i].start_bit)
+          << e.kernel.name << " slot " << i;
+    }
+  }
 }
 
 }  // namespace
